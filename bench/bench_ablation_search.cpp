@@ -1,0 +1,98 @@
+// Ablation: greedy vs exhaustive-Pareto safety-mechanism deployment
+// (DECISIVE Step 4b's automation — "search for the pareto front of viable
+// solutions").
+//
+// Compares, on Systems A and B:
+//   - the cost of the greedy ASIL-B deployment vs the cheapest point on the
+//     exhaustive Pareto front that meets ASIL-B (greedy optimality gap);
+//   - the runtime of both searches (why greedy is the default inside the
+//     iteration loop and the front is an analyst-facing view).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "decisive/base/strings.hpp"
+#include "decisive/base/table.hpp"
+#include "decisive/core/graph_fmea.hpp"
+#include "decisive/core/sm_search.hpp"
+#include "decisive/core/synthetic.hpp"
+
+using namespace decisive;
+
+namespace {
+
+struct Prepared {
+  core::FmedaResult fmea;
+  const char* name;
+};
+
+Prepared prepare(core::SyntheticSystem (*make)(), const char* name) {
+  auto system = make();
+  return {core::analyze_component(*system.model, system.system), name};
+}
+
+void print_comparison() {
+  std::printf("== Ablation: greedy vs Pareto mechanism deployment ==\n\n");
+  const auto catalogue = core::synthetic_sm_catalogue();
+  TextTable table({"System", "open SR rows", "greedy cost (h)", "greedy SPFM",
+                   "cheapest ASIL-B on front (h)", "front size", "gap"});
+  for (const auto& subject : {prepare(&core::make_system_a, "A"),
+                              prepare(&core::make_system_b, "B")}) {
+    const auto greedy = core::greedy_reach_asil(subject.fmea, catalogue, "ASIL-B");
+    const auto front = core::pareto_front(subject.fmea, catalogue);
+    const core::Deployment* cheapest = nullptr;
+    for (const auto& d : front) {
+      if (d.spfm >= 0.90) {
+        cheapest = &d;
+        break;
+      }
+    }
+    size_t open = 0;
+    for (const auto& row : subject.fmea.rows) {
+      if (row.safety_related && row.safety_mechanism.empty()) ++open;
+    }
+    const double greedy_cost = greedy ? greedy->total_cost_hours : -1.0;
+    const double optimal_cost = cheapest ? cheapest->total_cost_hours : -1.0;
+    table.add_row({subject.name, std::to_string(open),
+                   format_number(greedy_cost, 1),
+                   greedy ? format_percent(greedy->spfm) : "-",
+                   format_number(optimal_cost, 1), std::to_string(front.size()),
+                   greedy && cheapest
+                       ? format_number(greedy_cost - optimal_cost, 1) + " h"
+                       : "-"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "reading: greedy (gain-per-cost with upgrade moves and a trim pass)\n"
+      "tracks the exhaustive optimum closely while scaling to designs where\n"
+      "enumeration cannot; any remaining gap is the price of no lookahead.\n\n");
+}
+
+void BM_GreedySystemB(benchmark::State& state) {
+  const auto subject = prepare(&core::make_system_b, "B");
+  const auto catalogue = core::synthetic_sm_catalogue();
+  for (auto _ : state) {
+    const auto deployment = core::greedy_reach_asil(subject.fmea, catalogue, "ASIL-B");
+    benchmark::DoNotOptimize(deployment.has_value());
+  }
+}
+BENCHMARK(BM_GreedySystemB)->Unit(benchmark::kMicrosecond);
+
+void BM_ParetoSystemB(benchmark::State& state) {
+  const auto subject = prepare(&core::make_system_b, "B");
+  const auto catalogue = core::synthetic_sm_catalogue();
+  for (auto _ : state) {
+    const auto front = core::pareto_front(subject.fmea, catalogue);
+    benchmark::DoNotOptimize(front.size());
+  }
+}
+BENCHMARK(BM_ParetoSystemB)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_comparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Reproduces paper Table I: FMEDA on a Phase-Locked Loop.
+//
+//   Char.           | FM               | Impact | Dist  | SMs                | Cov.
+//   safety-critical | lower frequency  | DVF    | 40.1% | time-out watchdog  | 70%
+//   safety-critical | higher frequency | IVF    | 28.7% | N/A                | 0%
+//   safety-critical | jitter           | DVF    | 31.2% | dual-core lockstep | 99%
+//
+// The PLL is modelled in SSAM (failure modes with analyst-assigned effect
+// classifications, safety mechanisms with diagnostic coverage); the FMEDA
+// rows and residual single-point rates are then computed by the library.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "decisive/base/strings.hpp"
+#include "decisive/base/table.hpp"
+#include "decisive/core/fmeda.hpp"
+#include "decisive/ssam/model.hpp"
+
+using namespace decisive;
+
+namespace {
+
+struct PllModel {
+  ssam::SsamModel model;
+  ssam::ObjectId pll = model::kNullObject;
+};
+
+PllModel build_pll() {
+  PllModel out;
+  auto& m = out.model;
+  const auto pkg = m.create_component_package("pll-demo");
+  out.pll = m.create_component(pkg, "PLL");
+  m.obj(out.pll).set_real("fit", 100.0);
+  m.obj(out.pll).set_string("componentType", "hardware");
+  m.obj(out.pll).set_bool("safetyRelated", true);
+
+  const auto fm_low = m.add_failure_mode(out.pll, "lower frequency", 0.401, "degraded");
+  const auto fm_high = m.add_failure_mode(out.pll, "higher frequency", 0.287, "degraded");
+  const auto fm_jit = m.add_failure_mode(out.pll, "jitter", 0.312, "degraded");
+
+  // Analyst-assigned effect classifications (Table I's Impact column).
+  auto attach_effect = [&](ssam::ObjectId fm, const char* impact) {
+    auto& fe = m.repo().create(m.meta().get(ssam::cls::FailureEffect));
+    fe.set_string("name", "effect");
+    fe.set_string("classification", impact);
+    m.obj(fm).add_ref("effects", fe.id());
+  };
+  attach_effect(fm_low, "DVF");
+  attach_effect(fm_high, "IVF");
+  attach_effect(fm_jit, "DVF");
+
+  m.add_safety_mechanism(out.pll, "time-out watchdog", 0.70, 1.5, fm_low);
+  m.add_safety_mechanism(out.pll, "dual-core lockstep", 0.99, 8.0, fm_jit);
+  return out;
+}
+
+/// Derives the FMEDA rows from the SSAM PLL model.
+core::FmedaResult pll_fmeda(const PllModel& pll) {
+  core::FmedaResult result;
+  result.system = "PLL";
+  const auto& m = pll.model;
+  const double fit = m.obj(pll.pll).get_real("fit");
+  for (const auto fm : m.obj(pll.pll).refs("failureModes")) {
+    core::FmedaRow row;
+    row.component = "PLL";
+    row.component_type = "PLL";
+    row.fit = fit;
+    row.failure_mode = m.obj(fm).get_string("name");
+    row.distribution = m.obj(fm).get_real("distribution");
+    row.safety_related = true;
+    for (const auto fe : m.obj(fm).refs("effects")) {
+      const std::string impact = m.obj(fe).get_string("classification");
+      row.effect = impact == "DVF" ? core::EffectClass::DVF : core::EffectClass::IVF;
+    }
+    for (const auto sm : m.obj(pll.pll).refs("safetyMechanisms")) {
+      const auto& covers = m.obj(sm).refs("covers");
+      if (std::find(covers.begin(), covers.end(), fm) != covers.end()) {
+        row.safety_mechanism = m.obj(sm).get_string("name");
+        row.sm_coverage = m.obj(sm).get_real("coverage");
+      }
+    }
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+void print_table() {
+  const PllModel pll = build_pll();
+  const auto fmeda = pll_fmeda(pll);
+
+  std::printf("== Table I: FMEDA on Phase Locked Loop (PLL) ==\n");
+  std::printf("   (DVF/IVF: directly/indirectly violate safety goal)\n\n");
+  TextTable table({"Char.", "FM", "Impact", "Dist", "SMs", "Cov.", "Residual FIT"});
+  for (const auto& row : fmeda.rows) {
+    table.add_row({"safety-critical", row.failure_mode,
+                   std::string(to_string(row.effect)), format_percent(row.distribution, 1),
+                   row.safety_mechanism.empty() ? "N/A" : row.safety_mechanism,
+                   format_percent(row.sm_coverage, 0),
+                   format_number(row.single_point_fit(), 3)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("paper Table I:    dist 40.1%% / 28.7%% / 31.2%%, coverage 70%% / 0%% / 99%%\n");
+  std::printf("PLL SPFM with these mechanisms: %s\n\n",
+              format_percent(fmeda.spfm()).c_str());
+}
+
+void BM_BuildPllModel(benchmark::State& state) {
+  for (auto _ : state) {
+    const PllModel pll = build_pll();
+    benchmark::DoNotOptimize(pll.pll);
+  }
+}
+BENCHMARK(BM_BuildPllModel);
+
+void BM_PllFmeda(benchmark::State& state) {
+  const PllModel pll = build_pll();
+  for (auto _ : state) {
+    const auto fmeda = pll_fmeda(pll);
+    benchmark::DoNotOptimize(fmeda.rows.size());
+  }
+}
+BENCHMARK(BM_PllFmeda);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// The paper's Section V case study, end to end:
+//   1. load the sensor power-supply design (Simulink-substitute MDL),
+//   2. load the reliability workbook (Table II) and SM model (Table III),
+//   3. run the automated fault-injection FMEA on the circuit simulator,
+//   4. compute SPFM (5.38% — fails ASIL-B),
+//   5. deploy ECC on MC1 (Step 4b) and recompute (96.77% — meets ASIL-B),
+//   6. export the Excel-style FMEDA table (Table IV).
+#include <cstdio>
+
+#include "decisive/base/csv.hpp"
+#include "decisive/core/circuit_fmea.hpp"
+#include "decisive/drivers/datasource.hpp"
+#include "decisive/drivers/mdl.hpp"
+#include "decisive/sim/builder.hpp"
+
+using namespace decisive;
+
+int main() {
+  const std::string assets = DECISIVE_ASSETS_DIR;
+
+  // DECISIVE Step 2: the system design.
+  const auto mdl = drivers::parse_mdl_file(assets + "/power_supply.mdl");
+  const auto built = sim::build_circuit(mdl);
+  std::printf("model '%s': %zu analysable components, %zu observables, %zu skipped blocks\n",
+              mdl.name.c_str(), built.components.size(), built.observables.size(),
+              built.skipped.size());
+
+  // DECISIVE Step 3: reliability data from the Excel-substitute workbook.
+  const auto workbook =
+      drivers::DriverRegistry::global().open(assets + "/reliability_workbook");
+  const auto reliability = core::ReliabilityModel::from_source(*workbook, "Reliability");
+  const auto sm_model = core::SafetyMechanismModel::from_source(*workbook, "SafetyMechanisms");
+
+  core::CircuitFmeaOptions options;
+  options.safety_goal_observables = {"CS1", "MC1"};  // hazard H1 observables
+
+  // Step 4a: automated FMEA (no safety mechanisms yet).
+  const auto fmea = core::analyze_circuit(built, reliability, nullptr, options);
+  std::printf("\n-- FMEA (Step 4a) --\n%s", fmea.to_text().render().c_str());
+  std::printf("safety-related components:");
+  for (const auto& name : fmea.safety_related_components()) std::printf(" %s", name.c_str());
+  std::printf("\nSPFM = %.2f%% -> %s (target ASIL-B needs >= 90%%)\n", fmea.spfm() * 100.0,
+              core::meets_asil(fmea.spfm(), "ASIL-B") ? "PASS" : "FAIL");
+
+  // Step 4b: import the safety-mechanism model and re-evaluate (FMEDA).
+  const auto fmeda = core::analyze_circuit(built, reliability, &sm_model, options);
+  std::printf("\n-- FMEDA (Step 4b, ECC deployed on MC1) --\n%s",
+              fmeda.to_text().render().c_str());
+  std::printf("SPFM = %.2f%% -> %s\n", fmeda.spfm() * 100.0,
+              core::meets_asil(fmeda.spfm(), "ASIL-B") ? "PASS (ASIL-B)" : "FAIL");
+
+  for (const auto& warning : fmeda.warnings) std::printf("note: %s\n", warning.c_str());
+
+  // Step 5: persist the FMEDA as evidence for the assurance case.
+  write_csv_file("fmeda_power_supply.csv", fmeda.to_csv());
+  std::printf("\nFMEDA table written to fmeda_power_supply.csv\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Simulink -> SSAM transformation with an information-loss audit and a full
+// round trip back to MDL (paper Section IV: "transform Simulink models to
+// SSAM without information loss" and "changes in SSAM can be propagated back
+// to the original model").
+#include <cstdio>
+
+#include "decisive/drivers/mdl.hpp"
+#include "decisive/ssam/model.hpp"
+#include "decisive/transform/simulink.hpp"
+
+using namespace decisive;
+
+int main() {
+  const std::string assets = DECISIVE_ASSETS_DIR;
+  const auto mdl = drivers::parse_mdl_file(assets + "/power_supply.mdl");
+  std::printf("parsed '%s': %zu top-level blocks, %zu lines\n", mdl.name.c_str(),
+              mdl.root.blocks.size(), mdl.root.lines.size());
+
+  // Forward transformation.
+  ssam::SsamModel model;
+  const auto result = transform::simulink_to_ssam(mdl, model);
+  std::printf("transformed: %zu blocks, %zu lines, %zu parameters preserved\n",
+              result.blocks, result.lines, result.params);
+  std::printf("SSAM repository now holds %zu elements\n", model.size());
+
+  // Trace links (the transformation is fully traceable).
+  std::printf("\ntrace (first 8 links):\n");
+  for (size_t i = 0; i < result.trace.size() && i < 8; ++i) {
+    const auto& link = result.trace[i];
+    std::printf("  %-40s --%s--> #%llu\n", link.source.c_str(), link.rule.c_str(),
+                static_cast<unsigned long long>(link.target));
+  }
+
+  // Information-loss audit.
+  const auto missing = transform::audit_information_loss(mdl, model, result);
+  if (missing.empty()) {
+    std::printf("\naudit: no information loss detected\n");
+  } else {
+    std::printf("\naudit: %zu items lost:\n", missing.size());
+    for (const auto& item : missing) std::printf("  %s\n", item.c_str());
+    return 1;
+  }
+
+  // Round trip: regenerate the MDL from the SSAM model.
+  const auto regenerated = transform::ssam_to_simulink(model, result.root);
+  std::printf("\nround trip: %zu blocks, %zu lines regenerated\n",
+              regenerated.root.total_blocks(), regenerated.root.lines.size());
+  drivers::write_mdl_file("power_supply_roundtrip.mdl", regenerated);
+  std::printf("written to power_supply_roundtrip.mdl\n");
+  return 0;
+}

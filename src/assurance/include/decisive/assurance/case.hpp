@@ -1,0 +1,75 @@
+// Model-based assurance cases — the ACME/SACM substitute (paper Section V-C).
+//
+// An AssuranceCase is a tree of claims (goals), argument strategies, context
+// and artifact references. An ArtifactReference carries an executable query
+// over an external artefact (e.g. the generated FMEDA spreadsheet): when the
+// design changes, re-evaluating the case re-runs the queries, which is what
+// makes automated assurance-case validation possible.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace decisive::assurance {
+
+enum class NodeKind {
+  Claim,              ///< a goal / safety claim
+  ArgumentReasoning,  ///< a strategy decomposing a claim
+  Context,            ///< contextual information (never evaluated)
+  ArtifactReference,  ///< evidence with an executable acceptance query
+};
+
+std::string_view to_string(NodeKind kind) noexcept;
+
+struct Node {
+  NodeKind kind = NodeKind::Claim;
+  std::string id;
+  std::string statement;
+  std::vector<std::string> children;  ///< supported-by links (node ids)
+
+  // ArtifactReference only:
+  std::string artifact_location;  ///< external model location (file/dir)
+  std::string artifact_type;      ///< driver hint ("csv", "workbook", ...)
+  std::string query;              ///< boolean acceptance query over the artefact
+};
+
+/// A structured assurance case. Node ids are unique; the first added node is
+/// the root claim.
+class AssuranceCase {
+ public:
+  explicit AssuranceCase(std::string name);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Adds a claim; when `parent` is non-empty the claim supports it.
+  /// Throws ModelError on duplicate ids or unknown parents.
+  Node& add_claim(std::string id, std::string statement, std::string_view parent = "");
+  Node& add_strategy(std::string id, std::string statement, std::string_view parent);
+  Node& add_context(std::string id, std::string statement, std::string_view parent);
+
+  /// Adds evidence: an artifact reference with an executable query returning
+  /// a boolean.
+  Node& add_artifact(std::string id, std::string statement, std::string_view parent,
+                     std::string location, std::string type, std::string query);
+
+  [[nodiscard]] const Node* find(std::string_view id) const noexcept;
+  [[nodiscard]] Node* find(std::string_view id) noexcept;
+
+  /// The root node (first added); throws ModelError when the case is empty.
+  [[nodiscard]] const Node& root() const;
+
+  [[nodiscard]] const std::vector<Node>& nodes() const noexcept { return nodes_; }
+
+  /// SACM-style XML round-trip.
+  [[nodiscard]] std::string to_xml() const;
+  static AssuranceCase from_xml(std::string_view text);
+
+ private:
+  Node& add(NodeKind kind, std::string id, std::string statement, std::string_view parent);
+
+  std::string name_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace decisive::assurance

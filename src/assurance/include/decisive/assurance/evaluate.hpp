@@ -1,0 +1,47 @@
+// Automated assurance-case evaluation — the ACME behaviour the paper uses to
+// close the loop: "when our design changes, it is reflected in the FMEDA
+// result, which can in turn be automatically checked by ACME (by executing
+// the query)".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "decisive/assurance/case.hpp"
+#include "decisive/query/query.hpp"
+
+namespace decisive::assurance {
+
+enum class ClaimState {
+  Supported,    ///< all supporting evidence holds
+  Defeated,     ///< some evidence query returned false or failed
+  Undeveloped,  ///< no supporting evidence reachable
+};
+
+std::string_view to_string(ClaimState state) noexcept;
+
+struct NodeResult {
+  std::string id;
+  ClaimState state = ClaimState::Undeveloped;
+  std::string detail;  ///< query outcome / failure diagnostic
+};
+
+struct EvaluationReport {
+  std::vector<NodeResult> results;
+  bool case_supported = false;
+
+  [[nodiscard]] const NodeResult* result_for(std::string_view id) const noexcept;
+};
+
+/// Evaluates the case from its root claim:
+///  - ArtifactReference: open the artefact through the driver registry, bind
+///    it (plus `extra` variables/functions, e.g. `target_spfm`), evaluate the
+///    query; a true result is Supported, false/failed is Defeated;
+///  - Claim / ArgumentReasoning: Supported when all evaluated children are
+///    Supported and at least one exists; Defeated when any child is
+///    Defeated; Undeveloped otherwise (Context children are ignored);
+///  - Context: never evaluated.
+EvaluationReport evaluate(const AssuranceCase& assurance_case,
+                          const query::Env* extra = nullptr);
+
+}  // namespace decisive::assurance

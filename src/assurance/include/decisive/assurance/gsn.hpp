@@ -1,0 +1,31 @@
+// GSN (Goal Structuring Notation) rendering of assurance cases.
+//
+// GSN is the argument notation co-authored by the paper's last author (Kelly
+// et al.); rendering the SACM-style case in GSN shapes makes the generated
+// arguments reviewable with standard tooling:
+//   Claim              -> Goal        (rectangle)
+//   ArgumentReasoning  -> Strategy    (parallelogram)
+//   Context            -> Context     (rounded rectangle)
+//   ArtifactReference  -> Solution    (circle)
+// When an EvaluationReport is supplied, nodes are coloured by their state
+// (supported green, defeated red, undeveloped grey) so a failed automated
+// re-evaluation is visible at a glance.
+#pragma once
+
+#include <string>
+
+#include "decisive/assurance/case.hpp"
+#include "decisive/assurance/evaluate.hpp"
+
+namespace decisive::assurance {
+
+/// Renders the case as a Graphviz DOT digraph.
+std::string to_gsn_dot(const AssuranceCase& assurance_case,
+                       const EvaluationReport* report = nullptr);
+
+/// Renders the case as an indented text outline (goals with their
+/// supporting structure), annotated with evaluation states when available.
+std::string to_gsn_text(const AssuranceCase& assurance_case,
+                        const EvaluationReport* report = nullptr);
+
+}  // namespace decisive::assurance

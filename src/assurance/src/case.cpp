@@ -1,0 +1,132 @@
+#include "decisive/assurance/case.hpp"
+
+#include "decisive/base/error.hpp"
+#include "decisive/base/xml.hpp"
+
+namespace decisive::assurance {
+
+std::string_view to_string(NodeKind kind) noexcept {
+  switch (kind) {
+    case NodeKind::Claim: return "Claim";
+    case NodeKind::ArgumentReasoning: return "ArgumentReasoning";
+    case NodeKind::Context: return "Context";
+    case NodeKind::ArtifactReference: return "ArtifactReference";
+  }
+  return "Claim";
+}
+
+namespace {
+NodeKind kind_from_string(std::string_view name) {
+  if (name == "Claim") return NodeKind::Claim;
+  if (name == "ArgumentReasoning") return NodeKind::ArgumentReasoning;
+  if (name == "Context") return NodeKind::Context;
+  if (name == "ArtifactReference") return NodeKind::ArtifactReference;
+  throw ParseError("unknown assurance node kind '" + std::string(name) + "'");
+}
+}  // namespace
+
+AssuranceCase::AssuranceCase(std::string name) : name_(std::move(name)) {}
+
+Node& AssuranceCase::add(NodeKind kind, std::string id, std::string statement,
+                         std::string_view parent) {
+  if (find(id) != nullptr) throw ModelError("duplicate assurance node id '" + id + "'");
+  if (!parent.empty()) {
+    Node* p = find(parent);
+    if (p == nullptr) throw ModelError("unknown parent node '" + std::string(parent) + "'");
+    p->children.push_back(id);
+  }
+  nodes_.push_back(Node{kind, std::move(id), std::move(statement), {}, "", "", ""});
+  return nodes_.back();
+}
+
+Node& AssuranceCase::add_claim(std::string id, std::string statement, std::string_view parent) {
+  return add(NodeKind::Claim, std::move(id), std::move(statement), parent);
+}
+
+Node& AssuranceCase::add_strategy(std::string id, std::string statement,
+                                  std::string_view parent) {
+  return add(NodeKind::ArgumentReasoning, std::move(id), std::move(statement), parent);
+}
+
+Node& AssuranceCase::add_context(std::string id, std::string statement,
+                                 std::string_view parent) {
+  return add(NodeKind::Context, std::move(id), std::move(statement), parent);
+}
+
+Node& AssuranceCase::add_artifact(std::string id, std::string statement,
+                                  std::string_view parent, std::string location,
+                                  std::string type, std::string query) {
+  Node& node = add(NodeKind::ArtifactReference, std::move(id), std::move(statement), parent);
+  node.artifact_location = std::move(location);
+  node.artifact_type = std::move(type);
+  node.query = std::move(query);
+  return node;
+}
+
+const Node* AssuranceCase::find(std::string_view id) const noexcept {
+  for (const auto& node : nodes_) {
+    if (node.id == id) return &node;
+  }
+  return nullptr;
+}
+
+Node* AssuranceCase::find(std::string_view id) noexcept {
+  for (auto& node : nodes_) {
+    if (node.id == id) return &node;
+  }
+  return nullptr;
+}
+
+const Node& AssuranceCase::root() const {
+  if (nodes_.empty()) throw ModelError("assurance case '" + name_ + "' is empty");
+  return nodes_.front();
+}
+
+std::string AssuranceCase::to_xml() const {
+  xml::Element root_el;
+  root_el.name = "assuranceCase";
+  root_el.set_attribute("name", name_);
+  for (const auto& node : nodes_) {
+    xml::Element& el = root_el.add_child("node");
+    el.set_attribute("kind", std::string(to_string(node.kind)));
+    el.set_attribute("id", node.id);
+    el.set_attribute("statement", node.statement);
+    if (node.kind == NodeKind::ArtifactReference) {
+      el.set_attribute("location", node.artifact_location);
+      el.set_attribute("type", node.artifact_type);
+      xml::Element& q = el.add_child("query");
+      q.text = node.query;
+    }
+    for (const auto& child : node.children) {
+      el.add_child("supportedBy").set_attribute("ref", child);
+    }
+  }
+  return xml::write(root_el);
+}
+
+AssuranceCase AssuranceCase::from_xml(std::string_view text) {
+  const auto root_el = xml::parse(text);
+  if (root_el->name != "assuranceCase") {
+    throw ParseError("expected <assuranceCase> document root");
+  }
+  AssuranceCase out(root_el->attribute_or("name", "case"));
+  for (const auto& el : root_el->children) {
+    if (el->name != "node") continue;
+    Node node;
+    node.kind = kind_from_string(el->attribute_or("kind", "Claim"));
+    node.id = el->attribute_or("id", "");
+    node.statement = el->attribute_or("statement", "");
+    node.artifact_location = el->attribute_or("location", "");
+    node.artifact_type = el->attribute_or("type", "");
+    if (const xml::Element* q = el->child("query")) node.query = q->text;
+    for (const xml::Element* s : el->children_named("supportedBy")) {
+      node.children.push_back(s->attribute_or("ref", ""));
+    }
+    if (node.id.empty()) throw ParseError("assurance node without id");
+    if (out.find(node.id) != nullptr) throw ParseError("duplicate node id '" + node.id + "'");
+    out.nodes_.push_back(std::move(node));
+  }
+  return out;
+}
+
+}  // namespace decisive::assurance

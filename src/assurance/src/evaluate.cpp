@@ -1,0 +1,125 @@
+#include "decisive/assurance/evaluate.hpp"
+
+#include <map>
+
+#include "decisive/base/error.hpp"
+#include "decisive/drivers/datasource.hpp"
+
+namespace decisive::assurance {
+
+std::string_view to_string(ClaimState state) noexcept {
+  switch (state) {
+    case ClaimState::Supported: return "Supported";
+    case ClaimState::Defeated: return "Defeated";
+    case ClaimState::Undeveloped: return "Undeveloped";
+  }
+  return "Undeveloped";
+}
+
+const NodeResult* EvaluationReport::result_for(std::string_view id) const noexcept {
+  for (const auto& result : results) {
+    if (result.id == id) return &result;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Evaluator {
+ public:
+  Evaluator(const AssuranceCase& assurance_case, const query::Env* extra)
+      : case_(assurance_case), extra_(extra) {}
+
+  EvaluationReport run() {
+    EvaluationReport report;
+    const ClaimState root_state = evaluate_node(case_.root().id);
+    for (auto& [id, result] : states_) report.results.push_back(result);
+    report.case_supported = root_state == ClaimState::Supported;
+    return report;
+  }
+
+ private:
+  ClaimState evaluate_node(const std::string& id) {
+    if (const auto it = states_.find(id); it != states_.end()) return it->second.state;
+    // Guard against reference cycles: mark in-progress as Undeveloped.
+    states_[id] = NodeResult{id, ClaimState::Undeveloped, "in progress"};
+
+    const Node* node = case_.find(id);
+    NodeResult result{id, ClaimState::Undeveloped, ""};
+    if (node == nullptr) {
+      result.state = ClaimState::Defeated;
+      result.detail = "dangling supportedBy reference";
+    } else if (node->kind == NodeKind::ArtifactReference) {
+      result = evaluate_artifact(*node);
+    } else if (node->kind == NodeKind::Context) {
+      result.state = ClaimState::Supported;
+      result.detail = "context";
+    } else {
+      size_t evaluated = 0;
+      size_t supported = 0;
+      bool defeated = false;
+      for (const auto& child_id : node->children) {
+        const Node* child = case_.find(child_id);
+        if (child != nullptr && child->kind == NodeKind::Context) continue;
+        ++evaluated;
+        const ClaimState child_state = evaluate_node(child_id);
+        if (child_state == ClaimState::Supported) ++supported;
+        if (child_state == ClaimState::Defeated) defeated = true;
+      }
+      if (defeated) {
+        result.state = ClaimState::Defeated;
+        result.detail = "a supporting element is defeated";
+      } else if (evaluated == 0) {
+        result.state = ClaimState::Undeveloped;
+        result.detail = "no supporting evidence";
+      } else if (supported == evaluated) {
+        result.state = ClaimState::Supported;
+      } else {
+        result.state = ClaimState::Undeveloped;
+        result.detail = "supporting elements are undeveloped";
+      }
+    }
+    states_[id] = result;
+    return result.state;
+  }
+
+  NodeResult evaluate_artifact(const Node& node) {
+    NodeResult result{node.id, ClaimState::Defeated, ""};
+    try {
+      const auto source = drivers::DriverRegistry::global().open(node.artifact_location,
+                                                                 node.artifact_type);
+      // Caller-provided context (e.g. `target_spfm`) underneath the artefact
+      // binding, which wins on name clashes.
+      query::Env env = extra_ != nullptr ? *extra_ : query::Env{};
+      source->bind(env);
+      query::Value value = run_query(node, env);
+      if (value.is_bool() && value.as_bool()) {
+        result.state = ClaimState::Supported;
+        result.detail = "query returned true";
+      } else {
+        result.state = ClaimState::Defeated;
+        result.detail = "query returned " + value.to_display();
+      }
+    } catch (const Error& error) {
+      result.state = ClaimState::Defeated;
+      result.detail = error.what();
+    }
+    return result;
+  }
+
+  query::Value run_query(const Node& node, query::Env& env) {
+    return query::eval(node.query, env);
+  }
+
+  const AssuranceCase& case_;
+  const query::Env* extra_;
+  std::map<std::string, NodeResult> states_;
+};
+
+}  // namespace
+
+EvaluationReport evaluate(const AssuranceCase& assurance_case, const query::Env* extra) {
+  return Evaluator(assurance_case, extra).run();
+}
+
+}  // namespace decisive::assurance

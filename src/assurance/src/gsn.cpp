@@ -1,0 +1,104 @@
+#include "decisive/assurance/gsn.hpp"
+
+#include <set>
+
+#include "decisive/base/xml.hpp"
+
+namespace decisive::assurance {
+
+namespace {
+
+const char* shape_for(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::Claim: return "box";
+    case NodeKind::ArgumentReasoning: return "parallelogram";
+    case NodeKind::Context: return "box";  // styled rounded below
+    case NodeKind::ArtifactReference: return "circle";
+  }
+  return "box";
+}
+
+const char* color_for(const EvaluationReport* report, const std::string& id) {
+  if (report == nullptr) return "white";
+  const NodeResult* result = report->result_for(id);
+  if (result == nullptr) return "white";
+  switch (result->state) {
+    case ClaimState::Supported: return "palegreen";
+    case ClaimState::Defeated: return "lightcoral";
+    case ClaimState::Undeveloped: return "lightgrey";
+  }
+  return "white";
+}
+
+std::string escape_label(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void render_text(const AssuranceCase& ac, const EvaluationReport* report,
+                 const std::string& id, int depth, std::set<std::string>& visited,
+                 std::string& out) {
+  const Node* node = ac.find(id);
+  out.append(static_cast<size_t>(depth) * 2, ' ');
+  if (node == nullptr) {
+    out += "!? " + id + " (dangling)\n";
+    return;
+  }
+  switch (node->kind) {
+    case NodeKind::Claim: out += "[G] "; break;
+    case NodeKind::ArgumentReasoning: out += "[S] "; break;
+    case NodeKind::Context: out += "[C] "; break;
+    case NodeKind::ArtifactReference: out += "(Sn) "; break;
+  }
+  out += node->id + ": " + node->statement;
+  if (report != nullptr) {
+    if (const NodeResult* result = report->result_for(id)) {
+      out += "  <" + std::string(to_string(result->state)) + ">";
+    }
+  }
+  out += '\n';
+  if (!visited.insert(id).second) return;  // cycle guard
+  for (const auto& child : node->children) {
+    render_text(ac, report, child, depth + 1, visited, out);
+  }
+  visited.erase(id);
+}
+
+}  // namespace
+
+std::string to_gsn_dot(const AssuranceCase& assurance_case, const EvaluationReport* report) {
+  std::string out = "digraph \"" + escape_label(assurance_case.name()) + "\" {\n";
+  out += "  rankdir=TB;\n  node [fontname=\"Helvetica\", fontsize=10];\n";
+  for (const auto& node : assurance_case.nodes()) {
+    out += "  \"" + escape_label(node.id) + "\" [shape=" + shape_for(node.kind);
+    if (node.kind == NodeKind::Context) out += ", style=\"rounded,filled\"";
+    else out += ", style=filled";
+    out += ", fillcolor=" + std::string(color_for(report, node.id));
+    out += ", label=\"" + escape_label(node.id) + "\\n" + escape_label(node.statement) +
+           "\"];\n";
+  }
+  for (const auto& node : assurance_case.nodes()) {
+    for (const auto& child : node.children) {
+      const Node* target = assurance_case.find(child);
+      const bool in_context = target != nullptr && target->kind == NodeKind::Context;
+      out += "  \"" + escape_label(node.id) + "\" -> \"" + escape_label(child) + "\"";
+      // GSN: SupportedBy = solid filled arrow; InContextOf = hollow arrow.
+      out += in_context ? " [arrowhead=empty, style=dashed];\n" : " [arrowhead=normal];\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string to_gsn_text(const AssuranceCase& assurance_case, const EvaluationReport* report) {
+  std::string out;
+  std::set<std::string> visited;
+  render_text(assurance_case, report, assurance_case.root().id, 0, visited, out);
+  return out;
+}
+
+}  // namespace decisive::assurance

@@ -1,0 +1,38 @@
+// Minimal RFC-4180-style CSV reader/writer. Used by the "workbook" driver
+// (the Excel substitute) and by FMEA table export.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace decisive {
+
+/// A parsed CSV document: a header row plus data rows. All cells are strings;
+/// typed access is the responsibility of callers (drivers, reliability model).
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column (case-insensitive); -1 when absent.
+  [[nodiscard]] int column(std::string_view name) const noexcept;
+
+  /// Cell accessor with bounds + column checks; throws ModelError on misuse.
+  [[nodiscard]] const std::string& at(size_t row, std::string_view column_name) const;
+};
+
+/// Parses CSV text. Supports quoted fields, embedded separators, doubled
+/// quotes and both \n and \r\n line endings. The first record is the header.
+/// Throws ParseError on unterminated quotes.
+CsvTable parse_csv(std::string_view text, char sep = ',');
+
+/// Reads and parses a CSV file; throws IoError if unreadable.
+CsvTable read_csv_file(const std::string& path, char sep = ',');
+
+/// Serialises a table back to CSV text, quoting cells that need it.
+std::string write_csv(const CsvTable& table, char sep = ',');
+
+/// Writes a table to a file; throws IoError on failure.
+void write_csv_file(const std::string& path, const CsvTable& table, char sep = ',');
+
+}  // namespace decisive

@@ -1,0 +1,84 @@
+// Error hierarchy for the DECISIVE library.
+//
+// All recoverable failures surfaced by the public API derive from
+// decisive::Error, which carries a category tag so callers can branch on the
+// kind of failure without string matching.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace decisive {
+
+/// Broad category of a library failure, stable across releases.
+enum class ErrorKind {
+  Parse,        ///< malformed input text (CSV/JSON/XML/MDL/query)
+  Model,        ///< metamodel violation, unknown class/feature, bad reference
+  Io,           ///< file system failure
+  Simulation,   ///< circuit did not converge / singular system
+  Analysis,     ///< FMEA/FMEDA precondition violated
+  Query,        ///< query-language runtime error
+  Capacity,     ///< resource budget exhausted (e.g. model memory overflow)
+  Transform,    ///< model-to-model transformation failure
+};
+
+/// Human-readable name of an ErrorKind ("parse", "model", ...).
+std::string_view to_string(ErrorKind kind) noexcept;
+
+/// Base class of all DECISIVE exceptions.
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorKind kind, const std::string& message);
+
+  [[nodiscard]] ErrorKind kind() const noexcept { return kind_; }
+
+ private:
+  ErrorKind kind_;
+};
+
+/// Convenience subclasses; each pins the category.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& message) : Error(ErrorKind::Parse, message) {}
+};
+
+class ModelError : public Error {
+ public:
+  explicit ModelError(const std::string& message) : Error(ErrorKind::Model, message) {}
+};
+
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& message) : Error(ErrorKind::Io, message) {}
+};
+
+class SimulationError : public Error {
+ public:
+  explicit SimulationError(const std::string& message) : Error(ErrorKind::Simulation, message) {}
+};
+
+class AnalysisError : public Error {
+ public:
+  explicit AnalysisError(const std::string& message) : Error(ErrorKind::Analysis, message) {}
+};
+
+class QueryError : public Error {
+ public:
+  explicit QueryError(const std::string& message) : Error(ErrorKind::Query, message) {}
+};
+
+/// Thrown when a resource budget is exhausted — notably when a
+/// FullLoadRepository exceeds its memory budget, reproducing the EMF
+/// "memory overflow" failure mode reported for Set5 in the paper.
+class CapacityError : public Error {
+ public:
+  explicit CapacityError(const std::string& message) : Error(ErrorKind::Capacity, message) {}
+};
+
+class TransformError : public Error {
+ public:
+  explicit TransformError(const std::string& message) : Error(ErrorKind::Transform, message) {}
+};
+
+}  // namespace decisive

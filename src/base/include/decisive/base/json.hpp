@@ -1,0 +1,64 @@
+// Minimal JSON value model + parser/writer (RFC 8259 subset: no \u surrogate
+// pair validation beyond pass-through). Backs the external-model JSON driver.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace decisive::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value, std::less<>>;
+
+/// A JSON value: null, bool, number (double), string, array or object.
+class Value {
+ public:
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}                 // NOLINT
+  Value(bool b) : data_(b) {}                               // NOLINT
+  Value(double d) : data_(d) {}                             // NOLINT
+  Value(int i) : data_(static_cast<double>(i)) {}           // NOLINT
+  Value(long long i) : data_(static_cast<double>(i)) {}     // NOLINT
+  Value(std::string s) : data_(std::move(s)) {}             // NOLINT
+  Value(const char* s) : data_(std::string(s)) {}           // NOLINT
+  Value(Array a) : data_(std::move(a)) {}                   // NOLINT
+  Value(Object o) : data_(std::move(o)) {}                  // NOLINT
+
+  [[nodiscard]] bool is_null() const noexcept { return std::holds_alternative<std::nullptr_t>(data_); }
+  [[nodiscard]] bool is_bool() const noexcept { return std::holds_alternative<bool>(data_); }
+  [[nodiscard]] bool is_number() const noexcept { return std::holds_alternative<double>(data_); }
+  [[nodiscard]] bool is_string() const noexcept { return std::holds_alternative<std::string>(data_); }
+  [[nodiscard]] bool is_array() const noexcept { return std::holds_alternative<Array>(data_); }
+  [[nodiscard]] bool is_object() const noexcept { return std::holds_alternative<Object>(data_); }
+
+  /// Checked accessors; throw ParseError on type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] Object& as_object();
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const noexcept;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
+};
+
+/// Parses a JSON document; throws ParseError on malformed input.
+Value parse(std::string_view text);
+
+/// Reads and parses a JSON file; throws IoError/ParseError.
+Value parse_file(const std::string& path);
+
+/// Serialises with 2-space indentation.
+std::string write(const Value& value);
+
+}  // namespace decisive::json

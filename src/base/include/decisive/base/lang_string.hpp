@@ -1,0 +1,45 @@
+// LangString: a string with per-language variants, as used by the SSAM base
+// module (paper Section IV-B1): every ModelElement name is a LangString so
+// models can carry multi-language content.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace decisive {
+
+/// A string value with optional translations keyed by BCP-47-ish language
+/// tags ("en", "zh", "de"). The default language is "en".
+class LangString {
+ public:
+  LangString() = default;
+
+  /// Implicit construction from a plain string stores it under "en".
+  LangString(std::string value);          // NOLINT(google-explicit-constructor)
+  LangString(const char* value);          // NOLINT(google-explicit-constructor)
+
+  /// Sets the variant for `lang`, replacing any previous value.
+  void set(std::string_view lang, std::string value);
+
+  /// Returns the variant for `lang`; falls back to "en", then to any variant,
+  /// then to the empty string.
+  [[nodiscard]] const std::string& get(std::string_view lang = "en") const;
+
+  /// True when a variant exists for exactly this language.
+  [[nodiscard]] bool has(std::string_view lang) const;
+
+  /// Number of language variants stored.
+  [[nodiscard]] size_t size() const noexcept { return variants_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return variants_.empty(); }
+
+  /// Shorthand for get("en").
+  [[nodiscard]] const std::string& str() const { return get(); }
+
+  friend bool operator==(const LangString& a, const LangString& b) = default;
+
+ private:
+  std::map<std::string, std::string, std::less<>> variants_;
+};
+
+}  // namespace decisive

@@ -1,0 +1,59 @@
+// Minimal XML DOM parser/writer, sufficient for XMI-style model persistence
+// and for the external-model XML driver. Supports elements, attributes,
+// character data, comments, processing instructions and the five predefined
+// entities. No namespaces-aware processing (prefixes are kept verbatim).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace decisive::xml {
+
+/// An XML element node. Text content is the concatenation of all character
+/// data directly inside the element (mixed content is not order-preserved;
+/// model files never rely on it).
+struct Element {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::vector<std::unique_ptr<Element>> children;
+  std::string text;
+
+  /// Attribute value or nullptr when absent.
+  [[nodiscard]] const std::string* attribute(std::string_view attr_name) const noexcept;
+
+  /// Attribute value or `fallback` when absent.
+  [[nodiscard]] std::string attribute_or(std::string_view attr_name,
+                                         std::string_view fallback) const;
+
+  /// First child with the given element name, or nullptr.
+  [[nodiscard]] const Element* child(std::string_view child_name) const noexcept;
+
+  /// All children with the given element name.
+  [[nodiscard]] std::vector<const Element*> children_named(std::string_view child_name) const;
+
+  /// Appends a child element and returns a reference to it.
+  Element& add_child(std::string child_name);
+
+  void set_attribute(std::string attr_name, std::string value);
+};
+
+/// Parses a complete document and returns its root element.
+/// Throws ParseError on malformed input.
+std::unique_ptr<Element> parse(std::string_view text);
+
+/// Reads and parses an XML file; throws IoError/ParseError.
+std::unique_ptr<Element> parse_file(const std::string& path);
+
+/// Serialises the element tree with 2-space indentation and an XML
+/// declaration.
+std::string write(const Element& root);
+
+/// Writes the document to a file; throws IoError on failure.
+void write_file(const std::string& path, const Element& root);
+
+/// Escapes the five predefined entities in attribute/text content.
+std::string escape(std::string_view text);
+
+}  // namespace decisive::xml

@@ -1,0 +1,22 @@
+#include "decisive/base/error.hpp"
+
+namespace decisive {
+
+std::string_view to_string(ErrorKind kind) noexcept {
+  switch (kind) {
+    case ErrorKind::Parse: return "parse";
+    case ErrorKind::Model: return "model";
+    case ErrorKind::Io: return "io";
+    case ErrorKind::Simulation: return "simulation";
+    case ErrorKind::Analysis: return "analysis";
+    case ErrorKind::Query: return "query";
+    case ErrorKind::Capacity: return "capacity";
+    case ErrorKind::Transform: return "transform";
+  }
+  return "unknown";
+}
+
+Error::Error(ErrorKind kind, const std::string& message)
+    : std::runtime_error(std::string(to_string(kind)) + " error: " + message), kind_(kind) {}
+
+}  // namespace decisive

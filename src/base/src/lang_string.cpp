@@ -1,0 +1,25 @@
+#include "decisive/base/lang_string.hpp"
+
+namespace decisive {
+
+namespace {
+const std::string kEmpty;
+}
+
+LangString::LangString(std::string value) { set("en", std::move(value)); }
+LangString::LangString(const char* value) { set("en", value); }
+
+void LangString::set(std::string_view lang, std::string value) {
+  variants_[std::string(lang)] = std::move(value);
+}
+
+const std::string& LangString::get(std::string_view lang) const {
+  if (auto it = variants_.find(lang); it != variants_.end()) return it->second;
+  if (auto it = variants_.find("en"); it != variants_.end()) return it->second;
+  if (!variants_.empty()) return variants_.begin()->second;
+  return kEmpty;
+}
+
+bool LangString::has(std::string_view lang) const { return variants_.contains(lang); }
+
+}  // namespace decisive

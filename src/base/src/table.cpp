@@ -1,0 +1,71 @@
+#include "decisive/base/table.hpp"
+
+#include <algorithm>
+
+namespace decisive {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  row.resize(std::max(row.size(), header_.size()));
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      if (i != 0) out += " | ";
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      out += cell;
+      out.append(widths[i] - cell.size(), ' ');
+    }
+    out += '\n';
+  };
+  std::string out;
+  render_row(header_, out);
+  for (size_t i = 0; i < widths.size(); ++i) {
+    if (i != 0) out += "-+-";
+    out.append(widths[i], '-');
+  }
+  out += '\n';
+  for (const auto& row : rows_) render_row(row, out);
+  return out;
+}
+
+Rng::Rng(uint64_t seed) noexcept : state_(seed ^ 0x9e3779b97f4a7c15ULL) {
+  // Warm up so that small seeds diverge immediately.
+  next();
+  next();
+}
+
+uint64_t Rng::next() noexcept {
+  // splitmix64
+  state_ += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double Rng::uniform() noexcept {
+  return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+uint64_t Rng::below(uint64_t n) noexcept { return n == 0 ? 0 : next() % n; }
+
+bool Rng::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+}  // namespace decisive

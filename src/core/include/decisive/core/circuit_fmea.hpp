@@ -1,0 +1,57 @@
+// Automated FMEA on circuit (Simulink-substitute) models by fault injection
+// (paper Section IV-D1):
+//
+//   1. Initialise — record the baseline operating point.
+//   2. For each component, for each failure mode found in the reliability
+//      model: inject the fault, re-run simulate(), compare every observable
+//      reading against the baseline. A deviation beyond the threshold marks
+//      the failure mode safety-related.
+//   3. Output — the FmedaResult (Component Safety Analysis Model + table).
+//
+// When a SafetyMechanismModel is supplied (DECISIVE Step 4b), the
+// highest-coverage applicable mechanism is deployed on every safety-related
+// failure mode, turning the FMEA into an FMEDA.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "decisive/core/fmeda.hpp"
+#include "decisive/core/reliability.hpp"
+#include "decisive/core/safety_mechanism.hpp"
+#include "decisive/sim/builder.hpp"
+#include "decisive/sim/solver.hpp"
+
+namespace decisive::core {
+
+struct CircuitFmeaOptions {
+  /// Relative deviation of an observable that marks a fault safety-related.
+  double relative_threshold = 0.20;
+  /// Readings below this magnitude are treated as zero for the relative
+  /// comparison (avoids 0-vs-1e-12 blow-ups).
+  double absolute_floor = 1e-6;
+  /// Observables that embody the safety goal (e.g. the current sensor of the
+  /// monitored supply). Deviation on one of these classifies the failure as
+  /// DVF; deviation only elsewhere as IVF. Empty = every observable is a
+  /// safety-goal observable.
+  std::vector<std::string> safety_goal_observables;
+  /// Solver configuration used for every simulate() call.
+  sim::SolveOptions solver;
+};
+
+/// Runs the automated FME(D)A. `sm_model` may be nullptr for plain FMEA.
+/// Components whose type has no reliability entry are skipped with a warning
+/// (the paper's "assume DC1 is stable" corresponds to the source having no
+/// reliability row). Throws SimulationError if the *baseline* does not solve;
+/// per-fault non-convergence is recorded as a warning and the mode is
+/// conservatively marked safety-related.
+FmedaResult analyze_circuit(const sim::BuiltCircuit& built, const ReliabilityModel& reliability,
+                            const SafetyMechanismModel* sm_model = nullptr,
+                            const CircuitFmeaOptions& options = {});
+
+/// Measures the deviation of `after` vs `before` for one observable:
+/// |after-before| / max(|before|, floor). Exposed for tests.
+double observable_deviation(double before, double after, double absolute_floor);
+
+}  // namespace decisive::core

@@ -1,0 +1,101 @@
+// FME(D)A result model and ISO 26262 architecture metrics.
+//
+// A FmedaResult is the "Component Safety Analysis Model" of DECISIVE Step 4a
+// plus the Excel-style FMEA table SAME always produces. The Single Point
+// Fault Metric follows the paper's Equation 1:
+//
+//            sum over safety-related HW of lambda_SPF
+//   SPFM = 1 - ---------------------------------------
+//            sum over safety-related HW of lambda
+//
+// where lambda_SPF of a failure mode is FIT * distribution * (1 - diagnostic
+// coverage), and the denominator sums the *total* FIT of every component
+// with at least one safety-related failure mode.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "decisive/base/csv.hpp"
+#include "decisive/base/table.hpp"
+
+namespace decisive::core {
+
+/// Effect classification of a safety-related failure mode
+/// (paper Table I: DVF = directly violates safety goal, IVF = indirectly).
+enum class EffectClass { None, DVF, IVF };
+
+std::string_view to_string(EffectClass effect) noexcept;
+
+/// One FMEDA row: a (component instance, failure mode) pair.
+struct FmedaRow {
+  std::string component;       ///< instance name, e.g. "D1"
+  std::string component_type;  ///< type matched in the reliability model
+  double fit = 0.0;            ///< component FIT (1e-9 failures/hour)
+  std::string failure_mode;    ///< e.g. "Open"
+  double distribution = 0.0;   ///< mode share of the FIT, in [0,1]
+  bool safety_related = false;
+  EffectClass effect = EffectClass::None;
+  std::string safety_mechanism;  ///< deployed SM name; empty = "No SM"
+  double sm_coverage = 0.0;      ///< diagnostic coverage of the deployed SM
+  double sm_cost_hours = 0.0;
+
+  /// FIT apportioned to this failure mode.
+  [[nodiscard]] double mode_fit() const noexcept { return fit * distribution; }
+
+  /// Residual single-point-fault FIT after diagnostic coverage; zero when the
+  /// mode is not safety-related.
+  [[nodiscard]] double single_point_fit() const noexcept {
+    return safety_related ? mode_fit() * (1.0 - sm_coverage) : 0.0;
+  }
+};
+
+/// A complete FME(D)A of one system design.
+struct FmedaResult {
+  std::string system;
+  std::vector<FmedaRow> rows;
+  /// Diagnostics from the analysis (e.g. Algorithm 1 line 11 warnings,
+  /// components without reliability data).
+  std::vector<std::string> warnings;
+
+  /// Names of components with at least one safety-related failure mode.
+  [[nodiscard]] std::vector<std::string> safety_related_components() const;
+
+  /// Denominator of Equation 1: total FIT over safety-related components.
+  [[nodiscard]] double total_safety_related_fit() const;
+
+  /// Numerator of Equation 1: residual single-point FIT.
+  [[nodiscard]] double single_point_fit() const;
+
+  /// The Single Point Fault Metric; 1.0 when no component is safety-related.
+  [[nodiscard]] double spfm() const;
+
+  /// Rows for one component.
+  [[nodiscard]] std::vector<const FmedaRow*> rows_of(std::string_view component) const;
+
+  /// The Excel-style FMEA table (paper Table IV layout).
+  [[nodiscard]] CsvTable to_csv() const;
+
+  /// Human-readable rendering of the same table.
+  [[nodiscard]] TextTable to_text() const;
+};
+
+/// ISO 26262 SPFM targets per ASIL (ASIL-A imposes no SPFM target).
+inline constexpr double kSpfmTargetAsilB = 0.90;
+inline constexpr double kSpfmTargetAsilC = 0.97;
+inline constexpr double kSpfmTargetAsilD = 0.99;
+
+/// SPFM target for an ASIL name ("ASIL-B", "B", case-insensitive).
+/// Returns 0.0 for ASIL-A / QM. Throws AnalysisError for unknown names.
+double spfm_target(std::string_view asil);
+
+/// True when the SPFM meets the target of the given ASIL.
+bool meets_asil(double spfm, std::string_view asil);
+
+/// The most stringent ASIL whose SPFM target the value meets
+/// ("ASIL-D", "ASIL-C", "ASIL-B", or "ASIL-A" when below all targets).
+std::string achieved_asil(double spfm);
+
+}  // namespace decisive::core

@@ -1,0 +1,94 @@
+// Fault Tree Analysis — the paper's future-work item 1 ("enhance SAME to
+// include the model-based support for Fault Tree Analysis (FTA) and how FTA
+// and FMEA can be federated for quantitative system safety analysis").
+//
+// A fault tree is synthesised from the same component graph Algorithm 1
+// uses: the top event is "loss of the component's function" (no input→output
+// path delivers); its logic is derived from the minimal cut sets of the
+// path graph — a cut set is a set of subcomponents whose joint
+// loss-of-function severs every path. Quantitatively, each basic event
+// carries the loss-mode failure rate from the FMEA data, and the top-event
+// probability over a mission time uses the rare-event approximation.
+//
+// Federation with FMEA: cut sets of size one are exactly the single-point
+// failures Algorithm 1 reports, which cross-validates the two analyses
+// (`crosscheck_with_fmea`).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "decisive/core/fmeda.hpp"
+#include "decisive/ssam/model.hpp"
+
+namespace decisive::core {
+
+/// Node kinds of a synthesised fault tree.
+enum class GateKind { Or, And, Basic };
+
+struct FaultTreeNode {
+  GateKind kind = GateKind::Basic;
+  std::string label;
+  /// Basic events: the failing component + its loss failure rate (per hour).
+  ssam::ObjectId component = model::kNullObject;
+  double failure_rate = 0.0;  ///< lambda of the loss mode(s), in 1/h
+  std::vector<size_t> children;  ///< indices into FaultTree::nodes
+};
+
+/// A synthesised fault tree. Node 0 is the top event.
+struct FaultTree {
+  std::string top_event;
+  std::vector<FaultTreeNode> nodes;
+  /// Minimal cut sets, as sets of component ids (sorted).
+  std::vector<std::vector<ssam::ObjectId>> cut_sets;
+
+  /// Probability of the top event over `mission_hours`, using the rare-event
+  /// approximation over minimal cut sets: P ~= sum over cut sets of the
+  /// product of member failure probabilities (1 - e^{-lambda t} per member).
+  [[nodiscard]] double top_event_probability(double mission_hours) const;
+
+  /// Renders the tree as indented text (gates + basic events).
+  [[nodiscard]] std::string to_text() const;
+};
+
+struct FtaOptions {
+  /// Cut sets larger than this are not enumerated (cost guard).
+  size_t max_cut_set_size = 3;
+  /// Path-enumeration guard (shared with Algorithm 1).
+  size_t max_paths = 100000;
+};
+
+/// Synthesises the fault tree for the loss of `component`'s function.
+/// Basic-event rates come from the component FIT x the summed distribution
+/// of its loss-nature failure modes (components without loss modes get rate
+/// zero but still appear structurally). Throws AnalysisError when the
+/// component has no boundary IONodes.
+FaultTree synthesize_fault_tree(const ssam::SsamModel& ssam, ssam::ObjectId component,
+                                const FtaOptions& options = {});
+
+/// Federation check (FTA <-> FMEA): compares the tree's order-1 cut sets
+/// with the loss-mode safety-related components of an FMEA result. Returns
+/// human-readable discrepancies (empty = the analyses agree).
+std::vector<std::string> crosscheck_with_fmea(const ssam::SsamModel& ssam,
+                                              const FaultTree& tree,
+                                              const FmedaResult& fmea);
+
+/// Quantitative importance of one basic event.
+struct BasicEventImportance {
+  ssam::ObjectId component = model::kNullObject;
+  std::string label;
+  /// Birnbaum importance: dP(top)/dP(event) — the probability the rest of
+  /// the system is in a state where this event is decisive.
+  double birnbaum = 0.0;
+  /// Fussell-Vesely importance: fraction of the top-event probability
+  /// contributed by cut sets containing this event.
+  double fussell_vesely = 0.0;
+};
+
+/// Computes Birnbaum and Fussell-Vesely importance for every basic event
+/// over the given mission time (rare-event approximation, consistent with
+/// top_event_probability). Sorted by descending Fussell-Vesely.
+std::vector<BasicEventImportance> importance_measures(const FaultTree& tree,
+                                                      double mission_hours);
+
+}  // namespace decisive::core

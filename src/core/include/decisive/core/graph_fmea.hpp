@@ -1,0 +1,46 @@
+// Automated FMEA on SSAM models — the paper's Algorithm 1.
+//
+// For every subcomponent c of the component under analysis, and every
+// failure mode fm of c:
+//   - if fm is of loss-of-function (or similar) nature: fm is a single-point
+//     failure (safety-related) iff c lies on *all* input→output paths of the
+//     parent component;
+//   - otherwise a warning is emitted (line 11 of Algorithm 1) — unless the
+//     modeller supplied explicit `affectedComponents` traceability (Figure
+//     9), in which case the failure mode is safety-related iff one of the
+//     affected components lies on all paths (or is the parent itself).
+// The algorithm then recurses into composite subcomponents.
+//
+// The analysis also *writes back* its verdicts: each FailureMode's
+// `safetyRelated` attribute is set, and a FailureEffect child with the
+// DVF/IVF classification is attached — the "component safety analysis
+// model" artefact of DECISIVE Step 4a.
+#pragma once
+
+#include "decisive/core/fmeda.hpp"
+#include "decisive/core/safety_mechanism.hpp"
+#include "decisive/ssam/model.hpp"
+
+namespace decisive::core {
+
+struct GraphFmeaOptions {
+  /// Recurse into subcomponents that are themselves composite.
+  bool recursive = true;
+  /// Path-enumeration guard.
+  size_t max_paths = 100000;
+  /// Natures treated as "loss of function or similar" by Algorithm 1 line 5.
+  std::vector<std::string> loss_natures = {"lossOfFunction", "loss", "open",
+                                           "omission", "no output"};
+  /// When true, deploy each failure mode's highest-coverage SafetyMechanism
+  /// already modelled on its component (SSAM-side Step 4b).
+  bool apply_modelled_mechanisms = true;
+};
+
+/// Runs Algorithm 1 on `component` (a composite SSAM Component). Mutates the
+/// model: failure modes get their `safetyRelated` verdict and a
+/// FailureEffect. Throws AnalysisError when the component has no boundary
+/// IONodes.
+FmedaResult analyze_component(ssam::SsamModel& ssam, ssam::ObjectId component,
+                              const GraphFmeaOptions& options = {});
+
+}  // namespace decisive::core

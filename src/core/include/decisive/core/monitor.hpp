@@ -1,0 +1,82 @@
+// Runtime-monitor generation — the paper's future-work item 4 and the reason
+// IONodes carry value limits ("the SSAM model ... can also be easily
+// converted to a runtime monitoring algorithm"; "by declaring a Component as
+// dynamic, it is possible to generate facilities to receive runtime data for
+// the component in a real time manner").
+//
+// From every Component marked `dynamic`, a RuntimeMonitor is generated with
+// one range check per IONode that declares lower/upper limits. Feeding
+// samples evaluates the checks; violations are reported together with the
+// hazards reachable from the component's failure modes (the monitor knows
+// *why* a limit matters, not just that it was crossed).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "decisive/ssam/model.hpp"
+
+namespace decisive::core {
+
+/// One generated range check.
+struct MonitorCheck {
+  std::string id;             ///< "<component>.<ionode>"
+  ssam::ObjectId component = model::kNullObject;
+  ssam::ObjectId io_node = model::kNullObject;
+  std::optional<double> lower;
+  std::optional<double> upper;
+  /// Names of hazards linked (via failure modes) to the component.
+  std::vector<std::string> hazards;
+};
+
+/// A violation raised while feeding samples.
+struct MonitorViolation {
+  std::string check_id;
+  double value = 0.0;
+  double bound = 0.0;
+  bool below_lower = false;  ///< false = above upper
+  std::vector<std::string> hazards;
+  std::uint64_t sample_index = 0;
+};
+
+/// Generated runtime monitor for the dynamic components of a design.
+class RuntimeMonitor {
+ public:
+  /// Generates checks from every `dynamic` Component under `root` (or every
+  /// component when `include_static` is set). Checks require at least one
+  /// declared limit; IONodes without limits are skipped.
+  static RuntimeMonitor generate(const ssam::SsamModel& ssam, ssam::ObjectId root,
+                                 bool include_static = false);
+
+  /// Generates checks from every dynamic Component anywhere in the model
+  /// (used by tooling that loads a persisted model without knowing its
+  /// root).
+  static RuntimeMonitor generate_all(const ssam::SsamModel& ssam,
+                                     bool include_static = false);
+
+  [[nodiscard]] const std::vector<MonitorCheck>& checks() const noexcept { return checks_; }
+
+  /// Feeds one sample for a check id; returns the violation, if any.
+  /// Unknown check ids throw AnalysisError.
+  std::optional<MonitorViolation> feed(const std::string& check_id, double value);
+
+  /// Feeds a batch keyed by check id; returns all violations in order.
+  std::vector<MonitorViolation> feed_frame(const std::map<std::string, double>& frame);
+
+  /// Totals since construction.
+  [[nodiscard]] std::uint64_t samples_seen() const noexcept { return samples_; }
+  [[nodiscard]] std::uint64_t violations_seen() const noexcept { return violations_; }
+
+  /// Renders the generated checks as a human-readable spec (what the paper's
+  /// generated Java facilities would subscribe to).
+  [[nodiscard]] std::string to_text() const;
+
+ private:
+  std::vector<MonitorCheck> checks_;
+  std::uint64_t samples_ = 0;
+  std::uint64_t violations_ = 0;
+};
+
+}  // namespace decisive::core

@@ -1,0 +1,24 @@
+// Excel-style report export: writes a complete FME(D)A report as a workbook
+// directory (the same format the workbook driver reads back), with sheets
+// for the FMEDA rows, the architecture metrics and the analysis warnings —
+// "an Excel-based FMEA table is always produced" (paper Step 4a), extended
+// to a full report pack.
+#pragma once
+
+#include <string>
+
+#include "decisive/core/fmeda.hpp"
+
+namespace decisive::core {
+
+/// Writes `<directory>/FMEDA.csv`, `<directory>/Metrics.csv` and
+/// `<directory>/Warnings.csv`. Creates the directory when missing; throws
+/// IoError on filesystem failure. The result can be re-opened with the
+/// workbook driver and queried (e.g. by assurance-case evidence checks).
+void write_report_workbook(const std::string& directory, const FmedaResult& result);
+
+/// The metrics sheet content (also usable standalone): SPFM, residual FIT,
+/// safety-related FIT, achieved ASIL, component/row counts.
+[[nodiscard]] CsvTable metrics_table(const FmedaResult& result);
+
+}  // namespace decisive::core

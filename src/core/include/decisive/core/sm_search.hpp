@@ -1,0 +1,56 @@
+// Automated safety-mechanism deployment (DECISIVE Step 4b).
+//
+// Given an FMEA result and a safety-mechanism catalogue, SAME searches for
+// deployments that reach a target integrity level, and can enumerate the
+// Pareto front of (cost, SPFM) trade-offs so analysts pick "the best
+// trade-off between safety and cost" (paper Sections III and IV-D2).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "decisive/core/fmeda.hpp"
+#include "decisive/core/safety_mechanism.hpp"
+
+namespace decisive::core {
+
+/// One deployed mechanism: FMEA row index -> catalogue entry.
+struct DeploymentChoice {
+  size_t row_index = 0;                         ///< index into FmedaResult::rows
+  const SafetyMechanismSpec* mechanism = nullptr;  ///< never nullptr in a choice
+};
+
+/// A candidate deployment of safety mechanisms onto a design.
+struct Deployment {
+  std::vector<DeploymentChoice> choices;
+  double spfm = 0.0;
+  double total_cost_hours = 0.0;
+
+  /// True when this deployment dominates `other` (no worse on both axes,
+  /// strictly better on at least one; higher SPFM better, lower cost better).
+  [[nodiscard]] bool dominates(const Deployment& other) const noexcept;
+};
+
+/// Returns a copy of `fmea` with the deployment applied (rows updated with
+/// mechanism name/coverage/cost).
+FmedaResult apply_deployment(const FmedaResult& fmea, const Deployment& deployment);
+
+/// Greedy search: repeatedly deploys the mechanism with the best
+/// SPFM-gain-per-cost ratio until the target ASIL's SPFM is met or no
+/// mechanism remains. Returns nullopt when the target is unreachable with
+/// the given catalogue. The input FMEA must be *undeployed* (rows may
+/// already carry mechanisms; they are treated as fixed).
+std::optional<Deployment> greedy_reach_asil(const FmedaResult& fmea,
+                                            const SafetyMechanismModel& catalogue,
+                                            std::string_view target_asil);
+
+/// Exhaustively enumerates deployments (each safety-related row chooses
+/// "none" or one applicable mechanism) and returns the Pareto front sorted
+/// by cost. Throws AnalysisError when the search space exceeds
+/// `max_combinations` (use the greedy search instead).
+std::vector<Deployment> pareto_front(const FmedaResult& fmea,
+                                     const SafetyMechanismModel& catalogue,
+                                     size_t max_combinations = 2'000'000);
+
+}  // namespace decisive::core

@@ -1,0 +1,88 @@
+// Synthetic evaluation subjects.
+//
+// The paper's evaluation systems are proprietary ("which we are not at
+// liberty to disclose"), so this module generates stand-ins with the
+// published element counts:
+//   System A — a sensor power-supply system, 102 model elements;
+//   System B — the main control unit (hardware + software) of an autonomous
+//              underwater vehicle, 230 model elements.
+// Both are mixed serial/parallel architectures so the FMEA produces a
+// non-trivial split of safety-related and redundant components.
+//
+// For the scalability experiment (Table VI) a procedural ElementSource
+// generates models of arbitrary size, and evaluate_full_load /
+// evaluate_indexed run the same model-wide safety query against the two
+// repository back-ends.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "decisive/core/reliability.hpp"
+#include "decisive/core/safety_mechanism.hpp"
+#include "decisive/model/repository.hpp"
+#include "decisive/ssam/model.hpp"
+
+namespace decisive::core {
+
+/// A generated evaluation subject.
+struct SyntheticSystem {
+  std::unique_ptr<ssam::SsamModel> model;
+  ssam::ObjectId system = model::kNullObject;  ///< top-level component
+  size_t element_count = 0;                    ///< total SSAM elements
+};
+
+/// System A: sensor power supply, exactly 102 SSAM elements.
+SyntheticSystem make_system_a();
+
+/// System B: AUV main control unit (HW+SW), exactly 230 SSAM elements.
+SyntheticSystem make_system_b();
+
+/// Reliability data covering every component type used by Systems A and B.
+ReliabilityModel synthetic_reliability();
+
+/// Safety-mechanism catalogue for Systems A and B (rich enough to reach
+/// ASIL-B on both).
+SafetyMechanismModel synthetic_sm_catalogue();
+
+// ---------------------------------------------------------------------------
+// Scalability (Table VI)
+// ---------------------------------------------------------------------------
+
+/// Streams `count` synthetic Component elements (fit + safetyRelated attrs)
+/// without materialising them.
+class ScalabilitySource final : public model::ElementSource {
+ public:
+  explicit ScalabilitySource(std::uint64_t count);
+
+  [[nodiscard]] std::uint64_t size_hint() const override { return count_; }
+  [[nodiscard]] size_t bytes_per_element() const override { return 192; }
+  bool next(const std::function<void(const model::MetaClass&,
+                                     const std::function<void(model::ModelObject&)>&)>& emit)
+      override;
+
+ private:
+  std::uint64_t count_;
+  std::uint64_t emitted_ = 0;
+};
+
+/// Result of one scalability evaluation run.
+struct ScalabilityRun {
+  std::uint64_t elements = 0;
+  bool loaded = false;       ///< false => memory overflow (the paper's "N/A")
+  std::string failure;       ///< overflow diagnostic when !loaded
+  std::uint64_t safety_related = 0;
+  double total_fit = 0.0;
+  double load_seconds = 0.0;
+  double query_seconds = 0.0;
+};
+
+/// Full-load (EMF-style) evaluation: materialise everything, then run the
+/// safety query. `memory_budget_bytes` caps the resident model.
+ScalabilityRun evaluate_full_load(std::uint64_t count, size_t memory_budget_bytes);
+
+/// Indexed (Hawk-style) evaluation: stream into a columnar index, then run
+/// the same query against the index.
+ScalabilityRun evaluate_indexed(std::uint64_t count);
+
+}  // namespace decisive::core

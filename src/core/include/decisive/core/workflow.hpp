@@ -1,0 +1,123 @@
+// The DECISIVE process engine (paper Section III, Figure 1).
+//
+//   Step 1  plan the system: system definition, function requirements, HARA
+//           (hazard log).
+//   Step 2  design the system: architecture + system safety requirements.
+//   Step 3  aggregate reliability data into the design.
+//   Step 4a evaluate the design: automated FMEA -> component safety analysis
+//           model + architecture metrics (SPFM).
+//   Step 4b refine: (automatically) deploy safety mechanisms, re-evaluate.
+//   Step 5  synthesise the safety concept and hand artefacts to the system
+//           assurance process.
+//
+// The engine operates on an SsamModel and uses the graph-based FMEA
+// (Algorithm 1). Circuit models go through core/circuit_fmea.hpp instead;
+// both paths produce the same FmedaResult artefact.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "decisive/core/graph_fmea.hpp"
+#include "decisive/core/reliability.hpp"
+#include "decisive/core/safety_mechanism.hpp"
+#include "decisive/core/sm_search.hpp"
+#include "decisive/ssam/model.hpp"
+
+namespace decisive::core {
+
+class DecisiveProcess {
+ public:
+  /// Binds the process to a model; creates the standard packages.
+  explicit DecisiveProcess(ssam::SsamModel& model, std::string system_name);
+
+  // -- Step 1 -----------------------------------------------------------------
+  /// Records the system definition (boundaries, environment) on the system
+  /// component's description.
+  void define_system(std::string_view definition);
+
+  /// Adds a functional requirement to the requirement package.
+  ssam::ObjectId add_function_requirement(std::string_view name, std::string_view text);
+
+  /// HARA entry: a hazardous situation with target integrity level.
+  ssam::ObjectId identify_hazard(std::string_view name, std::string_view severity,
+                                 double probability, std::string_view target_asil);
+
+  // -- Step 2 -----------------------------------------------------------------
+  /// The system component under design (already created by the constructor).
+  [[nodiscard]] ssam::ObjectId system() const noexcept { return system_; }
+
+  /// Derives a safety requirement from a hazard (cites it).
+  ssam::ObjectId derive_safety_requirement(ssam::ObjectId hazard, std::string_view name,
+                                           std::string_view text,
+                                           std::string_view integrity_level);
+
+  // -- Step 3 -----------------------------------------------------------------
+  /// Aggregates reliability data into every component of the design whose
+  /// `blockType` has an entry: sets FIT and creates FailureMode children
+  /// (Open/loss modes get nature lossOfFunction; shorts and similar get
+  /// erroneous; RAM-style modes additionally reference their own component
+  /// as affected, enabling the Figure-9 inference).
+  /// Returns the number of components populated.
+  size_t aggregate_reliability(const ReliabilityModel& reliability);
+
+  // -- Step 4a ----------------------------------------------------------------
+  /// Automated FMEA (Algorithm 1) of the system design.
+  FmedaResult evaluate(const GraphFmeaOptions& options = {});
+
+  // -- Step 4b ----------------------------------------------------------------
+  /// Automated refinement: greedy mechanism deployment to reach the target,
+  /// written back into the SSAM model (SafetyMechanism children). Returns
+  /// the deployment, or nullopt when the target is unreachable.
+  std::optional<Deployment> refine(const SafetyMechanismModel& catalogue,
+                                   std::string_view target_asil);
+
+  // -- Step 5 -----------------------------------------------------------------
+  /// Allocates a safety requirement to a component ("safety concepts include
+  /// all relevant safety requirements and their allocation to functions and
+  /// components"). Records the cite and raises the component's integrity
+  /// level to at least the requirement's.
+  void allocate_requirement(ssam::ObjectId requirement, ssam::ObjectId component);
+
+  /// Validates the safety concept; returns human-readable issues (empty =
+  /// valid): every ASIL-rated safety requirement must be allocated, every
+  /// hazard must be mitigated by a safety requirement citing it, and every
+  /// component with an uncovered safety-related failure mode is flagged.
+  [[nodiscard]] std::vector<std::string> validate_safety_concept() const;
+
+  /// Renders the safety concept: requirements, hazard mitigations, deployed
+  /// mechanisms and achieved metrics.
+  [[nodiscard]] std::string synthesise_safety_concept() const;
+
+  /// One full DECISIVE iteration loop: evaluate, refine, re-evaluate, until
+  /// the target ASIL is met or `max_iterations` is reached.
+  struct IterationReport {
+    int iterations = 0;
+    double spfm = 0.0;
+    bool target_met = false;
+  };
+  IterationReport iterate_until(std::string_view target_asil,
+                                const SafetyMechanismModel& catalogue, int max_iterations = 8);
+
+  [[nodiscard]] ssam::ObjectId requirement_package() const noexcept { return req_pkg_; }
+  [[nodiscard]] ssam::ObjectId hazard_package() const noexcept { return haz_pkg_; }
+  [[nodiscard]] ssam::ObjectId component_package() const noexcept { return comp_pkg_; }
+
+  /// The latest Step-4a/4b result.
+  [[nodiscard]] const FmedaResult& last_result() const noexcept { return last_result_; }
+
+ private:
+  ssam::SsamModel& model_;
+  ssam::ObjectId req_pkg_;
+  ssam::ObjectId haz_pkg_;
+  ssam::ObjectId comp_pkg_;
+  ssam::ObjectId system_;
+  FmedaResult last_result_;
+};
+
+/// Maps a reliability failure-mode name to the SSAM `nature` attribute:
+/// open/loss -> "lossOfFunction", short -> "erroneous", drift/frequency ->
+/// "degraded", RAM/memory -> "erroneous" (with affected-component inference).
+std::string nature_for_mode(std::string_view failure_mode_name);
+
+}  // namespace decisive::core

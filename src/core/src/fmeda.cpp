@@ -1,0 +1,136 @@
+#include "decisive/core/fmeda.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "decisive/base/error.hpp"
+#include "decisive/base/strings.hpp"
+
+namespace decisive::core {
+
+std::string_view to_string(EffectClass effect) noexcept {
+  switch (effect) {
+    case EffectClass::None: return "";
+    case EffectClass::DVF: return "DVF";
+    case EffectClass::IVF: return "IVF";
+  }
+  return "";
+}
+
+std::vector<std::string> FmedaResult::safety_related_components() const {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  for (const auto& row : rows) {
+    if (row.safety_related && seen.insert(row.component).second) {
+      out.push_back(row.component);
+    }
+  }
+  return out;
+}
+
+double FmedaResult::total_safety_related_fit() const {
+  // Total FIT of each safety-related component, counted once per component.
+  std::set<std::string> counted;
+  double total = 0.0;
+  for (const auto& row : rows) {
+    if (row.safety_related && counted.insert(row.component).second) {
+      total += row.fit;
+    }
+  }
+  return total;
+}
+
+double FmedaResult::single_point_fit() const {
+  double total = 0.0;
+  for (const auto& row : rows) total += row.single_point_fit();
+  return total;
+}
+
+double FmedaResult::spfm() const {
+  const double denominator = total_safety_related_fit();
+  if (denominator <= 0.0) return 1.0;
+  return 1.0 - single_point_fit() / denominator;
+}
+
+std::vector<const FmedaRow*> FmedaResult::rows_of(std::string_view component) const {
+  std::vector<const FmedaRow*> out;
+  for (const auto& row : rows) {
+    if (row.component == component) out.push_back(&row);
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<std::string> render_row(const FmedaRow& row, bool first_of_component) {
+  return {
+      first_of_component ? row.component : "",
+      first_of_component ? format_number(row.fit) : "",
+      row.safety_related ? "Yes" : "No",
+      row.failure_mode,
+      format_percent(row.distribution, 0),
+      row.safety_related ? (row.safety_mechanism.empty() ? "No SM" : row.safety_mechanism) : "",
+      row.safety_related && !row.safety_mechanism.empty() ? format_percent(row.sm_coverage, 0)
+                                                          : "",
+      row.safety_related ? format_number(row.single_point_fit(), 3) + " FIT" : "",
+  };
+}
+
+const std::vector<std::string> kFmedaHeader = {
+    "Component",        "FIT",         "Safety_Related",
+    "Failure_Mode",     "Distribution", "Safety_Mechanism",
+    "SM_Coverage",      "Single_Point_Failure_Rate"};
+
+}  // namespace
+
+CsvTable FmedaResult::to_csv() const {
+  // Machine-readable layout: every row fully populated, numeric columns
+  // without unit suffixes, so downstream queries (assurance-case evidence
+  // checks) can recompute metrics directly.
+  CsvTable table;
+  table.header = {"Component",   "Component_Type", "FIT",
+                  "Safety_Related", "Failure_Mode", "Distribution",
+                  "Safety_Mechanism", "SM_Coverage", "Mode_FIT",
+                  "Single_Point_FIT"};
+  for (const auto& row : rows) {
+    table.rows.push_back({row.component, row.component_type, format_number(row.fit),
+                          row.safety_related ? "Yes" : "No", row.failure_mode,
+                          format_number(row.distribution, 6), row.safety_mechanism,
+                          format_number(row.sm_coverage, 6), format_number(row.mode_fit(), 6),
+                          format_number(row.single_point_fit(), 6)});
+  }
+  return table;
+}
+
+TextTable FmedaResult::to_text() const {
+  TextTable table(kFmedaHeader);
+  std::string previous;
+  for (const auto& row : rows) {
+    table.add_row(render_row(row, row.component != previous));
+    previous = row.component;
+  }
+  return table;
+}
+
+double spfm_target(std::string_view asil) {
+  std::string a = to_lower(trim(asil));
+  if (starts_with(a, "asil-")) a = a.substr(5);
+  else if (starts_with(a, "asil ")) a = a.substr(5);
+  else if (starts_with(a, "asil")) a = a.substr(4);
+  if (a == "qm" || a == "a") return 0.0;
+  if (a == "b") return kSpfmTargetAsilB;
+  if (a == "c") return kSpfmTargetAsilC;
+  if (a == "d") return kSpfmTargetAsilD;
+  throw AnalysisError("unknown ASIL '" + std::string(asil) + "'");
+}
+
+bool meets_asil(double spfm, std::string_view asil) { return spfm >= spfm_target(asil); }
+
+std::string achieved_asil(double spfm) {
+  if (spfm >= kSpfmTargetAsilD) return "ASIL-D";
+  if (spfm >= kSpfmTargetAsilC) return "ASIL-C";
+  if (spfm >= kSpfmTargetAsilB) return "ASIL-B";
+  return "ASIL-A";
+}
+
+}  // namespace decisive::core

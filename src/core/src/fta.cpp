@@ -1,0 +1,296 @@
+#include "decisive/core/fta.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "decisive/base/error.hpp"
+#include "decisive/base/strings.hpp"
+#include "decisive/ssam/graph.hpp"
+
+namespace decisive::core {
+
+namespace {
+
+using ssam::ObjectId;
+using ssam::SsamModel;
+
+bool is_loss_mode_name(const std::string& nature) {
+  return iequals(nature, "lossOfFunction") || iequals(nature, "loss") ||
+         iequals(nature, "open") || iequals(nature, "omission") ||
+         iequals(nature, "no output");
+}
+
+/// Summed distribution of a component's loss-nature failure modes.
+double loss_fraction(const SsamModel& ssam, ObjectId component) {
+  double fraction = 0.0;
+  for (const ObjectId fm : ssam.obj(component).refs("failureModes")) {
+    if (is_loss_mode_name(ssam.obj(fm).get_string("nature"))) {
+      fraction += ssam.obj(fm).get_real("distribution");
+    }
+  }
+  return std::min(fraction, 1.0);
+}
+
+/// True when jointly removing `cut` severs every path.
+bool is_cut(const std::vector<std::vector<int>>& path_members,
+            const std::vector<size_t>& cut) {
+  for (const auto& members : path_members) {
+    bool hit = false;
+    for (const size_t c : cut) {
+      if (std::binary_search(members.begin(), members.end(), static_cast<int>(c))) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) return false;
+  }
+  return true;
+}
+
+bool contains_subset(const std::vector<std::vector<size_t>>& cuts,
+                     const std::vector<size_t>& candidate) {
+  for (const auto& cut : cuts) {
+    if (std::includes(candidate.begin(), candidate.end(), cut.begin(), cut.end())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+double FaultTree::top_event_probability(double mission_hours) const {
+  // Map component -> failure probability over the mission.
+  std::map<ObjectId, double> probability;
+  for (const auto& node : nodes) {
+    if (node.kind == GateKind::Basic) {
+      probability[node.component] = 1.0 - std::exp(-node.failure_rate * mission_hours);
+    }
+  }
+  double total = 0.0;
+  for (const auto& cut : cut_sets) {
+    double product = 1.0;
+    for (const ObjectId member : cut) {
+      const auto it = probability.find(member);
+      product *= it != probability.end() ? it->second : 0.0;
+    }
+    total += product;
+  }
+  return std::min(total, 1.0);
+}
+
+namespace {
+
+void render(const FaultTree& tree, size_t index, int depth, std::string& out) {
+  const FaultTreeNode& node = tree.nodes[index];
+  out.append(static_cast<size_t>(depth) * 2, ' ');
+  switch (node.kind) {
+    case GateKind::Or: out += "[OR] "; break;
+    case GateKind::And: out += "[AND] "; break;
+    case GateKind::Basic: out += "( ) "; break;
+  }
+  out += node.label;
+  if (node.kind == GateKind::Basic) {
+    out += " (lambda = " + format_number(node.failure_rate * 1e9, 3) + " FIT)";
+  }
+  out += '\n';
+  for (const size_t child : node.children) render(tree, child, depth + 1, out);
+}
+
+}  // namespace
+
+std::string FaultTree::to_text() const {
+  std::string out;
+  if (!nodes.empty()) render(*this, 0, 0, out);
+  return out;
+}
+
+FaultTree synthesize_fault_tree(const SsamModel& ssam, ObjectId component,
+                                const FtaOptions& options) {
+  const ssam::ComponentGraph graph = ssam::build_graph(ssam, component);
+  const auto paths = ssam::enumerate_paths(graph, options.max_paths);
+
+  // Components that participate in at least one path, in stable order.
+  std::vector<ObjectId> members;
+  {
+    std::set<ObjectId> seen;
+    for (const auto& path : paths) {
+      for (const ObjectId node : path) {
+        const auto it = graph.owner.find(node);
+        if (it != graph.owner.end() && seen.insert(it->second).second) {
+          members.push_back(it->second);
+        }
+      }
+    }
+  }
+
+  // Per path: sorted member indices (into `members`).
+  std::map<ObjectId, int> member_index;
+  for (size_t i = 0; i < members.size(); ++i) {
+    member_index[members[i]] = static_cast<int>(i);
+  }
+  std::vector<std::vector<int>> path_members;
+  path_members.reserve(paths.size());
+  for (const auto& path : paths) {
+    std::set<int> indices;
+    for (const ObjectId node : path) {
+      const auto it = graph.owner.find(node);
+      if (it != graph.owner.end()) indices.insert(member_index.at(it->second));
+    }
+    path_members.emplace_back(indices.begin(), indices.end());
+  }
+
+  // Enumerate minimal cut sets up to the size bound. Sizes in increasing
+  // order guarantee minimality via subset screening.
+  const auto next_combination = [](std::vector<size_t>& combo, size_t n) {
+    const size_t k = combo.size();
+    size_t i = k;
+    while (i-- > 0) {
+      if (combo[i] < n - k + i) {
+        ++combo[i];
+        for (size_t j = i + 1; j < k; ++j) combo[j] = combo[j - 1] + 1;
+        return true;
+      }
+    }
+    return false;
+  };
+  std::vector<std::vector<size_t>> cuts;
+  const size_t n = members.size();
+  const size_t max_size = std::min(options.max_cut_set_size, n);
+  for (size_t size = 1; size <= max_size; ++size) {
+    std::vector<size_t> combo(size);
+    for (size_t i = 0; i < size; ++i) combo[i] = i;
+    do {
+      if (!contains_subset(cuts, combo) && is_cut(path_members, combo)) {
+        cuts.push_back(combo);
+      }
+    } while (next_combination(combo, n));
+  }
+
+  // Build the tree: OR(top) over one child per cut set.
+  FaultTree tree;
+  const std::string name = ssam.obj(component).get_string("name");
+  tree.top_event = "loss of function of '" + name + "'";
+  FaultTreeNode top;
+  top.kind = GateKind::Or;
+  top.label = tree.top_event;
+  tree.nodes.push_back(top);
+
+  std::map<ObjectId, size_t> basic_index;
+  auto basic_for = [&](size_t member) {
+    const ObjectId comp = members[member];
+    const auto it = basic_index.find(comp);
+    if (it != basic_index.end()) return it->second;
+    FaultTreeNode basic;
+    basic.kind = GateKind::Basic;
+    basic.component = comp;
+    basic.label = "loss of '" + ssam.obj(comp).get_string("name") + "'";
+    basic.failure_rate = ssam.obj(comp).get_real("fit") * loss_fraction(ssam, comp) * 1e-9;
+    tree.nodes.push_back(basic);
+    const size_t index = tree.nodes.size() - 1;
+    basic_index[comp] = index;
+    return index;
+  };
+
+  for (const auto& cut : cuts) {
+    std::vector<ObjectId> cut_components;
+    for (const size_t member : cut) cut_components.push_back(members[member]);
+    std::sort(cut_components.begin(), cut_components.end());
+    tree.cut_sets.push_back(cut_components);
+
+    if (cut.size() == 1) {
+      const size_t basic = basic_for(cut[0]);
+      tree.nodes[0].children.push_back(basic);
+    } else {
+      FaultTreeNode gate;
+      gate.kind = GateKind::And;
+      gate.label = "joint loss of " + std::to_string(cut.size()) + " redundant components";
+      // Materialise the basic events first: basic_for may grow the node
+      // vector, which would invalidate a reference into it.
+      for (const size_t member : cut) gate.children.push_back(basic_for(member));
+      tree.nodes.push_back(std::move(gate));
+      tree.nodes[0].children.push_back(tree.nodes.size() - 1);
+    }
+  }
+  return tree;
+}
+
+std::vector<BasicEventImportance> importance_measures(const FaultTree& tree,
+                                                      double mission_hours) {
+  // Per-component failure probability over the mission.
+  std::map<ObjectId, double> probability;
+  std::map<ObjectId, std::string> labels;
+  for (const auto& node : tree.nodes) {
+    if (node.kind == GateKind::Basic) {
+      probability[node.component] = 1.0 - std::exp(-node.failure_rate * mission_hours);
+      labels[node.component] = node.label;
+    }
+  }
+  const double p_top = tree.top_event_probability(mission_hours);
+
+  std::vector<BasicEventImportance> out;
+  for (const auto& [component, p_event] : probability) {
+    BasicEventImportance imp;
+    imp.component = component;
+    imp.label = labels[component];
+    // Rare-event forms over the minimal cut sets:
+    //   Birnbaum       = sum over cut sets containing e of prod(other members)
+    //   Fussell-Vesely = sum over cut sets containing e of prod(all members) / P(top)
+    double birnbaum = 0.0;
+    double contribution = 0.0;
+    for (const auto& cut : tree.cut_sets) {
+      if (std::find(cut.begin(), cut.end(), component) == cut.end()) continue;
+      double others = 1.0;
+      double full = 1.0;
+      for (const ObjectId member : cut) {
+        full *= probability[member];
+        if (member != component) others *= probability[member];
+      }
+      birnbaum += others;
+      contribution += full;
+    }
+    imp.birnbaum = birnbaum;
+    imp.fussell_vesely = p_top > 0.0 ? contribution / p_top : 0.0;
+    out.push_back(std::move(imp));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const BasicEventImportance& a, const BasicEventImportance& b) {
+              return a.fussell_vesely > b.fussell_vesely;
+            });
+  return out;
+}
+
+std::vector<std::string> crosscheck_with_fmea(const SsamModel& ssam, const FaultTree& tree,
+                                              const FmedaResult& fmea) {
+  std::vector<std::string> issues;
+
+  // Order-1 cut components by name.
+  std::set<std::string> single_points;
+  for (const auto& cut : tree.cut_sets) {
+    if (cut.size() == 1) single_points.insert(ssam.obj(cut[0]).get_string("name"));
+  }
+
+  // FMEA loss-mode safety-related components.
+  std::set<std::string> fmea_loss_sr;
+  for (const auto& row : fmea.rows) {
+    if (row.safety_related && row.effect == EffectClass::DVF) {
+      fmea_loss_sr.insert(row.component);
+    }
+  }
+
+  for (const auto& name : single_points) {
+    if (!fmea_loss_sr.contains(name)) {
+      issues.push_back("FTA order-1 cut '" + name + "' is not loss-safety-related in the FMEA");
+    }
+  }
+  for (const auto& name : fmea_loss_sr) {
+    if (!single_points.contains(name)) {
+      issues.push_back("FMEA single point '" + name + "' is missing from the FTA order-1 cuts");
+    }
+  }
+  return issues;
+}
+
+}  // namespace decisive::core

@@ -1,0 +1,143 @@
+#include "decisive/core/graph_fmea.hpp"
+
+#include <algorithm>
+
+#include "decisive/base/error.hpp"
+#include "decisive/base/strings.hpp"
+#include "decisive/ssam/graph.hpp"
+
+namespace decisive::core {
+
+namespace {
+
+using ssam::ObjectId;
+using ssam::SsamModel;
+
+bool is_loss_nature(const GraphFmeaOptions& options, const std::string& nature) {
+  return std::any_of(options.loss_natures.begin(), options.loss_natures.end(),
+                     [&](const std::string& loss) { return iequals(loss, nature); });
+}
+
+/// The highest-coverage SafetyMechanism modelled on `component` that covers
+/// `failure_mode` (an SM with no `covers` targets covers every mode of its
+/// component).
+struct ModelledSm {
+  std::string name;
+  double coverage = 0.0;
+  double cost_hours = 0.0;
+};
+
+std::optional<ModelledSm> best_modelled_sm(const SsamModel& ssam, ObjectId component,
+                                           ObjectId failure_mode) {
+  std::optional<ModelledSm> best;
+  for (const ObjectId sm : ssam.obj(component).refs("safetyMechanisms")) {
+    const auto& sm_obj = ssam.obj(sm);
+    const auto& covers = sm_obj.refs("covers");
+    const bool applies =
+        covers.empty() || std::find(covers.begin(), covers.end(), failure_mode) != covers.end();
+    if (!applies) continue;
+    const double coverage = sm_obj.get_real("coverage");
+    if (!best.has_value() || coverage > best->coverage) {
+      best = ModelledSm{sm_obj.get_string("name"), coverage, sm_obj.get_real("costHours")};
+    }
+  }
+  return best;
+}
+
+void attach_effect(SsamModel& ssam, ObjectId failure_mode, EffectClass effect) {
+  auto& repo = ssam.repo();
+  auto& fe = repo.create(ssam.meta().get(ssam::cls::FailureEffect));
+  fe.set_string("name", "effect");
+  fe.set_string("classification", std::string(to_string(effect)));
+  ssam.obj(failure_mode).add_ref("effects", fe.id());
+}
+
+void analyze_into(SsamModel& ssam, ObjectId component, const GraphFmeaOptions& options,
+                  FmedaResult& result) {
+  const auto& comp = ssam.obj(component);
+  if (comp.refs("subcomponents").empty()) return;
+
+  const ssam::ComponentGraph graph = ssam::build_graph(ssam, component);
+  const auto paths = ssam::enumerate_paths(graph, options.max_paths);
+
+  for (const ObjectId sub : comp.refs("subcomponents")) {
+    const auto& sub_obj = ssam.obj(sub);
+    const std::string sub_name = sub_obj.get_string("name");
+    const bool single_point = ssam::on_all_paths(graph, paths, sub);
+
+    for (const ObjectId fm : sub_obj.refs("failureModes")) {
+      auto& fm_obj = ssam.obj(fm);
+      FmedaRow row;
+      row.component = sub_name;
+      row.component_type = sub_obj.get_string("blockType", sub_name);
+      row.fit = sub_obj.get_real("fit");
+      row.failure_mode = fm_obj.get_string("name");
+      row.distribution = fm_obj.get_real("distribution");
+
+      const std::string nature = fm_obj.get_string("nature");
+      if (is_loss_nature(options, nature)) {
+        // Algorithm 1 lines 5–8.
+        row.safety_related = single_point;
+        row.effect = single_point ? EffectClass::DVF : EffectClass::None;
+      } else {
+        const auto& affected = fm_obj.refs("affectedComponents");
+        if (!affected.empty()) {
+          // Figure 9: explicit affected-component traceability lets the FMEA
+          // infer single-point faults for non-loss modes.
+          bool any_critical = false;
+          for (const ObjectId target : affected) {
+            if (target == component || ssam::on_all_paths(graph, paths, target)) {
+              any_critical = true;
+              break;
+            }
+          }
+          row.safety_related = any_critical;
+          row.effect = any_critical ? EffectClass::IVF : EffectClass::None;
+        } else {
+          // Algorithm 1 line 11.
+          result.warnings.push_back("failure mode '" + row.failure_mode + "' of '" + sub_name +
+                                    "' has nature '" + nature +
+                                    "' and no affected-component traceability; manual review "
+                                    "required");
+        }
+      }
+
+      if (row.safety_related && options.apply_modelled_mechanisms) {
+        if (const auto sm = best_modelled_sm(ssam, sub, fm)) {
+          row.safety_mechanism = sm->name;
+          row.sm_coverage = sm->coverage;
+          row.sm_cost_hours = sm->cost_hours;
+        }
+      }
+
+      // Write the verdict back into the model (component safety analysis
+      // model, Step 4a output).
+      fm_obj.set_bool("safetyRelated", row.safety_related);
+      attach_effect(ssam, fm, row.effect);
+
+      result.rows.push_back(std::move(row));
+    }
+
+    // Algorithm 1 line 14: repeat for composite subcomponents.
+    if (options.recursive && !sub_obj.refs("subcomponents").empty()) {
+      if (sub_obj.refs("ioNodes").empty()) {
+        result.warnings.push_back("composite subcomponent '" + sub_name +
+                                  "' has no IONodes; cannot recurse");
+      } else {
+        analyze_into(ssam, sub, options, result);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+FmedaResult analyze_component(SsamModel& ssam, ObjectId component,
+                              const GraphFmeaOptions& options) {
+  FmedaResult result;
+  result.system = ssam.obj(component).get_string("name");
+  analyze_into(ssam, component, options, result);
+  return result;
+}
+
+}  // namespace decisive::core

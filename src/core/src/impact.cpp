@@ -1,0 +1,143 @@
+#include "decisive/core/impact.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "decisive/base/error.hpp"
+
+namespace decisive::core {
+
+using ssam::ObjectId;
+using ssam::SsamModel;
+
+namespace {
+
+/// Objects that directly contain `target` through any containment reference.
+std::vector<ObjectId> containers_of(const SsamModel& ssam, ObjectId target) {
+  std::vector<ObjectId> out;
+  ssam.repo().for_each([&](const model::ModelObject& obj) {
+    for (const auto* ref : obj.meta().all_references()) {
+      if (!ref->containment) continue;
+      const auto& targets = obj.refs(ref->name);
+      if (std::find(targets.begin(), targets.end(), target) != targets.end()) {
+        out.push_back(obj.id());
+      }
+    }
+  });
+  return out;
+}
+
+void add_unique(std::vector<ObjectId>& list, ObjectId id) {
+  if (std::find(list.begin(), list.end(), id) == list.end()) list.push_back(id);
+}
+
+}  // namespace
+
+std::string ImpactReport::to_text(const SsamModel& ssam) const {
+  auto names = [&](const std::vector<ObjectId>& ids) {
+    std::string out;
+    for (const ObjectId id : ids) {
+      if (!out.empty()) out += ", ";
+      out += ssam.obj(id).get_string("name");
+    }
+    return out.empty() ? std::string("-") : out;
+  };
+  std::string out = "Impact of changing '" + ssam.obj(changed).get_string("name") + "':\n";
+  out += "  containing designs:   " + names(ancestors) + "\n";
+  out += "  connected components: " + names(connected_components) + "\n";
+  out += "  requirements:         " + names(requirements) + "\n";
+  out += "  hazards:              " + names(hazards) + "\n";
+  out += "  safety mechanisms:    " + names(safety_mechanisms) + "\n";
+  out += reanalysis_required
+             ? "  => safety-related failure modes affected: re-run Step 4a before merging\n"
+             : "  => no safety-related failure mode affected\n";
+  return out;
+}
+
+ImpactReport impact_of_change(const SsamModel& ssam, ObjectId component) {
+  const auto& comp = ssam.obj(component);
+  if (!comp.is_kind_of(ssam.meta().get(ssam::cls::Component))) {
+    throw ModelError("impact_of_change expects a Component");
+  }
+
+  ImpactReport report;
+  report.changed = component;
+
+  // Containment ancestors (transitively).
+  std::vector<ObjectId> frontier{component};
+  std::set<ObjectId> seen{component};
+  while (!frontier.empty()) {
+    const ObjectId current = frontier.back();
+    frontier.pop_back();
+    for (const ObjectId container : containers_of(ssam, current)) {
+      if (seen.insert(container).second) {
+        report.ancestors.push_back(container);
+        frontier.push_back(container);
+      }
+    }
+  }
+
+  // Signal neighbours: within any parent component's relationships, the
+  // other endpoint's owner when one endpoint is ours.
+  const std::set<ObjectId> my_nodes(comp.refs("ioNodes").begin(), comp.refs("ioNodes").end());
+  auto owner_of_node = [&](ObjectId node) -> ObjectId {
+    ObjectId owner = model::kNullObject;
+    ssam.repo().for_each([&](const model::ModelObject& obj) {
+      if (owner != model::kNullObject) return;
+      if (!obj.is_kind_of(ssam.meta().get(ssam::cls::Component))) return;
+      const auto& nodes = obj.refs("ioNodes");
+      if (std::find(nodes.begin(), nodes.end(), node) != nodes.end()) owner = obj.id();
+    });
+    return owner;
+  };
+  ssam.repo().for_each([&](const model::ModelObject& obj) {
+    if (!obj.is_kind_of(ssam.meta().get(ssam::cls::ComponentRelationship))) return;
+    const ObjectId source = obj.ref("source");
+    const ObjectId target = obj.ref("target");
+    if (my_nodes.contains(source) && target != model::kNullObject) {
+      const ObjectId other = owner_of_node(target);
+      if (other != model::kNullObject && other != component) {
+        add_unique(report.connected_components, other);
+      }
+    }
+    if (my_nodes.contains(target) && source != model::kNullObject) {
+      const ObjectId other = owner_of_node(source);
+      if (other != model::kNullObject && other != component) {
+        add_unique(report.connected_components, other);
+      }
+    }
+  });
+
+  // Citations: any Requirement citing the component (or one of its failure
+  // modes) is allocation traceability that must be revisited.
+  const auto& fms = comp.refs("failureModes");
+  const std::set<ObjectId> citation_targets = [&] {
+    std::set<ObjectId> targets{component};
+    targets.insert(fms.begin(), fms.end());
+    return targets;
+  }();
+  ssam.repo().for_each([&](const model::ModelObject& obj) {
+    if (!obj.is_kind_of(ssam.meta().get(ssam::cls::Requirement))) return;
+    for (const ObjectId cited : obj.refs("cites")) {
+      if (citation_targets.contains(cited)) {
+        add_unique(report.requirements, obj.id());
+        break;
+      }
+    }
+  });
+
+  // Hazards and mechanisms hanging off the component's failure modes.
+  for (const ObjectId fm : fms) {
+    const auto& fm_obj = ssam.obj(fm);
+    for (const ObjectId hazard : fm_obj.refs("hazards")) {
+      add_unique(report.hazards, hazard);
+    }
+    if (fm_obj.get_bool("safetyRelated")) report.reanalysis_required = true;
+  }
+  for (const ObjectId sm : comp.refs("safetyMechanisms")) {
+    add_unique(report.safety_mechanisms, sm);
+  }
+  return report;
+}
+
+}  // namespace decisive::core

@@ -1,0 +1,120 @@
+#include "decisive/core/monitor.hpp"
+
+#include <set>
+
+#include "decisive/base/error.hpp"
+#include "decisive/base/strings.hpp"
+
+namespace decisive::core {
+
+using ssam::ObjectId;
+using ssam::SsamModel;
+
+namespace {
+
+/// Hazard names reachable from a component's failure modes.
+std::vector<std::string> hazards_of(const SsamModel& ssam, ObjectId component) {
+  std::set<std::string> names;
+  for (const ObjectId fm : ssam.obj(component).refs("failureModes")) {
+    for (const ObjectId hazard : ssam.obj(fm).refs("hazards")) {
+      names.insert(ssam.obj(hazard).get_string("name"));
+    }
+  }
+  return {names.begin(), names.end()};
+}
+
+/// Checks contributed by one component (empty when static and not included,
+/// or when no IONode declares limits).
+std::vector<MonitorCheck> checks_of(const SsamModel& ssam, ObjectId component,
+                                    bool include_static) {
+  std::vector<MonitorCheck> out;
+  const auto& comp = ssam.obj(component);
+  if (!include_static && !comp.get_bool("dynamic")) return out;
+  const std::string comp_name = comp.get_string("name");
+  const auto hazards = hazards_of(ssam, component);
+  for (const ObjectId node : comp.refs("ioNodes")) {
+    const auto& io = ssam.obj(node);
+    const bool has_lower = io.has("lowerLimit");
+    const bool has_upper = io.has("upperLimit");
+    if (!has_lower && !has_upper) continue;
+    MonitorCheck check;
+    check.id = comp_name + "." + io.get_string("name");
+    check.component = component;
+    check.io_node = node;
+    if (has_lower) check.lower = io.get_real("lowerLimit");
+    if (has_upper) check.upper = io.get_real("upperLimit");
+    check.hazards = hazards;
+    out.push_back(std::move(check));
+  }
+  return out;
+}
+
+}  // namespace
+
+RuntimeMonitor RuntimeMonitor::generate(const SsamModel& ssam, ObjectId root,
+                                        bool include_static) {
+  RuntimeMonitor monitor;
+  for (const auto& check : checks_of(ssam, root, include_static)) {
+    monitor.checks_.push_back(check);
+  }
+  for (const ObjectId component : ssam.all_components_under(root)) {
+    for (const auto& check : checks_of(ssam, component, include_static)) {
+      monitor.checks_.push_back(check);
+    }
+  }
+  return monitor;
+}
+
+RuntimeMonitor RuntimeMonitor::generate_all(const SsamModel& ssam, bool include_static) {
+  RuntimeMonitor monitor;
+  const auto& component_cls = ssam.meta().get(ssam::cls::Component);
+  ssam.repo().for_each([&](const model::ModelObject& obj) {
+    if (!obj.is_kind_of(component_cls)) return;
+    for (const auto& check : checks_of(ssam, obj.id(), include_static)) {
+      monitor.checks_.push_back(check);
+    }
+  });
+  return monitor;
+}
+
+std::optional<MonitorViolation> RuntimeMonitor::feed(const std::string& check_id,
+                                                     double value) {
+  for (const auto& check : checks_) {
+    if (check.id != check_id) continue;
+    const std::uint64_t index = samples_++;
+    if (check.lower.has_value() && value < *check.lower) {
+      ++violations_;
+      return MonitorViolation{check.id, value, *check.lower, true, check.hazards, index};
+    }
+    if (check.upper.has_value() && value > *check.upper) {
+      ++violations_;
+      return MonitorViolation{check.id, value, *check.upper, false, check.hazards, index};
+    }
+    return std::nullopt;
+  }
+  throw AnalysisError("unknown monitor check '" + check_id + "'");
+}
+
+std::vector<MonitorViolation> RuntimeMonitor::feed_frame(
+    const std::map<std::string, double>& frame) {
+  std::vector<MonitorViolation> violations;
+  for (const auto& [id, value] : frame) {
+    if (auto violation = feed(id, value)) violations.push_back(std::move(*violation));
+  }
+  return violations;
+}
+
+std::string RuntimeMonitor::to_text() const {
+  std::string out = "Runtime monitor (" + std::to_string(checks_.size()) + " checks)\n";
+  for (const auto& check : checks_) {
+    out += "  " + check.id + ": ";
+    if (check.lower.has_value()) out += format_number(*check.lower) + " <= ";
+    out += "value";
+    if (check.upper.has_value()) out += " <= " + format_number(*check.upper);
+    if (!check.hazards.empty()) out += "   [hazards: " + join(check.hazards, ", ") + "]";
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace decisive::core

@@ -1,0 +1,215 @@
+#include "decisive/core/sm_search.hpp"
+
+#include <algorithm>
+
+#include "decisive/base/error.hpp"
+
+namespace decisive::core {
+
+bool Deployment::dominates(const Deployment& other) const noexcept {
+  const bool no_worse = spfm >= other.spfm && total_cost_hours <= other.total_cost_hours;
+  const bool better = spfm > other.spfm || total_cost_hours < other.total_cost_hours;
+  return no_worse && better;
+}
+
+FmedaResult apply_deployment(const FmedaResult& fmea, const Deployment& deployment) {
+  FmedaResult out = fmea;
+  for (const auto& choice : deployment.choices) {
+    if (choice.row_index >= out.rows.size() || choice.mechanism == nullptr) {
+      throw AnalysisError("deployment references an invalid FMEA row");
+    }
+    FmedaRow& row = out.rows[choice.row_index];
+    row.safety_mechanism = choice.mechanism->name;
+    row.sm_coverage = choice.mechanism->coverage;
+    row.sm_cost_hours = choice.mechanism->cost_hours;
+  }
+  return out;
+}
+
+namespace {
+
+/// Candidate rows: safety-related and not already carrying a mechanism.
+std::vector<size_t> open_rows(const FmedaResult& fmea) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < fmea.rows.size(); ++i) {
+    if (fmea.rows[i].safety_related && fmea.rows[i].safety_mechanism.empty()) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+double spfm_with(const FmedaResult& base, const Deployment& deployment) {
+  // Residual single-point FIT under the deployment without copying the rows.
+  double numerator = 0.0;
+  std::vector<double> coverage(base.rows.size(), -1.0);
+  for (const auto& choice : deployment.choices) {
+    coverage[choice.row_index] = choice.mechanism->coverage;
+  }
+  for (size_t i = 0; i < base.rows.size(); ++i) {
+    const FmedaRow& row = base.rows[i];
+    if (!row.safety_related) continue;
+    const double cov = coverage[i] >= 0.0 ? coverage[i] : row.sm_coverage;
+    numerator += row.mode_fit() * (1.0 - cov);
+  }
+  const double denominator = base.total_safety_related_fit();
+  return denominator <= 0.0 ? 1.0 : 1.0 - numerator / denominator;
+}
+
+double cost_of(const Deployment& deployment) {
+  double cost = 0.0;
+  for (const auto& choice : deployment.choices) cost += choice.mechanism->cost_hours;
+  return cost;
+}
+
+}  // namespace
+
+std::optional<Deployment> greedy_reach_asil(const FmedaResult& fmea,
+                                            const SafetyMechanismModel& catalogue,
+                                            std::string_view target_asil) {
+  const double target = spfm_target(target_asil);
+  const std::vector<size_t> candidates = open_rows(fmea);
+
+  // Per-row current pick; a row's mechanism may be *upgraded* to a strictly
+  // higher-coverage alternative later (committing to the cheapest option and
+  // never revisiting it can miss reachable targets).
+  std::vector<const SafetyMechanismSpec*> picked(fmea.rows.size(), nullptr);
+
+  auto as_deployment = [&] {
+    Deployment d;
+    for (const size_t index : candidates) {
+      if (picked[index] != nullptr) d.choices.push_back(DeploymentChoice{index, picked[index]});
+    }
+    d.spfm = spfm_with(fmea, d);
+    d.total_cost_hours = cost_of(d);
+    return d;
+  };
+
+  Deployment current = as_deployment();
+  while (current.spfm < target) {
+    double best_ratio = -1.0;
+    std::optional<DeploymentChoice> best_choice;
+    for (const size_t index : candidates) {
+      const FmedaRow& row = fmea.rows[index];
+      const double current_coverage = picked[index] != nullptr ? picked[index]->coverage : 0.0;
+      const double current_cost = picked[index] != nullptr ? picked[index]->cost_hours : 0.0;
+      for (const SafetyMechanismSpec* sm :
+           catalogue.applicable(row.component_type, row.failure_mode)) {
+        // Only strictly-better coverage guarantees progress (and termination).
+        if (sm->coverage <= current_coverage) continue;
+        const double gain = row.mode_fit() * (sm->coverage - current_coverage);
+        const double delta_cost = sm->cost_hours - current_cost;
+        const double ratio = delta_cost > 0.0 ? gain / delta_cost : 1e18 + gain;
+        if (ratio > best_ratio) {
+          best_ratio = ratio;
+          best_choice = DeploymentChoice{index, sm};
+        }
+      }
+    }
+    if (!best_choice.has_value()) return std::nullopt;  // target unreachable
+    picked[best_choice->row_index] = best_choice->mechanism;
+    current = as_deployment();
+  }
+
+  // Trim pass: the gain-per-cost heuristic can overshoot; drop or downgrade
+  // choices while the target still holds, until no single move helps.
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (const size_t index : candidates) {
+      if (picked[index] == nullptr) continue;
+      const FmedaRow& row = fmea.rows[index];
+      // Candidate replacements: nothing, or any cheaper applicable mechanism.
+      std::vector<const SafetyMechanismSpec*> alternatives{nullptr};
+      for (const SafetyMechanismSpec* sm :
+           catalogue.applicable(row.component_type, row.failure_mode)) {
+        if (sm != picked[index] && sm->cost_hours < picked[index]->cost_hours) {
+          alternatives.push_back(sm);
+        }
+      }
+      const SafetyMechanismSpec* original = picked[index];
+      const SafetyMechanismSpec* best_alternative = original;
+      double best_cost = original->cost_hours;
+      for (const SafetyMechanismSpec* alternative : alternatives) {
+        picked[index] = alternative;
+        const Deployment trial = as_deployment();
+        const double cost = alternative != nullptr ? alternative->cost_hours : 0.0;
+        if (trial.spfm >= target && cost < best_cost) {
+          best_alternative = alternative;
+          best_cost = cost;
+        }
+      }
+      picked[index] = best_alternative;
+      if (best_alternative != original) changed = true;
+    }
+  }
+  return as_deployment();
+}
+
+std::vector<Deployment> pareto_front(const FmedaResult& fmea,
+                                     const SafetyMechanismModel& catalogue,
+                                     size_t max_combinations) {
+  const std::vector<size_t> rows = open_rows(fmea);
+
+  // Options per row: index 0 = "no mechanism", then each applicable entry.
+  std::vector<std::vector<const SafetyMechanismSpec*>> options;
+  options.reserve(rows.size());
+  size_t combinations = 1;
+  for (const size_t index : rows) {
+    const FmedaRow& row = fmea.rows[index];
+    std::vector<const SafetyMechanismSpec*> opts{nullptr};
+    for (const SafetyMechanismSpec* sm :
+         catalogue.applicable(row.component_type, row.failure_mode)) {
+      opts.push_back(sm);
+    }
+    combinations *= opts.size();
+    if (combinations > max_combinations) {
+      throw AnalysisError("safety-mechanism search space exceeds " +
+                          std::to_string(max_combinations) +
+                          " combinations; use greedy_reach_asil");
+    }
+    options.push_back(std::move(opts));
+  }
+
+  std::vector<Deployment> front;
+  std::vector<size_t> pick(options.size(), 0);
+  for (;;) {
+    Deployment candidate;
+    for (size_t i = 0; i < options.size(); ++i) {
+      if (options[i][pick[i]] != nullptr) {
+        candidate.choices.push_back(DeploymentChoice{rows[i], options[i][pick[i]]});
+      }
+    }
+    candidate.spfm = spfm_with(fmea, candidate);
+    candidate.total_cost_hours = cost_of(candidate);
+
+    const bool dominated = std::any_of(front.begin(), front.end(), [&](const Deployment& d) {
+      // Exact (cost, SPFM) ties keep only the first representative.
+      return d.dominates(candidate) ||
+             (d.spfm == candidate.spfm && d.total_cost_hours == candidate.total_cost_hours);
+    });
+    if (!dominated) {
+      std::erase_if(front, [&](const Deployment& d) { return candidate.dominates(d); });
+      front.push_back(std::move(candidate));
+    }
+
+    // Advance the mixed-radix counter.
+    size_t digit = 0;
+    while (digit < pick.size()) {
+      if (++pick[digit] < options[digit].size()) break;
+      pick[digit] = 0;
+      ++digit;
+    }
+    if (digit == pick.size()) break;
+    if (options.empty()) break;
+  }
+
+  std::sort(front.begin(), front.end(), [](const Deployment& a, const Deployment& b) {
+    if (a.total_cost_hours != b.total_cost_hours) {
+      return a.total_cost_hours < b.total_cost_hours;
+    }
+    return a.spfm > b.spfm;
+  });
+  return front;
+}
+
+}  // namespace decisive::core

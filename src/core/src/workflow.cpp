@@ -1,0 +1,268 @@
+#include "decisive/core/workflow.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "decisive/base/error.hpp"
+#include "decisive/base/strings.hpp"
+
+namespace decisive::core {
+
+using ssam::ObjectId;
+
+std::string nature_for_mode(std::string_view failure_mode_name) {
+  const std::string mode = to_lower(trim(failure_mode_name));
+  if (mode == "open" || mode == "loss of function" || mode == "loss" || mode == "omission" ||
+      mode == "no output" || mode == "open circuit" || mode == "crash" || mode == "jam") {
+    return "lossOfFunction";
+  }
+  if (mode.find("drift") != std::string::npos || mode.find("frequency") != std::string::npos ||
+      mode.find("jitter") != std::string::npos || mode.find("degrad") != std::string::npos) {
+    return "degraded";
+  }
+  return "erroneous";
+}
+
+DecisiveProcess::DecisiveProcess(ssam::SsamModel& model, std::string system_name)
+    : model_(model),
+      req_pkg_(model.create_requirement_package(system_name + "-requirements")),
+      haz_pkg_(model.create_hazard_package(system_name + "-hazards")),
+      comp_pkg_(model.create_component_package(system_name + "-design")),
+      system_(model.create_component(comp_pkg_, system_name)) {}
+
+void DecisiveProcess::define_system(std::string_view definition) {
+  model_.obj(system_).set_string("description", std::string(definition));
+}
+
+ObjectId DecisiveProcess::add_function_requirement(std::string_view name,
+                                                   std::string_view text) {
+  return model_.create_requirement(req_pkg_, name, text, "QM");
+}
+
+ObjectId DecisiveProcess::identify_hazard(std::string_view name, std::string_view severity,
+                                          double probability, std::string_view target_asil) {
+  return model_.create_hazard(haz_pkg_, name, severity, probability, target_asil);
+}
+
+ObjectId DecisiveProcess::derive_safety_requirement(ObjectId hazard, std::string_view name,
+                                                    std::string_view text,
+                                                    std::string_view integrity_level) {
+  const ObjectId req =
+      model_.create_safety_requirement(req_pkg_, name, text, integrity_level, text);
+  model_.cite(req, hazard);
+  return req;
+}
+
+size_t DecisiveProcess::aggregate_reliability(const ReliabilityModel& reliability) {
+  size_t populated = 0;
+  for (const ObjectId component : model_.all_components_under(system_)) {
+    auto& comp = model_.obj(component);
+    if (!comp.refs("subcomponents").empty()) continue;  // data attaches to leaves
+    const std::string type = comp.get_string("blockType", comp.get_string("name"));
+    const ComponentReliability* entry = reliability.find(type);
+    if (entry == nullptr) continue;
+    comp.set_real("fit", entry->fit);
+    if (!comp.refs("failureModes").empty()) {
+      ++populated;
+      continue;  // already aggregated in a previous iteration
+    }
+    for (const auto& mode : entry->modes) {
+      const ObjectId fm =
+          model_.add_failure_mode(component, mode.name, mode.distribution,
+                                  nature_for_mode(mode.name));
+      const std::string lowered = to_lower(mode.name);
+      if (lowered.find("ram") != std::string::npos ||
+          lowered.find("memory") != std::string::npos) {
+        // RAM-style corruption affects the owning component's function:
+        // record the traceability that lets Algorithm 1 infer criticality.
+        model_.obj(fm).add_ref("affectedComponents", component);
+      }
+    }
+    ++populated;
+  }
+  return populated;
+}
+
+FmedaResult DecisiveProcess::evaluate(const GraphFmeaOptions& options) {
+  last_result_ = analyze_component(model_, system_, options);
+  last_result_.system = model_.obj(system_).get_string("name");
+  return last_result_;
+}
+
+std::optional<Deployment> DecisiveProcess::refine(const SafetyMechanismModel& catalogue,
+                                                  std::string_view target_asil) {
+  const auto deployment = greedy_reach_asil(last_result_, catalogue, target_asil);
+  if (!deployment.has_value()) return std::nullopt;
+
+  // Write the chosen mechanisms back into the SSAM model.
+  for (const auto& choice : deployment->choices) {
+    const FmedaRow& row = last_result_.rows[choice.row_index];
+    const ObjectId component = model_.find_by_name(ssam::cls::Component, row.component);
+    if (component == model::kNullObject) continue;
+    // Find the matching FailureMode child for `covers` traceability.
+    ObjectId covered = model::kNullObject;
+    for (const ObjectId fm : model_.obj(component).refs("failureModes")) {
+      if (iequals(model_.obj(fm).get_string("name"), row.failure_mode)) {
+        covered = fm;
+        break;
+      }
+    }
+    model_.add_safety_mechanism(component, choice.mechanism->name,
+                                choice.mechanism->coverage, choice.mechanism->cost_hours,
+                                covered);
+  }
+  last_result_ = apply_deployment(last_result_, *deployment);
+  return deployment;
+}
+
+namespace {
+
+/// Stringency ordering of integrity levels: QM < A < B < C < D.
+int asil_rank(std::string_view asil) {
+  std::string a = to_lower(trim(asil));
+  if (starts_with(a, "asil-") || starts_with(a, "asil ")) a = a.substr(5);
+  else if (starts_with(a, "asil")) a = a.substr(4);
+  if (a == "a") return 1;
+  if (a == "b") return 2;
+  if (a == "c") return 3;
+  if (a == "d") return 4;
+  return 0;  // QM / unknown
+}
+
+}  // namespace
+
+void DecisiveProcess::allocate_requirement(ObjectId requirement, ObjectId component) {
+  if (!model_.obj(requirement).is_kind_of(model_.meta().get(ssam::cls::Requirement))) {
+    throw ModelError("allocate_requirement expects a Requirement");
+  }
+  if (!model_.obj(component).is_kind_of(model_.meta().get(ssam::cls::Component))) {
+    throw ModelError("allocate_requirement expects a Component target");
+  }
+  model_.cite(requirement, component);
+  const std::string req_level = model_.obj(requirement).get_string("integrityLevel", "QM");
+  const std::string comp_level = model_.obj(component).get_string("integrityLevel", "QM");
+  if (asil_rank(req_level) > asil_rank(comp_level)) {
+    model_.obj(component).set_string("integrityLevel", req_level);
+  }
+}
+
+std::vector<std::string> DecisiveProcess::validate_safety_concept() const {
+  std::vector<std::string> issues;
+  const auto& component_cls = model_.meta().get(ssam::cls::Component);
+  const auto& hazard_cls = model_.meta().get(ssam::cls::HazardousSituation);
+  const auto& safety_req_cls = model_.meta().get(ssam::cls::SafetyRequirement);
+
+  // 1. Every ASIL-rated safety requirement must be allocated to a component.
+  for (const ObjectId element : model_.obj(req_pkg_).refs("elements")) {
+    const auto& req = model_.obj(element);
+    if (!req.is_kind_of(safety_req_cls)) continue;
+    if (asil_rank(req.get_string("integrityLevel", "QM")) == 0) continue;
+    bool allocated = false;
+    for (const ObjectId cited : req.refs("cites")) {
+      if (model_.obj(cited).is_kind_of(component_cls)) allocated = true;
+    }
+    if (!allocated) {
+      issues.push_back("safety requirement '" + req.get_string("name") +
+                       "' is not allocated to any component");
+    }
+  }
+
+  // 2. Every hazard must be mitigated by some safety requirement citing it.
+  for (const ObjectId element : model_.obj(haz_pkg_).refs("elements")) {
+    const auto& hazard = model_.obj(element);
+    if (!hazard.is_kind_of(hazard_cls)) continue;
+    bool mitigated = false;
+    model_.repo().for_each([&](const model::ModelObject& obj) {
+      if (mitigated || !obj.is_kind_of(safety_req_cls)) return;
+      const auto& cites = obj.refs("cites");
+      if (std::find(cites.begin(), cites.end(), element) != cites.end()) mitigated = true;
+    });
+    if (!mitigated) {
+      issues.push_back("hazard '" + hazard.get_string("name") +
+                       "' has no safety requirement addressing it");
+    }
+  }
+
+  // 3. Safety-related failure modes without diagnostic coverage.
+  for (const ObjectId component : model_.all_components_under(system_)) {
+    const auto& comp = model_.obj(component);
+    for (const ObjectId fm : comp.refs("failureModes")) {
+      if (!model_.obj(fm).get_bool("safetyRelated")) continue;
+      bool covered = false;
+      for (const ObjectId sm : comp.refs("safetyMechanisms")) {
+        const auto& covers = model_.obj(sm).refs("covers");
+        if (covers.empty() || std::find(covers.begin(), covers.end(), fm) != covers.end()) {
+          covered = true;
+        }
+      }
+      if (!covered) {
+        issues.push_back("safety-related failure mode '" +
+                         model_.obj(fm).get_string("name") + "' of '" +
+                         comp.get_string("name") + "' has no safety mechanism");
+      }
+    }
+  }
+  return issues;
+}
+
+std::string DecisiveProcess::synthesise_safety_concept() const {
+  std::string out = "Safety concept for '" + model_.obj(system_).get_string("name") + "'\n";
+  out += "==========================================\n\n";
+
+  out += "Safety requirements:\n";
+  for (const ObjectId element : model_.obj(req_pkg_).refs("elements")) {
+    const auto& req = model_.obj(element);
+    if (!req.is_kind_of(model_.meta().get(ssam::cls::Requirement))) continue;
+    out += "  - [" + req.get_string("integrityLevel", "QM") + "] " + req.get_string("name") +
+           ": " + req.get_string("text") + "\n";
+  }
+
+  out += "\nHazards and mitigations:\n";
+  for (const ObjectId element : model_.obj(haz_pkg_).refs("elements")) {
+    const auto& haz = model_.obj(element);
+    if (!haz.is_kind_of(model_.meta().get(ssam::cls::HazardousSituation))) continue;
+    out += "  - " + haz.get_string("name") + " (severity " + haz.get_string("severity") +
+           ", target " + haz.get_string("integrityLevel") + ")\n";
+  }
+
+  out += "\nDeployed safety mechanisms:\n";
+  for (const ObjectId component : model_.all_components_under(system_)) {
+    for (const ObjectId sm : model_.obj(component).refs("safetyMechanisms")) {
+      const auto& sm_obj = model_.obj(sm);
+      out += "  - " + sm_obj.get_string("name") + " on " +
+             model_.obj(component).get_string("name") + " (coverage " +
+             format_percent(sm_obj.get_real("coverage"), 0) + ", cost " +
+             format_number(sm_obj.get_real("costHours"), 1) + " h)\n";
+    }
+  }
+
+  out += "\nArchitecture metrics:\n";
+  out += "  SPFM = " + format_percent(last_result_.spfm()) + " (" +
+         achieved_asil(last_result_.spfm()) + ")\n";
+  return out;
+}
+
+DecisiveProcess::IterationReport DecisiveProcess::iterate_until(
+    std::string_view target_asil, const SafetyMechanismModel& catalogue, int max_iterations) {
+  IterationReport report;
+  const double target = spfm_target(target_asil);
+  while (report.iterations < max_iterations) {
+    evaluate();
+    ++report.iterations;
+    report.spfm = last_result_.spfm();
+    if (report.spfm >= target) break;
+    if (!refine(catalogue, target_asil).has_value()) break;
+    report.spfm = last_result_.spfm();
+    if (report.spfm >= target) {
+      // One confirmation iteration re-evaluates the refined model.
+      evaluate();
+      ++report.iterations;
+      report.spfm = last_result_.spfm();
+      break;
+    }
+  }
+  report.target_met = report.spfm >= target;
+  return report;
+}
+
+}  // namespace decisive::core

@@ -1,0 +1,99 @@
+// AADL textual-notation subset parser.
+//
+// The paper's related-work section notes that "AADL models can also be
+// transformed to SSAM and our approach can also be applied" — this module
+// makes that concrete for a pragmatic subset of the AADL textual standard:
+//
+//   package power_supply
+//   public
+//     device Diode
+//       features
+//         p: in feature;
+//         n: out feature;
+//     end Diode;
+//
+//     system PowerSupplyA
+//     end PowerSupplyA;
+//
+//     system implementation PowerSupplyA.impl
+//       subcomponents
+//         D1: device Diode { Decisive::FIT => 10; };
+//         L1: device Inductor;
+//       connections
+//         c1: feature D1.n -> L1.p;
+//     end PowerSupplyA.impl;
+//   end power_supply;
+//
+// Supported: packages, component types (system/device/process/abstract)
+// with feature lists, component implementations with subcomponents (with
+// inline property associations) and feature connections. Unsupported AADL
+// constructs raise ParseError with the offending construct named.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace decisive::drivers {
+
+/// A declared feature (port) of a component type.
+struct AadlFeature {
+  std::string name;
+  std::string direction;  ///< "in", "out", or "in out"
+};
+
+/// A component type declaration (system/device/process/abstract).
+struct AadlComponentType {
+  std::string category;  ///< "system", "device", "process", "abstract"
+  std::string name;
+  std::vector<AadlFeature> features;
+};
+
+/// One subcomponent of an implementation.
+struct AadlSubcomponent {
+  std::string name;
+  std::string category;
+  std::string type;  ///< referenced component-type name
+  /// Inline property associations, e.g. {"Decisive::FIT", "10"}.
+  std::vector<std::pair<std::string, std::string>> properties;
+
+  [[nodiscard]] std::optional<std::string> property(std::string_view key) const;
+};
+
+/// A feature connection "a.x -> b.y".
+struct AadlConnection {
+  std::string name;
+  std::string src_component;  ///< empty = the implementation's own feature
+  std::string src_feature;
+  std::string dst_component;
+  std::string dst_feature;
+};
+
+/// A component implementation "X.impl".
+struct AadlImplementation {
+  std::string type_name;  ///< "PowerSupplyA"
+  std::string impl_name;  ///< "impl"
+  std::vector<AadlSubcomponent> subcomponents;
+  std::vector<AadlConnection> connections;
+};
+
+/// A parsed AADL package.
+struct AadlPackage {
+  std::string name;
+  std::vector<AadlComponentType> types;
+  std::vector<AadlImplementation> implementations;
+
+  [[nodiscard]] const AadlComponentType* type(std::string_view name) const noexcept;
+  [[nodiscard]] const AadlImplementation* implementation(
+      std::string_view type_name) const noexcept;
+};
+
+/// Parses AADL text; throws ParseError on malformed/unsupported input.
+AadlPackage parse_aadl(std::string_view text);
+
+/// Reads and parses an AADL file; throws IoError/ParseError.
+AadlPackage parse_aadl_file(const std::string& path);
+
+}  // namespace decisive::drivers

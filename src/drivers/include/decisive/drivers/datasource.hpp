@@ -1,0 +1,86 @@
+// DataSource / ModelDriver — the Epsilon Model Connectivity substitute.
+//
+// A DataSource gives uniform, read-only access to an external heterogeneous
+// model (CSV table, Excel-style workbook, JSON document, XML document,
+// Simulink MDL file). `bind` exposes the source's content to the query
+// language, which is how SSAM ExternalReferences execute their extraction
+// rules (paper Section IV-B).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "decisive/base/csv.hpp"
+#include "decisive/query/query.hpp"
+
+namespace decisive::drivers {
+
+/// Read-only handle on an opened external model.
+class DataSource {
+ public:
+  virtual ~DataSource() = default;
+
+  /// Driver type tag: "csv", "workbook", "json", "xml", "mdl".
+  [[nodiscard]] virtual std::string type() const = 0;
+
+  /// The location this source was opened from (diagnostics).
+  [[nodiscard]] virtual const std::string& location() const = 0;
+
+  /// Names of row-oriented tables in the source (sheets for workbooks, the
+  /// single table name for CSV, empty for tree-shaped sources).
+  [[nodiscard]] virtual std::vector<std::string> table_names() const = 0;
+
+  /// Row-oriented view of a table; nullptr when the source has no such table.
+  [[nodiscard]] virtual const CsvTable* table(std::string_view name) const = 0;
+
+  /// Exposes the source to scripts. Every driver binds `rows(name)`
+  /// (collection of row objects) where applicable; tree drivers bind `root`.
+  virtual void bind(query::Env& env) const = 0;
+};
+
+/// Factory for DataSources of one technology.
+class ModelDriver {
+ public:
+  virtual ~ModelDriver() = default;
+
+  [[nodiscard]] virtual std::string type() const = 0;
+
+  /// True when this driver recognises the location (usually by extension).
+  [[nodiscard]] virtual bool can_open(const std::string& location) const = 0;
+
+  /// Opens the external model; throws IoError/ParseError.
+  [[nodiscard]] virtual std::unique_ptr<DataSource> open(const std::string& location) const = 0;
+};
+
+/// Registry of available drivers. A process-wide default registry is
+/// pre-populated with all built-in drivers.
+class DriverRegistry {
+ public:
+  /// The default registry with csv/workbook/json/xml/mdl drivers installed.
+  static DriverRegistry& global();
+
+  /// Registers an additional driver (user extension point, REQ2).
+  void register_driver(std::unique_ptr<ModelDriver> driver);
+
+  /// Opens `location`. When `type_hint` is non-empty the named driver is
+  /// used; otherwise the first driver whose can_open matches. Throws
+  /// ModelError when no driver matches.
+  [[nodiscard]] std::unique_ptr<DataSource> open(const std::string& location,
+                                                 std::string_view type_hint = "") const;
+
+  [[nodiscard]] std::vector<std::string> driver_types() const;
+
+ private:
+  std::vector<std::unique_ptr<ModelDriver>> drivers_;
+};
+
+/// Built-in driver factories (also pre-installed in the global registry).
+std::unique_ptr<ModelDriver> make_csv_driver();
+std::unique_ptr<ModelDriver> make_workbook_driver();
+std::unique_ptr<ModelDriver> make_json_driver();
+std::unique_ptr<ModelDriver> make_xml_driver();
+std::unique_ptr<ModelDriver> make_mdl_driver();
+
+}  // namespace decisive::drivers

@@ -1,0 +1,96 @@
+// MDL — the Simulink substitute's model file format.
+//
+// A block/line text format in the spirit of classic Simulink .mdl files:
+//
+//   Model {
+//     Name "power_supply"
+//     System {
+//       Block {
+//         BlockType DCVoltageSource
+//         Name "DC1"
+//         Voltage "5"
+//       }
+//       Block {
+//         BlockType SubSystem
+//         Name "Filter"
+//         AnnotatedType "LCFilter"      // paper's "annotated subsystem" workaround
+//         System { ... nested blocks/lines ... }
+//       }
+//       Line {
+//         SrcBlock "DC1"  SrcPort "p"
+//         DstBlock "D1"   DstPort "a"
+//       }
+//     }
+//   }
+//
+// Any Key "value" (or bareword value) pair inside a Block is kept verbatim in
+// `params`, which is what makes the Simulink→SSAM transformation lossless.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace decisive::drivers {
+
+struct MdlSystem;
+
+/// One block instance. `type` is the BlockType, `name` the instance name.
+struct MdlBlock {
+  std::string type;
+  std::string name;
+  /// All other parameters, in declaration order.
+  std::vector<std::pair<std::string, std::string>> params;
+  /// Present only for BlockType SubSystem.
+  std::unique_ptr<MdlSystem> subsystem;
+
+  /// First value of a parameter, or nullopt.
+  [[nodiscard]] std::optional<std::string> param(std::string_view key) const;
+
+  /// Numeric parameter with fallback; throws ParseError on non-numeric text.
+  [[nodiscard]] double param_real(std::string_view key, double fallback) const;
+};
+
+/// A signal/physical connection between two block ports.
+struct MdlLine {
+  std::string src_block;
+  std::string src_port;
+  std::string dst_block;
+  std::string dst_port;
+};
+
+/// A (sub)system: an ordered list of blocks and the lines wiring them.
+struct MdlSystem {
+  std::string name;
+  std::vector<MdlBlock> blocks;
+  std::vector<MdlLine> lines;
+
+  /// Block lookup by instance name in this system only; nullptr when absent.
+  [[nodiscard]] const MdlBlock* block(std::string_view block_name) const noexcept;
+
+  /// Total number of blocks including nested subsystems.
+  [[nodiscard]] size_t total_blocks() const noexcept;
+};
+
+/// A complete model document.
+struct MdlModel {
+  std::string name;
+  MdlSystem root;
+};
+
+/// Parses MDL text; throws ParseError on malformed input.
+MdlModel parse_mdl(std::string_view text);
+
+/// Reads and parses an MDL file; throws IoError/ParseError.
+MdlModel parse_mdl_file(const std::string& path);
+
+/// Serialises a model back to MDL text (round-trip stable).
+std::string write_mdl(const MdlModel& model);
+
+/// Writes a model file; throws IoError.
+void write_mdl_file(const std::string& path, const MdlModel& model);
+
+}  // namespace decisive::drivers

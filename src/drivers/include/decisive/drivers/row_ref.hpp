@@ -1,0 +1,38 @@
+// Query-language adapters for tabular rows.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "decisive/base/csv.hpp"
+#include "decisive/query/value.hpp"
+
+namespace decisive::drivers {
+
+/// Wraps one CSV row as a query object: each column is a property. Cells
+/// that parse fully as numbers are surfaced as numbers, everything else as
+/// strings (the query language is dynamically typed, like EOL).
+class RowRef final : public query::ObjectRef {
+ public:
+  /// The table must outlive the RowRef; sources keep their tables alive for
+  /// their own lifetime, and bound environments hold the source.
+  RowRef(std::shared_ptr<const CsvTable> table, size_t row);
+
+  [[nodiscard]] query::Value property(std::string_view name) const override;
+  [[nodiscard]] bool has_property(std::string_view name) const override;
+  [[nodiscard]] std::string type_name() const override { return "Row"; }
+
+  [[nodiscard]] size_t row_index() const noexcept { return row_; }
+
+ private:
+  std::shared_ptr<const CsvTable> table_;
+  size_t row_;
+};
+
+/// Builds a collection value with one RowRef per data row.
+query::Value rows_of(const std::shared_ptr<const CsvTable>& table);
+
+/// Converts cell text to a query value (number when fully numeric).
+query::Value cell_to_value(const std::string& cell);
+
+}  // namespace decisive::drivers

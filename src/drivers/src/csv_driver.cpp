@@ -1,0 +1,67 @@
+// CSV driver: one file = one table named after the file stem, bound to
+// scripts as `rows()` / `rows('<stem>')`.
+#include <filesystem>
+#include <memory>
+
+#include "decisive/base/error.hpp"
+#include "decisive/base/strings.hpp"
+#include "decisive/drivers/datasource.hpp"
+#include "decisive/drivers/row_ref.hpp"
+
+namespace decisive::drivers {
+
+namespace {
+
+class CsvSource final : public DataSource {
+ public:
+  CsvSource(std::string location, std::string name, CsvTable table)
+      : location_(std::move(location)),
+        name_(std::move(name)),
+        table_(std::make_shared<const CsvTable>(std::move(table))) {}
+
+  [[nodiscard]] std::string type() const override { return "csv"; }
+  [[nodiscard]] const std::string& location() const override { return location_; }
+  [[nodiscard]] std::vector<std::string> table_names() const override { return {name_}; }
+
+  [[nodiscard]] const CsvTable* table(std::string_view name) const override {
+    if (name.empty() || iequals(name, name_)) return table_.get();
+    return nullptr;
+  }
+
+  void bind(query::Env& env) const override {
+    auto table = table_;
+    const std::string name = name_;
+    env.define_function("rows", [table, name](const std::vector<query::Value>& args) {
+      if (!args.empty() && !iequals(args[0].as_string(), name)) {
+        throw QueryError("csv source has no table '" + args[0].as_string() + "'");
+      }
+      return rows_of(table);
+    });
+  }
+
+ private:
+  std::string location_;
+  std::string name_;
+  std::shared_ptr<const CsvTable> table_;
+};
+
+class CsvDriver final : public ModelDriver {
+ public:
+  [[nodiscard]] std::string type() const override { return "csv"; }
+
+  [[nodiscard]] bool can_open(const std::string& location) const override {
+    return ends_with(to_lower(location), ".csv");
+  }
+
+  [[nodiscard]] std::unique_ptr<DataSource> open(const std::string& location) const override {
+    return std::make_unique<CsvSource>(location,
+                                       std::filesystem::path(location).stem().string(),
+                                       read_csv_file(location));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ModelDriver> make_csv_driver() { return std::make_unique<CsvDriver>(); }
+
+}  // namespace decisive::drivers

@@ -1,0 +1,96 @@
+// JSON driver: binds the document root as `root`; objects expose members as
+// properties, arrays become collections. Arrays of flat objects can also be
+// viewed as tables via rows('<member>') on the root object.
+#include <memory>
+
+#include "decisive/base/error.hpp"
+#include "decisive/base/json.hpp"
+#include "decisive/base/strings.hpp"
+#include "decisive/drivers/datasource.hpp"
+
+namespace decisive::drivers {
+
+namespace {
+
+query::Value json_to_query(const std::shared_ptr<const json::Value>& doc,
+                           const json::Value& node);
+
+/// Adapts a JSON object node. The shared_ptr keeps the whole document alive
+/// while any node reference is held by a script value.
+class JsonRef final : public query::ObjectRef {
+ public:
+  JsonRef(std::shared_ptr<const json::Value> doc, const json::Value* node)
+      : doc_(std::move(doc)), node_(node) {}
+
+  [[nodiscard]] query::Value property(std::string_view name) const override {
+    const json::Value* member = node_->find(name);
+    if (member == nullptr) {
+      throw QueryError("json object has no member '" + std::string(name) + "'");
+    }
+    return json_to_query(doc_, *member);
+  }
+
+  [[nodiscard]] bool has_property(std::string_view name) const override {
+    return node_->find(name) != nullptr;
+  }
+
+  [[nodiscard]] std::string type_name() const override { return "JsonObject"; }
+
+ private:
+  std::shared_ptr<const json::Value> doc_;
+  const json::Value* node_;
+};
+
+query::Value json_to_query(const std::shared_ptr<const json::Value>& doc,
+                           const json::Value& node) {
+  if (node.is_null()) return query::Value(nullptr);
+  if (node.is_bool()) return query::Value(node.as_bool());
+  if (node.is_number()) return query::Value(node.as_number());
+  if (node.is_string()) return query::Value(node.as_string());
+  if (node.is_array()) {
+    query::Collection out;
+    out.reserve(node.as_array().size());
+    for (const auto& element : node.as_array()) out.push_back(json_to_query(doc, element));
+    return query::Value::collection(std::move(out));
+  }
+  return query::Value(query::ObjectPtr(std::make_shared<JsonRef>(doc, &node)));
+}
+
+class JsonSource final : public DataSource {
+ public:
+  JsonSource(std::string location, json::Value document)
+      : location_(std::move(location)),
+        document_(std::make_shared<const json::Value>(std::move(document))) {}
+
+  [[nodiscard]] std::string type() const override { return "json"; }
+  [[nodiscard]] const std::string& location() const override { return location_; }
+  [[nodiscard]] std::vector<std::string> table_names() const override { return {}; }
+  [[nodiscard]] const CsvTable* table(std::string_view) const override { return nullptr; }
+
+  void bind(query::Env& env) const override {
+    env.set("root", json_to_query(document_, *document_));
+  }
+
+ private:
+  std::string location_;
+  std::shared_ptr<const json::Value> document_;
+};
+
+class JsonDriver final : public ModelDriver {
+ public:
+  [[nodiscard]] std::string type() const override { return "json"; }
+
+  [[nodiscard]] bool can_open(const std::string& location) const override {
+    return ends_with(to_lower(location), ".json");
+  }
+
+  [[nodiscard]] std::unique_ptr<DataSource> open(const std::string& location) const override {
+    return std::make_unique<JsonSource>(location, json::parse_file(location));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ModelDriver> make_json_driver() { return std::make_unique<JsonDriver>(); }
+
+}  // namespace decisive::drivers

@@ -1,0 +1,137 @@
+// MDL driver: exposes a Simulink-style model to the query language.
+// Binds `blocks` (all blocks, recursively, as objects with BlockType/Name/
+// parameter properties) and `lines` (connection objects).
+#include <memory>
+
+#include "decisive/base/error.hpp"
+#include "decisive/base/strings.hpp"
+#include "decisive/drivers/datasource.hpp"
+#include "decisive/drivers/mdl.hpp"
+
+namespace decisive::drivers {
+
+namespace {
+
+class BlockRef final : public query::ObjectRef {
+ public:
+  BlockRef(std::shared_ptr<const MdlModel> model, const MdlBlock* block)
+      : model_(std::move(model)), block_(block) {}
+
+  [[nodiscard]] query::Value property(std::string_view name) const override {
+    if (name == "Name") return query::Value(block_->name);
+    if (name == "BlockType") return query::Value(block_->type);
+    if (name == "isSubsystem") return query::Value(block_->subsystem != nullptr);
+    const auto value = block_->param(name);
+    if (!value.has_value()) {
+      throw QueryError("block '" + block_->name + "' has no parameter '" + std::string(name) +
+                       "'");
+    }
+    try {
+      return query::Value(parse_double(*value));
+    } catch (const ParseError&) {
+      return query::Value(*value);
+    }
+  }
+
+  [[nodiscard]] bool has_property(std::string_view name) const override {
+    return name == "Name" || name == "BlockType" || name == "isSubsystem" ||
+           block_->param(name).has_value();
+  }
+
+  [[nodiscard]] std::string type_name() const override { return "Block"; }
+
+ private:
+  std::shared_ptr<const MdlModel> model_;
+  const MdlBlock* block_;
+};
+
+class LineRef final : public query::ObjectRef {
+ public:
+  LineRef(std::shared_ptr<const MdlModel> model, const MdlLine* line)
+      : model_(std::move(model)), line_(line) {}
+
+  [[nodiscard]] query::Value property(std::string_view name) const override {
+    if (name == "SrcBlock") return query::Value(line_->src_block);
+    if (name == "SrcPort") return query::Value(line_->src_port);
+    if (name == "DstBlock") return query::Value(line_->dst_block);
+    if (name == "DstPort") return query::Value(line_->dst_port);
+    throw QueryError("line has no property '" + std::string(name) + "'");
+  }
+
+  [[nodiscard]] bool has_property(std::string_view name) const override {
+    return name == "SrcBlock" || name == "SrcPort" || name == "DstBlock" || name == "DstPort";
+  }
+
+  [[nodiscard]] std::string type_name() const override { return "Line"; }
+
+ private:
+  std::shared_ptr<const MdlModel> model_;
+  const MdlLine* line_;
+};
+
+void collect_blocks(const std::shared_ptr<const MdlModel>& model, const MdlSystem& system,
+                    query::Collection& out) {
+  for (const auto& block : system.blocks) {
+    out.push_back(query::Value(query::ObjectPtr(std::make_shared<BlockRef>(model, &block))));
+    if (block.subsystem != nullptr) collect_blocks(model, *block.subsystem, out);
+  }
+}
+
+void collect_lines(const std::shared_ptr<const MdlModel>& model, const MdlSystem& system,
+                   query::Collection& out) {
+  for (const auto& line : system.lines) {
+    out.push_back(query::Value(query::ObjectPtr(std::make_shared<LineRef>(model, &line))));
+  }
+  for (const auto& block : system.blocks) {
+    if (block.subsystem != nullptr) collect_lines(model, *block.subsystem, out);
+  }
+}
+
+class MdlSource final : public DataSource {
+ public:
+  MdlSource(std::string location, MdlModel model)
+      : location_(std::move(location)),
+        model_(std::make_shared<const MdlModel>(std::move(model))) {}
+
+  [[nodiscard]] std::string type() const override { return "mdl"; }
+  [[nodiscard]] const std::string& location() const override { return location_; }
+  [[nodiscard]] std::vector<std::string> table_names() const override { return {}; }
+  [[nodiscard]] const CsvTable* table(std::string_view) const override { return nullptr; }
+
+  void bind(query::Env& env) const override {
+    query::Collection blocks;
+    collect_blocks(model_, model_->root, blocks);
+    env.set("blocks", query::Value::collection(std::move(blocks)));
+    query::Collection lines;
+    collect_lines(model_, model_->root, lines);
+    env.set("lines", query::Value::collection(std::move(lines)));
+    env.set("modelName", query::Value(model_->name));
+  }
+
+  /// The parsed model (used by the simulator and the transformation).
+  [[nodiscard]] const std::shared_ptr<const MdlModel>& model() const noexcept { return model_; }
+
+ private:
+  std::string location_;
+  std::shared_ptr<const MdlModel> model_;
+};
+
+class MdlDriver final : public ModelDriver {
+ public:
+  [[nodiscard]] std::string type() const override { return "mdl"; }
+
+  [[nodiscard]] bool can_open(const std::string& location) const override {
+    const std::string lower = to_lower(location);
+    return ends_with(lower, ".mdl") || ends_with(lower, ".slx");
+  }
+
+  [[nodiscard]] std::unique_ptr<DataSource> open(const std::string& location) const override {
+    return std::make_unique<MdlSource>(location, parse_mdl_file(location));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ModelDriver> make_mdl_driver() { return std::make_unique<MdlDriver>(); }
+
+}  // namespace decisive::drivers

@@ -1,0 +1,44 @@
+#include "decisive/base/error.hpp"
+#include "decisive/drivers/datasource.hpp"
+
+namespace decisive::drivers {
+
+DriverRegistry& DriverRegistry::global() {
+  static DriverRegistry registry = [] {
+    DriverRegistry r;
+    r.register_driver(make_csv_driver());
+    r.register_driver(make_workbook_driver());
+    r.register_driver(make_json_driver());
+    r.register_driver(make_xml_driver());
+    r.register_driver(make_mdl_driver());
+    return r;
+  }();
+  return registry;
+}
+
+void DriverRegistry::register_driver(std::unique_ptr<ModelDriver> driver) {
+  drivers_.push_back(std::move(driver));
+}
+
+std::unique_ptr<DataSource> DriverRegistry::open(const std::string& location,
+                                                 std::string_view type_hint) const {
+  if (!type_hint.empty()) {
+    for (const auto& driver : drivers_) {
+      if (driver->type() == type_hint) return driver->open(location);
+    }
+    throw ModelError("no driver of type '" + std::string(type_hint) + "' is registered");
+  }
+  for (const auto& driver : drivers_) {
+    if (driver->can_open(location)) return driver->open(location);
+  }
+  throw ModelError("no registered driver can open '" + location + "'");
+}
+
+std::vector<std::string> DriverRegistry::driver_types() const {
+  std::vector<std::string> types;
+  types.reserve(drivers_.size());
+  for (const auto& driver : drivers_) types.push_back(driver->type());
+  return types;
+}
+
+}  // namespace decisive::drivers

@@ -1,0 +1,52 @@
+#include "decisive/drivers/row_ref.hpp"
+
+#include <charconv>
+
+#include "decisive/base/error.hpp"
+#include "decisive/base/strings.hpp"
+
+namespace decisive::drivers {
+
+RowRef::RowRef(std::shared_ptr<const CsvTable> table, size_t row)
+    : table_(std::move(table)), row_(row) {}
+
+query::Value cell_to_value(const std::string& cell) {
+  const std::string_view t = trim(cell);
+  if (t.empty()) return query::Value(std::string());
+  // Numeric cells (including "30%" -> 0.30) become numbers.
+  std::string_view numeric = t;
+  bool percent = false;
+  if (numeric.back() == '%') {
+    numeric.remove_suffix(1);
+    percent = true;
+  }
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(numeric.data(), numeric.data() + numeric.size(), value);
+  if (ec == std::errc() && ptr == numeric.data() + numeric.size()) {
+    return query::Value(percent ? value / 100.0 : value);
+  }
+  return query::Value(cell);
+}
+
+query::Value RowRef::property(std::string_view name) const {
+  const int col = table_->column(name);
+  if (col < 0) {
+    throw QueryError("row has no column '" + std::string(name) + "'");
+  }
+  const auto& row = table_->rows[row_];
+  if (static_cast<size_t>(col) >= row.size()) return query::Value(std::string());
+  return cell_to_value(row[static_cast<size_t>(col)]);
+}
+
+bool RowRef::has_property(std::string_view name) const { return table_->column(name) >= 0; }
+
+query::Value rows_of(const std::shared_ptr<const CsvTable>& table) {
+  query::Collection out;
+  out.reserve(table->rows.size());
+  for (size_t i = 0; i < table->rows.size(); ++i) {
+    out.push_back(query::Value(query::ObjectPtr(std::make_shared<RowRef>(table, i))));
+  }
+  return query::Value::collection(std::move(out));
+}
+
+}  // namespace decisive::drivers

@@ -1,0 +1,98 @@
+// Workbook driver — the Excel substitute. A "workbook" is a directory whose
+// *.csv files are its sheets (the paper stores reliability and safety-
+// mechanism models in Excel spreadsheets; this driver plays that role).
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <memory>
+
+#include "decisive/base/error.hpp"
+#include "decisive/base/strings.hpp"
+#include "decisive/drivers/datasource.hpp"
+#include "decisive/drivers/row_ref.hpp"
+
+namespace decisive::drivers {
+
+namespace {
+
+class WorkbookSource final : public DataSource {
+ public:
+  WorkbookSource(std::string location,
+                 std::map<std::string, std::shared_ptr<const CsvTable>, std::less<>> sheets)
+      : location_(std::move(location)), sheets_(std::move(sheets)) {}
+
+  [[nodiscard]] std::string type() const override { return "workbook"; }
+  [[nodiscard]] const std::string& location() const override { return location_; }
+
+  [[nodiscard]] std::vector<std::string> table_names() const override {
+    std::vector<std::string> names;
+    names.reserve(sheets_.size());
+    for (const auto& [name, sheet] : sheets_) names.push_back(name);
+    return names;
+  }
+
+  [[nodiscard]] const CsvTable* table(std::string_view name) const override {
+    for (const auto& [sheet_name, sheet] : sheets_) {
+      if (iequals(sheet_name, name)) return sheet.get();
+    }
+    return nullptr;
+  }
+
+  void bind(query::Env& env) const override {
+    auto sheets = sheets_;
+    env.define_function("rows", [sheets](const std::vector<query::Value>& args) {
+      if (args.size() != 1) throw QueryError("rows(sheet) expects the sheet name");
+      const std::string& wanted = args[0].as_string();
+      for (const auto& [name, sheet] : sheets) {
+        if (iequals(name, wanted)) return rows_of(sheet);
+      }
+      throw QueryError("workbook has no sheet '" + wanted + "'");
+    });
+    query::Collection names;
+    for (const auto& [name, sheet] : sheets_) names.push_back(query::Value(name));
+    env.set("sheets", query::Value::collection(std::move(names)));
+  }
+
+ private:
+  std::string location_;
+  std::map<std::string, std::shared_ptr<const CsvTable>, std::less<>> sheets_;
+};
+
+class WorkbookDriver final : public ModelDriver {
+ public:
+  [[nodiscard]] std::string type() const override { return "workbook"; }
+
+  [[nodiscard]] bool can_open(const std::string& location) const override {
+    std::error_code ec;
+    return std::filesystem::is_directory(location, ec);
+  }
+
+  [[nodiscard]] std::unique_ptr<DataSource> open(const std::string& location) const override {
+    std::error_code ec;
+    if (!std::filesystem::is_directory(location, ec)) {
+      throw IoError("workbook location '" + location + "' is not a directory");
+    }
+    std::map<std::string, std::shared_ptr<const CsvTable>, std::less<>> sheets;
+    std::vector<std::filesystem::path> files;
+    for (const auto& entry : std::filesystem::directory_iterator(location)) {
+      if (entry.is_regular_file() && to_lower(entry.path().extension().string()) == ".csv") {
+        files.push_back(entry.path());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto& file : files) {
+      sheets[file.stem().string()] =
+          std::make_shared<const CsvTable>(read_csv_file(file.string()));
+    }
+    if (sheets.empty()) throw IoError("workbook '" + location + "' has no .csv sheets");
+    return std::make_unique<WorkbookSource>(location, std::move(sheets));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ModelDriver> make_workbook_driver() {
+  return std::make_unique<WorkbookDriver>();
+}
+
+}  // namespace decisive::drivers

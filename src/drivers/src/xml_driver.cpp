@@ -1,0 +1,100 @@
+// XML driver: binds the document root as `root`. Element attributes are
+// properties; `children` (all) and `text`/`tag` pseudo-properties are also
+// exposed, plus children filtered by tag via the `childrenNamed` pattern:
+// root.children.select(c | c.tag == 'Component').
+#include <memory>
+
+#include "decisive/base/error.hpp"
+#include "decisive/base/strings.hpp"
+#include "decisive/base/xml.hpp"
+#include "decisive/drivers/datasource.hpp"
+
+namespace decisive::drivers {
+
+namespace {
+
+class XmlRef final : public query::ObjectRef {
+ public:
+  XmlRef(std::shared_ptr<const xml::Element> doc, const xml::Element* node)
+      : doc_(std::move(doc)), node_(node) {}
+
+  [[nodiscard]] query::Value property(std::string_view name) const override {
+    if (name == "tag") return query::Value(node_->name);
+    if (name == "text") return query::Value(node_->text);
+    if (name == "children") {
+      query::Collection out;
+      out.reserve(node_->children.size());
+      for (const auto& child : node_->children) {
+        out.push_back(
+            query::Value(query::ObjectPtr(std::make_shared<XmlRef>(doc_, child.get()))));
+      }
+      return query::Value::collection(std::move(out));
+    }
+    if (const std::string* attr = node_->attribute(name)) {
+      // Numeric attributes surface as numbers (same policy as RowRef cells).
+      const std::string_view t = trim(*attr);
+      if (!t.empty()) {
+        try {
+          return query::Value(parse_double(t));
+        } catch (const ParseError&) {
+          // fall through to string
+        }
+      }
+      return query::Value(*attr);
+    }
+    throw QueryError("xml element <" + node_->name + "> has no attribute '" +
+                     std::string(name) + "'");
+  }
+
+  [[nodiscard]] bool has_property(std::string_view name) const override {
+    return name == "tag" || name == "text" || name == "children" ||
+           node_->attribute(name) != nullptr;
+  }
+
+  [[nodiscard]] std::string type_name() const override { return "XmlElement"; }
+
+ private:
+  std::shared_ptr<const xml::Element> doc_;
+  const xml::Element* node_;
+};
+
+class XmlSource final : public DataSource {
+ public:
+  XmlSource(std::string location, std::unique_ptr<xml::Element> root)
+      : location_(std::move(location)), root_(std::move(root)) {}
+
+  [[nodiscard]] std::string type() const override { return "xml"; }
+  [[nodiscard]] const std::string& location() const override { return location_; }
+  [[nodiscard]] std::vector<std::string> table_names() const override { return {}; }
+  [[nodiscard]] const CsvTable* table(std::string_view) const override { return nullptr; }
+
+  void bind(query::Env& env) const override {
+    env.set("root",
+            query::Value(query::ObjectPtr(std::make_shared<XmlRef>(root_, root_.get()))));
+  }
+
+ private:
+  std::string location_;
+  std::shared_ptr<const xml::Element> root_;
+};
+
+class XmlDriver final : public ModelDriver {
+ public:
+  [[nodiscard]] std::string type() const override { return "xml"; }
+
+  [[nodiscard]] bool can_open(const std::string& location) const override {
+    const std::string lower = to_lower(location);
+    return ends_with(lower, ".xml") || ends_with(lower, ".xmi") ||
+           ends_with(lower, ".ssam");
+  }
+
+  [[nodiscard]] std::unique_ptr<DataSource> open(const std::string& location) const override {
+    return std::make_unique<XmlSource>(location, xml::parse_file(location));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ModelDriver> make_xml_driver() { return std::make_unique<XmlDriver>(); }
+
+}  // namespace decisive::drivers

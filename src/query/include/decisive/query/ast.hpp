@@ -1,0 +1,59 @@
+// Abstract syntax of the query language.
+//
+// Script      := { "var" Ident "=" Expr ";" } [ "return" ] Expr [ ";" ]
+// Expr        := ternary / binary / unary / postfix / primary, see parser.cpp
+// Lambda args appear only inside collection operations: coll.select(x | ...).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace decisive::query {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class BinaryOp {
+  Add, Sub, Mul, Div, Mod,
+  Lt, Le, Gt, Ge, Eq, Ne,
+  And, Or, Implies,
+};
+
+enum class UnaryOp { Neg, Not };
+
+struct Expr {
+  enum class Kind {
+    NullLit, BoolLit, NumberLit, StringLit,
+    Ident,
+    Unary, Binary, Ternary,
+    Property,      // target.name
+    Call,          // callee(args...)  — callee is an Ident (free function)
+    Method,        // target.name(args...) — builtin method on a value
+    Lambda1,       // name | body  (only as argument of collection methods)
+    SequenceLit,   // Sequence{a, b, c}
+  };
+
+  Kind kind;
+
+  // literals
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;  // also: identifier / property / method names
+
+  UnaryOp unary_op = UnaryOp::Neg;
+  BinaryOp binary_op = BinaryOp::Add;
+
+  ExprPtr a;  // unary operand / binary lhs / ternary cond / property+method target
+  ExprPtr b;  // binary rhs / ternary then / lambda body
+  ExprPtr c;  // ternary else
+  std::vector<ExprPtr> args;
+};
+
+/// A parsed script: leading `var` bindings plus the result expression.
+struct Script {
+  std::vector<std::pair<std::string, ExprPtr>> bindings;
+  ExprPtr result;
+};
+
+}  // namespace decisive::query

@@ -1,0 +1,33 @@
+// Tokeniser for the query language.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace decisive::query {
+
+enum class TokenKind {
+  Ident, Number, String,
+  KwVar, KwReturn, KwTrue, KwFalse, KwNull,
+  KwAnd, KwOr, KwNot, KwImplies, KwSequence,
+  Plus, Minus, Star, Slash, Percent,
+  Lt, Le, Gt, Ge, Eq, Ne,
+  Assign,           // =
+  LParen, RParen, LBrace, RBrace,
+  Dot, Comma, Semicolon, Pipe, Question, Colon,
+  End,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;    // identifier name / string contents / number text
+  double number = 0.0;
+  size_t offset = 0;   // for diagnostics
+};
+
+/// Tokenises the whole input; throws QueryError on illegal characters or
+/// unterminated strings. Comments: `--` and `//` to end of line.
+std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace decisive::query

@@ -1,0 +1,54 @@
+// Public facade of the DECISIVE query language (EOL substitute).
+//
+// Example — an external-reference extraction rule pulling a component's FIT
+// from a reliability workbook:
+//
+//   var row = rows('Reliability').select(r | r.Component == 'Diode').first();
+//   return row.FIT;
+//
+// Example — the assurance-case SPFM check:
+//
+//   var spf = fmeda.rows.select(r | r.Safety_Related == 'Yes')
+//                       .collect(r | r.Single_Point_Failure_Rate).sum();
+//   return 1 - spf / total_fit >= 0.90;
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "decisive/query/ast.hpp"
+#include "decisive/query/value.hpp"
+
+namespace decisive::query {
+
+/// Evaluation environment: named variables plus host functions.
+class Env {
+ public:
+  Env();
+
+  /// Binds or rebinds a global variable visible to scripts.
+  void set(std::string name, Value value);
+
+  /// Registers a host function callable as `name(args...)`.
+  void define_function(std::string name, NativeFn fn);
+
+  [[nodiscard]] const Value* find_variable(std::string_view name) const noexcept;
+  [[nodiscard]] const NativeFn* find_function(std::string_view name) const noexcept;
+
+ private:
+  std::map<std::string, Value, std::less<>> variables_;
+  std::map<std::string, NativeFn, std::less<>> functions_;
+};
+
+/// Parses a script; throws QueryError on syntax errors.
+Script parse_script(std::string_view source);
+
+/// Evaluates a parsed script against the environment.
+Value evaluate(const Script& script, const Env& env);
+
+/// Parse + evaluate in one step.
+Value eval(std::string_view source, const Env& env);
+
+}  // namespace decisive::query

@@ -1,0 +1,91 @@
+// Runtime values of the DECISIVE query language (the EOL substitute).
+//
+// The language is dynamically typed: null, boolean, number (double), string,
+// collection, and object. Objects are adapted through ObjectRef so the same
+// scripts run against SSAM model elements, CSV/workbook rows, JSON documents
+// and FMEA result rows alike — this is what "model federation" executes.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace decisive::query {
+
+class Value;
+using Collection = std::vector<Value>;
+using CollectionPtr = std::shared_ptr<Collection>;
+
+/// Adapter interface giving the query language read access to host objects.
+class ObjectRef {
+ public:
+  virtual ~ObjectRef() = default;
+
+  /// Named property lookup; throws QueryError when the property is unknown.
+  [[nodiscard]] virtual Value property(std::string_view name) const = 0;
+
+  /// True when the property exists (used by `hasProperty`).
+  [[nodiscard]] virtual bool has_property(std::string_view name) const = 0;
+
+  /// A type tag for diagnostics and `isTypeOf`-style checks.
+  [[nodiscard]] virtual std::string type_name() const = 0;
+};
+
+using ObjectPtr = std::shared_ptr<const ObjectRef>;
+
+/// A dynamically-typed query value.
+class Value {
+ public:
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}                       // NOLINT
+  Value(bool b) : data_(b) {}                                     // NOLINT
+  Value(double d) : data_(d) {}                                   // NOLINT
+  Value(int i) : data_(static_cast<double>(i)) {}                 // NOLINT
+  Value(long long i) : data_(static_cast<double>(i)) {}           // NOLINT
+  Value(std::string s) : data_(std::move(s)) {}                   // NOLINT
+  Value(const char* s) : data_(std::string(s)) {}                 // NOLINT
+  Value(CollectionPtr c) : data_(std::move(c)) {}                 // NOLINT
+  Value(ObjectPtr o) : data_(std::move(o)) {}                     // NOLINT
+
+  /// Builds a collection value from elements.
+  static Value collection(Collection elements);
+
+  [[nodiscard]] bool is_null() const noexcept { return std::holds_alternative<std::nullptr_t>(data_); }
+  [[nodiscard]] bool is_bool() const noexcept { return std::holds_alternative<bool>(data_); }
+  [[nodiscard]] bool is_number() const noexcept { return std::holds_alternative<double>(data_); }
+  [[nodiscard]] bool is_string() const noexcept { return std::holds_alternative<std::string>(data_); }
+  [[nodiscard]] bool is_collection() const noexcept { return std::holds_alternative<CollectionPtr>(data_); }
+  [[nodiscard]] bool is_object() const noexcept { return std::holds_alternative<ObjectPtr>(data_); }
+
+  /// Checked accessors; throw QueryError with a type diagnostic on mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Collection& as_collection() const;
+  [[nodiscard]] const ObjectPtr& as_object() const;
+
+  /// Structural equality (numbers compare exactly; collections elementwise).
+  [[nodiscard]] bool equals(const Value& other) const;
+
+  /// "Truthiness": null/false are false; everything else must be a bool
+  /// (the language does not coerce numbers to booleans — a misuse guard).
+  [[nodiscard]] bool truthy() const;
+
+  /// Human-readable rendering for diagnostics and string concatenation.
+  [[nodiscard]] std::string to_display() const;
+
+  /// Type tag name ("null", "bool", "number", "string", "collection", or the
+  /// object's type_name()).
+  [[nodiscard]] std::string type_name() const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, CollectionPtr, ObjectPtr> data_;
+};
+
+/// A host function callable from scripts.
+using NativeFn = std::function<Value(const std::vector<Value>&)>;
+
+}  // namespace decisive::query

@@ -1,0 +1,394 @@
+#include <algorithm>
+#include <cmath>
+
+#include "decisive/base/error.hpp"
+#include "decisive/base/strings.hpp"
+#include "decisive/query/query.hpp"
+
+namespace decisive::query {
+
+Env::Env() {
+  // Numeric builtins available to every script.
+  define_function("abs", [](const std::vector<Value>& args) -> Value {
+    if (args.size() != 1) throw QueryError("abs expects 1 argument");
+    return Value(std::abs(args[0].as_number()));
+  });
+  define_function("sqrt", [](const std::vector<Value>& args) -> Value {
+    if (args.size() != 1) throw QueryError("sqrt expects 1 argument");
+    return Value(std::sqrt(args[0].as_number()));
+  });
+  define_function("pow", [](const std::vector<Value>& args) -> Value {
+    if (args.size() != 2) throw QueryError("pow expects 2 arguments");
+    return Value(std::pow(args[0].as_number(), args[1].as_number()));
+  });
+  define_function("min", [](const std::vector<Value>& args) -> Value {
+    if (args.size() != 2) throw QueryError("min expects 2 arguments");
+    return Value(std::min(args[0].as_number(), args[1].as_number()));
+  });
+  define_function("max", [](const std::vector<Value>& args) -> Value {
+    if (args.size() != 2) throw QueryError("max expects 2 arguments");
+    return Value(std::max(args[0].as_number(), args[1].as_number()));
+  });
+  define_function("round", [](const std::vector<Value>& args) -> Value {
+    if (args.size() != 1) throw QueryError("round expects 1 argument");
+    return Value(std::round(args[0].as_number()));
+  });
+}
+
+void Env::set(std::string name, Value value) { variables_[std::move(name)] = std::move(value); }
+
+void Env::define_function(std::string name, NativeFn fn) {
+  functions_[std::move(name)] = std::move(fn);
+}
+
+const Value* Env::find_variable(std::string_view name) const noexcept {
+  const auto it = variables_.find(name);
+  return it == variables_.end() ? nullptr : &it->second;
+}
+
+const NativeFn* Env::find_function(std::string_view name) const noexcept {
+  const auto it = functions_.find(name);
+  return it == functions_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+class Evaluator {
+ public:
+  explicit Evaluator(const Env& env) : env_(env) {}
+
+  Value run(const Script& script) {
+    for (const auto& [name, expr] : script.bindings) {
+      locals_.emplace_back(name, eval(*expr));
+    }
+    return eval(*script.result);
+  }
+
+ private:
+  Value eval(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::NullLit: return Value(nullptr);
+      case Expr::Kind::BoolLit: return Value(e.bool_value);
+      case Expr::Kind::NumberLit: return Value(e.number_value);
+      case Expr::Kind::StringLit: return Value(e.string_value);
+      case Expr::Kind::Ident: return lookup(e.string_value);
+      case Expr::Kind::Unary: return eval_unary(e);
+      case Expr::Kind::Binary: return eval_binary(e);
+      case Expr::Kind::Ternary:
+        return eval(*e.a).truthy() ? eval(*e.b) : eval(*e.c);
+      case Expr::Kind::Property: return eval_property(e);
+      case Expr::Kind::Call: return eval_call(e);
+      case Expr::Kind::Method: return eval_method(e);
+      case Expr::Kind::SequenceLit: {
+        Collection elems;
+        elems.reserve(e.args.size());
+        for (const auto& arg : e.args) elems.push_back(eval(*arg));
+        return Value::collection(std::move(elems));
+      }
+      case Expr::Kind::Lambda1:
+        throw QueryError("a lambda is only allowed as a collection-operation argument");
+    }
+    throw QueryError("internal: unhandled expression kind");
+  }
+
+  Value lookup(const std::string& name) {
+    for (auto it = locals_.rbegin(); it != locals_.rend(); ++it) {
+      if (it->first == name) return it->second;
+    }
+    if (const Value* v = env_.find_variable(name)) return *v;
+    throw QueryError("unknown variable '" + name + "'");
+  }
+
+  Value eval_unary(const Expr& e) {
+    Value operand = eval(*e.a);
+    if (e.unary_op == UnaryOp::Neg) return Value(-operand.as_number());
+    return Value(!operand.as_bool());
+  }
+
+  Value eval_binary(const Expr& e) {
+    // Short-circuiting logical operators.
+    if (e.binary_op == BinaryOp::And) {
+      return Value(eval(*e.a).as_bool() && eval(*e.b).as_bool());
+    }
+    if (e.binary_op == BinaryOp::Or) {
+      return Value(eval(*e.a).as_bool() || eval(*e.b).as_bool());
+    }
+    if (e.binary_op == BinaryOp::Implies) {
+      return Value(!eval(*e.a).as_bool() || eval(*e.b).as_bool());
+    }
+    Value lhs = eval(*e.a);
+    Value rhs = eval(*e.b);
+    switch (e.binary_op) {
+      case BinaryOp::Add:
+        if (lhs.is_string() || rhs.is_string()) {
+          return Value(lhs.to_display() + rhs.to_display());
+        }
+        return Value(lhs.as_number() + rhs.as_number());
+      case BinaryOp::Sub: return Value(lhs.as_number() - rhs.as_number());
+      case BinaryOp::Mul: return Value(lhs.as_number() * rhs.as_number());
+      case BinaryOp::Div: {
+        const double d = rhs.as_number();
+        if (d == 0.0) throw QueryError("division by zero");
+        return Value(lhs.as_number() / d);
+      }
+      case BinaryOp::Mod: {
+        const double d = rhs.as_number();
+        if (d == 0.0) throw QueryError("modulo by zero");
+        return Value(std::fmod(lhs.as_number(), d));
+      }
+      case BinaryOp::Lt: return Value(compare(lhs, rhs) < 0);
+      case BinaryOp::Le: return Value(compare(lhs, rhs) <= 0);
+      case BinaryOp::Gt: return Value(compare(lhs, rhs) > 0);
+      case BinaryOp::Ge: return Value(compare(lhs, rhs) >= 0);
+      case BinaryOp::Eq: return Value(lhs.equals(rhs));
+      case BinaryOp::Ne: return Value(!lhs.equals(rhs));
+      default: throw QueryError("internal: unhandled binary operator");
+    }
+  }
+
+  static int compare(const Value& a, const Value& b) {
+    if (a.is_number() && b.is_number()) {
+      const double x = a.as_number();
+      const double y = b.as_number();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    if (a.is_string() && b.is_string()) {
+      return a.as_string().compare(b.as_string());
+    }
+    throw QueryError("cannot order " + a.type_name() + " against " + b.type_name());
+  }
+
+  Value eval_property(const Expr& e) {
+    Value target = eval(*e.a);
+    if (target.is_object()) return target.as_object()->property(e.string_value);
+    throw QueryError("cannot read property '" + e.string_value + "' of " + target.type_name());
+  }
+
+  Value eval_call(const Expr& e) {
+    const NativeFn* fn = env_.find_function(e.string_value);
+    if (fn == nullptr) throw QueryError("unknown function '" + e.string_value + "'");
+    std::vector<Value> args;
+    args.reserve(e.args.size());
+    for (const auto& arg : e.args) {
+      if (arg->kind == Expr::Kind::Lambda1) {
+        throw QueryError("host functions do not take lambdas");
+      }
+      args.push_back(eval(*arg));
+    }
+    return (*fn)(args);
+  }
+
+  Value apply_lambda(const Expr& lambda, const Value& element) {
+    locals_.emplace_back(lambda.string_value, element);
+    Value result = eval(*lambda.b);
+    locals_.pop_back();
+    return result;
+  }
+
+  static const Expr& require_lambda(const Expr& e, size_t index, const char* method) {
+    if (index >= e.args.size() || e.args[index]->kind != Expr::Kind::Lambda1) {
+      throw QueryError(std::string(method) + " expects a lambda argument (x | expr)");
+    }
+    return *e.args[index];
+  }
+
+  Value eval_method(const Expr& e) {
+    Value target = eval(*e.a);
+    const std::string& m = e.string_value;
+
+    if (target.is_collection()) return collection_method(e, target, m);
+    if (target.is_string()) return string_method(e, target, m);
+    if (target.is_number()) return number_method(e, target, m);
+    if (target.is_object()) {
+      if (m == "hasProperty") {
+        if (e.args.size() != 1) throw QueryError("hasProperty expects 1 argument");
+        return Value(target.as_object()->has_property(eval(*e.args[0]).as_string()));
+      }
+      if (m == "isTypeOf") {
+        if (e.args.size() != 1) throw QueryError("isTypeOf expects 1 argument");
+        return Value(target.as_object()->type_name() == eval(*e.args[0]).as_string());
+      }
+      throw QueryError("unknown object method '" + m + "'");
+    }
+    if (target.is_null() && m == "isDefined") return Value(false);
+    if (m == "isDefined") return Value(true);
+    throw QueryError("cannot call method '" + m + "' on " + target.type_name());
+  }
+
+  Value collection_method(const Expr& e, const Value& target, const std::string& m) {
+    const Collection& elems = target.as_collection();
+    auto expect_no_args = [&] {
+      if (!e.args.empty()) throw QueryError(m + " expects no arguments");
+    };
+    if (m == "size") { expect_no_args(); return Value(static_cast<double>(elems.size())); }
+    if (m == "isEmpty") { expect_no_args(); return Value(elems.empty()); }
+    if (m == "notEmpty") { expect_no_args(); return Value(!elems.empty()); }
+    if (m == "first") {
+      expect_no_args();
+      if (elems.empty()) throw QueryError("first() on an empty collection");
+      return elems.front();
+    }
+    if (m == "last") {
+      expect_no_args();
+      if (elems.empty()) throw QueryError("last() on an empty collection");
+      return elems.back();
+    }
+    if (m == "at") {
+      if (e.args.size() != 1) throw QueryError("at expects 1 argument");
+      const auto i = static_cast<size_t>(eval(*e.args[0]).as_number());
+      if (i >= elems.size()) throw QueryError("collection index out of range");
+      return elems[i];
+    }
+    if (m == "includes") {
+      if (e.args.size() != 1) throw QueryError("includes expects 1 argument");
+      const Value needle = eval(*e.args[0]);
+      for (const auto& v : elems) {
+        if (v.equals(needle)) return Value(true);
+      }
+      return Value(false);
+    }
+    if (m == "sum") {
+      expect_no_args();
+      double total = 0.0;
+      for (const auto& v : elems) total += v.as_number();
+      return Value(total);
+    }
+    if (m == "avg") {
+      expect_no_args();
+      if (elems.empty()) throw QueryError("avg() on an empty collection");
+      double total = 0.0;
+      for (const auto& v : elems) total += v.as_number();
+      return Value(total / static_cast<double>(elems.size()));
+    }
+    if (m == "min" || m == "max") {
+      expect_no_args();
+      if (elems.empty()) throw QueryError(m + "() on an empty collection");
+      double best = elems.front().as_number();
+      for (const auto& v : elems) {
+        const double x = v.as_number();
+        best = (m == "min") ? std::min(best, x) : std::max(best, x);
+      }
+      return Value(best);
+    }
+    if (m == "select" || m == "reject") {
+      const Expr& lambda = require_lambda(e, 0, m.c_str());
+      Collection out;
+      for (const auto& v : elems) {
+        const bool keep = apply_lambda(lambda, v).as_bool();
+        if (keep == (m == "select")) out.push_back(v);
+      }
+      return Value::collection(std::move(out));
+    }
+    if (m == "collect") {
+      const Expr& lambda = require_lambda(e, 0, "collect");
+      Collection out;
+      out.reserve(elems.size());
+      for (const auto& v : elems) out.push_back(apply_lambda(lambda, v));
+      return Value::collection(std::move(out));
+    }
+    if (m == "exists") {
+      const Expr& lambda = require_lambda(e, 0, "exists");
+      for (const auto& v : elems) {
+        if (apply_lambda(lambda, v).as_bool()) return Value(true);
+      }
+      return Value(false);
+    }
+    if (m == "forAll") {
+      const Expr& lambda = require_lambda(e, 0, "forAll");
+      for (const auto& v : elems) {
+        if (!apply_lambda(lambda, v).as_bool()) return Value(false);
+      }
+      return Value(true);
+    }
+    if (m == "count") {
+      const Expr& lambda = require_lambda(e, 0, "count");
+      double n = 0;
+      for (const auto& v : elems) {
+        if (apply_lambda(lambda, v).as_bool()) ++n;
+      }
+      return Value(n);
+    }
+    if (m == "flatten") {
+      expect_no_args();
+      Collection out;
+      for (const auto& v : elems) {
+        if (v.is_collection()) {
+          const auto& inner = v.as_collection();
+          out.insert(out.end(), inner.begin(), inner.end());
+        } else {
+          out.push_back(v);
+        }
+      }
+      return Value::collection(std::move(out));
+    }
+    if (m == "distinct") {
+      expect_no_args();
+      Collection out;
+      for (const auto& v : elems) {
+        const bool seen = std::any_of(out.begin(), out.end(),
+                                      [&](const Value& u) { return u.equals(v); });
+        if (!seen) out.push_back(v);
+      }
+      return Value::collection(std::move(out));
+    }
+    if (m == "sortBy") {
+      const Expr& lambda = require_lambda(e, 0, "sortBy");
+      std::vector<std::pair<Value, Value>> keyed;
+      keyed.reserve(elems.size());
+      for (const auto& v : elems) keyed.emplace_back(apply_lambda(lambda, v), v);
+      std::stable_sort(keyed.begin(), keyed.end(), [](const auto& a, const auto& b) {
+        return compare(a.first, b.first) < 0;
+      });
+      Collection out;
+      out.reserve(keyed.size());
+      for (auto& [k, v] : keyed) out.push_back(std::move(v));
+      return Value::collection(std::move(out));
+    }
+    throw QueryError("unknown collection method '" + m + "'");
+  }
+
+  Value string_method(const Expr& e, const Value& target, const std::string& m) {
+    const std::string& s = target.as_string();
+    auto arg_string = [&](size_t i) { return eval(*e.args.at(i)).as_string(); };
+    if (m == "size") return Value(static_cast<double>(s.size()));
+    if (m == "toLower") return Value(to_lower(s));
+    if (m == "toUpper") {
+      std::string out = s;
+      std::transform(out.begin(), out.end(), out.begin(),
+                     [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+      return Value(std::move(out));
+    }
+    if (m == "contains") return Value(s.find(arg_string(0)) != std::string::npos);
+    if (m == "startsWith") return Value(starts_with(s, arg_string(0)));
+    if (m == "endsWith") return Value(ends_with(s, arg_string(0)));
+    if (m == "trim") return Value(std::string(trim(s)));
+    if (m == "toNumber") return Value(parse_double(s));
+    if (m == "isDefined") return Value(true);
+    throw QueryError("unknown string method '" + m + "'");
+  }
+
+  Value number_method(const Expr& e, const Value& target, const std::string& m) {
+    (void)e;
+    const double x = target.as_number();
+    if (m == "round") return Value(std::round(x));
+    if (m == "floor") return Value(std::floor(x));
+    if (m == "ceil") return Value(std::ceil(x));
+    if (m == "abs") return Value(std::abs(x));
+    if (m == "toString") return Value(format_number(x, 10));
+    if (m == "isDefined") return Value(true);
+    throw QueryError("unknown number method '" + m + "'");
+  }
+
+  const Env& env_;
+  std::vector<std::pair<std::string, Value>> locals_;
+};
+
+}  // namespace
+
+Value evaluate(const Script& script, const Env& env) { return Evaluator(env).run(script); }
+
+Value eval(std::string_view source, const Env& env) {
+  return evaluate(parse_script(source), env);
+}
+
+}  // namespace decisive::query

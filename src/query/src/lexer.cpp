@@ -1,0 +1,142 @@
+#include "decisive/query/lexer.hpp"
+
+#include <cctype>
+#include <charconv>
+
+#include "decisive/base/error.hpp"
+
+namespace decisive::query {
+
+namespace {
+bool is_ident_start(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = source.size();
+
+  auto push = [&](TokenKind kind, size_t offset, std::string text = {}) {
+    tokens.push_back(Token{kind, std::move(text), 0.0, offset});
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      ++i;
+      continue;
+    }
+    // Comments: "--" (EOL-style) and "//".
+    if ((c == '-' && i + 1 < n && source[i + 1] == '-') ||
+        (c == '/' && i + 1 < n && source[i + 1] == '/')) {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (is_ident_start(c)) {
+      while (i < n && is_ident_char(source[i])) ++i;
+      const std::string_view word = source.substr(start, i - start);
+      if (word == "var") push(TokenKind::KwVar, start);
+      else if (word == "return") push(TokenKind::KwReturn, start);
+      else if (word == "true") push(TokenKind::KwTrue, start);
+      else if (word == "false") push(TokenKind::KwFalse, start);
+      else if (word == "null") push(TokenKind::KwNull, start);
+      else if (word == "and") push(TokenKind::KwAnd, start);
+      else if (word == "or") push(TokenKind::KwOr, start);
+      else if (word == "not") push(TokenKind::KwNot, start);
+      else if (word == "implies") push(TokenKind::KwImplies, start);
+      else if (word == "Sequence") push(TokenKind::KwSequence, start);
+      else push(TokenKind::Ident, start, std::string(word));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      while (i < n && (std::isdigit(static_cast<unsigned char>(source[i])) != 0 ||
+                       source[i] == '.' || source[i] == 'e' || source[i] == 'E' ||
+                       ((source[i] == '+' || source[i] == '-') && i > start &&
+                        (source[i - 1] == 'e' || source[i - 1] == 'E')))) {
+        ++i;
+      }
+      const std::string_view text = source.substr(start, i - start);
+      double value = 0.0;
+      const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+      if (ec != std::errc() || ptr != text.data() + text.size()) {
+        throw QueryError("bad numeric literal '" + std::string(text) + "'");
+      }
+      Token token{TokenKind::Number, std::string(text), value, start};
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      const char quote = c;
+      ++i;
+      std::string text;
+      while (i < n && source[i] != quote) {
+        if (source[i] == '\\' && i + 1 < n) {
+          ++i;
+          switch (source[i]) {
+            case 'n': text += '\n'; break;
+            case 't': text += '\t'; break;
+            case '\\': text += '\\'; break;
+            case '\'': text += '\''; break;
+            case '"': text += '"'; break;
+            default: text += source[i];
+          }
+        } else {
+          text += source[i];
+        }
+        ++i;
+      }
+      if (i >= n) throw QueryError("unterminated string literal");
+      ++i;  // closing quote
+      push(TokenKind::String, start, std::move(text));
+      continue;
+    }
+    ++i;
+    switch (c) {
+      case '+': push(TokenKind::Plus, start); break;
+      case '-': push(TokenKind::Minus, start); break;
+      case '*': push(TokenKind::Star, start); break;
+      case '/': push(TokenKind::Slash, start); break;
+      case '%': push(TokenKind::Percent, start); break;
+      case '(': push(TokenKind::LParen, start); break;
+      case ')': push(TokenKind::RParen, start); break;
+      case '{': push(TokenKind::LBrace, start); break;
+      case '}': push(TokenKind::RBrace, start); break;
+      case '.': push(TokenKind::Dot, start); break;
+      case ',': push(TokenKind::Comma, start); break;
+      case ';': push(TokenKind::Semicolon, start); break;
+      case '|': push(TokenKind::Pipe, start); break;
+      case '?': push(TokenKind::Question, start); break;
+      case ':': push(TokenKind::Colon, start); break;
+      case '<':
+        if (i < n && source[i] == '=') { push(TokenKind::Le, start); ++i; }
+        else if (i < n && source[i] == '>') { push(TokenKind::Ne, start); ++i; }
+        else push(TokenKind::Lt, start);
+        break;
+      case '>':
+        if (i < n && source[i] == '=') { push(TokenKind::Ge, start); ++i; }
+        else push(TokenKind::Gt, start);
+        break;
+      case '=':
+        if (i < n && source[i] == '=') { push(TokenKind::Eq, start); ++i; }
+        else push(TokenKind::Assign, start);
+        break;
+      case '!':
+        if (i < n && source[i] == '=') { push(TokenKind::Ne, start); ++i; }
+        else throw QueryError("unexpected '!' (use 'not' or '!=')");
+        break;
+      default:
+        throw QueryError("illegal character '" + std::string(1, c) + "' at offset " +
+                         std::to_string(start));
+    }
+  }
+  push(TokenKind::End, n);
+  return tokens;
+}
+
+}  // namespace decisive::query

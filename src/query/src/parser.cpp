@@ -1,0 +1,318 @@
+#include <memory>
+
+#include "decisive/base/error.hpp"
+#include "decisive/query/lexer.hpp"
+#include "decisive/query/query.hpp"
+
+namespace decisive::query {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Script parse_script() {
+    Script script;
+    while (at(TokenKind::KwVar)) {
+      advance();
+      const Token name = expect(TokenKind::Ident, "variable name");
+      expect(TokenKind::Assign, "'='");
+      ExprPtr init = parse_expr();
+      expect(TokenKind::Semicolon, "';'");
+      script.bindings.emplace_back(name.text, std::move(init));
+    }
+    if (at(TokenKind::KwReturn)) advance();
+    script.result = parse_expr();
+    if (at(TokenKind::Semicolon)) advance();
+    expect(TokenKind::End, "end of script");
+    return script;
+  }
+
+ private:
+  [[nodiscard]] const Token& peek() const { return tokens_[pos_]; }
+  [[nodiscard]] bool at(TokenKind kind) const { return peek().kind == kind; }
+  Token advance() { return tokens_[pos_++]; }
+  Token expect(TokenKind kind, const std::string& what) {
+    if (!at(kind)) {
+      throw QueryError("syntax error: expected " + what + " at offset " +
+                       std::to_string(peek().offset));
+    }
+    return advance();
+  }
+
+  static ExprPtr make(Expr::Kind kind) {
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    return e;
+  }
+
+  ExprPtr parse_expr() { return parse_ternary(); }
+
+  ExprPtr parse_ternary() {
+    ExprPtr cond = parse_implies();
+    if (!at(TokenKind::Question)) return cond;
+    advance();
+    ExprPtr then_branch = parse_expr();
+    expect(TokenKind::Colon, "':'");
+    ExprPtr else_branch = parse_expr();
+    ExprPtr e = make(Expr::Kind::Ternary);
+    e->a = std::move(cond);
+    e->b = std::move(then_branch);
+    e->c = std::move(else_branch);
+    return e;
+  }
+
+  ExprPtr parse_implies() {
+    ExprPtr lhs = parse_or();
+    while (at(TokenKind::KwImplies)) {
+      advance();
+      ExprPtr rhs = parse_or();
+      ExprPtr e = make(Expr::Kind::Binary);
+      e->binary_op = BinaryOp::Implies;
+      e->a = std::move(lhs);
+      e->b = std::move(rhs);
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_or() {
+    ExprPtr lhs = parse_and();
+    while (at(TokenKind::KwOr)) {
+      advance();
+      ExprPtr rhs = parse_and();
+      ExprPtr e = make(Expr::Kind::Binary);
+      e->binary_op = BinaryOp::Or;
+      e->a = std::move(lhs);
+      e->b = std::move(rhs);
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr lhs = parse_not();
+    while (at(TokenKind::KwAnd)) {
+      advance();
+      ExprPtr rhs = parse_not();
+      ExprPtr e = make(Expr::Kind::Binary);
+      e->binary_op = BinaryOp::And;
+      e->a = std::move(lhs);
+      e->b = std::move(rhs);
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_not() {
+    if (at(TokenKind::KwNot)) {
+      advance();
+      ExprPtr e = make(Expr::Kind::Unary);
+      e->unary_op = UnaryOp::Not;
+      e->a = parse_not();
+      return e;
+    }
+    return parse_comparison();
+  }
+
+  ExprPtr parse_comparison() {
+    ExprPtr lhs = parse_additive();
+    for (;;) {
+      BinaryOp op;
+      if (at(TokenKind::Lt)) op = BinaryOp::Lt;
+      else if (at(TokenKind::Le)) op = BinaryOp::Le;
+      else if (at(TokenKind::Gt)) op = BinaryOp::Gt;
+      else if (at(TokenKind::Ge)) op = BinaryOp::Ge;
+      else if (at(TokenKind::Eq)) op = BinaryOp::Eq;
+      else if (at(TokenKind::Ne)) op = BinaryOp::Ne;
+      else if (at(TokenKind::Assign)) op = BinaryOp::Eq;  // EOL uses '=' for equality too
+      else break;
+      advance();
+      ExprPtr rhs = parse_additive();
+      ExprPtr e = make(Expr::Kind::Binary);
+      e->binary_op = op;
+      e->a = std::move(lhs);
+      e->b = std::move(rhs);
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_additive() {
+    ExprPtr lhs = parse_multiplicative();
+    for (;;) {
+      BinaryOp op;
+      if (at(TokenKind::Plus)) op = BinaryOp::Add;
+      else if (at(TokenKind::Minus)) op = BinaryOp::Sub;
+      else break;
+      advance();
+      ExprPtr rhs = parse_multiplicative();
+      ExprPtr e = make(Expr::Kind::Binary);
+      e->binary_op = op;
+      e->a = std::move(lhs);
+      e->b = std::move(rhs);
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_multiplicative() {
+    ExprPtr lhs = parse_unary();
+    for (;;) {
+      BinaryOp op;
+      if (at(TokenKind::Star)) op = BinaryOp::Mul;
+      else if (at(TokenKind::Slash)) op = BinaryOp::Div;
+      else if (at(TokenKind::Percent)) op = BinaryOp::Mod;
+      else break;
+      advance();
+      ExprPtr rhs = parse_unary();
+      ExprPtr e = make(Expr::Kind::Binary);
+      e->binary_op = op;
+      e->a = std::move(lhs);
+      e->b = std::move(rhs);
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_unary() {
+    if (at(TokenKind::Minus)) {
+      advance();
+      ExprPtr e = make(Expr::Kind::Unary);
+      e->unary_op = UnaryOp::Neg;
+      e->a = parse_unary();
+      return e;
+    }
+    return parse_postfix();
+  }
+
+  ExprPtr parse_postfix() {
+    ExprPtr target = parse_primary();
+    while (at(TokenKind::Dot)) {
+      advance();
+      const Token name = expect(TokenKind::Ident, "property or method name");
+      if (at(TokenKind::LParen)) {
+        advance();
+        ExprPtr e = make(Expr::Kind::Method);
+        e->string_value = name.text;
+        e->a = std::move(target);
+        parse_args(e->args);
+        target = std::move(e);
+      } else {
+        ExprPtr e = make(Expr::Kind::Property);
+        e->string_value = name.text;
+        e->a = std::move(target);
+        target = std::move(e);
+      }
+    }
+    return target;
+  }
+
+  // Parses "(arg, arg, ...)" after the opening paren is consumed. Each arg
+  // may be a lambda "x | expr".
+  void parse_args(std::vector<ExprPtr>& args) {
+    if (at(TokenKind::RParen)) {
+      advance();
+      return;
+    }
+    for (;;) {
+      args.push_back(parse_arg());
+      if (at(TokenKind::Comma)) {
+        advance();
+        continue;
+      }
+      expect(TokenKind::RParen, "')'");
+      return;
+    }
+  }
+
+  ExprPtr parse_arg() {
+    // Lambda: Ident '|' expr
+    if (at(TokenKind::Ident) && tokens_[pos_ + 1].kind == TokenKind::Pipe) {
+      const Token param = advance();
+      advance();  // '|'
+      ExprPtr e = make(Expr::Kind::Lambda1);
+      e->string_value = param.text;
+      e->b = parse_expr();
+      return e;
+    }
+    return parse_expr();
+  }
+
+  ExprPtr parse_primary() {
+    const Token& t = peek();
+    switch (t.kind) {
+      case TokenKind::Number: {
+        advance();
+        ExprPtr e = make(Expr::Kind::NumberLit);
+        e->number_value = t.number;
+        return e;
+      }
+      case TokenKind::String: {
+        ExprPtr e = make(Expr::Kind::StringLit);
+        e->string_value = advance().text;
+        return e;
+      }
+      case TokenKind::KwTrue:
+      case TokenKind::KwFalse: {
+        ExprPtr e = make(Expr::Kind::BoolLit);
+        e->bool_value = advance().kind == TokenKind::KwTrue;
+        return e;
+      }
+      case TokenKind::KwNull:
+        advance();
+        return make(Expr::Kind::NullLit);
+      case TokenKind::KwSequence: {
+        advance();
+        expect(TokenKind::LBrace, "'{'");
+        ExprPtr e = make(Expr::Kind::SequenceLit);
+        if (!at(TokenKind::RBrace)) {
+          for (;;) {
+            e->args.push_back(parse_expr());
+            if (at(TokenKind::Comma)) {
+              advance();
+              continue;
+            }
+            break;
+          }
+        }
+        expect(TokenKind::RBrace, "'}'");
+        return e;
+      }
+      case TokenKind::Ident: {
+        const Token name = advance();
+        if (at(TokenKind::LParen)) {
+          advance();
+          ExprPtr e = make(Expr::Kind::Call);
+          e->string_value = name.text;
+          parse_args(e->args);
+          return e;
+        }
+        ExprPtr e = make(Expr::Kind::Ident);
+        e->string_value = name.text;
+        return e;
+      }
+      case TokenKind::LParen: {
+        advance();
+        ExprPtr inner = parse_expr();
+        expect(TokenKind::RParen, "')'");
+        return inner;
+      }
+      default:
+        throw QueryError("syntax error: unexpected token at offset " +
+                         std::to_string(t.offset));
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Script parse_script(std::string_view source) {
+  return Parser(tokenize(source)).parse_script();
+}
+
+}  // namespace decisive::query

@@ -1,0 +1,101 @@
+#include "decisive/query/value.hpp"
+
+#include <cmath>
+
+#include "decisive/base/error.hpp"
+#include "decisive/base/strings.hpp"
+
+namespace decisive::query {
+
+Value Value::collection(Collection elements) {
+  return Value(std::make_shared<Collection>(std::move(elements)));
+}
+
+bool Value::as_bool() const {
+  if (const auto* b = std::get_if<bool>(&data_)) return *b;
+  throw QueryError("expected a boolean, got " + type_name());
+}
+
+double Value::as_number() const {
+  if (const auto* d = std::get_if<double>(&data_)) return *d;
+  throw QueryError("expected a number, got " + type_name());
+}
+
+const std::string& Value::as_string() const {
+  if (const auto* s = std::get_if<std::string>(&data_)) return *s;
+  throw QueryError("expected a string, got " + type_name());
+}
+
+const Collection& Value::as_collection() const {
+  if (const auto* c = std::get_if<CollectionPtr>(&data_)) {
+    if (*c != nullptr) return **c;
+  }
+  throw QueryError("expected a collection, got " + type_name());
+}
+
+const ObjectPtr& Value::as_object() const {
+  if (const auto* o = std::get_if<ObjectPtr>(&data_)) {
+    if (*o != nullptr) return *o;
+  }
+  throw QueryError("expected an object, got " + type_name());
+}
+
+bool Value::equals(const Value& other) const {
+  if (is_null() || other.is_null()) return is_null() && other.is_null();
+  if (is_bool() && other.is_bool()) return std::get<bool>(data_) == std::get<bool>(other.data_);
+  if (is_number() && other.is_number()) {
+    return std::get<double>(data_) == std::get<double>(other.data_);
+  }
+  if (is_string() && other.is_string()) {
+    return std::get<std::string>(data_) == std::get<std::string>(other.data_);
+  }
+  if (is_collection() && other.is_collection()) {
+    const auto& a = as_collection();
+    const auto& b = other.as_collection();
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!a[i].equals(b[i])) return false;
+    }
+    return true;
+  }
+  if (is_object() && other.is_object()) {
+    return std::get<ObjectPtr>(data_).get() == std::get<ObjectPtr>(other.data_).get();
+  }
+  return false;
+}
+
+bool Value::truthy() const {
+  if (is_null()) return false;
+  if (is_bool()) return std::get<bool>(data_);
+  throw QueryError("condition must be a boolean, got " + type_name());
+}
+
+std::string Value::to_display() const {
+  if (is_null()) return "null";
+  if (is_bool()) return std::get<bool>(data_) ? "true" : "false";
+  if (is_number()) return format_number(std::get<double>(data_), 10);
+  if (is_string()) return std::get<std::string>(data_);
+  if (is_collection()) {
+    std::string out = "Sequence{";
+    const auto& elems = as_collection();
+    for (size_t i = 0; i < elems.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += elems[i].to_display();
+    }
+    out += '}';
+    return out;
+  }
+  return "<" + as_object()->type_name() + ">";
+}
+
+std::string Value::type_name() const {
+  if (is_null()) return "null";
+  if (is_bool()) return "bool";
+  if (is_number()) return "number";
+  if (is_string()) return "string";
+  if (is_collection()) return "collection";
+  const auto& o = std::get<ObjectPtr>(data_);
+  return o ? o->type_name() : "null";
+}
+
+}  // namespace decisive::query

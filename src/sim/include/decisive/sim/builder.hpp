@@ -1,0 +1,52 @@
+// Builds a simulatable Circuit from an MDL (Simulink-substitute) model.
+//
+// Handles:
+//  - the Simscape-Foundation-style analogue block library;
+//  - hierarchical subsystems, flattened through `Port` boundary blocks;
+//  - the paper's RQ2 workaround: a SubSystem block carrying an
+//    `AnnotatedType` parameter is treated as an atomic component of that
+//    type ("for elements not covered ... we create subsystems in Simulink
+//    and annotate them to be the desired elements");
+//  - simulation-infrastructure blocks (solver config, scopes, workspace
+//    sinks), which are recorded but not simulated.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "decisive/drivers/mdl.hpp"
+#include "decisive/sim/circuit.hpp"
+
+namespace decisive::sim {
+
+/// One analysable component of the built circuit.
+struct BuiltComponent {
+  std::string path;        ///< hierarchical instance name, e.g. "Filter/L1"
+  std::string block_type;  ///< effective type (AnnotatedType wins over BlockType)
+  std::string element;     ///< circuit element name (same as path)
+};
+
+/// Result of building a circuit from an MDL model.
+struct BuiltCircuit {
+  Circuit circuit;
+  std::vector<BuiltComponent> components;  ///< candidates for FMEA
+  std::vector<std::string> observables;    ///< sensor / MCU reading names
+  std::vector<std::string> skipped;        ///< ignored infrastructure blocks
+  std::vector<std::string> workarounds;    ///< annotated-subsystem substitutions
+};
+
+/// Builds the netlist. Throws ParseError/SimulationError on unsupported or
+/// ill-formed input (unknown block type without annotation, bad port name).
+BuiltCircuit build_circuit(const drivers::MdlModel& model);
+
+/// True when the block type is natively simulatable (RQ2 coverage check).
+bool block_type_supported(std::string_view type) noexcept;
+
+/// True for simulation-infrastructure blocks that are ignored by the build.
+bool block_type_infrastructure(std::string_view type) noexcept;
+
+/// All natively supported analogue block types.
+std::vector<std::string_view> supported_block_types();
+
+}  // namespace decisive::sim

@@ -1,0 +1,92 @@
+// Analogue circuit netlist — the Simscape Foundation substitute.
+//
+// A Circuit is a flat netlist of two-terminal (plus a few behavioural)
+// elements over numbered nodes; node 0 is ground. The automated FMEA's fault
+// injection operates on copies of a Circuit, so Circuit is a value type.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace decisive::sim {
+
+/// Element kinds supported by the solver.
+enum class ElementKind {
+  Resistor,       ///< value = ohms
+  Capacitor,      ///< value = farads (open at DC)
+  Inductor,       ///< value = henries (short at DC)
+  Diode,          ///< Shockley diode, anode = node a, cathode = node b
+  VSource,        ///< ideal DC voltage source, value = volts (a = +, b = -)
+  ISource,        ///< ideal DC current source, value = amps (a -> b)
+  CurrentSensor,  ///< ideal ammeter (0 V source); reading = current a -> b
+  VoltageSensor,  ///< ideal voltmeter (no stamp); reading = V(a) - V(b)
+  Switch,         ///< closed: tiny series resistance, open: huge
+  Mcu,            ///< behavioural microcontroller: supply load + status output
+};
+
+std::string_view to_string(ElementKind kind) noexcept;
+
+/// One netlist element.
+struct Element {
+  ElementKind kind = ElementKind::Resistor;
+  std::string name;
+  int a = 0;            ///< first terminal node
+  int b = 0;            ///< second terminal node
+  double value = 0.0;   ///< primary parameter (meaning depends on kind)
+  bool closed = true;   ///< switches only
+
+  // Behavioural MCU state: `ram_ok=false` models the "RAM Failure" failure
+  // mode — the status output inverts even though the electrical load is
+  // unchanged (the diagnostic observable, not the supply current, deviates).
+  bool ram_ok = true;
+  double min_supply = 3.0;  ///< volts below which the MCU browns out
+};
+
+/// A value-semantics netlist.
+class Circuit {
+ public:
+  Circuit();
+
+  /// Returns the node index for a named net, creating it on first use.
+  /// The name "0" (and "gnd"/"GND") maps to ground.
+  int node(std::string_view net_name);
+
+  /// Creates an anonymous node.
+  int make_node();
+
+  [[nodiscard]] int node_count() const noexcept { return node_count_; }
+
+  // Element factories. All return the element index.
+  int add_resistor(std::string name, int a, int b, double ohms);
+  int add_capacitor(std::string name, int a, int b, double farads);
+  int add_inductor(std::string name, int a, int b, double henries);
+  int add_diode(std::string name, int anode, int cathode);
+  int add_vsource(std::string name, int pos, int neg, double volts);
+  int add_isource(std::string name, int from, int to, double amps);
+  int add_current_sensor(std::string name, int a, int b);
+  int add_voltage_sensor(std::string name, int a, int b);
+  int add_switch(std::string name, int a, int b, bool closed);
+  int add_mcu(std::string name, int vdd, int gnd, double supply_resistance_ohms);
+
+  [[nodiscard]] const std::vector<Element>& elements() const noexcept { return elements_; }
+  [[nodiscard]] std::vector<Element>& elements() noexcept { return elements_; }
+
+  /// Element lookup by name; nullptr when absent.
+  [[nodiscard]] const Element* find(std::string_view name) const noexcept;
+  [[nodiscard]] Element* find(std::string_view name) noexcept;
+
+  /// Checked lookup; throws SimulationError when absent.
+  [[nodiscard]] Element& get(std::string_view name);
+  [[nodiscard]] const Element& get(std::string_view name) const;
+
+ private:
+  int add(Element element);
+
+  int node_count_ = 1;  // node 0 is ground
+  std::vector<Element> elements_;
+  std::vector<std::pair<std::string, int>> named_nodes_;
+};
+
+}  // namespace decisive::sim

@@ -1,0 +1,84 @@
+// MNA (modified nodal analysis) solver: DC operating point with Newton
+// iteration for diodes, and backward-Euler transient analysis.
+//
+// This is the `simulate()` the automated FMEA invokes before and after each
+// fault injection (paper Section IV-D1, step 2b).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "decisive/sim/circuit.hpp"
+
+namespace decisive::sim {
+
+/// Result of a DC solve: node voltages plus every observable reading.
+struct OperatingPoint {
+  std::vector<double> node_voltage;
+
+  /// Readings keyed by element name:
+  ///  - CurrentSensor: branch current (A)
+  ///  - VoltageSensor: terminal voltage difference (V)
+  ///  - Mcu: status output, 1.0 = operating correctly, 0.0 = failed/browned out
+  std::map<std::string, double> readings;
+
+  [[nodiscard]] double reading(const std::string& name) const;
+};
+
+/// Solver tuning knobs.
+struct SolveOptions {
+  int max_newton_iterations = 200;
+  double newton_tolerance = 1e-9;   ///< max |dV| between iterations
+  double gmin = 1e-12;              ///< leak conductance to ground on every node
+  double diode_is = 1e-12;          ///< diode saturation current (A)
+  double diode_vt = 0.025852;       ///< thermal voltage (V)
+  double open_resistance = 1e12;    ///< ohms modelling an "open" element
+  double closed_resistance = 1e-3;  ///< ohms modelling a closed switch / "short"
+};
+
+/// Computes the DC operating point. Throws SimulationError when the system is
+/// singular or Newton iteration fails to converge.
+OperatingPoint dc_operating_point(const Circuit& circuit, const SolveOptions& options = {});
+
+/// One sampled time point of a transient run.
+struct TransientSample {
+  double time = 0.0;
+  OperatingPoint point;
+};
+
+/// Backward-Euler transient simulation from the DC initial condition at t=0
+/// (capacitors start at their DC operating voltage, inductors at their DC
+/// current). Throws SimulationError on non-convergence.
+std::vector<TransientSample> transient(const Circuit& circuit, double t_end, double dt,
+                                       const SolveOptions& options = {});
+
+/// Dense linear solve (partial-pivot Gaussian elimination) of A x = b.
+/// Exposed for testing; throws SimulationError on singular systems.
+std::vector<double> solve_linear(std::vector<std::vector<double>> a, std::vector<double> b);
+
+/// One point of an AC (small-signal) sweep: magnitude and phase of every
+/// sensor reading at one frequency.
+struct AcSample {
+  double frequency_hz = 0.0;
+  /// Complex sensor readings as (magnitude, phase-radians) pairs, keyed by
+  /// element name (CurrentSensor/VoltageSensor only — the MCU status output
+  /// is not a small-signal quantity).
+  std::map<std::string, std::pair<double, double>> readings;
+
+  [[nodiscard]] double magnitude(const std::string& name) const;
+};
+
+/// AC small-signal analysis: the circuit is linearised at its DC operating
+/// point (diodes become their small-signal conductance, switches their
+/// on/off resistance), every DC source is replaced by its small-signal
+/// equivalent (voltage sources short, current sources open), and the source
+/// named `stimulus` drives a unit AC signal. Capacitors and inductors get
+/// their complex admittances, so filter behaviour — invisible to the DC
+/// FMEA — becomes measurable (e.g. supply-ripple attenuation).
+/// Throws SimulationError when `stimulus` is not a source.
+std::vector<AcSample> ac_analysis(const Circuit& circuit, const std::string& stimulus,
+                                  const std::vector<double>& frequencies_hz,
+                                  const SolveOptions& options = {});
+
+}  // namespace decisive::sim

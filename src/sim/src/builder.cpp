@@ -1,0 +1,288 @@
+#include "decisive/sim/builder.hpp"
+
+#include <map>
+#include <unordered_map>
+
+#include "decisive/base/error.hpp"
+#include "decisive/base/strings.hpp"
+
+namespace decisive::sim {
+
+using drivers::MdlBlock;
+using drivers::MdlModel;
+using drivers::MdlSystem;
+
+namespace {
+
+constexpr std::string_view kSupported[] = {
+    "DCVoltageSource", "DCCurrentSource", "Resistor", "Capacitor", "Inductor",
+    "Diode",           "Ground",          "CurrentSensor", "VoltageSensor",
+    "Switch",          "MCU",             "SubSystem",     "Port",
+};
+
+constexpr std::string_view kInfrastructure[] = {
+    "SolverConfiguration", "Scope", "Outport", "Inport", "ToWorkspace",
+    "PSSimulinkConverter", "Display",
+};
+
+/// Canonicalises a line's port name for a given block type to the internal
+/// terminal names ("p"/"n", "g", "vdd"/"gnd").
+std::string canonical_port(std::string_view block_type, std::string_view port,
+                           const std::string& block_path) {
+  const std::string p = to_lower(trim(port));
+  if (block_type == "Ground") {
+    if (p.empty() || p == "g" || p == "gnd") return "g";
+    throw ParseError("ground block '" + block_path + "' has no port '" + std::string(port) + "'");
+  }
+  if (block_type == "MCU") {
+    if (p == "vdd" || p == "vcc" || p == "+" || p == "p") return "vdd";
+    if (p == "gnd" || p == "vss" || p == "-" || p == "n") return "gnd";
+    throw ParseError("mcu block '" + block_path + "' has no port '" + std::string(port) + "'");
+  }
+  if (block_type == "Diode") {
+    if (p == "a" || p == "anode" || p == "p" || p == "+" || p == "1") return "p";
+    if (p == "k" || p == "c" || p == "cathode" || p == "n" || p == "-" || p == "2") return "n";
+    throw ParseError("diode block '" + block_path + "' has no port '" + std::string(port) + "'");
+  }
+  // Generic two-terminal elements.
+  if (p == "p" || p == "+" || p == "1" || p == "a" || p == "in") return "p";
+  if (p == "n" || p == "-" || p == "2" || p == "b" || p == "out") return "n";
+  throw ParseError("block '" + block_path + "' has no port '" + std::string(port) + "'");
+}
+
+/// String-keyed union-find over terminal keys "path:port".
+class NetMerger {
+ public:
+  int id(const std::string& key) {
+    const auto [it, inserted] = index_.try_emplace(key, static_cast<int>(parent_.size()));
+    if (inserted) parent_.push_back(it->second);
+    return it->second;
+  }
+
+  int find(int x) {
+    while (parent_[static_cast<size_t>(x)] != x) {
+      parent_[static_cast<size_t>(x)] = parent_[static_cast<size_t>(parent_[static_cast<size_t>(x)])];
+      x = parent_[static_cast<size_t>(x)];
+    }
+    return x;
+  }
+
+  void unite(const std::string& a, const std::string& b) {
+    const int ra = find(id(a));
+    const int rb = find(id(b));
+    if (ra != rb) parent_[static_cast<size_t>(ra)] = rb;
+  }
+
+ private:
+  std::unordered_map<std::string, int> index_;
+  std::vector<int> parent_;
+};
+
+struct FlatBlock {
+  std::string path;
+  const MdlBlock* block;
+  std::string effective_type;  // AnnotatedType for annotated subsystems
+};
+
+class Builder {
+ public:
+  BuiltCircuit build(const MdlModel& model) {
+    collect(model.root, "");
+    build_nets(model.root, "");
+    assign_nodes();
+    create_elements();
+    return std::move(result_);
+  }
+
+ private:
+  static std::string join_path(const std::string& prefix, const std::string& name) {
+    return prefix.empty() ? name : prefix + "/" + name;
+  }
+
+  [[nodiscard]] static bool is_infrastructure(std::string_view type) noexcept {
+    return block_type_infrastructure(type);
+  }
+
+  // Pass 1: flatten the block hierarchy.
+  void collect(const MdlSystem& system, const std::string& prefix) {
+    for (const auto& block : system.blocks) {
+      const std::string path = join_path(prefix, block.name);
+      if (is_infrastructure(block.type)) {
+        result_.skipped.push_back(path);
+        continue;
+      }
+      if (block.type == "SubSystem") {
+        const auto annotated = block.param("AnnotatedType");
+        if (annotated.has_value()) {
+          // RQ2 workaround: the subsystem stands in for an uncovered element.
+          if (!block_type_supported(*annotated) || *annotated == "SubSystem" ||
+              *annotated == "Port") {
+            throw ParseError("subsystem '" + path + "' annotated with unsupported type '" +
+                             *annotated + "'");
+          }
+          flat_.push_back(FlatBlock{path, &block, *annotated});
+          result_.workarounds.push_back(path + " -> " + *annotated);
+          continue;
+        }
+        if (block.subsystem == nullptr) {
+          throw ParseError("subsystem '" + path + "' has no System body");
+        }
+        collect(*block.subsystem, path);
+        continue;
+      }
+      if (!block_type_supported(block.type)) {
+        throw ParseError("unsupported block type '" + block.type + "' for '" + path +
+                         "' (annotate a SubSystem to model it)");
+      }
+      flat_.push_back(FlatBlock{path, &block, block.type});
+    }
+  }
+
+  [[nodiscard]] const FlatBlock* find_flat(const std::string& path) const noexcept {
+    for (const auto& fb : flat_) {
+      if (fb.path == path) return &fb;
+    }
+    return nullptr;
+  }
+
+  // Terminal key of a line endpoint within the system at `prefix`.
+  std::string endpoint_key(const MdlSystem& system, const std::string& prefix,
+                           const std::string& block_name, const std::string& port) {
+    const MdlBlock* block = system.block(block_name);
+    if (block == nullptr) {
+      throw ParseError("line references unknown block '" + block_name + "' in system '" +
+                       (prefix.empty() ? std::string("<root>") : prefix) + "'");
+    }
+    const std::string path = join_path(prefix, block_name);
+    if (is_infrastructure(block->type)) return "";  // signal wiring, ignored
+    if (block->type == "SubSystem" && block->param("AnnotatedType") == std::nullopt) {
+      // Boundary port: unify with the `Port` block of that name inside.
+      if (block->subsystem == nullptr || block->subsystem->block(port) == nullptr) {
+        throw ParseError("subsystem '" + path + "' has no boundary port '" + port + "'");
+      }
+      return join_path(path, port) + ":p";
+    }
+    const std::string effective =
+        block->type == "SubSystem" ? *block->param("AnnotatedType") : block->type;
+    if (effective == "Port") return path + ":p";
+    return path + ":" + canonical_port(effective, port, path);
+  }
+
+  // Pass 2: union terminal keys along every line.
+  void build_nets(const MdlSystem& system, const std::string& prefix) {
+    for (const auto& line : system.lines) {
+      const std::string src = endpoint_key(system, prefix, line.src_block, line.src_port);
+      const std::string dst = endpoint_key(system, prefix, line.dst_block, line.dst_port);
+      if (src.empty() || dst.empty()) continue;  // endpoint on infrastructure
+      nets_.unite(src, dst);
+    }
+    for (const auto& block : system.blocks) {
+      if (block.type == "SubSystem" && block.subsystem != nullptr &&
+          block.param("AnnotatedType") == std::nullopt && !is_infrastructure(block.type)) {
+        build_nets(*block.subsystem, join_path(prefix, block.name));
+      }
+    }
+  }
+
+  // Pass 3: one circuit node per net root; ground nets collapse to node 0.
+  void assign_nodes() {
+    // Ground terminals first, so their roots map to node 0.
+    for (const auto& fb : flat_) {
+      if (fb.effective_type == "Ground") {
+        const int root = nets_.find(nets_.id(fb.path + ":g"));
+        node_of_root_[root] = 0;
+      }
+    }
+  }
+
+  int node_for(const std::string& key) {
+    const int root = nets_.find(nets_.id(key));
+    const auto it = node_of_root_.find(root);
+    if (it != node_of_root_.end()) return it->second;
+    const int node = result_.circuit.make_node();
+    node_of_root_[root] = node;
+    return node;
+  }
+
+  // Pass 4: instantiate circuit elements.
+  void create_elements() {
+    for (const auto& fb : flat_) {
+      const std::string& type = fb.effective_type;
+      const MdlBlock& b = *fb.block;
+      if (type == "Ground" || type == "Port") continue;
+      Circuit& c = result_.circuit;
+      if (type == "DCVoltageSource") {
+        c.add_vsource(fb.path, node_for(fb.path + ":p"), node_for(fb.path + ":n"),
+                      b.param_real("Voltage", 5.0));
+        result_.components.push_back({fb.path, type, fb.path});
+      } else if (type == "DCCurrentSource") {
+        c.add_isource(fb.path, node_for(fb.path + ":p"), node_for(fb.path + ":n"),
+                      b.param_real("Current", 1.0));
+        result_.components.push_back({fb.path, type, fb.path});
+      } else if (type == "Resistor") {
+        c.add_resistor(fb.path, node_for(fb.path + ":p"), node_for(fb.path + ":n"),
+                       b.param_real("Resistance", 1000.0));
+        result_.components.push_back({fb.path, type, fb.path});
+      } else if (type == "Capacitor") {
+        c.add_capacitor(fb.path, node_for(fb.path + ":p"), node_for(fb.path + ":n"),
+                        b.param_real("Capacitance", 1e-6));
+        result_.components.push_back({fb.path, type, fb.path});
+      } else if (type == "Inductor") {
+        c.add_inductor(fb.path, node_for(fb.path + ":p"), node_for(fb.path + ":n"),
+                       b.param_real("Inductance", 1e-3));
+        result_.components.push_back({fb.path, type, fb.path});
+      } else if (type == "Diode") {
+        c.add_diode(fb.path, node_for(fb.path + ":p"), node_for(fb.path + ":n"));
+        result_.components.push_back({fb.path, type, fb.path});
+      } else if (type == "Switch") {
+        const bool closed = !iequals(b.param("State").value_or("closed"), "open");
+        c.add_switch(fb.path, node_for(fb.path + ":p"), node_for(fb.path + ":n"), closed);
+        result_.components.push_back({fb.path, type, fb.path});
+      } else if (type == "CurrentSensor") {
+        c.add_current_sensor(fb.path, node_for(fb.path + ":p"), node_for(fb.path + ":n"));
+        result_.observables.push_back(fb.path);
+      } else if (type == "VoltageSensor") {
+        c.add_voltage_sensor(fb.path, node_for(fb.path + ":p"), node_for(fb.path + ":n"));
+        result_.observables.push_back(fb.path);
+      } else if (type == "MCU") {
+        const int index = c.add_mcu(fb.path, node_for(fb.path + ":vdd"),
+                                    node_for(fb.path + ":gnd"),
+                                    b.param_real("SupplyResistance", 100.0));
+        c.elements()[static_cast<size_t>(index)].min_supply = b.param_real("MinSupply", 3.0);
+        result_.components.push_back({fb.path, type, fb.path});
+        result_.observables.push_back(fb.path);
+      } else {
+        throw ParseError("internal: unhandled block type '" + type + "'");
+      }
+    }
+  }
+
+  BuiltCircuit result_;
+  std::vector<FlatBlock> flat_;
+  NetMerger nets_;
+  std::map<int, int> node_of_root_;
+};
+
+}  // namespace
+
+BuiltCircuit build_circuit(const MdlModel& model) { return Builder().build(model); }
+
+bool block_type_supported(std::string_view type) noexcept {
+  for (const auto supported : kSupported) {
+    if (type == supported) return true;
+  }
+  return false;
+}
+
+bool block_type_infrastructure(std::string_view type) noexcept {
+  for (const auto infra : kInfrastructure) {
+    if (type == infra) return true;
+  }
+  return false;
+}
+
+std::vector<std::string_view> supported_block_types() {
+  return std::vector<std::string_view>(std::begin(kSupported), std::end(kSupported));
+}
+
+}  // namespace decisive::sim

@@ -1,0 +1,124 @@
+#include "decisive/sim/circuit.hpp"
+
+#include "decisive/base/error.hpp"
+#include "decisive/base/strings.hpp"
+
+namespace decisive::sim {
+
+std::string_view to_string(ElementKind kind) noexcept {
+  switch (kind) {
+    case ElementKind::Resistor: return "Resistor";
+    case ElementKind::Capacitor: return "Capacitor";
+    case ElementKind::Inductor: return "Inductor";
+    case ElementKind::Diode: return "Diode";
+    case ElementKind::VSource: return "VSource";
+    case ElementKind::ISource: return "ISource";
+    case ElementKind::CurrentSensor: return "CurrentSensor";
+    case ElementKind::VoltageSensor: return "VoltageSensor";
+    case ElementKind::Switch: return "Switch";
+    case ElementKind::Mcu: return "Mcu";
+  }
+  return "Unknown";
+}
+
+Circuit::Circuit() = default;
+
+int Circuit::node(std::string_view net_name) {
+  if (net_name == "0" || iequals(net_name, "gnd") || iequals(net_name, "ground")) return 0;
+  for (const auto& [name, index] : named_nodes_) {
+    if (name == net_name) return index;
+  }
+  const int index = make_node();
+  named_nodes_.emplace_back(std::string(net_name), index);
+  return index;
+}
+
+int Circuit::make_node() { return node_count_++; }
+
+int Circuit::add(Element element) {
+  if (element.name.empty()) throw SimulationError("element requires a name");
+  if (find(element.name) != nullptr) {
+    throw SimulationError("duplicate element name '" + element.name + "'");
+  }
+  if (element.a < 0 || element.a >= node_count_ || element.b < 0 || element.b >= node_count_) {
+    throw SimulationError("element '" + element.name + "' references an unknown node");
+  }
+  elements_.push_back(std::move(element));
+  return static_cast<int>(elements_.size()) - 1;
+}
+
+int Circuit::add_resistor(std::string name, int a, int b, double ohms) {
+  if (ohms <= 0.0) throw SimulationError("resistor '" + name + "' requires positive ohms");
+  return add(Element{ElementKind::Resistor, std::move(name), a, b, ohms});
+}
+
+int Circuit::add_capacitor(std::string name, int a, int b, double farads) {
+  if (farads <= 0.0) throw SimulationError("capacitor '" + name + "' requires positive farads");
+  return add(Element{ElementKind::Capacitor, std::move(name), a, b, farads});
+}
+
+int Circuit::add_inductor(std::string name, int a, int b, double henries) {
+  if (henries <= 0.0) throw SimulationError("inductor '" + name + "' requires positive henries");
+  return add(Element{ElementKind::Inductor, std::move(name), a, b, henries});
+}
+
+int Circuit::add_diode(std::string name, int anode, int cathode) {
+  return add(Element{ElementKind::Diode, std::move(name), anode, cathode, 0.0});
+}
+
+int Circuit::add_vsource(std::string name, int pos, int neg, double volts) {
+  return add(Element{ElementKind::VSource, std::move(name), pos, neg, volts});
+}
+
+int Circuit::add_isource(std::string name, int from, int to, double amps) {
+  return add(Element{ElementKind::ISource, std::move(name), from, to, amps});
+}
+
+int Circuit::add_current_sensor(std::string name, int a, int b) {
+  return add(Element{ElementKind::CurrentSensor, std::move(name), a, b, 0.0});
+}
+
+int Circuit::add_voltage_sensor(std::string name, int a, int b) {
+  return add(Element{ElementKind::VoltageSensor, std::move(name), a, b, 0.0});
+}
+
+int Circuit::add_switch(std::string name, int a, int b, bool closed) {
+  Element e{ElementKind::Switch, std::move(name), a, b, 0.0};
+  e.closed = closed;
+  return add(std::move(e));
+}
+
+int Circuit::add_mcu(std::string name, int vdd, int gnd, double supply_resistance_ohms) {
+  if (supply_resistance_ohms <= 0.0) {
+    throw SimulationError("mcu '" + name + "' requires positive supply resistance");
+  }
+  return add(Element{ElementKind::Mcu, std::move(name), vdd, gnd, supply_resistance_ohms});
+}
+
+const Element* Circuit::find(std::string_view name) const noexcept {
+  for (const auto& e : elements_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+Element* Circuit::find(std::string_view name) noexcept {
+  for (auto& e : elements_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+Element& Circuit::get(std::string_view name) {
+  Element* e = find(name);
+  if (e == nullptr) throw SimulationError("unknown element '" + std::string(name) + "'");
+  return *e;
+}
+
+const Element& Circuit::get(std::string_view name) const {
+  const Element* e = find(name);
+  if (e == nullptr) throw SimulationError("unknown element '" + std::string(name) + "'");
+  return *e;
+}
+
+}  // namespace decisive::sim

@@ -1,0 +1,486 @@
+#include "decisive/sim/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <limits>
+#include <numbers>
+
+#include "decisive/base/error.hpp"
+
+namespace decisive::sim {
+
+double OperatingPoint::reading(const std::string& name) const {
+  const auto it = readings.find(name);
+  if (it == readings.end()) throw SimulationError("no reading named '" + name + "'");
+  return it->second;
+}
+
+std::vector<double> solve_linear(std::vector<std::vector<double>> a, std::vector<double> b) {
+  const size_t n = b.size();
+  if (a.size() != n) throw SimulationError("linear system dimension mismatch");
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    size_t pivot = col;
+    double best = std::abs(a[col][col]);
+    for (size_t row = col + 1; row < n; ++row) {
+      const double mag = std::abs(a[row][col]);
+      if (mag > best) {
+        best = mag;
+        pivot = row;
+      }
+    }
+    if (best < 1e-30) throw SimulationError("singular system (floating node or short loop?)");
+    if (pivot != col) {
+      std::swap(a[pivot], a[col]);
+      std::swap(b[pivot], b[col]);
+    }
+    const double inv = 1.0 / a[col][col];
+    for (size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row][col] * inv;
+      if (factor == 0.0) continue;
+      for (size_t k = col; k < n; ++k) a[row][k] -= factor * a[col][k];
+      b[row] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (size_t k = i + 1; k < n; ++k) sum -= a[i][k] * x[k];
+    x[i] = sum / a[i][i];
+  }
+  return x;
+}
+
+namespace {
+
+/// Per-run element companion state: which storage elements have companion
+/// sources (transient) and which diode linearisation voltages to use.
+struct CompanionState {
+  bool transient = false;
+  double dt = 0.0;
+  // Indexed by element position in circuit.elements().
+  std::vector<double> cap_voltage;       // previous-step capacitor voltage
+  std::vector<double> inductor_current;  // previous-step inductor current
+};
+
+/// Assembles and solves one Newton-converged system.
+/// Returns node voltages (index 0 = ground = 0.0) and branch currents keyed
+/// by element index for elements with a branch unknown.
+struct SolveResult {
+  std::vector<double> node_voltage;
+  std::vector<double> branch_current;  // per element index; NaN when no branch
+};
+
+SolveResult solve_system(const Circuit& circuit, const SolveOptions& opt,
+                         const CompanionState& state) {
+  const auto& elements = circuit.elements();
+  const int n_nodes = circuit.node_count();
+
+  // Branch unknowns: voltage sources, current sensors; inductors only in DC
+  // (in transient they use a Norton companion instead).
+  std::vector<int> branch_index(elements.size(), -1);
+  int n_branches = 0;
+  for (size_t i = 0; i < elements.size(); ++i) {
+    const ElementKind kind = elements[i].kind;
+    if (kind == ElementKind::VSource || kind == ElementKind::CurrentSensor ||
+        (kind == ElementKind::Inductor && !state.transient)) {
+      branch_index[i] = n_branches++;
+    }
+  }
+
+  const size_t dim = static_cast<size_t>(n_nodes - 1 + n_branches);
+  if (dim == 0) {
+    return SolveResult{std::vector<double>(static_cast<size_t>(n_nodes), 0.0),
+                       std::vector<double>(elements.size(),
+                                           std::numeric_limits<double>::quiet_NaN())};
+  }
+
+  // Diode junction voltage estimates for Newton iteration.
+  std::vector<double> diode_v(elements.size(), 0.6);
+  std::vector<double> x(dim, 0.0);
+
+  auto vrow = [&](int node) { return node - 1; };  // ground eliminated
+
+  for (int iteration = 0;; ++iteration) {
+    if (iteration >= opt.max_newton_iterations) {
+      throw SimulationError("newton iteration did not converge");
+    }
+    std::vector<std::vector<double>> a(dim, std::vector<double>(dim, 0.0));
+    std::vector<double> rhs(dim, 0.0);
+
+    auto stamp_conductance = [&](int na, int nb, double g) {
+      if (na != 0) a[vrow(na)][vrow(na)] += g;
+      if (nb != 0) a[vrow(nb)][vrow(nb)] += g;
+      if (na != 0 && nb != 0) {
+        a[vrow(na)][vrow(nb)] -= g;
+        a[vrow(nb)][vrow(na)] -= g;
+      }
+    };
+    // Current `j` flowing from node na to node nb through the element.
+    auto stamp_current = [&](int na, int nb, double j) {
+      if (na != 0) rhs[vrow(na)] -= j;
+      if (nb != 0) rhs[vrow(nb)] += j;
+    };
+
+    // gmin from every non-ground node keeps floating nodes solvable (the
+    // standard SPICE trick; an "open" fault would otherwise be singular).
+    for (int node = 1; node < n_nodes; ++node) {
+      a[vrow(node)][vrow(node)] += opt.gmin;
+    }
+
+    for (size_t i = 0; i < elements.size(); ++i) {
+      const Element& e = elements[i];
+      switch (e.kind) {
+        case ElementKind::Resistor:
+          stamp_conductance(e.a, e.b, 1.0 / e.value);
+          break;
+        case ElementKind::Mcu:
+          stamp_conductance(e.a, e.b, 1.0 / e.value);
+          break;
+        case ElementKind::Switch:
+          stamp_conductance(e.a, e.b,
+                            1.0 / (e.closed ? opt.closed_resistance : opt.open_resistance));
+          break;
+        case ElementKind::Capacitor:
+          if (state.transient) {
+            const double g = e.value / state.dt;
+            stamp_conductance(e.a, e.b, g);
+            // Norton companion: history current g * v_prev from b to a.
+            stamp_current(e.a, e.b, -g * state.cap_voltage[i]);
+          }
+          // DC: open circuit, no stamp.
+          break;
+        case ElementKind::Inductor:
+          if (state.transient) {
+            const double g = state.dt / e.value;
+            stamp_conductance(e.a, e.b, g);
+            stamp_current(e.a, e.b, state.inductor_current[i]);
+          } else {
+            // DC short: a 0 V source with a branch-current unknown.
+            const int k = static_cast<int>(dim) - n_branches + branch_index[i];
+            if (e.a != 0) { a[vrow(e.a)][k] += 1.0; a[k][vrow(e.a)] += 1.0; }
+            if (e.b != 0) { a[vrow(e.b)][k] -= 1.0; a[k][vrow(e.b)] -= 1.0; }
+            rhs[static_cast<size_t>(k)] = 0.0;
+          }
+          break;
+        case ElementKind::Diode: {
+          // Linearise around the current junction-voltage estimate.
+          const double vd = std::clamp(diode_v[i], -5.0, 0.9);
+          const double is = opt.diode_is;
+          const double vt = opt.diode_vt;
+          const double ex = std::exp(vd / vt);
+          const double id = is * (ex - 1.0);
+          const double geq = std::max(is / vt * ex, opt.gmin);
+          const double ieq = id - geq * vd;
+          stamp_conductance(e.a, e.b, geq);
+          stamp_current(e.a, e.b, ieq);
+          break;
+        }
+        case ElementKind::VSource:
+        case ElementKind::CurrentSensor: {
+          const int k = static_cast<int>(dim) - n_branches + branch_index[i];
+          if (e.a != 0) { a[vrow(e.a)][k] += 1.0; a[k][vrow(e.a)] += 1.0; }
+          if (e.b != 0) { a[vrow(e.b)][k] -= 1.0; a[k][vrow(e.b)] -= 1.0; }
+          rhs[static_cast<size_t>(k)] = e.kind == ElementKind::VSource ? e.value : 0.0;
+          break;
+        }
+        case ElementKind::ISource:
+          stamp_current(e.a, e.b, e.value);
+          break;
+        case ElementKind::VoltageSensor:
+          break;  // ideal voltmeter: no stamp
+      }
+    }
+
+    std::vector<double> x_new = solve_linear(std::move(a), std::move(rhs));
+
+    // Newton update for diode junction voltages, with voltage limiting for
+    // robust convergence.
+    bool has_diode = false;
+    double max_diode_change = 0.0;
+    auto node_v = [&](int node) { return node == 0 ? 0.0 : x_new[static_cast<size_t>(vrow(node))]; };
+    for (size_t i = 0; i < elements.size(); ++i) {
+      if (elements[i].kind != ElementKind::Diode) continue;
+      has_diode = true;
+      const double target = node_v(elements[i].a) - node_v(elements[i].b);
+      const double previous = diode_v[i];
+      const double step = std::clamp(target - previous, -0.1, 0.1);
+      diode_v[i] = previous + step;
+      max_diode_change = std::max(max_diode_change, std::abs(target - previous));
+    }
+
+    double max_change = 0.0;
+    for (size_t i = 0; i < dim; ++i) max_change = std::max(max_change, std::abs(x_new[i] - x[i]));
+    x = std::move(x_new);
+
+    if (!has_diode || (max_diode_change < opt.newton_tolerance &&
+                       max_change < std::max(opt.newton_tolerance, 1e-9))) {
+      break;
+    }
+  }
+
+  SolveResult result;
+  result.node_voltage.assign(static_cast<size_t>(n_nodes), 0.0);
+  for (int node = 1; node < n_nodes; ++node) {
+    result.node_voltage[static_cast<size_t>(node)] = x[static_cast<size_t>(node - 1)];
+  }
+  result.branch_current.assign(elements.size(), std::numeric_limits<double>::quiet_NaN());
+  for (size_t i = 0; i < elements.size(); ++i) {
+    if (branch_index[i] >= 0) {
+      result.branch_current[i] =
+          x[static_cast<size_t>(n_nodes - 1 + branch_index[i])];
+    }
+  }
+  return result;
+}
+
+OperatingPoint make_operating_point(const Circuit& circuit, const SolveResult& solved) {
+  OperatingPoint op;
+  op.node_voltage = solved.node_voltage;
+  const auto& elements = circuit.elements();
+  auto node_v = [&](int node) { return op.node_voltage[static_cast<size_t>(node)]; };
+  for (size_t i = 0; i < elements.size(); ++i) {
+    const Element& e = elements[i];
+    switch (e.kind) {
+      case ElementKind::CurrentSensor:
+        op.readings[e.name] = solved.branch_current[i];
+        break;
+      case ElementKind::VoltageSensor:
+        op.readings[e.name] = node_v(e.a) - node_v(e.b);
+        break;
+      case ElementKind::Mcu: {
+        const double supply = node_v(e.a) - node_v(e.b);
+        op.readings[e.name] = (e.ram_ok && supply >= e.min_supply) ? 1.0 : 0.0;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return op;
+}
+
+}  // namespace
+
+double AcSample::magnitude(const std::string& name) const {
+  const auto it = readings.find(name);
+  if (it == readings.end()) throw SimulationError("no AC reading named '" + name + "'");
+  return it->second.first;
+}
+
+namespace {
+
+/// Partial-pivot Gaussian elimination over the complex field.
+std::vector<std::complex<double>> solve_linear_complex(
+    std::vector<std::vector<std::complex<double>>> a, std::vector<std::complex<double>> b) {
+  const size_t n = b.size();
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    double best = std::abs(a[col][col]);
+    for (size_t row = col + 1; row < n; ++row) {
+      const double mag = std::abs(a[row][col]);
+      if (mag > best) {
+        best = mag;
+        pivot = row;
+      }
+    }
+    if (best < 1e-30) throw SimulationError("singular AC system");
+    if (pivot != col) {
+      std::swap(a[pivot], a[col]);
+      std::swap(b[pivot], b[col]);
+    }
+    const std::complex<double> inv = 1.0 / a[col][col];
+    for (size_t row = col + 1; row < n; ++row) {
+      const std::complex<double> factor = a[row][col] * inv;
+      if (factor == 0.0) continue;
+      for (size_t k = col; k < n; ++k) a[row][k] -= factor * a[col][k];
+      b[row] -= factor * b[col];
+    }
+  }
+  std::vector<std::complex<double>> x(n, 0.0);
+  for (size_t i = n; i-- > 0;) {
+    std::complex<double> sum = b[i];
+    for (size_t k = i + 1; k < n; ++k) sum -= a[i][k] * x[k];
+    x[i] = sum / a[i][i];
+  }
+  return x;
+}
+
+}  // namespace
+
+OperatingPoint dc_operating_point(const Circuit& circuit, const SolveOptions& options) {
+  CompanionState state;
+  state.transient = false;
+  return make_operating_point(circuit, solve_system(circuit, options, state));
+}
+
+std::vector<TransientSample> transient(const Circuit& circuit, double t_end, double dt,
+                                       const SolveOptions& options) {
+  if (dt <= 0.0 || t_end <= 0.0) {
+    throw SimulationError("transient requires positive dt and t_end");
+  }
+  const auto& elements = circuit.elements();
+
+  // Initial condition: the DC operating point.
+  CompanionState dc_state;
+  const SolveResult dc = solve_system(circuit, options, dc_state);
+
+  CompanionState state;
+  state.transient = true;
+  state.dt = dt;
+  state.cap_voltage.assign(elements.size(), 0.0);
+  state.inductor_current.assign(elements.size(), 0.0);
+  for (size_t i = 0; i < elements.size(); ++i) {
+    const Element& e = elements[i];
+    if (e.kind == ElementKind::Capacitor) {
+      state.cap_voltage[i] = dc.node_voltage[static_cast<size_t>(e.a)] -
+                             dc.node_voltage[static_cast<size_t>(e.b)];
+    } else if (e.kind == ElementKind::Inductor) {
+      state.inductor_current[i] = dc.branch_current[i];
+    }
+  }
+
+  std::vector<TransientSample> samples;
+  samples.push_back(TransientSample{0.0, make_operating_point(circuit, dc)});
+
+  for (double t = dt; t <= t_end + dt * 0.5; t += dt) {
+    const SolveResult step = solve_system(circuit, options, state);
+    // Update storage-element history for the next step.
+    for (size_t i = 0; i < elements.size(); ++i) {
+      const Element& e = elements[i];
+      const double va = step.node_voltage[static_cast<size_t>(e.a)];
+      const double vb = step.node_voltage[static_cast<size_t>(e.b)];
+      if (e.kind == ElementKind::Capacitor) {
+        state.cap_voltage[i] = va - vb;
+      } else if (e.kind == ElementKind::Inductor) {
+        state.inductor_current[i] += dt / e.value * (va - vb);
+      }
+    }
+    samples.push_back(TransientSample{t, make_operating_point(circuit, step)});
+  }
+  return samples;
+}
+
+std::vector<AcSample> ac_analysis(const Circuit& circuit, const std::string& stimulus,
+                                  const std::vector<double>& frequencies_hz,
+                                  const SolveOptions& opt) {
+  const Element& source = circuit.get(stimulus);
+  if (source.kind != ElementKind::VSource && source.kind != ElementKind::ISource) {
+    throw SimulationError("AC stimulus '" + stimulus + "' must be a source");
+  }
+
+  // Linearisation point for the diodes.
+  CompanionState dc_state;
+  const SolveResult dc = solve_system(circuit, opt, dc_state);
+
+  const auto& elements = circuit.elements();
+  const int n_nodes = circuit.node_count();
+  std::vector<int> branch_index(elements.size(), -1);
+  int n_branches = 0;
+  for (size_t i = 0; i < elements.size(); ++i) {
+    if (elements[i].kind == ElementKind::VSource ||
+        elements[i].kind == ElementKind::CurrentSensor) {
+      branch_index[i] = n_branches++;
+    }
+  }
+  const size_t dim = static_cast<size_t>(n_nodes - 1 + n_branches);
+
+  std::vector<AcSample> sweep;
+  for (const double frequency : frequencies_hz) {
+    if (frequency <= 0.0) throw SimulationError("AC frequencies must be positive");
+    const std::complex<double> jw(0.0, 2.0 * std::numbers::pi * frequency);
+
+    std::vector<std::vector<std::complex<double>>> a(
+        dim, std::vector<std::complex<double>>(dim, 0.0));
+    std::vector<std::complex<double>> rhs(dim, 0.0);
+    auto vrow = [&](int node) { return node - 1; };
+    auto stamp_admittance = [&](int na, int nb, std::complex<double> y) {
+      if (na != 0) a[static_cast<size_t>(vrow(na))][static_cast<size_t>(vrow(na))] += y;
+      if (nb != 0) a[static_cast<size_t>(vrow(nb))][static_cast<size_t>(vrow(nb))] += y;
+      if (na != 0 && nb != 0) {
+        a[static_cast<size_t>(vrow(na))][static_cast<size_t>(vrow(nb))] -= y;
+        a[static_cast<size_t>(vrow(nb))][static_cast<size_t>(vrow(na))] -= y;
+      }
+    };
+    for (int node = 1; node < n_nodes; ++node) {
+      a[static_cast<size_t>(vrow(node))][static_cast<size_t>(vrow(node))] += opt.gmin;
+    }
+
+    for (size_t i = 0; i < elements.size(); ++i) {
+      const Element& e = elements[i];
+      switch (e.kind) {
+        case ElementKind::Resistor:
+        case ElementKind::Mcu:
+          stamp_admittance(e.a, e.b, 1.0 / e.value);
+          break;
+        case ElementKind::Switch:
+          stamp_admittance(e.a, e.b,
+                           1.0 / (e.closed ? opt.closed_resistance : opt.open_resistance));
+          break;
+        case ElementKind::Capacitor:
+          stamp_admittance(e.a, e.b, jw * e.value);
+          break;
+        case ElementKind::Inductor:
+          stamp_admittance(e.a, e.b, 1.0 / (jw * e.value));
+          break;
+        case ElementKind::Diode: {
+          // Small-signal conductance at the DC operating point.
+          const double va = dc.node_voltage[static_cast<size_t>(e.a)];
+          const double vb = dc.node_voltage[static_cast<size_t>(e.b)];
+          const double vd = std::clamp(va - vb, -5.0, 0.9);
+          const double geq =
+              std::max(opt.diode_is / opt.diode_vt * std::exp(vd / opt.diode_vt), opt.gmin);
+          stamp_admittance(e.a, e.b, geq);
+          break;
+        }
+        case ElementKind::VSource:
+        case ElementKind::CurrentSensor: {
+          const int k = n_nodes - 1 + branch_index[i];
+          if (e.a != 0) {
+            a[static_cast<size_t>(vrow(e.a))][static_cast<size_t>(k)] += 1.0;
+            a[static_cast<size_t>(k)][static_cast<size_t>(vrow(e.a))] += 1.0;
+          }
+          if (e.b != 0) {
+            a[static_cast<size_t>(vrow(e.b))][static_cast<size_t>(k)] -= 1.0;
+            a[static_cast<size_t>(k)][static_cast<size_t>(vrow(e.b))] -= 1.0;
+          }
+          // Unit stimulus; every other DC source is a small-signal short.
+          rhs[static_cast<size_t>(k)] =
+              (e.kind == ElementKind::VSource && e.name == stimulus) ? 1.0 : 0.0;
+          break;
+        }
+        case ElementKind::ISource:
+          if (e.name == stimulus) {
+            if (e.a != 0) rhs[static_cast<size_t>(vrow(e.a))] -= 1.0;
+            if (e.b != 0) rhs[static_cast<size_t>(vrow(e.b))] += 1.0;
+          }
+          // Non-stimulus current sources are small-signal opens: no stamp.
+          break;
+        case ElementKind::VoltageSensor:
+          break;
+      }
+    }
+
+    const auto x = solve_linear_complex(std::move(a), std::move(rhs));
+    auto node_v = [&](int node) -> std::complex<double> {
+      return node == 0 ? 0.0 : x[static_cast<size_t>(vrow(node))];
+    };
+    AcSample sample;
+    sample.frequency_hz = frequency;
+    for (size_t i = 0; i < elements.size(); ++i) {
+      const Element& e = elements[i];
+      if (e.kind == ElementKind::CurrentSensor) {
+        const std::complex<double> current = x[static_cast<size_t>(n_nodes - 1 + branch_index[i])];
+        sample.readings[e.name] = {std::abs(current), std::arg(current)};
+      } else if (e.kind == ElementKind::VoltageSensor) {
+        const std::complex<double> v = node_v(e.a) - node_v(e.b);
+        sample.readings[e.name] = {std::abs(v), std::arg(v)};
+      }
+    }
+    sweep.push_back(std::move(sample));
+  }
+  return sweep;
+}
+
+}  // namespace decisive::sim

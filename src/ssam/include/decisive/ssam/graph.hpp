@@ -1,0 +1,46 @@
+// Component connectivity graph used by the automated FMEA on SSAM models
+// (paper Algorithm 1: a loss-of-function failure mode of a subcomponent is a
+// single-point failure iff the subcomponent lies on every input→output path
+// of its parent component).
+//
+// Vertices are IONodes. Edges are the explicit ComponentRelationships plus
+// an implicit "through" edge inside every subcomponent from each of its
+// input IONodes to each of its output IONodes (the signal path the
+// component provides while healthy — exactly what a loss-of-function
+// failure removes).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "decisive/ssam/model.hpp"
+
+namespace decisive::ssam {
+
+struct ComponentGraph {
+  /// All IONode vertices (parent boundary + subcomponent nodes).
+  std::vector<ObjectId> nodes;
+  /// Directed adjacency: wire edges and through-component edges.
+  std::map<ObjectId, std::vector<ObjectId>> edges;
+  /// Boundary IONodes of the parent component.
+  std::vector<ObjectId> inputs;
+  std::vector<ObjectId> outputs;
+  /// Owning subcomponent of each IONode (absent for parent-boundary nodes).
+  std::map<ObjectId, ObjectId> owner;
+};
+
+/// Extracts the connectivity graph of a composite component.
+/// Throws AnalysisError when the component has no boundary IONodes.
+ComponentGraph build_graph(const SsamModel& ssam, ObjectId component);
+
+/// Enumerates all simple paths from any input to any output, as sequences of
+/// IONodes. Throws AnalysisError when more than `max_paths` exist (guards
+/// against combinatorial blow-up on dense graphs).
+std::vector<std::vector<ObjectId>> enumerate_paths(const ComponentGraph& graph,
+                                                   size_t max_paths = 100000);
+
+/// True when `subcomponent` owns at least one IONode on *every* path.
+bool on_all_paths(const ComponentGraph& graph,
+                  const std::vector<std::vector<ObjectId>>& paths, ObjectId subcomponent);
+
+}  // namespace decisive::ssam

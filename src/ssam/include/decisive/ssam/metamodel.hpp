@@ -1,0 +1,58 @@
+// The Structured System Architecture Metamodel (SSAM), paper Section IV-B.
+//
+// Modules (each extending the Base module):
+//   Base         — ModelElement, ImplementationConstraint, ExternalReference
+//   Requirement  — RequirementPackage, Requirement, SafetyRequirement, ...
+//   Hazard       — HazardPackage, HazardousSituation, Cause, ControlMeasure, ...
+//   Architecture — ComponentPackage, Component, IONode, FailureMode,
+//                  FailureEffect, SafetyMechanism, Function, Relationship
+//   MBSA         — MBSAPackage federating the above
+//
+// The metamodel is expressed with the reflective framework in
+// decisive::model; class/feature names below are the stable string API.
+#pragma once
+
+#include "decisive/model/meta.hpp"
+
+namespace decisive::ssam {
+
+/// The process-wide SSAM metamodel instance.
+const model::MetaPackage& metamodel();
+
+// Class names (stable strings; use with metamodel().get(...)).
+namespace cls {
+inline constexpr const char* ModelElement = "ModelElement";
+inline constexpr const char* ImplementationConstraint = "ImplementationConstraint";
+inline constexpr const char* ExternalReference = "ExternalReference";
+
+inline constexpr const char* RequirementElement = "RequirementElement";
+inline constexpr const char* Requirement = "Requirement";
+inline constexpr const char* SafetyRequirement = "SafetyRequirement";
+inline constexpr const char* RequirementRelationship = "RequirementRelationship";
+inline constexpr const char* RequirementPackage = "RequirementPackage";
+inline constexpr const char* RequirementPackageInterface = "RequirementPackageInterface";
+
+inline constexpr const char* HazardElement = "HazardElement";
+inline constexpr const char* HazardousSituation = "HazardousSituation";
+inline constexpr const char* Cause = "Cause";
+inline constexpr const char* ControlMeasure = "ControlMeasure";
+inline constexpr const char* SafetyDecision = "SafetyDecision";
+inline constexpr const char* Validation = "Validation";
+inline constexpr const char* HazardPackage = "HazardPackage";
+inline constexpr const char* HazardPackageInterface = "HazardPackageInterface";
+
+inline constexpr const char* ComponentElement = "ComponentElement";
+inline constexpr const char* Component = "Component";
+inline constexpr const char* ComponentRelationship = "ComponentRelationship";
+inline constexpr const char* Function = "Function";
+inline constexpr const char* IONode = "IONode";
+inline constexpr const char* FailureMode = "FailureMode";
+inline constexpr const char* FailureEffect = "FailureEffect";
+inline constexpr const char* SafetyMechanism = "SafetyMechanism";
+inline constexpr const char* ComponentPackage = "ComponentPackage";
+inline constexpr const char* ComponentPackageInterface = "ComponentPackageInterface";
+
+inline constexpr const char* MBSAPackage = "MBSAPackage";
+}  // namespace cls
+
+}  // namespace decisive::ssam

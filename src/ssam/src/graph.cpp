@@ -1,0 +1,107 @@
+#include "decisive/ssam/graph.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "decisive/base/error.hpp"
+
+namespace decisive::ssam {
+
+ComponentGraph build_graph(const SsamModel& ssam, ObjectId component) {
+  ComponentGraph graph;
+  const auto& comp = ssam.obj(component);
+
+  // Parent boundary nodes.
+  for (const ObjectId node : comp.refs("ioNodes")) {
+    graph.nodes.push_back(node);
+    const std::string direction = ssam.obj(node).get_string("direction");
+    if (direction == "in") graph.inputs.push_back(node);
+    else graph.outputs.push_back(node);
+  }
+  if (graph.inputs.empty() || graph.outputs.empty()) {
+    throw AnalysisError("component '" + comp.get_string("name") +
+                        "' needs at least one input and one output IONode for path analysis");
+  }
+
+  // Subcomponent nodes + implicit through edges.
+  for (const ObjectId sub : comp.refs("subcomponents")) {
+    std::vector<ObjectId> sub_inputs;
+    std::vector<ObjectId> sub_outputs;
+    for (const ObjectId node : ssam.obj(sub).refs("ioNodes")) {
+      graph.nodes.push_back(node);
+      graph.owner[node] = sub;
+      if (ssam.obj(node).get_string("direction") == "in") sub_inputs.push_back(node);
+      else sub_outputs.push_back(node);
+    }
+    for (const ObjectId in : sub_inputs) {
+      for (const ObjectId out : sub_outputs) graph.edges[in].push_back(out);
+    }
+  }
+
+  // Explicit wire edges.
+  for (const ObjectId rel : comp.refs("relationships")) {
+    const ObjectId source = ssam.obj(rel).ref("source");
+    const ObjectId target = ssam.obj(rel).ref("target");
+    if (source == model::kNullObject || target == model::kNullObject) {
+      throw AnalysisError("component relationship with missing endpoint");
+    }
+    graph.edges[source].push_back(target);
+  }
+  return graph;
+}
+
+namespace {
+
+void dfs(const ComponentGraph& graph, ObjectId node, const std::set<ObjectId>& goals,
+         std::vector<ObjectId>& current, std::set<ObjectId>& visited,
+         std::vector<std::vector<ObjectId>>& paths, size_t max_paths) {
+  current.push_back(node);
+  visited.insert(node);
+  if (goals.contains(node)) {
+    if (paths.size() >= max_paths) {
+      throw AnalysisError("path enumeration exceeded " + std::to_string(max_paths) +
+                          " paths; the component graph is too dense");
+    }
+    paths.push_back(current);
+  } else {
+    const auto it = graph.edges.find(node);
+    if (it != graph.edges.end()) {
+      for (const ObjectId next : it->second) {
+        if (!visited.contains(next)) {
+          dfs(graph, next, goals, current, visited, paths, max_paths);
+        }
+      }
+    }
+  }
+  visited.erase(node);
+  current.pop_back();
+}
+
+}  // namespace
+
+std::vector<std::vector<ObjectId>> enumerate_paths(const ComponentGraph& graph,
+                                                   size_t max_paths) {
+  const std::set<ObjectId> goals(graph.outputs.begin(), graph.outputs.end());
+  std::vector<std::vector<ObjectId>> paths;
+  for (const ObjectId input : graph.inputs) {
+    std::vector<ObjectId> current;
+    std::set<ObjectId> visited;
+    dfs(graph, input, goals, current, visited, paths, max_paths);
+  }
+  return paths;
+}
+
+bool on_all_paths(const ComponentGraph& graph,
+                  const std::vector<std::vector<ObjectId>>& paths, ObjectId subcomponent) {
+  if (paths.empty()) return false;
+  for (const auto& path : paths) {
+    const bool present = std::any_of(path.begin(), path.end(), [&](ObjectId node) {
+      const auto it = graph.owner.find(node);
+      return it != graph.owner.end() && it->second == subcomponent;
+    });
+    if (!present) return false;
+  }
+  return true;
+}
+
+}  // namespace decisive::ssam

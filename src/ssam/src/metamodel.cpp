@@ -1,0 +1,165 @@
+#include "decisive/ssam/metamodel.hpp"
+
+namespace decisive::ssam {
+
+using model::AttrType;
+using model::MetaClass;
+using model::MetaPackage;
+
+namespace {
+
+MetaPackage build() {
+  MetaPackage pkg("ssam");
+
+  // ---- Base module --------------------------------------------------------
+  MetaClass& element = pkg.define_abstract(cls::ModelElement);
+  element.add_attribute("uid", AttrType::String);
+  element.add_attribute("name", AttrType::String);
+  element.add_attribute("nameLang", AttrType::String);  // LangString language tag
+  element.add_attribute("description", AttrType::String);
+  // "cite": lightweight traceability to any other ModelElement (Section IV-B1).
+  element.add_reference("cites", element, /*containment=*/false, /*many=*/true);
+
+  MetaClass& constraint = pkg.define(cls::ImplementationConstraint, &element);
+  constraint.add_attribute("language", AttrType::String);
+  constraint.add_attribute("body", AttrType::String);
+
+  MetaClass& external = pkg.define(cls::ExternalReference, &element);
+  external.add_attribute("location", AttrType::String);
+  external.add_attribute("modelType", AttrType::String);  // driver hint
+  external.add_attribute("metadata", AttrType::String);
+  external.add_reference("extractionRule", constraint, true, false);
+
+  element.add_reference("implementationConstraints", constraint, true, true);
+  element.add_reference("externalReferences", external, true, true);
+
+  // ---- Requirement module --------------------------------------------------
+  MetaClass& req_element = pkg.define_abstract(cls::RequirementElement, &element);
+
+  MetaClass& requirement = pkg.define(cls::Requirement, &req_element);
+  requirement.add_attribute("text", AttrType::String);
+  requirement.add_attribute("integrityLevel", AttrType::String);
+
+  MetaClass& safety_req = pkg.define(cls::SafetyRequirement, &requirement);
+  safety_req.add_attribute("functionalPart", AttrType::String);
+
+  MetaClass& req_rel = pkg.define(cls::RequirementRelationship, &req_element);
+  req_rel.add_attribute("kind", AttrType::String);  // derives / refines / conflicts
+  req_rel.add_reference("source", requirement, false, false);
+  req_rel.add_reference("target", requirement, false, false);
+
+  MetaClass& req_iface = pkg.define(cls::RequirementPackageInterface, &element);
+  req_iface.add_reference("exposes", req_element, false, true);
+
+  MetaClass& req_pkg = pkg.define(cls::RequirementPackage, &element);
+  req_pkg.add_reference("elements", req_element, true, true);
+  req_pkg.add_reference("interfaces", req_iface, true, true);
+
+  // ---- Hazard module -------------------------------------------------------
+  MetaClass& haz_element = pkg.define_abstract(cls::HazardElement, &element);
+
+  MetaClass& cause = pkg.define(cls::Cause, &haz_element);
+  cause.add_attribute("mechanism", AttrType::String);
+
+  MetaClass& decision = pkg.define(cls::SafetyDecision, &haz_element);
+  decision.add_attribute("rationale", AttrType::String);
+
+  MetaClass& validation = pkg.define(cls::Validation, &haz_element);
+  validation.add_attribute("plan", AttrType::String);
+
+  MetaClass& control = pkg.define(cls::ControlMeasure, &haz_element);
+  control.add_attribute("effectivenessOfVerification", AttrType::Real);
+  control.add_reference("safetyDecision", decision, true, false);
+  control.add_reference("validation", validation, true, false);
+
+  MetaClass& situation = pkg.define(cls::HazardousSituation, &haz_element);
+  situation.add_attribute("severity", AttrType::String);
+  situation.add_attribute("probability", AttrType::Real);
+  situation.add_attribute("integrityLevel", AttrType::String);  // target, e.g. ASIL-B
+  situation.add_reference("causes", cause, true, true);
+  situation.add_reference("controlMeasures", control, true, true);
+
+  MetaClass& haz_iface = pkg.define(cls::HazardPackageInterface, &element);
+  haz_iface.add_reference("exposes", haz_element, false, true);
+
+  MetaClass& haz_pkg = pkg.define(cls::HazardPackage, &element);
+  haz_pkg.add_reference("elements", haz_element, true, true);
+  haz_pkg.add_reference("interfaces", haz_iface, true, true);
+
+  // ---- Architecture module -------------------------------------------------
+  MetaClass& comp_element = pkg.define_abstract(cls::ComponentElement, &element);
+
+  MetaClass& io_node = pkg.define(cls::IONode, &comp_element);
+  io_node.add_attribute("direction", AttrType::String);  // "in" / "out"
+  io_node.add_attribute("value", AttrType::Real);
+  io_node.add_attribute("lowerLimit", AttrType::Real);
+  io_node.add_attribute("upperLimit", AttrType::Real);
+
+  MetaClass& fail_effect = pkg.define(cls::FailureEffect, &comp_element);
+  fail_effect.add_attribute("classification", AttrType::String);  // DVF / IVF / none
+
+  MetaClass& situation_ref = situation;  // for readability below
+
+  MetaClass& failure_mode = pkg.define(cls::FailureMode, &comp_element);
+  failure_mode.add_attribute("distribution", AttrType::Real);  // fraction of component FIT
+  failure_mode.add_attribute("exposure", AttrType::Real);
+  failure_mode.add_attribute("nature", AttrType::String);  // lossOfFunction / degraded / erroneous
+  failure_mode.add_attribute("safetyRelated", AttrType::Bool);  // analysis result
+  failure_mode.add_reference("effects", fail_effect, true, true);
+  failure_mode.add_reference("hazards", situation_ref, false, true);
+
+  MetaClass& safety_mechanism = pkg.define(cls::SafetyMechanism, &comp_element);
+  safety_mechanism.add_attribute("coverage", AttrType::Real);  // diagnostic coverage 0..1
+  safety_mechanism.add_attribute("costHours", AttrType::Real);
+  safety_mechanism.add_reference("covers", failure_mode, false, true);
+
+  MetaClass& function = pkg.define(cls::Function, &comp_element);
+  function.add_attribute("toleranceType", AttrType::String);  // 1oo1 / 1oo2 / 1oo3 / 2oo3
+
+  MetaClass& component = pkg.define(cls::Component, &comp_element);
+  component.add_attribute("fit", AttrType::Real);  // failures-in-time, 1e-9/h
+  component.add_attribute("integrityLevel", AttrType::String);
+  component.add_attribute("componentType", AttrType::String);  // system / hardware / software
+  component.add_attribute("safetyRelated", AttrType::Bool);
+  component.add_attribute("dynamic", AttrType::Bool);
+  component.add_attribute("blockType", AttrType::String);  // e.g. imported Simulink BlockType
+  component.add_reference("subcomponents", component, true, true);
+  component.add_reference("ioNodes", io_node, true, true);
+  component.add_reference("failureModes", failure_mode, true, true);
+  component.add_reference("safetyMechanisms", safety_mechanism, true, true);
+  component.add_reference("functions", function, true, true);
+
+  // FailureMode may point at the components it affects (Figure 9's
+  // "affected components" reference).
+  failure_mode.add_reference("affectedComponents", component, false, true);
+
+  MetaClass& comp_rel = pkg.define(cls::ComponentRelationship, &comp_element);
+  comp_rel.add_reference("source", io_node, false, false);
+  comp_rel.add_reference("target", io_node, false, false);
+
+  component.add_reference("relationships", comp_rel, true, true);
+
+  MetaClass& comp_iface = pkg.define(cls::ComponentPackageInterface, &element);
+  comp_iface.add_reference("exposes", comp_element, false, true);
+
+  MetaClass& comp_pkg = pkg.define(cls::ComponentPackage, &element);
+  comp_pkg.add_reference("elements", comp_element, true, true);
+  comp_pkg.add_reference("interfaces", comp_iface, true, true);
+
+  // ---- MBSA module ---------------------------------------------------------
+  MetaClass& mbsa = pkg.define(cls::MBSAPackage, &element);
+  mbsa.add_reference("requirementPackages", req_pkg, true, true);
+  mbsa.add_reference("hazardPackages", haz_pkg, true, true);
+  mbsa.add_reference("componentPackages", comp_pkg, true, true);
+
+  return pkg;
+}
+
+}  // namespace
+
+const model::MetaPackage& metamodel() {
+  static const MetaPackage package = build();
+  return package;
+}
+
+}  // namespace decisive::ssam

@@ -1,0 +1,32 @@
+// AADL -> SSAM model-to-model transformation (the related-work claim
+// "AADL models can also be transformed to SSAM and our approach can also be
+// applied", made executable).
+//
+// Mapping:
+//   component implementation  -> composite Component (the system design)
+//   subcomponent              -> Component (blockType = AADL type;
+//                                componentType by category: device/processor
+//                                -> hardware, process/thread -> software,
+//                                system/abstract -> system)
+//   type features             -> IONodes (direction preserved)
+//   connections               -> ComponentRelationships (bare endpoints bind
+//                                to the composite's boundary IONodes)
+//   Decisive::FIT property    -> Component.fit
+// Every subcomponent property is preserved as an ImplementationConstraint
+// (language "aadl-property"), mirroring the Simulink transformation's
+// losslessness discipline.
+#pragma once
+
+#include "decisive/drivers/aadl.hpp"
+#include "decisive/transform/simulink.hpp"  // TransformResult, TraceLink
+
+namespace decisive::transform {
+
+/// Transforms the implementation of `type_name` (e.g. "PowerSupplyA",
+/// resolving "PowerSupplyA.impl") into a ComponentPackage in `ssam`.
+/// Throws TransformError when the implementation or a referenced feature is
+/// missing.
+TransformResult aadl_to_ssam(const drivers::AadlPackage& package, std::string_view type_name,
+                             ssam::SsamModel& ssam);
+
+}  // namespace decisive::transform

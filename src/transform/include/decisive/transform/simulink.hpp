@@ -1,0 +1,63 @@
+// Simulink (MDL) <-> SSAM model-to-model transformation.
+//
+// The forward transformation is lossless (paper: "a comprehensive
+// model-to-model transformation to demonstrate how Simulink models can be
+// transformed into SSAM models with no information loss"):
+//   - every Block becomes a Component (blockType preserved; AnnotatedType
+//     wins for annotated subsystems, with the original type retained);
+//   - every Block parameter becomes an ImplementationConstraint child with
+//     language "simulink-param" (key in `name`, value in `body`);
+//   - every Line becomes a ComponentRelationship between the IONodes that
+//     represent the blocks' ports (port direction inferred from line usage);
+//   - non-annotated SubSystems become composite Components whose `Port`
+//     blocks are mapped to boundary IONodes;
+//   - simulation-infrastructure blocks are preserved as Components with
+//     componentType "simulation".
+//
+// The reverse transformation regenerates an MDL model from a transformed
+// subtree, enabling the paper's "changes in SSAM can be propagated back to
+// the original model", and the round-trip audit proves losslessness.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "decisive/drivers/mdl.hpp"
+#include "decisive/ssam/model.hpp"
+
+namespace decisive::transform {
+
+/// One transformation trace link (source path -> created SSAM element).
+struct TraceLink {
+  std::string source;       ///< hierarchical MDL path ("Filter/L1")
+  ssam::ObjectId target = model::kNullObject;
+  std::string rule;         ///< rule name, e.g. "Block2Component"
+};
+
+struct TransformResult {
+  ssam::ObjectId component_package = model::kNullObject;
+  ssam::ObjectId root = model::kNullObject;  ///< root Component (the model)
+  std::vector<TraceLink> trace;
+  size_t blocks = 0;
+  size_t lines = 0;
+  size_t params = 0;
+
+  /// First trace target for a source path, or kNullObject.
+  [[nodiscard]] ssam::ObjectId resolve(std::string_view source_path) const noexcept;
+};
+
+/// Forward transformation. Creates a ComponentPackage in `ssam` holding the
+/// transformed design.
+TransformResult simulink_to_ssam(const drivers::MdlModel& mdl, ssam::SsamModel& ssam);
+
+/// Reverse transformation of a subtree produced by simulink_to_ssam.
+drivers::MdlModel ssam_to_simulink(const ssam::SsamModel& ssam, ssam::ObjectId root);
+
+/// Information-preservation audit: verifies every block, parameter and line
+/// of `mdl` is represented in the transformed model. Returns human-readable
+/// descriptions of anything missing (empty == lossless).
+std::vector<std::string> audit_information_loss(const drivers::MdlModel& mdl,
+                                                const ssam::SsamModel& ssam,
+                                                const TransformResult& result);
+
+}  // namespace decisive::transform

@@ -1,0 +1,127 @@
+#include <map>
+
+#include "decisive/base/error.hpp"
+#include "decisive/base/strings.hpp"
+#include "decisive/transform/aadl.hpp"
+
+namespace decisive::transform {
+
+using drivers::AadlComponentType;
+using drivers::AadlImplementation;
+using drivers::AadlPackage;
+using ssam::ObjectId;
+using ssam::SsamModel;
+
+namespace {
+
+std::string component_type_for_category(const std::string& category) {
+  if (category == "device" || category == "processor") return "hardware";
+  if (category == "process" || category == "thread") return "software";
+  return "system";
+}
+
+void attach_property(SsamModel& m, ObjectId element, const std::string& key,
+                     const std::string& value) {
+  auto& c = m.repo().create(m.meta().get(ssam::cls::ImplementationConstraint));
+  c.set_string("name", key);
+  c.set_string("language", "aadl-property");
+  c.set_string("body", value);
+  m.obj(element).add_ref("implementationConstraints", c.id());
+}
+
+}  // namespace
+
+TransformResult aadl_to_ssam(const AadlPackage& package, std::string_view type_name,
+                             SsamModel& ssam) {
+  const AadlImplementation* impl = package.implementation(type_name);
+  if (impl == nullptr) {
+    throw TransformError("package '" + package.name + "' has no implementation of '" +
+                         std::string(type_name) + "'");
+  }
+
+  TransformResult result;
+  result.component_package = ssam.create_component_package(package.name + "-imported");
+  result.root = ssam.create_component(result.component_package, impl->type_name);
+  ssam.obj(result.root).set_string("componentType", "system");
+  result.trace.push_back(
+      TraceLink{package.name + "/" + impl->type_name, result.root, "Implementation2Component"});
+
+  // Boundary IONodes from the implementation's component type.
+  std::map<std::string, ObjectId> boundary;
+  if (const AadlComponentType* type = package.type(impl->type_name)) {
+    for (const auto& feature : type->features) {
+      const ObjectId node = ssam.add_io_node(
+          result.root, feature.name, feature.direction == "out" ? "out" : "in");
+      boundary[to_lower(feature.name)] = node;
+      result.trace.push_back(TraceLink{package.name + "/" + impl->type_name + "/" +
+                                           feature.name,
+                                       node, "Feature2IONode"});
+    }
+  }
+
+  // Subcomponents with their type features.
+  std::map<std::string, ObjectId> components;                 // name -> Component
+  std::map<std::string, std::map<std::string, ObjectId>> io;  // name -> feature -> IONode
+  for (const auto& sub : impl->subcomponents) {
+    const ObjectId component = ssam.create_component(result.root, sub.name);
+    ssam.obj(component).set_string("blockType", sub.type);
+    ssam.obj(component).set_string("componentType", component_type_for_category(sub.category));
+    if (const auto fit = sub.property("Decisive::FIT")) {
+      ssam.obj(component).set_real("fit", parse_double(*fit));
+    }
+    for (const auto& [key, value] : sub.properties) {
+      attach_property(ssam, component, key, value);
+      ++result.params;
+    }
+    components[to_lower(sub.name)] = component;
+    ++result.blocks;
+    result.trace.push_back(
+        TraceLink{package.name + "/" + impl->type_name + "/" + sub.name, component,
+                  "Subcomponent2Component"});
+
+    if (const AadlComponentType* type = package.type(sub.type)) {
+      for (const auto& feature : type->features) {
+        const ObjectId node = ssam.add_io_node(
+            component, sub.name + "." + feature.name,
+            feature.direction == "out" ? "out" : "in");
+        io[to_lower(sub.name)][to_lower(feature.name)] = node;
+      }
+    }
+  }
+
+  // Connections.
+  auto endpoint = [&](const std::string& component_name,
+                      const std::string& feature) -> ObjectId {
+    if (component_name.empty()) {
+      const auto it = boundary.find(to_lower(feature));
+      if (it == boundary.end()) {
+        throw TransformError("connection references unknown boundary feature '" + feature +
+                             "'");
+      }
+      return it->second;
+    }
+    const auto comp_it = io.find(to_lower(component_name));
+    if (comp_it == io.end()) {
+      throw TransformError("connection references unknown subcomponent '" + component_name +
+                           "'");
+    }
+    const auto feat_it = comp_it->second.find(to_lower(feature));
+    if (feat_it == comp_it->second.end()) {
+      throw TransformError("subcomponent '" + component_name + "' has no feature '" +
+                           feature + "' (declare it on the component type)");
+    }
+    return feat_it->second;
+  };
+  for (const auto& conn : impl->connections) {
+    const ObjectId src = endpoint(conn.src_component, conn.src_feature);
+    const ObjectId dst = endpoint(conn.dst_component, conn.dst_feature);
+    const ObjectId rel = ssam.connect(result.root, src, dst);
+    ++result.lines;
+    result.trace.push_back(TraceLink{package.name + "/" + impl->type_name + "/<conn:" +
+                                         conn.name + ">",
+                                     rel, "Connection2Relationship"});
+  }
+  return result;
+}
+
+}  // namespace decisive::transform

@@ -1,0 +1,196 @@
+#include <map>
+
+#include "decisive/base/error.hpp"
+#include "decisive/base/strings.hpp"
+#include "decisive/sim/builder.hpp"
+#include "decisive/transform/simulink.hpp"
+
+namespace decisive::transform {
+
+using drivers::MdlBlock;
+using drivers::MdlModel;
+using drivers::MdlSystem;
+using ssam::ObjectId;
+using ssam::SsamModel;
+
+ObjectId TransformResult::resolve(std::string_view source_path) const noexcept {
+  for (const auto& link : trace) {
+    if (link.source == source_path) return link.target;
+  }
+  return model::kNullObject;
+}
+
+namespace {
+
+/// Attaches a "simulink-*" ImplementationConstraint to any ModelElement.
+void attach_constraint(SsamModel& m, ObjectId element, std::string_view language,
+                       std::string_view name, std::string_view body) {
+  auto& c = m.repo().create(m.meta().get(ssam::cls::ImplementationConstraint));
+  c.set_string("name", std::string(name));
+  c.set_string("language", std::string(language));
+  c.set_string("body", std::string(body));
+  m.obj(element).add_ref("implementationConstraints", c.id());
+}
+
+class ForwardTransform {
+ public:
+  ForwardTransform(SsamModel& m, TransformResult& result) : m_(m), result_(result) {}
+
+  void run(const MdlModel& mdl) {
+    result_.component_package = m_.create_component_package(mdl.name + "-imported");
+    result_.root = m_.create_component(result_.component_package, mdl.name);
+    attach_constraint(m_, result_.root, "simulink-blocktype", "BlockType", "Model");
+    transform_system(mdl.root, mdl.name, result_.root);
+  }
+
+ private:
+  void trace(std::string source, ObjectId target, std::string rule) {
+    result_.trace.push_back(TraceLink{std::move(source), target, std::move(rule)});
+  }
+
+  /// Finds or creates the IONode representing (component, port name).
+  ObjectId io_node(ObjectId component, const std::string& port, const std::string& direction) {
+    for (const ObjectId node : m_.obj(component).refs("ioNodes")) {
+      if (m_.obj(node).get_string("name") == port) return node;
+    }
+    return m_.add_io_node(component, port, direction);
+  }
+
+  void transform_system(const MdlSystem& system, const std::string& path, ObjectId parent) {
+    std::map<std::string, ObjectId> components;  // block name -> Component
+    std::map<std::string, ObjectId> port_nodes;  // Port block name -> boundary IONode
+
+    // Rule Block2Component / Port2IONode.
+    for (const auto& block : system.blocks) {
+      const std::string block_path = path + "/" + block.name;
+      if (block.type == "Port") {
+        // Boundary port of the enclosing (sub)system.
+        const ObjectId node = io_node(parent, block.name, "in");
+        attach_constraint(m_, node, "simulink-blocktype", "BlockType", "Port");
+        for (const auto& [key, value] : block.params) {
+          attach_constraint(m_, node, "simulink-param", key, value);
+          ++result_.params;
+        }
+        port_nodes[block.name] = node;
+        trace(block_path, node, "Port2IONode");
+        ++result_.blocks;
+        continue;
+      }
+
+      const ObjectId component = m_.create_component(parent, block.name);
+      const auto annotated = block.param("AnnotatedType");
+      m_.obj(component).set_string("blockType", annotated.value_or(block.type));
+      m_.obj(component).set_string(
+          "componentType", sim::block_type_infrastructure(block.type) ? "simulation"
+                                                                      : "hardware");
+      attach_constraint(m_, component, "simulink-blocktype", "BlockType", block.type);
+      for (const auto& [key, value] : block.params) {
+        attach_constraint(m_, component, "simulink-param", key, value);
+        ++result_.params;
+      }
+      components[block.name] = component;
+      trace(block_path, component, "Block2Component");
+      ++result_.blocks;
+
+      if (block.subsystem != nullptr) {
+        transform_system(*block.subsystem, block_path, component);
+      }
+    }
+
+    // Rule Line2Relationship.
+    for (const auto& line : system.lines) {
+      const ObjectId src = endpoint(system, components, port_nodes, line.src_block,
+                                    line.src_port, /*is_target=*/false);
+      const ObjectId dst = endpoint(system, components, port_nodes, line.dst_block,
+                                    line.dst_port, /*is_target=*/true);
+      const ObjectId rel = m_.connect(parent, src, dst);
+      attach_constraint(m_, rel, "simulink-src", "Src", line.src_block + "|" + line.src_port);
+      attach_constraint(m_, rel, "simulink-dst", "Dst", line.dst_block + "|" + line.dst_port);
+      trace(path + "/<line:" + line.src_block + "->" + line.dst_block + ">", rel,
+            "Line2Relationship");
+      ++result_.lines;
+    }
+  }
+
+  ObjectId endpoint(const MdlSystem& system, std::map<std::string, ObjectId>& components,
+                    std::map<std::string, ObjectId>& port_nodes, const std::string& block_name,
+                    const std::string& port, bool is_target) {
+    const std::string direction = is_target ? "in" : "out";
+    // Port boundary block referenced by an internal line.
+    if (const auto it = port_nodes.find(block_name); it != port_nodes.end()) return it->second;
+
+    const auto it = components.find(block_name);
+    if (it == components.end()) {
+      throw TransformError("line references unknown block '" + block_name + "'");
+    }
+    const MdlBlock* block = system.block(block_name);
+    // Non-annotated subsystem: connect to its boundary IONode named `port`.
+    if (block != nullptr && block->type == "SubSystem" &&
+        block->param("AnnotatedType") == std::nullopt) {
+      for (const ObjectId node : m_.obj(it->second).refs("ioNodes")) {
+        if (m_.obj(node).get_string("name") == port) return node;
+      }
+      throw TransformError("subsystem '" + block_name + "' has no boundary port '" + port +
+                           "'");
+    }
+    return io_node(it->second, port, direction);
+  }
+
+  SsamModel& m_;
+  TransformResult& result_;
+};
+
+}  // namespace
+
+TransformResult simulink_to_ssam(const MdlModel& mdl, SsamModel& ssam) {
+  TransformResult result;
+  ForwardTransform(ssam, result).run(mdl);
+  return result;
+}
+
+namespace {
+
+void audit_system(const MdlSystem& system, const std::string& path, const SsamModel& ssam,
+                  const TransformResult& result, std::vector<std::string>& missing) {
+  for (const auto& block : system.blocks) {
+    const std::string block_path = path + "/" + block.name;
+    const ObjectId target = result.resolve(block_path);
+    if (target == model::kNullObject) {
+      missing.push_back("block '" + block_path + "' has no transformation target");
+      continue;
+    }
+    for (const auto& [key, value] : block.params) {
+      bool found = false;
+      for (const ObjectId c : ssam.obj(target).refs("implementationConstraints")) {
+        const auto& obj = ssam.obj(c);
+        if (obj.get_string("language") == "simulink-param" && obj.get_string("name") == key &&
+            obj.get_string("body") == value) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        missing.push_back("parameter '" + key + "' of '" + block_path + "' was not preserved");
+      }
+    }
+    if (block.subsystem != nullptr) audit_system(*block.subsystem, block_path, ssam, result, missing);
+  }
+  for (const auto& line : system.lines) {
+    const std::string line_path =
+        path + "/<line:" + line.src_block + "->" + line.dst_block + ">";
+    if (result.resolve(line_path) == model::kNullObject) {
+      missing.push_back("line '" + line_path + "' has no transformation target");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> audit_information_loss(const MdlModel& mdl, const SsamModel& ssam,
+                                                const TransformResult& result) {
+  std::vector<std::string> missing;
+  audit_system(mdl.root, mdl.name, ssam, result, missing);
+  return missing;
+}
+
+}  // namespace decisive::transform

@@ -1,0 +1,107 @@
+// Reverse transformation: regenerate an MDL (Simulink-substitute) model from
+// a component subtree produced by simulink_to_ssam. Enables propagating SSAM
+// edits back to the original design and proves the forward transformation is
+// lossless (round-trip tests).
+#include <optional>
+
+#include "decisive/base/error.hpp"
+#include "decisive/base/strings.hpp"
+#include "decisive/transform/simulink.hpp"
+
+namespace decisive::transform {
+
+using drivers::MdlBlock;
+using drivers::MdlLine;
+using drivers::MdlModel;
+using drivers::MdlSystem;
+using ssam::ObjectId;
+using ssam::SsamModel;
+
+namespace {
+
+std::optional<std::string> read_constraint(const SsamModel& m, ObjectId element,
+                                           std::string_view language, std::string_view name) {
+  for (const ObjectId c : m.obj(element).refs("implementationConstraints")) {
+    const auto& obj = m.obj(c);
+    if (obj.get_string("language") == language &&
+        (name.empty() || obj.get_string("name") == name)) {
+      return obj.get_string("body");
+    }
+  }
+  return std::nullopt;
+}
+
+MdlSystem rebuild_system(const SsamModel& m, ObjectId component);
+
+MdlBlock rebuild_block(const SsamModel& m, ObjectId component) {
+  MdlBlock block;
+  block.name = m.obj(component).get_string("name");
+  block.type = read_constraint(m, component, "simulink-blocktype", "BlockType")
+                   .value_or(m.obj(component).get_string("blockType", "SubSystem"));
+  for (const ObjectId c : m.obj(component).refs("implementationConstraints")) {
+    const auto& obj = m.obj(c);
+    if (obj.get_string("language") == "simulink-param") {
+      block.params.emplace_back(obj.get_string("name"), obj.get_string("body"));
+    }
+  }
+  if (!m.obj(component).refs("subcomponents").empty() ||
+      !m.obj(component).refs("relationships").empty()) {
+    block.subsystem = std::make_unique<MdlSystem>(rebuild_system(m, component));
+  }
+  return block;
+}
+
+MdlSystem rebuild_system(const SsamModel& m, ObjectId component) {
+  MdlSystem system;
+  // Boundary Port blocks (IONodes tagged as Port by the forward transform).
+  for (const ObjectId node : m.obj(component).refs("ioNodes")) {
+    if (read_constraint(m, node, "simulink-blocktype", "BlockType") == "Port") {
+      MdlBlock port;
+      port.type = "Port";
+      port.name = m.obj(node).get_string("name");
+      for (const ObjectId c : m.obj(node).refs("implementationConstraints")) {
+        const auto& obj = m.obj(c);
+        if (obj.get_string("language") == "simulink-param") {
+          port.params.emplace_back(obj.get_string("name"), obj.get_string("body"));
+        }
+      }
+      system.blocks.push_back(std::move(port));
+    }
+  }
+  for (const ObjectId sub : m.obj(component).refs("subcomponents")) {
+    system.blocks.push_back(rebuild_block(m, sub));
+  }
+  for (const ObjectId rel : m.obj(component).refs("relationships")) {
+    const auto src = read_constraint(m, rel, "simulink-src", "Src");
+    const auto dst = read_constraint(m, rel, "simulink-dst", "Dst");
+    if (!src.has_value() || !dst.has_value()) {
+      throw TransformError(
+          "relationship without simulink endpoint traceability; was this model "
+          "produced by simulink_to_ssam?");
+    }
+    const auto split_endpoint = [](const std::string& text) {
+      const size_t bar = text.find('|');
+      if (bar == std::string::npos) {
+        throw TransformError("malformed endpoint '" + text + "'");
+      }
+      return std::pair<std::string, std::string>(text.substr(0, bar), text.substr(bar + 1));
+    };
+    MdlLine line;
+    std::tie(line.src_block, line.src_port) = split_endpoint(*src);
+    std::tie(line.dst_block, line.dst_port) = split_endpoint(*dst);
+    system.lines.push_back(std::move(line));
+  }
+  return system;
+}
+
+}  // namespace
+
+MdlModel ssam_to_simulink(const SsamModel& ssam, ObjectId root) {
+  MdlModel model;
+  model.name = ssam.obj(root).get_string("name");
+  model.root = rebuild_system(ssam, root);
+  model.root.name = model.name;
+  return model;
+}
+
+}  // namespace decisive::transform

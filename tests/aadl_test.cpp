@@ -1,0 +1,172 @@
+// Tests for the AADL subset parser and the AADL -> SSAM transformation.
+#include <gtest/gtest.h>
+
+#include "decisive/base/error.hpp"
+#include "decisive/core/graph_fmea.hpp"
+#include "decisive/drivers/aadl.hpp"
+#include "decisive/transform/aadl.hpp"
+
+using namespace decisive;
+using namespace decisive::drivers;
+
+namespace {
+
+const std::string kAssets = DECISIVE_ASSETS_DIR;
+
+constexpr const char* kSmallPackage = R"(
+-- comment line
+package demo
+public
+  device Sensor
+    features
+      acquire: in feature;
+      reading: out feature;
+  end Sensor;
+
+  system Top
+    features
+      world: in feature;
+      result: out feature;
+  end Top;
+
+  system implementation Top.impl
+    subcomponents
+      S1: device Sensor { Decisive::FIT => 50; Vendor => acme; };
+      S2: device Sensor;
+    connections
+      c1: feature world -> S1.acquire;
+      c2: feature S1.reading -> S2.acquire;
+      c3: feature S2.reading -> result;
+  end Top.impl;
+end demo;
+)";
+
+}  // namespace
+
+TEST(AadlParser, PackageStructure) {
+  const auto pkg = parse_aadl(kSmallPackage);
+  EXPECT_EQ(pkg.name, "demo");
+  ASSERT_EQ(pkg.types.size(), 2u);
+  ASSERT_EQ(pkg.implementations.size(), 1u);
+  const auto* sensor = pkg.type("Sensor");
+  ASSERT_NE(sensor, nullptr);
+  EXPECT_EQ(sensor->category, "device");
+  ASSERT_EQ(sensor->features.size(), 2u);
+  EXPECT_EQ(sensor->features[0].name, "acquire");
+  EXPECT_EQ(sensor->features[0].direction, "in");
+  EXPECT_EQ(sensor->features[1].direction, "out");
+}
+
+TEST(AadlParser, SubcomponentsAndProperties) {
+  const auto pkg = parse_aadl(kSmallPackage);
+  const auto* impl = pkg.implementation("Top");
+  ASSERT_NE(impl, nullptr);
+  ASSERT_EQ(impl->subcomponents.size(), 2u);
+  const auto& s1 = impl->subcomponents[0];
+  EXPECT_EQ(s1.name, "S1");
+  EXPECT_EQ(s1.type, "Sensor");
+  EXPECT_EQ(s1.property("Decisive::FIT"), std::optional<std::string>("50"));
+  EXPECT_EQ(s1.property("Vendor"), std::optional<std::string>("acme"));
+  EXPECT_EQ(s1.property("Missing"), std::nullopt);
+  EXPECT_TRUE(impl->subcomponents[1].properties.empty());
+}
+
+TEST(AadlParser, ConnectionsIncludingBoundary) {
+  const auto pkg = parse_aadl(kSmallPackage);
+  const auto* impl = pkg.implementation("Top");
+  ASSERT_EQ(impl->connections.size(), 3u);
+  EXPECT_EQ(impl->connections[0].src_component, "");  // boundary feature
+  EXPECT_EQ(impl->connections[0].src_feature, "world");
+  EXPECT_EQ(impl->connections[0].dst_component, "S1");
+  EXPECT_EQ(impl->connections[2].dst_component, "");
+  EXPECT_EQ(impl->connections[2].dst_feature, "result");
+}
+
+TEST(AadlParser, KeywordsAreCaseInsensitive) {
+  const auto pkg = parse_aadl(
+      "PACKAGE p\nPUBLIC\nSYSTEM s\nEND s;\nSYSTEM IMPLEMENTATION s.i\nEND s.i;\nEND p;");
+  EXPECT_EQ(pkg.name, "p");
+  EXPECT_EQ(pkg.implementations.size(), 1u);
+}
+
+TEST(AadlParser, MalformedInputThrows) {
+  EXPECT_THROW(parse_aadl("package p public end q;"), ParseError);       // mismatched end
+  EXPECT_THROW(parse_aadl("package p public bus B end B; end p;"), ParseError);  // unsupported
+  EXPECT_THROW(parse_aadl("package p public system s end s"), ParseError);  // missing ;
+  EXPECT_THROW(parse_aadl("system s end s;"), ParseError);                // no package
+}
+
+TEST(AadlParser, CaseStudyAssetParses) {
+  const auto pkg = parse_aadl_file(kAssets + "/auv_control.aadl");
+  EXPECT_EQ(pkg.name, "auv_control");
+  const auto* impl = pkg.implementation("AuvControl");
+  ASSERT_NE(impl, nullptr);
+  EXPECT_EQ(impl->subcomponents.size(), 8u);
+  EXPECT_EQ(impl->connections.size(), 11u);
+}
+
+// ------------------------------------------------------------ transformation
+
+TEST(AadlTransform, BuildsComposite) {
+  const auto pkg = parse_aadl(kSmallPackage);
+  ssam::SsamModel m;
+  const auto result = transform::aadl_to_ssam(pkg, "Top", m);
+  EXPECT_EQ(result.blocks, 2u);
+  EXPECT_EQ(result.lines, 3u);
+  EXPECT_EQ(result.params, 2u);
+  EXPECT_EQ(m.obj(result.root).get_string("name"), "Top");
+  // Boundary nodes from the Top type.
+  EXPECT_EQ(m.obj(result.root).refs("ioNodes").size(), 2u);
+  // FIT landed; vendor preserved as constraint.
+  const auto s1 = m.find_by_name(ssam::cls::Component, "S1");
+  ASSERT_NE(s1, model::kNullObject);
+  EXPECT_DOUBLE_EQ(m.obj(s1).get_real("fit"), 50.0);
+  bool vendor = false;
+  for (const auto c : m.obj(s1).refs("implementationConstraints")) {
+    if (m.obj(c).get_string("name") == "Vendor" && m.obj(c).get_string("body") == "acme") {
+      vendor = true;
+    }
+  }
+  EXPECT_TRUE(vendor);
+}
+
+TEST(AadlTransform, FmeaRunsOnImportedModel) {
+  const auto pkg = parse_aadl(kSmallPackage);
+  ssam::SsamModel m;
+  const auto result = transform::aadl_to_ssam(pkg, "Top", m);
+  // Serial chain: both sensors are single points for loss modes.
+  for (const auto component : m.all_components_under(result.root)) {
+    m.add_failure_mode(component, "No output", 1.0, "lossOfFunction");
+  }
+  const auto fmea = core::analyze_component(m, result.root);
+  EXPECT_EQ(fmea.safety_related_components(), (std::vector<std::string>{"S1", "S2"}));
+}
+
+TEST(AadlTransform, ErrorsOnMissingPieces) {
+  const auto pkg = parse_aadl(kSmallPackage);
+  ssam::SsamModel m;
+  EXPECT_THROW(transform::aadl_to_ssam(pkg, "Nope", m), TransformError);
+
+  auto broken = pkg;
+  broken.implementations[0].connections.push_back(
+      {"cx", "Ghost", "out", "S1", "acquire"});
+  ssam::SsamModel m2;
+  EXPECT_THROW(transform::aadl_to_ssam(broken, "Top", m2), TransformError);
+}
+
+TEST(AadlTransform, CaseStudyRedundancyAnalysis) {
+  const auto pkg = parse_aadl_file(kAssets + "/auv_control.aadl");
+  ssam::SsamModel m;
+  const auto result = transform::aadl_to_ssam(pkg, "AuvControl", m);
+  for (const auto component : m.all_components_under(result.root)) {
+    m.add_failure_mode(component, "No output", 1.0, "lossOfFunction");
+  }
+  const auto fmea = core::analyze_component(m, result.root);
+  const auto sr = fmea.safety_related_components();
+  EXPECT_EQ(sr, (std::vector<std::string>{"BUS1", "ACT1"}));
+  // Software components imported with componentType software.
+  const auto ctl1 = m.find_by_name(ssam::cls::Component, "CTL1");
+  EXPECT_EQ(m.obj(ctl1).get_string("componentType"), "software");
+  const auto imu1 = m.find_by_name(ssam::cls::Component, "IMU1");
+  EXPECT_EQ(m.obj(imu1).get_string("componentType"), "hardware");
+}

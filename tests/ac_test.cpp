@@ -1,0 +1,139 @@
+// Tests for the AC small-signal analysis against closed-form filter theory.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "decisive/base/error.hpp"
+#include "decisive/sim/circuit.hpp"
+#include "decisive/sim/solver.hpp"
+
+using namespace decisive;
+using namespace decisive::sim;
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+}  // namespace
+
+TEST(Ac, RcLowPassMatchesAnalyticTransfer) {
+  // |H(jw)| = 1 / sqrt(1 + (wRC)^2), fc = 1/(2 pi RC).
+  const double r = 1000.0;
+  const double c_farads = 1e-6;
+  Circuit c;
+  const int in = c.node("in");
+  const int out = c.node("out");
+  c.add_vsource("V1", in, 0, 5.0);
+  c.add_resistor("R1", in, out, r);
+  c.add_capacitor("C1", out, 0, c_farads);
+  c.add_voltage_sensor("VS", out, 0);
+
+  const double fc = 1.0 / (2.0 * kPi * r * c_farads);
+  const auto sweep = ac_analysis(c, "V1", {fc / 100.0, fc, fc * 100.0});
+  ASSERT_EQ(sweep.size(), 3u);
+  EXPECT_NEAR(sweep[0].magnitude("VS"), 1.0, 1e-3);                   // passband
+  EXPECT_NEAR(sweep[1].magnitude("VS"), 1.0 / std::sqrt(2.0), 1e-3);  // -3 dB point
+  EXPECT_NEAR(sweep[2].magnitude("VS"), 0.01, 1e-3);                  // -40 dB
+}
+
+TEST(Ac, PhaseAtCutoffIsMinus45Degrees) {
+  const double r = 1000.0;
+  const double c_farads = 1e-6;
+  Circuit c;
+  const int in = c.node("in");
+  const int out = c.node("out");
+  c.add_vsource("V1", in, 0, 5.0);
+  c.add_resistor("R1", in, out, r);
+  c.add_capacitor("C1", out, 0, c_farads);
+  c.add_voltage_sensor("VS", out, 0);
+  const double fc = 1.0 / (2.0 * kPi * r * c_farads);
+  const auto sweep = ac_analysis(c, "V1", {fc});
+  EXPECT_NEAR(sweep[0].readings.at("VS").second, -kPi / 4.0, 1e-3);
+}
+
+TEST(Ac, LcFilterAttenuatesAboveResonance) {
+  // Series L, shunt C: second-order low-pass, ~-40 dB/decade above
+  // f0 = 1/(2 pi sqrt(LC)).
+  const double l = 1e-3;
+  const double c_farads = 1e-5;
+  Circuit c;
+  const int in = c.node("in");
+  const int out = c.node("out");
+  c.add_vsource("V1", in, 0, 5.0);
+  c.add_inductor("L1", in, out, l);
+  c.add_capacitor("C1", out, 0, c_farads);
+  c.add_resistor("Rload", out, 0, 100.0);
+  c.add_voltage_sensor("VS", out, 0);
+
+  const double f0 = 1.0 / (2.0 * kPi * std::sqrt(l * c_farads));
+  const auto sweep = ac_analysis(c, "V1", {f0 / 100.0, f0 * 10.0, f0 * 100.0});
+  EXPECT_NEAR(sweep[0].magnitude("VS"), 1.0, 1e-2);     // DC-ish: passes
+  EXPECT_LT(sweep[1].magnitude("VS"), 0.02);            // decade above: heavily attenuated
+  EXPECT_LT(sweep[2].magnitude("VS"), sweep[1].magnitude("VS") / 50.0);  // ~40 dB/decade
+}
+
+TEST(Ac, DecouplingCapacitorsAttenuateSupplyRipple) {
+  // The case-study story the DC FMEA cannot see: with the decoupling branch
+  // present, high-frequency ripple at the MCU is much smaller than without.
+  auto build = [](bool with_cap) {
+    Circuit c;
+    const int in = c.node("in");
+    const int mid = c.node("mid");
+    c.add_vsource("V1", in, 0, 5.0);
+    c.add_inductor("L1", in, mid, 1e-3);
+    if (with_cap) {
+      const int esr = c.node("esr");
+      c.add_resistor("ESR1", mid, esr, 10.0);
+      c.add_capacitor("C1", esr, 0, 1e-5);
+    }
+    c.add_mcu("MC1", mid, 0, 100.0);
+    c.add_voltage_sensor("VS", mid, 0);
+    return c;
+  };
+  const double ripple_hz = 100000.0;
+  const auto with_cap = ac_analysis(build(true), "V1", {ripple_hz});
+  const auto without_cap = ac_analysis(build(false), "V1", {ripple_hz});
+  EXPECT_LT(with_cap[0].magnitude("VS"), without_cap[0].magnitude("VS") * 0.5);
+}
+
+TEST(Ac, NonStimulusSourcesAreQuiet) {
+  // A second DC source contributes nothing at AC (small-signal short).
+  Circuit c;
+  const int a = c.node("a");
+  const int b = c.node("b");
+  c.add_vsource("V1", a, 0, 5.0);
+  c.add_vsource("V2", b, 0, 3.3);
+  c.add_resistor("R1", a, b, 1000.0);
+  c.add_voltage_sensor("VS", b, 0);
+  const auto sweep = ac_analysis(c, "V1", {1000.0});
+  // b is pinned by the (shorted) V2: no signal.
+  EXPECT_NEAR(sweep[0].magnitude("VS"), 0.0, 1e-9);
+}
+
+TEST(Ac, ErrorsOnBadInput) {
+  Circuit c;
+  const int a = c.node("a");
+  c.add_vsource("V1", a, 0, 5.0);
+  c.add_resistor("R1", a, 0, 100.0);
+  EXPECT_THROW(ac_analysis(c, "R1", {1000.0}), SimulationError);  // not a source
+  EXPECT_THROW(ac_analysis(c, "ghost", {1000.0}), SimulationError);
+  EXPECT_THROW(ac_analysis(c, "V1", {-5.0}), SimulationError);  // bad frequency
+
+  const auto sweep = ac_analysis(c, "V1", {1000.0});
+  EXPECT_THROW((void)sweep[0].magnitude("nope"), SimulationError);
+}
+
+TEST(Ac, CurrentSensorReadsBranchMagnitude) {
+  // 1 V AC across 1 kOhm -> 1 mA through the sensor, at any frequency.
+  Circuit c;
+  const int a = c.node("a");
+  const int s = c.node("s");
+  c.add_vsource("V1", a, 0, 5.0);
+  c.add_current_sensor("CS", a, s);
+  c.add_resistor("R1", s, 0, 1000.0);
+  for (const double f : {10.0, 1e4, 1e7}) {
+    const auto sweep = ac_analysis(c, "V1", {f});
+    EXPECT_NEAR(sweep[0].magnitude("CS"), 1e-3, 1e-9) << f;
+  }
+}

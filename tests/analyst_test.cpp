@@ -1,0 +1,135 @@
+// Tests for the manual-analyst cost model (the human-trial substitute).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "decisive/core/analyst.hpp"
+#include "decisive/core/graph_fmea.hpp"
+#include "decisive/core/synthetic.hpp"
+
+using namespace decisive;
+using namespace decisive::core;
+
+namespace {
+
+struct Ground {
+  FmedaResult fmea;
+  size_t elements;
+};
+
+Ground ground_truth_a() {
+  auto system = make_system_a();
+  return {analyze_component(*system.model, system.system), system.element_count};
+}
+
+std::set<std::string> safety_set(const FmedaResult& fmea) {
+  const auto v = fmea.safety_related_components();
+  return {v.begin(), v.end()};
+}
+
+}  // namespace
+
+TEST(ManualFmea, DeterministicBySeed) {
+  const Ground g = ground_truth_a();
+  AnalystProfile p;
+  p.seed = 7;
+  const auto first = simulate_manual_fmea(g.fmea, g.elements, p);
+  const auto second = simulate_manual_fmea(g.fmea, g.elements, p);
+  EXPECT_EQ(first.disagreeing_rows, second.disagreeing_rows);
+  EXPECT_DOUBLE_EQ(first.minutes, second.minutes);
+}
+
+TEST(ManualFmea, ComponentLevelSafetySetInvariant) {
+  // The paper: row-level differences exist, but the safety-related component
+  // sets are always identical. Check across many seeds.
+  const Ground g = ground_truth_a();
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    AnalystProfile p;
+    p.seed = seed;
+    const auto manual = simulate_manual_fmea(g.fmea, g.elements, p);
+    EXPECT_EQ(safety_set(manual.result), safety_set(g.fmea)) << "seed " << seed;
+  }
+}
+
+TEST(ManualFmea, DisagreementIsSmallButNonZeroOnAverage) {
+  const Ground g = ground_truth_a();
+  double total = 0.0;
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    AnalystProfile p;
+    p.seed = seed;
+    total += simulate_manual_fmea(g.fmea, g.elements, p).disagreement;
+  }
+  const double mean = total / 100.0;
+  EXPECT_GT(mean, 0.0);
+  EXPECT_LT(mean, 0.10);  // low single digits, like the paper's 1.5-2.67%
+}
+
+TEST(ManualFmea, ZeroMisjudgeProbabilityMeansPerfectAgreement) {
+  const Ground g = ground_truth_a();
+  AnalystProfile p;
+  p.equivocal_misjudge_prob = 0.0;
+  const auto manual = simulate_manual_fmea(g.fmea, g.elements, p);
+  EXPECT_EQ(manual.disagreeing_rows, 0u);
+  EXPECT_DOUBLE_EQ(manual.disagreement, 0.0);
+}
+
+TEST(ManualFmea, MinutesScaleWithSystemSize) {
+  const Ground small = ground_truth_a();
+  auto system_b = make_system_b();
+  const Ground large{analyze_component(*system_b.model, system_b.system),
+                     system_b.element_count};
+  AnalystProfile p;
+  const auto small_run = simulate_manual_fmea(small.fmea, small.elements, p);
+  const auto large_run = simulate_manual_fmea(large.fmea, large.elements, p);
+  EXPECT_GT(large_run.minutes, 1.5 * small_run.minutes);
+}
+
+TEST(ManualDesign, ReachesTargetWithAdequateCatalogue) {
+  const Ground g = ground_truth_a();
+  AnalystProfile p;
+  const auto session =
+      simulate_manual_design(g.fmea, synthetic_sm_catalogue(), "ASIL-B", g.elements, p);
+  EXPECT_TRUE(session.target_met);
+  EXPECT_GE(session.final_spfm, 0.90);
+  EXPECT_GE(session.iterations, 2);
+  EXPECT_GT(session.minutes, 100.0);
+}
+
+TEST(ManualDesign, GivesUpWhenCatalogueIsEmpty) {
+  const Ground g = ground_truth_a();
+  AnalystProfile p;
+  SafetyMechanismModel empty;
+  const auto session = simulate_manual_design(g.fmea, empty, "ASIL-B", g.elements, p);
+  EXPECT_FALSE(session.target_met);
+}
+
+TEST(AutomatedDesign, ReachesTargetAndIsMuchFaster) {
+  const Ground g = ground_truth_a();
+  AnalystProfile p;
+  const auto manual =
+      simulate_manual_design(g.fmea, synthetic_sm_catalogue(), "ASIL-B", g.elements, p);
+  const auto automated = run_automated_design(
+      [&] {
+        auto system = make_system_a();
+        return analyze_component(*system.model, system.system);
+      },
+      synthetic_sm_catalogue(), "ASIL-B", p);
+  EXPECT_TRUE(automated.target_met);
+  EXPECT_GE(automated.final_spfm, 0.90);
+  // The paper's headline: about an order of magnitude faster.
+  EXPECT_GT(manual.minutes / automated.minutes, 4.0);
+}
+
+TEST(AutomatedDesign, SpeedFactorScalesHumanTime) {
+  const auto tool = [] {
+    auto system = make_system_a();
+    return analyze_component(*system.model, system.system);
+  };
+  AnalystProfile fast;
+  fast.speed_factor = 0.5;
+  AnalystProfile slow;
+  slow.speed_factor = 2.0;
+  const auto fast_run = run_automated_design(tool, synthetic_sm_catalogue(), "ASIL-B", fast);
+  const auto slow_run = run_automated_design(tool, synthetic_sm_catalogue(), "ASIL-B", slow);
+  EXPECT_LT(fast_run.minutes, slow_run.minutes);
+}

@@ -1,0 +1,183 @@
+// Property-based tests on randomly generated circuits: structural truths the
+// fault-injection FMEA must respect regardless of topology, plus solver
+// invariants (superposition on linear networks).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "decisive/base/table.hpp"
+#include "decisive/core/circuit_fmea.hpp"
+#include "decisive/sim/circuit.hpp"
+#include "decisive/sim/fault.hpp"
+#include "decisive/sim/solver.hpp"
+
+using namespace decisive;
+using namespace decisive::sim;
+
+namespace {
+
+/// A random series-parallel resistive ladder between a source and a sensed
+/// load: `stages` stages, each either one series resistor or a parallel
+/// pair. Returns the built circuit + which elements are serial.
+struct RandomLadder {
+  Circuit circuit;
+  std::vector<std::string> serial_elements;
+  std::vector<std::string> parallel_elements;
+};
+
+RandomLadder make_ladder(Rng& rng, int stages) {
+  RandomLadder out;
+  Circuit& c = out.circuit;
+  int previous = c.node("vin");
+  c.add_vsource("V1", previous, 0, 10.0);
+  int counter = 0;
+  for (int stage = 0; stage < stages; ++stage) {
+    const int next = c.make_node();
+    if (rng.chance(0.5)) {
+      const std::string name = "Rs" + std::to_string(counter++);
+      c.add_resistor(name, previous, next, rng.uniform(100.0, 10000.0));
+      out.serial_elements.push_back(name);
+    } else {
+      const std::string a = "Rp" + std::to_string(counter++);
+      const std::string b = "Rp" + std::to_string(counter++);
+      c.add_resistor(a, previous, next, rng.uniform(100.0, 10000.0));
+      c.add_resistor(b, previous, next, rng.uniform(100.0, 10000.0));
+      out.parallel_elements.push_back(a);
+      out.parallel_elements.push_back(b);
+    }
+    previous = next;
+  }
+  const int sense = c.make_node();
+  c.add_current_sensor("CS", previous, sense);
+  c.add_resistor("Rload", sense, 0, 1000.0);
+  return out;
+}
+
+}  // namespace
+
+class LadderProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LadderProperty, SerialOpensAlwaysKillTheLoad) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const RandomLadder ladder = make_ladder(rng, 2 + static_cast<int>(rng.below(5)));
+  const double baseline = std::abs(dc_operating_point(ladder.circuit).reading("CS"));
+  ASSERT_GT(baseline, 1e-6);
+
+  for (const auto& name : ladder.serial_elements) {
+    const auto faulted = inject_fault(ladder.circuit, Fault{name, FaultKind::Open});
+    const double after = std::abs(dc_operating_point(faulted).reading("CS"));
+    EXPECT_LT(after, baseline * 1e-3) << name << " open must sever the load";
+  }
+}
+
+TEST_P(LadderProperty, ParallelOpensNeverKillTheLoad) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919);
+  const RandomLadder ladder = make_ladder(rng, 2 + static_cast<int>(rng.below(5)));
+  const double baseline = std::abs(dc_operating_point(ladder.circuit).reading("CS"));
+  ASSERT_GT(baseline, 1e-6);
+
+  for (const auto& name : ladder.parallel_elements) {
+    const auto faulted = inject_fault(ladder.circuit, Fault{name, FaultKind::Open});
+    const double after = std::abs(dc_operating_point(faulted).reading("CS"));
+    EXPECT_GT(after, baseline * 0.05) << name << " open must leave its twin carrying current";
+  }
+}
+
+TEST_P(LadderProperty, ShortsNeverDecreaseTheLoadCurrent) {
+  // Shorting any series-parallel element reduces total resistance, so the
+  // sensed load current cannot drop.
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729);
+  const RandomLadder ladder = make_ladder(rng, 2 + static_cast<int>(rng.below(5)));
+  const double baseline = std::abs(dc_operating_point(ladder.circuit).reading("CS"));
+
+  for (const auto& name : ladder.serial_elements) {
+    const auto faulted = inject_fault(ladder.circuit, Fault{name, FaultKind::Short});
+    const double after = std::abs(dc_operating_point(faulted).reading("CS"));
+    EXPECT_GE(after + 1e-9, baseline) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LadderProperty, ::testing::Range(1, 21));
+
+// ------------------------------------------------------------ superposition --
+
+class SuperpositionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SuperpositionProperty, LinearNetworksObeySuperposition) {
+  // Random linear resistive network with two sources: the response to both
+  // sources equals the sum of the responses to each source alone.
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31);
+  Circuit c;
+  const int nodes = 4;
+  std::vector<int> n{0};
+  for (int i = 1; i <= nodes; ++i) n.push_back(c.node("n" + std::to_string(i)));
+  // Dense-ish random resistor mesh keeps every node grounded through paths.
+  int counter = 0;
+  for (int i = 0; i <= nodes; ++i) {
+    for (int j = i + 1; j <= nodes; ++j) {
+      if (rng.chance(0.7)) {
+        c.add_resistor("R" + std::to_string(counter++), n[static_cast<size_t>(i)],
+                       n[static_cast<size_t>(j)], rng.uniform(100.0, 5000.0));
+      }
+    }
+  }
+  // Guarantee solvability: tie n1 and n4 to ground through resistors.
+  c.add_resistor("Rg1", n[1], 0, 1000.0);
+  c.add_resistor("Rg4", n[4], 0, 1000.0);
+  const double v1 = rng.uniform(1.0, 10.0);
+  const double i2 = rng.uniform(0.001, 0.01);
+  c.add_vsource("V1", n[1], 0, v1);
+  c.add_isource("I2", 0, n[2], i2);
+  c.add_voltage_sensor("VS", n[3], 0);
+
+  auto respond = [&](double v, double i) {
+    Circuit copy = c;
+    copy.get("V1").value = v;
+    copy.get("I2").value = i;
+    return dc_operating_point(copy).reading("VS");
+  };
+  const double both = respond(v1, i2);
+  const double only_v = respond(v1, 0.0);
+  const double only_i = respond(0.0, i2);
+  EXPECT_NEAR(both, only_v + only_i, 1e-9 + std::abs(both) * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SuperpositionProperty, ::testing::Range(1, 21));
+
+// -------------------------------------------------------- FMEA consistency --
+
+TEST(CircuitFmeaProperty, FaultInjectionNeverMutatesTheInput) {
+  Rng rng(42);
+  const RandomLadder ladder = make_ladder(rng, 4);
+  const auto before = dc_operating_point(ladder.circuit).reading("CS");
+  for (const auto& name : ladder.serial_elements) {
+    (void)inject_fault(ladder.circuit, Fault{name, FaultKind::Open});
+    (void)inject_fault(ladder.circuit, Fault{name, FaultKind::Short});
+  }
+  const auto after = dc_operating_point(ladder.circuit).reading("CS");
+  EXPECT_DOUBLE_EQ(before, after);
+}
+
+TEST(CircuitFmeaProperty, AnalysisIsDeterministic) {
+  Rng rng(7);
+  RandomLadder ladder = make_ladder(rng, 4);
+  core::ReliabilityModel reliability;
+  reliability.add("Resistor", 5, {{"Open", 0.6}, {"Short", 0.4}});
+
+  sim::BuiltCircuit built;
+  built.circuit = ladder.circuit;
+  for (const auto& e : ladder.circuit.elements()) {
+    if (e.kind == ElementKind::Resistor) {
+      built.components.push_back({e.name, "Resistor", e.name});
+    }
+  }
+  built.observables.push_back("CS");
+
+  const auto first = core::analyze_circuit(built, reliability);
+  const auto second = core::analyze_circuit(built, reliability);
+  ASSERT_EQ(first.rows.size(), second.rows.size());
+  for (size_t i = 0; i < first.rows.size(); ++i) {
+    EXPECT_EQ(first.rows[i].safety_related, second.rows[i].safety_related);
+  }
+  EXPECT_DOUBLE_EQ(first.spfm(), second.spfm());
+}

@@ -1,0 +1,218 @@
+// End-to-end tests of the `same` command-line tool (subprocess driven).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+namespace {
+
+const std::string kCli = SAME_CLI_PATH;
+const std::string kAssets = DECISIVE_ASSETS_DIR;
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+RunResult run(const std::string& arguments) {
+  const std::string command = kCli + " " + arguments + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  RunResult result;
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer{};
+  size_t n = 0;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.output.append(buffer.data(), n);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+struct TempDir {
+  std::filesystem::path path;
+  TempDir() {
+    path = std::filesystem::temp_directory_path() /
+           ("decisive-cli-" + std::to_string(::getpid()));
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+}  // namespace
+
+TEST(Cli, HelpShowsUsage) {
+  const auto result = run("help");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("same fmea"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  const auto result = run("frobnicate");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, FmeaReproducesTheCaseStudy) {
+  const auto result = run("fmea " + kAssets + "/power_supply.mdl --reliability " + kAssets +
+                          "/reliability_workbook --sm-model --goals CS1,MC1");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("96.77%"), std::string::npos);
+  EXPECT_NE(result.output.find("ASIL-B"), std::string::npos);
+  EXPECT_NE(result.output.find("ECC"), std::string::npos);
+}
+
+TEST(Cli, FmeaWithoutMechanismsFailsAsilB) {
+  const auto result = run("fmea " + kAssets + "/power_supply.mdl --reliability " + kAssets +
+                          "/reliability_workbook --goals CS1,MC1");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("5.38%"), std::string::npos);
+}
+
+TEST(Cli, FmeaRequiresReliability) {
+  const auto result = run("fmea " + kAssets + "/power_supply.mdl");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("--reliability"), std::string::npos);
+}
+
+TEST(Cli, FmeaWritesCsv) {
+  TempDir tmp;
+  const auto out = (tmp.path / "fmeda.csv").string();
+  const auto result = run("fmea " + kAssets + "/power_supply.mdl --reliability " + kAssets +
+                          "/reliability_workbook --out " + out);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_TRUE(std::filesystem::exists(out));
+}
+
+TEST(Cli, ImportExportRoundTrip) {
+  TempDir tmp;
+  const auto ssam = (tmp.path / "design.ssam").string();
+  const auto mdl = (tmp.path / "back.mdl").string();
+
+  auto result = run("import " + kAssets + "/power_supply.mdl --out " + ssam);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("lossless"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(ssam));
+
+  result = run("export " + ssam + " --out " + mdl);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  ASSERT_TRUE(std::filesystem::exists(mdl));
+
+  // The regenerated model analyses identically.
+  result = run("fmea " + mdl + " --reliability " + kAssets +
+               "/reliability_workbook --goals CS1,MC1");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("5.38%"), std::string::npos);
+}
+
+TEST(Cli, QueryAgainstWorkbook) {
+  const auto result =
+      run("query " + kAssets +
+          "/reliability_workbook \"rows('Reliability').select(r | r.Component == "
+          "'Diode').first().FIT\"");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("10"), std::string::npos);
+}
+
+TEST(Cli, QueryErrorsAreReported) {
+  const auto result = run("query " + kAssets + "/reliability_workbook \"rows('Nope')\"");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("Nope"), std::string::npos);
+}
+
+TEST(Cli, ScalabilityBothBackends) {
+  const auto result = run("scalability 5000");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("full-load"), std::string::npos);
+  EXPECT_NE(result.output.find("indexed"), std::string::npos);
+}
+
+TEST(Cli, ScalabilityRefusesOversizedFullLoad) {
+  // 5M elements project to ~1 GiB, over the 128 MiB budget: full-load must
+  // refuse up front while the indexed back-end streams them.
+  const auto result = run("scalability 5000000 --budget-mib 128");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("N/A"), std::string::npos);
+}
+
+TEST(Cli, ValidateWellFormedModel) {
+  const auto result = run("validate " + kAssets + "/brake_chain.ssam");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("well-formed"), std::string::npos);
+}
+
+TEST(Cli, FtaOnSsamModel) {
+  const auto result =
+      run("fta " + kAssets + "/brake_chain.ssam --component BrakeChain --mission-hours 1000");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("[OR]"), std::string::npos);
+  EXPECT_NE(result.output.find("minimal cut sets: 2"), std::string::npos);
+  EXPECT_NE(result.output.find("Fussell-Vesely"), std::string::npos);
+  EXPECT_NE(result.output.find("loss of 'Sensor'"), std::string::npos);
+}
+
+TEST(Cli, FtaUnknownComponentFails) {
+  const auto result = run("fta " + kAssets + "/brake_chain.ssam --component Ghost");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("Ghost"), std::string::npos);
+}
+
+TEST(Cli, MonitorGeneratesAndReplaysFrames) {
+  TempDir tmp;
+  const auto frames = (tmp.path / "frames.csv").string();
+  {
+    FILE* f = fopen(frames.c_str(), "w");
+    fputs("Sensor.Sensor.out\n1.0\n2.0\n9.0\n", f);  // last frame violates
+    fclose(f);
+  }
+  const auto result =
+      run("monitor " + kAssets + "/brake_chain.ssam --samples " + frames);
+  EXPECT_EQ(result.exit_code, 3) << result.output;  // violations present
+  EXPECT_NE(result.output.find("Runtime monitor (1 checks)"), std::string::npos);
+  EXPECT_NE(result.output.find("frame 2"), std::string::npos);
+  EXPECT_NE(result.output.find("above bound"), std::string::npos);
+  EXPECT_NE(result.output.find("3 frame(s), 1 violation(s)"), std::string::npos);
+}
+
+TEST(Cli, MonitorCleanReplayExitsZero) {
+  TempDir tmp;
+  const auto frames = (tmp.path / "frames.csv").string();
+  {
+    FILE* f = fopen(frames.c_str(), "w");
+    fputs("Sensor.Sensor.out\n1.0\n2.0\n", f);
+    fclose(f);
+  }
+  const auto result =
+      run("monitor " + kAssets + "/brake_chain.ssam --samples " + frames);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+TEST(Cli, AssuranceEvaluatesCaseXml) {
+  TempDir tmp;
+  // Evidence + case referencing it.
+  const auto evidence = (tmp.path / "evidence.csv").string();
+  {
+    FILE* f = fopen(evidence.c_str(), "w");
+    fputs("metric\n0.97\n", f);
+    fclose(f);
+  }
+  const auto case_path = (tmp.path / "case.xml").string();
+  {
+    FILE* f = fopen(case_path.c_str(), "w");
+    fprintf(f,
+            "<assuranceCase name=\"t\">"
+            "<node kind=\"Claim\" id=\"G1\" statement=\"ok\">"
+            "<supportedBy ref=\"E1\"/></node>"
+            "<node kind=\"ArtifactReference\" id=\"E1\" statement=\"ev\" "
+            "location=\"%s\" type=\"csv\">"
+            "<query>rows().first().metric &gt;= 0.9</query></node>"
+            "</assuranceCase>",
+            evidence.c_str());
+    fclose(f);
+  }
+  const auto result = run("assurance " + case_path);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("SUPPORTED"), std::string::npos);
+}

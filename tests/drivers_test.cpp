@@ -1,0 +1,257 @@
+// Unit tests for the model drivers (Epsilon-EMC substitute): CSV, workbook,
+// JSON, XML and MDL(Simulink) drivers plus the registry.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "decisive/base/error.hpp"
+#include "decisive/drivers/datasource.hpp"
+#include "decisive/drivers/mdl.hpp"
+#include "decisive/drivers/row_ref.hpp"
+
+using namespace decisive;
+using namespace decisive::drivers;
+
+namespace {
+
+const std::string kAssets = DECISIVE_ASSETS_DIR;
+
+/// Creates a scratch directory with test files; removed on destruction.
+class ScratchDir {
+ public:
+  ScratchDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("decisive-test-" + std::to_string(::getpid()) + "-" +
+             std::to_string(counter_++));
+    std::filesystem::create_directories(path_);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(path_); }
+
+  std::string file(const std::string& name, const std::string& content) const {
+    const auto p = path_ / name;
+    std::ofstream out(p);
+    out << content;
+    return p.string();
+  }
+
+  [[nodiscard]] std::string dir() const { return path_.string(); }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path path_;
+};
+
+}  // namespace
+
+// ----------------------------------------------------------------- RowRef --
+
+TEST(RowRef, NumericCellsBecomeNumbers) {
+  EXPECT_DOUBLE_EQ(cell_to_value("10").as_number(), 10.0);
+  EXPECT_DOUBLE_EQ(cell_to_value(" 2.5 ").as_number(), 2.5);
+  EXPECT_DOUBLE_EQ(cell_to_value("30%").as_number(), 0.30);
+  EXPECT_EQ(cell_to_value("Open").as_string(), "Open");
+  EXPECT_EQ(cell_to_value("").as_string(), "");
+}
+
+TEST(RowRef, PropertyAccess) {
+  auto table = std::make_shared<CsvTable>(parse_csv("Component,FIT\nDiode,10\n"));
+  const RowRef row(table, 0);
+  EXPECT_EQ(row.property("Component").as_string(), "Diode");
+  EXPECT_DOUBLE_EQ(row.property("fit").as_number(), 10.0);  // case-insensitive
+  EXPECT_TRUE(row.has_property("FIT"));
+  EXPECT_FALSE(row.has_property("nope"));
+  EXPECT_THROW(row.property("nope"), QueryError);
+}
+
+// ------------------------------------------------------------- CSV driver --
+
+TEST(CsvDriver, OpensAndBinds) {
+  ScratchDir scratch;
+  const auto path = scratch.file("parts.csv", "name,fit\nD1,10\nL1,15\n");
+  const auto source = DriverRegistry::global().open(path);
+  EXPECT_EQ(source->type(), "csv");
+  EXPECT_EQ(source->table_names(), (std::vector<std::string>{"parts"}));
+  ASSERT_NE(source->table("parts"), nullptr);
+  EXPECT_EQ(source->table("other"), nullptr);
+
+  query::Env env;
+  source->bind(env);
+  EXPECT_DOUBLE_EQ(query::eval("rows().collect(r | r.fit).sum()", env).as_number(), 25.0);
+}
+
+TEST(CsvDriver, MissingFileThrows) {
+  EXPECT_THROW(DriverRegistry::global().open("/nonexistent/file.csv"), IoError);
+}
+
+// -------------------------------------------------------- workbook driver --
+
+TEST(WorkbookDriver, SheetsFromDirectory) {
+  const auto source = DriverRegistry::global().open(kAssets + "/reliability_workbook");
+  EXPECT_EQ(source->type(), "workbook");
+  const auto names = source->table_names();
+  EXPECT_EQ(names.size(), 2u);
+  ASSERT_NE(source->table("Reliability"), nullptr);
+  ASSERT_NE(source->table("safetymechanisms"), nullptr);  // case-insensitive
+
+  query::Env env;
+  source->bind(env);
+  EXPECT_DOUBLE_EQ(query::eval("rows('Reliability').size()", env).as_number(), 7.0);
+  EXPECT_EQ(query::eval("rows('SafetyMechanisms').first().Safety_Mechanism", env).as_string(),
+            "ECC");
+  EXPECT_THROW(query::eval("rows('Nope')", env), QueryError);
+}
+
+TEST(WorkbookDriver, EmptyDirectoryThrows) {
+  ScratchDir scratch;
+  EXPECT_THROW(DriverRegistry::global().open(scratch.dir()), IoError);
+}
+
+// ------------------------------------------------------------ JSON driver --
+
+TEST(JsonDriver, BindsRootNavigation) {
+  ScratchDir scratch;
+  const auto path = scratch.file(
+      "system.json",
+      R"({"name": "auv", "components": [{"id": "CPU1", "fit": 400}, {"id": "CPU2", "fit": 400}]})");
+  const auto source = DriverRegistry::global().open(path);
+  EXPECT_EQ(source->type(), "json");
+
+  query::Env env;
+  source->bind(env);
+  EXPECT_EQ(query::eval("root.name", env).as_string(), "auv");
+  EXPECT_DOUBLE_EQ(
+      query::eval("root.components.collect(c | c.fit).sum()", env).as_number(), 800.0);
+  EXPECT_TRUE(query::eval("root.hasProperty('components')", env).as_bool());
+  EXPECT_THROW(query::eval("root.missing", env), QueryError);
+}
+
+// ------------------------------------------------------------- XML driver --
+
+TEST(XmlDriver, BindsRootWithAttributesAndChildren) {
+  ScratchDir scratch;
+  const auto path = scratch.file(
+      "design.xml",
+      "<design name=\"ps\"><component id=\"D1\" fit=\"10\"/>"
+      "<component id=\"L1\" fit=\"15\"/><note>text</note></design>");
+  const auto source = DriverRegistry::global().open(path);
+  EXPECT_EQ(source->type(), "xml");
+
+  query::Env env;
+  source->bind(env);
+  EXPECT_EQ(query::eval("root.tag", env).as_string(), "design");
+  EXPECT_EQ(query::eval("root.name", env).as_string(), "ps");
+  EXPECT_DOUBLE_EQ(query::eval("root.children.select(c | c.tag == 'component')"
+                               ".collect(c | c.fit).sum()",
+                               env)
+                       .as_number(),
+                   25.0);
+  EXPECT_EQ(
+      query::eval("root.children.select(c | c.tag == 'note').first().text", env).as_string(),
+      "text");
+}
+
+// -------------------------------------------------------------------- MDL --
+
+TEST(Mdl, ParsesBlocksParamsLines) {
+  const auto model = parse_mdl_file(kAssets + "/power_supply.mdl");
+  EXPECT_EQ(model.name, "sensor_power_supply");
+  EXPECT_EQ(model.root.blocks.size(), 13u);
+  EXPECT_EQ(model.root.lines.size(), 14u);
+  const MdlBlock* mc1 = model.root.block("MC1");
+  ASSERT_NE(mc1, nullptr);
+  EXPECT_EQ(mc1->type, "MCU");
+  EXPECT_EQ(mc1->param("SupplyResistance"), std::optional<std::string>("100"));
+  EXPECT_DOUBLE_EQ(mc1->param_real("MinSupply", 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(mc1->param_real("Missing", 7.5), 7.5);
+}
+
+TEST(Mdl, NestedSubsystems) {
+  const char* text = R"(
+    Model { Name "m"
+      System {
+        Block { BlockType SubSystem Name "F"
+          System {
+            Block { BlockType Port Name "vin" }
+            Block { BlockType Resistor Name "R1" Resistance "5" }
+            Line { SrcBlock "vin" SrcPort "p" DstBlock "R1" DstPort "p" }
+          }
+        }
+      }
+    })";
+  const auto model = parse_mdl(text);
+  const MdlBlock* f = model.root.block("F");
+  ASSERT_NE(f, nullptr);
+  ASSERT_NE(f->subsystem, nullptr);
+  EXPECT_EQ(f->subsystem->blocks.size(), 2u);
+  EXPECT_EQ(f->subsystem->lines.size(), 1u);
+  EXPECT_EQ(model.root.total_blocks(), 3u);
+}
+
+TEST(Mdl, RoundTrip) {
+  const auto model = parse_mdl_file(kAssets + "/power_supply.mdl");
+  const auto again = parse_mdl(write_mdl(model));
+  EXPECT_EQ(again.name, model.name);
+  ASSERT_EQ(again.root.blocks.size(), model.root.blocks.size());
+  for (size_t i = 0; i < model.root.blocks.size(); ++i) {
+    EXPECT_EQ(again.root.blocks[i].name, model.root.blocks[i].name);
+    EXPECT_EQ(again.root.blocks[i].type, model.root.blocks[i].type);
+    EXPECT_EQ(again.root.blocks[i].params, model.root.blocks[i].params);
+  }
+  ASSERT_EQ(again.root.lines.size(), model.root.lines.size());
+  for (size_t i = 0; i < model.root.lines.size(); ++i) {
+    EXPECT_EQ(again.root.lines[i].src_block, model.root.lines[i].src_block);
+    EXPECT_EQ(again.root.lines[i].dst_port, model.root.lines[i].dst_port);
+  }
+}
+
+TEST(Mdl, MalformedInputThrows) {
+  EXPECT_THROW(parse_mdl("Model { Name \"x\" System { Block { Name \"n\" } } }"),
+               ParseError);  // no BlockType
+  EXPECT_THROW(parse_mdl("Model { System { Line { SrcBlock \"a\" } } }"), ParseError);
+  EXPECT_THROW(parse_mdl("NotAModel { }"), ParseError);
+  EXPECT_THROW(parse_mdl("Model { Name \"x\" } trailing"), ParseError);
+}
+
+TEST(Mdl, CommentsTolerated) {
+  const auto model = parse_mdl(
+      "# header comment\nModel {\n  Name \"m\"\n  // c\n  System {\n"
+      "    Block { BlockType Ground Name \"G\" }\n  }\n}\n");
+  EXPECT_EQ(model.root.blocks.size(), 1u);
+}
+
+TEST(MdlDriver, BindsBlocksAndLines) {
+  const auto source = DriverRegistry::global().open(kAssets + "/power_supply.mdl");
+  EXPECT_EQ(source->type(), "mdl");
+  query::Env env;
+  source->bind(env);
+  EXPECT_EQ(query::eval("modelName", env).as_string(), "sensor_power_supply");
+  EXPECT_DOUBLE_EQ(query::eval("blocks.size()", env).as_number(), 13.0);
+  EXPECT_DOUBLE_EQ(
+      query::eval("blocks.select(b | b.BlockType == 'Capacitor').size()", env).as_number(),
+      2.0);
+  EXPECT_DOUBLE_EQ(
+      query::eval("blocks.select(b | b.Name == 'MC1').first().SupplyResistance", env)
+          .as_number(),
+      100.0);
+  EXPECT_DOUBLE_EQ(
+      query::eval("lines.select(l | l.DstBlock == 'GND1').size()", env).as_number(), 4.0);
+}
+
+// ---------------------------------------------------------------- registry --
+
+TEST(Registry, DispatchByExtensionAndHint) {
+  ScratchDir scratch;
+  const auto csv = scratch.file("t.csv", "a\n1\n");
+  EXPECT_EQ(DriverRegistry::global().open(csv)->type(), "csv");
+  EXPECT_EQ(DriverRegistry::global().open(csv, "csv")->type(), "csv");
+  EXPECT_THROW(DriverRegistry::global().open(csv, "unknown-driver"), ModelError);
+  EXPECT_THROW(DriverRegistry::global().open("file.unknownext"), ModelError);
+}
+
+TEST(Registry, ListsBuiltInDrivers) {
+  const auto types = DriverRegistry::global().driver_types();
+  for (const char* expected : {"csv", "workbook", "json", "xml", "mdl"}) {
+    EXPECT_NE(std::find(types.begin(), types.end(), expected), types.end()) << expected;
+  }
+}

@@ -1,0 +1,180 @@
+// Unit tests for the FMEDA result model and ISO 26262 architecture metrics
+// (paper Equation 1 and the SPFM targets).
+#include <gtest/gtest.h>
+
+#include "decisive/base/error.hpp"
+#include "decisive/core/fmeda.hpp"
+
+using namespace decisive;
+using namespace decisive::core;
+
+namespace {
+
+FmedaRow row(const char* component, double fit, const char* mode, double dist, bool sr,
+             double coverage = 0.0) {
+  FmedaRow r;
+  r.component = component;
+  r.component_type = component;
+  r.fit = fit;
+  r.failure_mode = mode;
+  r.distribution = dist;
+  r.safety_related = sr;
+  r.effect = sr ? EffectClass::DVF : EffectClass::None;
+  if (coverage > 0.0) {
+    r.safety_mechanism = "SM";
+    r.sm_coverage = coverage;
+  }
+  return r;
+}
+
+/// The paper's Table IV rows.
+FmedaResult paper_fmeda(bool with_ecc) {
+  FmedaResult result;
+  result.rows = {
+      row("D1", 10, "Open", 0.30, true),
+      row("D1", 10, "Short", 0.70, false),
+      row("L1", 15, "Open", 0.30, true),
+      row("L1", 15, "Short", 0.70, false),
+      row("MC1", 300, "RAM Failure", 1.00, true, with_ecc ? 0.99 : 0.0),
+  };
+  return result;
+}
+
+}  // namespace
+
+TEST(FmedaRow, ModeAndResidualFit) {
+  const FmedaRow r = row("D1", 10, "Open", 0.30, true, 0.90);
+  EXPECT_DOUBLE_EQ(r.mode_fit(), 3.0);
+  EXPECT_NEAR(r.single_point_fit(), 0.3, 1e-12);
+  const FmedaRow none = row("D1", 10, "Short", 0.70, false);
+  EXPECT_DOUBLE_EQ(none.single_point_fit(), 0.0);  // not safety-related
+}
+
+TEST(Fmeda, PaperSpfmBeforeMechanisms) {
+  const auto result = paper_fmeda(false);
+  EXPECT_DOUBLE_EQ(result.total_safety_related_fit(), 325.0);
+  EXPECT_DOUBLE_EQ(result.single_point_fit(), 307.5);
+  EXPECT_NEAR(result.spfm(), 0.0538, 5e-4);
+}
+
+TEST(Fmeda, PaperSpfmWithEcc) {
+  const auto result = paper_fmeda(true);
+  EXPECT_DOUBLE_EQ(result.single_point_fit(), 10.5);
+  EXPECT_NEAR(result.spfm(), 0.9677, 5e-4);
+  EXPECT_EQ(achieved_asil(result.spfm()), "ASIL-B");
+}
+
+TEST(Fmeda, SafetyRelatedComponentsDeduplicated) {
+  auto result = paper_fmeda(false);
+  result.rows.push_back(row("D1", 10, "Drift", 0.0, true));
+  EXPECT_EQ(result.safety_related_components(),
+            (std::vector<std::string>{"D1", "L1", "MC1"}));
+  // The denominator counts D1's FIT once even with two safety-related rows.
+  EXPECT_DOUBLE_EQ(result.total_safety_related_fit(), 325.0);
+}
+
+TEST(Fmeda, EmptyOrNonSafetyResultHasSpfmOne) {
+  FmedaResult empty;
+  EXPECT_DOUBLE_EQ(empty.spfm(), 1.0);
+  FmedaResult benign;
+  benign.rows = {row("C1", 2, "Open", 0.3, false)};
+  EXPECT_DOUBLE_EQ(benign.spfm(), 1.0);
+}
+
+TEST(Fmeda, RowsOfFiltersByComponent) {
+  const auto result = paper_fmeda(false);
+  EXPECT_EQ(result.rows_of("D1").size(), 2u);
+  EXPECT_EQ(result.rows_of("MC1").size(), 1u);
+  EXPECT_TRUE(result.rows_of("nope").empty());
+}
+
+TEST(Fmeda, CsvExportIsMachineReadable) {
+  const auto table = paper_fmeda(true).to_csv();
+  EXPECT_EQ(table.rows.size(), 5u);
+  EXPECT_GE(table.column("Single_Point_FIT"), 0);
+  EXPECT_EQ(table.at(4, "Safety_Mechanism"), "SM");
+  EXPECT_EQ(table.at(4, "Single_Point_FIT"), "3");
+  EXPECT_EQ(table.at(0, "FIT"), "10");  // repeated on every row
+}
+
+TEST(Fmeda, TextExportMatchesPaperLayout) {
+  const std::string text = paper_fmeda(true).to_text().render();
+  EXPECT_NE(text.find("Single_Point_Failure_Rate"), std::string::npos);
+  EXPECT_NE(text.find("3 FIT"), std::string::npos);
+  EXPECT_NE(text.find("4.5 FIT"), std::string::npos);
+}
+
+// ------------------------------------------------------------ ASIL targets --
+
+TEST(Asil, TargetsPerLevel) {
+  EXPECT_DOUBLE_EQ(spfm_target("ASIL-B"), 0.90);
+  EXPECT_DOUBLE_EQ(spfm_target("ASIL-C"), 0.97);
+  EXPECT_DOUBLE_EQ(spfm_target("ASIL-D"), 0.99);
+  EXPECT_DOUBLE_EQ(spfm_target("ASIL-A"), 0.0);
+  EXPECT_DOUBLE_EQ(spfm_target("QM"), 0.0);
+  EXPECT_DOUBLE_EQ(spfm_target("b"), 0.90);       // case-insensitive
+  EXPECT_DOUBLE_EQ(spfm_target("ASIL D"), 0.99);  // space form
+  EXPECT_THROW(spfm_target("ASIL-E"), AnalysisError);
+}
+
+TEST(Asil, MeetsAndAchieved) {
+  EXPECT_TRUE(meets_asil(0.95, "ASIL-B"));
+  EXPECT_FALSE(meets_asil(0.95, "ASIL-C"));
+  EXPECT_EQ(achieved_asil(0.995), "ASIL-D");
+  EXPECT_EQ(achieved_asil(0.98), "ASIL-C");
+  EXPECT_EQ(achieved_asil(0.9), "ASIL-B");
+  EXPECT_EQ(achieved_asil(0.3), "ASIL-A");
+}
+
+TEST(EffectClass, Names) {
+  EXPECT_EQ(to_string(EffectClass::DVF), "DVF");
+  EXPECT_EQ(to_string(EffectClass::IVF), "IVF");
+  EXPECT_EQ(to_string(EffectClass::None), "");
+}
+
+// -------------------------------------------------------------- properties --
+
+/// Property: SPFM is always in [0, 1] and monotonically non-decreasing in
+/// any row's diagnostic coverage.
+class SpfmProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpfmProperty, BoundsAndCoverageMonotonicity) {
+  // Build a pseudo-random FMEDA from the seed.
+  const int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  FmedaResult result;
+  const int components = 2 + static_cast<int>(rng.below(6));
+  for (int c = 0; c < components; ++c) {
+    const double fit = 1.0 + rng.uniform() * 500.0;
+    const int modes = 1 + static_cast<int>(rng.below(3));
+    double remaining = 1.0;
+    for (int m = 0; m < modes; ++m) {
+      const double dist = m == modes - 1 ? remaining : remaining * rng.uniform();
+      remaining -= dist;
+      result.rows.push_back(row(("c" + std::to_string(c)).c_str(), fit,
+                                ("m" + std::to_string(m)).c_str(), dist, rng.chance(0.6),
+                                rng.chance(0.5) ? rng.uniform() : 0.0));
+    }
+  }
+
+  const double base = result.spfm();
+  EXPECT_GE(base, 0.0);
+  EXPECT_LE(base, 1.0);
+
+  // Raising coverage on any safety-related row must not lower the SPFM.
+  for (size_t i = 0; i < result.rows.size(); ++i) {
+    if (!result.rows[i].safety_related) continue;
+    FmedaResult improved = result;
+    improved.rows[i].sm_coverage = std::min(1.0, improved.rows[i].sm_coverage + 0.2);
+    EXPECT_GE(improved.spfm() + 1e-12, base);
+  }
+
+  // Perfect coverage everywhere yields SPFM == 1.
+  FmedaResult perfect = result;
+  for (auto& r : perfect.rows) {
+    r.sm_coverage = 1.0;
+  }
+  EXPECT_NEAR(perfect.spfm(), 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpfmProperty, ::testing::Range(1, 26));

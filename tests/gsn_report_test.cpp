@@ -1,0 +1,125 @@
+// Tests for GSN rendering of assurance cases and the workbook report export.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "decisive/assurance/gsn.hpp"
+#include "decisive/core/report.hpp"
+#include "decisive/drivers/datasource.hpp"
+#include "decisive/query/query.hpp"
+
+using namespace decisive;
+using namespace decisive::assurance;
+
+namespace {
+
+AssuranceCase sample_case() {
+  AssuranceCase ac("demo");
+  ac.add_claim("G1", "System is acceptably safe");
+  ac.add_context("C1", "Operating context", "G1");
+  ac.add_strategy("S1", "Argue over metrics", "G1");
+  ac.add_claim("G2", "SPFM target met", "S1");
+  ac.add_artifact("E1", "FMEDA evidence", "G2", "/tmp/nonexistent.csv", "csv", "true");
+  return ac;
+}
+
+}  // namespace
+
+TEST(Gsn, DotContainsAllNodesAndShapes) {
+  const auto dot = to_gsn_dot(sample_case());
+  EXPECT_NE(dot.find("digraph \"demo\""), std::string::npos);
+  EXPECT_NE(dot.find("\"G1\" [shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("\"S1\" [shape=parallelogram"), std::string::npos);
+  EXPECT_NE(dot.find("\"E1\" [shape=circle"), std::string::npos);
+  EXPECT_NE(dot.find("rounded"), std::string::npos);  // context styling
+  EXPECT_NE(dot.find("\"G1\" -> \"S1\""), std::string::npos);
+  // InContextOf edges are hollow/dashed.
+  EXPECT_NE(dot.find("\"G1\" -> \"C1\" [arrowhead=empty"), std::string::npos);
+}
+
+TEST(Gsn, DotColorsByEvaluationState) {
+  const auto ac = sample_case();
+  const auto report = evaluate(ac);  // E1's file is missing -> defeated chain
+  const auto dot = to_gsn_dot(ac, &report);
+  EXPECT_NE(dot.find("lightcoral"), std::string::npos);
+}
+
+TEST(Gsn, DotEscapesQuotes) {
+  AssuranceCase ac("q");
+  ac.add_claim("G1", "claim with \"quotes\"");
+  const auto dot = to_gsn_dot(ac);
+  EXPECT_NE(dot.find("\\\"quotes\\\""), std::string::npos);
+}
+
+TEST(Gsn, TextOutlineShowsHierarchyAndStates) {
+  const auto ac = sample_case();
+  const auto text = to_gsn_text(ac);
+  EXPECT_NE(text.find("[G] G1"), std::string::npos);
+  EXPECT_NE(text.find("  [S] S1"), std::string::npos);
+  EXPECT_NE(text.find("    [G] G2"), std::string::npos);
+  EXPECT_NE(text.find("(Sn) E1"), std::string::npos);
+
+  const auto report = evaluate(ac);
+  const auto annotated = to_gsn_text(ac, &report);
+  EXPECT_NE(annotated.find("<Defeated>"), std::string::npos);
+}
+
+TEST(Gsn, TextSurvivesCyclesAndDanglingRefs) {
+  AssuranceCase ac("odd");
+  Node& g1 = ac.add_claim("G1", "top");
+  g1.children.push_back("G1");     // self-cycle
+  g1.children.push_back("ghost");  // dangling
+  const auto text = to_gsn_text(ac);
+  EXPECT_NE(text.find("dangling"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ report --
+
+TEST(Report, MetricsTableValues) {
+  core::FmedaResult result;
+  core::FmedaRow row;
+  row.component = "D1";
+  row.component_type = "Diode";
+  row.fit = 10;
+  row.failure_mode = "Open";
+  row.distribution = 0.3;
+  row.safety_related = true;
+  result.rows.push_back(row);
+  const auto metrics = core::metrics_table(result);
+  EXPECT_EQ(metrics.at(2, "Value"), core::achieved_asil(result.spfm()));
+  EXPECT_EQ(metrics.at(5, "Value"), "1");  // one safety-related component
+}
+
+TEST(Report, WorkbookRoundTripsThroughDriverAndQueries) {
+  core::FmedaResult result;
+  result.warnings.push_back("something to review");
+  core::FmedaRow row;
+  row.component = "MC1";
+  row.component_type = "MC";
+  row.fit = 300;
+  row.failure_mode = "RAM Failure";
+  row.distribution = 1.0;
+  row.safety_related = true;
+  row.safety_mechanism = "ECC";
+  row.sm_coverage = 0.99;
+  result.rows.push_back(row);
+
+  const auto dir = std::filesystem::temp_directory_path() / "decisive-report-test";
+  std::filesystem::remove_all(dir);
+  core::write_report_workbook(dir.string(), result);
+
+  const auto workbook = drivers::DriverRegistry::global().open(dir.string());
+  EXPECT_EQ(workbook->table_names().size(), 3u);
+  query::Env env;
+  workbook->bind(env);
+  EXPECT_DOUBLE_EQ(
+      query::eval("rows('FMEDA').first().Single_Point_FIT", env).as_number(), 3.0);
+  // SPFM = 1 - 3/300 = 99% -> ASIL-D territory.
+  EXPECT_EQ(query::eval("rows('Metrics').select(m | m.Metric == 'Achieved_ASIL')"
+                        ".first().Value",
+                        env)
+                .as_string(),
+            "ASIL-D");
+  EXPECT_DOUBLE_EQ(query::eval("rows('Warnings').size()", env).as_number(), 1.0);
+  std::filesystem::remove_all(dir);
+}

@@ -1,0 +1,186 @@
+// Tests for change-impact analysis and safety-concept allocation/validation
+// (the ISO 26262 Clause 8 supporting-process side of DECISIVE).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "decisive/base/error.hpp"
+#include "decisive/core/impact.hpp"
+#include "decisive/core/workflow.hpp"
+
+using namespace decisive;
+using namespace decisive::core;
+using ssam::ObjectId;
+using ssam::SsamModel;
+
+namespace {
+
+struct Fixture {
+  SsamModel m;
+  DecisiveProcess process{m, "sys"};
+  ObjectId in, out;
+  ObjectId sensor, mcu, logger;
+  ObjectId sensor_out, mcu_in;
+
+  Fixture() {
+    in = m.add_io_node(process.system(), "in", "in");
+    out = m.add_io_node(process.system(), "out", "out");
+    sensor = leaf("S1");
+    mcu = leaf("M1");
+    logger = leaf("LOG1");
+    sensor_out = m.obj(sensor).refs("ioNodes")[1];
+    mcu_in = m.obj(mcu).refs("ioNodes")[0];
+    m.connect(process.system(), in, m.obj(sensor).refs("ioNodes")[0]);
+    m.connect(process.system(), sensor_out, mcu_in);
+    m.connect(process.system(), m.obj(mcu).refs("ioNodes")[1], out);
+    // Logger observes the sensor (side chain).
+    m.connect(process.system(), sensor_out, m.obj(logger).refs("ioNodes")[0]);
+  }
+
+  ObjectId leaf(const std::string& name) {
+    const ObjectId c = m.create_component(process.system(), name);
+    m.add_io_node(c, name + ".in", "in");
+    m.add_io_node(c, name + ".out", "out");
+    return c;
+  }
+};
+
+bool contains(const std::vector<ObjectId>& ids, ObjectId id) {
+  return std::find(ids.begin(), ids.end(), id) != ids.end();
+}
+
+}  // namespace
+
+TEST(Impact, AncestorsIncludeContainmentChain) {
+  Fixture f;
+  const auto report = impact_of_change(f.m, f.sensor);
+  EXPECT_TRUE(contains(report.ancestors, f.process.system()));
+  EXPECT_TRUE(contains(report.ancestors, f.process.component_package()));
+}
+
+TEST(Impact, ConnectedComponentsAreSignalNeighbours) {
+  Fixture f;
+  const auto report = impact_of_change(f.m, f.sensor);
+  EXPECT_TRUE(contains(report.connected_components, f.mcu));
+  EXPECT_TRUE(contains(report.connected_components, f.logger));
+  EXPECT_FALSE(contains(report.connected_components, f.sensor));  // not itself
+  // The MCU's neighbours include the sensor but not the logger.
+  const auto mcu_report = impact_of_change(f.m, f.mcu);
+  EXPECT_TRUE(contains(mcu_report.connected_components, f.sensor));
+  EXPECT_FALSE(contains(mcu_report.connected_components, f.logger));
+}
+
+TEST(Impact, RequirementsViaCitation) {
+  Fixture f;
+  const auto h1 = f.process.identify_hazard("H1", "S2", 1e-6, "ASIL-B");
+  const auto sr = f.process.derive_safety_requirement(h1, "SR1", "text", "ASIL-B");
+  f.process.allocate_requirement(sr, f.sensor);
+  const auto report = impact_of_change(f.m, f.sensor);
+  EXPECT_TRUE(contains(report.requirements, sr));
+  EXPECT_TRUE(impact_of_change(f.m, f.mcu).requirements.empty());
+}
+
+TEST(Impact, HazardsAndMechanismsViaFailureModes) {
+  Fixture f;
+  const auto h1 = f.process.identify_hazard("H1", "S2", 1e-6, "ASIL-B");
+  const auto fm = f.m.add_failure_mode(f.sensor, "No output", 0.6, "lossOfFunction");
+  f.m.obj(fm).add_ref("hazards", h1);
+  const auto sm = f.m.add_safety_mechanism(f.sensor, "redundancy", 0.95, 2.0, fm);
+
+  const auto report = impact_of_change(f.m, f.sensor);
+  EXPECT_TRUE(contains(report.hazards, h1));
+  EXPECT_TRUE(contains(report.safety_mechanisms, sm));
+  EXPECT_FALSE(report.reanalysis_required);  // no verdict recorded yet
+
+  f.m.obj(fm).set_bool("safetyRelated", true);
+  EXPECT_TRUE(impact_of_change(f.m, f.sensor).reanalysis_required);
+}
+
+TEST(Impact, RejectsNonComponents) {
+  Fixture f;
+  EXPECT_THROW(impact_of_change(f.m, f.in), ModelError);
+}
+
+TEST(Impact, TextRendering) {
+  Fixture f;
+  const auto report = impact_of_change(f.m, f.sensor);
+  const std::string text = report.to_text(f.m);
+  EXPECT_NE(text.find("S1"), std::string::npos);
+  EXPECT_NE(text.find("M1"), std::string::npos);
+  EXPECT_NE(text.find("no safety-related"), std::string::npos);
+}
+
+// --------------------------------------------------------------- allocation --
+
+TEST(Allocation, RaisesComponentIntegrityLevel) {
+  Fixture f;
+  const auto h1 = f.process.identify_hazard("H1", "S2", 1e-6, "ASIL-C");
+  const auto sr = f.process.derive_safety_requirement(h1, "SR1", "text", "ASIL-C");
+  f.process.allocate_requirement(sr, f.mcu);
+  EXPECT_EQ(f.m.obj(f.mcu).get_string("integrityLevel"), "ASIL-C");
+  // A weaker requirement does not lower it again.
+  const auto sr2 = f.process.derive_safety_requirement(h1, "SR2", "text", "ASIL-A");
+  f.process.allocate_requirement(sr2, f.mcu);
+  EXPECT_EQ(f.m.obj(f.mcu).get_string("integrityLevel"), "ASIL-C");
+}
+
+TEST(Allocation, TypeChecked) {
+  Fixture f;
+  const auto h1 = f.process.identify_hazard("H1", "S2", 1e-6, "ASIL-B");
+  const auto sr = f.process.derive_safety_requirement(h1, "SR1", "text", "ASIL-B");
+  EXPECT_THROW(f.process.allocate_requirement(f.mcu, f.sensor), ModelError);
+  EXPECT_THROW(f.process.allocate_requirement(sr, h1), ModelError);
+}
+
+TEST(Validation, FlagsUnallocatedSafetyRequirements) {
+  Fixture f;
+  const auto h1 = f.process.identify_hazard("H1", "S2", 1e-6, "ASIL-B");
+  const auto sr = f.process.derive_safety_requirement(h1, "SR1", "text", "ASIL-B");
+  auto issues = f.process.validate_safety_concept();
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].find("SR1"), std::string::npos);
+
+  f.process.allocate_requirement(sr, f.mcu);
+  issues = f.process.validate_safety_concept();
+  for (const auto& issue : issues) {
+    EXPECT_EQ(issue.find("not allocated"), std::string::npos) << issue;
+  }
+}
+
+TEST(Validation, FlagsUnmitigatedHazards) {
+  Fixture f;
+  f.process.identify_hazard("H-orphan", "S1", 1e-5, "ASIL-A");
+  const auto issues = f.process.validate_safety_concept();
+  bool flagged = false;
+  for (const auto& issue : issues) {
+    if (issue.find("H-orphan") != std::string::npos) flagged = true;
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST(Validation, FlagsUncoveredSafetyRelatedFailureModes) {
+  Fixture f;
+  const auto fm = f.m.add_failure_mode(f.sensor, "No output", 0.6, "lossOfFunction");
+  f.m.obj(fm).set_bool("safetyRelated", true);
+  auto issues = f.process.validate_safety_concept();
+  bool flagged = false;
+  for (const auto& issue : issues) {
+    if (issue.find("No output") != std::string::npos) flagged = true;
+  }
+  EXPECT_TRUE(flagged);
+
+  // Deploying a mechanism covering the mode clears the finding.
+  f.m.add_safety_mechanism(f.sensor, "redundancy", 0.95, 2.0, fm);
+  issues = f.process.validate_safety_concept();
+  for (const auto& issue : issues) {
+    EXPECT_EQ(issue.find("No output"), std::string::npos) << issue;
+  }
+}
+
+TEST(Validation, CleanConceptHasNoIssues) {
+  Fixture f;
+  const auto h1 = f.process.identify_hazard("H1", "S2", 1e-6, "ASIL-B");
+  const auto sr = f.process.derive_safety_requirement(h1, "SR1", "text", "ASIL-B");
+  f.process.allocate_requirement(sr, f.mcu);
+  EXPECT_TRUE(f.process.validate_safety_concept().empty());
+}

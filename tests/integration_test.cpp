@@ -1,0 +1,196 @@
+// Cross-module integration tests: full pipelines from model files through
+// simulation, FMEA, persistence and assurance.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "decisive/assurance/case.hpp"
+#include "decisive/assurance/evaluate.hpp"
+#include "decisive/base/csv.hpp"
+#include "decisive/core/circuit_fmea.hpp"
+#include "decisive/core/synthetic.hpp"
+#include "decisive/core/workflow.hpp"
+#include "decisive/drivers/datasource.hpp"
+#include "decisive/drivers/mdl.hpp"
+#include "decisive/model/xmi.hpp"
+#include "decisive/sim/builder.hpp"
+#include "decisive/transform/simulink.hpp"
+
+using namespace decisive;
+
+namespace {
+
+const std::string kAssets = DECISIVE_ASSETS_DIR;
+
+struct TempDir {
+  std::filesystem::path path;
+  TempDir() {
+    path = std::filesystem::temp_directory_path() /
+           ("decisive-integration-" + std::to_string(::getpid()));
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+core::CircuitFmeaOptions case_study_options() {
+  core::CircuitFmeaOptions options;
+  options.safety_goal_observables = {"CS1", "MC1"};
+  return options;
+}
+
+core::FmedaResult run_case_study(bool with_ecc) {
+  const auto built = sim::build_circuit(drivers::parse_mdl_file(kAssets + "/power_supply.mdl"));
+  const auto workbook =
+      drivers::DriverRegistry::global().open(kAssets + "/reliability_workbook");
+  const auto reliability = core::ReliabilityModel::from_source(*workbook, "Reliability");
+  const auto sm = core::SafetyMechanismModel::from_source(*workbook, "SafetyMechanisms");
+  return core::analyze_circuit(built, reliability, with_ecc ? &sm : nullptr,
+                               case_study_options());
+}
+
+}  // namespace
+
+TEST(Integration, MdlToFmedaToAssuranceCase) {
+  // The paper's Section V story end to end: design -> FMEDA -> evidence CSV
+  // -> assurance case evaluation flips from defeated to supported when the
+  // ECC refinement lands.
+  TempDir tmp;
+  const std::string evidence = (tmp.path / "fmeda.csv").string();
+
+  assurance::AssuranceCase ac("power-supply");
+  ac.add_claim("G1", "design meets ASIL-B SPFM");
+  ac.add_artifact("E1", "generated FMEDA", "G1", evidence, "csv",
+                  "var sr = rows().select(r | r.Safety_Related == 'Yes');\n"
+                  "var comps = sr.collect(r | r.Component).distinct();\n"
+                  "var lambda = comps.collect(c |\n"
+                  "    rows().select(r | r.Component == c).first().FIT).sum();\n"
+                  "1 - sr.collect(r | r.Single_Point_FIT).sum() / lambda >= 0.90");
+
+  write_csv_file(evidence, run_case_study(false).to_csv());
+  EXPECT_FALSE(assurance::evaluate(ac).case_supported);
+
+  write_csv_file(evidence, run_case_study(true).to_csv());
+  EXPECT_TRUE(assurance::evaluate(ac).case_supported);
+}
+
+TEST(Integration, RoundTrippedModelProducesIdenticalFmea) {
+  // MDL -> SSAM -> MDL -> circuit FMEA must agree with the direct pipeline:
+  // the transformation is behaviour-preserving, not just structure-
+  // preserving.
+  const auto mdl = drivers::parse_mdl_file(kAssets + "/power_supply.mdl");
+  ssam::SsamModel ssam_model;
+  const auto transform_result = transform::simulink_to_ssam(mdl, ssam_model);
+  const auto regenerated = transform::ssam_to_simulink(ssam_model, transform_result.root);
+
+  const auto workbook =
+      drivers::DriverRegistry::global().open(kAssets + "/reliability_workbook");
+  const auto reliability = core::ReliabilityModel::from_source(*workbook, "Reliability");
+
+  const auto direct = core::analyze_circuit(sim::build_circuit(mdl), reliability, nullptr,
+                                            case_study_options());
+  const auto roundtripped = core::analyze_circuit(sim::build_circuit(regenerated),
+                                                  reliability, nullptr, case_study_options());
+  ASSERT_EQ(direct.rows.size(), roundtripped.rows.size());
+  EXPECT_DOUBLE_EQ(direct.spfm(), roundtripped.spfm());
+  EXPECT_EQ(direct.safety_related_components(), roundtripped.safety_related_components());
+}
+
+TEST(Integration, SsamModelSurvivesXmiPersistence) {
+  // Build System A, persist it as XMI, reload, re-run the FMEA: identical
+  // verdicts and metrics.
+  auto original = core::make_system_a();
+  const auto fmea_before = core::analyze_component(*original.model, original.system);
+
+  TempDir tmp;
+  const std::string path = (tmp.path / "system_a.ssam").string();
+  // Persist BEFORE analysis wrote effects: rebuild a fresh copy for saving.
+  auto fresh = core::make_system_a();
+  model::save_xmi_file(path, fresh.model->repo(), fresh.model->meta());
+
+  ssam::SsamModel loaded;
+  model::load_xmi_file(loaded.repo(), loaded.meta(), path);
+  EXPECT_EQ(loaded.size(), 102u);
+  const auto system = loaded.find_by_name(ssam::cls::Component, "PowerSupplyA");
+  ASSERT_NE(system, model::kNullObject);
+  const auto fmea_after = core::analyze_component(loaded, system);
+  EXPECT_EQ(fmea_after.rows.size(), fmea_before.rows.size());
+  EXPECT_DOUBLE_EQ(fmea_after.spfm(), fmea_before.spfm());
+  EXPECT_EQ(fmea_after.safety_related_components(),
+            fmea_before.safety_related_components());
+}
+
+TEST(Integration, DecisiveWorkflowOnImportedDesign) {
+  // Import the Simulink case study, graft the imported components under a
+  // DECISIVE process system, aggregate reliability through Step 3 and
+  // iterate to ASIL-B — the non-Simulink path of the paper applied to an
+  // imported design.
+  ssam::SsamModel m;
+  core::DecisiveProcess process(m, "imported-power-supply");
+  const auto h1 = process.identify_hazard("H1", "S2", 1e-6, "ASIL-B");
+  process.derive_safety_requirement(h1, "SR1", "supply must not fail silently", "ASIL-B");
+
+  // Step 2 via import: transform, then wire the imported electrical chain
+  // into the process system as a serial design.
+  const auto mdl = drivers::parse_mdl_file(kAssets + "/power_supply.mdl");
+  const auto imported = transform::simulink_to_ssam(mdl, m);
+  (void)imported;
+
+  const auto sys = process.system();
+  const auto in = m.add_io_node(sys, "in", "in");
+  const auto out = m.add_io_node(sys, "out", "out");
+  ssam::ObjectId previous = in;
+  for (const char* name : {"D1", "L1", "MC1"}) {
+    const auto comp = m.create_component(sys, std::string("i.") + name);
+    m.obj(comp).set_string("blockType",
+                           std::string(name) == "MC1" ? "MC" : (name[0] == 'D' ? "Diode"
+                                                                               : "Inductor"));
+    const auto cin = m.add_io_node(comp, std::string(name) + ".in", "in");
+    const auto cout = m.add_io_node(comp, std::string(name) + ".out", "out");
+    m.connect(sys, previous, cin);
+    previous = cout;
+  }
+  m.connect(sys, previous, out);
+
+  const auto workbook =
+      drivers::DriverRegistry::global().open(kAssets + "/reliability_workbook");
+  const auto reliability = core::ReliabilityModel::from_source(*workbook, "Reliability");
+  EXPECT_EQ(process.aggregate_reliability(reliability), 3u);
+
+  core::SafetyMechanismModel catalogue =
+      core::SafetyMechanismModel::from_source(*workbook, "SafetyMechanisms");
+  catalogue.add({"Diode", "Open", "Redundant diode", 0.95, 1.0});
+  catalogue.add({"Inductor", "Open", "Supply monitor", 0.95, 1.0});
+
+  const auto report = process.iterate_until("ASIL-B", catalogue);
+  EXPECT_TRUE(report.target_met);
+  EXPECT_GE(report.spfm, 0.90);
+  const std::string concept_text = process.synthesise_safety_concept();
+  EXPECT_NE(concept_text.find("ECC"), std::string::npos);
+}
+
+TEST(Integration, FederatedReliabilityThroughExternalReference) {
+  // REQ2 end to end: a component's FIT is not modelled locally but pulled
+  // from the workbook through its ExternalReference extraction rule.
+  ssam::SsamModel m;
+  const auto pkg = m.create_component_package("design");
+  const auto mc = m.create_component(pkg, "MC1");
+  const auto ext = m.add_external_reference(
+      mc, kAssets + "/reliability_workbook", "workbook",
+      "rows('Reliability').select(r | r.Component == 'MC').first().FIT");
+  const auto fit = ssam::run_extraction(m, ext);
+  m.obj(mc).set_real("fit", fit.as_number());
+  EXPECT_DOUBLE_EQ(m.obj(mc).get_real("fit"), 300.0);
+}
+
+TEST(Integration, TransientAnalysisOfTheCaseStudy) {
+  // The case-study circuit also runs in the time domain (the Simulink
+  // substitute is a real simulator, not a DC-only stub): readings stay at
+  // their DC values under constant drive.
+  const auto built = sim::build_circuit(drivers::parse_mdl_file(kAssets + "/power_supply.mdl"));
+  const auto samples = sim::transient(built.circuit, 1e-3, 1e-5);
+  ASSERT_GT(samples.size(), 50u);
+  const double initial = samples.front().point.reading("CS1");
+  const double final_reading = samples.back().point.reading("CS1");
+  EXPECT_NEAR(initial, final_reading, std::abs(initial) * 0.05 + 1e-6);
+  EXPECT_DOUBLE_EQ(samples.back().point.reading("MC1"), 1.0);
+}

@@ -1,0 +1,140 @@
+// Tests for runtime-monitor generation from dynamic SSAM components.
+#include <gtest/gtest.h>
+
+#include "decisive/base/error.hpp"
+#include "decisive/core/monitor.hpp"
+
+using namespace decisive;
+using namespace decisive::core;
+using ssam::ObjectId;
+using ssam::SsamModel;
+
+namespace {
+
+struct Fixture {
+  SsamModel m;
+  ObjectId sys;
+  ObjectId sensor;
+  ObjectId node;
+
+  Fixture() {
+    const auto pkg = m.create_component_package("design");
+    sys = m.create_component(pkg, "sys");
+    sensor = m.create_component(sys, "CS1");
+    m.obj(sensor).set_bool("dynamic", true);
+    node = m.add_io_node(sensor, "current", "out");
+    m.obj(node).set_real("lowerLimit", 0.030);
+    m.obj(node).set_real("upperLimit", 0.060);
+  }
+};
+
+}  // namespace
+
+TEST(Monitor, GeneratesChecksFromDynamicComponents) {
+  Fixture f;
+  const auto monitor = RuntimeMonitor::generate(f.m, f.sys);
+  ASSERT_EQ(monitor.checks().size(), 1u);
+  const auto& check = monitor.checks()[0];
+  EXPECT_EQ(check.id, "CS1.current");
+  EXPECT_DOUBLE_EQ(*check.lower, 0.030);
+  EXPECT_DOUBLE_EQ(*check.upper, 0.060);
+}
+
+TEST(Monitor, StaticComponentsAreSkippedUnlessRequested) {
+  Fixture f;
+  f.m.obj(f.sensor).set_bool("dynamic", false);
+  EXPECT_TRUE(RuntimeMonitor::generate(f.m, f.sys).checks().empty());
+  EXPECT_EQ(RuntimeMonitor::generate(f.m, f.sys, /*include_static=*/true).checks().size(), 1u);
+}
+
+TEST(Monitor, NodesWithoutLimitsAreSkipped) {
+  Fixture f;
+  f.m.add_io_node(f.sensor, "unbounded", "in");  // no limits
+  EXPECT_EQ(RuntimeMonitor::generate(f.m, f.sys).checks().size(), 1u);
+}
+
+TEST(Monitor, InRangeSamplesPass) {
+  Fixture f;
+  auto monitor = RuntimeMonitor::generate(f.m, f.sys);
+  EXPECT_EQ(monitor.feed("CS1.current", 0.045), std::nullopt);
+  EXPECT_EQ(monitor.feed("CS1.current", 0.030), std::nullopt);  // inclusive bounds
+  EXPECT_EQ(monitor.feed("CS1.current", 0.060), std::nullopt);
+  EXPECT_EQ(monitor.samples_seen(), 3u);
+  EXPECT_EQ(monitor.violations_seen(), 0u);
+}
+
+TEST(Monitor, ViolationsReportBoundAndDirection) {
+  Fixture f;
+  auto monitor = RuntimeMonitor::generate(f.m, f.sys);
+  const auto low = monitor.feed("CS1.current", 0.010);
+  ASSERT_TRUE(low.has_value());
+  EXPECT_TRUE(low->below_lower);
+  EXPECT_DOUBLE_EQ(low->bound, 0.030);
+  const auto high = monitor.feed("CS1.current", 0.100);
+  ASSERT_TRUE(high.has_value());
+  EXPECT_FALSE(high->below_lower);
+  EXPECT_DOUBLE_EQ(high->bound, 0.060);
+  EXPECT_EQ(monitor.violations_seen(), 2u);
+}
+
+TEST(Monitor, ViolationsCarryLinkedHazards) {
+  Fixture f;
+  const auto haz_pkg = f.m.create_hazard_package("hazards");
+  const auto h1 = f.m.create_hazard(haz_pkg, "H1", "S2", 1e-6, "ASIL-B");
+  const auto fm = f.m.add_failure_mode(f.sensor, "Drift", 0.4, "degraded");
+  f.m.obj(fm).add_ref("hazards", h1);
+
+  auto monitor = RuntimeMonitor::generate(f.m, f.sys);
+  const auto violation = monitor.feed("CS1.current", 0.0);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->hazards, (std::vector<std::string>{"H1"}));
+}
+
+TEST(Monitor, UnknownCheckThrows) {
+  Fixture f;
+  auto monitor = RuntimeMonitor::generate(f.m, f.sys);
+  EXPECT_THROW(monitor.feed("nope", 1.0), AnalysisError);
+}
+
+TEST(Monitor, FrameFeeding) {
+  Fixture f;
+  const auto mcu = f.m.create_component(f.sys, "MC1");
+  f.m.obj(mcu).set_bool("dynamic", true);
+  const auto status = f.m.add_io_node(mcu, "status", "out");
+  f.m.obj(status).set_real("lowerLimit", 1.0);  // status must stay 1
+
+  auto monitor = RuntimeMonitor::generate(f.m, f.sys);
+  ASSERT_EQ(monitor.checks().size(), 2u);
+  const auto violations =
+      monitor.feed_frame({{"CS1.current", 0.045}, {"MC1.status", 0.0}});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].check_id, "MC1.status");
+}
+
+TEST(Monitor, OneSidedLimits) {
+  SsamModel m;
+  const auto pkg = m.create_component_package("design");
+  const auto sys = m.create_component(pkg, "sys");
+  const auto comp = m.create_component(sys, "c");
+  m.obj(comp).set_bool("dynamic", true);
+  const auto only_upper = m.add_io_node(comp, "temp", "out");
+  m.obj(only_upper).set_real("upperLimit", 85.0);
+
+  auto monitor = RuntimeMonitor::generate(m, sys);
+  ASSERT_EQ(monitor.checks().size(), 1u);
+  EXPECT_FALSE(monitor.checks()[0].lower.has_value());
+  EXPECT_EQ(monitor.feed("c.temp", -40.0), std::nullopt);  // no lower bound
+  EXPECT_TRUE(monitor.feed("c.temp", 90.0).has_value());
+}
+
+TEST(Monitor, TextSpecListsChecksAndHazards) {
+  Fixture f;
+  const auto haz_pkg = f.m.create_hazard_package("hazards");
+  const auto h1 = f.m.create_hazard(haz_pkg, "H1", "S2", 1e-6, "ASIL-B");
+  const auto fm = f.m.add_failure_mode(f.sensor, "Drift", 0.4, "degraded");
+  f.m.obj(fm).add_ref("hazards", h1);
+  const auto text = RuntimeMonitor::generate(f.m, f.sys).to_text();
+  EXPECT_NE(text.find("CS1.current"), std::string::npos);
+  EXPECT_NE(text.find("0.03"), std::string::npos);
+  EXPECT_NE(text.find("H1"), std::string::npos);
+}

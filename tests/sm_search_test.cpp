@@ -1,0 +1,225 @@
+// Tests for automated safety-mechanism deployment: greedy target search and
+// the (cost, SPFM) Pareto front.
+#include <gtest/gtest.h>
+
+#include "decisive/base/error.hpp"
+#include "decisive/base/table.hpp"
+#include "decisive/core/sm_search.hpp"
+
+using namespace decisive;
+using namespace decisive::core;
+
+namespace {
+
+FmedaRow make_row(const char* component, double fit, const char* mode, double dist,
+                  bool sr) {
+  FmedaRow r;
+  r.component = component;
+  r.component_type = component;
+  r.fit = fit;
+  r.failure_mode = mode;
+  r.distribution = dist;
+  r.safety_related = sr;
+  return r;
+}
+
+/// Three safety-related single-mode components; catalogue with options of
+/// different cost/coverage.
+FmedaResult sample_fmea() {
+  FmedaResult f;
+  f.rows = {make_row("A", 100, "Open", 1.0, true), make_row("B", 200, "Open", 1.0, true),
+            make_row("C", 300, "Open", 1.0, true)};
+  return f;
+}
+
+SafetyMechanismModel sample_catalogue() {
+  SafetyMechanismModel cat;
+  cat.add({"A", "Open", "A-cheap", 0.80, 1.0});
+  cat.add({"A", "Open", "A-good", 0.99, 4.0});
+  cat.add({"B", "Open", "B-only", 0.95, 2.0});
+  cat.add({"C", "Open", "C-only", 0.98, 3.0});
+  return cat;
+}
+
+}  // namespace
+
+TEST(ApplyDeployment, UpdatesRows) {
+  const auto fmea = sample_fmea();
+  const auto cat = sample_catalogue();
+  Deployment d;
+  d.choices.push_back({0, cat.applicable("A", "Open")[0]});
+  const auto applied = apply_deployment(fmea, d);
+  EXPECT_EQ(applied.rows[0].safety_mechanism, "A-cheap");
+  EXPECT_DOUBLE_EQ(applied.rows[0].sm_coverage, 0.80);
+  EXPECT_TRUE(applied.rows[1].safety_mechanism.empty());
+}
+
+TEST(ApplyDeployment, InvalidRowThrows) {
+  const auto fmea = sample_fmea();
+  const auto cat = sample_catalogue();
+  Deployment d;
+  d.choices.push_back({99, cat.applicable("A", "Open")[0]});
+  EXPECT_THROW(apply_deployment(fmea, d), AnalysisError);
+}
+
+TEST(Greedy, ReachesAsilB) {
+  const auto fmea = sample_fmea();
+  const auto cat = sample_catalogue();
+  const auto deployment = greedy_reach_asil(fmea, cat, "ASIL-B");
+  ASSERT_TRUE(deployment.has_value());
+  EXPECT_GE(deployment->spfm, 0.90);
+  const auto applied = apply_deployment(fmea, *deployment);
+  EXPECT_NEAR(applied.spfm(), deployment->spfm, 1e-12);
+}
+
+TEST(Greedy, PrefersCostEffectiveMechanisms) {
+  const auto fmea = sample_fmea();
+  const auto cat = sample_catalogue();
+  const auto deployment = greedy_reach_asil(fmea, cat, "ASIL-B");
+  ASSERT_TRUE(deployment.has_value());
+  // Greedy should never pay for "A-good" (4h) when "A-cheap" suffices for
+  // ASIL-B.
+  for (const auto& choice : deployment->choices) {
+    EXPECT_NE(choice.mechanism->name, "A-good");
+  }
+}
+
+TEST(Greedy, UnreachableTargetReturnsNullopt) {
+  FmedaResult f;
+  f.rows = {make_row("X", 1000, "Open", 1.0, true)};
+  SafetyMechanismModel cat;  // empty catalogue
+  EXPECT_EQ(greedy_reach_asil(f, cat, "ASIL-B"), std::nullopt);
+
+  // Even a weak mechanism cannot reach ASIL-D coverage here.
+  cat.add({"X", "Open", "weak", 0.5, 1.0});
+  EXPECT_EQ(greedy_reach_asil(f, cat, "ASIL-D"), std::nullopt);
+}
+
+TEST(Greedy, AlreadyMetTargetDeploysNothing) {
+  FmedaResult f;
+  f.rows = {make_row("X", 100, "Open", 0.05, true)};  // SPFM = 95%
+  const auto deployment = greedy_reach_asil(f, sample_catalogue(), "ASIL-B");
+  ASSERT_TRUE(deployment.has_value());
+  EXPECT_TRUE(deployment->choices.empty());
+  EXPECT_DOUBLE_EQ(deployment->total_cost_hours, 0.0);
+}
+
+TEST(Greedy, RespectsPreDeployedMechanisms) {
+  auto fmea = sample_fmea();
+  fmea.rows[2].safety_mechanism = "pre-existing";
+  fmea.rows[2].sm_coverage = 0.99;
+  const auto deployment = greedy_reach_asil(fmea, sample_catalogue(), "ASIL-B");
+  ASSERT_TRUE(deployment.has_value());
+  for (const auto& choice : deployment->choices) {
+    EXPECT_NE(choice.row_index, 2u);  // row 2 is fixed
+  }
+}
+
+TEST(Pareto, FrontIsNonDominatedAndSorted) {
+  const auto fmea = sample_fmea();
+  const auto front = pareto_front(fmea, sample_catalogue());
+  ASSERT_FALSE(front.empty());
+  // Sorted by cost; strictly improving SPFM along the front.
+  for (size_t i = 1; i < front.size(); ++i) {
+    EXPECT_GE(front[i].total_cost_hours, front[i - 1].total_cost_hours);
+    EXPECT_GT(front[i].spfm, front[i - 1].spfm);
+  }
+  // No member dominates another.
+  for (const auto& a : front) {
+    for (const auto& b : front) {
+      if (&a != &b) {
+        EXPECT_FALSE(a.dominates(b));
+      }
+    }
+  }
+  // The empty deployment (cost 0) is always on the front.
+  EXPECT_DOUBLE_EQ(front.front().total_cost_hours, 0.0);
+}
+
+TEST(Pareto, ContainsTheBestAchievableSpfm) {
+  const auto fmea = sample_fmea();
+  const auto front = pareto_front(fmea, sample_catalogue());
+  // Full deployment with the best mechanisms: A-good + B-only + C-only.
+  const double best = front.back().spfm;
+  FmedaResult full = sample_fmea();
+  full.rows[0].sm_coverage = 0.99;
+  full.rows[1].sm_coverage = 0.95;
+  full.rows[2].sm_coverage = 0.98;
+  for (auto& r : full.rows) r.safety_mechanism = "x";
+  EXPECT_NEAR(best, full.spfm(), 1e-12);
+}
+
+TEST(Pareto, DominanceSemantics) {
+  Deployment cheap_good{.choices = {}, .spfm = 0.9, .total_cost_hours = 1.0};
+  Deployment pricey_bad{.choices = {}, .spfm = 0.8, .total_cost_hours = 2.0};
+  Deployment pricey_best{.choices = {}, .spfm = 0.95, .total_cost_hours = 2.0};
+  EXPECT_TRUE(cheap_good.dominates(pricey_bad));
+  EXPECT_FALSE(pricey_bad.dominates(cheap_good));
+  EXPECT_FALSE(cheap_good.dominates(pricey_best));
+  EXPECT_FALSE(pricey_best.dominates(cheap_good));
+  EXPECT_FALSE(cheap_good.dominates(cheap_good));
+}
+
+TEST(Pareto, CombinationGuardThrows) {
+  // 12 rows x 3 options = 3^12 > the tiny cap given.
+  FmedaResult f;
+  SafetyMechanismModel cat;
+  for (int i = 0; i < 12; ++i) {
+    const std::string name = "T" + std::to_string(i);
+    f.rows.push_back(make_row(name.c_str(), 10, "Open", 1.0, true));
+    cat.add({name, "Open", "a", 0.9, 1.0});
+    cat.add({name, "Open", "b", 0.95, 2.0});
+  }
+  EXPECT_THROW(pareto_front(f, cat, /*max_combinations=*/1000), AnalysisError);
+}
+
+TEST(Pareto, NoSafetyRelatedRowsYieldsTrivialFront) {
+  FmedaResult f;
+  f.rows = {make_row("A", 100, "Open", 1.0, false)};
+  const auto front = pareto_front(f, sample_catalogue());
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_DOUBLE_EQ(front[0].spfm, 1.0);
+  EXPECT_TRUE(front[0].choices.empty());
+}
+
+/// Property sweep: on random catalogues, every greedy solution cost is >=
+/// the cheapest Pareto point meeting the same target (greedy is not optimal,
+/// but never better than the front), and all front members stay in bounds.
+class SearchProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SearchProperty, GreedyConsistentWithFront) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  FmedaResult f;
+  SafetyMechanismModel cat;
+  const int n = 2 + static_cast<int>(rng.below(5));
+  for (int i = 0; i < n; ++i) {
+    const std::string name = "R" + std::to_string(i);
+    f.rows.push_back(make_row(name.c_str(), 10 + rng.uniform() * 200, "Open", 1.0, true));
+    const int options = static_cast<int>(rng.below(3));
+    for (int k = 0; k < options; ++k) {
+      cat.add({name, "Open", name + "-sm" + std::to_string(k), 0.5 + rng.uniform() * 0.49,
+               0.5 + rng.uniform() * 5.0});
+    }
+  }
+  const auto front = pareto_front(f, cat);
+  for (const auto& d : front) {
+    EXPECT_GE(d.spfm, 0.0);
+    EXPECT_LE(d.spfm, 1.0);
+  }
+  const auto greedy = greedy_reach_asil(f, cat, "ASIL-B");
+  const Deployment* cheapest = nullptr;
+  for (const auto& d : front) {
+    if (d.spfm >= 0.90) {
+      cheapest = &d;
+      break;
+    }
+  }
+  if (greedy.has_value()) {
+    ASSERT_NE(cheapest, nullptr);  // greedy found it, so the front must too
+    EXPECT_GE(greedy->total_cost_hours + 1e-12, cheapest->total_cost_hours);
+  } else {
+    EXPECT_EQ(cheapest, nullptr);  // and vice versa
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SearchProperty, ::testing::Range(1, 26));

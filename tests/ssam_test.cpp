@@ -1,0 +1,292 @@
+// Unit tests for the SSAM metamodel, the typed facade, external-model
+// federation and the component graph used by Algorithm 1.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "decisive/base/error.hpp"
+#include "decisive/ssam/graph.hpp"
+#include "decisive/ssam/metamodel.hpp"
+#include "decisive/ssam/model.hpp"
+
+using namespace decisive;
+using namespace decisive::ssam;
+
+// -------------------------------------------------------------- metamodel --
+
+TEST(Metamodel, AllModulesPresent) {
+  const auto& meta = metamodel();
+  for (const char* name :
+       {cls::ModelElement, cls::ImplementationConstraint, cls::ExternalReference,
+        cls::Requirement, cls::SafetyRequirement, cls::RequirementPackage,
+        cls::HazardousSituation, cls::Cause, cls::ControlMeasure, cls::HazardPackage,
+        cls::Component, cls::IONode, cls::FailureMode, cls::FailureEffect,
+        cls::SafetyMechanism, cls::Function, cls::ComponentRelationship,
+        cls::ComponentPackage, cls::MBSAPackage}) {
+    EXPECT_NE(meta.find(name), nullptr) << name;
+  }
+}
+
+TEST(Metamodel, InheritanceFromModelElement) {
+  const auto& meta = metamodel();
+  const auto& element = meta.get(cls::ModelElement);
+  EXPECT_TRUE(meta.get(cls::Component).is_kind_of(element));
+  EXPECT_TRUE(meta.get(cls::SafetyRequirement).is_kind_of(meta.get(cls::Requirement)));
+  EXPECT_TRUE(meta.get(cls::HazardousSituation).is_kind_of(element));
+  // Every ModelElement supports citation.
+  EXPECT_NE(meta.get(cls::Cause).find_reference("cites"), nullptr);
+}
+
+TEST(Metamodel, AbstractClassesAreAbstract) {
+  SsamModel m;
+  EXPECT_THROW(m.repo().create(m.meta().get(cls::ModelElement)), ModelError);
+  EXPECT_THROW(m.repo().create(m.meta().get(cls::ComponentElement)), ModelError);
+}
+
+// ----------------------------------------------------------------- facade --
+
+TEST(SsamFacade, PackagesAttachToMbsaRoot) {
+  SsamModel m;
+  const auto req = m.create_requirement_package("reqs");
+  const auto haz = m.create_hazard_package("hazards");
+  const auto comp = m.create_component_package("design");
+  const auto& root = m.obj(m.mbsa_root());
+  EXPECT_EQ(root.refs("requirementPackages"), (std::vector<ObjectId>{req}));
+  EXPECT_EQ(root.refs("hazardPackages"), (std::vector<ObjectId>{haz}));
+  EXPECT_EQ(root.refs("componentPackages"), (std::vector<ObjectId>{comp}));
+}
+
+TEST(SsamFacade, RequirementsAndRelationships) {
+  SsamModel m;
+  const auto pkg = m.create_requirement_package("reqs");
+  const auto r1 = m.create_requirement(pkg, "FR1", "do the thing", "QM");
+  const auto sr = m.create_safety_requirement(pkg, "SR1", "do it safely", "ASIL-B", "safety");
+  const auto rel = m.relate_requirements(pkg, "derives", r1, sr);
+  EXPECT_EQ(m.obj(rel).get_string("kind"), "derives");
+  EXPECT_EQ(m.obj(rel).ref("source"), r1);
+  EXPECT_EQ(m.obj(sr).get_string("integrityLevel"), "ASIL-B");
+  EXPECT_EQ(m.obj(pkg).refs("elements").size(), 3u);
+}
+
+TEST(SsamFacade, HazardsWithCausesAndControls) {
+  SsamModel m;
+  const auto pkg = m.create_hazard_package("hazards");
+  const auto h1 = m.create_hazard(pkg, "H1", "S2", 1e-6, "ASIL-B");
+  m.add_cause(h1, "C1", "wear-out");
+  const auto cm = m.add_control_measure(h1, "CM1", 0.95);
+  EXPECT_EQ(m.obj(h1).refs("causes").size(), 1u);
+  EXPECT_DOUBLE_EQ(m.obj(cm).get_real("effectivenessOfVerification"), 0.95);
+  EXPECT_DOUBLE_EQ(m.obj(h1).get_real("probability"), 1e-6);
+}
+
+TEST(SsamFacade, ComponentsNestAndValidate) {
+  SsamModel m;
+  const auto pkg = m.create_component_package("design");
+  const auto sys = m.create_component(pkg, "sys");
+  const auto sub = m.create_component(sys, "sub");
+  EXPECT_EQ(m.components_of(pkg), (std::vector<ObjectId>{sys}));
+  EXPECT_EQ(m.components_of(sys), (std::vector<ObjectId>{sub}));
+  EXPECT_EQ(m.all_components_under(pkg).size(), 2u);
+  // Components cannot live in a hazard package.
+  const auto haz = m.create_hazard_package("hazards");
+  EXPECT_THROW(m.create_component(haz, "bad"), ModelError);
+}
+
+TEST(SsamFacade, FeatureValidation) {
+  SsamModel m;
+  const auto pkg = m.create_component_package("design");
+  const auto comp = m.create_component(pkg, "c");
+  EXPECT_THROW(m.add_io_node(comp, "x", "sideways"), ModelError);
+  EXPECT_THROW(m.add_failure_mode(comp, "fm", 1.5, "lossOfFunction"), ModelError);
+  EXPECT_THROW(m.add_safety_mechanism(comp, "sm", 2.0, 1.0, model::kNullObject), ModelError);
+  EXPECT_THROW(m.add_function(comp, "f", "3oo7"), ModelError);
+  EXPECT_NO_THROW(m.add_function(comp, "f", "2oo3"));
+}
+
+TEST(SsamFacade, ConnectRequiresIoNodes) {
+  SsamModel m;
+  const auto pkg = m.create_component_package("design");
+  const auto sys = m.create_component(pkg, "sys");
+  const auto a = m.add_io_node(sys, "a", "in");
+  EXPECT_THROW(m.connect(sys, a, sys), ModelError);  // sys is not an IONode
+  const auto b = m.add_io_node(sys, "b", "out");
+  EXPECT_NO_THROW(m.connect(sys, a, b));
+}
+
+TEST(SsamFacade, CiteAndFind) {
+  SsamModel m;
+  const auto reqs = m.create_requirement_package("reqs");
+  const auto haz = m.create_hazard_package("hazards");
+  const auto r = m.create_requirement(reqs, "FR1", "text", "QM");
+  const auto h = m.create_hazard(haz, "H1", "S1", 1e-6, "ASIL-A");
+  m.cite(r, h);
+  EXPECT_EQ(m.obj(r).refs("cites"), (std::vector<ObjectId>{h}));
+  EXPECT_EQ(m.find_by_name(cls::HazardousSituation, "H1"), h);
+  EXPECT_EQ(m.find_by_name(cls::HazardousSituation, "H9"), model::kNullObject);
+}
+
+// ------------------------------------------------------------- federation --
+
+TEST(Federation, ExtractsFromExternalCsv) {
+  // Write a small external reliability file and pull a value through an
+  // ExternalReference extraction rule (REQ2).
+  const auto dir = std::filesystem::temp_directory_path() / "decisive-ssam-fed";
+  std::filesystem::create_directories(dir);
+  const auto file = dir / "rel.csv";
+  {
+    std::ofstream out(file);
+    out << "Component,FIT\nDiode,10\nMC,300\n";
+  }
+
+  SsamModel m;
+  const auto pkg = m.create_component_package("design");
+  const auto comp = m.create_component(pkg, "MC1");
+  const auto ext = m.add_external_reference(
+      comp, file.string(), "csv",
+      "rows().select(r | r.Component == 'MC').first().FIT");
+  const auto value = run_extraction(m, ext);
+  EXPECT_DOUBLE_EQ(value.as_number(), 300.0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Federation, MissingRuleOrWrongElementThrows) {
+  SsamModel m;
+  const auto pkg = m.create_component_package("design");
+  const auto comp = m.create_component(pkg, "c");
+  EXPECT_THROW(run_extraction(m, comp), ModelError);  // not an ExternalReference
+}
+
+// ------------------------------------------------------------------ graph --
+
+namespace {
+
+struct GraphFixture {
+  SsamModel m;
+  ObjectId sys, in, out;
+
+  GraphFixture() {
+    const auto pkg = m.create_component_package("design");
+    sys = m.create_component(pkg, "sys");
+    in = m.add_io_node(sys, "in", "in");
+    out = m.add_io_node(sys, "out", "out");
+  }
+
+  struct Sub {
+    ObjectId comp, in, out;
+  };
+  Sub leaf(const std::string& name) {
+    Sub s;
+    s.comp = m.create_component(sys, name);
+    s.in = m.add_io_node(s.comp, name + ".in", "in");
+    s.out = m.add_io_node(s.comp, name + ".out", "out");
+    return s;
+  }
+};
+
+}  // namespace
+
+TEST(Graph, SerialChainHasSinglePath) {
+  GraphFixture f;
+  const auto a = f.leaf("a");
+  const auto b = f.leaf("b");
+  f.m.connect(f.sys, f.in, a.in);
+  f.m.connect(f.sys, a.out, b.in);
+  f.m.connect(f.sys, b.out, f.out);
+
+  const auto graph = build_graph(f.m, f.sys);
+  const auto paths = enumerate_paths(graph);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_TRUE(on_all_paths(graph, paths, a.comp));
+  EXPECT_TRUE(on_all_paths(graph, paths, b.comp));
+}
+
+TEST(Graph, ParallelBranchesAreNotSinglePoint) {
+  GraphFixture f;
+  const auto a = f.leaf("a");
+  const auto b = f.leaf("b");
+  f.m.connect(f.sys, f.in, a.in);
+  f.m.connect(f.sys, f.in, b.in);
+  f.m.connect(f.sys, a.out, f.out);
+  f.m.connect(f.sys, b.out, f.out);
+
+  const auto graph = build_graph(f.m, f.sys);
+  const auto paths = enumerate_paths(graph);
+  EXPECT_EQ(paths.size(), 2u);
+  EXPECT_FALSE(on_all_paths(graph, paths, a.comp));
+  EXPECT_FALSE(on_all_paths(graph, paths, b.comp));
+}
+
+TEST(Graph, DiamondMiddleIsNotSinglePointButEndsAre) {
+  GraphFixture f;
+  const auto head = f.leaf("head");
+  const auto left = f.leaf("left");
+  const auto right = f.leaf("right");
+  const auto tail = f.leaf("tail");
+  f.m.connect(f.sys, f.in, head.in);
+  f.m.connect(f.sys, head.out, left.in);
+  f.m.connect(f.sys, head.out, right.in);
+  f.m.connect(f.sys, left.out, tail.in);
+  f.m.connect(f.sys, right.out, tail.in);
+  f.m.connect(f.sys, tail.out, f.out);
+
+  const auto graph = build_graph(f.m, f.sys);
+  const auto paths = enumerate_paths(graph);
+  EXPECT_EQ(paths.size(), 2u);
+  EXPECT_TRUE(on_all_paths(graph, paths, head.comp));
+  EXPECT_TRUE(on_all_paths(graph, paths, tail.comp));
+  EXPECT_FALSE(on_all_paths(graph, paths, left.comp));
+  EXPECT_FALSE(on_all_paths(graph, paths, right.comp));
+}
+
+TEST(Graph, CyclesDoNotHangEnumeration) {
+  GraphFixture f;
+  const auto a = f.leaf("a");
+  const auto b = f.leaf("b");
+  f.m.connect(f.sys, f.in, a.in);
+  f.m.connect(f.sys, a.out, b.in);
+  f.m.connect(f.sys, b.out, a.in);  // feedback loop
+  f.m.connect(f.sys, b.out, f.out);
+  const auto graph = build_graph(f.m, f.sys);
+  const auto paths = enumerate_paths(graph);
+  EXPECT_EQ(paths.size(), 1u);  // simple paths only
+}
+
+TEST(Graph, MissingBoundaryNodesThrows) {
+  SsamModel m;
+  const auto pkg = m.create_component_package("design");
+  const auto sys = m.create_component(pkg, "sys");
+  m.add_io_node(sys, "in", "in");  // no output
+  EXPECT_THROW(build_graph(m, sys), AnalysisError);
+}
+
+TEST(Graph, PathExplosionGuard) {
+  // A ladder of parallel pairs: 2^n paths; the guard must fire.
+  GraphFixture f;
+  ObjectId previous = f.in;
+  for (int stage = 0; stage < 20; ++stage) {
+    const auto a = f.leaf("s" + std::to_string(stage) + "a");
+    const auto b = f.leaf("s" + std::to_string(stage) + "b");
+    f.m.connect(f.sys, previous, a.in);
+    f.m.connect(f.sys, previous, b.in);
+    const auto join = f.leaf("j" + std::to_string(stage));
+    f.m.connect(f.sys, a.out, join.in);
+    f.m.connect(f.sys, b.out, join.in);
+    previous = join.out;
+  }
+  f.m.connect(f.sys, previous, f.out);
+  const auto graph = build_graph(f.m, f.sys);
+  EXPECT_THROW(enumerate_paths(graph, /*max_paths=*/1000), AnalysisError);
+}
+
+TEST(SsamModel, MemoryBudgetPropagates) {
+  SsamModel m(/*memory_budget_bytes=*/4096);
+  const auto pkg = m.create_component_package("design");
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 10000; ++i) {
+          m.create_component(pkg, "c" + std::to_string(i));
+        }
+      },
+      CapacityError);
+}

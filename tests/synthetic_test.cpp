@@ -1,0 +1,140 @@
+// Tests for the synthetic evaluation subjects (Systems A and B) and the
+// scalability harness (Table VI machinery).
+#include <gtest/gtest.h>
+
+#include "decisive/base/error.hpp"
+#include "decisive/core/graph_fmea.hpp"
+#include "decisive/core/sm_search.hpp"
+#include "decisive/core/synthetic.hpp"
+
+using namespace decisive;
+using namespace decisive::core;
+
+TEST(SystemA, HasThePublishedElementCount) {
+  const auto system = make_system_a();
+  EXPECT_EQ(system.element_count, 102u);
+  EXPECT_EQ(system.model->size(), 102u);
+}
+
+TEST(SystemB, HasThePublishedElementCount) {
+  const auto system = make_system_b();
+  EXPECT_EQ(system.element_count, 230u);
+  EXPECT_EQ(system.model->size(), 230u);
+}
+
+TEST(SystemA, AnalysesWithNonTrivialResults) {
+  auto system = make_system_a();
+  const auto fmea = analyze_component(*system.model, system.system);
+  EXPECT_GT(fmea.rows.size(), 10u);
+  const auto sr = fmea.safety_related_components();
+  EXPECT_GT(sr.size(), 3u);                        // several single points
+  EXPECT_LT(sr.size(), fmea.rows.size());          // but not everything
+  EXPECT_LT(fmea.spfm(), 0.90);                    // needs refinement
+  // The parallel capacitors are not single points.
+  for (const auto& name : sr) {
+    EXPECT_NE(name, "A.C1");
+    EXPECT_NE(name, "A.C2");
+  }
+}
+
+TEST(SystemB, RedundantPairsAreNotSinglePoints) {
+  auto system = make_system_b();
+  const auto fmea = analyze_component(*system.model, system.system);
+  const auto sr = fmea.safety_related_components();
+  for (const auto& name : sr) {
+    EXPECT_NE(name, "B.CPU1");
+    EXPECT_NE(name, "B.CPU2");
+    EXPECT_NE(name, "B.SNS1");  // redundant sensor pair
+  }
+  // Serial spine elements are single points.
+  EXPECT_NE(std::find(sr.begin(), sr.end(), "B.REG1"), sr.end());
+  EXPECT_NE(std::find(sr.begin(), sr.end(), "B.MC1"), sr.end());
+}
+
+TEST(SystemB, MixesHardwareAndSoftware) {
+  auto system = make_system_b();
+  size_t software = 0;
+  size_t hardware = 0;
+  for (const auto id : system.model->all_components_under(system.system)) {
+    const auto type = system.model->obj(id).get_string("componentType");
+    if (type == "software") ++software;
+    if (type == "hardware") ++hardware;
+  }
+  EXPECT_GE(software, 5u);
+  EXPECT_GE(hardware, 10u);
+}
+
+TEST(Reliability, CoversEveryTypeUsedByTheSystems) {
+  const auto reliability = synthetic_reliability();
+  for (auto make : {&make_system_a, &make_system_b}) {
+    auto system = make();
+    for (const auto id : system.model->all_components_under(system.system)) {
+      const auto& comp = system.model->obj(id);
+      if (!comp.refs("subcomponents").empty()) continue;
+      const auto type = comp.get_string("blockType");
+      EXPECT_NE(reliability.find(type), nullptr) << type;
+    }
+  }
+}
+
+TEST(Catalogue, ReachesAsilBOnBothSystems) {
+  const auto catalogue = synthetic_sm_catalogue();
+  for (auto make : {&make_system_a, &make_system_b}) {
+    auto system = make();
+    const auto fmea = analyze_component(*system.model, system.system);
+    const auto deployment = greedy_reach_asil(fmea, catalogue, "ASIL-B");
+    ASSERT_TRUE(deployment.has_value());
+    EXPECT_GE(deployment->spfm, 0.90);
+  }
+}
+
+TEST(Generators, AreDeterministic) {
+  const auto first = make_system_a();
+  const auto second = make_system_a();
+  EXPECT_EQ(first.element_count, second.element_count);
+  auto sys1 = make_system_a();
+  auto sys2 = make_system_a();
+  const auto fmea1 = analyze_component(*sys1.model, sys1.system);
+  const auto fmea2 = analyze_component(*sys2.model, sys2.system);
+  EXPECT_EQ(fmea1.rows.size(), fmea2.rows.size());
+  EXPECT_DOUBLE_EQ(fmea1.spfm(), fmea2.spfm());
+}
+
+// ------------------------------------------------------------- scalability --
+
+TEST(Scalability, SourceEmitsExactlyCount) {
+  ScalabilitySource source(1000);
+  EXPECT_EQ(source.size_hint(), 1000u);
+  size_t emitted = 0;
+  while (source.next([&](const model::MetaClass&,
+                         const std::function<void(model::ModelObject&)>&) { ++emitted; })) {
+  }
+  EXPECT_EQ(emitted, 1000u);
+}
+
+TEST(Scalability, FullLoadAndIndexedAgree) {
+  const auto full = evaluate_full_load(5689, size_t{1} << 32);
+  const auto indexed = evaluate_indexed(5689);
+  ASSERT_TRUE(full.loaded);
+  ASSERT_TRUE(indexed.loaded);
+  EXPECT_EQ(full.safety_related, indexed.safety_related);
+  EXPECT_DOUBLE_EQ(full.total_fit, indexed.total_fit);
+  // Every 7th element is safety-related.
+  EXPECT_EQ(full.safety_related, 813u);  // ceil(5689 / 7)
+}
+
+TEST(Scalability, FullLoadRefusesOversizedModels) {
+  const auto run = evaluate_full_load(568'990'000, size_t{4} << 30);
+  EXPECT_FALSE(run.loaded);
+  EXPECT_NE(run.failure.find("memory"), std::string::npos);
+}
+
+TEST(Scalability, IndexedStreamsLargeModelsInConstantMemory) {
+  // 2M elements through aggregate-only columns: must succeed quickly and
+  // agree with the closed-form expectations.
+  const auto run = evaluate_indexed(2'000'000);
+  EXPECT_TRUE(run.loaded);
+  EXPECT_EQ(run.safety_related, (2'000'000 + 6) / 7);
+  // fit pattern: (i % 50) + 1 summed over 2M elements = 40000 * (1+..+50).
+  EXPECT_DOUBLE_EQ(run.total_fit, 40000.0 * 1275.0);
+}

@@ -1,0 +1,228 @@
+// Tests for the Simulink <-> SSAM transformation: forward losslessness,
+// traceability, audit, and the reverse round trip.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "decisive/base/error.hpp"
+#include "decisive/drivers/mdl.hpp"
+#include "decisive/transform/simulink.hpp"
+
+using namespace decisive;
+using namespace decisive::drivers;
+using namespace decisive::transform;
+
+namespace {
+
+const std::string kAssets = DECISIVE_ASSETS_DIR;
+
+MdlModel case_study() { return parse_mdl_file(kAssets + "/power_supply.mdl"); }
+
+MdlModel nested_model() {
+  return parse_mdl(R"(
+    Model { Name "nested"
+      System {
+        Block { BlockType DCVoltageSource Name "V1" Voltage "12" }
+        Block { BlockType SubSystem Name "F" Comment "filter stage"
+          System {
+            Block { BlockType Port Name "vin" }
+            Block { BlockType Port Name "vout" }
+            Block { BlockType Inductor Name "L1" Inductance "0.002" }
+            Line { SrcBlock "vin" SrcPort "p" DstBlock "L1" DstPort "p" }
+            Line { SrcBlock "L1" SrcPort "n" DstBlock "vout" DstPort "p" }
+          }
+        }
+        Block { BlockType SubSystem Name "U1" AnnotatedType "MCU" Variant "X7" }
+        Block { BlockType Ground Name "G" }
+        Line { SrcBlock "V1" SrcPort "p" DstBlock "F" DstPort "vin" }
+        Line { SrcBlock "F" SrcPort "vout" DstBlock "U1" DstPort "vdd" }
+        Line { SrcBlock "U1" SrcPort "gnd" DstBlock "G" DstPort "g" }
+        Line { SrcBlock "V1" SrcPort "n" DstBlock "G" DstPort "g" }
+      }
+    })");
+}
+
+/// Order-insensitive structural comparison of two MDL systems.
+void expect_equivalent(const MdlSystem& a, const MdlSystem& b) {
+  ASSERT_EQ(a.blocks.size(), b.blocks.size());
+  for (const auto& block : a.blocks) {
+    const MdlBlock* other = b.block(block.name);
+    ASSERT_NE(other, nullptr) << "missing block " << block.name;
+    EXPECT_EQ(block.type, other->type) << block.name;
+    EXPECT_EQ(block.params, other->params) << block.name;
+    EXPECT_EQ(block.subsystem != nullptr, other->subsystem != nullptr) << block.name;
+    if (block.subsystem != nullptr && other->subsystem != nullptr) {
+      expect_equivalent(*block.subsystem, *other->subsystem);
+    }
+  }
+  auto line_key = [](const MdlLine& line) {
+    return line.src_block + ":" + line.src_port + "->" + line.dst_block + ":" + line.dst_port;
+  };
+  std::vector<std::string> la, lb;
+  for (const auto& line : a.lines) la.push_back(line_key(line));
+  for (const auto& line : b.lines) lb.push_back(line_key(line));
+  std::sort(la.begin(), la.end());
+  std::sort(lb.begin(), lb.end());
+  EXPECT_EQ(la, lb);
+}
+
+}  // namespace
+
+TEST(Forward, CountsAndPackage) {
+  ssam::SsamModel m;
+  const auto result = simulink_to_ssam(case_study(), m);
+  EXPECT_EQ(result.blocks, 13u);
+  EXPECT_EQ(result.lines, 14u);
+  EXPECT_GT(result.params, 0u);
+  EXPECT_NE(result.root, model::kNullObject);
+  EXPECT_NE(result.component_package, model::kNullObject);
+  // Root component carries the model name.
+  EXPECT_EQ(m.obj(result.root).get_string("name"), "sensor_power_supply");
+}
+
+TEST(Forward, ParametersBecomeConstraints) {
+  ssam::SsamModel m;
+  const auto result = simulink_to_ssam(case_study(), m);
+  const auto mc1 = result.resolve("sensor_power_supply/MC1");
+  ASSERT_NE(mc1, model::kNullObject);
+  bool found = false;
+  for (const auto c : m.obj(mc1).refs("implementationConstraints")) {
+    if (m.obj(c).get_string("language") == "simulink-param" &&
+        m.obj(c).get_string("name") == "SupplyResistance") {
+      EXPECT_EQ(m.obj(c).get_string("body"), "100");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(m.obj(mc1).get_string("blockType"), "MCU");
+}
+
+TEST(Forward, InfrastructureBlocksMarked) {
+  ssam::SsamModel m;
+  const auto result = simulink_to_ssam(case_study(), m);
+  const auto scope = result.resolve("sensor_power_supply/Scope1");
+  ASSERT_NE(scope, model::kNullObject);
+  EXPECT_EQ(m.obj(scope).get_string("componentType"), "simulation");
+}
+
+TEST(Forward, AnnotatedSubsystemGetsAnnotatedBlockType) {
+  ssam::SsamModel m;
+  const auto result = simulink_to_ssam(nested_model(), m);
+  const auto u1 = result.resolve("nested/U1");
+  ASSERT_NE(u1, model::kNullObject);
+  EXPECT_EQ(m.obj(u1).get_string("blockType"), "MCU");
+}
+
+TEST(Forward, SubsystemPortsBecomeBoundaryIoNodes) {
+  ssam::SsamModel m;
+  const auto result = simulink_to_ssam(nested_model(), m);
+  const auto filter = result.resolve("nested/F");
+  ASSERT_NE(filter, model::kNullObject);
+  const auto nodes = m.obj(filter).refs("ioNodes");
+  ASSERT_EQ(nodes.size(), 2u);
+  std::vector<std::string> names;
+  for (const auto node : nodes) names.push_back(m.obj(node).get_string("name"));
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"vin", "vout"}));
+  // Port trace links exist too.
+  EXPECT_NE(result.resolve("nested/F/vin"), model::kNullObject);
+}
+
+TEST(Audit, CaseStudyIsLossless) {
+  ssam::SsamModel m;
+  const auto mdl = case_study();
+  const auto result = simulink_to_ssam(mdl, m);
+  EXPECT_TRUE(audit_information_loss(mdl, m, result).empty());
+}
+
+TEST(Audit, NestedModelIsLossless) {
+  ssam::SsamModel m;
+  const auto mdl = nested_model();
+  const auto result = simulink_to_ssam(mdl, m);
+  const auto missing = audit_information_loss(mdl, m, result);
+  EXPECT_TRUE(missing.empty()) << (missing.empty() ? "" : missing.front());
+}
+
+TEST(Audit, DetectsTamperedParameters) {
+  ssam::SsamModel m;
+  const auto mdl = case_study();
+  const auto result = simulink_to_ssam(mdl, m);
+  // Corrupt one preserved parameter and expect the audit to notice.
+  const auto mc1 = result.resolve("sensor_power_supply/MC1");
+  for (const auto c : m.obj(mc1).refs("implementationConstraints")) {
+    if (m.obj(c).get_string("name") == "SupplyResistance") {
+      m.obj(c).set_string("body", "tampered");
+    }
+  }
+  const auto missing = audit_information_loss(mdl, m, result);
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_NE(missing[0].find("SupplyResistance"), std::string::npos);
+}
+
+TEST(Audit, DetectsMissingBlocks) {
+  ssam::SsamModel m;
+  const auto mdl = case_study();
+  auto result = simulink_to_ssam(mdl, m);
+  // Drop a trace link: the audit reports the block as untransformed.
+  std::erase_if(result.trace, [](const TraceLink& link) {
+    return link.source == "sensor_power_supply/L1";
+  });
+  const auto missing = audit_information_loss(mdl, m, result);
+  ASSERT_FALSE(missing.empty());
+  EXPECT_NE(missing[0].find("L1"), std::string::npos);
+}
+
+TEST(RoundTrip, CaseStudy) {
+  ssam::SsamModel m;
+  const auto mdl = case_study();
+  const auto result = simulink_to_ssam(mdl, m);
+  const auto regenerated = ssam_to_simulink(m, result.root);
+  EXPECT_EQ(regenerated.name, mdl.name);
+  expect_equivalent(mdl.root, regenerated.root);
+}
+
+TEST(RoundTrip, NestedAndAnnotatedSubsystems) {
+  ssam::SsamModel m;
+  const auto mdl = nested_model();
+  const auto result = simulink_to_ssam(mdl, m);
+  const auto regenerated = ssam_to_simulink(m, result.root);
+  expect_equivalent(mdl.root, regenerated.root);
+  // The regenerated MDL still parses and rebuilds.
+  const auto reparsed = parse_mdl(write_mdl(regenerated));
+  expect_equivalent(mdl.root, reparsed.root);
+}
+
+TEST(Reverse, RefusesModelsWithoutTraceability) {
+  ssam::SsamModel m;
+  const auto pkg = m.create_component_package("hand-made");
+  const auto sys = m.create_component(pkg, "sys");
+  const auto a = m.add_io_node(sys, "a", "in");
+  const auto b = m.add_io_node(sys, "b", "out");
+  m.connect(sys, a, b);  // relationship without simulink-src/dst constraints
+  EXPECT_THROW(ssam_to_simulink(m, sys), TransformError);
+}
+
+TEST(Forward, LineToUnknownBlockThrows) {
+  const auto mdl = parse_mdl(R"(
+    Model { Name "bad"
+      System {
+        Block { BlockType Ground Name "G" }
+        Line { SrcBlock "ghost" SrcPort "p" DstBlock "G" DstPort "g" }
+      }
+    })");
+  ssam::SsamModel m;
+  EXPECT_THROW(simulink_to_ssam(mdl, m), TransformError);
+}
+
+TEST(Trace, ResolveFindsLinksByPath) {
+  ssam::SsamModel m;
+  const auto result = simulink_to_ssam(case_study(), m);
+  EXPECT_NE(result.resolve("sensor_power_supply/D1"), model::kNullObject);
+  EXPECT_EQ(result.resolve("sensor_power_supply/ghost"), model::kNullObject);
+  // Every trace link has a rule name.
+  for (const auto& link : result.trace) {
+    EXPECT_FALSE(link.rule.empty());
+    EXPECT_NE(link.target, model::kNullObject);
+  }
+}

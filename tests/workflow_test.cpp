@@ -1,0 +1,187 @@
+// Tests for the DECISIVE process engine (Steps 1-5 and the iteration loop).
+#include <gtest/gtest.h>
+
+#include "decisive/core/workflow.hpp"
+
+using namespace decisive;
+using namespace decisive::core;
+using ssam::ObjectId;
+using ssam::SsamModel;
+
+namespace {
+
+struct ProcessFixture {
+  SsamModel model;
+  DecisiveProcess process{model, "demo-system"};
+  ObjectId in = model::kNullObject;
+  ObjectId out = model::kNullObject;
+
+  struct Sub {
+    ObjectId comp, in, out;
+  };
+  Sub leaf(const std::string& name, const std::string& block_type) {
+    Sub s;
+    s.comp = model.create_component(process.system(), name);
+    model.obj(s.comp).set_string("blockType", block_type);
+    s.in = model.add_io_node(s.comp, name + ".in", "in");
+    s.out = model.add_io_node(s.comp, name + ".out", "out");
+    return s;
+  }
+
+  /// A serial two-component design: sensor -> mcu.
+  void build_serial_design() {
+    in = model.add_io_node(process.system(), "in", "in");
+    out = model.add_io_node(process.system(), "out", "out");
+    const auto sensor = leaf("S1", "Sensor");
+    const auto mcu = leaf("M1", "MC");
+    model.connect(process.system(), in, sensor.in);
+    model.connect(process.system(), sensor.out, mcu.in);
+    model.connect(process.system(), mcu.out, out);
+  }
+
+  static ReliabilityModel reliability() {
+    ReliabilityModel r;
+    r.add("Sensor", 50, {{"No output", 0.6}, {"Drift", 0.4}});
+    r.add("MC", 300, {{"RAM Failure", 1.0}});
+    return r;
+  }
+
+  static SafetyMechanismModel catalogue() {
+    SafetyMechanismModel c;
+    c.add({"Sensor", "No output", "Redundant sensor", 0.95, 4.0});
+    c.add({"MC", "RAM Failure", "ECC", 0.99, 2.0});
+    return c;
+  }
+};
+
+}  // namespace
+
+TEST(NatureForMode, MapsFailureModeNames) {
+  EXPECT_EQ(nature_for_mode("Open"), "lossOfFunction");
+  EXPECT_EQ(nature_for_mode("no output"), "lossOfFunction");
+  EXPECT_EQ(nature_for_mode("Crash"), "lossOfFunction");
+  EXPECT_EQ(nature_for_mode("Short"), "erroneous");
+  EXPECT_EQ(nature_for_mode("RAM Failure"), "erroneous");
+  EXPECT_EQ(nature_for_mode("Drift"), "degraded");
+  EXPECT_EQ(nature_for_mode("lower frequency"), "degraded");
+  EXPECT_EQ(nature_for_mode("jitter"), "degraded");
+}
+
+TEST(Process, Step1ArtefactsLand) {
+  ProcessFixture f;
+  f.process.define_system("a demo system boundary");
+  const auto fr = f.process.add_function_requirement("FR1", "do the thing");
+  const auto h1 = f.process.identify_hazard("H1", "S2", 1e-6, "ASIL-B");
+  const auto sr = f.process.derive_safety_requirement(h1, "SR1", "do it safely", "ASIL-B");
+
+  EXPECT_EQ(f.model.obj(f.process.system()).get_string("description"),
+            "a demo system boundary");
+  EXPECT_EQ(f.model.obj(fr).get_string("integrityLevel"), "QM");
+  EXPECT_EQ(f.model.obj(h1).get_string("integrityLevel"), "ASIL-B");
+  EXPECT_EQ(f.model.obj(sr).refs("cites"), (std::vector<ObjectId>{h1}));
+  EXPECT_EQ(f.model.obj(f.process.requirement_package()).refs("elements").size(), 2u);
+}
+
+TEST(Process, Step3AggregatesReliability) {
+  ProcessFixture f;
+  f.build_serial_design();
+  const size_t populated = f.process.aggregate_reliability(ProcessFixture::reliability());
+  EXPECT_EQ(populated, 2u);
+
+  const auto sensor = f.model.find_by_name(ssam::cls::Component, "S1");
+  EXPECT_DOUBLE_EQ(f.model.obj(sensor).get_real("fit"), 50.0);
+  EXPECT_EQ(f.model.obj(sensor).refs("failureModes").size(), 2u);
+
+  // RAM-style modes get affected-component traceability.
+  const auto mcu = f.model.find_by_name(ssam::cls::Component, "M1");
+  const auto fms = f.model.obj(mcu).refs("failureModes");
+  ASSERT_EQ(fms.size(), 1u);
+  EXPECT_EQ(f.model.obj(fms[0]).refs("affectedComponents"), (std::vector<ObjectId>{mcu}));
+  EXPECT_EQ(f.model.obj(fms[0]).get_string("nature"), "erroneous");
+}
+
+TEST(Process, Step3IsIdempotentAcrossIterations) {
+  ProcessFixture f;
+  f.build_serial_design();
+  f.process.aggregate_reliability(ProcessFixture::reliability());
+  f.process.aggregate_reliability(ProcessFixture::reliability());
+  const auto sensor = f.model.find_by_name(ssam::cls::Component, "S1");
+  EXPECT_EQ(f.model.obj(sensor).refs("failureModes").size(), 2u);  // not duplicated
+}
+
+TEST(Process, Step4aEvaluates) {
+  ProcessFixture f;
+  f.build_serial_design();
+  f.process.aggregate_reliability(ProcessFixture::reliability());
+  const auto fmea = f.process.evaluate();
+  EXPECT_EQ(fmea.system, "demo-system");
+  // S1 "No output" (loss, serial) and M1 "RAM Failure" (affected=self,
+  // serial) are both safety-related.
+  EXPECT_EQ(fmea.safety_related_components(), (std::vector<std::string>{"S1", "M1"}));
+  EXPECT_LT(fmea.spfm(), 0.90);
+}
+
+TEST(Process, Step4bRefinesAndWritesMechanismsBack) {
+  ProcessFixture f;
+  f.build_serial_design();
+  f.process.aggregate_reliability(ProcessFixture::reliability());
+  f.process.evaluate();
+  const auto deployment = f.process.refine(ProcessFixture::catalogue(), "ASIL-B");
+  ASSERT_TRUE(deployment.has_value());
+  EXPECT_GE(f.process.last_result().spfm(), 0.90);
+
+  // Mechanisms are now modelled on the components.
+  const auto mcu = f.model.find_by_name(ssam::cls::Component, "M1");
+  const auto sms = f.model.obj(mcu).refs("safetyMechanisms");
+  ASSERT_EQ(sms.size(), 1u);
+  EXPECT_EQ(f.model.obj(sms[0]).get_string("name"), "ECC");
+  // And the SM covers the failure mode (traceability).
+  EXPECT_EQ(f.model.obj(sms[0]).refs("covers").size(), 1u);
+}
+
+TEST(Process, RefineUnreachableReturnsNullopt) {
+  ProcessFixture f;
+  f.build_serial_design();
+  f.process.aggregate_reliability(ProcessFixture::reliability());
+  f.process.evaluate();
+  SafetyMechanismModel empty;
+  EXPECT_EQ(f.process.refine(empty, "ASIL-B"), std::nullopt);
+}
+
+TEST(Process, IterateUntilConvergesAndReEvaluates) {
+  ProcessFixture f;
+  f.build_serial_design();
+  f.process.aggregate_reliability(ProcessFixture::reliability());
+  const auto report = f.process.iterate_until("ASIL-B", ProcessFixture::catalogue());
+  EXPECT_TRUE(report.target_met);
+  EXPECT_GE(report.spfm, 0.90);
+  EXPECT_GE(report.iterations, 2);  // evaluate + confirmation re-evaluation
+  // The confirmation pass recomputed from the model (with written-back SMs).
+  EXPECT_GE(f.process.last_result().spfm(), 0.90);
+}
+
+TEST(Process, IterateUnreachableStops) {
+  ProcessFixture f;
+  f.build_serial_design();
+  f.process.aggregate_reliability(ProcessFixture::reliability());
+  SafetyMechanismModel empty;
+  const auto report = f.process.iterate_until("ASIL-D", empty, /*max_iterations=*/5);
+  EXPECT_FALSE(report.target_met);
+  EXPECT_LE(report.iterations, 5);
+}
+
+TEST(Process, SafetyConceptListsEverything) {
+  ProcessFixture f;
+  f.build_serial_design();
+  const auto h1 = f.process.identify_hazard("H1", "S2", 1e-6, "ASIL-B");
+  f.process.derive_safety_requirement(h1, "SR1", "stay safe", "ASIL-B");
+  f.process.aggregate_reliability(ProcessFixture::reliability());
+  f.process.iterate_until("ASIL-B", ProcessFixture::catalogue());
+
+  const std::string concept_text = f.process.synthesise_safety_concept();
+  EXPECT_NE(concept_text.find("SR1"), std::string::npos);
+  EXPECT_NE(concept_text.find("H1"), std::string::npos);
+  EXPECT_NE(concept_text.find("ECC"), std::string::npos);
+  EXPECT_NE(concept_text.find("SPFM"), std::string::npos);
+  EXPECT_NE(concept_text.find("ASIL-B"), std::string::npos);
+}

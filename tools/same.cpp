@@ -1,0 +1,338 @@
+// same — the Safety Analysis Management Environment, headless.
+//
+// Subcommands (see `same help`):
+//   fmea        automated FME(D)A on a Simulink-substitute (.mdl) model
+//   import      transform a .mdl model into SSAM (XMI) with a loss audit
+//   export      regenerate the .mdl from an imported SSAM model
+//   assurance   evaluate a model-based assurance case (.xml)
+//   query       run a query script against any supported external model
+//   scalability evaluate a synthetic model with both repository back-ends
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "decisive/assurance/case.hpp"
+#include "decisive/assurance/evaluate.hpp"
+#include "decisive/base/csv.hpp"
+#include "decisive/base/error.hpp"
+#include "decisive/base/strings.hpp"
+#include "decisive/base/xml.hpp"
+#include "decisive/core/circuit_fmea.hpp"
+#include "decisive/core/fta.hpp"
+#include "decisive/core/monitor.hpp"
+#include "decisive/core/synthetic.hpp"
+#include "decisive/ssam/validate.hpp"
+#include "decisive/drivers/datasource.hpp"
+#include "decisive/drivers/mdl.hpp"
+#include "decisive/model/xmi.hpp"
+#include "decisive/sim/builder.hpp"
+#include "decisive/transform/simulink.hpp"
+
+using namespace decisive;
+
+namespace {
+
+/// Tiny flag parser: positionals plus --key value / --switch.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
+    const auto it = options.find(key);
+    return it == options.end() ? std::nullopt : std::optional(it->second);
+  }
+  [[nodiscard]] bool has(const std::string& key) const { return options.contains(key); }
+};
+
+Args parse_args(int argc, char** argv, int start) {
+  Args args;
+  for (int i = start; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (starts_with(arg, "--")) {
+      const std::string key = arg.substr(2);
+      if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+        args.options[key] = argv[++i];
+      } else {
+        args.options[key] = "true";
+      }
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::printf(
+      "same — Safety Analysis Management Environment (headless)\n\n"
+      "usage:\n"
+      "  same fmea <model.mdl> --reliability <workbook-dir> [--sm-model]\n"
+      "            [--goals CS1,MC1] [--threshold 0.2] [--out fmeda.csv]\n"
+      "      Automated fault-injection FME(D)A (DECISIVE steps 3-4).\n"
+      "      --sm-model deploys safety mechanisms from the workbook's\n"
+      "      SafetyMechanisms sheet (step 4b).\n\n"
+      "  same import <model.mdl> --out <design.ssam>\n"
+      "      Simulink -> SSAM transformation with an information-loss audit.\n\n"
+      "  same export <design.ssam> --out <model.mdl>\n"
+      "      Regenerate the original model from an imported SSAM file.\n\n"
+      "  same assurance <case.xml>\n"
+      "      Evaluate a model-based assurance case (executes artifact queries).\n\n"
+      "  same query <external-model> <script>\n"
+      "      Run a query against a CSV/workbook/JSON/XML/MDL model.\n\n"
+      "  same scalability <elements> [--budget-mib 4096]\n"
+      "      Evaluate a synthetic model with the full-load and indexed\n"
+      "      repositories (the paper's Table VI experiment).\n\n"
+      "  same validate <design.ssam>\n"
+      "      Structural well-formedness validation of an SSAM model.\n\n"
+      "  same fta <design.ssam> --component <name> [--mission-hours 10000]\n"
+      "      Synthesise the fault tree of a composite component: minimal cut\n"
+      "      sets, top-event probability and importance measures.\n\n"
+      "  same monitor <design.ssam> [--samples frames.csv] [--include-static]\n"
+      "      Generate the runtime monitor from dynamic components; with\n"
+      "      --samples, replay a CSV of frames (columns = check ids) through\n"
+      "      it and report the violations.\n");
+  return 2;
+}
+
+int cmd_monitor(const Args& args) {
+  if (args.positional.empty()) return usage();
+  ssam::SsamModel model;
+  model::load_xmi_file(model.repo(), model.meta(), args.positional[0]);
+  auto monitor = core::RuntimeMonitor::generate_all(model, args.has("include-static"));
+  std::printf("%s", monitor.to_text().c_str());
+  if (monitor.checks().empty()) return 1;
+
+  const auto samples = args.get("samples");
+  if (!samples.has_value()) return 0;
+  const CsvTable frames = read_csv_file(*samples);
+  size_t violations = 0;
+  for (size_t row = 0; row < frames.rows.size(); ++row) {
+    std::map<std::string, double> frame;
+    for (size_t col = 0; col < frames.header.size(); ++col) {
+      const std::string& cell = frames.rows[row].size() > col ? frames.rows[row][col] : "";
+      if (trim(cell).empty()) continue;
+      frame[frames.header[col]] = parse_double(cell);
+    }
+    for (const auto& violation : monitor.feed_frame(frame)) {
+      ++violations;
+      std::printf("frame %zu: %s = %s %s bound %s\n", row, violation.check_id.c_str(),
+                  format_number(violation.value, 6).c_str(),
+                  violation.below_lower ? "below" : "above",
+                  format_number(violation.bound, 6).c_str());
+    }
+  }
+  std::printf("%zu frame(s), %zu violation(s)\n", frames.rows.size(), violations);
+  return violations == 0 ? 0 : 3;
+}
+
+int cmd_validate(const Args& args) {
+  if (args.positional.empty()) return usage();
+  ssam::SsamModel model;
+  model::load_xmi_file(model.repo(), model.meta(), args.positional[0]);
+  const auto findings = ssam::validate(model);
+  std::printf("%s", ssam::to_text(model, findings).c_str());
+  return findings.empty() ? 0 : 1;
+}
+
+int cmd_fta(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const auto component_name = args.get("component");
+  if (!component_name.has_value()) {
+    std::fprintf(stderr, "error: --component <name> is required\n");
+    return 2;
+  }
+  ssam::SsamModel model;
+  model::load_xmi_file(model.repo(), model.meta(), args.positional[0]);
+  const auto component = model.find_by_name(ssam::cls::Component, *component_name);
+  if (component == model::kNullObject) {
+    std::fprintf(stderr, "error: no component named '%s'\n", component_name->c_str());
+    return 1;
+  }
+  const double mission =
+      parse_double(args.get("mission-hours").value_or("10000"));
+  const auto tree = core::synthesize_fault_tree(model, component);
+  std::printf("%s\n", tree.to_text().c_str());
+  std::printf("minimal cut sets: %zu\n", tree.cut_sets.size());
+  std::printf("P(top event | %.0f h) = %.3e\n\n", mission,
+              tree.top_event_probability(mission));
+  std::printf("%-40s %12s %16s\n", "basic event", "Birnbaum", "Fussell-Vesely");
+  for (const auto& imp : core::importance_measures(tree, mission)) {
+    std::printf("%-40s %12.4e %16.4f\n", imp.label.c_str(), imp.birnbaum,
+                imp.fussell_vesely);
+  }
+  return 0;
+}
+
+int cmd_fmea(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const auto reliability_location = args.get("reliability");
+  if (!reliability_location.has_value()) {
+    std::fprintf(stderr, "error: --reliability <workbook-dir> is required\n");
+    return 2;
+  }
+
+  const auto mdl = drivers::parse_mdl_file(args.positional[0]);
+  const auto built = sim::build_circuit(mdl);
+  const auto workbook = drivers::DriverRegistry::global().open(*reliability_location);
+  const auto reliability = core::ReliabilityModel::from_source(*workbook, "Reliability");
+
+  std::optional<core::SafetyMechanismModel> sm_model;
+  if (args.has("sm-model")) {
+    sm_model = core::SafetyMechanismModel::from_source(*workbook, "SafetyMechanisms");
+  }
+
+  core::CircuitFmeaOptions options;
+  if (const auto goals = args.get("goals")) {
+    for (const auto& goal : split(*goals, ',')) {
+      options.safety_goal_observables.push_back(std::string(trim(goal)));
+    }
+  }
+  if (const auto threshold = args.get("threshold")) {
+    options.relative_threshold = parse_double(*threshold);
+  }
+
+  const auto result = core::analyze_circuit(built, reliability,
+                                            sm_model ? &*sm_model : nullptr, options);
+  std::printf("%s\n", result.to_text().render().c_str());
+  for (const auto& warning : result.warnings) std::printf("note: %s\n", warning.c_str());
+  std::printf("\nSPFM = %s  ->  %s\n", format_percent(result.spfm()).c_str(),
+              core::achieved_asil(result.spfm()).c_str());
+  if (const auto out = args.get("out")) {
+    write_csv_file(*out, result.to_csv());
+    std::printf("FMEDA written to %s\n", out->c_str());
+  }
+  return 0;
+}
+
+int cmd_import(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const auto out = args.get("out");
+  if (!out.has_value()) {
+    std::fprintf(stderr, "error: --out <design.ssam> is required\n");
+    return 2;
+  }
+  const auto mdl = drivers::parse_mdl_file(args.positional[0]);
+  ssam::SsamModel model;
+  const auto result = transform::simulink_to_ssam(mdl, model);
+  const auto missing = transform::audit_information_loss(mdl, model, result);
+  std::printf("transformed %zu blocks, %zu lines, %zu parameters\n", result.blocks,
+              result.lines, result.params);
+  if (!missing.empty()) {
+    for (const auto& item : missing) std::fprintf(stderr, "LOSS: %s\n", item.c_str());
+    return 1;
+  }
+  model::save_xmi_file(*out, model.repo(), model.meta());
+  std::printf("lossless; SSAM model (%zu elements) written to %s\n", model.size(),
+              out->c_str());
+  return 0;
+}
+
+int cmd_export(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const auto out = args.get("out");
+  if (!out.has_value()) {
+    std::fprintf(stderr, "error: --out <model.mdl> is required\n");
+    return 2;
+  }
+  ssam::SsamModel model;
+  model::load_xmi_file(model.repo(), model.meta(), args.positional[0]);
+  // The import root: a Component tagged as the Model by the transformation.
+  ssam::ObjectId root = model::kNullObject;
+  model.repo().for_each([&](const model::ModelObject& obj) {
+    if (root != model::kNullObject) return;
+    if (!obj.is_kind_of(model.meta().get(ssam::cls::Component))) return;
+    for (const auto c : obj.refs("implementationConstraints")) {
+      const auto& constraint = model.obj(c);
+      if (constraint.get_string("language") == "simulink-blocktype" &&
+          constraint.get_string("body") == "Model") {
+        root = obj.id();
+      }
+    }
+  });
+  if (root == model::kNullObject) {
+    std::fprintf(stderr, "error: no imported model root found in %s\n",
+                 args.positional[0].c_str());
+    return 1;
+  }
+  drivers::write_mdl_file(*out, transform::ssam_to_simulink(model, root));
+  std::printf("regenerated model written to %s\n", out->c_str());
+  return 0;
+}
+
+int cmd_assurance(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const auto doc = xml::parse_file(args.positional[0]);
+  const auto ac = assurance::AssuranceCase::from_xml(xml::write(*doc));
+  const auto report = assurance::evaluate(ac);
+  for (const auto& result : report.results) {
+    std::printf("%-12s %-12s %s\n", result.id.c_str(),
+                std::string(to_string(result.state)).c_str(), result.detail.c_str());
+  }
+  std::printf("\ncase '%s': %s\n", ac.name().c_str(),
+              report.case_supported ? "SUPPORTED" : "NOT SUPPORTED");
+  return report.case_supported ? 0 : 1;
+}
+
+int cmd_query(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  const auto source = drivers::DriverRegistry::global().open(args.positional[0],
+                                                             args.get("type").value_or(""));
+  query::Env env;
+  source->bind(env);
+  const auto value = query::eval(args.positional[1], env);
+  std::printf("%s\n", value.to_display().c_str());
+  return 0;
+}
+
+int cmd_scalability(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const auto elements = static_cast<std::uint64_t>(parse_int(args.positional[0]));
+  const size_t budget =
+      static_cast<size_t>(parse_int(args.get("budget-mib").value_or("4096"))) * 1024 * 1024;
+  const auto full = core::evaluate_full_load(elements, budget);
+  if (full.loaded) {
+    std::printf("full-load: %llu elements, %llu safety-related, total FIT %.0f, %.3f s\n",
+                static_cast<unsigned long long>(full.elements),
+                static_cast<unsigned long long>(full.safety_related), full.total_fit,
+                full.load_seconds + full.query_seconds);
+  } else {
+    std::printf("full-load: N/A — %s\n", full.failure.c_str());
+  }
+  const auto indexed = core::evaluate_indexed(elements);
+  std::printf("indexed:   %llu elements, %llu safety-related, total FIT %.0f, %.3f s\n",
+              static_cast<unsigned long long>(indexed.elements),
+              static_cast<unsigned long long>(indexed.safety_related), indexed.total_fit,
+              indexed.load_seconds + indexed.query_seconds);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args = parse_args(argc, argv, 2);
+  try {
+    if (command == "fmea") return cmd_fmea(args);
+    if (command == "import") return cmd_import(args);
+    if (command == "export") return cmd_export(args);
+    if (command == "assurance") return cmd_assurance(args);
+    if (command == "query") return cmd_query(args);
+    if (command == "scalability") return cmd_scalability(args);
+    if (command == "validate") return cmd_validate(args);
+    if (command == "fta") return cmd_fta(args);
+    if (command == "monitor") return cmd_monitor(args);
+    if (command == "help" || command == "--help" || command == "-h") {
+      usage();
+      return 0;
+    }
+  } catch (const Error& error) {
+    std::fprintf(stderr, "same: %s\n", error.what());
+    return 1;
+  }
+  std::fprintf(stderr, "same: unknown command '%s'\n", command.c_str());
+  return usage();
+}
