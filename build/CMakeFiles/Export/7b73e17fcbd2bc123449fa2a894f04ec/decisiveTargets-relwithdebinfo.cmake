@@ -1,0 +1,99 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "decisive::base" for configuration "RelWithDebInfo"
+set_property(TARGET decisive::base APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(decisive::base PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libdecisive_base.a"
+  )
+
+list(APPEND _cmake_import_check_targets decisive::base )
+list(APPEND _cmake_import_check_files_for_decisive::base "${_IMPORT_PREFIX}/lib/libdecisive_base.a" )
+
+# Import target "decisive::model" for configuration "RelWithDebInfo"
+set_property(TARGET decisive::model APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(decisive::model PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libdecisive_model.a"
+  )
+
+list(APPEND _cmake_import_check_targets decisive::model )
+list(APPEND _cmake_import_check_files_for_decisive::model "${_IMPORT_PREFIX}/lib/libdecisive_model.a" )
+
+# Import target "decisive::query" for configuration "RelWithDebInfo"
+set_property(TARGET decisive::query APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(decisive::query PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libdecisive_query.a"
+  )
+
+list(APPEND _cmake_import_check_targets decisive::query )
+list(APPEND _cmake_import_check_files_for_decisive::query "${_IMPORT_PREFIX}/lib/libdecisive_query.a" )
+
+# Import target "decisive::drivers" for configuration "RelWithDebInfo"
+set_property(TARGET decisive::drivers APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(decisive::drivers PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libdecisive_drivers.a"
+  )
+
+list(APPEND _cmake_import_check_targets decisive::drivers )
+list(APPEND _cmake_import_check_files_for_decisive::drivers "${_IMPORT_PREFIX}/lib/libdecisive_drivers.a" )
+
+# Import target "decisive::sim" for configuration "RelWithDebInfo"
+set_property(TARGET decisive::sim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(decisive::sim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libdecisive_sim.a"
+  )
+
+list(APPEND _cmake_import_check_targets decisive::sim )
+list(APPEND _cmake_import_check_files_for_decisive::sim "${_IMPORT_PREFIX}/lib/libdecisive_sim.a" )
+
+# Import target "decisive::ssam" for configuration "RelWithDebInfo"
+set_property(TARGET decisive::ssam APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(decisive::ssam PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libdecisive_ssam.a"
+  )
+
+list(APPEND _cmake_import_check_targets decisive::ssam )
+list(APPEND _cmake_import_check_files_for_decisive::ssam "${_IMPORT_PREFIX}/lib/libdecisive_ssam.a" )
+
+# Import target "decisive::transform" for configuration "RelWithDebInfo"
+set_property(TARGET decisive::transform APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(decisive::transform PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libdecisive_transform.a"
+  )
+
+list(APPEND _cmake_import_check_targets decisive::transform )
+list(APPEND _cmake_import_check_files_for_decisive::transform "${_IMPORT_PREFIX}/lib/libdecisive_transform.a" )
+
+# Import target "decisive::core" for configuration "RelWithDebInfo"
+set_property(TARGET decisive::core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(decisive::core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libdecisive_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets decisive::core )
+list(APPEND _cmake_import_check_files_for_decisive::core "${_IMPORT_PREFIX}/lib/libdecisive_core.a" )
+
+# Import target "decisive::assurance" for configuration "RelWithDebInfo"
+set_property(TARGET decisive::assurance APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(decisive::assurance PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libdecisive_assurance.a"
+  )
+
+list(APPEND _cmake_import_check_targets decisive::assurance )
+list(APPEND _cmake_import_check_files_for_decisive::assurance "${_IMPORT_PREFIX}/lib/libdecisive_assurance.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_search.dir/bench_ablation_search.cpp.o"
+  "CMakeFiles/bench_ablation_search.dir/bench_ablation_search.cpp.o.d"
+  "bench_ablation_search"
+  "bench_ablation_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

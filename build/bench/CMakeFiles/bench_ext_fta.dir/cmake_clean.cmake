@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_fta.dir/bench_ext_fta.cpp.o"
+  "CMakeFiles/bench_ext_fta.dir/bench_ext_fta.cpp.o.d"
+  "bench_ext_fta"
+  "bench_ext_fta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_fta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

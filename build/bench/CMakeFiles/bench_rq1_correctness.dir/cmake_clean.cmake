@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rq1_correctness.dir/bench_rq1_correctness.cpp.o"
+  "CMakeFiles/bench_rq1_correctness.dir/bench_rq1_correctness.cpp.o.d"
+  "bench_rq1_correctness"
+  "bench_rq1_correctness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rq1_correctness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

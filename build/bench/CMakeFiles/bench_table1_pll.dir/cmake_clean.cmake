@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_pll.dir/bench_table1_pll.cpp.o"
+  "CMakeFiles/bench_table1_pll.dir/bench_table1_pll.cpp.o.d"
+  "bench_table1_pll"
+  "bench_table1_pll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_pll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_fmeda.dir/bench_table4_fmeda.cpp.o"
+  "CMakeFiles/bench_table4_fmeda.dir/bench_table4_fmeda.cpp.o.d"
+  "bench_table4_fmeda"
+  "bench_table4_fmeda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_fmeda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

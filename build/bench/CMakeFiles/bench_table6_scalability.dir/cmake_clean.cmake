@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_scalability.dir/bench_table6_scalability.cpp.o"
+  "CMakeFiles/bench_table6_scalability.dir/bench_table6_scalability.cpp.o.d"
+  "bench_table6_scalability"
+  "bench_table6_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

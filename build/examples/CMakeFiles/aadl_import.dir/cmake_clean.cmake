@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aadl_import.dir/aadl_import.cpp.o"
+  "CMakeFiles/aadl_import.dir/aadl_import.cpp.o.d"
+  "aadl_import"
+  "aadl_import.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aadl_import.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assurance_case.dir/assurance_case.cpp.o"
+  "CMakeFiles/assurance_case.dir/assurance_case.cpp.o.d"
+  "assurance_case"
+  "assurance_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assurance_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for assurance_case.
+# This may be replaced when dependencies are built.

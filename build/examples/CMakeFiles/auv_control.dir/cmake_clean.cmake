@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auv_control.dir/auv_control.cpp.o"
+  "CMakeFiles/auv_control.dir/auv_control.cpp.o.d"
+  "auv_control"
+  "auv_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auv_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decisive_workflow.dir/decisive_workflow.cpp.o"
+  "CMakeFiles/decisive_workflow.dir/decisive_workflow.cpp.o.d"
+  "decisive_workflow"
+  "decisive_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decisive_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tree.dir/fault_tree.cpp.o"
+  "CMakeFiles/fault_tree.dir/fault_tree.cpp.o.d"
+  "fault_tree"
+  "fault_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

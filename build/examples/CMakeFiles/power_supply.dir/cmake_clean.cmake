@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_supply.dir/power_supply.cpp.o"
+  "CMakeFiles/power_supply.dir/power_supply.cpp.o.d"
+  "power_supply"
+  "power_supply.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_supply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

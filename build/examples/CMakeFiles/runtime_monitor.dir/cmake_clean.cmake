@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_monitor.dir/runtime_monitor.cpp.o"
+  "CMakeFiles/runtime_monitor.dir/runtime_monitor.cpp.o.d"
+  "runtime_monitor"
+  "runtime_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulink_import.dir/simulink_import.cpp.o"
+  "CMakeFiles/simulink_import.dir/simulink_import.cpp.o.d"
+  "simulink_import"
+  "simulink_import.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulink_import.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

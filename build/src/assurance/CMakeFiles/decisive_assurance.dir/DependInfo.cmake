@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assurance/src/case.cpp" "src/assurance/CMakeFiles/decisive_assurance.dir/src/case.cpp.o" "gcc" "src/assurance/CMakeFiles/decisive_assurance.dir/src/case.cpp.o.d"
+  "/root/repo/src/assurance/src/evaluate.cpp" "src/assurance/CMakeFiles/decisive_assurance.dir/src/evaluate.cpp.o" "gcc" "src/assurance/CMakeFiles/decisive_assurance.dir/src/evaluate.cpp.o.d"
+  "/root/repo/src/assurance/src/gsn.cpp" "src/assurance/CMakeFiles/decisive_assurance.dir/src/gsn.cpp.o" "gcc" "src/assurance/CMakeFiles/decisive_assurance.dir/src/gsn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/decisive_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/decisive_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/drivers/CMakeFiles/decisive_drivers.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/decisive_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

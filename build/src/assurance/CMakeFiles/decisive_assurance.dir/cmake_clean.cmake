@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decisive_assurance.dir/src/case.cpp.o"
+  "CMakeFiles/decisive_assurance.dir/src/case.cpp.o.d"
+  "CMakeFiles/decisive_assurance.dir/src/evaluate.cpp.o"
+  "CMakeFiles/decisive_assurance.dir/src/evaluate.cpp.o.d"
+  "CMakeFiles/decisive_assurance.dir/src/gsn.cpp.o"
+  "CMakeFiles/decisive_assurance.dir/src/gsn.cpp.o.d"
+  "libdecisive_assurance.a"
+  "libdecisive_assurance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decisive_assurance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/src/csv.cpp" "src/base/CMakeFiles/decisive_base.dir/src/csv.cpp.o" "gcc" "src/base/CMakeFiles/decisive_base.dir/src/csv.cpp.o.d"
+  "/root/repo/src/base/src/error.cpp" "src/base/CMakeFiles/decisive_base.dir/src/error.cpp.o" "gcc" "src/base/CMakeFiles/decisive_base.dir/src/error.cpp.o.d"
+  "/root/repo/src/base/src/json.cpp" "src/base/CMakeFiles/decisive_base.dir/src/json.cpp.o" "gcc" "src/base/CMakeFiles/decisive_base.dir/src/json.cpp.o.d"
+  "/root/repo/src/base/src/lang_string.cpp" "src/base/CMakeFiles/decisive_base.dir/src/lang_string.cpp.o" "gcc" "src/base/CMakeFiles/decisive_base.dir/src/lang_string.cpp.o.d"
+  "/root/repo/src/base/src/strings.cpp" "src/base/CMakeFiles/decisive_base.dir/src/strings.cpp.o" "gcc" "src/base/CMakeFiles/decisive_base.dir/src/strings.cpp.o.d"
+  "/root/repo/src/base/src/table.cpp" "src/base/CMakeFiles/decisive_base.dir/src/table.cpp.o" "gcc" "src/base/CMakeFiles/decisive_base.dir/src/table.cpp.o.d"
+  "/root/repo/src/base/src/xml.cpp" "src/base/CMakeFiles/decisive_base.dir/src/xml.cpp.o" "gcc" "src/base/CMakeFiles/decisive_base.dir/src/xml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decisive_base.dir/src/csv.cpp.o"
+  "CMakeFiles/decisive_base.dir/src/csv.cpp.o.d"
+  "CMakeFiles/decisive_base.dir/src/error.cpp.o"
+  "CMakeFiles/decisive_base.dir/src/error.cpp.o.d"
+  "CMakeFiles/decisive_base.dir/src/json.cpp.o"
+  "CMakeFiles/decisive_base.dir/src/json.cpp.o.d"
+  "CMakeFiles/decisive_base.dir/src/lang_string.cpp.o"
+  "CMakeFiles/decisive_base.dir/src/lang_string.cpp.o.d"
+  "CMakeFiles/decisive_base.dir/src/strings.cpp.o"
+  "CMakeFiles/decisive_base.dir/src/strings.cpp.o.d"
+  "CMakeFiles/decisive_base.dir/src/table.cpp.o"
+  "CMakeFiles/decisive_base.dir/src/table.cpp.o.d"
+  "CMakeFiles/decisive_base.dir/src/xml.cpp.o"
+  "CMakeFiles/decisive_base.dir/src/xml.cpp.o.d"
+  "libdecisive_base.a"
+  "libdecisive_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decisive_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

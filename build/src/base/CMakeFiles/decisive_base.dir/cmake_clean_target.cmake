@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdecisive_base.a"
+)

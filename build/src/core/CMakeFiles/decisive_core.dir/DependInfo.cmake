@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/src/analyst.cpp" "src/core/CMakeFiles/decisive_core.dir/src/analyst.cpp.o" "gcc" "src/core/CMakeFiles/decisive_core.dir/src/analyst.cpp.o.d"
+  "/root/repo/src/core/src/circuit_fmea.cpp" "src/core/CMakeFiles/decisive_core.dir/src/circuit_fmea.cpp.o" "gcc" "src/core/CMakeFiles/decisive_core.dir/src/circuit_fmea.cpp.o.d"
+  "/root/repo/src/core/src/fmeda.cpp" "src/core/CMakeFiles/decisive_core.dir/src/fmeda.cpp.o" "gcc" "src/core/CMakeFiles/decisive_core.dir/src/fmeda.cpp.o.d"
+  "/root/repo/src/core/src/fta.cpp" "src/core/CMakeFiles/decisive_core.dir/src/fta.cpp.o" "gcc" "src/core/CMakeFiles/decisive_core.dir/src/fta.cpp.o.d"
+  "/root/repo/src/core/src/graph_fmea.cpp" "src/core/CMakeFiles/decisive_core.dir/src/graph_fmea.cpp.o" "gcc" "src/core/CMakeFiles/decisive_core.dir/src/graph_fmea.cpp.o.d"
+  "/root/repo/src/core/src/impact.cpp" "src/core/CMakeFiles/decisive_core.dir/src/impact.cpp.o" "gcc" "src/core/CMakeFiles/decisive_core.dir/src/impact.cpp.o.d"
+  "/root/repo/src/core/src/monitor.cpp" "src/core/CMakeFiles/decisive_core.dir/src/monitor.cpp.o" "gcc" "src/core/CMakeFiles/decisive_core.dir/src/monitor.cpp.o.d"
+  "/root/repo/src/core/src/reliability.cpp" "src/core/CMakeFiles/decisive_core.dir/src/reliability.cpp.o" "gcc" "src/core/CMakeFiles/decisive_core.dir/src/reliability.cpp.o.d"
+  "/root/repo/src/core/src/report.cpp" "src/core/CMakeFiles/decisive_core.dir/src/report.cpp.o" "gcc" "src/core/CMakeFiles/decisive_core.dir/src/report.cpp.o.d"
+  "/root/repo/src/core/src/safety_mechanism.cpp" "src/core/CMakeFiles/decisive_core.dir/src/safety_mechanism.cpp.o" "gcc" "src/core/CMakeFiles/decisive_core.dir/src/safety_mechanism.cpp.o.d"
+  "/root/repo/src/core/src/sm_search.cpp" "src/core/CMakeFiles/decisive_core.dir/src/sm_search.cpp.o" "gcc" "src/core/CMakeFiles/decisive_core.dir/src/sm_search.cpp.o.d"
+  "/root/repo/src/core/src/synthetic.cpp" "src/core/CMakeFiles/decisive_core.dir/src/synthetic.cpp.o" "gcc" "src/core/CMakeFiles/decisive_core.dir/src/synthetic.cpp.o.d"
+  "/root/repo/src/core/src/workflow.cpp" "src/core/CMakeFiles/decisive_core.dir/src/workflow.cpp.o" "gcc" "src/core/CMakeFiles/decisive_core.dir/src/workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/decisive_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/decisive_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/decisive_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/drivers/CMakeFiles/decisive_drivers.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/decisive_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssam/CMakeFiles/decisive_ssam.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

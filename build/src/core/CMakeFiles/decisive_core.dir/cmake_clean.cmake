@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decisive_core.dir/src/analyst.cpp.o"
+  "CMakeFiles/decisive_core.dir/src/analyst.cpp.o.d"
+  "CMakeFiles/decisive_core.dir/src/circuit_fmea.cpp.o"
+  "CMakeFiles/decisive_core.dir/src/circuit_fmea.cpp.o.d"
+  "CMakeFiles/decisive_core.dir/src/fmeda.cpp.o"
+  "CMakeFiles/decisive_core.dir/src/fmeda.cpp.o.d"
+  "CMakeFiles/decisive_core.dir/src/fta.cpp.o"
+  "CMakeFiles/decisive_core.dir/src/fta.cpp.o.d"
+  "CMakeFiles/decisive_core.dir/src/graph_fmea.cpp.o"
+  "CMakeFiles/decisive_core.dir/src/graph_fmea.cpp.o.d"
+  "CMakeFiles/decisive_core.dir/src/impact.cpp.o"
+  "CMakeFiles/decisive_core.dir/src/impact.cpp.o.d"
+  "CMakeFiles/decisive_core.dir/src/monitor.cpp.o"
+  "CMakeFiles/decisive_core.dir/src/monitor.cpp.o.d"
+  "CMakeFiles/decisive_core.dir/src/reliability.cpp.o"
+  "CMakeFiles/decisive_core.dir/src/reliability.cpp.o.d"
+  "CMakeFiles/decisive_core.dir/src/report.cpp.o"
+  "CMakeFiles/decisive_core.dir/src/report.cpp.o.d"
+  "CMakeFiles/decisive_core.dir/src/safety_mechanism.cpp.o"
+  "CMakeFiles/decisive_core.dir/src/safety_mechanism.cpp.o.d"
+  "CMakeFiles/decisive_core.dir/src/sm_search.cpp.o"
+  "CMakeFiles/decisive_core.dir/src/sm_search.cpp.o.d"
+  "CMakeFiles/decisive_core.dir/src/synthetic.cpp.o"
+  "CMakeFiles/decisive_core.dir/src/synthetic.cpp.o.d"
+  "CMakeFiles/decisive_core.dir/src/workflow.cpp.o"
+  "CMakeFiles/decisive_core.dir/src/workflow.cpp.o.d"
+  "libdecisive_core.a"
+  "libdecisive_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decisive_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

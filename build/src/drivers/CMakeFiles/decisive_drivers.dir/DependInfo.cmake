@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/drivers/src/aadl.cpp" "src/drivers/CMakeFiles/decisive_drivers.dir/src/aadl.cpp.o" "gcc" "src/drivers/CMakeFiles/decisive_drivers.dir/src/aadl.cpp.o.d"
+  "/root/repo/src/drivers/src/csv_driver.cpp" "src/drivers/CMakeFiles/decisive_drivers.dir/src/csv_driver.cpp.o" "gcc" "src/drivers/CMakeFiles/decisive_drivers.dir/src/csv_driver.cpp.o.d"
+  "/root/repo/src/drivers/src/json_driver.cpp" "src/drivers/CMakeFiles/decisive_drivers.dir/src/json_driver.cpp.o" "gcc" "src/drivers/CMakeFiles/decisive_drivers.dir/src/json_driver.cpp.o.d"
+  "/root/repo/src/drivers/src/mdl.cpp" "src/drivers/CMakeFiles/decisive_drivers.dir/src/mdl.cpp.o" "gcc" "src/drivers/CMakeFiles/decisive_drivers.dir/src/mdl.cpp.o.d"
+  "/root/repo/src/drivers/src/mdl_driver.cpp" "src/drivers/CMakeFiles/decisive_drivers.dir/src/mdl_driver.cpp.o" "gcc" "src/drivers/CMakeFiles/decisive_drivers.dir/src/mdl_driver.cpp.o.d"
+  "/root/repo/src/drivers/src/registry.cpp" "src/drivers/CMakeFiles/decisive_drivers.dir/src/registry.cpp.o" "gcc" "src/drivers/CMakeFiles/decisive_drivers.dir/src/registry.cpp.o.d"
+  "/root/repo/src/drivers/src/row_ref.cpp" "src/drivers/CMakeFiles/decisive_drivers.dir/src/row_ref.cpp.o" "gcc" "src/drivers/CMakeFiles/decisive_drivers.dir/src/row_ref.cpp.o.d"
+  "/root/repo/src/drivers/src/workbook_driver.cpp" "src/drivers/CMakeFiles/decisive_drivers.dir/src/workbook_driver.cpp.o" "gcc" "src/drivers/CMakeFiles/decisive_drivers.dir/src/workbook_driver.cpp.o.d"
+  "/root/repo/src/drivers/src/xml_driver.cpp" "src/drivers/CMakeFiles/decisive_drivers.dir/src/xml_driver.cpp.o" "gcc" "src/drivers/CMakeFiles/decisive_drivers.dir/src/xml_driver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/decisive_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/decisive_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/decisive_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decisive_drivers.dir/src/aadl.cpp.o"
+  "CMakeFiles/decisive_drivers.dir/src/aadl.cpp.o.d"
+  "CMakeFiles/decisive_drivers.dir/src/csv_driver.cpp.o"
+  "CMakeFiles/decisive_drivers.dir/src/csv_driver.cpp.o.d"
+  "CMakeFiles/decisive_drivers.dir/src/json_driver.cpp.o"
+  "CMakeFiles/decisive_drivers.dir/src/json_driver.cpp.o.d"
+  "CMakeFiles/decisive_drivers.dir/src/mdl.cpp.o"
+  "CMakeFiles/decisive_drivers.dir/src/mdl.cpp.o.d"
+  "CMakeFiles/decisive_drivers.dir/src/mdl_driver.cpp.o"
+  "CMakeFiles/decisive_drivers.dir/src/mdl_driver.cpp.o.d"
+  "CMakeFiles/decisive_drivers.dir/src/registry.cpp.o"
+  "CMakeFiles/decisive_drivers.dir/src/registry.cpp.o.d"
+  "CMakeFiles/decisive_drivers.dir/src/row_ref.cpp.o"
+  "CMakeFiles/decisive_drivers.dir/src/row_ref.cpp.o.d"
+  "CMakeFiles/decisive_drivers.dir/src/workbook_driver.cpp.o"
+  "CMakeFiles/decisive_drivers.dir/src/workbook_driver.cpp.o.d"
+  "CMakeFiles/decisive_drivers.dir/src/xml_driver.cpp.o"
+  "CMakeFiles/decisive_drivers.dir/src/xml_driver.cpp.o.d"
+  "libdecisive_drivers.a"
+  "libdecisive_drivers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decisive_drivers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

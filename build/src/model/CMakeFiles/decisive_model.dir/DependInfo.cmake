@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/src/meta.cpp" "src/model/CMakeFiles/decisive_model.dir/src/meta.cpp.o" "gcc" "src/model/CMakeFiles/decisive_model.dir/src/meta.cpp.o.d"
+  "/root/repo/src/model/src/object.cpp" "src/model/CMakeFiles/decisive_model.dir/src/object.cpp.o" "gcc" "src/model/CMakeFiles/decisive_model.dir/src/object.cpp.o.d"
+  "/root/repo/src/model/src/repository.cpp" "src/model/CMakeFiles/decisive_model.dir/src/repository.cpp.o" "gcc" "src/model/CMakeFiles/decisive_model.dir/src/repository.cpp.o.d"
+  "/root/repo/src/model/src/xmi.cpp" "src/model/CMakeFiles/decisive_model.dir/src/xmi.cpp.o" "gcc" "src/model/CMakeFiles/decisive_model.dir/src/xmi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/decisive_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

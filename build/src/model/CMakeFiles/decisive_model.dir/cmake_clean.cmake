@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decisive_model.dir/src/meta.cpp.o"
+  "CMakeFiles/decisive_model.dir/src/meta.cpp.o.d"
+  "CMakeFiles/decisive_model.dir/src/object.cpp.o"
+  "CMakeFiles/decisive_model.dir/src/object.cpp.o.d"
+  "CMakeFiles/decisive_model.dir/src/repository.cpp.o"
+  "CMakeFiles/decisive_model.dir/src/repository.cpp.o.d"
+  "CMakeFiles/decisive_model.dir/src/xmi.cpp.o"
+  "CMakeFiles/decisive_model.dir/src/xmi.cpp.o.d"
+  "libdecisive_model.a"
+  "libdecisive_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decisive_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/src/eval.cpp" "src/query/CMakeFiles/decisive_query.dir/src/eval.cpp.o" "gcc" "src/query/CMakeFiles/decisive_query.dir/src/eval.cpp.o.d"
+  "/root/repo/src/query/src/lexer.cpp" "src/query/CMakeFiles/decisive_query.dir/src/lexer.cpp.o" "gcc" "src/query/CMakeFiles/decisive_query.dir/src/lexer.cpp.o.d"
+  "/root/repo/src/query/src/parser.cpp" "src/query/CMakeFiles/decisive_query.dir/src/parser.cpp.o" "gcc" "src/query/CMakeFiles/decisive_query.dir/src/parser.cpp.o.d"
+  "/root/repo/src/query/src/value.cpp" "src/query/CMakeFiles/decisive_query.dir/src/value.cpp.o" "gcc" "src/query/CMakeFiles/decisive_query.dir/src/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/decisive_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/decisive_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decisive_query.dir/src/eval.cpp.o"
+  "CMakeFiles/decisive_query.dir/src/eval.cpp.o.d"
+  "CMakeFiles/decisive_query.dir/src/lexer.cpp.o"
+  "CMakeFiles/decisive_query.dir/src/lexer.cpp.o.d"
+  "CMakeFiles/decisive_query.dir/src/parser.cpp.o"
+  "CMakeFiles/decisive_query.dir/src/parser.cpp.o.d"
+  "CMakeFiles/decisive_query.dir/src/value.cpp.o"
+  "CMakeFiles/decisive_query.dir/src/value.cpp.o.d"
+  "libdecisive_query.a"
+  "libdecisive_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decisive_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/src/builder.cpp" "src/sim/CMakeFiles/decisive_sim.dir/src/builder.cpp.o" "gcc" "src/sim/CMakeFiles/decisive_sim.dir/src/builder.cpp.o.d"
+  "/root/repo/src/sim/src/circuit.cpp" "src/sim/CMakeFiles/decisive_sim.dir/src/circuit.cpp.o" "gcc" "src/sim/CMakeFiles/decisive_sim.dir/src/circuit.cpp.o.d"
+  "/root/repo/src/sim/src/fault.cpp" "src/sim/CMakeFiles/decisive_sim.dir/src/fault.cpp.o" "gcc" "src/sim/CMakeFiles/decisive_sim.dir/src/fault.cpp.o.d"
+  "/root/repo/src/sim/src/solver.cpp" "src/sim/CMakeFiles/decisive_sim.dir/src/solver.cpp.o" "gcc" "src/sim/CMakeFiles/decisive_sim.dir/src/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/decisive_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/drivers/CMakeFiles/decisive_drivers.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/decisive_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/decisive_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

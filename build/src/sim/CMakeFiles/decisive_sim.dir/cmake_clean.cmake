@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decisive_sim.dir/src/builder.cpp.o"
+  "CMakeFiles/decisive_sim.dir/src/builder.cpp.o.d"
+  "CMakeFiles/decisive_sim.dir/src/circuit.cpp.o"
+  "CMakeFiles/decisive_sim.dir/src/circuit.cpp.o.d"
+  "CMakeFiles/decisive_sim.dir/src/fault.cpp.o"
+  "CMakeFiles/decisive_sim.dir/src/fault.cpp.o.d"
+  "CMakeFiles/decisive_sim.dir/src/solver.cpp.o"
+  "CMakeFiles/decisive_sim.dir/src/solver.cpp.o.d"
+  "libdecisive_sim.a"
+  "libdecisive_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decisive_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssam/src/graph.cpp" "src/ssam/CMakeFiles/decisive_ssam.dir/src/graph.cpp.o" "gcc" "src/ssam/CMakeFiles/decisive_ssam.dir/src/graph.cpp.o.d"
+  "/root/repo/src/ssam/src/metamodel.cpp" "src/ssam/CMakeFiles/decisive_ssam.dir/src/metamodel.cpp.o" "gcc" "src/ssam/CMakeFiles/decisive_ssam.dir/src/metamodel.cpp.o.d"
+  "/root/repo/src/ssam/src/model.cpp" "src/ssam/CMakeFiles/decisive_ssam.dir/src/model.cpp.o" "gcc" "src/ssam/CMakeFiles/decisive_ssam.dir/src/model.cpp.o.d"
+  "/root/repo/src/ssam/src/validate.cpp" "src/ssam/CMakeFiles/decisive_ssam.dir/src/validate.cpp.o" "gcc" "src/ssam/CMakeFiles/decisive_ssam.dir/src/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/decisive_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/decisive_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/decisive_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/drivers/CMakeFiles/decisive_drivers.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decisive_ssam.dir/src/graph.cpp.o"
+  "CMakeFiles/decisive_ssam.dir/src/graph.cpp.o.d"
+  "CMakeFiles/decisive_ssam.dir/src/metamodel.cpp.o"
+  "CMakeFiles/decisive_ssam.dir/src/metamodel.cpp.o.d"
+  "CMakeFiles/decisive_ssam.dir/src/model.cpp.o"
+  "CMakeFiles/decisive_ssam.dir/src/model.cpp.o.d"
+  "CMakeFiles/decisive_ssam.dir/src/validate.cpp.o"
+  "CMakeFiles/decisive_ssam.dir/src/validate.cpp.o.d"
+  "libdecisive_ssam.a"
+  "libdecisive_ssam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decisive_ssam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

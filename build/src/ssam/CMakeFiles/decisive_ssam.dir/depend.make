@@ -1,0 +1,2 @@
+# Empty dependencies file for decisive_ssam.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decisive_transform.dir/src/aadl_to_ssam.cpp.o"
+  "CMakeFiles/decisive_transform.dir/src/aadl_to_ssam.cpp.o.d"
+  "CMakeFiles/decisive_transform.dir/src/simulink_to_ssam.cpp.o"
+  "CMakeFiles/decisive_transform.dir/src/simulink_to_ssam.cpp.o.d"
+  "CMakeFiles/decisive_transform.dir/src/ssam_to_simulink.cpp.o"
+  "CMakeFiles/decisive_transform.dir/src/ssam_to_simulink.cpp.o.d"
+  "libdecisive_transform.a"
+  "libdecisive_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decisive_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

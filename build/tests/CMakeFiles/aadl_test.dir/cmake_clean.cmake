@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aadl_test.dir/aadl_test.cpp.o"
+  "CMakeFiles/aadl_test.dir/aadl_test.cpp.o.d"
+  "aadl_test"
+  "aadl_test.pdb"
+  "aadl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aadl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ac_test.dir/ac_test.cpp.o"
+  "CMakeFiles/ac_test.dir/ac_test.cpp.o.d"
+  "ac_test"
+  "ac_test.pdb"
+  "ac_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

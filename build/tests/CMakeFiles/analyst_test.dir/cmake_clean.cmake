@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyst_test.dir/analyst_test.cpp.o"
+  "CMakeFiles/analyst_test.dir/analyst_test.cpp.o.d"
+  "analyst_test"
+  "analyst_test.pdb"
+  "analyst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

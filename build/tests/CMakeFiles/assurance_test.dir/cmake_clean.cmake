@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assurance_test.dir/assurance_test.cpp.o"
+  "CMakeFiles/assurance_test.dir/assurance_test.cpp.o.d"
+  "assurance_test"
+  "assurance_test.pdb"
+  "assurance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assurance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

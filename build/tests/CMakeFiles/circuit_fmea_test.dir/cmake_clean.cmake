@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_fmea_test.dir/circuit_fmea_test.cpp.o"
+  "CMakeFiles/circuit_fmea_test.dir/circuit_fmea_test.cpp.o.d"
+  "circuit_fmea_test"
+  "circuit_fmea_test.pdb"
+  "circuit_fmea_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_fmea_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fmeda_test.cpp" "tests/CMakeFiles/fmeda_test.dir/fmeda_test.cpp.o" "gcc" "tests/CMakeFiles/fmeda_test.dir/fmeda_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/decisive_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/decisive_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/assurance/CMakeFiles/decisive_assurance.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/decisive_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssam/CMakeFiles/decisive_ssam.dir/DependInfo.cmake"
+  "/root/repo/build/src/drivers/CMakeFiles/decisive_drivers.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/decisive_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/decisive_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/decisive_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmeda_test.dir/fmeda_test.cpp.o"
+  "CMakeFiles/fmeda_test.dir/fmeda_test.cpp.o.d"
+  "fmeda_test"
+  "fmeda_test.pdb"
+  "fmeda_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmeda_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fta_test.dir/fta_test.cpp.o"
+  "CMakeFiles/fta_test.dir/fta_test.cpp.o.d"
+  "fta_test"
+  "fta_test.pdb"
+  "fta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

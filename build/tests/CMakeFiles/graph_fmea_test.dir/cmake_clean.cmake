@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_fmea_test.dir/graph_fmea_test.cpp.o"
+  "CMakeFiles/graph_fmea_test.dir/graph_fmea_test.cpp.o.d"
+  "graph_fmea_test"
+  "graph_fmea_test.pdb"
+  "graph_fmea_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_fmea_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

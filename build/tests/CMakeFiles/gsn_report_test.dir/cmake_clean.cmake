@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsn_report_test.dir/gsn_report_test.cpp.o"
+  "CMakeFiles/gsn_report_test.dir/gsn_report_test.cpp.o.d"
+  "gsn_report_test"
+  "gsn_report_test.pdb"
+  "gsn_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsn_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_search_test.dir/sm_search_test.cpp.o"
+  "CMakeFiles/sm_search_test.dir/sm_search_test.cpp.o.d"
+  "sm_search_test"
+  "sm_search_test.pdb"
+  "sm_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

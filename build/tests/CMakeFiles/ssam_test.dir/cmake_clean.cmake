@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssam_test.dir/ssam_test.cpp.o"
+  "CMakeFiles/ssam_test.dir/ssam_test.cpp.o.d"
+  "ssam_test"
+  "ssam_test.pdb"
+  "ssam_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssam_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

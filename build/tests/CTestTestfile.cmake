@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/base_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/query_test[1]_include.cmake")
+include("/root/repo/build/tests/drivers_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/ssam_test[1]_include.cmake")
+include("/root/repo/build/tests/fmeda_test[1]_include.cmake")
+include("/root/repo/build/tests/circuit_fmea_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_fmea_test[1]_include.cmake")
+include("/root/repo/build/tests/sm_search_test[1]_include.cmake")
+include("/root/repo/build/tests/transform_test[1]_include.cmake")
+include("/root/repo/build/tests/assurance_test[1]_include.cmake")
+include("/root/repo/build/tests/workflow_test[1]_include.cmake")
+include("/root/repo/build/tests/analyst_test[1]_include.cmake")
+include("/root/repo/build/tests/synthetic_test[1]_include.cmake")
+include("/root/repo/build/tests/fta_test[1]_include.cmake")
+include("/root/repo/build/tests/monitor_test[1]_include.cmake")
+include("/root/repo/build/tests/impact_test[1]_include.cmake")
+include("/root/repo/build/tests/aadl_test[1]_include.cmake")
+include("/root/repo/build/tests/gsn_report_test[1]_include.cmake")
+include("/root/repo/build/tests/circuit_property_test[1]_include.cmake")
+include("/root/repo/build/tests/validate_test[1]_include.cmake")
+include("/root/repo/build/tests/reliability_test[1]_include.cmake")
+include("/root/repo/build/tests/ac_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/same.dir/same.cpp.o"
+  "CMakeFiles/same.dir/same.cpp.o.d"
+  "same"
+  "same.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/same.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
