@@ -1,0 +1,145 @@
+// Campaign-engine throughput: fault-injection FME(D)A on synthetic
+// multi-fault circuits, serial vs parallel.
+//
+// Faults are independent re-simulations of circuit copies, so the campaign
+// is embarrassingly parallel; the CampaignRunner executes tasks on a
+// fixed-size thread pool with deterministic result ordering. This harness
+// measures campaign throughput as a function of circuit size and job count,
+// and verifies up front that the parallel FMEDA table is byte-identical to
+// the serial one.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "decisive/base/csv.hpp"
+#include "decisive/core/campaign.hpp"
+#include "decisive/core/circuit_fmea.hpp"
+#include "decisive/sim/builder.hpp"
+
+using namespace decisive;
+
+namespace {
+
+/// A supply rail feeding `stages` RC/diode branches: each stage is a series
+/// resistor into a diode-clamped tap with a voltage sensor. Every resistor
+/// and diode is an FMEA candidate, so the campaign has 5*stages fault tasks
+/// (Open/Short/Drift on resistors, Open/Short on diodes) over a dense MNA
+/// system whose size grows with the circuit.
+sim::BuiltCircuit make_rail(int stages) {
+  sim::BuiltCircuit built;
+  sim::Circuit& c = built.circuit;
+  const int vin = c.node("vin");
+  const int rail = c.node("rail");
+  c.add_vsource("V1", vin, 0, 12.0);
+  c.add_current_sensor("CS", vin, rail);
+  built.observables.push_back("CS");
+  for (int s = 0; s < stages; ++s) {
+    const std::string id = std::to_string(s);
+    const int tap = c.node("tap" + id);
+    c.add_resistor("R" + id, rail, tap, 100.0 + s);
+    c.add_diode("D" + id, tap, 0);
+    c.add_resistor("RL" + id, tap, 0, 1000.0);
+    c.add_voltage_sensor("VS" + id, tap, 0);
+    built.observables.push_back("VS" + id);
+    built.components.push_back({"R" + id, "Resistor", "R" + id});
+    built.components.push_back({"D" + id, "Diode", "D" + id});
+  }
+  return built;
+}
+
+core::ReliabilityModel make_reliability() {
+  core::ReliabilityModel reliability;
+  reliability.add("Resistor", 5.0,
+                  {{"Open", 0.5}, {"Short", 0.3}, {"Drift", 0.2}});
+  reliability.add("Diode", 10.0, {{"Open", 0.3}, {"Short", 0.7}});
+  return reliability;
+}
+
+core::CircuitFmeaOptions options_with_jobs(int jobs) {
+  core::CircuitFmeaOptions options;
+  options.jobs = jobs;
+  return options;
+}
+
+void expect(bool condition, const char* what) {
+  if (!condition) {
+    std::printf("MISMATCH: %s\n", what);
+    throw std::runtime_error(what);
+  }
+}
+
+/// Determinism gate: the parallel campaign must emit a byte-identical FMEDA
+/// table (CSV serialisation) to the serial one before any timing matters.
+void verify_determinism() {
+  const auto built = make_rail(12);
+  const auto reliability = make_reliability();
+  const auto serial =
+      core::analyze_circuit(built, reliability, nullptr, options_with_jobs(1));
+  const auto parallel =
+      core::analyze_circuit(built, reliability, nullptr, options_with_jobs(8));
+  expect(write_csv(serial.to_csv()) == write_csv(parallel.to_csv()),
+         "parallel FMEDA table differs from serial");
+  expect(serial.warnings == parallel.warnings,
+         "parallel warnings differ from serial");
+  expect(serial.rows.size() == 12u * 5u, "unexpected task count");
+  std::printf("determinism verified: --jobs 1 and --jobs 8 byte-identical "
+              "(%zu rows)\n\n",
+              serial.rows.size());
+}
+
+void run_campaign(benchmark::State& state, int stages, int jobs) {
+  const auto built = make_rail(stages);
+  const auto reliability = make_reliability();
+  const auto options = options_with_jobs(jobs);
+  size_t faults = 0;
+  for (auto _ : state) {
+    const auto fmea = core::analyze_circuit(built, reliability, nullptr, options);
+    benchmark::DoNotOptimize(fmea.spfm());
+    faults += fmea.rows.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(faults));
+}
+
+void BM_CampaignSerial(benchmark::State& state) {
+  run_campaign(state, static_cast<int>(state.range(0)), 1);
+}
+BENCHMARK(BM_CampaignSerial)
+    ->ArgName("stages")
+    ->Arg(8)
+    ->Arg(24)
+    ->Arg(48)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CampaignParallel(benchmark::State& state) {
+  run_campaign(state, static_cast<int>(state.range(0)), 0);  // 0 = all cores
+}
+BENCHMARK(BM_CampaignParallel)
+    ->ArgName("stages")
+    ->Arg(8)
+    ->Arg(24)
+    ->Arg(48)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CampaignJobsSweep(benchmark::State& state) {
+  run_campaign(state, 24, static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_CampaignJobsSweep)
+    ->ArgName("jobs")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("hardware concurrency: %u\n", std::thread::hardware_concurrency());
+  verify_determinism();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

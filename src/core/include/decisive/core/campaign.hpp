@@ -1,0 +1,77 @@
+// Fault-injection campaign engine (paper Section IV-D1, hardened).
+//
+// The automated FMEA is a campaign: solve the baseline once, then for every
+// (component, failure mode) pair inject the fault, re-solve, and compare.
+// The campaign is only as trustworthy as its worst-behaved solve, so the
+// runner makes each injection robust and observable:
+//
+//  - every faulted solve goes through the solver recovery ladder
+//    (sim::try_dc_operating_point) with iteration and wall-clock budgets;
+//  - each fault is classified into a structured FaultOutcome (Converged /
+//    RecoveredViaLadder / BudgetExhausted / Singular / NotApplicable) carried
+//    on its FmedaRow, instead of being swallowed into free-text warnings;
+//  - faults are independent re-simulations, so the runner executes them on a
+//    fixed-size std::thread pool with deterministic result ordering — the
+//    FMEDA table is byte-identical for any job count.
+//
+// Warning strings in the result are *derived* from the structured outcomes
+// (single source of truth), so the CSV/report and the warnings can never
+// disagree.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "decisive/core/circuit_fmea.hpp"
+#include "decisive/core/fmeda.hpp"
+#include "decisive/core/reliability.hpp"
+#include "decisive/core/safety_mechanism.hpp"
+#include "decisive/sim/builder.hpp"
+
+namespace decisive::core {
+
+/// Runs the fault-injection campaign behind analyze_circuit. Usable directly
+/// when the caller wants the task list or parallel execution control.
+class CampaignRunner {
+ public:
+  /// One unit of campaign work: a (component, failure mode) pair, in
+  /// deterministic output order.
+  struct Task {
+    const sim::BuiltComponent* component = nullptr;
+    const ComponentReliability* reliability = nullptr;
+    const FailureModeSpec* mode = nullptr;
+  };
+
+  /// All referenced objects must outlive the runner. `sm_model` may be null.
+  CampaignRunner(const sim::BuiltCircuit& built, const ReliabilityModel& reliability,
+                 const SafetyMechanismModel* sm_model = nullptr,
+                 CircuitFmeaOptions options = {});
+
+  /// The enumerated fault tasks in output order (components without
+  /// reliability data are skipped and reported via run()'s warnings).
+  [[nodiscard]] const std::vector<Task>& tasks() const noexcept { return tasks_; }
+
+  /// Solves the baseline, executes every task on `options.jobs` worker
+  /// threads (0 = hardware concurrency) and assembles the FmedaResult with
+  /// rows in task order regardless of the job count. Throws SimulationError
+  /// when the *baseline* does not solve even via the recovery ladder.
+  [[nodiscard]] FmedaResult run() const;
+
+ private:
+  [[nodiscard]] FmedaRow run_task(const Task& task,
+                                  const sim::OperatingPoint& baseline) const;
+
+  const sim::BuiltCircuit& built_;
+  const SafetyMechanismModel* sm_model_;
+  CircuitFmeaOptions options_;
+  std::vector<Task> tasks_;
+  std::vector<std::string> skip_warnings_;
+};
+
+/// The display warning derived from one row's structured outcome; empty when
+/// the outcome needs no warning (Converged). Exposed so reports and tests can
+/// verify warnings and CSV always agree.
+[[nodiscard]] std::string outcome_warning(const FmedaRow& row);
+
+}  // namespace decisive::core

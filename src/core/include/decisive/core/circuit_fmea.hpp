@@ -38,14 +38,21 @@ struct CircuitFmeaOptions {
   std::vector<std::string> safety_goal_observables;
   /// Solver configuration used for every simulate() call.
   sim::SolveOptions solver;
+  /// Campaign worker threads: 1 = serial, 0 = hardware concurrency. The
+  /// FMEDA output is byte-identical for any value.
+  int jobs = 1;
+
+  /// True when `name` counts toward the safety goal.
+  [[nodiscard]] bool is_goal_observable(const std::string& name) const;
 };
 
-/// Runs the automated FME(D)A. `sm_model` may be nullptr for plain FMEA.
-/// Components whose type has no reliability entry are skipped with a warning
-/// (the paper's "assume DC1 is stable" corresponds to the source having no
-/// reliability row). Throws SimulationError if the *baseline* does not solve;
-/// per-fault non-convergence is recorded as a warning and the mode is
-/// conservatively marked safety-related.
+/// Runs the automated FME(D)A via the campaign engine (see campaign.hpp).
+/// `sm_model` may be nullptr for plain FMEA. Components whose type has no
+/// reliability entry are skipped with a warning (the paper's "assume DC1 is
+/// stable" corresponds to the source having no reliability row). Throws
+/// SimulationError if the *baseline* does not solve even via the solver
+/// recovery ladder; per-fault solver failure is a classified FaultOutcome on
+/// the row (conservatively marked safety-related), never an exception.
 FmedaResult analyze_circuit(const sim::BuiltCircuit& built, const ReliabilityModel& reliability,
                             const SafetyMechanismModel* sm_model = nullptr,
                             const CircuitFmeaOptions& options = {});

@@ -13,6 +13,7 @@
 // with at least one safety-related failure mode.
 #pragma once
 
+#include <array>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -29,6 +30,23 @@ enum class EffectClass { None, DVF, IVF };
 
 std::string_view to_string(EffectClass effect) noexcept;
 
+/// Structured outcome of one fault injection in the campaign — how the
+/// faulted re-simulation behaved, independent of the effect classification.
+/// xSAP-style safety platforms treat per-fault solver failure as a
+/// first-class, classified result rather than a free-text warning; so do we.
+enum class FaultOutcome {
+  Converged,           ///< faulted circuit solved with plain Newton
+  RecoveredViaLadder,  ///< solved, but only via gmin/source stepping
+  BudgetExhausted,     ///< iteration/wall-clock budget spent without a solution
+  Singular,            ///< faulted system is structurally singular
+  NotApplicable,       ///< fault kind does not apply to this element
+};
+
+/// Number of FaultOutcome enumerators (for count arrays).
+inline constexpr size_t kFaultOutcomeCount = 5;
+
+std::string_view to_string(FaultOutcome outcome) noexcept;
+
 /// One FMEDA row: a (component instance, failure mode) pair.
 struct FmedaRow {
   std::string component;       ///< instance name, e.g. "D1"
@@ -41,6 +59,15 @@ struct FmedaRow {
   std::string safety_mechanism;  ///< deployed SM name; empty = "No SM"
   double sm_coverage = 0.0;      ///< diagnostic coverage of the deployed SM
   double sm_cost_hours = 0.0;
+
+  // Campaign observability (circuit FMEA only; graph-analysis rows keep the
+  // defaults). A non-Converged outcome other than NotApplicable is
+  // conservatively safety-related, with `effect` left None — the *reason* is
+  // carried here instead of being overloaded onto the effect class.
+  FaultOutcome outcome = FaultOutcome::Converged;
+  std::string outcome_detail;  ///< solver failure reason / recovery strategy
+  int solver_iterations = 0;   ///< Newton iterations spent on the faulted solve
+  int ladder_rung = 0;         ///< recovery-ladder rung that produced the result
 
   /// FIT apportioned to this failure mode.
   [[nodiscard]] double mode_fit() const noexcept { return fit * distribution; }
@@ -59,6 +86,12 @@ struct FmedaResult {
   /// Diagnostics from the analysis (e.g. Algorithm 1 line 11 warnings,
   /// components without reliability data).
   std::vector<std::string> warnings;
+
+  /// Row count per FaultOutcome, indexed by the enumerator value.
+  [[nodiscard]] std::array<size_t, kFaultOutcomeCount> outcome_counts() const;
+
+  /// One-line campaign summary, e.g. "10 converged, 1 recovered, 1 singular".
+  [[nodiscard]] std::string outcome_summary() const;
 
   /// Names of components with at least one safety-related failure mode.
   [[nodiscard]] std::vector<std::string> safety_related_components() const;

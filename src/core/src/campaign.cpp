@@ -1,0 +1,206 @@
+#include "decisive/core/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "decisive/base/error.hpp"
+#include "decisive/sim/fault.hpp"
+#include "decisive/sim/solver.hpp"
+
+namespace decisive::core {
+
+namespace {
+
+/// Classifies one injected fault by comparing operating points.
+EffectClass classify(const CircuitFmeaOptions& options, const sim::OperatingPoint& baseline,
+                     const sim::OperatingPoint& faulted) {
+  bool goal_deviated = false;
+  bool other_deviated = false;
+  for (const auto& [name, before] : baseline.readings) {
+    const auto it = faulted.readings.find(name);
+    if (it == faulted.readings.end()) continue;
+    const double deviation = observable_deviation(before, it->second, options.absolute_floor);
+    if (deviation > options.relative_threshold) {
+      if (options.is_goal_observable(name)) goal_deviated = true;
+      else other_deviated = true;
+    }
+  }
+  if (goal_deviated) return EffectClass::DVF;
+  if (other_deviated) return EffectClass::IVF;
+  return EffectClass::None;
+}
+
+}  // namespace
+
+std::string outcome_warning(const FmedaRow& row) {
+  switch (row.outcome) {
+    case FaultOutcome::Converged:
+      return "";
+    case FaultOutcome::RecoveredViaLadder:
+      return "fault '" + row.failure_mode + "' on '" + row.component +
+             "' needed the solver recovery ladder (" + row.outcome_detail + ")";
+    case FaultOutcome::BudgetExhausted:
+      return "fault '" + row.failure_mode + "' on '" + row.component +
+             "' exhausted the solve budget (" + row.outcome_detail +
+             "); conservatively marked safety-related";
+    case FaultOutcome::Singular:
+      return "fault '" + row.failure_mode + "' on '" + row.component +
+             "' produced a singular system (" + row.outcome_detail +
+             "); conservatively marked safety-related";
+    case FaultOutcome::NotApplicable:
+      return "failure mode '" + row.failure_mode + "' of '" + row.component +
+             "': " + row.outcome_detail;
+  }
+  return "";
+}
+
+CampaignRunner::CampaignRunner(const sim::BuiltCircuit& built,
+                               const ReliabilityModel& reliability,
+                               const SafetyMechanismModel* sm_model,
+                               CircuitFmeaOptions options)
+    : built_(built), sm_model_(sm_model), options_(std::move(options)) {
+  for (const auto& component : built_.components) {
+    const ComponentReliability* entry = reliability.find(component.block_type);
+    if (entry == nullptr) {
+      skip_warnings_.push_back("component '" + component.path + "' of type '" +
+                               component.block_type +
+                               "' has no reliability data; skipped");
+      continue;
+    }
+    for (const auto& mode : entry->modes) {
+      tasks_.push_back(Task{&component, entry, &mode});
+    }
+  }
+}
+
+FmedaRow CampaignRunner::run_task(const Task& task,
+                                  const sim::OperatingPoint& baseline) const {
+  FmedaRow row;
+  row.component = task.component->path;
+  row.component_type = task.reliability->component_type;
+  row.fit = task.reliability->fit;
+  row.failure_mode = task.mode->name;
+  row.distribution = task.mode->distribution;
+
+  sim::Fault fault;
+  fault.element = task.component->element;
+  try {
+    fault.kind = sim::fault_kind_from_name(task.mode->name);
+    const sim::Circuit faulted = sim::inject_fault(
+        built_.circuit, fault, options_.solver.open_resistance,
+        options_.solver.closed_resistance);
+
+    sim::SolveDiagnostics diagnostics;
+    const auto after = sim::try_dc_operating_point(faulted, options_.solver, diagnostics);
+    row.solver_iterations = diagnostics.iterations;
+    row.ladder_rung = diagnostics.ladder_rung;
+    if (after.has_value()) {
+      row.outcome = diagnostics.ladder_rung == 0 ? FaultOutcome::Converged
+                                                 : FaultOutcome::RecoveredViaLadder;
+      if (diagnostics.ladder_rung != 0) {
+        row.outcome_detail = std::string(to_string(diagnostics.strategy)) + " after " +
+                             std::to_string(diagnostics.iterations) + " iterations";
+      }
+      row.effect = classify(options_, baseline, *after);
+      row.safety_related = row.effect != EffectClass::None;
+    } else {
+      // The faulted circuit did not solve. Conservatively safety-related
+      // (the effect cannot be ruled benign), but the *reason* is structured
+      // instead of being overloaded onto the effect class.
+      row.outcome = diagnostics.failure == sim::SolveFailure::Singular
+                        ? FaultOutcome::Singular
+                        : FaultOutcome::BudgetExhausted;
+      row.outcome_detail = std::string(to_string(diagnostics.failure)) + ": " +
+                           diagnostics.message;
+      row.safety_related = true;
+      row.effect = EffectClass::None;
+    }
+  } catch (const AnalysisError& error) {
+    // Fault kind unknown, or not applicable to this element kind (e.g.
+    // RamFailure on a resistor): Algorithm-1-style structured outcome.
+    row.outcome = FaultOutcome::NotApplicable;
+    row.outcome_detail = error.what();
+  } catch (const SimulationError& error) {
+    // inject_fault on an unknown element — a model inconsistency, not a
+    // solver failure; the injection itself is not applicable.
+    row.outcome = FaultOutcome::NotApplicable;
+    row.outcome_detail = error.what();
+  }
+
+  // Step 4b: deploy the best applicable safety mechanism, if any (const
+  // lookup, safe from worker threads).
+  if (row.safety_related && sm_model_ != nullptr) {
+    if (const SafetyMechanismSpec* sm =
+            sm_model_->best(task.component->block_type, task.mode->name)) {
+      row.safety_mechanism = sm->name;
+      row.sm_coverage = sm->coverage;
+      row.sm_cost_hours = sm->cost_hours;
+    }
+  }
+  return row;
+}
+
+FmedaResult CampaignRunner::run() const {
+  FmedaResult result;
+  result.system = "circuit";
+  result.warnings = skip_warnings_;
+
+  // Step 1: Initialise — baseline operating point (ladder-assisted; a design
+  // whose *baseline* does not solve cannot be analysed at all).
+  sim::SolveDiagnostics baseline_diagnostics;
+  const auto baseline =
+      sim::try_dc_operating_point(built_.circuit, options_.solver, baseline_diagnostics);
+  if (!baseline.has_value()) {
+    throw SimulationError("baseline operating point did not solve (" +
+                          std::string(to_string(baseline_diagnostics.failure)) + ": " +
+                          baseline_diagnostics.message + ")");
+  }
+
+  // Step 2: execute every fault task. Faults are independent re-simulations
+  // of copies of the circuit, so this is embarrassingly parallel; results
+  // land in pre-assigned slots, keeping output deterministic for any job
+  // count.
+  std::vector<FmedaRow> rows(tasks_.size());
+  unsigned jobs = options_.jobs > 0 ? static_cast<unsigned>(options_.jobs)
+                                    : std::max(1u, std::thread::hardware_concurrency());
+  if (tasks_.size() < jobs) jobs = static_cast<unsigned>(std::max<size_t>(tasks_.size(), 1));
+
+  if (jobs <= 1) {
+    for (size_t i = 0; i < tasks_.size(); ++i) rows[i] = run_task(tasks_[i], *baseline);
+  } else {
+    std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    auto worker = [&] {
+      try {
+        for (size_t i = next.fetch_add(1); i < tasks_.size(); i = next.fetch_add(1)) {
+          rows[i] = run_task(tasks_[i], *baseline);
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!failed.exchange(true)) first_error = std::current_exception();
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t) pool.emplace_back(worker);
+    for (auto& thread : pool) thread.join();
+    if (failed.load()) std::rethrow_exception(first_error);
+  }
+
+  // Step 3: assemble — derive the display warnings from the structured
+  // outcomes, in task order (single source of truth: the rows themselves).
+  for (auto& row : rows) {
+    std::string warning = outcome_warning(row);
+    if (!warning.empty()) result.warnings.push_back(std::move(warning));
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+}  // namespace decisive::core

@@ -3,9 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "decisive/base/error.hpp"
-#include "decisive/base/strings.hpp"
-#include "decisive/sim/fault.hpp"
+#include "decisive/core/campaign.hpp"
 
 namespace decisive::core {
 
@@ -14,107 +12,16 @@ double observable_deviation(double before, double after, double absolute_floor) 
   return std::abs(after - before) / reference;
 }
 
-namespace {
-
-bool is_goal_observable(const CircuitFmeaOptions& options, const std::string& name) {
-  if (options.safety_goal_observables.empty()) return true;
-  return std::find(options.safety_goal_observables.begin(),
-                   options.safety_goal_observables.end(),
-                   name) != options.safety_goal_observables.end();
+bool CircuitFmeaOptions::is_goal_observable(const std::string& name) const {
+  if (safety_goal_observables.empty()) return true;
+  return std::find(safety_goal_observables.begin(), safety_goal_observables.end(), name) !=
+         safety_goal_observables.end();
 }
-
-/// Classifies one injected fault by comparing operating points.
-EffectClass classify(const CircuitFmeaOptions& options, const sim::OperatingPoint& baseline,
-                     const sim::OperatingPoint& faulted) {
-  bool goal_deviated = false;
-  bool other_deviated = false;
-  for (const auto& [name, before] : baseline.readings) {
-    const auto it = faulted.readings.find(name);
-    if (it == faulted.readings.end()) continue;
-    const double deviation = observable_deviation(before, it->second, options.absolute_floor);
-    if (deviation > options.relative_threshold) {
-      if (is_goal_observable(options, name)) goal_deviated = true;
-      else other_deviated = true;
-    }
-  }
-  if (goal_deviated) return EffectClass::DVF;
-  if (other_deviated) return EffectClass::IVF;
-  return EffectClass::None;
-}
-
-}  // namespace
 
 FmedaResult analyze_circuit(const sim::BuiltCircuit& built, const ReliabilityModel& reliability,
                             const SafetyMechanismModel* sm_model,
                             const CircuitFmeaOptions& options) {
-  FmedaResult result;
-  result.system = "circuit";
-
-  // Step 1: Initialise — baseline operating point.
-  const sim::OperatingPoint baseline = sim::dc_operating_point(built.circuit, options.solver);
-
-  // Step 2: iterate components and their failure modes.
-  for (const auto& component : built.components) {
-    const ComponentReliability* entry = reliability.find(component.block_type);
-    if (entry == nullptr) {
-      result.warnings.push_back("component '" + component.path + "' of type '" +
-                                component.block_type +
-                                "' has no reliability data; skipped");
-      continue;
-    }
-    for (const auto& mode : entry->modes) {
-      FmedaRow row;
-      row.component = component.path;
-      row.component_type = entry->component_type;
-      row.fit = entry->fit;
-      row.failure_mode = mode.name;
-      row.distribution = mode.distribution;
-
-      sim::Fault fault;
-      fault.element = component.element;
-      try {
-        fault.kind = sim::fault_kind_from_name(mode.name);
-      } catch (const AnalysisError& error) {
-        result.warnings.push_back("failure mode '" + mode.name + "' of '" + component.path +
-                                  "': " + error.what());
-        result.rows.push_back(std::move(row));
-        continue;
-      }
-
-      try {
-        const sim::Circuit faulted = sim::inject_fault(
-            built.circuit, fault, options.solver.open_resistance,
-            options.solver.closed_resistance);
-        const sim::OperatingPoint after = sim::dc_operating_point(faulted, options.solver);
-        row.effect = classify(options, baseline, after);
-        row.safety_related = row.effect != EffectClass::None;
-      } catch (const AnalysisError& error) {
-        // Fault kind not applicable to this element kind (e.g. RamFailure on
-        // a resistor): Algorithm-1-style warning.
-        result.warnings.push_back("failure mode '" + mode.name + "' of '" + component.path +
-                                  "': " + error.what());
-      } catch (const SimulationError& error) {
-        // The faulted circuit failed to converge — conservatively treat as a
-        // violation and record why.
-        row.safety_related = true;
-        row.effect = EffectClass::DVF;
-        result.warnings.push_back("fault '" + mode.name + "' on '" + component.path +
-                                  "' did not converge (" + error.what() +
-                                  "); conservatively marked safety-related");
-      }
-
-      // Step 4b: deploy the best applicable safety mechanism, if any.
-      if (row.safety_related && sm_model != nullptr) {
-        if (const SafetyMechanismSpec* sm = sm_model->best(component.block_type, mode.name)) {
-          row.safety_mechanism = sm->name;
-          row.sm_coverage = sm->coverage;
-          row.sm_cost_hours = sm->cost_hours;
-        }
-      }
-      result.rows.push_back(std::move(row));
-    }
-  }
-  return result;
+  return CampaignRunner(built, reliability, sm_model, options).run();
 }
 
 }  // namespace decisive::core

@@ -17,6 +17,37 @@ std::string_view to_string(EffectClass effect) noexcept {
   return "";
 }
 
+std::string_view to_string(FaultOutcome outcome) noexcept {
+  switch (outcome) {
+    case FaultOutcome::Converged: return "Converged";
+    case FaultOutcome::RecoveredViaLadder: return "RecoveredViaLadder";
+    case FaultOutcome::BudgetExhausted: return "BudgetExhausted";
+    case FaultOutcome::Singular: return "Singular";
+    case FaultOutcome::NotApplicable: return "NotApplicable";
+  }
+  return "Converged";
+}
+
+std::array<size_t, kFaultOutcomeCount> FmedaResult::outcome_counts() const {
+  std::array<size_t, kFaultOutcomeCount> counts{};
+  for (const auto& row : rows) counts[static_cast<size_t>(row.outcome)]++;
+  return counts;
+}
+
+std::string FmedaResult::outcome_summary() const {
+  const auto counts = outcome_counts();
+  std::string out;
+  static constexpr const char* kLabels[kFaultOutcomeCount] = {
+      "converged", "recovered via ladder", "budget-exhausted", "singular",
+      "not applicable"};
+  for (size_t i = 0; i < kFaultOutcomeCount; ++i) {
+    if (counts[i] == 0 && i != static_cast<size_t>(FaultOutcome::Converged)) continue;
+    if (!out.empty()) out += ", ";
+    out += std::to_string(counts[i]) + " " + kLabels[i];
+  }
+  return out;
+}
+
 std::vector<std::string> FmedaResult::safety_related_components() const {
   std::vector<std::string> out;
   std::set<std::string> seen;
@@ -91,13 +122,16 @@ CsvTable FmedaResult::to_csv() const {
   table.header = {"Component",   "Component_Type", "FIT",
                   "Safety_Related", "Failure_Mode", "Distribution",
                   "Safety_Mechanism", "SM_Coverage", "Mode_FIT",
-                  "Single_Point_FIT"};
+                  "Single_Point_FIT", "Effect", "Fault_Outcome",
+                  "Outcome_Detail"};
   for (const auto& row : rows) {
     table.rows.push_back({row.component, row.component_type, format_number(row.fit),
                           row.safety_related ? "Yes" : "No", row.failure_mode,
                           format_number(row.distribution, 6), row.safety_mechanism,
                           format_number(row.sm_coverage, 6), format_number(row.mode_fit(), 6),
-                          format_number(row.single_point_fit(), 6)});
+                          format_number(row.single_point_fit(), 6),
+                          std::string(to_string(row.effect)),
+                          std::string(to_string(row.outcome)), row.outcome_detail});
   }
   return table;
 }

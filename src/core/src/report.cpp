@@ -21,6 +21,12 @@ CsvTable metrics_table(const FmedaResult& result) {
       {"Rows", std::to_string(result.rows.size())},
       {"Warnings", std::to_string(result.warnings.size())},
   };
+  // Campaign outcome counts (appended so existing row indices stay stable).
+  const auto counts = result.outcome_counts();
+  for (size_t i = 0; i < kFaultOutcomeCount; ++i) {
+    table.rows.push_back({"Faults_" + std::string(to_string(static_cast<FaultOutcome>(i))),
+                          std::to_string(counts[i])});
+  }
   return table;
 }
 

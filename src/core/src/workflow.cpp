@@ -239,6 +239,7 @@ std::string DecisiveProcess::synthesise_safety_concept() const {
   out += "\nArchitecture metrics:\n";
   out += "  SPFM = " + format_percent(last_result_.spfm()) + " (" +
          achieved_asil(last_result_.spfm()) + ")\n";
+  out += "  Analysis outcomes: " + last_result_.outcome_summary() + "\n";
   return out;
 }
 

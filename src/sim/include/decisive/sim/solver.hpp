@@ -2,11 +2,18 @@
 // iteration for diodes, and backward-Euler transient analysis.
 //
 // This is the `simulate()` the automated FMEA invokes before and after each
-// fault injection (paper Section IV-D1, step 2b).
+// fault injection (paper Section IV-D1, step 2b). Because the fault-injection
+// campaign feeds the solver deliberately broken circuits (opens, shorts,
+// collapsed sources), hard solves are first-class: every DC solve is guarded
+// against non-finite iterates, bounded by iteration and wall-clock budgets,
+// and backed by a recovery ladder (gmin stepping, then source stepping) that
+// is tried in order when plain Newton gives up.
 #pragma once
 
 #include <map>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "decisive/sim/circuit.hpp"
@@ -35,11 +42,65 @@ struct SolveOptions {
   double diode_vt = 0.025852;       ///< thermal voltage (V)
   double open_resistance = 1e12;    ///< ohms modelling an "open" element
   double closed_resistance = 1e-3;  ///< ohms modelling a closed switch / "short"
+
+  /// Wall-clock budget for one DC solve including every recovery-ladder
+  /// attempt; <= 0 disables the budget.
+  double max_wall_clock_seconds = 5.0;
+  /// When plain Newton gives up, try gmin stepping then source stepping
+  /// before declaring the solve failed.
+  bool recovery_ladder = true;
+  int gmin_ladder_steps = 8;     ///< gmin continuation points (first rung)
+  int source_ladder_steps = 10;  ///< source ramp points (second rung)
+};
+
+/// Strategy of the recovery ladder that produced (or last attempted) a DC
+/// solution. The ladder is tried strictly in this order.
+enum class SolveStrategy {
+  Newton,          ///< plain Newton iteration, rung 0
+  GminStepping,    ///< gmin continuation from a heavily damped system, rung 1
+  SourceStepping,  ///< homotopy: sources ramped from ~0 to full value, rung 2
+};
+
+std::string_view to_string(SolveStrategy strategy) noexcept;
+
+/// Why a DC solve gave up after exhausting the recovery ladder.
+enum class SolveFailure {
+  None,             ///< converged
+  Singular,         ///< the MNA system is singular on every ladder rung
+  NonFinite,        ///< Newton iterates left the finite range (NaN/Inf input?)
+  IterationBudget,  ///< max_newton_iterations exhausted on every rung
+  WallClockBudget,  ///< max_wall_clock_seconds elapsed mid-solve
+};
+
+std::string_view to_string(SolveFailure failure) noexcept;
+
+/// Observability record of one DC solve: which ladder rung converged, how
+/// much work it took, and — on failure — a structured reason. Returned
+/// alongside the OperatingPoint so fault-injection campaigns can classify
+/// per-fault solver behaviour instead of parsing exception text.
+struct SolveDiagnostics {
+  bool converged = false;
+  SolveStrategy strategy = SolveStrategy::Newton;  ///< rung that produced the result
+  int ladder_rung = 0;           ///< 0 = plain Newton, 1 = gmin, 2 = source stepping
+  int iterations = 0;            ///< Newton iterations summed over every attempt
+  double residual = 0.0;         ///< final max |x_new - x| of the last attempt
+  double elapsed_seconds = 0.0;  ///< wall-clock spent in the solve
+  SolveFailure failure = SolveFailure::None;
+  std::string message;           ///< human-readable failure detail; empty on success
 };
 
 /// Computes the DC operating point. Throws SimulationError when the system is
-/// singular or Newton iteration fails to converge.
+/// singular or Newton iteration fails to converge even via the recovery
+/// ladder.
 OperatingPoint dc_operating_point(const Circuit& circuit, const SolveOptions& options = {});
+
+/// Non-throwing DC solve for campaign use: runs plain Newton and, when it
+/// fails and `options.recovery_ladder` is set, the gmin-stepping and
+/// source-stepping fallbacks. Returns the operating point on success and
+/// std::nullopt on failure; `diagnostics` is always filled.
+std::optional<OperatingPoint> try_dc_operating_point(const Circuit& circuit,
+                                                     const SolveOptions& options,
+                                                     SolveDiagnostics& diagnostics);
 
 /// One sampled time point of a transient run.
 struct TransientSample {

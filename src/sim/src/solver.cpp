@@ -1,14 +1,36 @@
 #include "decisive/sim/solver.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <complex>
 #include <limits>
 #include <numbers>
+#include <utility>
 
 #include "decisive/base/error.hpp"
 
 namespace decisive::sim {
+
+std::string_view to_string(SolveStrategy strategy) noexcept {
+  switch (strategy) {
+    case SolveStrategy::Newton: return "newton";
+    case SolveStrategy::GminStepping: return "gmin-stepping";
+    case SolveStrategy::SourceStepping: return "source-stepping";
+  }
+  return "newton";
+}
+
+std::string_view to_string(SolveFailure failure) noexcept {
+  switch (failure) {
+    case SolveFailure::None: return "none";
+    case SolveFailure::Singular: return "singular";
+    case SolveFailure::NonFinite: return "non-finite";
+    case SolveFailure::IterationBudget: return "iteration-budget";
+    case SolveFailure::WallClockBudget: return "wall-clock-budget";
+  }
+  return "none";
+}
 
 double OperatingPoint::reading(const std::string& name) const {
   const auto it = readings.find(name);
@@ -72,8 +94,31 @@ struct SolveResult {
   std::vector<double> branch_current;  // per element index; NaN when no branch
 };
 
-SolveResult solve_system(const Circuit& circuit, const SolveOptions& opt,
-                         const CompanionState& state) {
+/// Warm-start state handed from one recovery-ladder attempt to the next.
+struct NewtonSeed {
+  std::vector<double> x;        ///< previous raw solution vector
+  std::vector<double> diode_v;  ///< previous diode junction estimates
+};
+
+using Deadline = std::optional<std::chrono::steady_clock::time_point>;
+
+/// One bounded, non-throwing Newton run. `result` is only meaningful when
+/// `converged`; `x`/`diode_v` always carry the final iterate so a later
+/// ladder rung can continue from whatever progress this attempt made.
+struct NewtonAttempt {
+  bool converged = false;
+  SolveFailure failure = SolveFailure::None;
+  std::string message;
+  int iterations = 0;
+  double residual = 0.0;
+  SolveResult result;
+  std::vector<double> x;
+  std::vector<double> diode_v;
+};
+
+NewtonAttempt attempt_solve(const Circuit& circuit, const SolveOptions& opt,
+                            const CompanionState& state, const NewtonSeed* seed,
+                            const Deadline& deadline) {
   const auto& elements = circuit.elements();
   const int n_nodes = circuit.node_count();
 
@@ -90,22 +135,45 @@ SolveResult solve_system(const Circuit& circuit, const SolveOptions& opt,
   }
 
   const size_t dim = static_cast<size_t>(n_nodes - 1 + n_branches);
+  NewtonAttempt attempt;
   if (dim == 0) {
-    return SolveResult{std::vector<double>(static_cast<size_t>(n_nodes), 0.0),
-                       std::vector<double>(elements.size(),
-                                           std::numeric_limits<double>::quiet_NaN())};
+    attempt.converged = true;
+    attempt.result =
+        SolveResult{std::vector<double>(static_cast<size_t>(n_nodes), 0.0),
+                    std::vector<double>(elements.size(),
+                                        std::numeric_limits<double>::quiet_NaN())};
+    return attempt;
   }
 
-  // Diode junction voltage estimates for Newton iteration.
+  // Diode junction voltage estimates for Newton iteration; warm-started from
+  // the previous ladder attempt when available.
   std::vector<double> diode_v(elements.size(), 0.6);
   std::vector<double> x(dim, 0.0);
+  if (seed != nullptr) {
+    if (seed->diode_v.size() == diode_v.size()) diode_v = seed->diode_v;
+    if (seed->x.size() == x.size()) x = seed->x;
+  }
 
   auto vrow = [&](int node) { return node - 1; };  // ground eliminated
 
-  for (int iteration = 0;; ++iteration) {
+  auto give_up = [&](SolveFailure failure, std::string message) {
+    attempt.converged = false;
+    attempt.failure = failure;
+    attempt.message = std::move(message);
+    attempt.x = std::move(x);
+    attempt.diode_v = std::move(diode_v);
+    return std::move(attempt);
+  };
+
+  bool converged = false;
+  for (int iteration = 0; !converged; ++iteration) {
     if (iteration >= opt.max_newton_iterations) {
-      throw SimulationError("newton iteration did not converge");
+      return give_up(SolveFailure::IterationBudget, "newton iteration did not converge");
     }
+    if (deadline.has_value() && std::chrono::steady_clock::now() >= *deadline) {
+      return give_up(SolveFailure::WallClockBudget, "solve wall-clock budget exhausted");
+    }
+    attempt.iterations = iteration + 1;
     std::vector<std::vector<double>> a(dim, std::vector<double>(dim, 0.0));
     std::vector<double> rhs(dim, 0.0);
 
@@ -193,7 +261,22 @@ SolveResult solve_system(const Circuit& circuit, const SolveOptions& opt,
       }
     }
 
-    std::vector<double> x_new = solve_linear(std::move(a), std::move(rhs));
+    std::vector<double> x_new;
+    try {
+      x_new = solve_linear(std::move(a), std::move(rhs));
+    } catch (const SimulationError& error) {
+      return give_up(SolveFailure::Singular, error.what());
+    }
+
+    // Non-finite guard: a NaN/Inf iterate (NaN source value, zero-resistance
+    // loop, numeric blow-up) would otherwise poison every later iteration and
+    // masquerade as "singular" once it reaches the diode stamps.
+    for (const double value : x_new) {
+      if (!std::isfinite(value)) {
+        return give_up(SolveFailure::NonFinite,
+                       "newton iterate is not finite (NaN/Inf in circuit values?)");
+      }
+    }
 
     // Newton update for diode junction voltages, with voltage limiting for
     // robust convergence.
@@ -213,11 +296,10 @@ SolveResult solve_system(const Circuit& circuit, const SolveOptions& opt,
     double max_change = 0.0;
     for (size_t i = 0; i < dim; ++i) max_change = std::max(max_change, std::abs(x_new[i] - x[i]));
     x = std::move(x_new);
+    attempt.residual = has_diode ? std::max(max_change, max_diode_change) : max_change;
 
-    if (!has_diode || (max_diode_change < opt.newton_tolerance &&
-                       max_change < std::max(opt.newton_tolerance, 1e-9))) {
-      break;
-    }
+    converged = !has_diode || (max_diode_change < opt.newton_tolerance &&
+                               max_change < std::max(opt.newton_tolerance, 1e-9));
   }
 
   SolveResult result;
@@ -232,7 +314,21 @@ SolveResult solve_system(const Circuit& circuit, const SolveOptions& opt,
           x[static_cast<size_t>(n_nodes - 1 + branch_index[i])];
     }
   }
-  return result;
+  attempt.converged = true;
+  attempt.result = std::move(result);
+  attempt.x = std::move(x);
+  attempt.diode_v = std::move(diode_v);
+  return attempt;
+}
+
+/// Throwing single-attempt wrapper used by the transient and AC paths, which
+/// solve well-posed (already-converged-at-DC) systems and keep the original
+/// exception contract.
+SolveResult solve_system(const Circuit& circuit, const SolveOptions& opt,
+                         const CompanionState& state) {
+  NewtonAttempt attempt = attempt_solve(circuit, opt, state, nullptr, std::nullopt);
+  if (!attempt.converged) throw SimulationError(attempt.message);
+  return std::move(attempt.result);
 }
 
 OperatingPoint make_operating_point(const Circuit& circuit, const SolveResult& solved) {
@@ -309,10 +405,105 @@ std::vector<std::complex<double>> solve_linear_complex(
 
 }  // namespace
 
+std::optional<OperatingPoint> try_dc_operating_point(const Circuit& circuit,
+                                                     const SolveOptions& options,
+                                                     SolveDiagnostics& diagnostics) {
+  const auto start = std::chrono::steady_clock::now();
+  Deadline deadline;
+  if (options.max_wall_clock_seconds > 0.0) {
+    deadline = start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(options.max_wall_clock_seconds));
+  }
+  CompanionState state;  // DC: no companion sources.
+  diagnostics = SolveDiagnostics{};
+
+  auto finish = [&](NewtonAttempt&& attempt, SolveStrategy strategy,
+                    int rung) -> std::optional<OperatingPoint> {
+    diagnostics.converged = attempt.converged;
+    diagnostics.strategy = strategy;
+    diagnostics.ladder_rung = rung;
+    diagnostics.residual = attempt.residual;
+    diagnostics.failure = attempt.converged ? SolveFailure::None : attempt.failure;
+    diagnostics.message = attempt.converged ? std::string() : std::move(attempt.message);
+    diagnostics.elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    if (!attempt.converged) return std::nullopt;
+    return make_operating_point(circuit, attempt.result);
+  };
+
+  // Rung 0: plain Newton.
+  NewtonAttempt plain = attempt_solve(circuit, options, state, nullptr, deadline);
+  diagnostics.iterations += plain.iterations;
+  if (plain.converged || !options.recovery_ladder ||
+      plain.failure == SolveFailure::WallClockBudget) {
+    return finish(std::move(plain), SolveStrategy::Newton, 0);
+  }
+
+  // Rung 1: gmin stepping. Solve a heavily damped (large leak conductance)
+  // system first — near-linear, so Newton converges from anywhere — then walk
+  // gmin down log-uniformly to the requested value, warm-starting every step
+  // from the previous one. The last step uses exactly options.gmin, so a
+  // converged result is a genuine solution of the requested system.
+  {
+    const int steps = std::max(2, options.gmin_ladder_steps);
+    const double start_gmin = std::max(options.gmin * 1e9, 1e-3);
+    SolveOptions damped = options;
+    NewtonSeed seed;
+    NewtonAttempt last;
+    for (int k = 0; k < steps; ++k) {
+      const double t = static_cast<double>(k) / (steps - 1);
+      damped.gmin = start_gmin * std::pow(options.gmin / start_gmin, t);
+      NewtonAttempt attempt = attempt_solve(circuit, damped, state,
+                                            seed.x.empty() ? nullptr : &seed, deadline);
+      diagnostics.iterations += attempt.iterations;
+      seed.x = attempt.x;
+      seed.diode_v = attempt.diode_v;
+      last = std::move(attempt);
+      if (last.failure == SolveFailure::WallClockBudget) {
+        return finish(std::move(last), SolveStrategy::GminStepping, 1);
+      }
+    }
+    if (last.converged) return finish(std::move(last), SolveStrategy::GminStepping, 1);
+  }
+
+  // Rung 2: source stepping (homotopy continuation). Ramp every independent
+  // source from a small fraction of its value up to 100%, warm-starting each
+  // step; the trivial low-excitation solve pulls the nonlinear estimates into
+  // the basin of attraction of the full-excitation solution.
+  {
+    const auto& elements = circuit.elements();
+    Circuit scaled = circuit;
+    std::vector<double> original(elements.size(), 0.0);
+    for (size_t i = 0; i < elements.size(); ++i) original[i] = elements[i].value;
+
+    const int steps = std::max(2, options.source_ladder_steps);
+    NewtonSeed seed;
+    NewtonAttempt last;
+    for (int k = 1; k <= steps; ++k) {
+      const double alpha = static_cast<double>(k) / steps;  // ends exactly at 1.0
+      for (size_t i = 0; i < elements.size(); ++i) {
+        const ElementKind kind = elements[i].kind;
+        if (kind == ElementKind::VSource || kind == ElementKind::ISource) {
+          scaled.elements()[i].value = original[i] * alpha;
+        }
+      }
+      NewtonAttempt attempt = attempt_solve(scaled, options, state,
+                                            seed.x.empty() ? nullptr : &seed, deadline);
+      diagnostics.iterations += attempt.iterations;
+      seed.x = attempt.x;
+      seed.diode_v = attempt.diode_v;
+      last = std::move(attempt);
+      if (last.failure == SolveFailure::WallClockBudget) break;
+    }
+    return finish(std::move(last), SolveStrategy::SourceStepping, 2);
+  }
+}
+
 OperatingPoint dc_operating_point(const Circuit& circuit, const SolveOptions& options) {
-  CompanionState state;
-  state.transient = false;
-  return make_operating_point(circuit, solve_system(circuit, options, state));
+  SolveDiagnostics diagnostics;
+  auto op = try_dc_operating_point(circuit, options, diagnostics);
+  if (!op.has_value()) throw SimulationError(diagnostics.message);
+  return std::move(*op);
 }
 
 std::vector<TransientSample> transient(const Circuit& circuit, double t_end, double dt,

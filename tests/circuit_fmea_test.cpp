@@ -2,8 +2,10 @@
 // reproduction of the paper's Section V case study (Table IV).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
+#include "decisive/core/campaign.hpp"
 #include "decisive/core/circuit_fmea.hpp"
 #include "decisive/drivers/datasource.hpp"
 #include "decisive/drivers/mdl.hpp"
@@ -171,6 +173,53 @@ TEST(CircuitFmea, EmptyGoalSetTreatsEveryObservableAsGoal) {
   const auto* mc1 = find_row(fmea, "MC1", "RAM Failure");
   ASSERT_NE(mc1, nullptr);
   EXPECT_EQ(mc1->effect, EffectClass::DVF);
+}
+
+TEST(CircuitFmea, EveryRowCarriesAStructuredOutcome) {
+  const CaseStudy cs;
+  const auto fmea = analyze_circuit(cs.built, cs.reliability, nullptr, cs.options);
+  // Outcome counts partition the rows, and the case-study faults all solve
+  // plainly (no ladder, no budget exhaustion, no singular systems).
+  const auto counts = fmea.outcome_counts();
+  size_t total = 0;
+  for (const size_t count : counts) total += count;
+  EXPECT_EQ(total, fmea.rows.size());
+  for (const auto& row : fmea.rows) {
+    EXPECT_EQ(row.outcome, FaultOutcome::Converged) << row.component << " "
+                                                    << row.failure_mode;
+    EXPECT_EQ(row.ladder_rung, 0);
+    EXPECT_GT(row.solver_iterations, 0);
+  }
+  // The structured outcome reaches the CSV artefact.
+  const auto csv = fmea.to_csv();
+  EXPECT_NE(std::find(csv.header.begin(), csv.header.end(), "Fault_Outcome"),
+            csv.header.end());
+}
+
+TEST(CircuitFmea, WarningsAreDerivedFromStructuredOutcomes) {
+  // Satellite invariant: warnings are a projection of the rows, so the CSV
+  // and the warning list can never disagree. Every non-empty outcome_warning
+  // appears in the warnings, and every warning is either such a projection or
+  // a skip notice for a component without reliability data.
+  ReliabilityModel reliability;
+  reliability.add("Diode", 10, {{"RAM Failure", 0.5}, {"Open", 0.5}});
+  const CaseStudy cs;
+  const auto fmea = analyze_circuit(cs.built, reliability, nullptr, cs.options);
+  size_t derived = 0;
+  for (const auto& row : fmea.rows) {
+    const std::string warning = outcome_warning(row);
+    if (warning.empty()) continue;
+    ++derived;
+    EXPECT_NE(std::find(fmea.warnings.begin(), fmea.warnings.end(), warning),
+              fmea.warnings.end())
+        << warning;
+  }
+  EXPECT_GT(derived, 0u);  // the RAM Failure on a diode is NotApplicable
+  size_t skips = 0;
+  for (const auto& warning : fmea.warnings) {
+    if (warning.find("no reliability data") != std::string::npos) ++skips;
+  }
+  EXPECT_EQ(fmea.warnings.size(), skips + derived);
 }
 
 TEST(CircuitFmea, SmModelOnlyAppliesToSafetyRelatedRows) {

@@ -1,9 +1,14 @@
 // Robustness: every parser must reject arbitrary garbage with a library
 // error (never crash, never accept silently), and must survive truncations
 // of valid documents — the inputs come from users' external models, so the
-// error path is a first-class interface.
+// error path is a first-class interface. The same discipline applies one
+// layer down: the fault-injection campaign feeds the DC solver deliberately
+// broken circuits, so torture solves must end in a structured SolveFailure
+// (or a ladder recovery), never a crash or a hang.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <string>
 
 #include "decisive/base/csv.hpp"
@@ -11,13 +16,20 @@
 #include "decisive/base/json.hpp"
 #include "decisive/base/table.hpp"
 #include "decisive/base/xml.hpp"
+#include "decisive/core/campaign.hpp"
+#include "decisive/core/circuit_fmea.hpp"
 #include "decisive/drivers/aadl.hpp"
+#include "decisive/drivers/datasource.hpp"
 #include "decisive/drivers/mdl.hpp"
 #include "decisive/query/query.hpp"
+#include "decisive/sim/builder.hpp"
+#include "decisive/sim/solver.hpp"
 
 using namespace decisive;
 
 namespace {
+
+const std::string kAssets = DECISIVE_ASSETS_DIR;
 
 std::string random_garbage(Rng& rng, size_t max_len) {
   const size_t len = rng.below(max_len);
@@ -81,6 +93,188 @@ TEST(ParserRobustness, TruncationsOfValidDocumentsThrowCleanly) {
     }
   }
   SUCCEED();
+}
+
+namespace {
+
+/// A diode reverse-biased at -`volts`: the junction-voltage estimate starts
+/// at +0.6 V and the Newton voltage limiter moves it at most 0.1 V per
+/// iteration, so plain Newton needs ~10*volts iterations. A tight iteration
+/// budget makes this a deterministic "plain Newton fails, the warm-started
+/// recovery ladder succeeds" specimen.
+sim::Circuit reverse_diode(double volts) {
+  sim::Circuit c;
+  const int p = c.node("p");
+  const int k = c.node("k");
+  c.add_vsource("V1", p, 0, volts);
+  c.add_resistor("R1", p, k, 1000.0);
+  c.add_diode("D1", 0, k);
+  return c;
+}
+
+}  // namespace
+
+TEST(SolverTorture, ReverseDiodeRecoversViaLadderUnderTightIterationBudget) {
+  sim::SolveOptions opt;
+  opt.max_newton_iterations = 30;  // plain Newton needs ~130 to walk 0.6 -> -12
+  sim::SolveDiagnostics diag;
+  const auto op = sim::try_dc_operating_point(reverse_diode(12.0), opt, diag);
+  ASSERT_TRUE(op.has_value());
+  EXPECT_TRUE(diag.converged);
+  EXPECT_EQ(diag.failure, sim::SolveFailure::None);
+  EXPECT_GE(diag.ladder_rung, 1);
+  EXPECT_NE(diag.strategy, sim::SolveStrategy::Newton);
+  EXPECT_GT(diag.iterations, opt.max_newton_iterations);
+  // The recovered point is the genuine solution of the requested system.
+  EXPECT_NEAR(op->node_voltage[2], 12.0, 1e-3);  // node "k"
+}
+
+TEST(SolverTorture, TightBudgetWithoutLadderReportsIterationBudget) {
+  sim::SolveOptions opt;
+  opt.max_newton_iterations = 30;
+  opt.recovery_ladder = false;
+  sim::SolveDiagnostics diag;
+  const auto op = sim::try_dc_operating_point(reverse_diode(12.0), opt, diag);
+  EXPECT_FALSE(op.has_value());
+  EXPECT_FALSE(diag.converged);
+  EXPECT_EQ(diag.failure, sim::SolveFailure::IterationBudget);
+  EXPECT_EQ(diag.ladder_rung, 0);
+  // The throwing wrapper keeps its exception contract.
+  EXPECT_THROW((void)sim::dc_operating_point(reverse_diode(12.0), opt), SimulationError);
+}
+
+TEST(SolverTorture, ContradictorySourcesReportSingularOnEveryRung) {
+  // Two ideal voltage sources pinning the same node to different values: the
+  // MNA system is singular, and stays singular under gmin stepping (leak
+  // conductances do not touch the branch equations) and source stepping (both
+  // sources scale together). Must classify, never crash.
+  sim::Circuit c;
+  const int a = c.node("a");
+  c.add_vsource("V1", a, 0, 12.0);
+  c.add_vsource("V2", a, 0, 5.0);
+  c.add_resistor("R1", a, 0, 100.0);
+  sim::SolveDiagnostics diag;
+  const auto op = sim::try_dc_operating_point(c, sim::SolveOptions{}, diag);
+  EXPECT_FALSE(op.has_value());
+  EXPECT_FALSE(diag.converged);
+  EXPECT_EQ(diag.failure, sim::SolveFailure::Singular);
+  EXPECT_FALSE(diag.message.empty());
+}
+
+TEST(SolverTorture, NanSourceValueReportsNonFinite) {
+  // A NaN element value poisons the Newton iterate; the non-finite guard must
+  // catch it on the first iteration instead of letting it masquerade as
+  // non-convergence (or worse, "converging" to NaN on a linear circuit).
+  sim::Circuit c;
+  const int a = c.node("a");
+  c.add_vsource("V1", a, 0, std::numeric_limits<double>::quiet_NaN());
+  c.add_resistor("R1", a, 0, 1000.0);
+  c.add_diode("D1", a, 0);
+  sim::SolveDiagnostics diag;
+  const auto op = sim::try_dc_operating_point(c, sim::SolveOptions{}, diag);
+  EXPECT_FALSE(op.has_value());
+  EXPECT_EQ(diag.failure, sim::SolveFailure::NonFinite);
+}
+
+TEST(SolverTorture, ZeroResistanceInductorLoopReportsStructuredFailure) {
+  // Two inductors in parallel are both ideal shorts at DC: a zero-resistance
+  // loop whose current split is indeterminate (two identical branch
+  // equations), the classic SPICE pathology. Must be a structured failure on
+  // every ladder rung, not a crash or a silent garbage solution.
+  sim::Circuit c;
+  const int a = c.node("a");
+  const int b = c.node("b");
+  c.add_vsource("V1", a, 0, 12.0);
+  c.add_inductor("L1", a, b, 1e-3);
+  c.add_inductor("L2", a, b, 2e-3);
+  c.add_resistor("R1", b, 0, 100.0);
+  sim::SolveDiagnostics diag;
+  const auto op = sim::try_dc_operating_point(c, sim::SolveOptions{}, diag);
+  EXPECT_FALSE(op.has_value());
+  EXPECT_EQ(diag.failure, sim::SolveFailure::Singular);
+  EXPECT_FALSE(diag.message.empty());
+}
+
+TEST(SolverTorture, WallClockBudgetStopsTheLadder) {
+  sim::SolveOptions opt;
+  opt.max_wall_clock_seconds = 1e-12;  // expires before the first iterate
+  sim::SolveDiagnostics diag;
+  const auto op = sim::try_dc_operating_point(reverse_diode(12.0), opt, diag);
+  EXPECT_FALSE(op.has_value());
+  EXPECT_EQ(diag.failure, sim::SolveFailure::WallClockBudget);
+}
+
+namespace {
+
+/// Campaign specimen whose baseline solves inside a 40-iteration budget
+/// (diode walk 0.6 -> -1.2) but whose Drift fault (source x10 -> 12 V, walk
+/// to -12) does not: the fault solve aborts without the recovery ladder and
+/// recovers with it.
+sim::BuiltCircuit drifting_source_rig() {
+  sim::BuiltCircuit built;
+  sim::Circuit& c = built.circuit;
+  const int p = c.node("p");
+  const int k = c.node("k");
+  c.add_vsource("V1", p, 0, 1.2);
+  c.add_resistor("R1", p, k, 1000.0);
+  c.add_diode("D1", 0, k);
+  c.add_voltage_sensor("VS1", k, 0);
+  built.observables.push_back("VS1");
+  built.components.push_back({"V1", "Source", "V1"});
+  return built;
+}
+
+}  // namespace
+
+TEST(CampaignRobustness, AbortingFaultIsClassifiedNotFatal) {
+  core::ReliabilityModel reliability;
+  reliability.add("Source", 5.0, {{"Drift", 1.0}});
+  core::CircuitFmeaOptions options;
+  options.solver.max_newton_iterations = 40;
+  options.solver.recovery_ladder = false;
+
+  // Without the ladder the fault solve exhausts its budget; the campaign must
+  // carry a structured outcome and conservatively mark the row, not abort.
+  const auto budget =
+      core::analyze_circuit(drifting_source_rig(), reliability, nullptr, options);
+  ASSERT_EQ(budget.rows.size(), 1u);
+  EXPECT_EQ(budget.rows[0].outcome, core::FaultOutcome::BudgetExhausted);
+  EXPECT_TRUE(budget.rows[0].safety_related);
+  EXPECT_EQ(budget.rows[0].effect, core::EffectClass::None);
+  ASSERT_EQ(budget.warnings.size(), 1u);
+  EXPECT_NE(budget.warnings[0].find("conservatively marked safety-related"),
+            std::string::npos);
+
+  // With the ladder the same fault converges and is classified normally.
+  options.solver.recovery_ladder = true;
+  const auto recovered =
+      core::analyze_circuit(drifting_source_rig(), reliability, nullptr, options);
+  ASSERT_EQ(recovered.rows.size(), 1u);
+  EXPECT_EQ(recovered.rows[0].outcome, core::FaultOutcome::RecoveredViaLadder);
+  EXPECT_GE(recovered.rows[0].ladder_rung, 1);
+  EXPECT_GT(recovered.rows[0].solver_iterations, 40);
+  EXPECT_EQ(recovered.rows[0].effect, core::EffectClass::DVF);
+  EXPECT_TRUE(recovered.rows[0].safety_related);
+}
+
+TEST(CampaignRobustness, JobCountDoesNotChangeFmedaBytes) {
+  // The paper's case study, serial vs 8 workers: the FMEDA table (CSV bytes)
+  // and the warning list must be identical — results land in pre-assigned
+  // slots, so ordering never depends on thread scheduling.
+  const auto built =
+      sim::build_circuit(drivers::parse_mdl_file(kAssets + "/power_supply.mdl"));
+  const auto workbook =
+      drivers::DriverRegistry::global().open(kAssets + "/reliability_workbook");
+  const auto reliability = core::ReliabilityModel::from_source(*workbook, "Reliability");
+  core::CircuitFmeaOptions options;
+  options.safety_goal_observables = {"CS1", "MC1"};
+  options.jobs = 1;
+  const auto serial = core::analyze_circuit(built, reliability, nullptr, options);
+  options.jobs = 8;
+  const auto parallel = core::analyze_circuit(built, reliability, nullptr, options);
+  EXPECT_EQ(write_csv(serial.to_csv()), write_csv(parallel.to_csv()));
+  EXPECT_EQ(serial.warnings, parallel.warnings);
+  EXPECT_FALSE(serial.rows.empty());
 }
 
 TEST(ParserRobustness, DeeplyNestedInputsDoNotOverflowQuickly) {

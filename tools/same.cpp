@@ -71,9 +71,12 @@ int usage() {
       "usage:\n"
       "  same fmea <model.mdl> --reliability <workbook-dir> [--sm-model]\n"
       "            [--goals CS1,MC1] [--threshold 0.2] [--out fmeda.csv]\n"
+      "            [--jobs N]\n"
       "      Automated fault-injection FME(D)A (DECISIVE steps 3-4).\n"
       "      --sm-model deploys safety mechanisms from the workbook's\n"
-      "      SafetyMechanisms sheet (step 4b).\n\n"
+      "      SafetyMechanisms sheet (step 4b). --jobs runs the campaign on\n"
+      "      N worker threads (0 = all cores); output is byte-identical\n"
+      "      for any job count.\n\n"
       "  same import <model.mdl> --out <design.ssam>\n"
       "      Simulink -> SSAM transformation with an information-loss audit.\n\n"
       "  same export <design.ssam> --out <model.mdl>\n"
@@ -193,12 +196,20 @@ int cmd_fmea(const Args& args) {
   if (const auto threshold = args.get("threshold")) {
     options.relative_threshold = parse_double(*threshold);
   }
+  if (const auto jobs = args.get("jobs")) {
+    options.jobs = static_cast<int>(parse_int(*jobs));
+    if (options.jobs < 0) {
+      std::fprintf(stderr, "error: --jobs must be >= 0 (0 = all cores)\n");
+      return 2;
+    }
+  }
 
   const auto result = core::analyze_circuit(built, reliability,
                                             sm_model ? &*sm_model : nullptr, options);
   std::printf("%s\n", result.to_text().render().c_str());
   for (const auto& warning : result.warnings) std::printf("note: %s\n", warning.c_str());
-  std::printf("\nSPFM = %s  ->  %s\n", format_percent(result.spfm()).c_str(),
+  std::printf("\ncampaign: %s\n", result.outcome_summary().c_str());
+  std::printf("SPFM = %s  ->  %s\n", format_percent(result.spfm()).c_str(),
               core::achieved_asil(result.spfm()).c_str());
   if (const auto out = args.get("out")) {
     write_csv_file(*out, result.to_csv());
