@@ -14,6 +14,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -49,8 +50,16 @@ std::string_view to_string(FaultOutcome outcome) noexcept;
 
 /// One FMEDA row: a (component instance, failure mode) pair.
 struct FmedaRow {
-  std::string component;       ///< instance name, e.g. "D1"
+  std::string component;       ///< instance name, e.g. "D1" (display only)
   std::string component_type;  ///< type matched in the reliability model
+  /// Stable identity of the component instance (the SSAM ObjectId for graph
+  /// FMEA rows; 0 when the producer has no model object, e.g. circuit FMEA).
+  /// Metrics aggregate by identity, never by display name, so two distinct
+  /// components that happen to share a name are counted separately.
+  std::uint64_t component_id = 0;
+  /// Qualified path from the analysis root, e.g. "PSU/Reg/Regulator"
+  /// (empty when the producer does not track hierarchy).
+  std::string component_path;
   double fit = 0.0;            ///< component FIT (1e-9 failures/hour)
   std::string failure_mode;    ///< e.g. "Open"
   double distribution = 0.0;   ///< mode share of the FIT, in [0,1]
@@ -93,20 +102,38 @@ struct FmedaResult {
   /// One-line campaign summary, e.g. "10 converged, 1 recovered, 1 singular".
   [[nodiscard]] std::string outcome_summary() const;
 
-  /// Names of components with at least one safety-related failure mode.
+  /// Names of components with at least one safety-related failure mode,
+  /// deduplicated by component *identity* — a name may appear twice when two
+  /// distinct components share it.
   [[nodiscard]] std::vector<std::string> safety_related_components() const;
 
-  /// Denominator of Equation 1: total FIT over safety-related components.
+  /// Denominator of Equation 1: total FIT over safety-related components,
+  /// counted once per component identity.
   [[nodiscard]] double total_safety_related_fit() const;
 
   /// Numerator of Equation 1: residual single-point FIT.
   [[nodiscard]] double single_point_fit() const;
 
-  /// The Single Point Fault Metric; 1.0 when no component is safety-related.
+  /// True when at least one row is safety-related. When false the SPFM is
+  /// degenerate — see spfm().
+  [[nodiscard]] bool has_safety_related() const;
+
+  /// The Single Point Fault Metric. Convention: returns 1.0 when no component
+  /// is safety-related (the metric's denominator is empty). That value is NOT
+  /// an ASIL-D claim — callers presenting metrics must check
+  /// has_safety_related() first, or use asil_label() which does.
   [[nodiscard]] double spfm() const;
 
-  /// Rows for one component.
+  /// achieved_asil(spfm()) when the analysis has safety-related hardware,
+  /// "no safety-related hardware" otherwise — never a vacuous ASIL-D claim.
+  [[nodiscard]] std::string asil_label() const;
+
+  /// Rows for one component, by display name (matches every identity sharing
+  /// the name).
   [[nodiscard]] std::vector<const FmedaRow*> rows_of(std::string_view component) const;
+
+  /// Rows for one component, by stable identity.
+  [[nodiscard]] std::vector<const FmedaRow*> rows_of(std::uint64_t component_id) const;
 
   /// The Excel-style FMEA table (paper Table IV layout).
   [[nodiscard]] CsvTable to_csv() const;

@@ -11,10 +11,19 @@
 //     affected components lies on all paths (or is the parent itself).
 // The algorithm then recurses into composite subcomponents.
 //
+// The "lies on all paths" decision runs on ssam::SinglePointAnalysis — a
+// dominator/cut analysis that never materialises paths, so dense components
+// no longer abort with a path-explosion error. The per-component analyses of
+// the recursive walk are independent const reads of the model and run on a
+// thread pool (`jobs`); rows, warnings and model write-backs are emitted by a
+// serial walk afterwards, so the output is byte-identical for any job count.
+//
 // The analysis also *writes back* its verdicts: each FailureMode's
 // `safetyRelated` attribute is set, and a FailureEffect child with the
 // DVF/IVF classification is attached — the "component safety analysis
-// model" artefact of DECISIVE Step 4a.
+// model" artefact of DECISIVE Step 4a. Re-running updates the previously
+// attached effect in place, so the iterative DECISIVE loop does not
+// accumulate duplicates.
 #pragma once
 
 #include "decisive/core/fmeda.hpp"
@@ -26,8 +35,9 @@ namespace decisive::core {
 struct GraphFmeaOptions {
   /// Recurse into subcomponents that are themselves composite.
   bool recursive = true;
-  /// Path-enumeration guard.
-  size_t max_paths = 100000;
+  /// Worker threads for the per-component analyses (0 = hardware
+  /// concurrency). Output is identical for any value.
+  int jobs = 1;
   /// Natures treated as "loss of function or similar" by Algorithm 1 line 5.
   std::vector<std::string> loss_natures = {"lossOfFunction", "loss", "open",
                                            "omission", "no output"};
@@ -39,7 +49,7 @@ struct GraphFmeaOptions {
 /// Runs Algorithm 1 on `component` (a composite SSAM Component). Mutates the
 /// model: failure modes get their `safetyRelated` verdict and a
 /// FailureEffect. Throws AnalysisError when the component has no boundary
-/// IONodes.
+/// IONodes or an IONode carries an invalid `direction`.
 FmedaResult analyze_component(ssam::SsamModel& ssam, ssam::ObjectId component,
                               const GraphFmeaOptions& options = {});
 

@@ -200,6 +200,11 @@ FmedaResult CampaignRunner::run() const {
     if (!warning.empty()) result.warnings.push_back(std::move(warning));
     result.rows.push_back(std::move(row));
   }
+  if (!result.has_safety_related()) {
+    result.warnings.push_back(
+        "no safety-related hardware identified; the SPFM denominator is empty and spfm() "
+        "reports 1.0 by convention — this is not an ASIL-D claim");
+  }
   return result;
 }
 

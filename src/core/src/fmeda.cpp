@@ -48,11 +48,24 @@ std::string FmedaResult::outcome_summary() const {
   return out;
 }
 
+namespace {
+
+/// Aggregation key for one component instance: the stable ObjectId when the
+/// producer supplied one, the display name otherwise (id 0 — e.g. circuit
+/// FMEA rows, where names are unique by construction).
+using ComponentKey = std::pair<std::uint64_t, std::string>;
+
+ComponentKey component_key(const FmedaRow& row) {
+  return {row.component_id, row.component_id == 0 ? row.component : std::string()};
+}
+
+}  // namespace
+
 std::vector<std::string> FmedaResult::safety_related_components() const {
   std::vector<std::string> out;
-  std::set<std::string> seen;
+  std::set<ComponentKey> seen;
   for (const auto& row : rows) {
-    if (row.safety_related && seen.insert(row.component).second) {
+    if (row.safety_related && seen.insert(component_key(row)).second) {
       out.push_back(row.component);
     }
   }
@@ -60,11 +73,12 @@ std::vector<std::string> FmedaResult::safety_related_components() const {
 }
 
 double FmedaResult::total_safety_related_fit() const {
-  // Total FIT of each safety-related component, counted once per component.
-  std::set<std::string> counted;
+  // Total FIT of each safety-related component, counted once per component
+  // *identity* — duplicate names across recursion levels stay distinct.
+  std::set<ComponentKey> counted;
   double total = 0.0;
   for (const auto& row : rows) {
-    if (row.safety_related && counted.insert(row.component).second) {
+    if (row.safety_related && counted.insert(component_key(row)).second) {
       total += row.fit;
     }
   }
@@ -77,16 +91,36 @@ double FmedaResult::single_point_fit() const {
   return total;
 }
 
+bool FmedaResult::has_safety_related() const {
+  return std::any_of(rows.begin(), rows.end(),
+                     [](const FmedaRow& row) { return row.safety_related; });
+}
+
 double FmedaResult::spfm() const {
   const double denominator = total_safety_related_fit();
+  // Documented convention: an empty denominator (no safety-related hardware)
+  // yields 1.0. Callers must not read that as ASIL-D — see asil_label().
   if (denominator <= 0.0) return 1.0;
   return 1.0 - single_point_fit() / denominator;
+}
+
+std::string FmedaResult::asil_label() const {
+  if (!has_safety_related()) return "no safety-related hardware";
+  return achieved_asil(spfm());
 }
 
 std::vector<const FmedaRow*> FmedaResult::rows_of(std::string_view component) const {
   std::vector<const FmedaRow*> out;
   for (const auto& row : rows) {
     if (row.component == component) out.push_back(&row);
+  }
+  return out;
+}
+
+std::vector<const FmedaRow*> FmedaResult::rows_of(std::uint64_t component_id) const {
+  std::vector<const FmedaRow*> out;
+  for (const auto& row : rows) {
+    if (row.component_id == component_id) out.push_back(&row);
   }
   return out;
 }

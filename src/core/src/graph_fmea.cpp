@@ -1,6 +1,12 @@
 #include "decisive/core/graph_fmea.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
+#include <map>
+#include <optional>
+#include <thread>
+#include <utility>
 
 #include "decisive/base/error.hpp"
 #include "decisive/base/strings.hpp"
@@ -44,89 +50,166 @@ std::optional<ModelledSm> best_modelled_sm(const SsamModel& ssam, ObjectId compo
   return best;
 }
 
+/// Sets (or refreshes) the auto-attached FailureEffect of a failure mode.
+/// Idempotent: re-running the analysis updates the effect created by a
+/// previous run instead of accumulating duplicates on the model.
 void attach_effect(SsamModel& ssam, ObjectId failure_mode, EffectClass effect) {
-  auto& repo = ssam.repo();
-  auto& fe = repo.create(ssam.meta().get(ssam::cls::FailureEffect));
+  for (const ObjectId existing : ssam.obj(failure_mode).refs("effects")) {
+    auto& fe = ssam.obj(existing);
+    if (fe.get_string("name") == "effect") {
+      fe.set_string("classification", std::string(to_string(effect)));
+      return;
+    }
+  }
+  auto& fe = ssam.repo().create(ssam.meta().get(ssam::cls::FailureEffect));
   fe.set_string("name", "effect");
   fe.set_string("classification", std::string(to_string(effect)));
   ssam.obj(failure_mode).add_ref("effects", fe.id());
 }
 
-void analyze_into(SsamModel& ssam, ObjectId component, const GraphFmeaOptions& options,
-                  FmedaResult& result) {
-  const auto& comp = ssam.obj(component);
-  if (comp.refs("subcomponents").empty()) return;
+/// One composite component the recursive walk analyses: the component plus
+/// its qualified path from the analysis root.
+struct Unit {
+  ObjectId component = model::kNullObject;
+  std::string path;
+};
 
-  const ssam::ComponentGraph graph = ssam::build_graph(ssam, component);
-  const auto paths = ssam::enumerate_paths(graph, options.max_paths);
+/// Per-unit result of the (parallelisable) analysis phase.
+struct UnitAnalysis {
+  std::optional<ssam::SinglePointAnalysis> analysis;
+  std::exception_ptr error;
+};
 
-  for (const ObjectId sub : comp.refs("subcomponents")) {
-    const auto& sub_obj = ssam.obj(sub);
-    const std::string sub_name = sub_obj.get_string("name");
-    const bool single_point = ssam::on_all_paths(graph, paths, sub);
+/// Phase A (serial): collect the analysis units in the exact pre-order the
+/// recursive walk visits them. Iterative — nesting depth is bounded by heap.
+std::vector<Unit> collect_units(const SsamModel& ssam, ObjectId root,
+                                const GraphFmeaOptions& options) {
+  std::vector<Unit> units;
+  if (ssam.obj(root).refs("subcomponents").empty()) return units;
 
-    for (const ObjectId fm : sub_obj.refs("failureModes")) {
-      auto& fm_obj = ssam.obj(fm);
-      FmedaRow row;
-      row.component = sub_name;
-      row.component_type = sub_obj.get_string("blockType", sub_name);
-      row.fit = sub_obj.get_real("fit");
-      row.failure_mode = fm_obj.get_string("name");
-      row.distribution = fm_obj.get_real("distribution");
+  std::vector<Unit> stack{{root, ssam.obj(root).get_string("name")}};
+  while (!stack.empty()) {
+    Unit unit = std::move(stack.back());
+    stack.pop_back();
+    if (!options.recursive) {
+      units.push_back(std::move(unit));
+      break;
+    }
+    const auto& subs = ssam.obj(unit.component).refs("subcomponents");
+    // Children in reverse so the LIFO pops them in declaration order.
+    for (auto it = subs.rbegin(); it != subs.rend(); ++it) {
+      const auto& sub_obj = ssam.obj(*it);
+      if (sub_obj.refs("subcomponents").empty()) continue;
+      if (sub_obj.refs("ioNodes").empty()) continue;  // warned about in phase C
+      stack.push_back({*it, unit.path + "/" + sub_obj.get_string("name")});
+    }
+    units.push_back(std::move(unit));
+  }
+  return units;
+}
 
-      const std::string nature = fm_obj.get_string("nature");
-      if (is_loss_nature(options, nature)) {
-        // Algorithm 1 lines 5–8.
-        row.safety_related = single_point;
-        row.effect = single_point ? EffectClass::DVF : EffectClass::None;
-      } else {
-        const auto& affected = fm_obj.refs("affectedComponents");
-        if (!affected.empty()) {
-          // Figure 9: explicit affected-component traceability lets the FMEA
-          // infer single-point faults for non-loss modes.
-          bool any_critical = false;
-          for (const ObjectId target : affected) {
-            if (target == component || ssam::on_all_paths(graph, paths, target)) {
-              any_critical = true;
-              break;
-            }
+/// Phase B: build each unit's graph and run the single-point analysis —
+/// independent const reads of the model, safe to run on a pool. Errors are
+/// captured per unit; the caller rethrows the first one in walk order so
+/// behaviour is deterministic for any job count.
+std::vector<UnitAnalysis> analyze_units(const SsamModel& ssam, const std::vector<Unit>& units,
+                                        int jobs_option) {
+  std::vector<UnitAnalysis> analyses(units.size());
+  const auto analyze_one = [&](size_t i) {
+    try {
+      const ssam::ComponentGraph graph = ssam::build_graph(ssam, units[i].component);
+      analyses[i].analysis.emplace(graph);
+    } catch (...) {
+      analyses[i].error = std::current_exception();
+    }
+  };
+
+  unsigned jobs = jobs_option > 0 ? static_cast<unsigned>(jobs_option)
+                                  : std::max(1u, std::thread::hardware_concurrency());
+  if (units.size() < jobs) jobs = static_cast<unsigned>(std::max<size_t>(units.size(), 1));
+
+  if (jobs <= 1) {
+    for (size_t i = 0; i < units.size(); ++i) analyze_one(i);
+  } else {
+    std::atomic<size_t> next{0};
+    auto worker = [&] {
+      for (size_t i = next.fetch_add(1); i < units.size(); i = next.fetch_add(1)) {
+        analyze_one(i);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t) pool.emplace_back(worker);
+    for (auto& thread : pool) thread.join();
+  }
+
+  for (const auto& ua : analyses) {
+    if (ua.error) std::rethrow_exception(ua.error);
+  }
+  return analyses;
+}
+
+/// Emits the rows for one subcomponent of one unit (Algorithm 1 lines 5–12)
+/// and writes the verdicts back into the model.
+void emit_subcomponent(SsamModel& ssam, const Unit& unit,
+                       const ssam::SinglePointAnalysis& analysis, ObjectId sub,
+                       const GraphFmeaOptions& options, FmedaResult& result) {
+  const std::string sub_name = ssam.obj(sub).get_string("name");
+  const bool single_point = analysis.is_single_point(sub);
+
+  const std::vector<ObjectId> failure_modes = ssam.obj(sub).refs("failureModes");
+  for (const ObjectId fm : failure_modes) {
+    FmedaRow row;
+    row.component = sub_name;
+    row.component_type = ssam.obj(sub).get_string("blockType", sub_name);
+    row.component_id = sub;
+    row.component_path = unit.path + "/" + sub_name;
+    row.fit = ssam.obj(sub).get_real("fit");
+    row.failure_mode = ssam.obj(fm).get_string("name");
+    row.distribution = ssam.obj(fm).get_real("distribution");
+
+    const std::string nature = ssam.obj(fm).get_string("nature");
+    if (is_loss_nature(options, nature)) {
+      // Algorithm 1 lines 5–8.
+      row.safety_related = single_point;
+      row.effect = single_point ? EffectClass::DVF : EffectClass::None;
+    } else {
+      const std::vector<ObjectId> affected = ssam.obj(fm).refs("affectedComponents");
+      if (!affected.empty()) {
+        // Figure 9: explicit affected-component traceability lets the FMEA
+        // infer single-point faults for non-loss modes.
+        bool any_critical = false;
+        for (const ObjectId target : affected) {
+          if (target == unit.component || analysis.is_single_point(target)) {
+            any_critical = true;
+            break;
           }
-          row.safety_related = any_critical;
-          row.effect = any_critical ? EffectClass::IVF : EffectClass::None;
-        } else {
-          // Algorithm 1 line 11.
-          result.warnings.push_back("failure mode '" + row.failure_mode + "' of '" + sub_name +
-                                    "' has nature '" + nature +
-                                    "' and no affected-component traceability; manual review "
-                                    "required");
         }
-      }
-
-      if (row.safety_related && options.apply_modelled_mechanisms) {
-        if (const auto sm = best_modelled_sm(ssam, sub, fm)) {
-          row.safety_mechanism = sm->name;
-          row.sm_coverage = sm->coverage;
-          row.sm_cost_hours = sm->cost_hours;
-        }
-      }
-
-      // Write the verdict back into the model (component safety analysis
-      // model, Step 4a output).
-      fm_obj.set_bool("safetyRelated", row.safety_related);
-      attach_effect(ssam, fm, row.effect);
-
-      result.rows.push_back(std::move(row));
-    }
-
-    // Algorithm 1 line 14: repeat for composite subcomponents.
-    if (options.recursive && !sub_obj.refs("subcomponents").empty()) {
-      if (sub_obj.refs("ioNodes").empty()) {
-        result.warnings.push_back("composite subcomponent '" + sub_name +
-                                  "' has no IONodes; cannot recurse");
+        row.safety_related = any_critical;
+        row.effect = any_critical ? EffectClass::IVF : EffectClass::None;
       } else {
-        analyze_into(ssam, sub, options, result);
+        // Algorithm 1 line 11.
+        result.warnings.push_back("failure mode '" + row.failure_mode + "' of '" + sub_name +
+                                  "' has nature '" + nature +
+                                  "' and no affected-component traceability; manual review "
+                                  "required");
       }
     }
+
+    if (row.safety_related && options.apply_modelled_mechanisms) {
+      if (const auto sm = best_modelled_sm(ssam, sub, fm)) {
+        row.safety_mechanism = sm->name;
+        row.sm_coverage = sm->coverage;
+        row.sm_cost_hours = sm->cost_hours;
+      }
+    }
+
+    // Write the verdict back into the model (component safety analysis
+    // model, Step 4a output).
+    ssam.obj(fm).set_bool("safetyRelated", row.safety_related);
+    attach_effect(ssam, fm, row.effect);
+
+    result.rows.push_back(std::move(row));
   }
 }
 
@@ -136,7 +219,54 @@ FmedaResult analyze_component(SsamModel& ssam, ObjectId component,
                               const GraphFmeaOptions& options) {
   FmedaResult result;
   result.system = ssam.obj(component).get_string("name");
-  analyze_into(ssam, component, options, result);
+
+  // Phase A: enumerate the composite components the walk will visit.
+  const std::vector<Unit> units = collect_units(ssam, component, options);
+
+  // Phase B: per-unit single-point analyses (parallel, const model reads).
+  const std::vector<UnitAnalysis> analyses = analyze_units(ssam, units, options.jobs);
+  std::map<ObjectId, size_t> unit_index;
+  for (size_t i = 0; i < units.size(); ++i) unit_index[units[i].component] = i;
+
+  // Phase C (serial): replay the recursive walk of Algorithm 1 with an
+  // explicit stack, emitting rows/warnings and mutating the model in the
+  // exact order the old recursion used — deterministic for any job count.
+  struct Frame {
+    size_t unit;
+    std::vector<ObjectId> subs;  ///< copied: write-backs create repo objects
+    size_t next = 0;
+  };
+  std::vector<Frame> stack;
+  if (!units.empty()) {
+    stack.push_back({0, ssam.obj(units[0].component).refs("subcomponents"), 0});
+  }
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next >= frame.subs.size()) {
+      stack.pop_back();
+      continue;
+    }
+    const size_t unit_i = frame.unit;
+    const ObjectId sub = frame.subs[frame.next++];
+    emit_subcomponent(ssam, units[unit_i], *analyses[unit_i].analysis, sub, options, result);
+
+    // Algorithm 1 line 14: repeat for composite subcomponents.
+    if (options.recursive && !ssam.obj(sub).refs("subcomponents").empty()) {
+      if (ssam.obj(sub).refs("ioNodes").empty()) {
+        result.warnings.push_back("composite subcomponent '" + ssam.obj(sub).get_string("name") +
+                                  "' has no IONodes; cannot recurse");
+      } else {
+        const size_t child = unit_index.at(sub);
+        stack.push_back({child, ssam.obj(sub).refs("subcomponents"), 0});
+      }
+    }
+  }
+
+  if (!result.has_safety_related()) {
+    result.warnings.push_back(
+        "no safety-related hardware identified; the SPFM denominator is empty and spfm() "
+        "reports 1.0 by convention — this is not an ASIL-D claim");
+  }
   return result;
 }
 

@@ -13,7 +13,7 @@ CsvTable metrics_table(const FmedaResult& result) {
   table.rows = {
       {"SPFM", format_number(result.spfm(), 6)},
       {"SPFM_percent", format_percent(result.spfm())},
-      {"Achieved_ASIL", achieved_asil(result.spfm())},
+      {"Achieved_ASIL", result.asil_label()},
       {"Single_Point_FIT", format_number(result.single_point_fit(), 6)},
       {"Safety_Related_FIT", format_number(result.total_safety_related_fit(), 6)},
       {"Safety_Related_Components",

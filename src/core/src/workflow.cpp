@@ -97,7 +97,11 @@ std::optional<Deployment> DecisiveProcess::refine(const SafetyMechanismModel& ca
   // Write the chosen mechanisms back into the SSAM model.
   for (const auto& choice : deployment->choices) {
     const FmedaRow& row = last_result_.rows[choice.row_index];
-    const ObjectId component = model_.find_by_name(ssam::cls::Component, row.component);
+    // Prefer the row's stable identity — name lookup would pick the first of
+    // several same-named components.
+    const ObjectId component = row.component_id != 0
+                                   ? ObjectId{row.component_id}
+                                   : model_.find_by_name(ssam::cls::Component, row.component);
     if (component == model::kNullObject) continue;
     // Find the matching FailureMode child for `covers` traceability.
     ObjectId covered = model::kNullObject;
@@ -238,7 +242,7 @@ std::string DecisiveProcess::synthesise_safety_concept() const {
 
   out += "\nArchitecture metrics:\n";
   out += "  SPFM = " + format_percent(last_result_.spfm()) + " (" +
-         achieved_asil(last_result_.spfm()) + ")\n";
+         last_result_.asil_label() + ")\n";
   out += "  Analysis outcomes: " + last_result_.outcome_summary() + "\n";
   return out;
 }

@@ -29,7 +29,7 @@ struct ValidationFinding {
 ///   rel-endpoint-missing       ComponentRelationship needs both endpoints
 ///   rel-endpoint-scope         endpoints must be IONodes of the component or
 ///                              of one of its direct subcomponents
-///   io-direction               IONode.direction must be "in" or "out"
+///   io-direction               IONode.direction must be "in", "out" or "inout"
 ///   composite-io               a component with subcomponents and
 ///                              relationships should expose boundary IONodes
 ///   name-collision             sibling components should have unique names

@@ -90,7 +90,7 @@ MetaPackage build() {
   MetaClass& comp_element = pkg.define_abstract(cls::ComponentElement, &element);
 
   MetaClass& io_node = pkg.define(cls::IONode, &comp_element);
-  io_node.add_attribute("direction", AttrType::String);  // "in" / "out"
+  io_node.add_attribute("direction", AttrType::String);  // "in" / "out" / "inout"
   io_node.add_attribute("value", AttrType::Real);
   io_node.add_attribute("lowerLimit", AttrType::Real);
   io_node.add_attribute("upperLimit", AttrType::Real);

@@ -117,8 +117,8 @@ ObjectId SsamModel::create_component(ObjectId parent, std::string_view name) {
 
 ObjectId SsamModel::add_io_node(ObjectId component, std::string_view name,
                                 std::string_view direction) {
-  if (direction != "in" && direction != "out") {
-    throw ModelError("IONode direction must be 'in' or 'out'");
+  if (direction != "in" && direction != "out" && direction != "inout") {
+    throw ModelError("IONode direction must be 'in', 'out' or 'inout'");
   }
   const ObjectId id = create_named(cls::IONode, name);
   obj(id).set_string("direction", std::string(direction));

@@ -57,7 +57,7 @@ void check_component(const SsamModel& m, const model::ModelObject& comp,
   // IONodes.
   for (const ObjectId node : comp.refs("ioNodes")) {
     const std::string direction = m.obj(node).get_string("direction");
-    if (direction != "in" && direction != "out") {
+    if (direction != "in" && direction != "out" && direction != "inout") {
       findings.push_back({"io-direction", node,
                           "IONode '" + m.obj(node).get_string("name") + "' of '" + name +
                               "' has direction '" + direction + "'"});

@@ -14,6 +14,14 @@ using ssam::SsamModel;
 
 namespace {
 
+/// Maps an AADL feature direction onto the SSAM `direction` attribute. AADL
+/// spells the bidirectional case "in out"; SSAM uses "inout".
+std::string ssam_direction(const std::string& aadl_direction) {
+  if (aadl_direction == "out") return "out";
+  if (aadl_direction == "in out") return "inout";
+  return "in";
+}
+
 std::string component_type_for_category(const std::string& category) {
   if (category == "device" || category == "processor") return "hardware";
   if (category == "process" || category == "thread") return "software";
@@ -50,8 +58,8 @@ TransformResult aadl_to_ssam(const AadlPackage& package, std::string_view type_n
   std::map<std::string, ObjectId> boundary;
   if (const AadlComponentType* type = package.type(impl->type_name)) {
     for (const auto& feature : type->features) {
-      const ObjectId node = ssam.add_io_node(
-          result.root, feature.name, feature.direction == "out" ? "out" : "in");
+      const ObjectId node = ssam.add_io_node(result.root, feature.name,
+                                             ssam_direction(feature.direction));
       boundary[to_lower(feature.name)] = node;
       result.trace.push_back(TraceLink{package.name + "/" + impl->type_name + "/" +
                                            feature.name,
@@ -81,9 +89,8 @@ TransformResult aadl_to_ssam(const AadlPackage& package, std::string_view type_n
 
     if (const AadlComponentType* type = package.type(sub.type)) {
       for (const auto& feature : type->features) {
-        const ObjectId node = ssam.add_io_node(
-            component, sub.name + "." + feature.name,
-            feature.direction == "out" ? "out" : "in");
+        const ObjectId node = ssam.add_io_node(component, sub.name + "." + feature.name,
+                                               ssam_direction(feature.direction));
         io[to_lower(sub.name)][to_lower(feature.name)] = node;
       }
     }

@@ -4,6 +4,7 @@
 #include <array>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
 
 namespace {
@@ -155,6 +156,39 @@ TEST(Cli, FtaOnSsamModel) {
 
 TEST(Cli, FtaUnknownComponentFails) {
   const auto result = run("fta " + kAssets + "/brake_chain.ssam --component Ghost");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("Ghost"), std::string::npos);
+}
+
+TEST(Cli, GraphFmeaAnalysesSsamArchitecture) {
+  const auto result = run("graph-fmea " + kAssets + "/brake_chain.ssam --component BrakeChain");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("Sensor"), std::string::npos);
+  EXPECT_NE(result.output.find("Driver"), std::string::npos);
+  EXPECT_NE(result.output.find("SPFM"), std::string::npos);
+}
+
+TEST(Cli, GraphFmeaOutputIdenticalAcrossJobCounts) {
+  TempDir tmp;
+  const auto serial = (tmp.path / "serial.csv").string();
+  const auto parallel = (tmp.path / "parallel.csv").string();
+  const auto run1 = run("graph-fmea " + kAssets +
+                        "/brake_chain.ssam --component BrakeChain --jobs 1 --out " + serial);
+  const auto run2 = run("graph-fmea " + kAssets +
+                        "/brake_chain.ssam --component BrakeChain --jobs 4 --out " + parallel);
+  EXPECT_EQ(run1.exit_code, 0) << run1.output;
+  EXPECT_EQ(run2.exit_code, 0) << run2.output;
+  std::ifstream a(serial), b(parallel);
+  const std::string serial_bytes((std::istreambuf_iterator<char>(a)),
+                                 std::istreambuf_iterator<char>());
+  const std::string parallel_bytes((std::istreambuf_iterator<char>(b)),
+                                   std::istreambuf_iterator<char>());
+  EXPECT_FALSE(serial_bytes.empty());
+  EXPECT_EQ(serial_bytes, parallel_bytes);
+}
+
+TEST(Cli, GraphFmeaUnknownComponentFails) {
+  const auto result = run("graph-fmea " + kAssets + "/brake_chain.ssam --component Ghost");
   EXPECT_NE(result.exit_code, 0);
   EXPECT_NE(result.output.find("Ghost"), std::string::npos);
 }

@@ -73,12 +73,49 @@ TEST(Fmeda, SafetyRelatedComponentsDeduplicated) {
   EXPECT_DOUBLE_EQ(result.total_safety_related_fit(), 325.0);
 }
 
+TEST(Fmeda, DuplicateNamesWithDistinctIdentityCountSeparately) {
+  // Two different components both displayed as "Regulator" (e.g. the same
+  // block type at two recursion levels). Name-keyed aggregation would count
+  // the FIT once; identity-keyed aggregation must not.
+  FmedaResult result;
+  auto r1 = row("Regulator", 100, "Open", 1.0, true);
+  r1.component_id = 11;
+  auto r2 = row("Regulator", 40, "Open", 1.0, true);
+  r2.component_id = 22;
+  result.rows = {r1, r2};
+
+  EXPECT_DOUBLE_EQ(result.total_safety_related_fit(), 140.0);
+  EXPECT_EQ(result.safety_related_components(),
+            (std::vector<std::string>{"Regulator", "Regulator"}));
+  EXPECT_EQ(result.rows_of("Regulator").size(), 2u);       // by display name
+  EXPECT_EQ(result.rows_of(std::uint64_t{11}).size(), 1u);  // by identity
+  EXPECT_DOUBLE_EQ(result.rows_of(std::uint64_t{22})[0]->fit, 40.0);
+
+  // Two safety-related rows of the SAME identity still count the FIT once.
+  auto r3 = row("Regulator", 100, "Short", 0.5, true);
+  r3.component_id = 11;
+  result.rows.push_back(r3);
+  EXPECT_DOUBLE_EQ(result.total_safety_related_fit(), 140.0);
+}
+
 TEST(Fmeda, EmptyOrNonSafetyResultHasSpfmOne) {
+  // Documented convention: an empty denominator reports SPFM = 1.0, and
+  // asil_label() surfaces the degenerate case instead of claiming ASIL-D.
   FmedaResult empty;
   EXPECT_DOUBLE_EQ(empty.spfm(), 1.0);
+  EXPECT_FALSE(empty.has_safety_related());
+  EXPECT_EQ(empty.asil_label(), "no safety-related hardware");
   FmedaResult benign;
   benign.rows = {row("C1", 2, "Open", 0.3, false)};
   EXPECT_DOUBLE_EQ(benign.spfm(), 1.0);
+  EXPECT_EQ(benign.asil_label(), "no safety-related hardware");
+}
+
+TEST(Fmeda, AsilLabelMatchesAchievedAsilWhenSafetyRelated) {
+  const auto result = paper_fmeda(true);
+  ASSERT_TRUE(result.has_safety_related());
+  EXPECT_EQ(result.asil_label(), achieved_asil(result.spfm()));
+  EXPECT_EQ(result.asil_label(), "ASIL-B");
 }
 
 TEST(Fmeda, RowsOfFiltersByComponent) {

@@ -279,6 +279,78 @@ TEST(Graph, PathExplosionGuard) {
   EXPECT_THROW(enumerate_paths(graph, /*max_paths=*/1000), AnalysisError);
 }
 
+TEST(Graph, ParseDirectionAcceptsKnownSpellings) {
+  EXPECT_EQ(parse_direction("in"), NodeDirection::In);
+  EXPECT_EQ(parse_direction("out"), NodeDirection::Out);
+  EXPECT_EQ(parse_direction("inout"), NodeDirection::InOut);
+  EXPECT_EQ(parse_direction("in out"), NodeDirection::InOut);  // AADL spelling
+  EXPECT_EQ(parse_direction("  In "), NodeDirection::In);
+  EXPECT_EQ(parse_direction("OUT"), NodeDirection::Out);
+  EXPECT_EQ(parse_direction(""), std::nullopt);
+  EXPECT_EQ(parse_direction("input"), std::nullopt);
+  EXPECT_EQ(parse_direction("Imput"), std::nullopt);
+}
+
+TEST(Graph, InoutBoundaryNodeIsBothInputAndOutput) {
+  SsamModel m;
+  const auto pkg = m.create_component_package("design");
+  const auto sys = m.create_component(pkg, "sys");
+  const auto io = m.add_io_node(sys, "bus", "inout");
+  const auto graph = build_graph(m, sys);
+  EXPECT_EQ(graph.inputs, std::vector<ObjectId>{io});
+  EXPECT_EQ(graph.outputs, std::vector<ObjectId>{io});
+  EXPECT_EQ(graph.direction.at(io), NodeDirection::InOut);
+}
+
+TEST(Graph, InoutSubNodeGetsNoSelfThroughEdge) {
+  GraphFixture f;
+  const auto x = f.m.create_component(f.sys, "X");
+  const auto xio = f.m.add_io_node(x, "x.io", "inout");
+  f.m.connect(f.sys, f.in, xio);
+  f.m.connect(f.sys, xio, f.out);
+  const auto graph = build_graph(f.m, f.sys);
+  const auto it = graph.edges.find(xio);
+  if (it != graph.edges.end()) {
+    for (const ObjectId target : it->second) EXPECT_NE(target, xio);
+  }
+  const auto paths = enumerate_paths(graph);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_TRUE(on_all_paths(graph, paths, x));
+}
+
+TEST(Graph, UnknownDirectionThrowsNamingTheNode) {
+  GraphFixture f;
+  const auto a = f.leaf("a");
+  f.m.connect(f.sys, f.in, a.in);
+  f.m.connect(f.sys, a.out, f.out);
+  f.m.obj(a.out).set_string("direction", "downstream");  // typo'd import
+  try {
+    build_graph(f.m, f.sys);
+    FAIL() << "expected AnalysisError";
+  } catch (const AnalysisError& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("a.out"), std::string::npos) << message;
+    EXPECT_NE(message.find("downstream"), std::string::npos) << message;
+  }
+}
+
+TEST(Graph, EmptyDirectionThrowsInsteadOfBecomingAnOutput) {
+  GraphFixture f;
+  const auto a = f.leaf("a");
+  f.m.connect(f.sys, f.in, a.in);
+  f.m.connect(f.sys, a.out, f.out);
+  f.m.obj(a.in).set_string("direction", "");
+  EXPECT_THROW(build_graph(f.m, f.sys), AnalysisError);
+}
+
+TEST(SsamModel, AddIoNodeValidatesDirection) {
+  SsamModel m;
+  const auto pkg = m.create_component_package("design");
+  const auto sys = m.create_component(pkg, "sys");
+  EXPECT_NO_THROW(m.add_io_node(sys, "bus", "inout"));
+  EXPECT_THROW(m.add_io_node(sys, "bad", "sideways"), ModelError);
+}
+
 TEST(SsamModel, MemoryBudgetPropagates) {
   SsamModel m(/*memory_budget_bytes=*/4096);
   const auto pkg = m.create_component_package("design");

@@ -2,6 +2,7 @@
 //
 // Subcommands (see `same help`):
 //   fmea        automated FME(D)A on a Simulink-substitute (.mdl) model
+//   graph-fmea  Algorithm-1 FMEA on an SSAM architecture model
 //   import      transform a .mdl model into SSAM (XMI) with a loss audit
 //   export      regenerate the .mdl from an imported SSAM model
 //   assurance   evaluate a model-based assurance case (.xml)
@@ -22,6 +23,7 @@
 #include "decisive/base/xml.hpp"
 #include "decisive/core/circuit_fmea.hpp"
 #include "decisive/core/fta.hpp"
+#include "decisive/core/graph_fmea.hpp"
 #include "decisive/core/monitor.hpp"
 #include "decisive/core/synthetic.hpp"
 #include "decisive/ssam/validate.hpp"
@@ -90,6 +92,12 @@ int usage() {
       "      repositories (the paper's Table VI experiment).\n\n"
       "  same validate <design.ssam>\n"
       "      Structural well-formedness validation of an SSAM model.\n\n"
+      "  same graph-fmea <design.ssam> --component <name> [--jobs N]\n"
+      "            [--out fmeda.csv]\n"
+      "      Algorithm-1 FMEA on an SSAM architecture: dominator-based\n"
+      "      single-point analysis over the component graph, recursing into\n"
+      "      composites. --jobs parallelises the per-component analyses\n"
+      "      (0 = all cores); output is byte-identical for any job count.\n\n"
       "  same fta <design.ssam> --component <name> [--mission-hours 10000]\n"
       "      Synthesise the fault tree of a composite component: minimal cut\n"
       "      sets, top-event probability and importance measures.\n\n"
@@ -165,6 +173,42 @@ int cmd_fta(const Args& args) {
   for (const auto& imp : core::importance_measures(tree, mission)) {
     std::printf("%-40s %12.4e %16.4f\n", imp.label.c_str(), imp.birnbaum,
                 imp.fussell_vesely);
+  }
+  return 0;
+}
+
+int cmd_graph_fmea(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const auto component_name = args.get("component");
+  if (!component_name.has_value()) {
+    std::fprintf(stderr, "error: --component <name> is required\n");
+    return 2;
+  }
+  ssam::SsamModel model;
+  model::load_xmi_file(model.repo(), model.meta(), args.positional[0]);
+  const auto component = model.find_by_name(ssam::cls::Component, *component_name);
+  if (component == model::kNullObject) {
+    std::fprintf(stderr, "error: no component named '%s'\n", component_name->c_str());
+    return 1;
+  }
+
+  core::GraphFmeaOptions options;
+  if (const auto jobs = args.get("jobs")) {
+    options.jobs = static_cast<int>(parse_int(*jobs));
+    if (options.jobs < 0) {
+      std::fprintf(stderr, "error: --jobs must be >= 0 (0 = all cores)\n");
+      return 2;
+    }
+  }
+
+  const auto result = core::analyze_component(model, component, options);
+  std::printf("%s\n", result.to_text().render().c_str());
+  for (const auto& warning : result.warnings) std::printf("note: %s\n", warning.c_str());
+  std::printf("\nSPFM = %s  ->  %s\n", format_percent(result.spfm()).c_str(),
+              result.asil_label().c_str());
+  if (const auto out = args.get("out")) {
+    write_csv_file(*out, result.to_csv());
+    std::printf("FMEDA written to %s\n", out->c_str());
   }
   return 0;
 }
@@ -328,6 +372,7 @@ int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv, 2);
   try {
     if (command == "fmea") return cmd_fmea(args);
+    if (command == "graph-fmea") return cmd_graph_fmea(args);
     if (command == "import") return cmd_import(args);
     if (command == "export") return cmd_export(args);
     if (command == "assurance") return cmd_assurance(args);
