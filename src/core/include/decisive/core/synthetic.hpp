@@ -45,6 +45,15 @@ ReliabilityModel synthetic_reliability();
 /// ASIL-B on both).
 SafetyMechanismModel synthetic_sm_catalogue();
 
+/// A hierarchical Table-VI-style scalability subject for the *incremental*
+/// workload: a system of `composites` serial composite units, each wrapping
+/// a serial chain of `leaves` leaf components with loss-of-function failure
+/// modes and FIT data. Every composite is an independent analysis unit of
+/// the graph FMEA, so a single-component edit dirties O(1) of the
+/// `composites + 1` units — the shape the fingerprint cache exploits.
+/// (composites=40, leaves=16 lands near the paper's Set3 element count.)
+SyntheticSystem make_scaled_architecture(size_t composites, size_t leaves);
+
 // ---------------------------------------------------------------------------
 // Scalability (Table VI)
 // ---------------------------------------------------------------------------

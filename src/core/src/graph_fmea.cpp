@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <map>
 #include <optional>
@@ -109,12 +110,21 @@ std::vector<Unit> collect_units(const SsamModel& ssam, ObjectId root,
 }
 
 /// Phase B: build each unit's graph and run the single-point analysis —
-/// independent const reads of the model, safe to run on a pool. Errors are
+/// independent const reads of the model, safe to run on a pool. Units with a
+/// cached record (`cached[i] != nullptr`) are skipped: their verdicts will be
+/// replayed, so paying for the graph again would defeat the cache. Errors are
 /// captured per unit; the caller rethrows the first one in walk order so
 /// behaviour is deterministic for any job count.
 std::vector<UnitAnalysis> analyze_units(const SsamModel& ssam, const std::vector<Unit>& units,
-                                        int jobs_option) {
+                                        int jobs_option,
+                                        const std::vector<const UnitRecord*>& cached) {
   std::vector<UnitAnalysis> analyses(units.size());
+  std::vector<size_t> pending;
+  pending.reserve(units.size());
+  for (size_t i = 0; i < units.size(); ++i) {
+    if (cached[i] == nullptr) pending.push_back(i);
+  }
+
   const auto analyze_one = [&](size_t i) {
     try {
       const ssam::ComponentGraph graph = ssam::build_graph(ssam, units[i].component);
@@ -126,15 +136,15 @@ std::vector<UnitAnalysis> analyze_units(const SsamModel& ssam, const std::vector
 
   unsigned jobs = jobs_option > 0 ? static_cast<unsigned>(jobs_option)
                                   : std::max(1u, std::thread::hardware_concurrency());
-  if (units.size() < jobs) jobs = static_cast<unsigned>(std::max<size_t>(units.size(), 1));
+  if (pending.size() < jobs) jobs = static_cast<unsigned>(std::max<size_t>(pending.size(), 1));
 
   if (jobs <= 1) {
-    for (size_t i = 0; i < units.size(); ++i) analyze_one(i);
+    for (const size_t i : pending) analyze_one(i);
   } else {
     std::atomic<size_t> next{0};
     auto worker = [&] {
-      for (size_t i = next.fetch_add(1); i < units.size(); i = next.fetch_add(1)) {
-        analyze_one(i);
+      for (size_t p = next.fetch_add(1); p < pending.size(); p = next.fetch_add(1)) {
+        analyze_one(pending[p]);
       }
     };
     std::vector<std::thread> pool;
@@ -149,11 +159,15 @@ std::vector<UnitAnalysis> analyze_units(const SsamModel& ssam, const std::vector
   return analyses;
 }
 
-/// Emits the rows for one subcomponent of one unit (Algorithm 1 lines 5–12)
-/// and writes the verdicts back into the model.
-void emit_subcomponent(SsamModel& ssam, const Unit& unit,
-                       const ssam::SinglePointAnalysis& analysis, ObjectId sub,
-                       const GraphFmeaOptions& options, FmedaResult& result) {
+/// Produces the record for one subcomponent of one unit (Algorithm 1 lines
+/// 5–12): rows, warnings and verdict write-backs, in emission order. Pure
+/// function of the model state — what the unit fingerprint covers — so the
+/// record can be cached and replayed on a later run.
+UnitSubRecord produce_sub_record(const SsamModel& ssam, const Unit& unit,
+                                 const ssam::SinglePointAnalysis& analysis, ObjectId sub,
+                                 const GraphFmeaOptions& options) {
+  UnitSubRecord record;
+  record.sub = sub;
   const std::string sub_name = ssam.obj(sub).get_string("name");
   const bool single_point = analysis.is_single_point(sub);
 
@@ -189,7 +203,7 @@ void emit_subcomponent(SsamModel& ssam, const Unit& unit,
         row.effect = any_critical ? EffectClass::IVF : EffectClass::None;
       } else {
         // Algorithm 1 line 11.
-        result.warnings.push_back("failure mode '" + row.failure_mode + "' of '" + sub_name +
+        record.warnings.push_back("failure mode '" + row.failure_mode + "' of '" + sub_name +
                                   "' has nature '" + nature +
                                   "' and no affected-component traceability; manual review "
                                   "required");
@@ -204,33 +218,77 @@ void emit_subcomponent(SsamModel& ssam, const Unit& unit,
       }
     }
 
-    // Write the verdict back into the model (component safety analysis
-    // model, Step 4a output).
-    ssam.obj(fm).set_bool("safetyRelated", row.safety_related);
-    attach_effect(ssam, fm, row.effect);
-
-    result.rows.push_back(std::move(row));
+    record.verdicts.push_back({fm, row.safety_related, row.effect});
+    record.rows.push_back(std::move(row));
   }
+
+  // The walk-level diagnostic belongs to the sub record too, so a cached
+  // replay reproduces it at the same position in the warning stream.
+  if (options.recursive && !ssam.obj(sub).refs("subcomponents").empty() &&
+      ssam.obj(sub).refs("ioNodes").empty()) {
+    record.warnings.push_back("composite subcomponent '" + sub_name +
+                              "' has no IONodes; cannot recurse");
+  }
+  return record;
+}
+
+/// Applies one sub record: appends its rows/warnings to the result and
+/// writes the verdicts back into the model (component safety analysis model,
+/// Step 4a output). Both the fresh and the cached path funnel through here,
+/// which is what makes incremental output byte-identical by construction.
+void apply_sub_record(SsamModel& ssam, const UnitSubRecord& record, FmedaResult& result) {
+  result.rows.insert(result.rows.end(), record.rows.begin(), record.rows.end());
+  result.warnings.insert(result.warnings.end(), record.warnings.begin(), record.warnings.end());
+  for (const UnitVerdict& verdict : record.verdicts) {
+    ssam.obj(verdict.failure_mode).set_bool("safetyRelated", verdict.safety_related);
+    attach_effect(ssam, verdict.failure_mode, verdict.effect);
+  }
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 }
 
 }  // namespace
 
 FmedaResult analyze_component(SsamModel& ssam, ObjectId component,
-                              const GraphFmeaOptions& options) {
+                              const GraphFmeaOptions& options, UnitResultCache* cache,
+                              GraphFmeaStats* stats) {
   FmedaResult result;
   result.system = ssam.obj(component).get_string("name");
 
-  // Phase A: enumerate the composite components the walk will visit.
+  // Phase A: enumerate the composite components the walk will visit, and ask
+  // the cache which of them it can replay.
+  const auto collect_start = std::chrono::steady_clock::now();
   const std::vector<Unit> units = collect_units(ssam, component, options);
+  std::vector<const UnitRecord*> cached(units.size(), nullptr);
+  if (cache != nullptr) {
+    for (size_t i = 0; i < units.size(); ++i) {
+      cached[i] = cache->lookup(units[i].component, units[i].path);
+    }
+  }
+  if (stats != nullptr) {
+    stats->units = units.size();
+    for (const auto* record : cached) (record != nullptr ? stats->cache_hits : stats->cache_misses)++;
+    stats->collect_seconds = seconds_since(collect_start);
+  }
 
-  // Phase B: per-unit single-point analyses (parallel, const model reads).
-  const std::vector<UnitAnalysis> analyses = analyze_units(ssam, units, options.jobs);
+  // Phase B: per-unit single-point analyses (parallel, const model reads) —
+  // cache hits skip the phase entirely, which is where the incremental
+  // speed-up comes from.
+  const auto analyze_start = std::chrono::steady_clock::now();
+  const std::vector<UnitAnalysis> analyses =
+      analyze_units(ssam, units, options.jobs, cached);
+  if (stats != nullptr) stats->analyze_seconds = seconds_since(analyze_start);
   std::map<ObjectId, size_t> unit_index;
   for (size_t i = 0; i < units.size(); ++i) unit_index[units[i].component] = i;
 
   // Phase C (serial): replay the recursive walk of Algorithm 1 with an
   // explicit stack, emitting rows/warnings and mutating the model in the
-  // exact order the old recursion used — deterministic for any job count.
+  // exact order the old recursion used — deterministic for any job count and
+  // any cache-hit pattern.
+  const auto emit_start = std::chrono::steady_clock::now();
+  std::vector<UnitRecord> fresh(units.size());  ///< records under construction
   struct Frame {
     size_t unit;
     std::vector<ObjectId> subs;  ///< copied: write-backs create repo objects
@@ -247,20 +305,37 @@ FmedaResult analyze_component(SsamModel& ssam, ObjectId component,
       continue;
     }
     const size_t unit_i = frame.unit;
+    const size_t sub_i = frame.next;
     const ObjectId sub = frame.subs[frame.next++];
-    emit_subcomponent(ssam, units[unit_i], *analyses[unit_i].analysis, sub, options, result);
+    if (cached[unit_i] != nullptr) {
+      const UnitRecord& record = *cached[unit_i];
+      if (sub_i >= record.subs.size() || record.subs[sub_i].sub != sub) {
+        throw AnalysisError("stale unit cache record for '" + units[unit_i].path +
+                            "' — the cache returned a record for a different model state");
+      }
+      apply_sub_record(ssam, record.subs[sub_i], result);
+    } else {
+      fresh[unit_i].subs.push_back(
+          produce_sub_record(ssam, units[unit_i], *analyses[unit_i].analysis, sub, options));
+      apply_sub_record(ssam, fresh[unit_i].subs.back(), result);
+    }
 
     // Algorithm 1 line 14: repeat for composite subcomponents.
-    if (options.recursive && !ssam.obj(sub).refs("subcomponents").empty()) {
-      if (ssam.obj(sub).refs("ioNodes").empty()) {
-        result.warnings.push_back("composite subcomponent '" + ssam.obj(sub).get_string("name") +
-                                  "' has no IONodes; cannot recurse");
-      } else {
-        const size_t child = unit_index.at(sub);
-        stack.push_back({child, ssam.obj(sub).refs("subcomponents"), 0});
-      }
+    if (options.recursive && !ssam.obj(sub).refs("subcomponents").empty() &&
+        !ssam.obj(sub).refs("ioNodes").empty()) {
+      const size_t child = unit_index.at(sub);
+      stack.push_back({child, ssam.obj(sub).refs("subcomponents"), 0});
     }
   }
+  if (cache != nullptr) {
+    for (size_t i = 0; i < units.size(); ++i) {
+      if (cached[i] != nullptr) continue;
+      fresh[i].component = units[i].component;
+      fresh[i].path = units[i].path;
+      cache->store(std::move(fresh[i]));
+    }
+  }
+  if (stats != nullptr) stats->emit_seconds = seconds_since(emit_start);
 
   if (!result.has_safety_related()) {
     result.warnings.push_back(

@@ -1,0 +1,86 @@
+// Incremental re-analysis engine: the DECISIVE edit→re-analyze loop, hot.
+//
+// AnalysisSession owns the iteration state for one (model, root component)
+// pair: the fingerprint snapshot of the last run, the fingerprint-keyed
+// result cache, and the last FMEDA. reanalyze() recomputes fingerprints
+// (one model pass), derives the dirty set as the fingerprint diff *widened
+// by impact_of_change traceability* (containment ancestors and signal
+// neighbours of every changed component must be revisited — paper Section
+// III's change-management requirement), forces those components past the
+// cache, and re-runs analyze_component: clean units replay cached rows,
+// dirty ones pay for graph construction and single-point analysis. The
+// resulting FMEDA table is byte-identical to a cold full run.
+#pragma once
+
+#include <set>
+
+#include "decisive/core/graph_fmea.hpp"
+#include "decisive/session/cache.hpp"
+#include "decisive/session/fingerprint.hpp"
+#include "decisive/ssam/model.hpp"
+
+namespace decisive::session {
+
+class AnalysisSession {
+ public:
+  /// Binds the session to a loaded model and the component under analysis.
+  /// The model must outlive the session; all edits between reanalyze() calls
+  /// should go through the model directly (and ideally be announced via
+  /// note_edit for precise impact widening).
+  AnalysisSession(ssam::SsamModel& model, ssam::ObjectId root,
+                  core::GraphFmeaOptions options = {});
+
+  /// Per-request observability of one reanalyze() call.
+  struct Stats {
+    size_t units = 0;               ///< composite components visited
+    size_t cache_hits = 0;          ///< units replayed from the cache
+    size_t cache_misses = 0;        ///< units analysed fresh
+    size_t changed_components = 0;  ///< fingerprint diff vs the previous run
+    size_t widened_components = 0;  ///< extra dirt added by impact_of_change
+    bool short_circuited = false;   ///< subtree fingerprint unchanged: replayed last result
+    double fingerprint_seconds = 0.0;
+    double analyze_seconds = 0.0;  ///< full analyze_component wall time
+    double total_seconds = 0.0;
+
+    [[nodiscard]] double hit_rate() const noexcept {
+      return units == 0 ? 0.0 : static_cast<double>(cache_hits) / static_cast<double>(units);
+    }
+  };
+
+  /// Announces that `component` was edited. Optional — the fingerprint diff
+  /// catches silent edits too — but it feeds impact_of_change widening for
+  /// edits whose consequences reach beyond the component's own fingerprint.
+  void note_edit(ssam::ObjectId component);
+
+  /// Incremental re-analysis; returns the new FMEDA (byte-identical to a
+  /// cold run on the current model state).
+  const core::FmedaResult& reanalyze();
+
+  /// Cache-bypassing full analysis of the current model state — the oracle
+  /// the incremental path is property-tested against. Does not touch the
+  /// cache or the session's fingerprint snapshot.
+  [[nodiscard]] core::FmedaResult cold_analyze() const;
+
+  [[nodiscard]] const core::FmedaResult& last_result() const noexcept { return last_result_; }
+  [[nodiscard]] bool has_result() const noexcept { return has_result_; }
+  [[nodiscard]] const Stats& last_stats() const noexcept { return last_stats_; }
+  [[nodiscard]] ResultCache& cache() noexcept { return cache_; }
+  [[nodiscard]] ssam::ObjectId root() const noexcept { return root_; }
+  [[nodiscard]] const core::GraphFmeaOptions& options() const noexcept { return options_; }
+
+ private:
+  ssam::SsamModel& model_;
+  ssam::ObjectId root_;
+  core::GraphFmeaOptions options_;
+
+  ResultCache cache_;
+  ModelFingerprints previous_;
+  bool has_previous_ = false;
+  std::set<ssam::ObjectId> edits_;
+
+  core::FmedaResult last_result_;
+  bool has_result_ = false;
+  Stats last_stats_;
+};
+
+}  // namespace decisive::session

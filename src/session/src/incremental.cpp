@@ -1,0 +1,101 @@
+#include "decisive/session/incremental.hpp"
+
+#include <chrono>
+
+namespace decisive::session {
+
+using ssam::ObjectId;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+AnalysisSession::AnalysisSession(ssam::SsamModel& model, ObjectId root,
+                                 core::GraphFmeaOptions options)
+    : model_(model), root_(root), options_(std::move(options)) {}
+
+void AnalysisSession::note_edit(ObjectId component) { edits_.insert(component); }
+
+core::FmedaResult AnalysisSession::cold_analyze() const {
+  return core::analyze_component(model_, root_, options_);
+}
+
+const core::FmedaResult& AnalysisSession::reanalyze() {
+  const auto total_start = std::chrono::steady_clock::now();
+  const size_t previous_units = last_stats_.units;
+  last_stats_ = Stats{};
+
+  // One bottom-up model pass: the fingerprint snapshot of the current state.
+  const auto fp_start = std::chrono::steady_clock::now();
+  ModelFingerprints current = fingerprint_model(model_, root_, options_);
+  last_stats_.fingerprint_seconds = seconds_since(fp_start);
+
+  // The dirty seed: components whose fingerprint moved, plus announced edits.
+  std::vector<ObjectId> changed;
+  if (has_previous_) changed = fingerprint_diff(previous_, current);
+  last_stats_.changed_components = changed.size();
+  std::set<ObjectId> seeds(changed.begin(), changed.end());
+  for (const ObjectId edit : edits_) {
+    if (current.unit.contains(edit)) seeds.insert(edit);
+  }
+
+  // Hot path: nothing changed anywhere under the root and nothing was
+  // announced — replay the previous result without touching the analysis.
+  if (has_previous_ && has_result_ && seeds.empty() &&
+      current.subtree.at(root_) == previous_.subtree.at(root_)) {
+    last_stats_.short_circuited = true;
+    last_stats_.units = last_stats_.cache_hits = previous_units;
+    last_stats_.total_seconds = seconds_since(total_start);
+    previous_ = std::move(current);
+    edits_.clear();
+    return last_result_;
+  }
+
+  // Widen the dirty set along impact_of_change's traceability rules:
+  // containment ancestors re-embed the changed component's analysis, and
+  // signal neighbours share cut sets with it (paper Section III / ISO 26262
+  // Clause 8 change management). Both legs are precomputed by the
+  // fingerprint pass (parent chain + signal adjacency), so widening costs
+  // O(dirty) instead of a repository scan per seed — the report-facing
+  // core::impact_of_change computes the identical sets from the live model.
+  std::set<ObjectId> forced = seeds;
+  for (const ObjectId seed : seeds) {
+    for (auto parent = current.parent.find(seed); parent != current.parent.end();
+         parent = current.parent.find(parent->second)) {
+      forced.insert(parent->second);
+    }
+    const auto neighbours = current.neighbours.find(seed);
+    if (neighbours == current.neighbours.end()) continue;
+    for (const ObjectId neighbour : neighbours->second) forced.insert(neighbour);
+  }
+  last_stats_.widened_components = forced.size() - seeds.size();
+
+  // Run the analysis with the cache bound to this snapshot.
+  const auto analyze_start = std::chrono::steady_clock::now();
+  cache_.bind(&current, &forced);
+  core::GraphFmeaStats graph_stats;
+  try {
+    last_result_ = core::analyze_component(model_, root_, options_, &cache_, &graph_stats);
+  } catch (...) {
+    cache_.bind(nullptr, nullptr);
+    throw;
+  }
+  cache_.bind(nullptr, nullptr);
+  last_stats_.analyze_seconds = seconds_since(analyze_start);
+  last_stats_.units = graph_stats.units;
+  last_stats_.cache_hits = graph_stats.cache_hits;
+  last_stats_.cache_misses = graph_stats.cache_misses;
+
+  has_result_ = true;
+  previous_ = std::move(current);
+  has_previous_ = true;
+  edits_.clear();
+  last_stats_.total_seconds = seconds_since(total_start);
+  return last_result_;
+}
+
+}  // namespace decisive::session

@@ -1,0 +1,302 @@
+#include "decisive/session/service.hpp"
+
+#include <istream>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <vector>
+
+#include "decisive/base/error.hpp"
+#include "decisive/base/strings.hpp"
+#include "decisive/core/impact.hpp"
+#include "decisive/model/xmi.hpp"
+#include "decisive/session/incremental.hpp"
+#include "decisive/ssam/model.hpp"
+
+namespace decisive::session {
+
+namespace {
+
+using ssam::ObjectId;
+using ssam::SsamModel;
+
+std::string format_ms(double seconds) { return format_number(seconds * 1e3, 3) + "ms"; }
+
+/// The resident state of one service run.
+class Service {
+ public:
+  Service(std::ostream& out, const core::GraphFmeaOptions& analysis,
+          std::string default_cache_path)
+      : out_(out), analysis_(analysis), default_cache_path_(std::move(default_cache_path)) {}
+
+  /// Dispatches one request line; returns false when the loop should end.
+  bool handle(const std::string& line) {
+    const std::string trimmed{trim(line)};
+    if (trimmed.empty() || trimmed.front() == '#') return true;
+    const std::vector<std::string> tokens = split(trimmed, ' ');
+    const std::string& command = tokens.front();
+    ++requests_;
+    try {
+      if (command == "quit") {
+        out_ << "ok\n";
+        return false;
+      }
+      if (command == "help") cmd_help();
+      else if (command == "load") cmd_load(tokens);
+      else if (command == "set-fit") cmd_set_fit(tokens);
+      else if (command == "rewire") cmd_rewire(tokens);
+      else if (command == "add-failure-mode") cmd_add_failure_mode(tokens);
+      else if (command == "deploy-sm") cmd_deploy_sm(tokens);
+      else if (command == "impact") cmd_impact(tokens);
+      else if (command == "reanalyze") cmd_reanalyze();
+      else if (command == "table") cmd_table();
+      else if (command == "metrics") cmd_metrics();
+      else if (command == "stats") cmd_stats();
+      else if (command == "save") cmd_save(tokens);
+      else if (command == "save-cache") cmd_save_cache(tokens);
+      else if (command == "load-cache") cmd_load_cache(tokens);
+      else throw ModelError("unknown command '" + command + "' (try: help)");
+      out_ << "ok\n";
+    } catch (const Error& error) {
+      out_ << "error: " << error.what() << "\n";
+    }
+    out_.flush();
+    return true;
+  }
+
+  bool load(const std::string& path, const std::string& component_name) {
+    auto model = std::make_unique<SsamModel>();
+    model::load_xmi_file(model->repo(), model->meta(), path);
+    const ObjectId root = model->find_by_name(ssam::cls::Component, component_name);
+    if (root == model::kNullObject) {
+      throw ModelError("no component named '" + component_name + "' in " + path);
+    }
+    session_.reset();  // order matters: the session references the old model
+    model_ = std::move(model);
+    session_.emplace(*model_, root, analysis_);
+    ++loads_;
+    out_ << "loaded " << path << " (" << model_->size() << " elements), root '"
+         << component_name << "'\n";
+    return true;
+  }
+
+  void load_cache(const std::string& path) {
+    const ResultCache::LoadReport report = require_session().cache().load_file(path);
+    if (report.loaded) {
+      out_ << "cache loaded: " << report.entries << " entries\n";
+    } else {
+      out_ << "cache rebuilt: " << report.note << "\n";
+    }
+  }
+
+ private:
+  AnalysisSession& require_session() {
+    if (!session_.has_value()) {
+      throw ModelError("no model loaded (use: load <model.ssam> <component>)");
+    }
+    return *session_;
+  }
+
+  ObjectId component_named(const std::string& name) {
+    require_session();
+    const ObjectId id = model_->find_by_name(ssam::cls::Component, name);
+    if (id == model::kNullObject) throw ModelError("no component named '" + name + "'");
+    return id;
+  }
+
+  ObjectId io_node_named(const std::string& name) {
+    const ObjectId id = model_->find_by_name(ssam::cls::IONode, name);
+    if (id == model::kNullObject) throw ModelError("no IONode named '" + name + "'");
+    return id;
+  }
+
+  static void expect_arity(const std::vector<std::string>& tokens, size_t n,
+                           const char* usage) {
+    if (tokens.size() != n) throw ModelError(std::string("usage: ") + usage);
+  }
+
+  void cmd_help() {
+    out_ << "commands:\n"
+            "  load <model.ssam> <component>      bind the session to a model\n"
+            "  set-fit <component> <fit>          edit: component FIT\n"
+            "  rewire <parent> <src-io> <dst-io>  edit: add a connection\n"
+            "  add-failure-mode <component> <name> <distribution> <nature>\n"
+            "  deploy-sm <component> <name> <coverage> <cost-hours> [<failure-mode>]\n"
+            "  impact <component>                 change-impact report\n"
+            "  reanalyze                          incremental FMEA + stats\n"
+            "  table                              last FMEDA table\n"
+            "  metrics                            last SPFM / ASIL\n"
+            "  stats                              cumulative session stats\n"
+            "  save <model.ssam>                  persist the model\n"
+            "  save-cache [<path>] / load-cache [<path>]   default: the --cache path\n"
+            "  quit\n";
+  }
+
+  void cmd_load(const std::vector<std::string>& tokens) {
+    expect_arity(tokens, 3, "load <model.ssam> <component>");
+    load(tokens[1], tokens[2]);
+  }
+
+  void cmd_set_fit(const std::vector<std::string>& tokens) {
+    expect_arity(tokens, 3, "set-fit <component> <fit>");
+    const ObjectId component = component_named(tokens[1]);
+    model_->obj(component).set_real("fit", parse_double(tokens[2]));
+    session_->note_edit(component);
+    out_ << "fit(" << tokens[1] << ") = " << tokens[2] << "\n";
+  }
+
+  void cmd_rewire(const std::vector<std::string>& tokens) {
+    expect_arity(tokens, 4, "rewire <parent> <source-io> <target-io>");
+    const ObjectId parent = component_named(tokens[1]);
+    model_->connect(parent, io_node_named(tokens[2]), io_node_named(tokens[3]));
+    session_->note_edit(parent);
+    out_ << "wired " << tokens[2] << " -> " << tokens[3] << " in " << tokens[1] << "\n";
+  }
+
+  void cmd_add_failure_mode(const std::vector<std::string>& tokens) {
+    expect_arity(tokens, 5, "add-failure-mode <component> <name> <distribution> <nature>");
+    const ObjectId component = component_named(tokens[1]);
+    model_->add_failure_mode(component, tokens[2], parse_double(tokens[3]), tokens[4]);
+    session_->note_edit(component);
+    out_ << "failure mode '" << tokens[2] << "' added to " << tokens[1] << "\n";
+  }
+
+  void cmd_deploy_sm(const std::vector<std::string>& tokens) {
+    if (tokens.size() != 5 && tokens.size() != 6) {
+      throw ModelError(
+          "usage: deploy-sm <component> <name> <coverage> <cost-hours> [<failure-mode>]");
+    }
+    const ObjectId component = component_named(tokens[1]);
+    ObjectId covers = model::kNullObject;
+    if (tokens.size() == 6) {
+      for (const ObjectId fm : model_->obj(component).refs("failureModes")) {
+        if (model_->obj(fm).get_string("name") == tokens[5]) covers = fm;
+      }
+      if (covers == model::kNullObject) {
+        throw ModelError("no failure mode named '" + tokens[5] + "' on '" + tokens[1] + "'");
+      }
+    }
+    model_->add_safety_mechanism(component, tokens[2], parse_double(tokens[3]),
+                                 parse_double(tokens[4]), covers);
+    session_->note_edit(component);
+    out_ << "mechanism '" << tokens[2] << "' deployed on " << tokens[1] << "\n";
+  }
+
+  void cmd_impact(const std::vector<std::string>& tokens) {
+    expect_arity(tokens, 2, "impact <component>");
+    const core::ImpactReport report =
+        core::impact_of_change(*model_, component_named(tokens[1]));
+    out_ << report.to_text(*model_);
+  }
+
+  void cmd_reanalyze() {
+    AnalysisSession& session = require_session();
+    const core::FmedaResult& result = session.reanalyze();
+    const AnalysisSession::Stats& stats = session.last_stats();
+    ++reanalyses_;
+    total_hits_ += stats.cache_hits;
+    total_units_ += stats.units;
+    if (stats.short_circuited) out_ << "short-circuit (model unchanged)\n";
+    out_ << "rows " << result.rows.size() << " spfm " << format_percent(result.spfm()) << " "
+         << result.asil_label() << "\n";
+    out_ << "units " << stats.units << " hits " << stats.cache_hits << " misses "
+         << stats.cache_misses << " hit-rate " << format_percent(stats.hit_rate()) << "\n";
+    out_ << "dirty changed " << stats.changed_components << " widened "
+         << stats.widened_components << "\n";
+    out_ << "time fingerprint " << format_ms(stats.fingerprint_seconds) << " analyze "
+         << format_ms(stats.analyze_seconds) << " total " << format_ms(stats.total_seconds)
+         << "\n";
+  }
+
+  void cmd_table() {
+    if (!require_session().has_result()) throw ModelError("no analysis yet (use: reanalyze)");
+    out_ << session_->last_result().to_text().render() << "\n";
+    for (const auto& warning : session_->last_result().warnings) {
+      out_ << "note: " << warning << "\n";
+    }
+  }
+
+  void cmd_metrics() {
+    if (!require_session().has_result()) throw ModelError("no analysis yet (use: reanalyze)");
+    const core::FmedaResult& result = session_->last_result();
+    out_ << "spfm " << format_percent(result.spfm()) << "\n";
+    out_ << "asil " << result.asil_label() << "\n";
+    out_ << "rows " << result.rows.size() << " safety-related "
+         << result.safety_related_components().size() << " warnings "
+         << result.warnings.size() << "\n";
+  }
+
+  void cmd_stats() {
+    out_ << "requests " << requests_ << " reanalyses " << reanalyses_ << " model-loads "
+         << loads_ << "\n";
+    out_ << "cache entries " << (session_.has_value() ? session_->cache().size() : 0)
+         << " cumulative-hit-rate "
+         << format_percent(total_units_ == 0
+                               ? 0.0
+                               : static_cast<double>(total_hits_) /
+                                     static_cast<double>(total_units_))
+         << "\n";
+  }
+
+  void cmd_save(const std::vector<std::string>& tokens) {
+    expect_arity(tokens, 2, "save <model.ssam>");
+    require_session();
+    model::save_xmi_file(tokens[1], model_->repo(), model_->meta());
+    out_ << "model saved to " << tokens[1] << "\n";
+  }
+
+  /// The explicit argument wins; without one, fall back to the --cache path
+  /// the service was started with.
+  std::string cache_path_from(const std::vector<std::string>& tokens, const char* usage) {
+    if (tokens.size() == 1 && !default_cache_path_.empty()) return default_cache_path_;
+    if (tokens.size() != 2) throw ModelError(std::string("usage: ") + usage);
+    return tokens[1];
+  }
+
+  void cmd_save_cache(const std::vector<std::string>& tokens) {
+    const std::string path =
+        cache_path_from(tokens, "save-cache <path> (no default: started without --cache)");
+    require_session().cache().save_file(path);
+    out_ << "cache saved to " << path << " (" << session_->cache().size() << " entries)\n";
+  }
+
+  void cmd_load_cache(const std::vector<std::string>& tokens) {
+    load_cache(cache_path_from(tokens, "load-cache <path> (no default: started without --cache)"));
+  }
+
+  std::ostream& out_;
+  core::GraphFmeaOptions analysis_;
+  std::string default_cache_path_;
+  std::unique_ptr<SsamModel> model_;
+  std::optional<AnalysisSession> session_;
+
+  size_t requests_ = 0;
+  size_t reanalyses_ = 0;
+  size_t loads_ = 0;
+  size_t total_hits_ = 0;
+  size_t total_units_ = 0;
+};
+
+}  // namespace
+
+int run_service(std::istream& in, std::ostream& out, const ServiceOptions& options) {
+  Service service(out, options.analysis, options.cache_path);
+  if (!options.model_path.empty()) {
+    try {
+      service.load(options.model_path, options.component);
+      if (!options.cache_path.empty()) service.load_cache(options.cache_path);
+    } catch (const Error& error) {
+      out << "error: " << error.what() << "\n";
+      return 2;
+    }
+  }
+  out << "same session ready\n";
+  out.flush();
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!service.handle(line)) break;
+  }
+  return 0;
+}
+
+}  // namespace decisive::session

@@ -223,6 +223,52 @@ TEST(Cli, MonitorCleanReplayExitsZero) {
   EXPECT_EQ(result.exit_code, 0) << result.output;
 }
 
+TEST(Cli, MonitorWithNothingDynamicExitsZero) {
+  // A valid model with no dynamic components is a clean outcome (exit 0 +
+  // note), distinguishable from violations (3) and errors (1/2).
+  TempDir tmp;
+  const auto ssam = (tmp.path / "ps.ssam").string();
+  ASSERT_EQ(run("import " + kAssets + "/power_supply.mdl --out " + ssam).exit_code, 0);
+  const auto result = run("monitor " + ssam);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("nothing to monitor"), std::string::npos);
+}
+
+TEST(Cli, ImpactPrintsTheChangeReport) {
+  const auto result = run("impact " + kAssets + "/brake_chain.ssam Sensor");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("Impact of changing 'Sensor'"), std::string::npos);
+  EXPECT_NE(result.output.find("connected components"), std::string::npos);
+}
+
+TEST(Cli, ImpactUnknownComponentFails) {
+  const auto result = run("impact " + kAssets + "/brake_chain.ssam NoSuch");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("no component named"), std::string::npos);
+}
+
+TEST(Cli, SessionRunsAScriptedLoop) {
+  TempDir tmp;
+  const auto script = (tmp.path / "script.txt").string();
+  {
+    FILE* f = fopen(script.c_str(), "w");
+    fputs("reanalyze\nset-fit Sensor 120\nreanalyze\nmetrics\nquit\n", f);
+    fclose(f);
+  }
+  const auto result = run("session " + kAssets +
+                          "/brake_chain.ssam --component BrakeChain < " + script);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("same session ready"), std::string::npos);
+  EXPECT_NE(result.output.find("hit-rate"), std::string::npos);
+  EXPECT_NE(result.output.find("spfm"), std::string::npos);
+}
+
+TEST(Cli, SessionRequiresComponentWithModelPath) {
+  const auto result = run("session " + kAssets + "/brake_chain.ssam < /dev/null");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--component"), std::string::npos);
+}
+
 TEST(Cli, AssuranceEvaluatesCaseXml) {
   TempDir tmp;
   // Evidence + case referencing it.

@@ -1,0 +1,386 @@
+// Tests for the incremental analysis engine (src/session): content
+// fingerprints, the fingerprint-keyed result cache (including corruption
+// tolerance of the on-disk format), the AnalysisSession edit→reanalyze loop
+// — property-tested byte-identical against cold runs under random edit
+// sequences — and the `same session` line-protocol service.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+
+#include "decisive/base/csv.hpp"
+#include "decisive/base/error.hpp"
+#include "decisive/core/graph_fmea.hpp"
+#include "decisive/core/synthetic.hpp"
+#include "decisive/model/xmi.hpp"
+#include "decisive/session/cache.hpp"
+#include "decisive/session/fingerprint.hpp"
+#include "decisive/session/incremental.hpp"
+#include "decisive/session/service.hpp"
+
+using namespace decisive;
+using namespace decisive::session;
+using ssam::ObjectId;
+using ssam::SsamModel;
+
+namespace {
+
+std::string csv_of(const core::FmedaResult& result) { return write_csv(result.to_csv()); }
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Fingerprints
+// ---------------------------------------------------------------------------
+
+TEST(FingerprintTest, HexRoundTrip) {
+  const Fingerprint fp{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  EXPECT_EQ(to_hex(fp), "0123456789abcdef:fedcba9876543210");
+  EXPECT_EQ(fingerprint_from_hex(to_hex(fp)), fp);
+  EXPECT_THROW((void)fingerprint_from_hex("no"), ParseError);
+  EXPECT_THROW((void)fingerprint_from_hex("0123456789abcdef-fedcba9876543210"), ParseError);
+  EXPECT_THROW((void)fingerprint_from_hex("0123456789abcdeX:fedcba9876543210"), ParseError);
+}
+
+TEST(FingerprintTest, DeterministicAcrossIdenticalRebuilds) {
+  const auto a = core::make_scaled_architecture(3, 2);
+  const auto b = core::make_scaled_architecture(3, 2);
+  const core::GraphFmeaOptions options;
+  const auto fa = fingerprint_model(*a.model, a.system, options);
+  const auto fb = fingerprint_model(*b.model, b.system, options);
+  ASSERT_FALSE(fa.unit.empty());
+  EXPECT_EQ(fa.unit, fb.unit);
+  EXPECT_EQ(fa.subtree, fb.subtree);
+  EXPECT_EQ(fa.path, fb.path);
+}
+
+TEST(FingerprintTest, LeafEditDirtiesExactlyItsAnalysisUnit) {
+  const auto sys = core::make_scaled_architecture(3, 2);
+  SsamModel& m = *sys.model;
+  const core::GraphFmeaOptions options;
+  const auto before = fingerprint_model(m, sys.system, options);
+
+  // A leaf's FIT is read by the analysis *of its parent unit*, so only that
+  // unit's fingerprint may move.
+  const ObjectId unit1 = m.find_by_name(ssam::cls::Component, "Unit1");
+  const ObjectId leaf = m.find_by_name(ssam::cls::Component, "Unit1.Leaf0");
+  ASSERT_NE(leaf, model::kNullObject);
+  m.obj(leaf).set_real("fit", 999.0);
+  const auto after = fingerprint_model(m, sys.system, options);
+
+  const auto changed = fingerprint_diff(before, after);
+  ASSERT_EQ(changed.size(), 1u);
+  EXPECT_EQ(changed.front(), unit1);
+  // The subtree hash still propagates to the root, so a root-level
+  // comparison notices the edit.
+  EXPECT_NE(before.subtree.at(sys.system), after.subtree.at(sys.system));
+  EXPECT_EQ(before.unit.at(sys.system), after.unit.at(sys.system));
+}
+
+TEST(FingerprintTest, OptionsAreFoldedIntoEveryUnit) {
+  const auto sys = core::make_scaled_architecture(2, 2);
+  core::GraphFmeaOptions a;
+  core::GraphFmeaOptions b;
+  b.loss_natures.push_back("erroneous");
+  const auto fa = fingerprint_model(*sys.model, sys.system, a);
+  const auto fb = fingerprint_model(*sys.model, sys.system, b);
+  // Different analysis settings must never share cache entries: every unit
+  // hash moves.
+  EXPECT_EQ(fingerprint_diff(fa, fb).size(), fa.unit.size());
+}
+
+// ---------------------------------------------------------------------------
+// Incremental session vs cold oracle
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalTest, FirstRunIsAllMissesAndMatchesCold) {
+  auto sys = core::make_scaled_architecture(4, 3);
+  AnalysisSession session(*sys.model, sys.system);
+  const std::string incremental = csv_of(session.reanalyze());
+  EXPECT_EQ(incremental, csv_of(session.cold_analyze()));
+  EXPECT_EQ(session.last_stats().cache_hits, 0u);
+  EXPECT_EQ(session.last_stats().cache_misses, session.last_stats().units);
+}
+
+TEST(IncrementalTest, UnchangedModelShortCircuits) {
+  auto sys = core::make_scaled_architecture(4, 3);
+  AnalysisSession session(*sys.model, sys.system);
+  const std::string first = csv_of(session.reanalyze());
+  const std::string second = csv_of(session.reanalyze());
+  EXPECT_EQ(first, second);
+  EXPECT_TRUE(session.last_stats().short_circuited);
+  EXPECT_EQ(session.last_stats().cache_hits, session.last_stats().units);
+}
+
+TEST(IncrementalTest, SingleEditOnScalabilityModelHitsOverNinetyPercent) {
+  // The ISSUE acceptance bar: one component edit on the Table-VI-scale
+  // subject replays >90% of the units from the cache, byte-identically.
+  auto sys = core::make_scaled_architecture(40, 16);
+  AnalysisSession session(*sys.model, sys.system);
+  session.reanalyze();
+
+  const ObjectId leaf = sys.model->find_by_name(ssam::cls::Component, "Unit20.Leaf3");
+  ASSERT_NE(leaf, model::kNullObject);
+  sys.model->obj(leaf).set_real("fit", 123.0);
+  session.note_edit(leaf);
+
+  const std::string incremental = csv_of(session.reanalyze());
+  const auto& stats = session.last_stats();
+  EXPECT_FALSE(stats.short_circuited);
+  EXPECT_GT(stats.hit_rate(), 0.9) << "hits " << stats.cache_hits << "/" << stats.units;
+  EXPECT_EQ(incremental, csv_of(session.cold_analyze()));
+}
+
+TEST(IncrementalTest, RandomEditSequencesStayByteIdenticalToCold) {
+  // Seeded property test: whatever sequence of FIT edits, new failure
+  // modes, mechanism deployments, rewires and renames is applied — with or
+  // without note_edit announcements — the incremental FMEDA equals a cold
+  // run on the same state, byte for byte.
+  std::mt19937 rng(20260805u);
+  auto sys = core::make_scaled_architecture(5, 4);
+  SsamModel& m = *sys.model;
+  AnalysisSession session(m, sys.system);
+  session.reanalyze();
+
+  std::vector<ObjectId> components;
+  for (const ObjectId c : m.all_components_under(sys.system)) components.push_back(c);
+  ASSERT_FALSE(components.empty());
+
+  size_t total_hits = 0;
+  for (int step = 0; step < 30; ++step) {
+    const ObjectId target = components[rng() % components.size()];
+    switch (rng() % 5) {
+      case 0:
+        m.obj(target).set_real("fit", static_cast<double>(1 + rng() % 500));
+        break;
+      case 1:
+        m.add_failure_mode(target, "FM-" + std::to_string(step),
+                           0.1 + static_cast<double>(rng() % 9) / 10.0, "lossOfFunction");
+        break;
+      case 2:
+        m.add_safety_mechanism(target, "SM-" + std::to_string(step),
+                               0.5 + static_cast<double>(rng() % 5) / 10.0, 1.0,
+                               model::kNullObject);
+        break;
+      case 3: {
+        // Rewire inside a random composite: duplicate one of its existing
+        // relationships' endpoints into a fresh connection.
+        const auto& rels = m.obj(target).refs("relationships");
+        if (rels.empty()) continue;
+        const auto& rel = m.obj(rels[rng() % rels.size()]);
+        m.connect(target, rel.ref("source"), rel.ref("target"));
+        break;
+      }
+      default:
+        m.obj(target).set_string("name", "R" + std::to_string(step));
+        break;
+    }
+    // Half the edits are "silent": the fingerprint diff must catch them
+    // without an announcement.
+    if (rng() % 2 == 0) session.note_edit(target);
+
+    const std::string incremental = csv_of(session.reanalyze());
+    ASSERT_EQ(incremental, csv_of(session.cold_analyze())) << "diverged at step " << step;
+    total_hits += session.last_stats().cache_hits;
+  }
+  // The loop must actually exercise the cache, not just bypass it.
+  EXPECT_GT(total_hits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cache persistence + poisoning
+// ---------------------------------------------------------------------------
+
+TEST(ResultCacheTest, PersistedCacheWarmsAFreshSession) {
+  const std::string path = temp_path("decisive_session_cache_warm.txt");
+  {
+    auto sys = core::make_scaled_architecture(4, 3);
+    AnalysisSession session(*sys.model, sys.system);
+    session.reanalyze();
+    EXPECT_GT(session.cache().size(), 0u);
+    session.cache().save_file(path);
+  }
+
+  // An identically rebuilt model (deterministic object ids) in a new
+  // process-equivalent: every unit replays from the loaded cache.
+  auto sys = core::make_scaled_architecture(4, 3);
+  AnalysisSession session(*sys.model, sys.system);
+  const auto report = session.cache().load_file(path);
+  ASSERT_TRUE(report.loaded) << report.note;
+  EXPECT_GT(report.entries, 0u);
+
+  const std::string incremental = csv_of(session.reanalyze());
+  EXPECT_EQ(session.last_stats().cache_misses, 0u);
+  EXPECT_EQ(session.last_stats().cache_hits, session.last_stats().units);
+  EXPECT_EQ(incremental, csv_of(session.cold_analyze()));
+  std::remove(path.c_str());
+}
+
+TEST(ResultCacheTest, TruncatedFileIsRejectedAndRebuilt) {
+  const std::string path = temp_path("decisive_session_cache_trunc.txt");
+  auto sys = core::make_scaled_architecture(3, 2);
+  AnalysisSession session(*sys.model, sys.system);
+  session.reanalyze();
+  session.cache().save_file(path);
+
+  const std::string content = read_file(path);
+  ASSERT_GT(content.size(), 40u);
+  write_file(path, content.substr(0, content.size() - 40));
+
+  ResultCache cache;
+  const auto report = cache.load_file(path);
+  EXPECT_FALSE(report.loaded);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_NE(report.note.find("rebuilding"), std::string::npos) << report.note;
+  std::remove(path.c_str());
+}
+
+TEST(ResultCacheTest, GarbledByteIsRejectedAndRebuilt) {
+  const std::string path = temp_path("decisive_session_cache_flip.txt");
+  auto sys = core::make_scaled_architecture(3, 2);
+  AnalysisSession session(*sys.model, sys.system);
+  session.reanalyze();
+  session.cache().save_file(path);
+
+  std::string content = read_file(path);
+  content[content.size() / 2] ^= 0x20;  // one bit flip mid-payload
+  write_file(path, content);
+
+  ResultCache cache;
+  const auto report = cache.load_file(path);
+  EXPECT_FALSE(report.loaded);
+  EXPECT_EQ(cache.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ResultCacheTest, ForeignContentAndMissingFileAreHandled) {
+  const std::string path = temp_path("decisive_session_cache_foreign.txt");
+  write_file(path, "hello, I am definitely not a result cache\n");
+  ResultCache cache;
+  EXPECT_FALSE(cache.load_file(path).loaded);
+  EXPECT_EQ(cache.size(), 0u);
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(cache.load_file(temp_path("decisive_no_such_cache.txt")).loaded);
+}
+
+TEST(ResultCacheTest, PoisonedCacheNeverCorruptsTheAnalysis) {
+  // Even if a poisoned file somehow carried a valid checksum, the session
+  // must still produce a correct FMEDA — corrupt *content* is discarded at
+  // load, and a discarded cache only costs misses.
+  const std::string path = temp_path("decisive_session_cache_poison.txt");
+  auto sys = core::make_scaled_architecture(3, 2);
+  AnalysisSession session(*sys.model, sys.system);
+  session.reanalyze();
+  session.cache().save_file(path);
+
+  std::string content = read_file(path);
+  write_file(path, content.substr(0, content.size() / 2));  // hard truncation
+
+  auto fresh_sys = core::make_scaled_architecture(3, 2);
+  AnalysisSession fresh(*fresh_sys.model, fresh_sys.system);
+  const auto report = fresh.cache().load_file(path);
+  EXPECT_FALSE(report.loaded);
+  EXPECT_EQ(csv_of(fresh.reanalyze()), csv_of(fresh.cold_analyze()));
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Service protocol
+// ---------------------------------------------------------------------------
+
+TEST(ServiceTest, ScriptedEditLoopOverOneResidentModel) {
+  ServiceOptions options;
+  options.model_path = DECISIVE_ASSETS_DIR "/brake_chain.ssam";
+  options.component = "BrakeChain";
+
+  std::istringstream in(
+      "# comment lines and blanks are ignored\n"
+      "\n"
+      "reanalyze\n"
+      "set-fit Sensor 120\n"
+      "reanalyze\n"
+      "impact Sensor\n"
+      "metrics\n"
+      "stats\n"
+      "bogus-command\n"
+      "quit\n");
+  std::ostringstream out;
+  EXPECT_EQ(run_service(in, out, options), 0);
+
+  const std::string text = out.str();
+  EXPECT_NE(text.find("same session ready"), std::string::npos);
+  EXPECT_NE(text.find("fit(Sensor) = 120"), std::string::npos);
+  EXPECT_NE(text.find("hit-rate"), std::string::npos);
+  EXPECT_NE(text.find("Impact of changing 'Sensor'"), std::string::npos);
+  EXPECT_NE(text.find("error: unknown command 'bogus-command'"), std::string::npos);
+  // Every non-error request ends in an ok status line.
+  EXPECT_NE(text.find("\nok\n"), std::string::npos);
+}
+
+TEST(ServiceTest, RequestsWithoutAModelFailSoftly) {
+  std::istringstream in("reanalyze\nload nowhere.ssam Nothing\nquit\n");
+  std::ostringstream out;
+  EXPECT_EQ(run_service(in, out, {}), 0);
+  EXPECT_NE(out.str().find("error: no model loaded"), std::string::npos);
+}
+
+TEST(ServiceTest, FailedInitialLoadReturnsTwo) {
+  ServiceOptions options;
+  options.model_path = temp_path("decisive_no_such_model.ssam");
+  options.component = "X";
+  std::istringstream in("quit\n");
+  std::ostringstream out;
+  EXPECT_EQ(run_service(in, out, options), 2);
+}
+
+TEST(ServiceTest, CacheSurvivesAcrossServiceRuns) {
+  const std::string model_path = temp_path("decisive_service_model.ssam");
+  const std::string cache_path = temp_path("decisive_service_cache.txt");
+  {
+    auto sys = core::make_scaled_architecture(3, 2);
+    model::save_xmi_file(model_path, sys.model->repo(), sys.model->meta());
+  }
+
+  std::ostringstream first_out;
+  {
+    ServiceOptions options;
+    options.model_path = model_path;
+    options.component = "System";
+    std::istringstream in("reanalyze\nsave-cache " + cache_path + "\nquit\n");
+    EXPECT_EQ(run_service(in, first_out, options), 0);
+    EXPECT_NE(first_out.str().find("cache saved"), std::string::npos);
+  }
+
+  ServiceOptions options;
+  options.model_path = model_path;
+  options.component = "System";
+  options.cache_path = cache_path;
+  std::istringstream in("reanalyze\nquit\n");
+  std::ostringstream out;
+  EXPECT_EQ(run_service(in, out, options), 0);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("cache loaded"), std::string::npos);
+  EXPECT_NE(text.find("misses 0"), std::string::npos) << text;
+  std::remove(model_path.c_str());
+  std::remove(cache_path.c_str());
+}

@@ -8,8 +8,11 @@
 //   assurance   evaluate a model-based assurance case (.xml)
 //   query       run a query script against any supported external model
 //   scalability evaluate a synthetic model with both repository back-ends
+//   impact      change-impact report for one component (ISO 26262 Part 8)
+//   session     long-lived incremental-analysis service (line protocol)
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <map>
 #include <optional>
 #include <string>
@@ -24,8 +27,10 @@
 #include "decisive/core/circuit_fmea.hpp"
 #include "decisive/core/fta.hpp"
 #include "decisive/core/graph_fmea.hpp"
+#include "decisive/core/impact.hpp"
 #include "decisive/core/monitor.hpp"
 #include "decisive/core/synthetic.hpp"
+#include "decisive/session/service.hpp"
 #include "decisive/ssam/validate.hpp"
 #include "decisive/drivers/datasource.hpp"
 #include "decisive/drivers/mdl.hpp"
@@ -104,7 +109,19 @@ int usage() {
       "  same monitor <design.ssam> [--samples frames.csv] [--include-static]\n"
       "      Generate the runtime monitor from dynamic components; with\n"
       "      --samples, replay a CSV of frames (columns = check ids) through\n"
-      "      it and report the violations.\n");
+      "      it and report the violations.\n\n"
+      "  same impact <design.ssam> <component>\n"
+      "      Change-impact report for one component: the containment\n"
+      "      ancestors, connected neighbours, requirements and hazards a\n"
+      "      change to it can invalidate (ISO 26262 Part 8 change management).\n\n"
+      "  same session [--model <design.ssam> --component <name>] [--jobs N]\n"
+      "            [--cache <file>]\n"
+      "      Long-lived incremental-analysis service: reads one request per\n"
+      "      line from stdin (load / set-fit / rewire / add-failure-mode /\n"
+      "      deploy-sm / impact / reanalyze / table / metrics / stats / save /\n"
+      "      save-cache / load-cache / quit; 'help' lists them). Re-analyses\n"
+      "      replay fingerprint-cached per-component results and report the\n"
+      "      hit rate, dirty-set size and per-phase wall time.\n");
   return 2;
 }
 
@@ -114,7 +131,12 @@ int cmd_monitor(const Args& args) {
   model::load_xmi_file(model.repo(), model.meta(), args.positional[0]);
   auto monitor = core::RuntimeMonitor::generate_all(model, args.has("include-static"));
   std::printf("%s", monitor.to_text().c_str());
-  if (monitor.checks().empty()) return 1;
+  if (monitor.checks().empty()) {
+    // A valid model with nothing to monitor is a clean outcome, not a
+    // failure: only violations (3) and errors (1/2) are non-zero.
+    std::printf("note: no dynamic components; nothing to monitor\n");
+    return 0;
+  }
 
   const auto samples = args.get("samples");
   if (!samples.has_value()) return 0;
@@ -342,6 +364,45 @@ int cmd_query(const Args& args) {
   return 0;
 }
 
+int cmd_impact(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  ssam::SsamModel model;
+  model::load_xmi_file(model.repo(), model.meta(), args.positional[0]);
+  const auto component = model.find_by_name(ssam::cls::Component, args.positional[1]);
+  if (component == model::kNullObject) {
+    std::fprintf(stderr, "error: no component named '%s'\n", args.positional[1].c_str());
+    return 1;
+  }
+  const auto report = core::impact_of_change(model, component);
+  std::printf("%s", report.to_text(model).c_str());
+  return 0;
+}
+
+int cmd_session(const Args& args) {
+  session::ServiceOptions options;
+  // The model can come positionally or via --model; either way a resident
+  // model needs --component to name the analysis root.
+  if (!args.positional.empty()) options.model_path = args.positional[0];
+  if (const auto model = args.get("model")) options.model_path = *model;
+  if (!options.model_path.empty()) {
+    const auto component = args.get("component");
+    if (!component.has_value()) {
+      std::fprintf(stderr, "error: --component <name> is required with a model path\n");
+      return 2;
+    }
+    options.component = *component;
+  }
+  if (const auto cache = args.get("cache")) options.cache_path = *cache;
+  if (const auto jobs = args.get("jobs")) {
+    options.analysis.jobs = static_cast<int>(parse_int(*jobs));
+    if (options.analysis.jobs < 0) {
+      std::fprintf(stderr, "error: --jobs must be >= 0 (0 = all cores)\n");
+      return 2;
+    }
+  }
+  return session::run_service(std::cin, std::cout, options);
+}
+
 int cmd_scalability(const Args& args) {
   if (args.positional.empty()) return usage();
   const auto elements = static_cast<std::uint64_t>(parse_int(args.positional[0]));
@@ -381,6 +442,8 @@ int main(int argc, char** argv) {
     if (command == "validate") return cmd_validate(args);
     if (command == "fta") return cmd_fta(args);
     if (command == "monitor") return cmd_monitor(args);
+    if (command == "impact") return cmd_impact(args);
+    if (command == "session") return cmd_session(args);
     if (command == "help" || command == "--help" || command == "-h") {
       usage();
       return 0;
