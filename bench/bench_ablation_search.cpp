@@ -9,6 +9,8 @@
 //     iteration loop and the front is an analyst-facing view).
 #include <benchmark/benchmark.h>
 
+#include "obs_bench.hpp"
+
 #include <cstdio>
 
 #include "decisive/base/strings.hpp"
@@ -92,7 +94,5 @@ BENCHMARK(BM_ParetoSystemB)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   print_comparison();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench_obs::run_benchmarks(argc, argv, "ablation_search");
 }

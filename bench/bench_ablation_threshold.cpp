@@ -9,6 +9,8 @@
 // threshold passes the next real deviation. A design choice, made visible.
 #include <benchmark/benchmark.h>
 
+#include "obs_bench.hpp"
+
 #include <cstdio>
 
 #include "decisive/base/strings.hpp"
@@ -86,7 +88,5 @@ BENCHMARK(BM_FmeaAtThreshold)->Arg(5)->Arg(20)->Arg(50)->Unit(benchmark::kMillis
 
 int main(int argc, char** argv) {
   print_sweep();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench_obs::run_benchmarks(argc, argv, "ablation_threshold");
 }

@@ -9,6 +9,8 @@
 // the serial one.
 #include <benchmark/benchmark.h>
 
+#include "obs_bench.hpp"
+
 #include <cstdio>
 #include <stdexcept>
 #include <string>
@@ -139,7 +141,5 @@ BENCHMARK(BM_CampaignJobsSweep)
 int main(int argc, char** argv) {
   std::printf("hardware concurrency: %u\n", std::thread::hardware_concurrency());
   verify_determinism();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench_obs::run_benchmarks(argc, argv, "campaign");
 }

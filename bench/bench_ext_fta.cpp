@@ -3,6 +3,8 @@
 // minimal-cut-set enumeration as the size bound grows.
 #include <benchmark/benchmark.h>
 
+#include "obs_bench.hpp"
+
 #include <cstdio>
 
 #include "decisive/base/strings.hpp"
@@ -90,7 +92,5 @@ BENCHMARK(BM_ImportanceMeasuresB);
 
 int main(int argc, char** argv) {
   print_summary();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench_obs::run_benchmarks(argc, argv, "ext_fta");
 }

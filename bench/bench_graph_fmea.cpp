@@ -12,6 +12,8 @@
 // serial-vs-parallel recursive walk.
 #include <benchmark/benchmark.h>
 
+#include "obs_bench.hpp"
+
 #include <cstdio>
 #include <memory>
 #include <set>
@@ -266,7 +268,5 @@ int main(int argc, char** argv) {
   std::printf("hardware concurrency: %u\n", std::thread::hardware_concurrency());
   verify_dense_case();
   verify_determinism();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench_obs::run_benchmarks(argc, argv, "graph_fmea");
 }

@@ -10,6 +10,8 @@
 // re-analysis (subtree short-circuit), and the fingerprint pass itself.
 #include <benchmark/benchmark.h>
 
+#include "obs_bench.hpp"
+
 #include <cstdio>
 #include <stdexcept>
 #include <string>
@@ -118,7 +120,5 @@ BENCHMARK(BM_FingerprintPass)->Arg(16)->Arg(96)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   verify_edit_loop();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench_obs::run_benchmarks(argc, argv, "incremental");
 }

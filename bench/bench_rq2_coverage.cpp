@@ -9,6 +9,8 @@
 //     and B (100% mapping coverage).
 #include <benchmark/benchmark.h>
 
+#include "obs_bench.hpp"
+
 #include <cstdio>
 #include <map>
 
@@ -135,7 +137,5 @@ BENCHMARK(BM_SimulinkToSsam);
 int main(int argc, char** argv) {
   print_block_library_coverage();
   print_ssam_mapping_coverage();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench_obs::run_benchmarks(argc, argv, "rq2_coverage");
 }

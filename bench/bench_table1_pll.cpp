@@ -10,6 +10,8 @@
 // rows and residual single-point rates are then computed by the library.
 #include <benchmark/benchmark.h>
 
+#include "obs_bench.hpp"
+
 #include <cstdio>
 
 #include "decisive/base/strings.hpp"
@@ -126,7 +128,5 @@ BENCHMARK(BM_PllFmeda);
 
 int main(int argc, char** argv) {
   print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench_obs::run_benchmarks(argc, argv, "table1_pll");
 }

@@ -8,6 +8,8 @@
 //   MC        | 300 | RAM Failure 100%
 #include <benchmark/benchmark.h>
 
+#include "obs_bench.hpp"
+
 #include <cstdio>
 #include <stdexcept>
 
@@ -76,7 +78,5 @@ BENCHMARK(BM_ReliabilityLookup);
 
 int main(int argc, char** argv) {
   print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench_obs::run_benchmarks(argc, argv, "table2_reliability");
 }

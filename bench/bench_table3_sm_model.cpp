@@ -4,6 +4,8 @@
 //   MCU       | RAM Failure  | ECC              | 99%  | 2.0
 #include <benchmark/benchmark.h>
 
+#include "obs_bench.hpp"
+
 #include <cstdio>
 #include <stdexcept>
 
@@ -63,7 +65,5 @@ BENCHMARK(BM_SmLookup);
 
 int main(int argc, char** argv) {
   print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench_obs::run_benchmarks(argc, argv, "table3_sm_model");
 }

@@ -10,6 +10,8 @@
 //   SPFM with ECC on MC1:   96.77% (meets ASIL-B)
 #include <benchmark/benchmark.h>
 
+#include "obs_bench.hpp"
+
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
@@ -121,7 +123,5 @@ BENCHMARK(BM_PipelineFromDisk)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench_obs::run_benchmarks(argc, argv, "table4_fmeda");
 }

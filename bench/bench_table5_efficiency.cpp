@@ -20,6 +20,8 @@
 // exact minutes.
 #include <benchmark/benchmark.h>
 
+#include "obs_bench.hpp"
+
 #include <cstdio>
 
 #include "decisive/base/strings.hpp"
@@ -135,7 +137,5 @@ BENCHMARK(BM_AutomatedDesignSessionB)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench_obs::run_benchmarks(argc, argv, "table5_efficiency");
 }

@@ -16,6 +16,8 @@
 // size in O(1) memory.
 #include <benchmark/benchmark.h>
 
+#include "obs_bench.hpp"
+
 #include <cstdio>
 #include <string>
 
@@ -103,7 +105,5 @@ BENCHMARK(BM_IndexedEvaluate)->Arg(109)->Arg(269)->Arg(1369)->Arg(5689)->Arg(568
 
 int main(int argc, char** argv) {
   print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench_obs::run_benchmarks(argc, argv, "table6_scalability");
 }

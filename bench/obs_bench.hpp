@@ -1,0 +1,39 @@
+// Shared observability epilogue for the bench harnesses.
+//
+// Every bench main() funnels through bench_obs::run_benchmarks(): the
+// instrumentation registry is reset so the snapshot covers only this
+// process, google-benchmark runs exactly as before, and a machine-readable
+// BENCH_<name>.json is written to the working directory. The engines are
+// instrumented (see src/obs/), so simply running the benchmarks fills the
+// registry with the counters and latency histograms the snapshot reports —
+// wall-clock percentile estimates (p50/p90/p99) per engine span plus every
+// counter the run touched.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "decisive/obs/registry.hpp"
+
+namespace bench_obs {
+
+inline int run_benchmarks(int argc, char** argv, const std::string& name) {
+  decisive::obs::Registry::global().reset();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  const std::string path = "BENCH_" + name + ".json";
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return 0;
+  }
+  out << "{\"bench\":\"" << name
+      << "\",\"metrics\":" << decisive::obs::Registry::global().to_json() << "}\n";
+  std::fprintf(stderr, "instrumentation snapshot written to %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace bench_obs

@@ -8,12 +8,55 @@
 #include <utility>
 
 #include "decisive/base/error.hpp"
+#include "decisive/obs/registry.hpp"
+#include "decisive/obs/span.hpp"
 #include "decisive/sim/fault.hpp"
 #include "decisive/sim/solver.hpp"
 
 namespace decisive::core {
 
 namespace {
+
+/// Campaign-level instrumentation, cached once per process.
+struct CampaignMetrics {
+  obs::Counter& runs;
+  obs::Counter& tasks;
+  obs::Counter& outcome_converged;
+  obs::Counter& outcome_recovered;
+  obs::Counter& outcome_budget_exhausted;
+  obs::Counter& outcome_singular;
+  obs::Counter& outcome_not_applicable;
+  obs::Gauge& jobs;
+  obs::Histogram& task_seconds;
+  obs::Histogram& run_seconds;
+
+  static CampaignMetrics& get() {
+    auto& registry = obs::Registry::global();
+    static CampaignMetrics metrics{
+        registry.counter("decisive_campaign_runs_total"),
+        registry.counter("decisive_campaign_tasks_total"),
+        registry.counter("decisive_campaign_outcome_converged_total"),
+        registry.counter("decisive_campaign_outcome_recovered_total"),
+        registry.counter("decisive_campaign_outcome_budget_exhausted_total"),
+        registry.counter("decisive_campaign_outcome_singular_total"),
+        registry.counter("decisive_campaign_outcome_not_applicable_total"),
+        registry.gauge("decisive_campaign_jobs"),
+        registry.histogram("decisive_campaign_task_seconds"),
+        registry.histogram("decisive_campaign_run_seconds")};
+    return metrics;
+  }
+};
+
+void count_outcome(const FmedaRow& row) {
+  CampaignMetrics& metrics = CampaignMetrics::get();
+  switch (row.outcome) {
+    case FaultOutcome::Converged: metrics.outcome_converged.add(); break;
+    case FaultOutcome::RecoveredViaLadder: metrics.outcome_recovered.add(); break;
+    case FaultOutcome::BudgetExhausted: metrics.outcome_budget_exhausted.add(); break;
+    case FaultOutcome::Singular: metrics.outcome_singular.add(); break;
+    case FaultOutcome::NotApplicable: metrics.outcome_not_applicable.add(); break;
+  }
+}
 
 /// Classifies one injected fault by comparing operating points.
 EffectClass classify(const CircuitFmeaOptions& options, const sim::OperatingPoint& baseline,
@@ -79,6 +122,9 @@ CampaignRunner::CampaignRunner(const sim::BuiltCircuit& built,
 
 FmedaRow CampaignRunner::run_task(const Task& task,
                                   const sim::OperatingPoint& baseline) const {
+  CampaignMetrics& metrics = CampaignMetrics::get();
+  metrics.tasks.add();
+  obs::Span span("campaign.task", &metrics.task_seconds);
   FmedaRow row;
   row.component = task.component->path;
   row.component_type = task.reliability->component_type;
@@ -141,10 +187,14 @@ FmedaRow CampaignRunner::run_task(const Task& task,
       row.sm_cost_hours = sm->cost_hours;
     }
   }
+  count_outcome(row);
   return row;
 }
 
 FmedaResult CampaignRunner::run() const {
+  CampaignMetrics& metrics = CampaignMetrics::get();
+  metrics.runs.add();
+  obs::Span run_span("campaign.run", &metrics.run_seconds);
   FmedaResult result;
   result.system = "circuit";
   result.warnings = skip_warnings_;
@@ -152,8 +202,12 @@ FmedaResult CampaignRunner::run() const {
   // Step 1: Initialise — baseline operating point (ladder-assisted; a design
   // whose *baseline* does not solve cannot be analysed at all).
   sim::SolveDiagnostics baseline_diagnostics;
-  const auto baseline =
-      sim::try_dc_operating_point(built_.circuit, options_.solver, baseline_diagnostics);
+  std::optional<sim::OperatingPoint> baseline;
+  {
+    obs::Span baseline_span("campaign.baseline");
+    baseline = sim::try_dc_operating_point(built_.circuit, options_.solver,
+                                           baseline_diagnostics);
+  }
   if (!baseline.has_value()) {
     throw SimulationError("baseline operating point did not solve (" +
                           std::string(to_string(baseline_diagnostics.failure)) + ": " +
@@ -168,6 +222,7 @@ FmedaResult CampaignRunner::run() const {
   unsigned jobs = options_.jobs > 0 ? static_cast<unsigned>(options_.jobs)
                                     : std::max(1u, std::thread::hardware_concurrency());
   if (tasks_.size() < jobs) jobs = static_cast<unsigned>(std::max<size_t>(tasks_.size(), 1));
+  metrics.jobs.set(static_cast<double>(jobs));
 
   if (jobs <= 1) {
     for (size_t i = 0; i < tasks_.size(); ++i) rows[i] = run_task(tasks_[i], *baseline);

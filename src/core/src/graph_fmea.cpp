@@ -11,6 +11,8 @@
 
 #include "decisive/base/error.hpp"
 #include "decisive/base/strings.hpp"
+#include "decisive/obs/registry.hpp"
+#include "decisive/obs/span.hpp"
 #include "decisive/ssam/graph.hpp"
 
 namespace decisive::core {
@@ -19,6 +21,32 @@ namespace {
 
 using ssam::ObjectId;
 using ssam::SsamModel;
+
+/// Graph-FMEA instrumentation, cached once per process.
+struct GraphFmeaMetrics {
+  obs::Counter& runs;
+  obs::Counter& units;
+  obs::Counter& cache_hits;
+  obs::Counter& cache_misses;
+  obs::Histogram& collect_seconds;
+  obs::Histogram& analyze_seconds;
+  obs::Histogram& emit_seconds;
+  obs::Histogram& unit_seconds;
+
+  static GraphFmeaMetrics& get() {
+    auto& registry = obs::Registry::global();
+    static GraphFmeaMetrics metrics{
+        registry.counter("decisive_graph_fmea_runs_total"),
+        registry.counter("decisive_graph_fmea_units_total"),
+        registry.counter("decisive_graph_fmea_unit_cache_hits_total"),
+        registry.counter("decisive_graph_fmea_unit_cache_misses_total"),
+        registry.histogram("decisive_graph_fmea_collect_seconds"),
+        registry.histogram("decisive_graph_fmea_analyze_seconds"),
+        registry.histogram("decisive_graph_fmea_emit_seconds"),
+        registry.histogram("decisive_graph_fmea_unit_seconds")};
+    return metrics;
+  }
+};
 
 bool is_loss_nature(const GraphFmeaOptions& options, const std::string& nature) {
   return std::any_of(options.loss_natures.begin(), options.loss_natures.end(),
@@ -126,6 +154,7 @@ std::vector<UnitAnalysis> analyze_units(const SsamModel& ssam, const std::vector
   }
 
   const auto analyze_one = [&](size_t i) {
+    obs::Span span("graph_fmea.unit", &GraphFmeaMetrics::get().unit_seconds);
     try {
       const ssam::ComponentGraph graph = ssam::build_graph(ssam, units[i].component);
       analyses[i].analysis.emplace(graph);
@@ -254,22 +283,35 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 FmedaResult analyze_component(SsamModel& ssam, ObjectId component,
                               const GraphFmeaOptions& options, UnitResultCache* cache,
                               GraphFmeaStats* stats) {
+  GraphFmeaMetrics& metrics = GraphFmeaMetrics::get();
+  metrics.runs.add();
   FmedaResult result;
   result.system = ssam.obj(component).get_string("name");
 
   // Phase A: enumerate the composite components the walk will visit, and ask
   // the cache which of them it can replay.
   const auto collect_start = std::chrono::steady_clock::now();
-  const std::vector<Unit> units = collect_units(ssam, component, options);
-  std::vector<const UnitRecord*> cached(units.size(), nullptr);
-  if (cache != nullptr) {
-    for (size_t i = 0; i < units.size(); ++i) {
-      cached[i] = cache->lookup(units[i].component, units[i].path);
+  std::vector<Unit> units;
+  std::vector<const UnitRecord*> cached;
+  {
+    obs::Span collect_span("graph_fmea.collect", &metrics.collect_seconds);
+    units = collect_units(ssam, component, options);
+    cached.assign(units.size(), nullptr);
+    if (cache != nullptr) {
+      for (size_t i = 0; i < units.size(); ++i) {
+        cached[i] = cache->lookup(units[i].component, units[i].path);
+      }
     }
   }
+  size_t hit_count = 0;
+  for (const auto* record : cached) hit_count += record != nullptr ? 1 : 0;
+  metrics.units.add(units.size());
+  metrics.cache_hits.add(hit_count);
+  metrics.cache_misses.add(units.size() - hit_count);
   if (stats != nullptr) {
     stats->units = units.size();
-    for (const auto* record : cached) (record != nullptr ? stats->cache_hits : stats->cache_misses)++;
+    stats->cache_hits = hit_count;
+    stats->cache_misses = units.size() - hit_count;
     stats->collect_seconds = seconds_since(collect_start);
   }
 
@@ -277,8 +319,11 @@ FmedaResult analyze_component(SsamModel& ssam, ObjectId component,
   // cache hits skip the phase entirely, which is where the incremental
   // speed-up comes from.
   const auto analyze_start = std::chrono::steady_clock::now();
-  const std::vector<UnitAnalysis> analyses =
-      analyze_units(ssam, units, options.jobs, cached);
+  std::vector<UnitAnalysis> analyses;
+  {
+    obs::Span analyze_span("graph_fmea.analyze", &metrics.analyze_seconds);
+    analyses = analyze_units(ssam, units, options.jobs, cached);
+  }
   if (stats != nullptr) stats->analyze_seconds = seconds_since(analyze_start);
   std::map<ObjectId, size_t> unit_index;
   for (size_t i = 0; i < units.size(); ++i) unit_index[units[i].component] = i;
@@ -288,6 +333,7 @@ FmedaResult analyze_component(SsamModel& ssam, ObjectId component,
   // exact order the old recursion used — deterministic for any job count and
   // any cache-hit pattern.
   const auto emit_start = std::chrono::steady_clock::now();
+  obs::Span emit_span("graph_fmea.emit", &metrics.emit_seconds);
   std::vector<UnitRecord> fresh(units.size());  ///< records under construction
   struct Frame {
     size_t unit;

@@ -6,6 +6,8 @@
 
 #include "decisive/base/error.hpp"
 #include "decisive/base/strings.hpp"
+#include "decisive/obs/registry.hpp"
+#include "decisive/obs/span.hpp"
 
 namespace decisive::drivers {
 
@@ -315,7 +317,14 @@ class Parser {
 
 }  // namespace
 
-AadlPackage parse_aadl(std::string_view text) { return Parser(text).parse(); }
+AadlPackage parse_aadl(std::string_view text) {
+  static obs::Counter& parses = obs::Registry::global().counter("decisive_parse_aadl_total");
+  static obs::Histogram& seconds =
+      obs::Registry::global().histogram("decisive_parse_aadl_seconds");
+  parses.add();
+  obs::Span span("parse.aadl", &seconds);
+  return Parser(text).parse();
+}
 
 AadlPackage parse_aadl_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);

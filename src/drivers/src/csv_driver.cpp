@@ -7,6 +7,8 @@
 #include "decisive/base/strings.hpp"
 #include "decisive/drivers/datasource.hpp"
 #include "decisive/drivers/row_ref.hpp"
+#include "decisive/obs/registry.hpp"
+#include "decisive/obs/span.hpp"
 
 namespace decisive::drivers {
 
@@ -54,6 +56,11 @@ class CsvDriver final : public ModelDriver {
   }
 
   [[nodiscard]] std::unique_ptr<DataSource> open(const std::string& location) const override {
+    static obs::Counter& parses = obs::Registry::global().counter("decisive_parse_csv_total");
+    static obs::Histogram& seconds =
+        obs::Registry::global().histogram("decisive_parse_csv_seconds");
+    parses.add();
+    obs::Span span("parse.csv", &seconds);
     return std::make_unique<CsvSource>(location,
                                        std::filesystem::path(location).stem().string(),
                                        read_csv_file(location));

@@ -7,6 +7,8 @@
 #include "decisive/base/json.hpp"
 #include "decisive/base/strings.hpp"
 #include "decisive/drivers/datasource.hpp"
+#include "decisive/obs/registry.hpp"
+#include "decisive/obs/span.hpp"
 
 namespace decisive::drivers {
 
@@ -85,6 +87,11 @@ class JsonDriver final : public ModelDriver {
   }
 
   [[nodiscard]] std::unique_ptr<DataSource> open(const std::string& location) const override {
+    static obs::Counter& parses = obs::Registry::global().counter("decisive_parse_json_total");
+    static obs::Histogram& seconds =
+        obs::Registry::global().histogram("decisive_parse_json_seconds");
+    parses.add();
+    obs::Span span("parse.json", &seconds);
     return std::make_unique<JsonSource>(location, json::parse_file(location));
   }
 };

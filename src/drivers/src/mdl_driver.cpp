@@ -7,6 +7,8 @@
 #include "decisive/base/strings.hpp"
 #include "decisive/drivers/datasource.hpp"
 #include "decisive/drivers/mdl.hpp"
+#include "decisive/obs/registry.hpp"
+#include "decisive/obs/span.hpp"
 
 namespace decisive::drivers {
 
@@ -126,6 +128,11 @@ class MdlDriver final : public ModelDriver {
   }
 
   [[nodiscard]] std::unique_ptr<DataSource> open(const std::string& location) const override {
+    static obs::Counter& parses = obs::Registry::global().counter("decisive_parse_mdl_total");
+    static obs::Histogram& seconds =
+        obs::Registry::global().histogram("decisive_parse_mdl_seconds");
+    parses.add();
+    obs::Span span("parse.mdl", &seconds);
     return std::make_unique<MdlSource>(location, parse_mdl_file(location));
   }
 };

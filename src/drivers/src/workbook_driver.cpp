@@ -10,6 +10,8 @@
 #include "decisive/base/strings.hpp"
 #include "decisive/drivers/datasource.hpp"
 #include "decisive/drivers/row_ref.hpp"
+#include "decisive/obs/registry.hpp"
+#include "decisive/obs/span.hpp"
 
 namespace decisive::drivers {
 
@@ -68,6 +70,12 @@ class WorkbookDriver final : public ModelDriver {
   }
 
   [[nodiscard]] std::unique_ptr<DataSource> open(const std::string& location) const override {
+    static obs::Counter& parses =
+        obs::Registry::global().counter("decisive_parse_workbook_total");
+    static obs::Histogram& seconds =
+        obs::Registry::global().histogram("decisive_parse_workbook_seconds");
+    parses.add();
+    obs::Span span("parse.workbook", &seconds);
     std::error_code ec;
     if (!std::filesystem::is_directory(location, ec)) {
       throw IoError("workbook location '" + location + "' is not a directory");

@@ -8,6 +8,8 @@
 #include "decisive/base/strings.hpp"
 #include "decisive/base/xml.hpp"
 #include "decisive/drivers/datasource.hpp"
+#include "decisive/obs/registry.hpp"
+#include "decisive/obs/span.hpp"
 
 namespace decisive::drivers {
 
@@ -89,6 +91,11 @@ class XmlDriver final : public ModelDriver {
   }
 
   [[nodiscard]] std::unique_ptr<DataSource> open(const std::string& location) const override {
+    static obs::Counter& parses = obs::Registry::global().counter("decisive_parse_xml_total");
+    static obs::Histogram& seconds =
+        obs::Registry::global().histogram("decisive_parse_xml_seconds");
+    parses.add();
+    obs::Span span("parse.xml", &seconds);
     return std::make_unique<XmlSource>(location, xml::parse_file(location));
   }
 };

@@ -1,0 +1,34 @@
+// Minimal leveled logger: every diagnostic that is not part of a command's
+// result goes to stderr through here, so stdout stays reserved for analysis
+// artefacts and protocol responses.
+//
+// The threshold comes from the SAME_LOG environment variable
+// (debug|info|warn|error|off; default warn), read once per process.
+#pragma once
+
+#include <string_view>
+
+namespace decisive::obs {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+[[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
+
+/// Parses a SAME_LOG value; unknown strings return `fallback`.
+[[nodiscard]] LogLevel parse_log_level(std::string_view text, LogLevel fallback) noexcept;
+
+/// The active threshold (SAME_LOG, cached) unless overridden.
+[[nodiscard]] LogLevel log_threshold() noexcept;
+
+/// Overrides the threshold for the rest of the process (tests, CLI flags).
+void set_log_threshold(LogLevel level) noexcept;
+
+[[nodiscard]] inline bool log_enabled(LogLevel level) noexcept {
+  return level >= log_threshold() && log_threshold() != LogLevel::Off;
+}
+
+/// Writes "same [level] message\n" to stderr when `level` passes the
+/// threshold.
+void log(LogLevel level, std::string_view message);
+
+}  // namespace decisive::obs

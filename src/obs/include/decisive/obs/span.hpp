@@ -1,0 +1,58 @@
+// RAII scoped timer: the one instrumentation primitive engines sprinkle on
+// hot paths.
+//
+//   obs::Span span("campaign.task", &task_latency_histogram);
+//
+// On construction the span optionally records a trace 'B' event (when the
+// global TraceCollector is enabled) and reads the monotonic clock (when it
+// will need a duration — i.e. when traced or when a histogram is attached).
+// On destruction it observes the elapsed seconds into the histogram and
+// records the matching 'E' event. A span that is neither traced nor
+// histogram-backed costs exactly one relaxed atomic load.
+//
+// Spans nest per thread (the trace collector keeps one buffer per thread, so
+// B/E events are LIFO-balanced by construction); `name` must be a string
+// literal.
+#pragma once
+
+#include <chrono>
+
+#include "decisive/obs/registry.hpp"
+#include "decisive/obs/trace.hpp"
+
+namespace decisive::obs {
+
+class Span {
+ public:
+  explicit Span(const char* name, Histogram* latency = nullptr) noexcept
+      : name_(name), latency_(latency), traced_(TraceCollector::global().enabled()) {
+    if (traced_) TraceCollector::global().record(name_, 'B');
+    timed_ = traced_ || latency_ != nullptr;
+    if (timed_) start_ = std::chrono::steady_clock::now();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() {
+    if (timed_ && latency_ != nullptr) latency_->observe(seconds());
+    // Only close what was opened: if tracing was enabled mid-span the 'E'
+    // would have no matching 'B' and unbalance the thread's timeline.
+    if (traced_) TraceCollector::global().record(name_, 'E');
+  }
+
+  /// Elapsed seconds since construction; 0 for an un-timed span.
+  [[nodiscard]] double seconds() const noexcept {
+    if (!timed_) return 0.0;
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  const char* name_;
+  Histogram* latency_;
+  bool traced_;
+  bool timed_ = false;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace decisive::obs

@@ -1,0 +1,79 @@
+// Chrome trace-event collector: per-thread timelines of obs::Span begin/end
+// events, exported as trace-event JSON that chrome://tracing and Perfetto
+// load directly.
+//
+// Recording is designed for the campaign/graph-FMEA worker pools:
+//  - when disabled (the default), record() is one relaxed atomic load;
+//  - when enabled, each thread appends to its own buffer — no lock on the
+//    hot path after the first event of a thread;
+//  - event names must be string literals (the collector stores the pointer).
+//
+// enable()/disable()/export must bracket the traced region from a single
+// thread while no worker is mid-record (the CLI enables before the analysis
+// starts and exports after it finishes, when every pool has been joined).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace decisive::obs {
+
+class TraceCollector {
+ public:
+  static TraceCollector& global();
+
+  /// Starts a new trace: drops previously collected events and re-arms the
+  /// clock origin.
+  void enable();
+  void disable() noexcept { enabled_.store(false, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Appends one duration event ('B' begin / 'E' end) to the calling
+  /// thread's buffer. No-op when disabled. `name` must be a string literal.
+  void record(const char* name, char phase);
+
+  /// Renders the collected events as Chrome trace-event JSON
+  /// ({"traceEvents": [...]}), threads sorted by registration order.
+  [[nodiscard]] std::string to_chrome_json() const;
+  /// Writes to_chrome_json() to `path`; throws IoError on failure.
+  void write_file(const std::string& path) const;
+
+  /// Total recorded events (diagnostics / tests).
+  [[nodiscard]] std::size_t event_count() const;
+
+ private:
+  struct Event {
+    const char* name;
+    char phase;  ///< 'B' or 'E'
+    std::uint64_t ts_ns;
+  };
+  struct ThreadBuffer {
+    int tid = 0;
+    std::vector<Event> events;
+  };
+
+  ThreadBuffer* local_buffer();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> epoch_{1};  ///< bumped by enable(); invalidates cached buffers
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::chrono::steady_clock::time_point origin_{};
+};
+
+/// Validates Chrome trace-event JSON: the document parses, every event has
+/// name/ph/ts/pid/tid, timestamps are non-negative, and per thread the B/E
+/// events balance with LIFO nesting (every E matches the innermost open B of
+/// the same name). Returns an empty string when valid, else a description of
+/// the first problem. Shared by `same check-trace` and the test suite.
+[[nodiscard]] std::string validate_chrome_trace(std::string_view text);
+
+}  // namespace decisive::obs

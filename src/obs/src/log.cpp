@@ -1,0 +1,64 @@
+#include "decisive/obs/log.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace decisive::obs {
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "warn";
+}
+
+LogLevel parse_log_level(std::string_view text, LogLevel fallback) noexcept {
+  char lower[16] = {};
+  if (text.size() >= sizeof lower) return fallback;
+  for (size_t i = 0; i < text.size(); ++i) {
+    lower[i] = static_cast<char>(std::tolower(static_cast<unsigned char>(text[i])));
+  }
+  const std::string_view t{lower, text.size()};
+  if (t == "debug") return LogLevel::Debug;
+  if (t == "info") return LogLevel::Info;
+  if (t == "warn" || t == "warning") return LogLevel::Warn;
+  if (t == "error") return LogLevel::Error;
+  if (t == "off" || t == "none") return LogLevel::Off;
+  return fallback;
+}
+
+namespace {
+
+std::atomic<int>& threshold_slot() noexcept {
+  static std::atomic<int> threshold{[] {
+    const char* env = std::getenv("SAME_LOG");
+    return static_cast<int>(env == nullptr ? LogLevel::Warn
+                                           : parse_log_level(env, LogLevel::Warn));
+  }()};
+  return threshold;
+}
+
+}  // namespace
+
+LogLevel log_threshold() noexcept {
+  return static_cast<LogLevel>(threshold_slot().load(std::memory_order_relaxed));
+}
+
+void set_log_threshold(LogLevel level) noexcept {
+  threshold_slot().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void log(LogLevel level, std::string_view message) {
+  if (!log_enabled(level)) return;
+  std::fprintf(stderr, "same [%.*s] %.*s\n", static_cast<int>(to_string(level).size()),
+               to_string(level).data(), static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace decisive::obs

@@ -1,0 +1,181 @@
+#include "decisive/obs/registry.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "decisive/base/error.hpp"
+#include "decisive/base/json.hpp"
+
+namespace decisive::obs {
+
+namespace {
+
+std::string format_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.9g", value);
+  return buffer;
+}
+
+std::string format_count(std::uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%" PRIu64, value);
+  return buffer;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw AnalysisError("histogram bucket bounds must be strictly increasing");
+    }
+  }
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double value) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double current = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(current, current + value, std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> counts(bounds_.size() + 1);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+double Histogram::percentile(double p) const {
+  const std::vector<std::uint64_t> counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  const double rank = p * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (static_cast<double>(seen) >= rank && counts[i] > 0) {
+      // Overflow bucket has no upper bound; report the largest finite one.
+      return i < bounds_.size() ? bounds_[i] : bounds_.empty() ? 0.0 : bounds_.back();
+    }
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+void Histogram::reset() noexcept {
+  for (size_t i = 0; i < bounds_.size() + 1; ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::latency_buckets() {
+  return {1e-6, 1e-5, 1e-4, 2.5e-4, 1e-3, 2.5e-3, 1e-2, 2.5e-2,
+          1e-1, 2.5e-1, 1.0,  2.5,   10.0, 30.0};
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name, std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+std::string Registry::to_prometheus() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + format_count(counter->value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + format_double(gauge->value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out += "# TYPE " + name + " histogram\n";
+    const auto& bounds = histogram->bounds();
+    const auto counts = histogram->bucket_counts();
+    std::uint64_t cumulative = 0;
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += counts[i];
+      out += name + "_bucket{le=\"" + format_double(bounds[i]) + "\"} " +
+             format_count(cumulative) + "\n";
+    }
+    cumulative += counts[bounds.size()];
+    out += name + "_bucket{le=\"+Inf\"} " + format_count(cumulative) + "\n";
+    out += name + "_sum " + format_double(histogram->sum()) + "\n";
+    out += name + "_count " + format_count(histogram->count()) + "\n";
+  }
+  return out;
+}
+
+std::string Registry::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  json::Object counters;
+  for (const auto& [name, counter] : counters_) {
+    counters[name] = json::Value(static_cast<double>(counter->value()));
+  }
+  json::Object gauges;
+  for (const auto& [name, gauge] : gauges_) gauges[name] = json::Value(gauge->value());
+  json::Object histograms;
+  for (const auto& [name, histogram] : histograms_) {
+    json::Object h;
+    h["count"] = json::Value(static_cast<double>(histogram->count()));
+    h["sum"] = json::Value(histogram->sum());
+    h["p50"] = json::Value(histogram->percentile(0.50));
+    h["p90"] = json::Value(histogram->percentile(0.90));
+    h["p99"] = json::Value(histogram->percentile(0.99));
+    histograms[name] = json::Value(std::move(h));
+  }
+  json::Object root;
+  root["counters"] = json::Value(std::move(counters));
+  root["gauges"] = json::Value(std::move(gauges));
+  root["histograms"] = json::Value(std::move(histograms));
+  return json::write(json::Value(std::move(root)));
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) counter->reset();
+  for (const auto& [name, gauge] : gauges_) gauge->reset();
+  for (const auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+}  // namespace decisive::obs

@@ -2,6 +2,9 @@
 
 #include <chrono>
 
+#include "decisive/obs/registry.hpp"
+#include "decisive/obs/span.hpp"
+
 namespace decisive::session {
 
 using ssam::ObjectId;
@@ -11,6 +14,33 @@ namespace {
 double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 }
+
+/// Session-layer instrumentation, cached once per process.
+struct SessionMetrics {
+  obs::Counter& reanalyses;
+  obs::Counter& short_circuits;
+  obs::Counter& cache_hits;
+  obs::Counter& cache_misses;
+  obs::Counter& invalidations;
+  obs::Histogram& dirty_components;
+  obs::Histogram& fingerprint_seconds;
+  obs::Histogram& reanalyze_seconds;
+
+  static SessionMetrics& get() {
+    auto& registry = obs::Registry::global();
+    static SessionMetrics metrics{
+        registry.counter("decisive_session_reanalyses_total"),
+        registry.counter("decisive_session_short_circuits_total"),
+        registry.counter("decisive_session_cache_hits_total"),
+        registry.counter("decisive_session_cache_misses_total"),
+        registry.counter("decisive_session_invalidations_total"),
+        registry.histogram("decisive_session_dirty_components",
+                           {0.0, 1.0, 2.0, 5.0, 10.0, 25.0, 100.0, 1000.0, 10000.0}),
+        registry.histogram("decisive_session_fingerprint_seconds"),
+        registry.histogram("decisive_session_reanalyze_seconds")};
+    return metrics;
+  }
+};
 
 }  // namespace
 
@@ -25,13 +55,20 @@ core::FmedaResult AnalysisSession::cold_analyze() const {
 }
 
 const core::FmedaResult& AnalysisSession::reanalyze() {
+  SessionMetrics& metrics = SessionMetrics::get();
+  metrics.reanalyses.add();
+  obs::Span reanalyze_span("session.reanalyze", &metrics.reanalyze_seconds);
   const auto total_start = std::chrono::steady_clock::now();
   const size_t previous_units = last_stats_.units;
   last_stats_ = Stats{};
 
   // One bottom-up model pass: the fingerprint snapshot of the current state.
   const auto fp_start = std::chrono::steady_clock::now();
-  ModelFingerprints current = fingerprint_model(model_, root_, options_);
+  ModelFingerprints current;
+  {
+    obs::Span fingerprint_span("session.fingerprint", &metrics.fingerprint_seconds);
+    current = fingerprint_model(model_, root_, options_);
+  }
   last_stats_.fingerprint_seconds = seconds_since(fp_start);
 
   // The dirty seed: components whose fingerprint moved, plus announced edits.
@@ -50,6 +87,9 @@ const core::FmedaResult& AnalysisSession::reanalyze() {
     last_stats_.short_circuited = true;
     last_stats_.units = last_stats_.cache_hits = previous_units;
     last_stats_.total_seconds = seconds_since(total_start);
+    metrics.short_circuits.add();
+    metrics.cache_hits.add(previous_units);
+    metrics.dirty_components.observe(0.0);
     previous_ = std::move(current);
     edits_.clear();
     return last_result_;
@@ -73,6 +113,8 @@ const core::FmedaResult& AnalysisSession::reanalyze() {
     for (const ObjectId neighbour : neighbours->second) forced.insert(neighbour);
   }
   last_stats_.widened_components = forced.size() - seeds.size();
+  metrics.dirty_components.observe(static_cast<double>(seeds.size()));
+  metrics.invalidations.add(forced.size());
 
   // Run the analysis with the cache bound to this snapshot.
   const auto analyze_start = std::chrono::steady_clock::now();
@@ -89,6 +131,8 @@ const core::FmedaResult& AnalysisSession::reanalyze() {
   last_stats_.units = graph_stats.units;
   last_stats_.cache_hits = graph_stats.cache_hits;
   last_stats_.cache_misses = graph_stats.cache_misses;
+  metrics.cache_hits.add(graph_stats.cache_hits);
+  metrics.cache_misses.add(graph_stats.cache_misses);
 
   has_result_ = true;
   previous_ = std::move(current);

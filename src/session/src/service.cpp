@@ -10,6 +10,9 @@
 #include "decisive/base/strings.hpp"
 #include "decisive/core/impact.hpp"
 #include "decisive/model/xmi.hpp"
+#include "decisive/obs/log.hpp"
+#include "decisive/obs/registry.hpp"
+#include "decisive/obs/span.hpp"
 #include "decisive/session/incremental.hpp"
 #include "decisive/ssam/model.hpp"
 
@@ -22,12 +25,52 @@ using ssam::SsamModel;
 
 std::string format_ms(double seconds) { return format_number(seconds * 1e3, 3) + "ms"; }
 
+/// Service-level instrumentation. Registered up front (not lazily) so a
+/// `metrics` request always exposes the full catalogue — including the
+/// session cache and latency series — even before the first reanalyze.
+struct ServiceMetrics {
+  obs::Counter& requests;
+  obs::Counter& request_errors;
+  obs::Counter& model_loads;
+  obs::Gauge& spfm;
+  obs::Gauge& rows;
+  obs::Gauge& cache_entries;
+  obs::Histogram& request_seconds;
+
+  static ServiceMetrics& get() {
+    auto& registry = obs::Registry::global();
+    static ServiceMetrics metrics{
+        registry.counter("decisive_session_requests_total"),
+        registry.counter("decisive_session_request_errors_total"),
+        registry.counter("decisive_session_model_loads_total"),
+        registry.gauge("decisive_session_spfm"),
+        registry.gauge("decisive_session_rows"),
+        registry.gauge("decisive_session_cache_entries"),
+        registry.histogram("decisive_session_request_seconds")};
+    return metrics;
+  }
+
+  /// Touches every series other layers register lazily, so the exposition is
+  /// complete from the first request of a fresh process.
+  static void preregister() {
+    auto& registry = obs::Registry::global();
+    registry.counter("decisive_session_reanalyses_total");
+    registry.counter("decisive_session_short_circuits_total");
+    registry.counter("decisive_session_cache_hits_total");
+    registry.counter("decisive_session_cache_misses_total");
+    registry.counter("decisive_session_invalidations_total");
+    get();
+  }
+};
+
 /// The resident state of one service run.
 class Service {
  public:
   Service(std::ostream& out, const core::GraphFmeaOptions& analysis,
           std::string default_cache_path)
-      : out_(out), analysis_(analysis), default_cache_path_(std::move(default_cache_path)) {}
+      : out_(out), analysis_(analysis), default_cache_path_(std::move(default_cache_path)) {
+    ServiceMetrics::preregister();
+  }
 
   /// Dispatches one request line; returns false when the loop should end.
   bool handle(const std::string& line) {
@@ -35,7 +78,9 @@ class Service {
     if (trimmed.empty() || trimmed.front() == '#') return true;
     const std::vector<std::string> tokens = split(trimmed, ' ');
     const std::string& command = tokens.front();
-    ++requests_;
+    ServiceMetrics& metrics = ServiceMetrics::get();
+    metrics.requests.add();
+    obs::Span span("session.request", &metrics.request_seconds);
     try {
       if (command == "quit") {
         out_ << "ok\n";
@@ -50,6 +95,7 @@ class Service {
       else if (command == "impact") cmd_impact(tokens);
       else if (command == "reanalyze") cmd_reanalyze();
       else if (command == "table") cmd_table();
+      else if (command == "result") cmd_result();
       else if (command == "metrics") cmd_metrics();
       else if (command == "stats") cmd_stats();
       else if (command == "save") cmd_save(tokens);
@@ -58,6 +104,11 @@ class Service {
       else throw ModelError("unknown command '" + command + "' (try: help)");
       out_ << "ok\n";
     } catch (const Error& error) {
+      // The protocol answer goes to the client; the stderr diagnostic goes
+      // through the leveled logger so scripts piping stdout stay clean.
+      metrics.request_errors.add();
+      obs::log(obs::LogLevel::Info,
+               "session request '" + command + "' failed: " + error.what());
       out_ << "error: " << error.what() << "\n";
     }
     out_.flush();
@@ -74,7 +125,7 @@ class Service {
     session_.reset();  // order matters: the session references the old model
     model_ = std::move(model);
     session_.emplace(*model_, root, analysis_);
-    ++loads_;
+    ServiceMetrics::get().model_loads.add();
     out_ << "loaded " << path << " (" << model_->size() << " elements), root '"
          << component_name << "'\n";
     return true;
@@ -85,6 +136,7 @@ class Service {
     if (report.loaded) {
       out_ << "cache loaded: " << report.entries << " entries\n";
     } else {
+      obs::log(obs::LogLevel::Warn, "result cache at '" + path + "' rebuilt: " + report.note);
       out_ << "cache rebuilt: " << report.note << "\n";
     }
   }
@@ -125,7 +177,8 @@ class Service {
             "  impact <component>                 change-impact report\n"
             "  reanalyze                          incremental FMEA + stats\n"
             "  table                              last FMEDA table\n"
-            "  metrics                            last SPFM / ASIL\n"
+            "  result                             last SPFM / ASIL\n"
+            "  metrics                            Prometheus-style instrumentation dump\n"
             "  stats                              cumulative session stats\n"
             "  save <model.ssam>                  persist the model\n"
             "  save-cache [<path>] / load-cache [<path>]   default: the --cache path\n"
@@ -193,9 +246,10 @@ class Service {
     AnalysisSession& session = require_session();
     const core::FmedaResult& result = session.reanalyze();
     const AnalysisSession::Stats& stats = session.last_stats();
-    ++reanalyses_;
-    total_hits_ += stats.cache_hits;
-    total_units_ += stats.units;
+    ServiceMetrics& metrics = ServiceMetrics::get();
+    metrics.spfm.set(result.spfm());
+    metrics.rows.set(static_cast<double>(result.rows.size()));
+    metrics.cache_entries.set(static_cast<double>(session.cache().size()));
     if (stats.short_circuited) out_ << "short-circuit (model unchanged)\n";
     out_ << "rows " << result.rows.size() << " spfm " << format_percent(result.spfm()) << " "
          << result.asil_label() << "\n";
@@ -216,7 +270,7 @@ class Service {
     }
   }
 
-  void cmd_metrics() {
+  void cmd_result() {
     if (!require_session().has_result()) throw ModelError("no analysis yet (use: reanalyze)");
     const core::FmedaResult& result = session_->last_result();
     out_ << "spfm " << format_percent(result.spfm()) << "\n";
@@ -226,15 +280,27 @@ class Service {
          << result.warnings.size() << "\n";
   }
 
+  void cmd_metrics() {
+    if (session_.has_value()) {
+      ServiceMetrics::get().cache_entries.set(static_cast<double>(session_->cache().size()));
+    }
+    out_ << obs::Registry::global().to_prometheus();
+  }
+
   void cmd_stats() {
-    out_ << "requests " << requests_ << " reanalyses " << reanalyses_ << " model-loads "
-         << loads_ << "\n";
+    auto& registry = obs::Registry::global();
+    const std::uint64_t hits = registry.counter("decisive_session_cache_hits_total").value();
+    const std::uint64_t misses =
+        registry.counter("decisive_session_cache_misses_total").value();
+    out_ << "requests " << ServiceMetrics::get().requests.value() << " reanalyses "
+         << registry.counter("decisive_session_reanalyses_total").value() << " model-loads "
+         << ServiceMetrics::get().model_loads.value() << "\n";
     out_ << "cache entries " << (session_.has_value() ? session_->cache().size() : 0)
          << " cumulative-hit-rate "
-         << format_percent(total_units_ == 0
+         << format_percent(hits + misses == 0
                                ? 0.0
-                               : static_cast<double>(total_hits_) /
-                                     static_cast<double>(total_units_))
+                               : static_cast<double>(hits) /
+                                     static_cast<double>(hits + misses))
          << "\n";
   }
 
@@ -269,12 +335,6 @@ class Service {
   std::string default_cache_path_;
   std::unique_ptr<SsamModel> model_;
   std::optional<AnalysisSession> session_;
-
-  size_t requests_ = 0;
-  size_t reanalyses_ = 0;
-  size_t loads_ = 0;
-  size_t total_hits_ = 0;
-  size_t total_units_ = 0;
 };
 
 }  // namespace
@@ -286,6 +346,8 @@ int run_service(std::istream& in, std::ostream& out, const ServiceOptions& optio
       service.load(options.model_path, options.component);
       if (!options.cache_path.empty()) service.load_cache(options.cache_path);
     } catch (const Error& error) {
+      obs::log(obs::LogLevel::Error,
+               std::string("session initial load failed: ") + error.what());
       out << "error: " << error.what() << "\n";
       return 2;
     }

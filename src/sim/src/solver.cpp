@@ -9,8 +9,43 @@
 #include <utility>
 
 #include "decisive/base/error.hpp"
+#include "decisive/obs/registry.hpp"
+#include "decisive/obs/span.hpp"
 
 namespace decisive::sim {
+
+namespace {
+
+/// Registry handles cached once per process: a solve costs a handful of
+/// relaxed atomic increments, never a registry lookup.
+struct SolverMetrics {
+  obs::Counter& solves;
+  obs::Counter& converged;
+  obs::Counter& iterations;
+  obs::Counter& gmin_rungs;
+  obs::Counter& source_rungs;
+  obs::Counter& nonfinite_guard;
+  obs::Counter& singular;
+  obs::Counter& budget_exhausted;
+  obs::Histogram& solve_seconds;
+
+  static SolverMetrics& get() {
+    auto& registry = obs::Registry::global();
+    static SolverMetrics metrics{
+        registry.counter("decisive_solver_solves_total"),
+        registry.counter("decisive_solver_converged_total"),
+        registry.counter("decisive_solver_iterations_total"),
+        registry.counter("decisive_solver_ladder_gmin_total"),
+        registry.counter("decisive_solver_ladder_source_total"),
+        registry.counter("decisive_solver_nonfinite_guard_total"),
+        registry.counter("decisive_solver_singular_total"),
+        registry.counter("decisive_solver_budget_exhausted_total"),
+        registry.histogram("decisive_solver_solve_seconds")};
+    return metrics;
+  }
+};
+
+}  // namespace
 
 std::string_view to_string(SolveStrategy strategy) noexcept {
   switch (strategy) {
@@ -265,6 +300,7 @@ NewtonAttempt attempt_solve(const Circuit& circuit, const SolveOptions& opt,
     try {
       x_new = solve_linear(std::move(a), std::move(rhs));
     } catch (const SimulationError& error) {
+      SolverMetrics::get().singular.add();
       return give_up(SolveFailure::Singular, error.what());
     }
 
@@ -273,6 +309,7 @@ NewtonAttempt attempt_solve(const Circuit& circuit, const SolveOptions& opt,
     // masquerade as "singular" once it reaches the diode stamps.
     for (const double value : x_new) {
       if (!std::isfinite(value)) {
+        SolverMetrics::get().nonfinite_guard.add();
         return give_up(SolveFailure::NonFinite,
                        "newton iterate is not finite (NaN/Inf in circuit values?)");
       }
@@ -408,6 +445,9 @@ std::vector<std::complex<double>> solve_linear_complex(
 std::optional<OperatingPoint> try_dc_operating_point(const Circuit& circuit,
                                                      const SolveOptions& options,
                                                      SolveDiagnostics& diagnostics) {
+  SolverMetrics& metrics = SolverMetrics::get();
+  metrics.solves.add();
+  obs::Span span("solver.dc", &metrics.solve_seconds);
   const auto start = std::chrono::steady_clock::now();
   Deadline deadline;
   if (options.max_wall_clock_seconds > 0.0) {
@@ -427,6 +467,15 @@ std::optional<OperatingPoint> try_dc_operating_point(const Circuit& circuit,
     diagnostics.message = attempt.converged ? std::string() : std::move(attempt.message);
     diagnostics.elapsed_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    metrics.iterations.add(static_cast<std::uint64_t>(diagnostics.iterations));
+    if (rung >= 1) metrics.gmin_rungs.add();
+    if (rung >= 2) metrics.source_rungs.add();
+    if (attempt.converged) {
+      metrics.converged.add();
+    } else if (diagnostics.failure == SolveFailure::IterationBudget ||
+               diagnostics.failure == SolveFailure::WallClockBudget) {
+      metrics.budget_exhausted.add();
+    }
     if (!attempt.converged) return std::nullopt;
     return make_operating_point(circuit, attempt.result);
   };

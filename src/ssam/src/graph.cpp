@@ -7,6 +7,8 @@
 
 #include "decisive/base/error.hpp"
 #include "decisive/base/strings.hpp"
+#include "decisive/obs/registry.hpp"
+#include "decisive/obs/span.hpp"
 
 namespace decisive::ssam {
 
@@ -326,6 +328,13 @@ SinglePointAnalysis::SinglePointAnalysis(const ComponentGraph& graph) {
     }
   }
   if (!irregular) return;
+  // Irregular wiring forces the exact per-subcomponent re-check; the counter
+  // makes this slow path visible at runtime (it defeats the dominator
+  // shortcut, so a model that trips it constantly deserves attention).
+  static obs::Counter& exact_fallbacks =
+      obs::Registry::global().counter("decisive_graph_fmea_exact_fallback_total");
+  exact_fallbacks.add();
+  obs::Span fallback_span("graph_fmea.exact_fallback");
 
   for (const auto& [owner, sv] : owner_super) {
     if (verdict_[owner]) continue;

@@ -252,7 +252,7 @@ TEST(Cli, SessionRunsAScriptedLoop) {
   const auto script = (tmp.path / "script.txt").string();
   {
     FILE* f = fopen(script.c_str(), "w");
-    fputs("reanalyze\nset-fit Sensor 120\nreanalyze\nmetrics\nquit\n", f);
+    fputs("reanalyze\nset-fit Sensor 120\nreanalyze\nresult\nmetrics\nquit\n", f);
     fclose(f);
   }
   const auto result = run("session " + kAssets +
@@ -261,6 +261,94 @@ TEST(Cli, SessionRunsAScriptedLoop) {
   EXPECT_NE(result.output.find("same session ready"), std::string::npos);
   EXPECT_NE(result.output.find("hit-rate"), std::string::npos);
   EXPECT_NE(result.output.find("spfm"), std::string::npos);
+  // The `metrics` request answers Prometheus text from the process-wide
+  // instrumentation registry.
+  EXPECT_NE(result.output.find("decisive_session_cache_hits_total"), std::string::npos);
+  EXPECT_NE(result.output.find("decisive_session_request_seconds_bucket"),
+            std::string::npos);
+}
+
+TEST(Cli, CampaignIsAnAliasForFmea) {
+  const auto result = run("campaign " + kAssets + "/power_supply.mdl --reliability " +
+                          kAssets + "/reliability_workbook --goals CS1,MC1");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("5.38%"), std::string::npos);
+}
+
+TEST(Cli, TraceFlagWritesAValidChromeTrace) {
+  TempDir tmp;
+  const auto trace = (tmp.path / "trace.json").string();
+  const auto result = run("campaign " + kAssets + "/power_supply.mdl --reliability " +
+                          kAssets + "/reliability_workbook --jobs 2 --trace " + trace);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("trace:"), std::string::npos);
+  const auto check = run("check-trace " + trace);
+  EXPECT_EQ(check.exit_code, 0) << check.output;
+  EXPECT_NE(check.output.find("well-formed"), std::string::npos);
+}
+
+TEST(Cli, GraphFmeaSupportsTracingToo) {
+  TempDir tmp;
+  const auto trace = (tmp.path / "trace.json").string();
+  const auto result = run("graph-fmea " + kAssets +
+                          "/brake_chain.ssam --component BrakeChain --trace " + trace);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  const auto check = run("check-trace " + trace);
+  EXPECT_EQ(check.exit_code, 0) << check.output;
+}
+
+TEST(Cli, CheckTraceRejectsGarbage) {
+  TempDir tmp;
+  const auto bogus = (tmp.path / "bogus.json").string();
+  {
+    std::ofstream out(bogus);
+    out << "this is not a trace\n";
+  }
+  const auto result = run("check-trace " + bogus);
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("invalid trace"), std::string::npos);
+}
+
+TEST(Cli, TraceRequiresAnOutputPath) {
+  const auto result = run("campaign " + kAssets + "/power_supply.mdl --trace");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--trace requires"), std::string::npos);
+}
+
+TEST(Cli, MetricsDumpListsEngineCounters) {
+  TempDir tmp;
+  const auto metrics = (tmp.path / "metrics.txt").string();
+  const auto result = run("graph-fmea " + kAssets +
+                          "/brake_chain.ssam --component BrakeChain --metrics " + metrics);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  std::ifstream in(metrics);
+  ASSERT_TRUE(in.good());
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("decisive_graph_fmea_runs_total 1"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE decisive_graph_fmea_unit_seconds histogram"),
+            std::string::npos);
+}
+
+TEST(Cli, FmedaIsByteIdenticalWithAndWithoutTrace) {
+  TempDir tmp;
+  const auto plain_csv = (tmp.path / "plain.csv").string();
+  const auto traced_csv = (tmp.path / "traced.csv").string();
+  const auto trace = (tmp.path / "trace.json").string();
+  const std::string base = "campaign " + kAssets + "/power_supply.mdl --reliability " +
+                           kAssets + "/reliability_workbook --jobs 2 --goals CS1,MC1";
+  const auto plain = run(base + " --out " + plain_csv);
+  const auto traced = run(base + " --out " + traced_csv + " --trace " + trace);
+  EXPECT_EQ(plain.exit_code, 0) << plain.output;
+  EXPECT_EQ(traced.exit_code, 0) << traced.output;
+
+  const auto read = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  };
+  const std::string plain_bytes = read(plain_csv);
+  EXPECT_FALSE(plain_bytes.empty());
+  EXPECT_EQ(plain_bytes, read(traced_csv));
 }
 
 TEST(Cli, SessionRequiresComponentWithModelPath) {

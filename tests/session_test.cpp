@@ -320,6 +320,7 @@ TEST(ServiceTest, ScriptedEditLoopOverOneResidentModel) {
       "set-fit Sensor 120\n"
       "reanalyze\n"
       "impact Sensor\n"
+      "result\n"
       "metrics\n"
       "stats\n"
       "bogus-command\n"
@@ -332,6 +333,18 @@ TEST(ServiceTest, ScriptedEditLoopOverOneResidentModel) {
   EXPECT_NE(text.find("fit(Sensor) = 120"), std::string::npos);
   EXPECT_NE(text.find("hit-rate"), std::string::npos);
   EXPECT_NE(text.find("Impact of changing 'Sensor'"), std::string::npos);
+  // `result` replays the last SPFM / ASIL summary.
+  EXPECT_NE(text.find("\nspfm "), std::string::npos);
+  EXPECT_NE(text.find("\nasil "), std::string::npos);
+  // `metrics` answers a Prometheus dump of the instrumentation registry,
+  // cache hit/miss counters and request latency histogram included.
+  EXPECT_NE(text.find("# TYPE decisive_session_cache_hits_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("decisive_session_cache_misses_total"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE decisive_session_request_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("decisive_session_request_seconds_bucket{le=\"+Inf\"}"),
+            std::string::npos);
   EXPECT_NE(text.find("error: unknown command 'bogus-command'"), std::string::npos);
   // Every non-error request ends in an ok status line.
   EXPECT_NE(text.find("\nok\n"), std::string::npos);

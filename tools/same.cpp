@@ -10,11 +10,17 @@
 //   scalability evaluate a synthetic model with both repository back-ends
 //   impact      change-impact report for one component (ISO 26262 Part 8)
 //   session     long-lived incremental-analysis service (line protocol)
+//   check-trace validate a Chrome trace-event file produced by --trace
+//
+// Global flags: --trace <out.json> (Chrome trace of every engine span) and
+// --metrics [<file>] (Prometheus dump of the instrumentation registry).
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -30,6 +36,8 @@
 #include "decisive/core/impact.hpp"
 #include "decisive/core/monitor.hpp"
 #include "decisive/core/synthetic.hpp"
+#include "decisive/obs/registry.hpp"
+#include "decisive/obs/trace.hpp"
 #include "decisive/session/service.hpp"
 #include "decisive/ssam/validate.hpp"
 #include "decisive/drivers/datasource.hpp"
@@ -118,10 +126,26 @@ int usage() {
       "            [--cache <file>]\n"
       "      Long-lived incremental-analysis service: reads one request per\n"
       "      line from stdin (load / set-fit / rewire / add-failure-mode /\n"
-      "      deploy-sm / impact / reanalyze / table / metrics / stats / save /\n"
-      "      save-cache / load-cache / quit; 'help' lists them). Re-analyses\n"
-      "      replay fingerprint-cached per-component results and report the\n"
-      "      hit rate, dirty-set size and per-phase wall time.\n");
+      "      deploy-sm / impact / reanalyze / table / result / metrics /\n"
+      "      stats / save / save-cache / load-cache / quit; 'help' lists\n"
+      "      them). Re-analyses replay fingerprint-cached per-component\n"
+      "      results and report the hit rate, dirty-set size and per-phase\n"
+      "      wall time; 'metrics' answers a Prometheus-style dump of the\n"
+      "      process-wide instrumentation registry.\n\n"
+      "  same check-trace <trace.json>\n"
+      "      Validate a Chrome trace-event file: JSON well-formedness,\n"
+      "      monotonic timestamps and balanced begin/end pairs per thread.\n\n"
+      "global flags (any subcommand):\n"
+      "  --trace <out.json>   record spans of every engine to a Chrome\n"
+      "                       trace-event file (open in about://tracing or\n"
+      "                       https://ui.perfetto.dev). Analysis artefacts\n"
+      "                       are byte-identical with or without tracing.\n"
+      "  --metrics [<file>]   after the command, dump the instrumentation\n"
+      "                       registry in Prometheus text format to <file>\n"
+      "                       (stderr when no file is given).\n"
+      "\n"
+      "  `same campaign` is an alias for `same fmea` (the fault-injection\n"
+      "  campaign engine).\n");
   return 2;
 }
 
@@ -425,33 +449,100 @@ int cmd_scalability(const Args& args) {
   return 0;
 }
 
+int cmd_check_trace(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const std::string& path = args.positional[0];
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open trace file '%s'\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string problem = obs::validate_chrome_trace(buffer.str());
+  if (!problem.empty()) {
+    std::fprintf(stderr, "invalid trace %s: %s\n", path.c_str(), problem.c_str());
+    return 1;
+  }
+  std::printf("ok: %s is a well-formed Chrome trace\n", path.c_str());
+  return 0;
+}
+
+int dispatch(const std::string& command, const Args& args) {
+  // `campaign` names what the command actually runs (the fault-injection
+  // campaign engine); `fmea` is the historical spelling.
+  if (command == "fmea" || command == "campaign") return cmd_fmea(args);
+  if (command == "graph-fmea") return cmd_graph_fmea(args);
+  if (command == "import") return cmd_import(args);
+  if (command == "export") return cmd_export(args);
+  if (command == "assurance") return cmd_assurance(args);
+  if (command == "query") return cmd_query(args);
+  if (command == "scalability") return cmd_scalability(args);
+  if (command == "validate") return cmd_validate(args);
+  if (command == "fta") return cmd_fta(args);
+  if (command == "monitor") return cmd_monitor(args);
+  if (command == "impact") return cmd_impact(args);
+  if (command == "session") return cmd_session(args);
+  if (command == "check-trace") return cmd_check_trace(args);
+  if (command == "help" || command == "--help" || command == "-h") {
+    usage();
+    return 0;
+  }
+  std::fprintf(stderr, "same: unknown command '%s'\n", command.c_str());
+  return usage();
+}
+
+/// The observability epilogue, shared by every subcommand. Both artefacts go
+/// to stderr/side files so stdout (tables, CSVs, session replies) stays
+/// byte-identical with instrumentation on or off.
+int finish_instrumentation(const Args& args, const std::optional<std::string>& trace_path) {
+  if (trace_path.has_value()) {
+    auto& collector = obs::TraceCollector::global();
+    collector.disable();
+    collector.write_file(*trace_path);
+    std::fprintf(stderr, "trace: %zu events written to %s\n", collector.event_count(),
+                 trace_path->c_str());
+  }
+  if (const auto metrics = args.get("metrics")) {
+    const std::string text = obs::Registry::global().to_prometheus();
+    if (*metrics == "true") {
+      std::fputs(text.c_str(), stderr);
+    } else {
+      std::ofstream out(*metrics, std::ios::binary);
+      if (!out) throw IoError("cannot write metrics file '" + *metrics + "'");
+      out << text;
+      std::fprintf(stderr, "metrics written to %s\n", metrics->c_str());
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const Args args = parse_args(argc, argv, 2);
-  try {
-    if (command == "fmea") return cmd_fmea(args);
-    if (command == "graph-fmea") return cmd_graph_fmea(args);
-    if (command == "import") return cmd_import(args);
-    if (command == "export") return cmd_export(args);
-    if (command == "assurance") return cmd_assurance(args);
-    if (command == "query") return cmd_query(args);
-    if (command == "scalability") return cmd_scalability(args);
-    if (command == "validate") return cmd_validate(args);
-    if (command == "fta") return cmd_fta(args);
-    if (command == "monitor") return cmd_monitor(args);
-    if (command == "impact") return cmd_impact(args);
-    if (command == "session") return cmd_session(args);
-    if (command == "help" || command == "--help" || command == "-h") {
-      usage();
-      return 0;
+  const auto trace_path = args.get("trace");
+  if (trace_path.has_value()) {
+    if (*trace_path == "true") {
+      std::fprintf(stderr, "error: --trace requires an output path\n");
+      return 2;
     }
+    obs::TraceCollector::global().enable();
+  }
+  int rc;
+  try {
+    rc = dispatch(command, args);
   } catch (const Error& error) {
     std::fprintf(stderr, "same: %s\n", error.what());
-    return 1;
+    rc = 1;
   }
-  std::fprintf(stderr, "same: unknown command '%s'\n", command.c_str());
-  return usage();
+  try {
+    finish_instrumentation(args, trace_path);
+  } catch (const Error& error) {
+    std::fprintf(stderr, "same: %s\n", error.what());
+    if (rc == 0) rc = 1;
+  }
+  return rc;
 }
