@@ -1,18 +1,26 @@
-// Ablation: greedy vs exhaustive-Pareto safety-mechanism deployment
-// (DECISIVE Step 4b's automation — "search for the pareto front of viable
-// solutions").
+// Ablation: safety-mechanism deployment search engines (DECISIVE Step 4b —
+// "search for the pareto front of viable solutions").
 //
-// Compares, on Systems A and B:
-//   - the cost of the greedy ASIL-B deployment vs the cheapest point on the
-//     exhaustive Pareto front that meets ASIL-B (greedy optimality gap);
-//   - the runtime of both searches (why greedy is the default inside the
-//     iteration loop and the front is an analyst-facing view).
+// Three comparisons:
+//   - DP Pareto engine vs the seed-era exhaustive enumerator (retained as
+//     pareto_front_exhaustive) on Systems A and B: identical, oracle-verified
+//     fronts, and the speedup of dominance-pruned label merging;
+//   - greedy vs branch-and-bound optimal ASIL deployment cost (the greedy
+//     optimality gap, now measured against a provable optimum);
+//   - a make_scaled_architecture subject with hundreds of open rows, where
+//     the exhaustive enumerator throws AnalysisError and the DP engine
+//     completes (with a --jobs sweep over the parallel merge tree).
 #include <benchmark/benchmark.h>
 
 #include "obs_bench.hpp"
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <functional>
+#include <vector>
 
+#include "decisive/base/error.hpp"
 #include "decisive/base/strings.hpp"
 #include "decisive/base/table.hpp"
 #include "decisive/core/graph_fmea.hpp"
@@ -33,42 +41,151 @@ Prepared prepare(core::SyntheticSystem (*make)(), const char* name) {
   return {core::analyze_component(*system.model, system.system), name};
 }
 
+core::FmedaResult prepare_scaled(size_t composites, size_t leaves) {
+  auto system = core::make_scaled_architecture(composites, leaves);
+  return core::analyze_component(*system.model, system.system);
+}
+
+size_t open_rows(const core::FmedaResult& fmea) {
+  size_t open = 0;
+  for (const auto& row : fmea.rows) {
+    if (row.safety_related && row.safety_mechanism.empty()) ++open;
+  }
+  return open;
+}
+
+double seconds_of(const std::function<void()>& work) {
+  const auto start = std::chrono::steady_clock::now();
+  work();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+/// Set-identity of two fronts on the reported (cost, SPFM) values.
+bool fronts_equal(const std::vector<core::Deployment>& a,
+                  const std::vector<core::Deployment>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i].total_cost_hours - b[i].total_cost_hours) > 1e-6) return false;
+    if (std::abs(a[i].spfm - b[i].spfm) > 1e-9) return false;
+  }
+  return true;
+}
+
+/// Six graded options per open (type, mode): the "rich catalogue" regime
+/// where the seed enumerator's O(prod choices) blows up even on ~8 rows.
+core::SafetyMechanismModel dense_catalogue(const core::FmedaResult& fmea) {
+  core::SafetyMechanismModel catalogue;
+  std::vector<std::string> seen;
+  for (const auto& row : fmea.rows) {
+    if (!row.safety_related || !row.safety_mechanism.empty()) continue;
+    const std::string key = row.component_type + "\x1f" + row.failure_mode;
+    bool duplicate = false;
+    for (const auto& s : seen) duplicate = duplicate || s == key;
+    if (duplicate) continue;
+    seen.push_back(key);
+    for (int k = 0; k < 6; ++k) {
+      catalogue.add({row.component_type, row.failure_mode,
+                     "Option" + std::to_string(k), 0.55 + 0.07 * k,
+                     0.5 + 0.9 * k});
+    }
+  }
+  return catalogue;
+}
+
 void print_comparison() {
-  std::printf("== Ablation: greedy vs Pareto mechanism deployment ==\n\n");
-  const auto catalogue = core::synthetic_sm_catalogue();
-  TextTable table({"System", "open SR rows", "greedy cost (h)", "greedy SPFM",
-                   "cheapest ASIL-B on front (h)", "front size", "gap"});
-  for (const auto& subject : {prepare(&core::make_system_a, "A"),
-                              prepare(&core::make_system_b, "B")}) {
-    const auto greedy = core::greedy_reach_asil(subject.fmea, catalogue, "ASIL-B");
-    const auto front = core::pareto_front(subject.fmea, catalogue);
-    const core::Deployment* cheapest = nullptr;
-    for (const auto& d : front) {
-      if (d.spfm >= 0.90) {
-        cheapest = &d;
-        break;
-      }
-    }
-    size_t open = 0;
-    for (const auto& row : subject.fmea.rows) {
-      if (row.safety_related && row.safety_mechanism.empty()) ++open;
-    }
-    const double greedy_cost = greedy ? greedy->total_cost_hours : -1.0;
-    const double optimal_cost = cheapest ? cheapest->total_cost_hours : -1.0;
-    table.add_row({subject.name, std::to_string(open),
-                   format_number(greedy_cost, 1),
-                   greedy ? format_percent(greedy->spfm) : "-",
-                   format_number(optimal_cost, 1), std::to_string(front.size()),
-                   greedy && cheapest
-                       ? format_number(greedy_cost - optimal_cost, 1) + " h"
-                       : "-"});
+  std::printf("== Ablation: deployment-search engines (DP vs seed enumerator) ==\n\n");
+  const auto shared = core::synthetic_sm_catalogue();
+  TextTable table({"System", "open SR rows", "front", "seed enum (ms)", "DP (ms)",
+                   "speedup", "fronts equal", "greedy cost (h)", "optimal cost (h)"});
+  const auto subject_a = prepare(&core::make_system_a, "A");
+  const auto subject_b = prepare(&core::make_system_b, "B");
+  const auto dense = dense_catalogue(subject_b.fmea);
+  const struct {
+    const Prepared* subject;
+    const core::SafetyMechanismModel* catalogue;
+    const char* name;
+  } cases[] = {{&subject_a, &shared, "A"},
+               {&subject_b, &shared, "B"},
+               {&subject_b, &dense, "B (dense catalogue)"}};
+  for (const auto& c : cases) {
+    const auto& fmea = c.subject->fmea;
+    const auto& catalogue = *c.catalogue;
+    std::vector<core::Deployment> oracle_front, dp_front;
+    const double oracle_seconds = seconds_of(
+        [&] { oracle_front = core::pareto_front_exhaustive(fmea, catalogue); });
+    const double dp_seconds =
+        seconds_of([&] { dp_front = core::pareto_front(fmea, catalogue); });
+    const auto greedy = core::greedy_reach_asil(fmea, catalogue, "ASIL-B");
+    const auto optimal = core::optimal_reach_asil(fmea, catalogue, "ASIL-B");
+    table.add_row({c.name, std::to_string(open_rows(fmea)),
+                   std::to_string(dp_front.size()), format_number(oracle_seconds * 1e3, 2),
+                   format_number(dp_seconds * 1e3, 2),
+                   format_number(oracle_seconds / dp_seconds, 1) + "x",
+                   fronts_equal(oracle_front, dp_front) ? "yes" : "NO",
+                   greedy ? format_number(greedy->total_cost_hours, 1) : "-",
+                   optimal ? format_number(optimal->total_cost_hours, 1) : "-"});
   }
   std::printf("%s\n", table.render().c_str());
+
+  std::printf("== Scaling: make_scaled_architecture subject ==\n\n");
+  const auto scaled = prepare_scaled(60, 5);
+  const auto scaled_catalogue = core::scaled_sm_catalogue();
+  std::printf("open SR rows: %zu\n", open_rows(scaled));
+  try {
+    core::pareto_front_exhaustive(scaled, scaled_catalogue);
+    std::printf("seed enumerator: completed (unexpected at this scale)\n");
+  } catch (const AnalysisError& error) {
+    std::printf("seed enumerator: AnalysisError — %s\n", error.what());
+  }
+  for (const double epsilon : {0.0, 0.001, 0.01}) {
+    std::vector<core::Deployment> front;
+    core::ParetoOptions options;
+    options.epsilon = epsilon;
+    options.jobs = 0;  // all cores
+    const double dp_seconds =
+        seconds_of([&] { front = core::pareto_front(scaled, scaled_catalogue, options); });
+    std::printf("DP engine (epsilon %s): front %zu in %s ms\n",
+                format_number(epsilon, 3).c_str(), front.size(),
+                format_number(dp_seconds * 1e3, 1).c_str());
+  }
   std::printf(
-      "reading: greedy (gain-per-cost with upgrade moves and a trim pass)\n"
-      "tracks the exhaustive optimum closely while scaling to designs where\n"
-      "enumeration cannot; any remaining gap is the price of no lookahead.\n\n");
+      "\nreading: the DP engine reproduces the seed enumerator's front exactly\n"
+      "(oracle-verified) orders of magnitude faster, and completes on scaled\n"
+      "subjects where enumeration throws; branch-and-bound closes the greedy\n"
+      "optimality gap with a provable minimum.\n\n");
 }
+
+void BM_SeedEnumeratorSystemB(benchmark::State& state) {
+  const auto subject = prepare(&core::make_system_b, "B");
+  const auto catalogue = core::synthetic_sm_catalogue();
+  for (auto _ : state) {
+    const auto front = core::pareto_front_exhaustive(subject.fmea, catalogue);
+    benchmark::DoNotOptimize(front.size());
+  }
+}
+BENCHMARK(BM_SeedEnumeratorSystemB)->Unit(benchmark::kMillisecond);
+
+void BM_DpFrontSystemB(benchmark::State& state) {
+  const auto subject = prepare(&core::make_system_b, "B");
+  const auto catalogue = core::synthetic_sm_catalogue();
+  for (auto _ : state) {
+    const auto front = core::pareto_front(subject.fmea, catalogue);
+    benchmark::DoNotOptimize(front.size());
+  }
+}
+BENCHMARK(BM_DpFrontSystemB)->Unit(benchmark::kMicrosecond);
+
+void BM_DpFrontScaled(benchmark::State& state) {
+  const auto fmea = prepare_scaled(60, 5);
+  const auto catalogue = core::scaled_sm_catalogue();
+  core::ParetoOptions options;
+  options.jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto front = core::pareto_front(fmea, catalogue, options);
+    benchmark::DoNotOptimize(front.size());
+  }
+}
+BENCHMARK(BM_DpFrontScaled)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_GreedySystemB(benchmark::State& state) {
   const auto subject = prepare(&core::make_system_b, "B");
@@ -80,15 +197,15 @@ void BM_GreedySystemB(benchmark::State& state) {
 }
 BENCHMARK(BM_GreedySystemB)->Unit(benchmark::kMicrosecond);
 
-void BM_ParetoSystemB(benchmark::State& state) {
+void BM_OptimalSystemB(benchmark::State& state) {
   const auto subject = prepare(&core::make_system_b, "B");
   const auto catalogue = core::synthetic_sm_catalogue();
   for (auto _ : state) {
-    const auto front = core::pareto_front(subject.fmea, catalogue);
-    benchmark::DoNotOptimize(front.size());
+    const auto deployment = core::optimal_reach_asil(subject.fmea, catalogue, "ASIL-B");
+    benchmark::DoNotOptimize(deployment.has_value());
   }
 }
-BENCHMARK(BM_ParetoSystemB)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OptimalSystemB)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

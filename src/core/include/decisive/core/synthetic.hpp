@@ -45,6 +45,12 @@ ReliabilityModel synthetic_reliability();
 /// ASIL-B on both).
 SafetyMechanismModel synthetic_sm_catalogue();
 
+/// Safety-mechanism catalogue for make_scaled_architecture subjects: several
+/// coverage/cost options per (Subsystem|Sensor|Resistor) × (Open|Short), so
+/// a scaled design exposes hundreds of open rows with 3-5 options each — the
+/// deployment-search scaling workload of bench_ablation_search.
+SafetyMechanismModel scaled_sm_catalogue();
+
 /// A hierarchical Table-VI-style scalability subject for the *incremental*
 /// workload: a system of `composites` serial composite units, each wrapping
 /// a serial chain of `leaves` leaf components with loss-of-function failure

@@ -1,8 +1,43 @@
+// Safety-mechanism deployment search (DECISIVE Step 4b).
+//
+// Engine layout (DESIGN.md §11):
+//  - SpfmEvaluator: residual single-point FIT is additive over rows, so a
+//    candidate deployment is evaluated in O(choices) against a precomputed
+//    undeployed baseline — no per-candidate allocation.
+//  - pareto_front: exact two-objective DP. Each open row reduces to its
+//    non-dominated (cost, residual) option list; the rows fold over a
+//    balanced binary merge tree of dominance-pruned partial-sum labels. The
+//    tree shape depends only on the row count, so any `jobs` value produces
+//    byte-identical fronts. `epsilon` coarsens the residual axis per merge
+//    to bound front growth.
+//  - pareto_front_exhaustive: the seed-era mixed-radix enumerator, retained
+//    as the property-test oracle, with the front kept in a cost-sorted map
+//    so each dominance check is O(log n).
+//  - greedy_reach_asil: gain-per-cost greedy with O(1)-per-move residual
+//    updates in both the deploy loop and the trim pass.
+//  - optimal_reach_asil: branch-and-bound min-cost search seeded with the
+//    greedy incumbent.
+//
+// Tie handling: (cost, residual) values are compared on a tolerance grid of
+// 1e-9 relative to the axis scale (max total cost / undeployed residual), so
+// equal-value deployments dedupe deterministically across platforms instead
+// of depending on exact double equality. Among grid-equal candidates the
+// fewest-choices representative wins, so reported deployments are minimal.
 #include "decisive/core/sm_search.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <thread>
+#include <utility>
 
 #include "decisive/base/error.hpp"
+#include "decisive/base/json.hpp"
+#include "decisive/base/strings.hpp"
+#include "decisive/obs/registry.hpp"
+#include "decisive/obs/span.hpp"
 
 namespace decisive::core {
 
@@ -28,6 +63,36 @@ FmedaResult apply_deployment(const FmedaResult& fmea, const Deployment& deployme
 
 namespace {
 
+/// Search instrumentation, following the registry conventions of DESIGN.md
+/// §10 (lazily registered, references cached in a function-local static).
+struct SearchMetrics {
+  obs::Counter& labels;        ///< candidate labels expanded across merges
+  obs::Counter& labels_pruned; ///< labels discarded by dominance/epsilon
+  obs::Counter& merges;        ///< merge-tree nodes folded
+  obs::Counter& bnb_nodes;     ///< branch-and-bound nodes expanded
+  obs::Counter& bnb_pruned;    ///< branch-and-bound subtrees pruned
+  obs::Gauge& front_size;      ///< size of the last computed front
+  obs::Histogram& pareto_seconds;
+  obs::Histogram& merge_seconds;
+  obs::Histogram& greedy_seconds;
+  obs::Histogram& bnb_seconds;
+
+  static SearchMetrics& get() {
+    auto& r = obs::Registry::global();
+    static SearchMetrics m{r.counter("decisive_sm_search_labels_total"),
+                           r.counter("decisive_sm_search_labels_pruned_total"),
+                           r.counter("decisive_sm_search_merges_total"),
+                           r.counter("decisive_sm_search_bnb_nodes_total"),
+                           r.counter("decisive_sm_search_bnb_pruned_total"),
+                           r.gauge("decisive_sm_search_front_size"),
+                           r.histogram("decisive_sm_search_pareto_seconds"),
+                           r.histogram("decisive_sm_search_merge_seconds"),
+                           r.histogram("decisive_sm_search_greedy_seconds"),
+                           r.histogram("decisive_sm_search_bnb_seconds")};
+    return m;
+  }
+};
+
 /// Candidate rows: safety-related and not already carrying a mechanism.
 std::vector<size_t> open_rows(const FmedaResult& fmea) {
   std::vector<size_t> out;
@@ -39,54 +104,460 @@ std::vector<size_t> open_rows(const FmedaResult& fmea) {
   return out;
 }
 
-double spfm_with(const FmedaResult& base, const Deployment& deployment) {
-  // Residual single-point FIT under the deployment without copying the rows.
-  double numerator = 0.0;
-  std::vector<double> coverage(base.rows.size(), -1.0);
-  for (const auto& choice : deployment.choices) {
-    coverage[choice.row_index] = choice.mechanism->coverage;
+/// O(choices) SPFM evaluation against the undeployed baseline (the hot inner
+/// loop of every search — no per-candidate allocation, no O(rows) rescan).
+class SpfmEvaluator {
+ public:
+  explicit SpfmEvaluator(const FmedaResult& base)
+      : base_(base),
+        denominator_(base.total_safety_related_fit()),
+        baseline_residual_(base.single_point_fit()) {}
+
+  [[nodiscard]] double denominator() const noexcept { return denominator_; }
+  [[nodiscard]] double baseline_residual() const noexcept { return baseline_residual_; }
+
+  /// Residual single-point FIT of one row under `sm` (nullptr = keep the
+  /// row's own coverage).
+  [[nodiscard]] double row_residual(size_t row_index, const SafetyMechanismSpec* sm) const {
+    const FmedaRow& row = base_.rows[row_index];
+    const double cov = sm != nullptr ? sm->coverage : row.sm_coverage;
+    return row.mode_fit() * (1.0 - cov);
   }
-  for (size_t i = 0; i < base.rows.size(); ++i) {
-    const FmedaRow& row = base.rows[i];
-    if (!row.safety_related) continue;
-    const double cov = coverage[i] >= 0.0 ? coverage[i] : row.sm_coverage;
-    numerator += row.mode_fit() * (1.0 - cov);
+
+  [[nodiscard]] double spfm_of_residual(double residual) const noexcept {
+    return denominator_ <= 0.0 ? 1.0 : 1.0 - residual / denominator_;
   }
-  const double denominator = base.total_safety_related_fit();
-  return denominator <= 0.0 ? 1.0 : 1.0 - numerator / denominator;
+
+  /// Canonical candidate evaluation: baseline plus per-choice deltas, summed
+  /// in choice (row) order so the value is deterministic for a given choice
+  /// set regardless of how the search derived it.
+  [[nodiscard]] double spfm(const Deployment& d) const {
+    double residual = baseline_residual_;
+    for (const auto& choice : d.choices) {
+      if (!base_.rows[choice.row_index].safety_related) continue;
+      residual += row_residual(choice.row_index, choice.mechanism) -
+                  row_residual(choice.row_index, nullptr);
+    }
+    return spfm_of_residual(residual);
+  }
+
+  [[nodiscard]] static double cost(const Deployment& d) {
+    double total = 0.0;
+    for (const auto& choice : d.choices) total += choice.mechanism->cost_hours;
+    return total;
+  }
+
+ private:
+  const FmedaResult& base_;
+  double denominator_;
+  double baseline_residual_;
+};
+
+/// Tolerance grid for tie/dominance comparisons: values snap to kTieRel of
+/// the axis scale, so "equal" deployments dedupe identically across
+/// platforms and association orders.
+constexpr double kTieRel = 1e-9;
+
+struct Quantizer {
+  double cost_quantum = 1.0;
+  double resid_quantum = 1.0;
+
+  Quantizer(double max_total_cost, double baseline_residual) {
+    cost_quantum = kTieRel * std::max(max_total_cost, 1.0);
+    resid_quantum = kTieRel * std::max(baseline_residual, 1.0);
+  }
+
+  [[nodiscard]] std::int64_t qcost(double c) const { return std::llround(c / cost_quantum); }
+  [[nodiscard]] std::int64_t qresid(double r) const { return std::llround(r / resid_quantum); }
+};
+
+/// One per-row deployment option (index 0 after pruning is always the
+/// cheapest — the "no mechanism" choice or a zero-cost improvement on it).
+struct RowOption {
+  const SafetyMechanismSpec* mechanism = nullptr;
+  double cost = 0.0;
+  double residual = 0.0;   ///< this row's residual FIT under the option
+  std::uint32_t count = 0; ///< 0 for "none", 1 for a mechanism
+};
+
+/// Builds the non-dominated option list of one open row, sorted by cost
+/// ascending / residual strictly descending (on the tolerance grid). Ties
+/// prefer "none", then catalogue order.
+std::vector<RowOption> row_option_front(const FmedaResult& fmea,
+                                        const SafetyMechanismModel& catalogue,
+                                        size_t row_index, const Quantizer& q) {
+  const FmedaRow& row = fmea.rows[row_index];
+  std::vector<RowOption> options;
+  options.push_back({nullptr, 0.0, row.mode_fit() * (1.0 - row.sm_coverage), 0});
+  for (const SafetyMechanismSpec* sm :
+       catalogue.applicable(row.component_type, row.failure_mode)) {
+    options.push_back({sm, sm->cost_hours, row.mode_fit() * (1.0 - sm->coverage), 1});
+  }
+  std::stable_sort(options.begin(), options.end(), [&](const RowOption& a, const RowOption& b) {
+    if (q.qcost(a.cost) != q.qcost(b.cost)) return q.qcost(a.cost) < q.qcost(b.cost);
+    if (q.qresid(a.residual) != q.qresid(b.residual)) {
+      return q.qresid(a.residual) < q.qresid(b.residual);
+    }
+    return a.count < b.count;  // prefer "none" on exact value ties
+  });
+  std::vector<RowOption> kept;
+  for (const RowOption& option : options) {
+    if (kept.empty() || q.qresid(option.residual) < q.qresid(kept.back().residual)) {
+      kept.push_back(option);
+    }
+  }
+  return kept;
 }
 
-double cost_of(const Deployment& deployment) {
+/// The sum of each open row's costliest option — the cost-axis scale.
+double max_total_cost(const FmedaResult& fmea, const SafetyMechanismModel& catalogue,
+                      const std::vector<size_t>& rows) {
+  double total = 0.0;
+  for (const size_t index : rows) {
+    const FmedaRow& row = fmea.rows[index];
+    double row_max = 0.0;
+    for (const SafetyMechanismSpec* sm :
+         catalogue.applicable(row.component_type, row.failure_mode)) {
+      row_max = std::max(row_max, sm->cost_hours);
+    }
+    total += row_max;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// DP Pareto engine
+// ---------------------------------------------------------------------------
+
+/// One partial-sum label. For leaf nodes `left` is the row-option index; for
+/// internal nodes (`left`, `right`) index into the children's label arrays,
+/// which is what makes O(1)-size labels reconstructible without storing
+/// choice vectors.
+struct Label {
   double cost = 0.0;
-  for (const auto& choice : deployment.choices) cost += choice.mechanism->cost_hours;
-  return cost;
+  double residual = 0.0;
+  std::uint32_t left = 0;
+  std::uint32_t right = 0;
+  std::uint32_t count = 0;  ///< deployed-mechanism count (tie preference)
+};
+
+/// A node of the balanced merge tree over the open-row range [lo, hi). The
+/// tree shape is a pure function of the row count — parallelism never
+/// changes which labels are formed, only which thread folds which subtree.
+struct MergeNode {
+  size_t lo = 0;
+  size_t hi = 0;
+  int left_child = -1;
+  int right_child = -1;
+  std::vector<Label> labels;
+};
+
+int build_tree(size_t lo, size_t hi, std::vector<MergeNode>& nodes) {
+  const int index = static_cast<int>(nodes.size());
+  nodes.push_back({lo, hi, -1, -1, {}});
+  if (hi - lo > 1) {
+    const size_t mid = lo + (hi - lo) / 2;
+    const int left = build_tree(lo, mid, nodes);
+    const int right = build_tree(mid, hi, nodes);
+    nodes[index].left_child = left;
+    nodes[index].right_child = right;
+  }
+  return index;
+}
+
+/// Dominance-pruned merge of two sorted label fronts under addition. Labels
+/// come out sorted by cost with strictly decreasing residual (grid
+/// comparisons), so the sweep's dominance check is O(1) amortised; epsilon
+/// then keeps one label per residual box to bound growth.
+std::vector<Label> merge_fronts(const std::vector<Label>& a, const std::vector<Label>& b,
+                                const Quantizer& q, const ParetoOptions& options,
+                                double epsilon_box, SearchMetrics& metrics) {
+  obs::Span span("sm_search.merge", &metrics.merge_seconds);
+  metrics.merges.add();
+  const size_t pair_count = a.size() * b.size();
+  if (options.max_merge_labels != 0 && pair_count > options.max_merge_labels) {
+    throw AnalysisError(
+        "pareto merge would expand " + std::to_string(pair_count) +
+        " labels (cap " + std::to_string(options.max_merge_labels) +
+        "); set ParetoOptions::epsilon to coarsen the front");
+  }
+  std::vector<Label> pairs;
+  pairs.reserve(pair_count);
+  for (std::uint32_t i = 0; i < a.size(); ++i) {
+    for (std::uint32_t j = 0; j < b.size(); ++j) {
+      pairs.push_back({a[i].cost + b[j].cost, a[i].residual + b[j].residual, i, j,
+                       a[i].count + b[j].count});
+    }
+  }
+  metrics.labels.add(pairs.size());
+  std::sort(pairs.begin(), pairs.end(), [&](const Label& x, const Label& y) {
+    if (q.qcost(x.cost) != q.qcost(y.cost)) return q.qcost(x.cost) < q.qcost(y.cost);
+    if (q.qresid(x.residual) != q.qresid(y.residual)) {
+      return q.qresid(x.residual) < q.qresid(y.residual);
+    }
+    if (x.count != y.count) return x.count < y.count;  // fewest choices win ties
+    if (x.left != y.left) return x.left < y.left;
+    return x.right < y.right;
+  });
+  std::vector<Label> kept;
+  for (const Label& label : pairs) {
+    if (kept.empty() || q.qresid(label.residual) < q.qresid(kept.back().residual)) {
+      kept.push_back(label);
+    }
+  }
+  if (epsilon_box > 0.0) {
+    std::vector<Label> coarse;
+    for (const Label& label : kept) {
+      if (coarse.empty() || std::floor(label.residual / epsilon_box) <
+                                std::floor(coarse.back().residual / epsilon_box)) {
+        coarse.push_back(label);
+      }
+    }
+    kept = std::move(coarse);
+  }
+  metrics.labels_pruned.add(pair_count - kept.size());
+  return kept;
+}
+
+void fold_node(std::vector<MergeNode>& nodes, int index,
+               const std::vector<std::vector<RowOption>>& row_options, const Quantizer& q,
+               const ParetoOptions& options, double epsilon_box, int jobs,
+               SearchMetrics& metrics) {
+  MergeNode& node = nodes[index];
+  if (node.left_child < 0) {
+    const std::vector<RowOption>& opts = row_options[node.lo];
+    node.labels.reserve(opts.size());
+    for (std::uint32_t i = 0; i < opts.size(); ++i) {
+      node.labels.push_back({opts[i].cost, opts[i].residual, i, 0, opts[i].count});
+    }
+    return;
+  }
+  if (jobs > 1) {
+    // Fold the left subtree on a helper thread while this thread folds the
+    // right one. The label values are identical either way; only wall-clock
+    // changes.
+    std::exception_ptr left_error;
+    std::thread left([&] {
+      try {
+        fold_node(nodes, node.left_child, row_options, q, options, epsilon_box, jobs / 2,
+                  metrics);
+      } catch (...) {
+        left_error = std::current_exception();
+      }
+    });
+    try {
+      fold_node(nodes, node.right_child, row_options, q, options, epsilon_box,
+                jobs - jobs / 2, metrics);
+    } catch (...) {
+      left.join();
+      throw;
+    }
+    left.join();
+    if (left_error) std::rethrow_exception(left_error);
+  } else {
+    fold_node(nodes, node.left_child, row_options, q, options, epsilon_box, 1, metrics);
+    fold_node(nodes, node.right_child, row_options, q, options, epsilon_box, 1, metrics);
+  }
+  node.labels = merge_fronts(nodes[node.left_child].labels, nodes[node.right_child].labels,
+                             q, options, epsilon_box, metrics);
+  // The children's labels are only needed for reconstruction, never for
+  // another merge — keep them (the memory is the sum of front sizes).
+}
+
+void collect_choices(const std::vector<MergeNode>& nodes, int index, std::uint32_t label_index,
+                     const std::vector<std::vector<RowOption>>& row_options,
+                     const std::vector<size_t>& rows, std::vector<DeploymentChoice>& out) {
+  const MergeNode& node = nodes[index];
+  const Label& label = node.labels[label_index];
+  if (node.left_child < 0) {
+    const RowOption& option = row_options[node.lo][label.left];
+    if (option.mechanism != nullptr) out.push_back({rows[node.lo], option.mechanism});
+    return;
+  }
+  collect_choices(nodes, node.left_child, label.left, row_options, rows, out);
+  collect_choices(nodes, node.right_child, label.right, row_options, rows, out);
 }
 
 }  // namespace
 
+std::vector<Deployment> pareto_front(const FmedaResult& fmea,
+                                     const SafetyMechanismModel& catalogue,
+                                     const ParetoOptions& options) {
+  if (options.epsilon < 0.0 || options.epsilon >= 1.0) {
+    throw AnalysisError("ParetoOptions::epsilon must be in [0, 1)");
+  }
+  SearchMetrics& metrics = SearchMetrics::get();
+  obs::Span span("sm_search.pareto", &metrics.pareto_seconds);
+
+  const SpfmEvaluator eval(fmea);
+  const std::vector<size_t> rows = open_rows(fmea);
+  const Quantizer q(max_total_cost(fmea, catalogue, rows), eval.baseline_residual());
+
+  std::vector<Deployment> front;
+  if (rows.empty()) {
+    Deployment none;
+    none.spfm = eval.spfm(none);
+    front.push_back(std::move(none));
+    metrics.front_size.set(1.0);
+    return front;
+  }
+
+  std::vector<std::vector<RowOption>> row_options;
+  row_options.reserve(rows.size());
+  for (const size_t index : rows) {
+    row_options.push_back(row_option_front(fmea, catalogue, index, q));
+  }
+
+  const double epsilon_box =
+      options.epsilon > 0.0
+          ? options.epsilon * std::max(eval.baseline_residual(), q.resid_quantum)
+          : 0.0;
+  std::vector<MergeNode> nodes;
+  nodes.reserve(2 * rows.size());
+  const int root = build_tree(0, rows.size(), nodes);
+  const int jobs = options.jobs > 0
+                       ? options.jobs
+                       : static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  fold_node(nodes, root, row_options, q, options, epsilon_box, jobs, metrics);
+
+  front.reserve(nodes[root].labels.size());
+  for (std::uint32_t i = 0; i < nodes[root].labels.size(); ++i) {
+    Deployment d;
+    collect_choices(nodes, root, i, row_options, rows, d.choices);
+    // Canonical values: recomputed from the choice set in row order, so the
+    // reported numbers are independent of the merge association order.
+    d.total_cost_hours = SpfmEvaluator::cost(d);
+    d.spfm = eval.spfm(d);
+    front.push_back(std::move(d));
+  }
+  // Final sweep on the canonical values: recomputation can move a value by
+  // an ulp across a grid boundary, so re-assert strict dominance order.
+  std::vector<Deployment> swept;
+  for (Deployment& d : front) {
+    const double residual = eval.denominator() <= 0.0
+                                ? 0.0
+                                : (1.0 - d.spfm) * eval.denominator();
+    if (swept.empty()) {
+      swept.push_back(std::move(d));
+      continue;
+    }
+    const double last_residual = eval.denominator() <= 0.0
+                                     ? 0.0
+                                     : (1.0 - swept.back().spfm) * eval.denominator();
+    if (q.qresid(residual) < q.qresid(last_residual) &&
+        q.qcost(d.total_cost_hours) > q.qcost(swept.back().total_cost_hours)) {
+      swept.push_back(std::move(d));
+    }
+  }
+  metrics.front_size.set(static_cast<double>(swept.size()));
+  return swept;
+}
+
+std::vector<Deployment> pareto_front_exhaustive(const FmedaResult& fmea,
+                                                const SafetyMechanismModel& catalogue,
+                                                size_t max_combinations) {
+  const SpfmEvaluator eval(fmea);
+  const std::vector<size_t> rows = open_rows(fmea);
+  const Quantizer q(max_total_cost(fmea, catalogue, rows), eval.baseline_residual());
+
+  // Options per row: index 0 = "no mechanism", then each applicable entry.
+  std::vector<std::vector<const SafetyMechanismSpec*>> options;
+  options.reserve(rows.size());
+  size_t combinations = 1;
+  for (const size_t index : rows) {
+    const FmedaRow& row = fmea.rows[index];
+    std::vector<const SafetyMechanismSpec*> opts{nullptr};
+    for (const SafetyMechanismSpec* sm :
+         catalogue.applicable(row.component_type, row.failure_mode)) {
+      opts.push_back(sm);
+    }
+    combinations *= opts.size();
+    if (combinations > max_combinations) {
+      throw AnalysisError("safety-mechanism search space exceeds " +
+                          std::to_string(max_combinations) +
+                          " combinations; use the DP pareto_front");
+    }
+    options.push_back(std::move(opts));
+  }
+
+  // Front kept sorted by quantised cost with strictly decreasing quantised
+  // residual, so a candidate's dominance check is one O(log n) lookup
+  // instead of a linear scan.
+  struct Entry {
+    std::int64_t qresid = 0;
+    Deployment deployment;
+  };
+  std::map<std::int64_t, Entry> front;
+
+  std::vector<size_t> pick(options.size(), 0);
+  for (;;) {
+    Deployment candidate;
+    for (size_t i = 0; i < options.size(); ++i) {
+      if (options[i][pick[i]] != nullptr) {
+        candidate.choices.push_back(DeploymentChoice{rows[i], options[i][pick[i]]});
+      }
+    }
+    candidate.total_cost_hours = SpfmEvaluator::cost(candidate);
+    candidate.spfm = eval.spfm(candidate);
+    const double residual = eval.denominator() <= 0.0
+                                ? 0.0
+                                : (1.0 - candidate.spfm) * eval.denominator();
+    const std::int64_t qc = q.qcost(candidate.total_cost_hours);
+    const std::int64_t qr = q.qresid(residual);
+
+    bool insert = true;
+    auto it = front.upper_bound(qc);
+    if (it != front.begin()) {
+      const auto& prev = *std::prev(it);
+      if (prev.first == qc && prev.second.qresid == qr) {
+        // Grid tie: keep the fewest-choices representative (minimal
+        // deployments), first-seen among equals.
+        insert = candidate.choices.size() <
+                 std::prev(it)->second.deployment.choices.size();
+      } else if (prev.second.qresid <= qr) {
+        insert = false;  // dominated by a no-costlier, no-worse entry
+      }
+    }
+    if (insert) {
+      // Drop every entry the candidate dominates (costlier, no better).
+      while (it != front.end() && it->second.qresid >= qr) it = front.erase(it);
+      front.insert_or_assign(qc, Entry{qr, std::move(candidate)});
+    }
+
+    // Advance the mixed-radix counter.
+    size_t digit = 0;
+    while (digit < pick.size()) {
+      if (++pick[digit] < options[digit].size()) break;
+      pick[digit] = 0;
+      ++digit;
+    }
+    if (digit == pick.size()) break;
+  }
+
+  std::vector<Deployment> out;
+  out.reserve(front.size());
+  for (auto& [qc, entry] : front) out.push_back(std::move(entry.deployment));
+  return out;
+}
+
 std::optional<Deployment> greedy_reach_asil(const FmedaResult& fmea,
                                             const SafetyMechanismModel& catalogue,
                                             std::string_view target_asil) {
+  SearchMetrics& metrics = SearchMetrics::get();
+  obs::Span span("sm_search.greedy", &metrics.greedy_seconds);
+
   const double target = spfm_target(target_asil);
+  const SpfmEvaluator eval(fmea);
   const std::vector<size_t> candidates = open_rows(fmea);
 
   // Per-row current pick; a row's mechanism may be *upgraded* to a strictly
   // higher-coverage alternative later (committing to the cheapest option and
-  // never revisiting it can miss reachable targets).
+  // never revisiting it can miss reachable targets). The total residual FIT
+  // is maintained incrementally: every move is O(1), not an O(rows) rescan.
   std::vector<const SafetyMechanismSpec*> picked(fmea.rows.size(), nullptr);
+  double residual = eval.baseline_residual();
 
-  auto as_deployment = [&] {
-    Deployment d;
-    for (const size_t index : candidates) {
-      if (picked[index] != nullptr) d.choices.push_back(DeploymentChoice{index, picked[index]});
-    }
-    d.spfm = spfm_with(fmea, d);
-    d.total_cost_hours = cost_of(d);
-    return d;
-  };
-
-  Deployment current = as_deployment();
-  while (current.spfm < target) {
+  while (eval.spfm_of_residual(residual) < target) {
     double best_ratio = -1.0;
     std::optional<DeploymentChoice> best_choice;
     for (const size_t index : candidates) {
@@ -107,12 +578,14 @@ std::optional<Deployment> greedy_reach_asil(const FmedaResult& fmea,
       }
     }
     if (!best_choice.has_value()) return std::nullopt;  // target unreachable
+    residual += eval.row_residual(best_choice->row_index, best_choice->mechanism) -
+                eval.row_residual(best_choice->row_index, picked[best_choice->row_index]);
     picked[best_choice->row_index] = best_choice->mechanism;
-    current = as_deployment();
   }
 
   // Trim pass: the gain-per-cost heuristic can overshoot; drop or downgrade
-  // choices while the target still holds, until no single move helps.
+  // choices while the target still holds, until no single move helps. Each
+  // trial is an O(1) residual delta.
   for (bool changed = true; changed;) {
     changed = false;
     for (const size_t index : candidates) {
@@ -129,87 +602,197 @@ std::optional<Deployment> greedy_reach_asil(const FmedaResult& fmea,
       const SafetyMechanismSpec* original = picked[index];
       const SafetyMechanismSpec* best_alternative = original;
       double best_cost = original->cost_hours;
+      const double current_row_residual = eval.row_residual(index, original);
       for (const SafetyMechanismSpec* alternative : alternatives) {
-        picked[index] = alternative;
-        const Deployment trial = as_deployment();
+        const double trial_residual =
+            residual - current_row_residual + eval.row_residual(index, alternative);
         const double cost = alternative != nullptr ? alternative->cost_hours : 0.0;
-        if (trial.spfm >= target && cost < best_cost) {
+        if (eval.spfm_of_residual(trial_residual) >= target && cost < best_cost) {
           best_alternative = alternative;
           best_cost = cost;
         }
       }
-      picked[index] = best_alternative;
-      if (best_alternative != original) changed = true;
-    }
-  }
-  return as_deployment();
-}
-
-std::vector<Deployment> pareto_front(const FmedaResult& fmea,
-                                     const SafetyMechanismModel& catalogue,
-                                     size_t max_combinations) {
-  const std::vector<size_t> rows = open_rows(fmea);
-
-  // Options per row: index 0 = "no mechanism", then each applicable entry.
-  std::vector<std::vector<const SafetyMechanismSpec*>> options;
-  options.reserve(rows.size());
-  size_t combinations = 1;
-  for (const size_t index : rows) {
-    const FmedaRow& row = fmea.rows[index];
-    std::vector<const SafetyMechanismSpec*> opts{nullptr};
-    for (const SafetyMechanismSpec* sm :
-         catalogue.applicable(row.component_type, row.failure_mode)) {
-      opts.push_back(sm);
-    }
-    combinations *= opts.size();
-    if (combinations > max_combinations) {
-      throw AnalysisError("safety-mechanism search space exceeds " +
-                          std::to_string(max_combinations) +
-                          " combinations; use greedy_reach_asil");
-    }
-    options.push_back(std::move(opts));
-  }
-
-  std::vector<Deployment> front;
-  std::vector<size_t> pick(options.size(), 0);
-  for (;;) {
-    Deployment candidate;
-    for (size_t i = 0; i < options.size(); ++i) {
-      if (options[i][pick[i]] != nullptr) {
-        candidate.choices.push_back(DeploymentChoice{rows[i], options[i][pick[i]]});
+      if (best_alternative != original) {
+        residual += eval.row_residual(index, best_alternative) - current_row_residual;
+        picked[index] = best_alternative;
+        changed = true;
       }
     }
-    candidate.spfm = spfm_with(fmea, candidate);
-    candidate.total_cost_hours = cost_of(candidate);
-
-    const bool dominated = std::any_of(front.begin(), front.end(), [&](const Deployment& d) {
-      // Exact (cost, SPFM) ties keep only the first representative.
-      return d.dominates(candidate) ||
-             (d.spfm == candidate.spfm && d.total_cost_hours == candidate.total_cost_hours);
-    });
-    if (!dominated) {
-      std::erase_if(front, [&](const Deployment& d) { return candidate.dominates(d); });
-      front.push_back(std::move(candidate));
-    }
-
-    // Advance the mixed-radix counter.
-    size_t digit = 0;
-    while (digit < pick.size()) {
-      if (++pick[digit] < options[digit].size()) break;
-      pick[digit] = 0;
-      ++digit;
-    }
-    if (digit == pick.size()) break;
-    if (options.empty()) break;
   }
 
-  std::sort(front.begin(), front.end(), [](const Deployment& a, const Deployment& b) {
-    if (a.total_cost_hours != b.total_cost_hours) {
-      return a.total_cost_hours < b.total_cost_hours;
-    }
-    return a.spfm > b.spfm;
+  Deployment result;
+  for (const size_t index : candidates) {
+    if (picked[index] != nullptr) result.choices.push_back({index, picked[index]});
+  }
+  result.total_cost_hours = SpfmEvaluator::cost(result);
+  result.spfm = eval.spfm(result);
+  return result;
+}
+
+std::optional<Deployment> optimal_reach_asil(const FmedaResult& fmea,
+                                             const SafetyMechanismModel& catalogue,
+                                             std::string_view target_asil,
+                                             const OptimalOptions& options) {
+  SearchMetrics& metrics = SearchMetrics::get();
+  obs::Span span("sm_search.bnb", &metrics.bnb_seconds);
+
+  const double target = spfm_target(target_asil);
+  const SpfmEvaluator eval(fmea);
+
+  // The greedy result is the incumbent. When greedy fails, every row is
+  // already at its maximum coverage and the target is provably unreachable.
+  std::optional<Deployment> incumbent = greedy_reach_asil(fmea, catalogue, target_asil);
+  if (!incumbent.has_value()) return std::nullopt;
+  if (eval.denominator() <= 0.0) return incumbent;  // SPFM degenerate at 1.0
+
+  const double allowed_residual = (1.0 - target) * eval.denominator();
+  const std::vector<size_t> rows = open_rows(fmea);
+  const Quantizer q(max_total_cost(fmea, catalogue, rows), eval.baseline_residual());
+  const std::int64_t q_allowed = q.qresid(allowed_residual);
+
+  struct BnbRow {
+    size_t row_index = 0;
+    std::vector<RowOption> options;
+  };
+  std::vector<BnbRow> order;
+  order.reserve(rows.size());
+  for (const size_t index : rows) {
+    order.push_back({index, row_option_front(fmea, catalogue, index, q)});
+  }
+  // Branch on the rows with the most residual-reduction potential first —
+  // they decide feasibility, so bounds bite early.
+  std::stable_sort(order.begin(), order.end(), [](const BnbRow& a, const BnbRow& b) {
+    const double ra = a.options.front().residual - a.options.back().residual;
+    const double rb = b.options.front().residual - b.options.back().residual;
+    return ra > rb;
   });
-  return front;
+
+  const size_t n = order.size();
+  // Suffix bounds over the branch order:
+  //  - min_resid: residual floor if every remaining row takes its best
+  //    option (feasibility bound);
+  //  - base_resid/base_cost: residual and cost when every remaining row
+  //    takes its cheapest option (the zero-extra-cost floor);
+  //  - best_ratio: max residual reduction per extra cost hour among the
+  //    remaining paid options (fractional cost lower bound).
+  std::vector<double> min_resid(n + 1, 0.0), base_resid(n + 1, 0.0), base_cost(n + 1, 0.0),
+      best_ratio(n + 1, 0.0);
+  for (size_t i = n; i-- > 0;) {
+    const std::vector<RowOption>& opts = order[i].options;
+    min_resid[i] = min_resid[i + 1] + opts.back().residual;
+    base_resid[i] = base_resid[i + 1] + opts.front().residual;
+    base_cost[i] = base_cost[i + 1] + opts.front().cost;
+    double row_ratio = 0.0;
+    for (size_t o = 1; o < opts.size(); ++o) {
+      const double reduction = opts.front().residual - opts[o].residual;
+      const double paid = opts[o].cost - opts.front().cost;
+      if (paid > 0.0) row_ratio = std::max(row_ratio, reduction / paid);
+    }
+    best_ratio[i] = std::max(best_ratio[i + 1], row_ratio);
+  }
+
+  double incumbent_cost = incumbent->total_cost_hours;
+  std::uint64_t nodes = 0;
+  std::vector<std::uint32_t> chosen(n, 0);
+
+  const std::function<void(size_t, double, double)> dfs = [&](size_t depth, double residual,
+                                                              double cost) {
+    ++nodes;
+    metrics.bnb_nodes.add();
+    if (options.max_nodes != 0 && nodes > options.max_nodes) {
+      throw AnalysisError("optimal_reach_asil exceeded " + std::to_string(options.max_nodes) +
+                          " search nodes; use greedy_reach_asil");
+    }
+    // Feasibility: even max coverage everywhere below cannot reach the target.
+    if (q.qresid(residual + min_resid[depth]) > q_allowed) {
+      metrics.bnb_pruned.add();
+      return;
+    }
+    // Cost bound: the zero-extra-cost floor plus a fractional relaxation of
+    // the reduction still needed beyond it.
+    double bound = cost + base_cost[depth];
+    const double needed = (residual + base_resid[depth]) - allowed_residual;
+    if (needed > 0.0 && best_ratio[depth] > 0.0) bound += needed / best_ratio[depth];
+    if (q.qcost(bound) >= q.qcost(incumbent_cost)) {
+      metrics.bnb_pruned.add();
+      return;
+    }
+    if (depth == n) {
+      if (q.qresid(residual) > q_allowed) return;
+      Deployment candidate;
+      for (size_t i = 0; i < n; ++i) {
+        const RowOption& option = order[i].options[chosen[i]];
+        if (option.mechanism != nullptr) {
+          candidate.choices.push_back({order[i].row_index, option.mechanism});
+        }
+      }
+      std::sort(candidate.choices.begin(), candidate.choices.end(),
+                [](const DeploymentChoice& a, const DeploymentChoice& b) {
+                  return a.row_index < b.row_index;
+                });
+      candidate.total_cost_hours = SpfmEvaluator::cost(candidate);
+      candidate.spfm = eval.spfm(candidate);
+      // Accept on the canonical value only — the incumbent is never replaced
+      // by a deployment that fails the target outside the tolerance grid.
+      if (candidate.spfm >= target &&
+          q.qcost(candidate.total_cost_hours) < q.qcost(incumbent_cost)) {
+        incumbent_cost = candidate.total_cost_hours;
+        incumbent = std::move(candidate);
+      }
+      return;
+    }
+    const std::vector<RowOption>& opts = order[depth].options;
+    for (std::uint32_t o = 0; o < opts.size(); ++o) {
+      chosen[depth] = o;
+      dfs(depth + 1, residual + opts[o].residual, cost + opts[o].cost);
+    }
+  };
+  dfs(0, 0.0, 0.0);
+  return incumbent;
+}
+
+CsvTable front_to_csv(const FmedaResult& fmea, const std::vector<Deployment>& front) {
+  CsvTable table;
+  table.header = {"Cost(hrs)", "SPFM", "ASIL", "Choices", "Deployment"};
+  for (const Deployment& d : front) {
+    std::vector<std::string> parts;
+    parts.reserve(d.choices.size());
+    for (const auto& choice : d.choices) {
+      const FmedaRow& row = fmea.rows[choice.row_index];
+      parts.push_back(row.component + "/" + row.failure_mode + "=" + choice.mechanism->name);
+    }
+    table.rows.push_back({format_number(d.total_cost_hours, 2), format_percent(d.spfm, 4),
+                          achieved_asil(d.spfm), std::to_string(d.choices.size()),
+                          join(parts, "; ")});
+  }
+  return table;
+}
+
+std::string front_to_json(const FmedaResult& fmea, const std::vector<Deployment>& front) {
+  json::Array points;
+  for (const Deployment& d : front) {
+    json::Array choices;
+    for (const auto& choice : d.choices) {
+      const FmedaRow& row = fmea.rows[choice.row_index];
+      json::Object c;
+      c["row"] = static_cast<double>(choice.row_index);
+      c["component"] = row.component;
+      c["failure_mode"] = row.failure_mode;
+      c["mechanism"] = choice.mechanism->name;
+      c["coverage"] = choice.mechanism->coverage;
+      c["cost_hours"] = choice.mechanism->cost_hours;
+      choices.push_back(std::move(c));
+    }
+    json::Object point;
+    point["cost_hours"] = d.total_cost_hours;
+    point["spfm"] = d.spfm;
+    point["asil"] = achieved_asil(d.spfm);
+    point["choices"] = std::move(choices);
+    points.push_back(std::move(point));
+  }
+  json::Object root;
+  root["front"] = std::move(points);
+  return json::write(json::Value(std::move(root)));
 }
 
 }  // namespace decisive::core

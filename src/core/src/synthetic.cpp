@@ -100,6 +100,23 @@ SafetyMechanismModel synthetic_sm_catalogue() {
   return catalogue;
 }
 
+SafetyMechanismModel scaled_sm_catalogue() {
+  SafetyMechanismModel catalogue;
+  catalogue.add({"Subsystem", "Open", "Unit heartbeat", 0.80, 1.0});
+  catalogue.add({"Subsystem", "Open", "Unit output monitor", 0.90, 2.5});
+  catalogue.add({"Subsystem", "Open", "Redundant unit", 0.99, 12.0});
+  catalogue.add({"Sensor", "Open", "Range check", 0.70, 0.5});
+  catalogue.add({"Sensor", "Open", "Plausibility monitor", 0.90, 1.5});
+  catalogue.add({"Sensor", "Open", "Redundant sensor voting", 0.97, 4.0});
+  catalogue.add({"Sensor", "Short", "Supply current monitor", 0.85, 1.0});
+  catalogue.add({"Sensor", "Short", "Duplex sensor", 0.96, 5.0});
+  catalogue.add({"Resistor", "Open", "Redundant divider", 0.85, 0.5});
+  catalogue.add({"Resistor", "Open", "Voltage window comparator", 0.95, 2.0});
+  catalogue.add({"Resistor", "Short", "Series fuse", 0.75, 0.25});
+  catalogue.add({"Resistor", "Short", "Current limiter", 0.92, 1.5});
+  return catalogue;
+}
+
 namespace {
 
 /// Deterministically tops a model up to the published element count by

@@ -6,9 +6,12 @@
 #include <ostream>
 #include <vector>
 
+#include "decisive/base/csv.hpp"
 #include "decisive/base/error.hpp"
 #include "decisive/base/strings.hpp"
 #include "decisive/core/impact.hpp"
+#include "decisive/core/sm_search.hpp"
+#include "decisive/drivers/datasource.hpp"
 #include "decisive/model/xmi.hpp"
 #include "decisive/obs/log.hpp"
 #include "decisive/obs/registry.hpp"
@@ -93,6 +96,7 @@ class Service {
       else if (command == "add-failure-mode") cmd_add_failure_mode(tokens);
       else if (command == "deploy-sm") cmd_deploy_sm(tokens);
       else if (command == "impact") cmd_impact(tokens);
+      else if (command == "pareto") cmd_pareto(tokens);
       else if (command == "reanalyze") cmd_reanalyze();
       else if (command == "table") cmd_table();
       else if (command == "result") cmd_result();
@@ -175,6 +179,7 @@ class Service {
             "  add-failure-mode <component> <name> <distribution> <nature>\n"
             "  deploy-sm <component> <name> <coverage> <cost-hours> [<failure-mode>]\n"
             "  impact <component>                 change-impact report\n"
+            "  pareto <catalogue> [<epsilon>]     (cost, SPFM) deployment front as CSV\n"
             "  reanalyze                          incremental FMEA + stats\n"
             "  table                              last FMEDA table\n"
             "  result                             last SPFM / ASIL\n"
@@ -240,6 +245,27 @@ class Service {
     const core::ImpactReport report =
         core::impact_of_change(*model_, component_named(tokens[1]));
     out_ << report.to_text(*model_);
+  }
+
+  /// Safety-mechanism Pareto front on the session's current analysis,
+  /// rendered through the exact same front_to_csv as `same sm-search`, so
+  /// both surfaces emit identical artefacts for the same model state.
+  void cmd_pareto(const std::vector<std::string>& tokens) {
+    if (tokens.size() != 2 && tokens.size() != 3) {
+      throw ModelError("usage: pareto <catalogue> [<epsilon>]");
+    }
+    AnalysisSession& session = require_session();
+    if (!session.has_result()) cmd_reanalyze();  // the front needs an FMEA
+    const auto source = drivers::DriverRegistry::global().open(tokens[1]);
+    const std::string_view table_name =
+        source->table("SafetyMechanisms") != nullptr ? "SafetyMechanisms" : "";
+    const auto catalogue = core::SafetyMechanismModel::from_source(*source, table_name);
+    core::ParetoOptions options;
+    options.jobs = analysis_.jobs;
+    if (tokens.size() == 3) options.epsilon = parse_double(tokens[2]);
+    const auto front = core::pareto_front(session.last_result(), catalogue, options);
+    out_ << write_csv(core::front_to_csv(session.last_result(), front));
+    out_ << "front: " << front.size() << " deployment(s)\n";
   }
 
   void cmd_reanalyze() {

@@ -384,3 +384,117 @@ TEST(Cli, AssuranceEvaluatesCaseXml) {
   EXPECT_EQ(result.exit_code, 0) << result.output;
   EXPECT_NE(result.output.find("SUPPORTED"), std::string::npos);
 }
+
+// ---------------------------------------------------------------------------
+// sm-search: deployment search over a safety-mechanism catalogue
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Writes the brake-chain test catalogue and returns its path.
+std::string write_catalogue(const TempDir& tmp) {
+  const auto path = (tmp.path / "catalogue.csv").string();
+  FILE* f = fopen(path.c_str(), "w");
+  fputs(
+      "Component,Failure_Mode,Safety_Mechanism,Cov.,Cost(hrs)\n"
+      "Sensor,No output,Redundant sensor,95%,4.0\n"
+      "Sensor,No output,Heartbeat check,80%,1.0\n"
+      "Driver,Open,Duplex driver,90%,2.0\n",
+      f);
+  fclose(f);
+  return path;
+}
+
+std::string sm_search_args(const std::string& catalogue) {
+  return "sm-search " + kAssets + "/brake_chain.ssam --component BrakeChain --catalogue " +
+         catalogue;
+}
+
+}  // namespace
+
+TEST(Cli, SmSearchPrintsTheParetoFront) {
+  TempDir tmp;
+  const auto result = run(sm_search_args(write_catalogue(tmp)) + " --pareto");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("Cost(hrs),SPFM,ASIL,Choices,Deployment"), std::string::npos);
+  EXPECT_NE(result.output.find("Sensor/No output=Heartbeat check"), std::string::npos);
+  EXPECT_NE(result.output.find(
+                "6,95.6667%,ASIL-B,2,"
+                "Sensor/No output=Redundant sensor; Driver/Open=Duplex driver"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("front: 4 deployment(s)"), std::string::npos);
+}
+
+TEST(Cli, SmSearchOutputIdenticalAcrossJobCounts) {
+  TempDir tmp;
+  const auto catalogue = write_catalogue(tmp);
+  const auto serial = run(sm_search_args(catalogue) + " --pareto --jobs 1");
+  const auto parallel = run(sm_search_args(catalogue) + " --pareto --jobs 4");
+  EXPECT_EQ(serial.exit_code, 0) << serial.output;
+  // The merge tree's shape depends only on the row count, so any job count
+  // must produce byte-identical output.
+  EXPECT_EQ(serial.output, parallel.output);
+}
+
+TEST(Cli, SmSearchReachesTargetAsil) {
+  TempDir tmp;
+  const auto catalogue = write_catalogue(tmp);
+  const auto reached = run(sm_search_args(catalogue) + " --target-asil ASIL-B --optimal");
+  EXPECT_EQ(reached.exit_code, 0) << reached.output;
+  EXPECT_NE(reached.output.find("2 mechanism(s), 6 h total"), std::string::npos);
+  EXPECT_NE(reached.output.find("ASIL-B"), std::string::npos);
+
+  const auto unreachable = run(sm_search_args(catalogue) + " --target-asil ASIL-D");
+  EXPECT_EQ(unreachable.exit_code, 3) << unreachable.output;
+  EXPECT_NE(unreachable.output.find("unreachable"), std::string::npos);
+}
+
+TEST(Cli, SmSearchWritesCsvAndJson) {
+  TempDir tmp;
+  const auto csv_path = (tmp.path / "front.csv").string();
+  const auto json_path = (tmp.path / "front.json").string();
+  const auto result = run(sm_search_args(write_catalogue(tmp)) + " --pareto --out " +
+                          csv_path + " --json " + json_path);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  std::ifstream csv(csv_path);
+  std::string header;
+  std::getline(csv, header);
+  EXPECT_EQ(header, "Cost(hrs),SPFM,ASIL,Choices,Deployment");
+  std::ifstream json(json_path);
+  std::string json_text((std::istreambuf_iterator<char>(json)),
+                        std::istreambuf_iterator<char>());
+  EXPECT_NE(json_text.find("\"front\""), std::string::npos);
+  EXPECT_NE(json_text.find("\"Duplex driver\""), std::string::npos);
+}
+
+TEST(Cli, SessionParetoMatchesSmSearchCli) {
+  TempDir tmp;
+  const auto catalogue = write_catalogue(tmp);
+  const auto cli = run(sm_search_args(catalogue) + " --pareto");
+  ASSERT_EQ(cli.exit_code, 0) << cli.output;
+  // The front block is everything before the trailing "front: N" summary.
+  const auto cut = cli.output.find("front:");
+  ASSERT_NE(cut, std::string::npos);
+  const std::string front_csv = cli.output.substr(0, cut);
+  EXPECT_FALSE(front_csv.empty());
+
+  const auto script = (tmp.path / "script").string();
+  {
+    FILE* f = fopen(script.c_str(), "w");
+    fprintf(f, "pareto %s\nquit\n", catalogue.c_str());
+    fclose(f);
+  }
+  const auto session = run("session " + kAssets +
+                           "/brake_chain.ssam --component BrakeChain < " + script);
+  EXPECT_EQ(session.exit_code, 0) << session.output;
+  // The session's pareto request emits the same CSV block as the CLI.
+  EXPECT_NE(session.output.find(front_csv), std::string::npos);
+  EXPECT_NE(session.output.find("front: 4 deployment(s)"), std::string::npos);
+}
+
+TEST(Cli, SmSearchRequiresCatalogue) {
+  const auto result = run("sm-search " + kAssets +
+                          "/brake_chain.ssam --component BrakeChain --pareto");
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+  EXPECT_NE(result.output.find("--catalogue"), std::string::npos);
+}

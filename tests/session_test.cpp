@@ -397,3 +397,35 @@ TEST(ServiceTest, CacheSurvivesAcrossServiceRuns) {
   std::remove(model_path.c_str());
   std::remove(cache_path.c_str());
 }
+
+TEST(ServiceTest, ParetoAnswersTheDeploymentFront) {
+  const auto catalogue_path = temp_path("decisive-service-catalogue.csv");
+  write_file(catalogue_path,
+             "Component,Failure_Mode,Safety_Mechanism,Cov.,Cost(hrs)\n"
+             "Sensor,No output,Redundant sensor,95%,4.0\n"
+             "Sensor,No output,Heartbeat check,80%,1.0\n"
+             "Driver,Open,Duplex driver,90%,2.0\n");
+
+  ServiceOptions options;
+  options.model_path = DECISIVE_ASSETS_DIR "/brake_chain.ssam";
+  options.component = "BrakeChain";
+
+  // `pareto` works without an explicit reanalyze: the service runs one
+  // itself when no FMEA result is resident yet.
+  std::istringstream in("pareto " + catalogue_path + "\n" +
+                        "pareto " + catalogue_path + " 0.5\n" +
+                        "pareto\n"
+                        "quit\n");
+  std::ostringstream out;
+  EXPECT_EQ(run_service(in, out, options), 0);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("Cost(hrs),SPFM,ASIL,Choices,Deployment"), std::string::npos) << text;
+  EXPECT_NE(text.find("Sensor/No output=Redundant sensor; Driver/Open=Duplex driver"),
+            std::string::npos);
+  EXPECT_NE(text.find("front: 4 deployment(s)"), std::string::npos);
+  // Epsilon coarsening may only shrink the front; the zero-cost point stays.
+  EXPECT_NE(text.find("\n0,"), std::string::npos);
+  // Missing catalogue argument is a soft request error, not a crash.
+  EXPECT_NE(text.find("usage: pareto"), std::string::npos);
+  std::remove(catalogue_path.c_str());
+}

@@ -2,7 +2,11 @@
 // the (cost, SPFM) Pareto front.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <string>
+
 #include "decisive/base/error.hpp"
+#include "decisive/base/json.hpp"
 #include "decisive/base/table.hpp"
 #include "decisive/core/sm_search.hpp"
 
@@ -160,8 +164,9 @@ TEST(Pareto, DominanceSemantics) {
   EXPECT_FALSE(cheap_good.dominates(cheap_good));
 }
 
-TEST(Pareto, CombinationGuardThrows) {
-  // 12 rows x 3 options = 3^12 > the tiny cap given.
+TEST(Pareto, CombinationGuardThrowsOnTheOracleOnly) {
+  // 12 rows x 3 options = 3^12 > the tiny cap given: the exhaustive oracle
+  // refuses, the DP engine completes.
   FmedaResult f;
   SafetyMechanismModel cat;
   for (int i = 0; i < 12; ++i) {
@@ -170,7 +175,8 @@ TEST(Pareto, CombinationGuardThrows) {
     cat.add({name, "Open", "a", 0.9, 1.0});
     cat.add({name, "Open", "b", 0.95, 2.0});
   }
-  EXPECT_THROW(pareto_front(f, cat, /*max_combinations=*/1000), AnalysisError);
+  EXPECT_THROW(pareto_front_exhaustive(f, cat, /*max_combinations=*/1000), AnalysisError);
+  EXPECT_FALSE(pareto_front(f, cat).empty());
 }
 
 TEST(Pareto, NoSafetyRelatedRowsYieldsTrivialFront) {
@@ -223,3 +229,232 @@ TEST_P(SearchProperty, GreedyConsistentWithFront) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SearchProperty, ::testing::Range(1, 26));
+
+namespace {
+
+/// Seeded random instance: <= 6 open rows, 0-3 mechanisms per row.
+struct RandomInstance {
+  FmedaResult fmea;
+  SafetyMechanismModel catalogue;
+};
+
+RandomInstance make_random_instance(uint64_t seed) {
+  Rng rng(seed);
+  RandomInstance out;
+  const int n = 2 + static_cast<int>(rng.below(5));
+  for (int i = 0; i < n; ++i) {
+    const std::string name = "R" + std::to_string(i);
+    out.fmea.rows.push_back(
+        make_row(name.c_str(), 10 + rng.uniform() * 200, "Open", 1.0, true));
+    const int options = static_cast<int>(rng.below(4));
+    for (int k = 0; k < options; ++k) {
+      out.catalogue.add({name, "Open", name + "-sm" + std::to_string(k),
+                         0.5 + rng.uniform() * 0.49, 0.5 + rng.uniform() * 5.0});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+/// The DP engine must reproduce the seed-era exhaustive enumerator's front
+/// exactly (set-identical deployments on the (cost, SPFM) plane) on every
+/// random instance small enough for the oracle.
+class DpOracleProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DpOracleProperty, DpFrontMatchesExhaustiveOracle) {
+  const auto instance = make_random_instance(static_cast<uint64_t>(GetParam()));
+  const auto oracle = pareto_front_exhaustive(instance.fmea, instance.catalogue);
+  const auto dp = pareto_front(instance.fmea, instance.catalogue);
+  ASSERT_EQ(oracle.size(), dp.size());
+  for (size_t i = 0; i < dp.size(); ++i) {
+    EXPECT_NEAR(dp[i].total_cost_hours, oracle[i].total_cost_hours, 1e-9) << "point " << i;
+    EXPECT_NEAR(dp[i].spfm, oracle[i].spfm, 1e-12) << "point " << i;
+    // Every DP point is a real deployment: re-applying it reproduces the
+    // reported SPFM and cost.
+    const auto applied = apply_deployment(instance.fmea, dp[i]);
+    EXPECT_NEAR(applied.spfm(), dp[i].spfm, 1e-12) << "point " << i;
+    double cost = 0.0;
+    for (const auto& choice : dp[i].choices) cost += choice.mechanism->cost_hours;
+    EXPECT_DOUBLE_EQ(cost, dp[i].total_cost_hours) << "point " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DpOracleProperty, ::testing::Range(1, 41));
+
+/// optimal_reach_asil is provably min-cost: never costlier than greedy, and
+/// equal to the cheapest oracle front point meeting the target.
+class OptimalProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimalProperty, NeverCostlierThanGreedyAndMatchesFront) {
+  const auto instance = make_random_instance(static_cast<uint64_t>(GetParam()));
+  const auto greedy = greedy_reach_asil(instance.fmea, instance.catalogue, "ASIL-B");
+  const auto optimal = optimal_reach_asil(instance.fmea, instance.catalogue, "ASIL-B");
+  ASSERT_EQ(greedy.has_value(), optimal.has_value());
+  if (!optimal.has_value()) return;
+  EXPECT_LE(optimal->total_cost_hours, greedy->total_cost_hours + 1e-9);
+  EXPECT_GE(optimal->spfm, 0.90);
+  const auto front = pareto_front_exhaustive(instance.fmea, instance.catalogue);
+  const Deployment* cheapest = nullptr;
+  for (const auto& d : front) {
+    if (d.spfm >= 0.90) {
+      cheapest = &d;
+      break;
+    }
+  }
+  ASSERT_NE(cheapest, nullptr);
+  EXPECT_NEAR(optimal->total_cost_hours, cheapest->total_cost_hours, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimalProperty, ::testing::Range(1, 41));
+
+TEST(Pareto, JobsCountNeverChangesTheFront) {
+  const auto instance = make_random_instance(7);
+  ParetoOptions serial;
+  serial.jobs = 1;
+  const auto base = pareto_front(instance.fmea, instance.catalogue, serial);
+  for (const int jobs : {2, 4, 8}) {
+    ParetoOptions options;
+    options.jobs = jobs;
+    const auto front = pareto_front(instance.fmea, instance.catalogue, options);
+    ASSERT_EQ(front.size(), base.size()) << "jobs " << jobs;
+    for (size_t i = 0; i < front.size(); ++i) {
+      // Bit-identical, not just close: the merge-tree shape is fixed, so
+      // parallelism must not change a single floating-point association.
+      EXPECT_EQ(front[i].total_cost_hours, base[i].total_cost_hours);
+      EXPECT_EQ(front[i].spfm, base[i].spfm);
+      ASSERT_EQ(front[i].choices.size(), base[i].choices.size());
+      for (size_t c = 0; c < front[i].choices.size(); ++c) {
+        EXPECT_EQ(front[i].choices[c].row_index, base[i].choices[c].row_index);
+        EXPECT_EQ(front[i].choices[c].mechanism, base[i].choices[c].mechanism);
+      }
+    }
+  }
+}
+
+TEST(Pareto, TiePrefersFewestChoices) {
+  // {M1} and {M2, M3} land on the same (cost 2, residual 250) point; the
+  // front must report the single-mechanism representative.
+  FmedaResult f;
+  f.rows = {make_row("A", 100, "Open", 1.0, true), make_row("B", 100, "Open", 1.0, true),
+            make_row("C", 100, "Open", 1.0, true)};
+  SafetyMechanismModel cat;
+  cat.add({"A", "Open", "M1", 0.5, 2.0});
+  cat.add({"B", "Open", "M2", 0.25, 1.0});
+  cat.add({"C", "Open", "M3", 0.25, 1.0});
+  const auto front = pareto_front(f, cat);
+  const Deployment* at_cost_2 = nullptr;
+  for (const auto& d : front) {
+    if (std::abs(d.total_cost_hours - 2.0) < 1e-9) at_cost_2 = &d;
+  }
+  ASSERT_NE(at_cost_2, nullptr);
+  ASSERT_EQ(at_cost_2->choices.size(), 1u);
+  EXPECT_EQ(at_cost_2->choices[0].mechanism->name, "M1");
+  // The oracle applies the same tie preference.
+  const auto oracle = pareto_front_exhaustive(f, cat);
+  ASSERT_EQ(oracle.size(), front.size());
+  for (size_t i = 0; i < front.size(); ++i) {
+    EXPECT_EQ(oracle[i].choices.size(), front[i].choices.size()) << "point " << i;
+  }
+}
+
+TEST(Pareto, EpsilonCoarseningBoundsTheFront) {
+  const auto instance = make_random_instance(11);
+  const auto exact = pareto_front(instance.fmea, instance.catalogue);
+  ParetoOptions coarse;
+  coarse.epsilon = 0.05;
+  const auto approx = pareto_front(instance.fmea, instance.catalogue, coarse);
+  ASSERT_FALSE(approx.empty());
+  EXPECT_LE(approx.size(), exact.size());
+  // The cost-0 point always survives, and every survivor is a real
+  // non-dominated deployment in sorted order.
+  EXPECT_DOUBLE_EQ(approx.front().total_cost_hours, 0.0);
+  for (size_t i = 1; i < approx.size(); ++i) {
+    EXPECT_GT(approx[i].total_cost_hours, approx[i - 1].total_cost_hours);
+    EXPECT_GT(approx[i].spfm, approx[i - 1].spfm);
+  }
+  for (const auto& d : approx) {
+    const auto applied = apply_deployment(instance.fmea, d);
+    EXPECT_NEAR(applied.spfm(), d.spfm, 1e-12);
+  }
+  ParetoOptions invalid;
+  invalid.epsilon = 1.0;
+  EXPECT_THROW(pareto_front(instance.fmea, instance.catalogue, invalid), AnalysisError);
+}
+
+TEST(Pareto, MergeLabelGuardSuggestsEpsilon) {
+  // Many rows with irrational-ish distinct costs make every partial sum a
+  // distinct front point; a tiny label cap must trip with an epsilon hint.
+  FmedaResult f;
+  SafetyMechanismModel cat;
+  for (int i = 0; i < 16; ++i) {
+    const std::string name = "G" + std::to_string(i);
+    f.rows.push_back(make_row(name.c_str(), 100, "Open", 1.0, true));
+    cat.add({name, "Open", "a", 0.9, 1.0 + 0.001 * i});
+    cat.add({name, "Open", "b", 0.99, 2.0 + 0.0017 * i});
+  }
+  ParetoOptions tiny;
+  tiny.max_merge_labels = 64;
+  try {
+    pareto_front(f, cat, tiny);
+    FAIL() << "expected AnalysisError";
+  } catch (const AnalysisError& error) {
+    EXPECT_NE(std::string(error.what()).find("epsilon"), std::string::npos);
+  }
+  // The same instance completes under coarsening.
+  ParetoOptions coarse;
+  coarse.max_merge_labels = 100'000;
+  coarse.epsilon = 0.05;
+  EXPECT_FALSE(pareto_front(f, cat, coarse).empty());
+}
+
+TEST(Pareto, DpScalesToHundredsOfOpenRows) {
+  // >= 200 open rows with 3 options each: the seed enumerator throws, the DP
+  // engine completes with a well-formed front (grid-valued costs keep the
+  // exact front polynomial).
+  FmedaResult f;
+  SafetyMechanismModel cat;
+  for (int t = 0; t < 5; ++t) {
+    const std::string type = "S" + std::to_string(t);
+    cat.add({type, "Open", type + "-cheap", 0.7, 0.5});
+    cat.add({type, "Open", type + "-good", 0.9, 2.0});
+  }
+  for (int i = 0; i < 220; ++i) {
+    const std::string type = "S" + std::to_string(i % 5);
+    FmedaRow row = make_row(type.c_str(), 5.0 + (i % 11), "Open", 1.0, true);
+    row.component = type + "#" + std::to_string(i);
+    f.rows.push_back(row);
+  }
+  EXPECT_THROW(pareto_front_exhaustive(f, cat), AnalysisError);
+  ParetoOptions options;
+  options.jobs = 4;
+  const auto front = pareto_front(f, cat, options);
+  ASSERT_GT(front.size(), 10u);
+  for (size_t i = 1; i < front.size(); ++i) {
+    EXPECT_GT(front[i].total_cost_hours, front[i - 1].total_cost_hours);
+    EXPECT_GT(front[i].spfm, front[i - 1].spfm);
+  }
+  // Spot-verify the costliest point: every row deployed with its best
+  // mechanism.
+  EXPECT_EQ(front.back().choices.size(), 220u);
+  const auto applied = apply_deployment(f, front.back());
+  EXPECT_NEAR(applied.spfm(), front.back().spfm, 1e-12);
+}
+
+TEST(FrontExport, CsvAndJsonRenderTheFront) {
+  const auto fmea = sample_fmea();
+  // The catalogue must outlive the front: deployments point into its specs.
+  const auto catalogue = sample_catalogue();
+  const auto front = pareto_front(fmea, catalogue);
+  const CsvTable table = front_to_csv(fmea, front);
+  ASSERT_EQ(table.header.size(), 5u);
+  EXPECT_EQ(table.header[0], "Cost(hrs)");
+  ASSERT_EQ(table.rows.size(), front.size());
+  EXPECT_EQ(table.rows[0][0], "0");  // the empty deployment leads the front
+  const auto doc = json::parse(front_to_json(fmea, front));
+  const auto* points = doc.find("front");
+  ASSERT_NE(points, nullptr);
+  ASSERT_EQ(points->as_array().size(), front.size());
+  EXPECT_NEAR(points->as_array().back().find("cost_hours")->as_number(),
+              front.back().total_cost_hours, 1e-9);
+}

@@ -3,6 +3,7 @@
 // Subcommands (see `same help`):
 //   fmea        automated FME(D)A on a Simulink-substitute (.mdl) model
 //   graph-fmea  Algorithm-1 FMEA on an SSAM architecture model
+//   sm-search   safety-mechanism deployment search: Pareto front / target ASIL
 //   import      transform a .mdl model into SSAM (XMI) with a loss audit
 //   export      regenerate the .mdl from an imported SSAM model
 //   assurance   evaluate a model-based assurance case (.xml)
@@ -35,6 +36,7 @@
 #include "decisive/core/graph_fmea.hpp"
 #include "decisive/core/impact.hpp"
 #include "decisive/core/monitor.hpp"
+#include "decisive/core/sm_search.hpp"
 #include "decisive/core/synthetic.hpp"
 #include "decisive/obs/registry.hpp"
 #include "decisive/obs/trace.hpp"
@@ -111,6 +113,17 @@ int usage() {
       "      single-point analysis over the component graph, recursing into\n"
       "      composites. --jobs parallelises the per-component analyses\n"
       "      (0 = all cores); output is byte-identical for any job count.\n\n"
+      "  same sm-search <design.ssam> --component <name> --catalogue <path>\n"
+      "            [--target-asil B [--optimal]] [--pareto] [--jobs N]\n"
+      "            [--epsilon E] [--out front.csv] [--json front.json]\n"
+      "      Safety-mechanism deployment search (DECISIVE step 4b) on the\n"
+      "      graph FMEA of <name>. Default/--pareto: the exact (cost, SPFM)\n"
+      "      Pareto front via the DP engine (byte-identical for any --jobs;\n"
+      "      --epsilon trades exactness for a bounded front). --target-asil:\n"
+      "      a min-cost deployment reaching the target (greedy, or provably\n"
+      "      optimal branch-and-bound with --optimal; exit 3 = unreachable).\n"
+      "      --catalogue accepts a CSV file or a workbook directory with a\n"
+      "      SafetyMechanisms sheet.\n\n"
       "  same fta <design.ssam> --component <name> [--mission-hours 10000]\n"
       "      Synthesise the fault tree of a composite component: minimal cut\n"
       "      sets, top-event probability and importance measures.\n\n"
@@ -255,6 +268,102 @@ int cmd_graph_fmea(const Args& args) {
   if (const auto out = args.get("out")) {
     write_csv_file(*out, result.to_csv());
     std::printf("FMEDA written to %s\n", out->c_str());
+  }
+  return 0;
+}
+
+/// Loads a safety-mechanism catalogue from any tabular source: a workbook
+/// directory with a SafetyMechanisms sheet, or a bare CSV file (whose single
+/// table answers to the empty name regardless of the file stem).
+core::SafetyMechanismModel load_catalogue(const std::string& location) {
+  const auto source = drivers::DriverRegistry::global().open(location);
+  const std::string_view table =
+      source->table("SafetyMechanisms") != nullptr ? "SafetyMechanisms" : "";
+  return core::SafetyMechanismModel::from_source(*source, table);
+}
+
+int cmd_sm_search(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const auto component_name = args.get("component");
+  if (!component_name.has_value()) {
+    std::fprintf(stderr, "error: --component <name> is required\n");
+    return 2;
+  }
+  const auto catalogue_location = args.get("catalogue");
+  if (!catalogue_location.has_value()) {
+    std::fprintf(stderr, "error: --catalogue <csv-or-workbook> is required\n");
+    return 2;
+  }
+
+  ssam::SsamModel model;
+  model::load_xmi_file(model.repo(), model.meta(), args.positional[0]);
+  const auto component = model.find_by_name(ssam::cls::Component, *component_name);
+  if (component == model::kNullObject) {
+    std::fprintf(stderr, "error: no component named '%s'\n", component_name->c_str());
+    return 1;
+  }
+  const auto fmea = core::analyze_component(model, component, {});
+  const auto catalogue = load_catalogue(*catalogue_location);
+
+  if (const auto target = args.get("target-asil")) {
+    // Min-cost deployment for one target: greedy by default, provably
+    // optimal branch-and-bound with --optimal.
+    const auto deployment = args.has("optimal")
+                                ? core::optimal_reach_asil(fmea, catalogue, *target)
+                                : core::greedy_reach_asil(fmea, catalogue, *target);
+    if (!deployment.has_value()) {
+      std::printf("target ASIL %s is unreachable with this catalogue\n", target->c_str());
+      return 3;
+    }
+    for (const auto& choice : deployment->choices) {
+      const core::FmedaRow& row = fmea.rows[choice.row_index];
+      std::printf("deploy %s on %s/%s (coverage %s, %s h)\n",
+                  choice.mechanism->name.c_str(), row.component.c_str(),
+                  row.failure_mode.c_str(),
+                  format_percent(choice.mechanism->coverage).c_str(),
+                  format_number(choice.mechanism->cost_hours, 2).c_str());
+    }
+    std::printf("%zu mechanism(s), %s h total\n", deployment->choices.size(),
+                format_number(deployment->total_cost_hours, 2).c_str());
+    std::printf("SPFM %s -> %s  ->  SPFM %s -> %s\n", format_percent(fmea.spfm()).c_str(),
+                fmea.asil_label().c_str(), format_percent(deployment->spfm).c_str(),
+                core::achieved_asil(deployment->spfm).c_str());
+    if (const auto out = args.get("out")) {
+      write_csv_file(*out, core::front_to_csv(fmea, {*deployment}));
+      std::printf("deployment written to %s\n", out->c_str());
+    }
+    if (const auto json_out = args.get("json")) {
+      std::ofstream file(*json_out, std::ios::binary);
+      if (!file) throw IoError("cannot write '" + *json_out + "'");
+      file << core::front_to_json(fmea, {*deployment});
+      std::printf("deployment written to %s\n", json_out->c_str());
+    }
+    return 0;
+  }
+
+  // Default (and --pareto): the exact (cost, SPFM) Pareto front.
+  core::ParetoOptions options;
+  if (const auto jobs = args.get("jobs")) {
+    options.jobs = static_cast<int>(parse_int(*jobs));
+    if (options.jobs < 0) {
+      std::fprintf(stderr, "error: --jobs must be >= 0 (0 = all cores)\n");
+      return 2;
+    }
+  }
+  if (const auto epsilon = args.get("epsilon")) options.epsilon = parse_double(*epsilon);
+  const auto front = core::pareto_front(fmea, catalogue, options);
+  const CsvTable table = core::front_to_csv(fmea, front);
+  std::printf("%s", write_csv(table).c_str());
+  std::printf("front: %zu deployment(s)\n", front.size());
+  if (const auto out = args.get("out")) {
+    write_csv_file(*out, table);
+    std::printf("front written to %s\n", out->c_str());
+  }
+  if (const auto json_out = args.get("json")) {
+    std::ofstream file(*json_out, std::ios::binary);
+    if (!file) throw IoError("cannot write '" + *json_out + "'");
+    file << core::front_to_json(fmea, front);
+    std::printf("front written to %s\n", json_out->c_str());
   }
   return 0;
 }
@@ -473,6 +582,7 @@ int dispatch(const std::string& command, const Args& args) {
   // campaign engine); `fmea` is the historical spelling.
   if (command == "fmea" || command == "campaign") return cmd_fmea(args);
   if (command == "graph-fmea") return cmd_graph_fmea(args);
+  if (command == "sm-search") return cmd_sm_search(args);
   if (command == "import") return cmd_import(args);
   if (command == "export") return cmd_export(args);
   if (command == "assurance") return cmd_assurance(args);
