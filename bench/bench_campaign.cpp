@@ -12,9 +12,11 @@
 #include "obs_bench.hpp"
 
 #include <cstdio>
+#include <filesystem>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "decisive/base/csv.hpp"
 #include "decisive/core/campaign.hpp"
@@ -136,10 +138,86 @@ BENCHMARK(BM_CampaignJobsSweep)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+/// Sharded execution: run every shard of an N-way partition (journaled, as a
+/// distributed deployment would) and fold the per-shard journals back into
+/// the campaign FMEDA. Measures the full split→run-all-shards→merge cycle,
+/// so the shard-count sweep exposes the journal + merge overhead on top of
+/// the plain campaign (shards=1 is the journaled baseline).
+void run_sharded_campaign(benchmark::State& state, int stages, int shard_count) {
+  const auto built = make_rail(stages);
+  const auto reliability = make_reliability();
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("decisive_bench_shards_" + std::to_string(shard_count));
+  std::filesystem::create_directories(dir);
+  size_t faults = 0;
+  for (auto _ : state) {
+    std::vector<std::string> journals;
+    for (int shard = 0; shard < shard_count; ++shard) {
+      auto options = options_with_jobs(1);
+      options.execution.shard_index = shard;
+      options.execution.shard_count = shard_count;
+      options.execution.journal_path =
+          (dir / ("shard" + std::to_string(shard) + ".journal")).string();
+      journals.push_back(options.execution.journal_path);
+      std::filesystem::remove(options.execution.journal_path);
+      const auto part = core::analyze_circuit(built, reliability, nullptr, options);
+      benchmark::DoNotOptimize(part.rows.size());
+    }
+    const auto merged = core::merge_campaign_journals(journals);
+    benchmark::DoNotOptimize(merged.spfm());
+    faults += merged.rows.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(faults));
+  std::filesystem::remove_all(dir);
+}
+
+void BM_CampaignShardSweep(benchmark::State& state) {
+  run_sharded_campaign(state, 24, static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_CampaignShardSweep)
+    ->ArgName("shards")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/// Shard-merge gate, mirroring verify_determinism(): the merged N-shard
+/// FMEDA must be byte-identical to the unsharded campaign for every swept
+/// shard count before the shard timings mean anything.
+void verify_shard_merge() {
+  const auto built = make_rail(12);
+  const auto reliability = make_reliability();
+  const auto whole =
+      write_csv(core::analyze_circuit(built, reliability, nullptr, options_with_jobs(1))
+                    .to_csv());
+  const auto dir = std::filesystem::temp_directory_path() / "decisive_bench_shard_gate";
+  for (const int shard_count : {1, 2, 4, 8}) {
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    std::vector<std::string> journals;
+    for (int shard = 0; shard < shard_count; ++shard) {
+      auto options = options_with_jobs(1);
+      options.execution.shard_index = shard;
+      options.execution.shard_count = shard_count;
+      options.execution.journal_path =
+          (dir / ("shard" + std::to_string(shard) + ".journal")).string();
+      journals.push_back(options.execution.journal_path);
+      (void)core::analyze_circuit(built, reliability, nullptr, options);
+    }
+    const auto merged = write_csv(core::merge_campaign_journals(journals).to_csv());
+    expect(merged == whole, "merged shard FMEDA differs from unsharded");
+  }
+  std::filesystem::remove_all(dir);
+  std::printf("shard merge verified: 1/2/4/8-way shard journals fold to the "
+              "unsharded FMEDA byte-identically\n\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::printf("hardware concurrency: %u\n", std::thread::hardware_concurrency());
   verify_determinism();
+  verify_shard_merge();
   return bench_obs::run_benchmarks(argc, argv, "campaign");
 }

@@ -14,6 +14,21 @@
 //    fixed-size std::thread pool with deterministic result ordering — the
 //    FMEDA table is byte-identical for any job count.
 //
+// Campaigns are additionally *infrastructure-grade* (ROADMAP item 5):
+//
+//  - with CampaignExecution::journal_path set, every completed task is
+//    checkpointed to a crash-safe append-only journal
+//    (campaign_journal.hpp); a re-run replays the journal and executes only
+//    the remaining tasks, byte-identical to an uninterrupted run;
+//  - CampaignExecution::shard_index/shard_count partition the task list
+//    deterministically across processes; merge_campaign_journals() folds the
+//    per-shard journals into the identical unsharded FMEDA;
+//  - failure containment: a task worker that throws outside the classified
+//    paths yields a structured Crashed outcome; Crashed/BudgetExhausted
+//    tasks get one bounded retry (fresh ladder, tighter budget); and a
+//    campaign-level circuit breaker re-runs serially, on the main thread,
+//    whatever a dying worker left behind instead of losing the campaign.
+//
 // Warning strings in the result are *derived* from the structured outcomes
 // (single source of truth), so the CSV/report and the warnings can never
 // disagree.
@@ -23,11 +38,13 @@
 #include <string>
 #include <vector>
 
+#include "decisive/core/campaign_journal.hpp"
 #include "decisive/core/circuit_fmea.hpp"
 #include "decisive/core/fmeda.hpp"
 #include "decisive/core/reliability.hpp"
 #include "decisive/core/safety_mechanism.hpp"
 #include "decisive/sim/builder.hpp"
+#include "decisive/sim/solver.hpp"
 
 namespace decisive::core {
 
@@ -52,15 +69,33 @@ class CampaignRunner {
   /// reliability data are skipped and reported via run()'s warnings).
   [[nodiscard]] const std::vector<Task>& tasks() const noexcept { return tasks_; }
 
-  /// Solves the baseline, executes every task on `options.jobs` worker
-  /// threads (0 = hardware concurrency) and assembles the FmedaResult with
-  /// rows in task order regardless of the job count. Throws SimulationError
-  /// when the *baseline* does not solve even via the recovery ladder.
+  /// Solves the baseline, executes this shard's share of the tasks on
+  /// `options.jobs` worker threads (0 = hardware concurrency) and assembles
+  /// the FmedaResult with rows in task order regardless of the job count.
+  /// With a journal configured, checkpointed tasks are replayed instead of
+  /// re-run. Throws SimulationError when the *baseline* does not solve even
+  /// via the recovery ladder — unless `options.execution.best_effort`, which
+  /// degrades every pending row to NotApplicable instead.
   [[nodiscard]] FmedaResult run() const;
+
+  /// Identity hash of this campaign: circuit netlist, observables, task
+  /// list, classification thresholds and solver/retry configuration — but
+  /// not the job count or shard spec, which must not change results. The
+  /// journal refuses to resume under a different fingerprint.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  /// The journal header a run with these options writes/expects.
+  [[nodiscard]] CampaignJournalHeader journal_header() const;
+
+  /// Global indices of the tasks this shard executes
+  /// (i % shard_count == shard_index), in task order.
+  [[nodiscard]] std::vector<size_t> shard_task_indices() const;
 
  private:
   [[nodiscard]] FmedaRow run_task(const Task& task,
                                   const sim::OperatingPoint& baseline) const;
+  [[nodiscard]] FmedaRow run_task_once(const Task& task, const sim::OperatingPoint& baseline,
+                                       const sim::SolveOptions& solver, int attempt) const;
 
   const sim::BuiltCircuit& built_;
   const SafetyMechanismModel* sm_model_;

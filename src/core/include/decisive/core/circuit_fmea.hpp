@@ -25,6 +25,32 @@
 
 namespace decisive::core {
 
+/// Resilient-execution controls of a campaign run: crash-safe journaling,
+/// deterministic sharding and failure containment (see campaign.hpp and
+/// campaign_journal.hpp). All defaults preserve the classic one-shot,
+/// single-shard behaviour.
+struct CampaignExecution {
+  /// Append-only checkpoint journal ("" = no journal). When the file already
+  /// holds a compatible journal of the same campaign, completed tasks are
+  /// replayed from it and only the remainder is executed; the final FMEDA is
+  /// byte-identical to an uninterrupted run.
+  std::string journal_path;
+  /// Deterministic shard partition: this runner executes the tasks whose
+  /// global index i satisfies i % shard_count == shard_index. The per-shard
+  /// results merge (merge_journals) into the identical unsharded FMEDA.
+  int shard_index = 0;
+  int shard_count = 1;
+  /// Bounded containment retries for tasks that crash or exhaust their solve
+  /// budget: each retry re-runs the task from scratch (restarting the
+  /// recovery ladder) under a budget scaled by retry_budget_scale, so a hung
+  /// solve cannot hang twice as long on retry. 0 disables retries.
+  int max_retries = 1;
+  double retry_budget_scale = 0.5;
+  /// When true, a baseline that does not solve yields a degraded result with
+  /// every row NotApplicable instead of a SimulationError.
+  bool best_effort = false;
+};
+
 struct CircuitFmeaOptions {
   /// Relative deviation of an observable that marks a fault safety-related.
   double relative_threshold = 0.20;
@@ -41,6 +67,8 @@ struct CircuitFmeaOptions {
   /// Campaign worker threads: 1 = serial, 0 = hardware concurrency. The
   /// FMEDA output is byte-identical for any value.
   int jobs = 1;
+  /// Journal / shard / containment controls of the campaign run.
+  CampaignExecution execution;
 
   /// True when `name` counts toward the safety goal.
   [[nodiscard]] bool is_goal_observable(const std::string& name) const;

@@ -41,10 +41,11 @@ enum class FaultOutcome {
   BudgetExhausted,     ///< iteration/wall-clock budget spent without a solution
   Singular,            ///< faulted system is structurally singular
   NotApplicable,       ///< fault kind does not apply to this element
+  Crashed,             ///< the task worker threw outside the classified paths
 };
 
 /// Number of FaultOutcome enumerators (for count arrays).
-inline constexpr size_t kFaultOutcomeCount = 5;
+inline constexpr size_t kFaultOutcomeCount = 6;
 
 std::string_view to_string(FaultOutcome outcome) noexcept;
 
@@ -77,6 +78,7 @@ struct FmedaRow {
   std::string outcome_detail;  ///< solver failure reason / recovery strategy
   int solver_iterations = 0;   ///< Newton iterations spent on the faulted solve
   int ladder_rung = 0;         ///< recovery-ladder rung that produced the result
+  int retries = 0;             ///< containment retries spent on this task
 
   /// FIT apportioned to this failure mode.
   [[nodiscard]] double mode_fit() const noexcept { return fit * distribution; }

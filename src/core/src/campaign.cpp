@@ -2,12 +2,19 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <exception>
+#include <filesystem>
+#include <limits>
+#include <memory>
 #include <mutex>
+#include <sstream>
 #include <thread>
 #include <utility>
 
 #include "decisive/base/error.hpp"
+#include "decisive/base/persist.hpp"
+#include "decisive/obs/log.hpp"
 #include "decisive/obs/registry.hpp"
 #include "decisive/obs/span.hpp"
 #include "decisive/sim/fault.hpp"
@@ -26,7 +33,14 @@ struct CampaignMetrics {
   obs::Counter& outcome_budget_exhausted;
   obs::Counter& outcome_singular;
   obs::Counter& outcome_not_applicable;
+  obs::Counter& outcome_crashed;
+  obs::Counter& retries;
+  obs::Counter& checkpoint_replays;
+  obs::Counter& journal_appends;
+  obs::Counter& journal_trims;
+  obs::Counter& breaker_trips;
   obs::Gauge& jobs;
+  obs::Gauge& shards;
   obs::Histogram& task_seconds;
   obs::Histogram& run_seconds;
 
@@ -40,7 +54,14 @@ struct CampaignMetrics {
         registry.counter("decisive_campaign_outcome_budget_exhausted_total"),
         registry.counter("decisive_campaign_outcome_singular_total"),
         registry.counter("decisive_campaign_outcome_not_applicable_total"),
+        registry.counter("decisive_campaign_outcome_crashed_total"),
+        registry.counter("decisive_campaign_retries_total"),
+        registry.counter("decisive_campaign_checkpoint_replays_total"),
+        registry.counter("decisive_campaign_journal_appends_total"),
+        registry.counter("decisive_campaign_journal_trims_total"),
+        registry.counter("decisive_campaign_breaker_trips_total"),
         registry.gauge("decisive_campaign_jobs"),
+        registry.gauge("decisive_campaign_shards"),
         registry.histogram("decisive_campaign_task_seconds"),
         registry.histogram("decisive_campaign_run_seconds")};
     return metrics;
@@ -55,6 +76,7 @@ void count_outcome(const FmedaRow& row) {
     case FaultOutcome::BudgetExhausted: metrics.outcome_budget_exhausted.add(); break;
     case FaultOutcome::Singular: metrics.outcome_singular.add(); break;
     case FaultOutcome::NotApplicable: metrics.outcome_not_applicable.add(); break;
+    case FaultOutcome::Crashed: metrics.outcome_crashed.add(); break;
   }
 }
 
@@ -77,28 +99,75 @@ EffectClass classify(const CircuitFmeaOptions& options, const sim::OperatingPoin
   return EffectClass::None;
 }
 
+/// Campaign fault-injection hooks (for the containment tests: the campaign
+/// engine eats its own dog food and is itself tested by fault injection).
+/// Read fresh per run so tests can flip them between campaigns in-process.
+///
+///  - DECISIVE_CAMPAIGN_TASK_THROW="<component-path>/<mode-name>[@k]": the
+///    matching task throws std::runtime_error from inside run_task_once —
+///    must surface as a structured Crashed outcome, never an exception. With
+///    "@k", only the first k attempts throw (retry k succeeds), the
+///    deterministic "transient crash" specimen of the retry tests.
+///  - DECISIVE_CAMPAIGN_WORKER_DIE=<global-task-index>: the worker thread
+///    that picks up that task dies *outside* task containment — must trip
+///    the circuit breaker and finish the campaign serially.
+struct CrashHooks {
+  std::string task_throw;
+  long worker_die = -1;
+
+  static CrashHooks from_env() {
+    CrashHooks hooks;
+    if (const char* spec = std::getenv("DECISIVE_CAMPAIGN_TASK_THROW")) {
+      hooks.task_throw = spec;
+    }
+    if (const char* index = std::getenv("DECISIVE_CAMPAIGN_WORKER_DIE")) {
+      hooks.worker_die = std::strtol(index, nullptr, 10);
+    }
+    return hooks;
+  }
+};
+
 }  // namespace
 
 std::string outcome_warning(const FmedaRow& row) {
+  std::string warning;
   switch (row.outcome) {
     case FaultOutcome::Converged:
-      return "";
+      break;
     case FaultOutcome::RecoveredViaLadder:
-      return "fault '" + row.failure_mode + "' on '" + row.component +
-             "' needed the solver recovery ladder (" + row.outcome_detail + ")";
+      warning = "fault '" + row.failure_mode + "' on '" + row.component +
+                "' needed the solver recovery ladder (" + row.outcome_detail + ")";
+      break;
     case FaultOutcome::BudgetExhausted:
-      return "fault '" + row.failure_mode + "' on '" + row.component +
-             "' exhausted the solve budget (" + row.outcome_detail +
-             "); conservatively marked safety-related";
+      warning = "fault '" + row.failure_mode + "' on '" + row.component +
+                "' exhausted the solve budget (" + row.outcome_detail +
+                "); conservatively marked safety-related";
+      break;
     case FaultOutcome::Singular:
-      return "fault '" + row.failure_mode + "' on '" + row.component +
-             "' produced a singular system (" + row.outcome_detail +
-             "); conservatively marked safety-related";
+      warning = "fault '" + row.failure_mode + "' on '" + row.component +
+                "' produced a singular system (" + row.outcome_detail +
+                "); conservatively marked safety-related";
+      break;
     case FaultOutcome::NotApplicable:
-      return "failure mode '" + row.failure_mode + "' of '" + row.component +
-             "': " + row.outcome_detail;
+      warning = "failure mode '" + row.failure_mode + "' of '" + row.component +
+                "': " + row.outcome_detail;
+      break;
+    case FaultOutcome::Crashed:
+      warning = "fault '" + row.failure_mode + "' on '" + row.component +
+                "' crashed its campaign worker (" + row.outcome_detail +
+                "); conservatively marked safety-related";
+      break;
   }
-  return "";
+  if (row.retries > 0) {
+    const std::string note = "took " + std::to_string(row.retries) + " containment " +
+                             (row.retries == 1 ? "retry" : "retries");
+    if (warning.empty()) {
+      warning = "fault '" + row.failure_mode + "' on '" + row.component + "' " + note;
+    } else {
+      warning += "; " + note;
+    }
+  }
+  return warning;
 }
 
 CampaignRunner::CampaignRunner(const sim::BuiltCircuit& built,
@@ -120,11 +189,66 @@ CampaignRunner::CampaignRunner(const sim::BuiltCircuit& built,
   }
 }
 
-FmedaRow CampaignRunner::run_task(const Task& task,
-                                  const sim::OperatingPoint& baseline) const {
-  CampaignMetrics& metrics = CampaignMetrics::get();
-  metrics.tasks.add();
-  obs::Span span("campaign.task", &metrics.task_seconds);
+std::uint64_t CampaignRunner::fingerprint() const {
+  // Everything that can change a row's bytes goes in; jobs / shard spec /
+  // journal path stay out (they must not change results, so a journal written
+  // at --jobs 8 resumes under --jobs 1 and vice versa).
+  std::ostringstream ident;
+  ident << "campaign-v1";
+  for (const auto& element : built_.circuit.elements()) {
+    ident << "|e " << static_cast<int>(element.kind) << ' ' << element.name << ' '
+          << element.a << ' ' << element.b << ' ' << double_to_token(element.value) << ' '
+          << element.closed << ' ' << element.ram_ok << ' '
+          << double_to_token(element.min_supply);
+  }
+  for (const auto& name : built_.observables) ident << "|o " << name;
+  for (const auto& task : tasks_) {
+    ident << "|t " << task.component->path << ' ' << task.component->block_type << ' '
+          << task.component->element << ' ' << task.reliability->component_type << ' '
+          << double_to_token(task.reliability->fit) << ' ' << task.mode->name << ' '
+          << double_to_token(task.mode->distribution);
+  }
+  ident << "|c " << double_to_token(options_.relative_threshold) << ' '
+        << double_to_token(options_.absolute_floor);
+  for (const auto& goal : options_.safety_goal_observables) ident << "|g " << goal;
+  const sim::SolveOptions& solver = options_.solver;
+  ident << "|s " << solver.max_newton_iterations << ' '
+        << double_to_token(solver.newton_tolerance) << ' ' << double_to_token(solver.gmin)
+        << ' ' << double_to_token(solver.diode_is) << ' ' << double_to_token(solver.diode_vt)
+        << ' ' << double_to_token(solver.open_resistance) << ' '
+        << double_to_token(solver.closed_resistance) << ' '
+        << double_to_token(solver.max_wall_clock_seconds) << ' ' << solver.recovery_ladder
+        << ' ' << solver.gmin_ladder_steps << ' ' << solver.source_ladder_steps;
+  ident << "|r " << options_.execution.max_retries << ' '
+        << double_to_token(options_.execution.retry_budget_scale);
+  return fnv1a64(ident.str());
+}
+
+CampaignJournalHeader CampaignRunner::journal_header() const {
+  CampaignJournalHeader header;
+  header.fingerprint = fingerprint();
+  header.task_count = tasks_.size();
+  header.shard_index = options_.execution.shard_index;
+  header.shard_count = options_.execution.shard_count;
+  return header;
+}
+
+std::vector<size_t> CampaignRunner::shard_task_indices() const {
+  const auto& execution = options_.execution;
+  std::vector<size_t> indices;
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    if (static_cast<int>(i % static_cast<size_t>(execution.shard_count)) ==
+        execution.shard_index) {
+      indices.push_back(i);
+    }
+  }
+  return indices;
+}
+
+FmedaRow CampaignRunner::run_task_once(const Task& task,
+                                       const sim::OperatingPoint& baseline,
+                                       const sim::SolveOptions& solver,
+                                       int attempt) const {
   FmedaRow row;
   row.component = task.component->path;
   row.component_type = task.reliability->component_type;
@@ -135,13 +259,23 @@ FmedaRow CampaignRunner::run_task(const Task& task,
   sim::Fault fault;
   fault.element = task.component->element;
   try {
+    if (const char* throw_env = std::getenv("DECISIVE_CAMPAIGN_TASK_THROW")) {
+      std::string spec = throw_env;
+      long throw_below = std::numeric_limits<long>::max();
+      if (const auto at = spec.rfind('@'); at != std::string::npos) {
+        throw_below = std::strtol(spec.c_str() + at + 1, nullptr, 10);
+        spec.resize(at);
+      }
+      if (attempt < throw_below && task.component->path + "/" + task.mode->name == spec) {
+        throw std::runtime_error("injected task crash (DECISIVE_CAMPAIGN_TASK_THROW)");
+      }
+    }
     fault.kind = sim::fault_kind_from_name(task.mode->name);
     const sim::Circuit faulted = sim::inject_fault(
-        built_.circuit, fault, options_.solver.open_resistance,
-        options_.solver.closed_resistance);
+        built_.circuit, fault, solver.open_resistance, solver.closed_resistance);
 
     sim::SolveDiagnostics diagnostics;
-    const auto after = sim::try_dc_operating_point(faulted, options_.solver, diagnostics);
+    const auto after = sim::try_dc_operating_point(faulted, solver, diagnostics);
     row.solver_iterations = diagnostics.iterations;
     row.ladder_rung = diagnostics.ladder_rung;
     if (after.has_value()) {
@@ -175,6 +309,51 @@ FmedaRow CampaignRunner::run_task(const Task& task,
     // solver failure; the injection itself is not applicable.
     row.outcome = FaultOutcome::NotApplicable;
     row.outcome_detail = error.what();
+  } catch (const std::exception& error) {
+    // Failure containment: anything escaping the classified paths becomes a
+    // structured Crashed outcome instead of tearing down the whole campaign.
+    // Conservatively safety-related — the effect cannot be ruled benign.
+    row.outcome = FaultOutcome::Crashed;
+    row.outcome_detail = error.what();
+    row.safety_related = true;
+    row.effect = EffectClass::None;
+  } catch (...) {
+    row.outcome = FaultOutcome::Crashed;
+    row.outcome_detail = "unknown exception";
+    row.safety_related = true;
+    row.effect = EffectClass::None;
+  }
+  return row;
+}
+
+FmedaRow CampaignRunner::run_task(const Task& task,
+                                  const sim::OperatingPoint& baseline) const {
+  CampaignMetrics& metrics = CampaignMetrics::get();
+  metrics.tasks.add();
+  obs::Span span("campaign.task", &metrics.task_seconds);
+
+  FmedaRow row = run_task_once(task, baseline, options_.solver, 0);
+
+  // Containment retries: a crashed or budget-exhausted task gets up to
+  // max_retries re-runs, each with a fresh solve (the ladder restarts from
+  // scratch) under a budget scaled by retry_budget_scale — a hung solve must
+  // not hang twice as long on retry. The *last* attempt wins; its retry
+  // count is carried on the row so the journal and the warnings reflect what
+  // actually happened.
+  const CampaignExecution& execution = options_.execution;
+  for (int attempt = 1;
+       attempt <= execution.max_retries && (row.outcome == FaultOutcome::Crashed ||
+                                            row.outcome == FaultOutcome::BudgetExhausted);
+       ++attempt) {
+    metrics.retries.add();
+    sim::SolveOptions tighter = options_.solver;
+    tighter.max_newton_iterations = std::max(
+        1, static_cast<int>(tighter.max_newton_iterations * execution.retry_budget_scale));
+    if (tighter.max_wall_clock_seconds > 0) {
+      tighter.max_wall_clock_seconds *= execution.retry_budget_scale;
+    }
+    row = run_task_once(task, baseline, tighter, attempt);
+    row.retries = attempt;
   }
 
   // Step 4b: deploy the best applicable safety mechanism, if any (const
@@ -195,57 +374,183 @@ FmedaResult CampaignRunner::run() const {
   CampaignMetrics& metrics = CampaignMetrics::get();
   metrics.runs.add();
   obs::Span run_span("campaign.run", &metrics.run_seconds);
+
+  const CampaignExecution& execution = options_.execution;
+  if (execution.shard_count < 1 || execution.shard_index < 0 ||
+      execution.shard_index >= execution.shard_count) {
+    throw AnalysisError("invalid shard spec " + std::to_string(execution.shard_index) + "/" +
+                        std::to_string(execution.shard_count) +
+                        " (need 0 <= index < count)");
+  }
+  metrics.shards.set(static_cast<double>(execution.shard_count));
+
   FmedaResult result;
   result.system = "circuit";
   result.warnings = skip_warnings_;
 
-  // Step 1: Initialise — baseline operating point (ladder-assisted; a design
-  // whose *baseline* does not solve cannot be analysed at all).
-  sim::SolveDiagnostics baseline_diagnostics;
-  std::optional<sim::OperatingPoint> baseline;
-  {
-    obs::Span baseline_span("campaign.baseline");
-    baseline = sim::try_dc_operating_point(built_.circuit, options_.solver,
-                                           baseline_diagnostics);
-  }
-  if (!baseline.has_value()) {
-    throw SimulationError("baseline operating point did not solve (" +
-                          std::string(to_string(baseline_diagnostics.failure)) + ": " +
-                          baseline_diagnostics.message + ")");
-  }
+  // This shard's slice of the task list; `rows`/`done` are indexed by
+  // position within the slice, records in the journal by global task index.
+  const std::vector<size_t> shard = shard_task_indices();
+  std::vector<FmedaRow> rows(shard.size());
+  std::vector<char> done(shard.size(), 0);
 
-  // Step 2: execute every fault task. Faults are independent re-simulations
-  // of copies of the circuit, so this is embarrassingly parallel; results
-  // land in pre-assigned slots, keeping output deterministic for any job
-  // count.
-  std::vector<FmedaRow> rows(tasks_.size());
-  unsigned jobs = options_.jobs > 0 ? static_cast<unsigned>(options_.jobs)
-                                    : std::max(1u, std::thread::hardware_concurrency());
-  if (tasks_.size() < jobs) jobs = static_cast<unsigned>(std::max<size_t>(tasks_.size(), 1));
-  metrics.jobs.set(static_cast<double>(jobs));
-
-  if (jobs <= 1) {
-    for (size_t i = 0; i < tasks_.size(); ++i) rows[i] = run_task(tasks_[i], *baseline);
-  } else {
-    std::atomic<size_t> next{0};
-    std::atomic<bool> failed{false};
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
-    auto worker = [&] {
-      try {
-        for (size_t i = next.fetch_add(1); i < tasks_.size(); i = next.fetch_add(1)) {
-          rows[i] = run_task(tasks_[i], *baseline);
+  // Resume: replay the journal's checkpointed tasks, then keep appending to
+  // its valid prefix. Replay/trim notes go to the log, NOT to
+  // result.warnings — a resumed run must stay byte-identical to an
+  // uninterrupted one.
+  std::unique_ptr<CampaignJournal> journal;
+  if (!execution.journal_path.empty()) {
+    const CampaignJournalHeader header = journal_header();
+    const CampaignJournalReplay replay =
+        replay_campaign_journal(execution.journal_path, &header);
+    if (replay.compatible) {
+      size_t replayed = 0;
+      for (size_t s = 0; s < shard.size(); ++s) {
+        const auto it = replay.rows.find(shard[s]);
+        if (it != replay.rows.end()) {
+          rows[s] = it->second;
+          done[s] = 1;
+          ++replayed;
         }
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!failed.exchange(true)) first_error = std::current_exception();
       }
+      metrics.checkpoint_replays.add(static_cast<double>(replayed));
+      if (replay.dropped_lines > 0) metrics.journal_trims.add();
+      if (!replay.note.empty()) {
+        obs::log(obs::LogLevel::Warn,
+                 "campaign journal '" + execution.journal_path + "': " + replay.note);
+      }
+      obs::log(obs::LogLevel::Info,
+               "campaign journal '" + execution.journal_path + "': replayed " +
+                   std::to_string(replayed) + " of " + std::to_string(shard.size()) +
+                   " task(s)");
+      journal = std::make_unique<CampaignJournal>(execution.journal_path, header,
+                                                  skip_warnings_, &replay);
+    } else {
+      if (std::filesystem::exists(execution.journal_path) && !replay.note.empty()) {
+        obs::log(obs::LogLevel::Warn, "campaign journal '" + execution.journal_path +
+                                          "': " + replay.note + "; starting fresh");
+      }
+      journal = std::make_unique<CampaignJournal>(execution.journal_path, header,
+                                                  skip_warnings_, nullptr);
+    }
+  }
+
+  std::vector<size_t> pending;
+  for (size_t s = 0; s < shard.size(); ++s) {
+    if (!done[s]) pending.push_back(s);
+  }
+
+  // Step 1: Initialise — baseline operating point (ladder-assisted; a design
+  // whose *baseline* does not solve cannot be analysed at all). A fully
+  // replayed campaign skips the baseline: there is nothing left to compare.
+  std::optional<sim::OperatingPoint> baseline;
+  if (!pending.empty()) {
+    sim::SolveDiagnostics baseline_diagnostics;
+    {
+      obs::Span baseline_span("campaign.baseline");
+      baseline = sim::try_dc_operating_point(built_.circuit, options_.solver,
+                                             baseline_diagnostics);
+    }
+    if (!baseline.has_value()) {
+      const std::string detail = "baseline operating point did not solve (" +
+                                 std::string(to_string(baseline_diagnostics.failure)) +
+                                 ": " + baseline_diagnostics.message + ")";
+      if (!execution.best_effort) throw SimulationError(detail);
+      // Degraded mode: every pending fault becomes NotApplicable with the
+      // baseline failure as its structured detail. Degraded rows are NOT
+      // journaled — they carry no computed result, and a later run against a
+      // fixed baseline must re-execute them.
+      for (const size_t s : pending) {
+        const Task& task = tasks_[shard[s]];
+        FmedaRow& row = rows[s];
+        row.component = task.component->path;
+        row.component_type = task.reliability->component_type;
+        row.fit = task.reliability->fit;
+        row.failure_mode = task.mode->name;
+        row.distribution = task.mode->distribution;
+        row.outcome = FaultOutcome::NotApplicable;
+        row.outcome_detail = detail + "; best-effort degraded result";
+        count_outcome(row);
+        done[s] = 1;
+      }
+      result.warnings.push_back(detail + "; best-effort: " +
+                                std::to_string(pending.size()) +
+                                " fault(s) degraded to NotApplicable");
+      pending.clear();
+    }
+  }
+
+  // Step 2: execute the pending fault tasks. Faults are independent
+  // re-simulations of copies of the circuit, so this is embarrassingly
+  // parallel; results land in pre-assigned slots, keeping output
+  // deterministic for any job count.
+  if (!pending.empty()) {
+    auto process = [&](size_t s) {
+      rows[s] = run_task(tasks_[shard[s]], *baseline);
+      if (journal != nullptr) {
+        journal->append(shard[s], rows[s]);
+        metrics.journal_appends.add();
+      }
+      done[s] = 1;
     };
-    std::vector<std::thread> pool;
-    pool.reserve(jobs);
-    for (unsigned t = 0; t < jobs; ++t) pool.emplace_back(worker);
-    for (auto& thread : pool) thread.join();
-    if (failed.load()) std::rethrow_exception(first_error);
+
+    unsigned jobs = options_.jobs > 0 ? static_cast<unsigned>(options_.jobs)
+                                      : std::max(1u, std::thread::hardware_concurrency());
+    if (pending.size() < jobs) jobs = static_cast<unsigned>(pending.size());
+    metrics.jobs.set(static_cast<double>(jobs));
+
+    if (jobs <= 1) {
+      for (const size_t s : pending) process(s);
+    } else {
+      const CrashHooks hooks = CrashHooks::from_env();
+      std::atomic<size_t> next{0};
+      std::atomic<bool> failed{false};
+      std::exception_ptr first_error;
+      std::mutex error_mutex;
+      auto worker = [&] {
+        try {
+          for (size_t i = next.fetch_add(1); i < pending.size(); i = next.fetch_add(1)) {
+            const size_t s = pending[i];
+            if (hooks.worker_die >= 0 &&
+                static_cast<size_t>(hooks.worker_die) == shard[s]) {
+              throw std::runtime_error(
+                  "injected worker death (DECISIVE_CAMPAIGN_WORKER_DIE)");
+            }
+            process(s);
+          }
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!failed.exchange(true)) first_error = std::current_exception();
+        }
+      };
+      std::vector<std::thread> pool;
+      pool.reserve(jobs);
+      for (unsigned t = 0; t < jobs; ++t) pool.emplace_back(worker);
+      for (auto& thread : pool) thread.join();
+
+      if (failed.load()) {
+        // Circuit breaker: a worker died *outside* task containment (task
+        // exceptions are already classified as Crashed rows — this is
+        // something worse, e.g. a journal I/O error or an allocator
+        // failure). Downgrade to serial execution on this thread and finish
+        // whatever the pool left behind rather than losing the campaign.
+        metrics.breaker_trips.add();
+        std::string reason = "unknown exception";
+        try {
+          std::rethrow_exception(first_error);
+        } catch (const std::exception& error) {
+          reason = error.what();
+        } catch (...) {
+        }
+        obs::log(obs::LogLevel::Warn,
+                 "campaign worker died (" + reason +
+                     "); circuit breaker tripped — finishing serially");
+        metrics.jobs.set(1.0);
+        for (const size_t s : pending) {
+          if (!done[s]) process(s);
+        }
+      }
+    }
   }
 
   // Step 3: assemble — derive the display warnings from the structured

@@ -24,6 +24,7 @@ std::string_view to_string(FaultOutcome outcome) noexcept {
     case FaultOutcome::BudgetExhausted: return "BudgetExhausted";
     case FaultOutcome::Singular: return "Singular";
     case FaultOutcome::NotApplicable: return "NotApplicable";
+    case FaultOutcome::Crashed: return "Crashed";
   }
   return "Converged";
 }
@@ -39,7 +40,7 @@ std::string FmedaResult::outcome_summary() const {
   std::string out;
   static constexpr const char* kLabels[kFaultOutcomeCount] = {
       "converged", "recovered via ladder", "budget-exhausted", "singular",
-      "not applicable"};
+      "not applicable", "crashed"};
   for (size_t i = 0; i < kFaultOutcomeCount; ++i) {
     if (counts[i] == 0 && i != static_cast<size_t>(FaultOutcome::Converged)) continue;
     if (!out.empty()) out += ", ";

@@ -1,13 +1,11 @@
 #include "decisive/session/cache.hpp"
 
-#include <cinttypes>
-#include <cstdio>
-#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "decisive/base/error.hpp"
+#include "decisive/base/persist.hpp"
 #include "decisive/base/strings.hpp"
 
 namespace decisive::session {
@@ -63,91 +61,28 @@ namespace {
 constexpr const char* kMagic = "decisive-result-cache";
 constexpr int kVersion = 1;
 
-/// Percent-encodes the bytes that would break the line/token framing.
-std::string escape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    if (c == ' ' || c == '%' || c == '\n' || c == '\r') {
-      char buffer[4];
-      std::snprintf(buffer, sizeof buffer, "%%%02x", static_cast<unsigned char>(c));
-      out += buffer;
-    } else {
-      out += c;
-    }
-  }
-  // An empty field still needs a token on the line.
-  return out.empty() ? std::string("%") : out;
-}
-
-std::string unescape(std::string_view token) {
-  if (token == "%") return "";
-  std::string out;
-  out.reserve(token.size());
-  for (size_t i = 0; i < token.size(); ++i) {
-    if (token[i] == '%') {
-      if (i + 2 >= token.size()) throw ParseError("truncated escape");
-      const std::string hex(token.substr(i + 1, 2));
-      out += static_cast<char>(std::strtoul(hex.c_str(), nullptr, 16));
-      i += 2;
-    } else {
-      out += token[i];
-    }
-  }
-  return out;
-}
-
-/// Exact double round-trip via hexadecimal floating point.
-std::string double_to_token(double value) {
-  char buffer[48];
-  std::snprintf(buffer, sizeof buffer, "%a", value);
-  return buffer;
-}
-
-double double_from_token(const std::string& token) {
-  char* end = nullptr;
-  const double value = std::strtod(token.c_str(), &end);
-  if (end == nullptr || *end != '\0') throw ParseError("bad double '" + token + "'");
-  return value;
-}
-
-std::uint64_t u64_from_token(const std::string& token) {
-  char* end = nullptr;
-  const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
-  if (end == token.c_str() || *end != '\0') throw ParseError("bad integer '" + token + "'");
-  return value;
-}
-
 core::EffectClass effect_from_token(const std::string& token) {
   const std::uint64_t value = u64_from_token(token);
   if (value > 2) throw ParseError("bad effect class '" + token + "'");
   return static_cast<core::EffectClass>(value);
 }
 
-std::uint64_t fnv1a(std::string_view bytes) {
-  std::uint64_t hash = 0xcbf29ce484222325ULL;
-  for (const char c : bytes) {
-    hash = (hash ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
-  }
-  return hash;
-}
-
 void write_record(std::ostream& out, const Fingerprint& fp, const UnitRecord& record) {
-  out << "entry " << to_hex(fp) << ' ' << record.component << ' ' << escape(record.path) << ' '
+  out << "entry " << to_hex(fp) << ' ' << record.component << ' ' << escape_token(record.path) << ' '
       << record.subs.size() << '\n';
   for (const UnitSubRecord& sub : record.subs) {
     out << "sub " << sub.sub << ' ' << sub.rows.size() << ' ' << sub.warnings.size() << ' '
         << sub.verdicts.size() << '\n';
     for (const core::FmedaRow& row : sub.rows) {
-      out << "row " << escape(row.component) << ' ' << escape(row.component_type) << ' '
-          << row.component_id << ' ' << escape(row.component_path) << ' '
-          << double_to_token(row.fit) << ' ' << escape(row.failure_mode) << ' '
+      out << "row " << escape_token(row.component) << ' ' << escape_token(row.component_type) << ' '
+          << row.component_id << ' ' << escape_token(row.component_path) << ' '
+          << double_to_token(row.fit) << ' ' << escape_token(row.failure_mode) << ' '
           << double_to_token(row.distribution) << ' ' << (row.safety_related ? 1 : 0) << ' '
-          << static_cast<int>(row.effect) << ' ' << escape(row.safety_mechanism) << ' '
+          << static_cast<int>(row.effect) << ' ' << escape_token(row.safety_mechanism) << ' '
           << double_to_token(row.sm_coverage) << ' ' << double_to_token(row.sm_cost_hours)
           << '\n';
     }
-    for (const std::string& warning : sub.warnings) out << "warn " << escape(warning) << '\n';
+    for (const std::string& warning : sub.warnings) out << "warn " << escape_token(warning) << '\n';
     for (const core::UnitVerdict& verdict : sub.verdicts) {
       out << "verdict " << verdict.failure_mode << ' ' << (verdict.safety_related ? 1 : 0) << ' '
           << static_cast<int>(verdict.effect) << '\n';
@@ -178,13 +113,11 @@ void ResultCache::save_file(const std::string& path) const {
   payload << kMagic << ' ' << kVersion << ' ' << entries_.size() << '\n';
   for (const auto& [fp, record] : entries_) write_record(payload, fp, record);
 
-  const std::string body = payload.str();
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw IoError("cannot write result cache '" + path + "'");
-  char checksum[24];
-  std::snprintf(checksum, sizeof checksum, "%016" PRIx64, fnv1a(body));
-  out << body << "checksum " << checksum << '\n';
-  if (!out.flush()) throw IoError("cannot write result cache '" + path + "'");
+  std::string body = payload.str();
+  body += "checksum " + hash_to_hex(fnv1a64(body)) + '\n';
+  // Atomic replacement: a crash mid-save must leave the previous cache
+  // intact, never a truncated file (see persist.hpp).
+  atomic_write_file(path, body);
 }
 
 ResultCache::LoadReport ResultCache::load_file(const std::string& path) {
@@ -210,8 +143,7 @@ ResultCache::LoadReport ResultCache::load_file(const std::string& path) {
   }
   const std::string payload = content.substr(0, checksum_pos);
   const std::string checksum_line(trim(content.substr(checksum_pos)));
-  char expected[32];
-  std::snprintf(expected, sizeof expected, "checksum %016" PRIx64, fnv1a(payload));
+  const std::string expected = "checksum " + hash_to_hex(fnv1a64(payload));
   if (checksum_line != expected) {
     report.note = "cache file checksum mismatch; rebuilding";
     return report;
@@ -240,7 +172,7 @@ ResultCache::LoadReport ResultCache::load_file(const std::string& path) {
         const Fingerprint fp = fingerprint_from_hex(entry_tokens[0]);
         UnitRecord record;
         record.component = u64_from_token(entry_tokens[1]);
-        record.path = unescape(entry_tokens[2]);
+        record.path = unescape_token(entry_tokens[2]);
         const std::uint64_t sub_count = u64_from_token(entry_tokens[3]);
         for (std::uint64_t s = 0; s < sub_count; ++s) {
           const auto sub_tokens = reader.take("sub");
@@ -254,16 +186,16 @@ ResultCache::LoadReport ResultCache::load_file(const std::string& path) {
             const auto t = reader.take("row");
             if (t.size() != 12) throw ParseError("bad row record");
             core::FmedaRow row;
-            row.component = unescape(t[0]);
-            row.component_type = unescape(t[1]);
+            row.component = unescape_token(t[0]);
+            row.component_type = unescape_token(t[1]);
             row.component_id = u64_from_token(t[2]);
-            row.component_path = unescape(t[3]);
+            row.component_path = unescape_token(t[3]);
             row.fit = double_from_token(t[4]);
-            row.failure_mode = unescape(t[5]);
+            row.failure_mode = unescape_token(t[5]);
             row.distribution = double_from_token(t[6]);
             row.safety_related = u64_from_token(t[7]) != 0;
             row.effect = effect_from_token(t[8]);
-            row.safety_mechanism = unescape(t[9]);
+            row.safety_mechanism = unescape_token(t[9]);
             row.sm_coverage = double_from_token(t[10]);
             row.sm_cost_hours = double_from_token(t[11]);
             sub.rows.push_back(std::move(row));
@@ -271,7 +203,7 @@ ResultCache::LoadReport ResultCache::load_file(const std::string& path) {
           for (std::uint64_t w = 0; w < warnings; ++w) {
             const auto t = reader.take("warn");
             if (t.size() != 1) throw ParseError("bad warn record");
-            sub.warnings.push_back(unescape(t[0]));
+            sub.warnings.push_back(unescape_token(t[0]));
           }
           for (std::uint64_t v = 0; v < verdicts; ++v) {
             const auto t = reader.take("verdict");

@@ -9,10 +9,13 @@
 #include "decisive/base/csv.hpp"
 #include "decisive/base/error.hpp"
 #include "decisive/base/strings.hpp"
+#include "decisive/core/circuit_fmea.hpp"
 #include "decisive/core/impact.hpp"
 #include "decisive/core/sm_search.hpp"
 #include "decisive/drivers/datasource.hpp"
+#include "decisive/drivers/mdl.hpp"
 #include "decisive/model/xmi.hpp"
+#include "decisive/sim/builder.hpp"
 #include "decisive/obs/log.hpp"
 #include "decisive/obs/registry.hpp"
 #include "decisive/obs/span.hpp"
@@ -96,6 +99,7 @@ class Service {
       else if (command == "add-failure-mode") cmd_add_failure_mode(tokens);
       else if (command == "deploy-sm") cmd_deploy_sm(tokens);
       else if (command == "impact") cmd_impact(tokens);
+      else if (command == "campaign") cmd_campaign(tokens);
       else if (command == "pareto") cmd_pareto(tokens);
       else if (command == "reanalyze") cmd_reanalyze();
       else if (command == "table") cmd_table();
@@ -179,6 +183,9 @@ class Service {
             "  add-failure-mode <component> <name> <distribution> <nature>\n"
             "  deploy-sm <component> <name> <coverage> <cost-hours> [<failure-mode>]\n"
             "  impact <component>                 change-impact report\n"
+            "  campaign <model.mdl> <reliability-dir> [<journal>]\n"
+            "      journal-backed fault-injection campaign on a circuit model\n"
+            "      (resumes from <journal> when it holds a compatible run)\n"
             "  pareto <catalogue> [<epsilon>]     (cost, SPFM) deployment front as CSV\n"
             "  reanalyze                          incremental FMEA + stats\n"
             "  table                              last FMEDA table\n"
@@ -245,6 +252,29 @@ class Service {
     const core::ImpactReport report =
         core::impact_of_change(*model_, component_named(tokens[1]));
     out_ << report.to_text(*model_);
+  }
+
+  /// Journal-backed circuit campaign, independent of the resident SSAM
+  /// session: it touches neither model_ nor the result cache, so an ongoing
+  /// incremental-analysis session (reanalyze etc.) is unaffected by
+  /// campaigns run through the same service.
+  void cmd_campaign(const std::vector<std::string>& tokens) {
+    if (tokens.size() != 3 && tokens.size() != 4) {
+      throw ModelError("usage: campaign <model.mdl> <reliability-dir> [<journal>]");
+    }
+    const auto mdl = drivers::parse_mdl_file(tokens[1]);
+    const auto built = sim::build_circuit(mdl);
+    const auto workbook = drivers::DriverRegistry::global().open(tokens[2]);
+    const auto reliability = core::ReliabilityModel::from_source(*workbook, "Reliability");
+    core::CircuitFmeaOptions options;
+    options.jobs = analysis_.jobs;
+    if (tokens.size() == 4) options.execution.journal_path = tokens[3];
+    const core::FmedaResult result =
+        core::analyze_circuit(built, reliability, nullptr, options);
+    out_ << "campaign " << result.outcome_summary() << "\n";
+    out_ << "rows " << result.rows.size() << " spfm " << format_percent(result.spfm())
+         << " " << core::achieved_asil(result.spfm()) << " warnings "
+         << result.warnings.size() << "\n";
   }
 
   /// Safety-mechanism Pareto front on the session's current analysis,

@@ -17,8 +17,10 @@ struct RunResult {
   std::string output;
 };
 
-RunResult run(const std::string& arguments) {
-  const std::string command = kCli + " " + arguments + " 2>&1";
+/// `env_prefix` is prepended verbatim (e.g. "VAR=1 ") so crash-injection
+/// hooks can be enabled for a single subprocess invocation.
+RunResult run(const std::string& arguments, const std::string& env_prefix = "") {
+  const std::string command = env_prefix + kCli + " " + arguments + " 2>&1";
   FILE* pipe = popen(command.c_str(), "r");
   RunResult result;
   if (pipe == nullptr) return result;
@@ -497,4 +499,167 @@ TEST(Cli, SmSearchRequiresCatalogue) {
                           "/brake_chain.ssam --component BrakeChain --pareto");
   EXPECT_EQ(result.exit_code, 2) << result.output;
   EXPECT_NE(result.output.find("--catalogue"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Resilient campaigns: crash-safe journals, shard merging, failure
+// containment (end-to-end, subprocess-level — the SIGKILL is real).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr int kSigkillExit = 137;  // what the shell reports for SIGKILL
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+std::string fmea_args() {
+  return "fmea " + kAssets + "/power_supply.mdl --reliability " + kAssets +
+         "/reliability_workbook --sm-model --goals CS1,MC1";
+}
+
+/// A model whose baseline cannot solve: two ideal sources forcing different
+/// voltages onto the same node. Fault tasks exist (the capacitor has
+/// reliability data) but the baseline operating point does not.
+std::string write_conflicting_model(const TempDir& tmp) {
+  const auto path = (tmp.path / "conflict.mdl").string();
+  std::ofstream out(path);
+  out << "Model {\n"
+         "  Name \"conflicting_sources\"\n"
+         "  System {\n"
+         "    Block { BlockType DCVoltageSource Name \"DC1\" Voltage \"5\" }\n"
+         "    Block { BlockType DCVoltageSource Name \"DC2\" Voltage \"3\" }\n"
+         "    Block { BlockType Capacitor Name \"C1\" Capacitance \"1e-6\" }\n"
+         "    Block { BlockType Ground Name \"GND1\" }\n"
+         "    Line { SrcBlock \"DC1\" SrcPort \"p\" DstBlock \"C1\" DstPort \"p\" }\n"
+         "    Line { SrcBlock \"DC2\" SrcPort \"p\" DstBlock \"C1\" DstPort \"p\" }\n"
+         "    Line { SrcBlock \"DC1\" SrcPort \"n\" DstBlock \"GND1\" DstPort \"g\" }\n"
+         "    Line { SrcBlock \"DC2\" SrcPort \"n\" DstBlock \"GND1\" DstPort \"g\" }\n"
+         "    Line { SrcBlock \"C1\" SrcPort \"n\" DstBlock \"GND1\" DstPort \"g\" }\n"
+         "  }\n"
+         "}\n";
+  return path;
+}
+
+}  // namespace
+
+TEST(Cli, JournaledRunSurvivesSigkillAndResumesByteIdentical) {
+  TempDir tmp;
+  const auto plain_csv = (tmp.path / "plain.csv").string();
+  const auto resumed_csv = (tmp.path / "resumed.csv").string();
+  const auto dead_csv = (tmp.path / "dead.csv").string();
+  const auto journal = (tmp.path / "campaign.journal").string();
+
+  const auto plain = run(fmea_args() + " --out " + plain_csv);
+  ASSERT_EQ(plain.exit_code, 0) << plain.output;
+
+  // SIGKILL mid-campaign, after the 4th checkpoint append: no CSV, but the
+  // journal holds the completed prefix.
+  const auto killed = run(fmea_args() + " --journal " + journal + " --out " + dead_csv,
+                          "DECISIVE_CAMPAIGN_CRASH_AFTER_APPENDS=4 ");
+  EXPECT_EQ(killed.exit_code, kSigkillExit);
+  EXPECT_FALSE(std::filesystem::exists(dead_csv));
+  ASSERT_TRUE(std::filesystem::exists(journal));
+
+  // The resumed run replays the journal, finishes the remainder, and its
+  // FMEDA is byte-identical to the uninterrupted run.
+  const auto resumed = run(fmea_args() + " --journal " + journal + " --out " + resumed_csv);
+  EXPECT_EQ(resumed.exit_code, 0) << resumed.output;
+  const std::string plain_bytes = slurp(plain_csv);
+  ASSERT_FALSE(plain_bytes.empty());
+  EXPECT_EQ(plain_bytes, slurp(resumed_csv));
+}
+
+TEST(Cli, ShardedJournalsMergeToTheUnshardedFmeda) {
+  TempDir tmp;
+  const auto plain_csv = (tmp.path / "plain.csv").string();
+  ASSERT_EQ(run(fmea_args() + " --out " + plain_csv).exit_code, 0);
+
+  std::string journals;
+  for (int shard = 0; shard < 3; ++shard) {
+    const auto journal = (tmp.path / ("shard" + std::to_string(shard) + ".journal")).string();
+    const auto result = run(fmea_args() + " --shard " + std::to_string(shard) +
+                            "/3 --journal " + journal);
+    ASSERT_EQ(result.exit_code, 0) << result.output;
+    journals += " " + journal;
+  }
+
+  const auto merged_csv = (tmp.path / "merged.csv").string();
+  const auto merged = run("merge-journals" + journals + " --out " + merged_csv);
+  EXPECT_EQ(merged.exit_code, 0) << merged.output;
+  EXPECT_NE(merged.output.find("SPFM"), std::string::npos);
+  const std::string plain_bytes = slurp(plain_csv);
+  ASSERT_FALSE(plain_bytes.empty());
+  EXPECT_EQ(plain_bytes, slurp(merged_csv));
+}
+
+TEST(Cli, MergeJournalsReportsAMissingShard) {
+  TempDir tmp;
+  std::string journals;
+  for (int shard = 0; shard < 3; ++shard) {
+    if (shard == 1) continue;  // shard 1 never ran
+    const auto journal = (tmp.path / ("shard" + std::to_string(shard) + ".journal")).string();
+    ASSERT_EQ(run(fmea_args() + " --shard " + std::to_string(shard) + "/3 --journal " +
+                  journal).exit_code, 0);
+    journals += " " + journal;
+  }
+  const auto merged = run("merge-journals" + journals);
+  EXPECT_EQ(merged.exit_code, 1) << merged.output;
+  EXPECT_NE(merged.output.find("shard 1/3 has no journal"), std::string::npos);
+}
+
+TEST(Cli, UnanalysableBaselineExitsFourAndBestEffortDegrades) {
+  TempDir tmp;
+  const auto model = write_conflicting_model(tmp);
+  const std::string base = "fmea " + model + " --reliability " + kAssets +
+                           "/reliability_workbook";
+
+  const auto strict = run(base);
+  EXPECT_EQ(strict.exit_code, 4) << strict.output;
+  EXPECT_NE(strict.output.find("baseline"), std::string::npos);
+  EXPECT_NE(strict.output.find("--best-effort"), std::string::npos);
+
+  const auto degraded = run(base + " --best-effort");
+  EXPECT_EQ(degraded.exit_code, 0) << degraded.output;
+  EXPECT_NE(degraded.output.find("best-effort"), std::string::npos);
+  EXPECT_NE(degraded.output.find("NotApplicable"), std::string::npos);
+}
+
+TEST(Cli, InterruptedCacheSaveLeavesThePreviousCacheIntact) {
+  TempDir tmp;
+  const auto cache = (tmp.path / "session.cache").string();
+  const auto script = (tmp.path / "script").string();
+  const std::string session_args =
+      "session " + kAssets + "/brake_chain.ssam --component BrakeChain < " + script;
+
+  {
+    std::ofstream out(script);
+    out << "reanalyze\nsave-cache " << cache << "\nquit\n";
+  }
+  ASSERT_EQ(run(session_args).exit_code, 0);
+  const std::string original = slurp(cache);
+  ASSERT_FALSE(original.empty());
+
+  // A save that dies between writing the temp file and the rename must leave
+  // the previous cache untouched — the window where a straight-through write
+  // would already have truncated it.
+  {
+    std::ofstream out(script);
+    out << "reanalyze\nset-fit Sensor 120\nreanalyze\nsave-cache " << cache << "\nquit\n";
+  }
+  const auto killed = run(session_args, "DECISIVE_CRASH_BEFORE_RENAME=1 ");
+  EXPECT_EQ(killed.exit_code, kSigkillExit);
+  EXPECT_EQ(slurp(cache), original);
+
+  // And the surviving cache still loads cleanly.
+  {
+    std::ofstream out(script);
+    out << "load-cache " << cache << "\nquit\n";
+  }
+  const auto reload = run(session_args);
+  EXPECT_EQ(reload.exit_code, 0) << reload.output;
+  EXPECT_NE(reload.output.find("cache"), std::string::npos);
 }

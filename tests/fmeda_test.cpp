@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "decisive/base/error.hpp"
+#include "decisive/core/campaign.hpp"
 #include "decisive/core/fmeda.hpp"
 
 using namespace decisive;
@@ -167,6 +168,90 @@ TEST(EffectClass, Names) {
   EXPECT_EQ(to_string(EffectClass::DVF), "DVF");
   EXPECT_EQ(to_string(EffectClass::IVF), "IVF");
   EXPECT_EQ(to_string(EffectClass::None), "");
+}
+
+// ---------------------------------------------------------------- outcomes --
+
+namespace {
+
+FmedaRow outcome_row(FaultOutcome outcome, int retries = 0) {
+  FmedaRow r = row("MC1", 300, "RAM Failure", 1.0, true);
+  r.outcome = outcome;
+  r.outcome_detail = "detail";
+  r.retries = retries;
+  return r;
+}
+
+}  // namespace
+
+/// The display warning is *derived* from the structured outcome (single
+/// source of truth), so for every variant the warning text, the CSV's
+/// Fault_Outcome column and the structured row must agree — and the
+/// conservative "marked safety-related" phrasing must appear exactly on the
+/// outcomes that force the conservative classification.
+TEST(FaultOutcomes, WarningAndCsvAgreeOnEveryVariant) {
+  for (size_t i = 0; i < kFaultOutcomeCount; ++i) {
+    const auto outcome = static_cast<FaultOutcome>(i);
+    const FmedaRow r = outcome_row(outcome);
+    const std::string warning = outcome_warning(r);
+
+    FmedaResult result;
+    result.rows = {r};
+    const CsvTable table = result.to_csv();
+    EXPECT_EQ(table.at(0, "Fault_Outcome"), std::string(to_string(outcome)));
+
+    switch (outcome) {
+      case FaultOutcome::Converged:
+        EXPECT_TRUE(warning.empty());
+        break;
+      case FaultOutcome::RecoveredViaLadder:
+        EXPECT_NE(warning.find("recovery ladder"), std::string::npos);
+        EXPECT_EQ(warning.find("conservatively marked"), std::string::npos);
+        break;
+      case FaultOutcome::BudgetExhausted:
+        EXPECT_NE(warning.find("exhausted the solve budget"), std::string::npos);
+        EXPECT_NE(warning.find("conservatively marked safety-related"), std::string::npos);
+        break;
+      case FaultOutcome::Singular:
+        EXPECT_NE(warning.find("singular system"), std::string::npos);
+        EXPECT_NE(warning.find("conservatively marked safety-related"), std::string::npos);
+        break;
+      case FaultOutcome::NotApplicable:
+        EXPECT_NE(warning.find("failure mode 'RAM Failure'"), std::string::npos);
+        break;
+      case FaultOutcome::Crashed:
+        EXPECT_NE(warning.find("crashed its campaign worker"), std::string::npos);
+        EXPECT_NE(warning.find("conservatively marked safety-related"), std::string::npos);
+        break;
+    }
+    // Every non-Converged outcome carries its structured detail into the
+    // warning; the warning never invents information the row lacks.
+    if (outcome != FaultOutcome::Converged) {
+      EXPECT_NE(warning.find(r.outcome_detail.empty() ? "" : "detail"),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(FaultOutcomes, RetriedRowsAnnotateTheWarning) {
+  // A retried-but-converged row still warns (the retry is an anomaly worth
+  // surfacing), and a retried failure appends the count to its warning.
+  const std::string converged = outcome_warning(outcome_row(FaultOutcome::Converged, 1));
+  EXPECT_NE(converged.find("took 1 containment retry"), std::string::npos);
+  const std::string crashed = outcome_warning(outcome_row(FaultOutcome::Crashed, 2));
+  EXPECT_NE(crashed.find("crashed its campaign worker"), std::string::npos);
+  EXPECT_NE(crashed.find("took 2 containment retries"), std::string::npos);
+}
+
+TEST(FaultOutcomes, NamesAndSummaryCoverEveryVariant) {
+  EXPECT_EQ(to_string(FaultOutcome::Crashed), "Crashed");
+  FmedaResult result;
+  result.rows = {outcome_row(FaultOutcome::Converged), outcome_row(FaultOutcome::Crashed)};
+  const std::string summary = result.outcome_summary();
+  EXPECT_NE(summary.find("1 converged"), std::string::npos);
+  EXPECT_NE(summary.find("1 crashed"), std::string::npos);
+  const auto counts = result.outcome_counts();
+  EXPECT_EQ(counts[static_cast<size_t>(FaultOutcome::Crashed)], 1u);
 }
 
 // -------------------------------------------------------------- properties --

@@ -429,3 +429,74 @@ TEST(ServiceTest, ParetoAnswersTheDeploymentFront) {
   EXPECT_NE(text.find("usage: pareto"), std::string::npos);
   std::remove(catalogue_path.c_str());
 }
+
+TEST(ResultCacheTest, SaveIsWriteTempThenRenameNeverInPlace) {
+  // The cache persists via atomic_write_file: the payload lands in a
+  // sibling temp file first and replaces the target in one rename, so a
+  // reader (or a crash — see the CLI-level SIGKILL test) can never observe a
+  // half-written cache. After a successful save no temp sibling remains.
+  const std::string dir = temp_path("decisive_cache_atomic_dir");
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/cache.txt";
+  write_file(path, "previous generation\n");
+
+  auto sys = core::make_scaled_architecture(3, 2);
+  AnalysisSession session(*sys.model, sys.system);
+  session.reanalyze();
+  session.cache().save_file(path);
+
+  size_t entries = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    entries++;
+    EXPECT_EQ(entry.path().filename().string(), "cache.txt") << entry.path();
+  }
+  EXPECT_EQ(entries, 1u);
+
+  // The replacement is complete (old bytes fully gone) and checksummed: the
+  // last line seals everything above it.
+  const std::string content = read_file(path);
+  EXPECT_EQ(content.find("previous generation"), std::string::npos);
+  const auto last_line = content.rfind("checksum ", content.size() - 2);
+  ASSERT_NE(last_line, std::string::npos);
+  ResultCache cache;
+  EXPECT_TRUE(cache.load_file(path).loaded);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServiceTest, CampaignRequestLeavesTheResidentSessionUntouched) {
+  ServiceOptions options;
+  options.model_path = DECISIVE_ASSETS_DIR "/brake_chain.ssam";
+  options.component = "BrakeChain";
+
+  const std::string journal = temp_path("decisive_service_campaign.journal");
+  std::remove(journal.c_str());
+  const std::string mdl = DECISIVE_ASSETS_DIR "/power_supply.mdl";
+  const std::string workbook = DECISIVE_ASSETS_DIR "/reliability_workbook";
+
+  // Two journaled campaigns (the second replays every task from the first's
+  // checkpoints) plus a plain one, interleaved with the resident incremental
+  // session — which must keep answering reanalyze as if no campaign ran.
+  std::istringstream in("reanalyze\n"
+                        "campaign " + mdl + " " + workbook + " " + journal + "\n" +
+                        "campaign " + mdl + " " + workbook + " " + journal + "\n" +
+                        "campaign " + mdl + " " + workbook + "\n" +
+                        "campaign too-few\n"
+                        "reanalyze\nstats\nquit\n");
+  std::ostringstream out;
+  EXPECT_EQ(run_service(in, out, options), 0);
+  const std::string text = out.str();
+
+  const auto first = text.find("rows 9 spfm");
+  const auto second = text.find("rows 9 spfm", first + 1);
+  const auto third = text.find("rows 9 spfm", second + 1);
+  EXPECT_NE(first, std::string::npos) << text;
+  EXPECT_NE(second, std::string::npos) << text;
+  EXPECT_NE(third, std::string::npos) << text;
+  // Replayed and fresh campaigns answer identically (same summary lines).
+  EXPECT_NE(text.find("campaign 9 converged"), std::string::npos) << text;
+  EXPECT_NE(text.find("usage: campaign"), std::string::npos);
+  // The resident session still reanalyzes (campaigns bypass its cache).
+  EXPECT_NE(text.find("spfm"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(journal));
+  std::remove(journal.c_str());
+}

@@ -2,6 +2,7 @@
 //
 // Subcommands (see `same help`):
 //   fmea        automated FME(D)A on a Simulink-substitute (.mdl) model
+//   merge-journals  fold the per-shard journals of one campaign into one FMEDA
 //   graph-fmea  Algorithm-1 FMEA on an SSAM architecture model
 //   sm-search   safety-mechanism deployment search: Pareto front / target ASIL
 //   import      transform a .mdl model into SSAM (XMI) with a loss audit
@@ -31,6 +32,7 @@
 #include "decisive/base/error.hpp"
 #include "decisive/base/strings.hpp"
 #include "decisive/base/xml.hpp"
+#include "decisive/core/campaign_journal.hpp"
 #include "decisive/core/circuit_fmea.hpp"
 #include "decisive/core/fta.hpp"
 #include "decisive/core/graph_fmea.hpp"
@@ -88,12 +90,27 @@ int usage() {
       "usage:\n"
       "  same fmea <model.mdl> --reliability <workbook-dir> [--sm-model]\n"
       "            [--goals CS1,MC1] [--threshold 0.2] [--out fmeda.csv]\n"
-      "            [--jobs N]\n"
+      "            [--jobs N] [--journal <file>] [--shard i/N]\n"
+      "            [--retries N] [--best-effort]\n"
       "      Automated fault-injection FME(D)A (DECISIVE steps 3-4).\n"
       "      --sm-model deploys safety mechanisms from the workbook's\n"
       "      SafetyMechanisms sheet (step 4b). --jobs runs the campaign on\n"
       "      N worker threads (0 = all cores); output is byte-identical\n"
-      "      for any job count.\n\n"
+      "      for any job count.\n"
+      "      Resilience: --journal checkpoints every completed fault to a\n"
+      "      crash-safe append-only journal — re-running the same command\n"
+      "      after a crash resumes from it, byte-identical to an\n"
+      "      uninterrupted run. --shard i/N executes only shard i of a\n"
+      "      deterministic N-way partition (use one journal per shard and\n"
+      "      `same merge-journals` to fold them together). --retries bounds\n"
+      "      the containment retries of crashed/budget-exhausted faults\n"
+      "      (default 1). --best-effort degrades an unanalysable baseline\n"
+      "      to an all-NotApplicable table instead of exit 4.\n\n"
+      "  same merge-journals <shard0.journal> <shard1.journal> ...\n"
+      "            [--out fmeda.csv]\n"
+      "      Merge the per-shard campaign journals of one sharded campaign\n"
+      "      into the FMEDA an unsharded run would have produced (exit 1 if\n"
+      "      a shard is missing or incomplete — resume it first).\n\n"
       "  same import <model.mdl> --out <design.ssam>\n"
       "      Simulink -> SSAM transformation with an information-loss audit.\n\n"
       "  same export <design.ssam> --out <model.mdl>\n"
@@ -139,9 +156,9 @@ int usage() {
       "            [--cache <file>]\n"
       "      Long-lived incremental-analysis service: reads one request per\n"
       "      line from stdin (load / set-fit / rewire / add-failure-mode /\n"
-      "      deploy-sm / impact / reanalyze / table / result / metrics /\n"
-      "      stats / save / save-cache / load-cache / quit; 'help' lists\n"
-      "      them). Re-analyses replay fingerprint-cached per-component\n"
+      "      deploy-sm / impact / campaign / reanalyze / table / result /\n"
+      "      metrics / stats / save / save-cache / load-cache / quit; 'help'\n"
+      "      lists them). Re-analyses replay fingerprint-cached per-component\n"
       "      results and report the hit rate, dirty-set size and per-phase\n"
       "      wall time; 'metrics' answers a Prometheus-style dump of the\n"
       "      process-wide instrumentation registry.\n\n"
@@ -402,9 +419,69 @@ int cmd_fmea(const Args& args) {
       return 2;
     }
   }
+  if (const auto journal = args.get("journal")) {
+    if (*journal == "true") {
+      std::fprintf(stderr, "error: --journal requires a file path\n");
+      return 2;
+    }
+    options.execution.journal_path = *journal;
+  }
+  if (const auto shard = args.get("shard")) {
+    const auto slash = shard->find('/');
+    if (slash == std::string::npos) {
+      std::fprintf(stderr, "error: --shard expects i/N (e.g. --shard 0/4)\n");
+      return 2;
+    }
+    options.execution.shard_index = static_cast<int>(parse_int(shard->substr(0, slash)));
+    options.execution.shard_count = static_cast<int>(parse_int(shard->substr(slash + 1)));
+    if (options.execution.shard_count < 1 || options.execution.shard_index < 0 ||
+        options.execution.shard_index >= options.execution.shard_count) {
+      std::fprintf(stderr, "error: --shard i/N needs 0 <= i < N\n");
+      return 2;
+    }
+  }
+  if (const auto retries = args.get("retries")) {
+    options.execution.max_retries = static_cast<int>(parse_int(*retries));
+    if (options.execution.max_retries < 0) {
+      std::fprintf(stderr, "error: --retries must be >= 0\n");
+      return 2;
+    }
+  }
+  options.execution.best_effort = args.has("best-effort");
 
-  const auto result = core::analyze_circuit(built, reliability,
-                                            sm_model ? &*sm_model : nullptr, options);
+  core::FmedaResult result;
+  try {
+    result = core::analyze_circuit(built, reliability, sm_model ? &*sm_model : nullptr,
+                                   options);
+  } catch (const SimulationError& error) {
+    // The *baseline* is unanalysable — per-fault failures never throw, they
+    // are classified FaultOutcomes on the rows. Report it structurally
+    // instead of letting the generic handler print a bare message.
+    std::fprintf(stderr,
+                 "same: campaign aborted: %s\n"
+                 "same: the baseline operating point is a precondition of every fault\n"
+                 "same: comparison; fix the model, or rerun with --best-effort to emit a\n"
+                 "same: degraded all-NotApplicable FMEDA\n",
+                 error.what());
+    return 4;
+  }
+  std::printf("%s\n", result.to_text().render().c_str());
+  for (const auto& warning : result.warnings) std::printf("note: %s\n", warning.c_str());
+  std::printf("\ncampaign: %s\n", result.outcome_summary().c_str());
+  std::printf("SPFM = %s  ->  %s\n", format_percent(result.spfm()).c_str(),
+              core::achieved_asil(result.spfm()).c_str());
+  if (const auto out = args.get("out")) {
+    write_csv_file(*out, result.to_csv());
+    std::printf("FMEDA written to %s\n", out->c_str());
+  }
+  return 0;
+}
+
+int cmd_merge_journals(const Args& args) {
+  if (args.positional.empty()) return usage();
+  // Same epilogue as cmd_fmea: the merged result must be indistinguishable
+  // from what an unsharded `same fmea` run would have printed and written.
+  const auto result = core::merge_campaign_journals(args.positional);
   std::printf("%s\n", result.to_text().render().c_str());
   for (const auto& warning : result.warnings) std::printf("note: %s\n", warning.c_str());
   std::printf("\ncampaign: %s\n", result.outcome_summary().c_str());
@@ -581,6 +658,7 @@ int dispatch(const std::string& command, const Args& args) {
   // `campaign` names what the command actually runs (the fault-injection
   // campaign engine); `fmea` is the historical spelling.
   if (command == "fmea" || command == "campaign") return cmd_fmea(args);
+  if (command == "merge-journals") return cmd_merge_journals(args);
   if (command == "graph-fmea") return cmd_graph_fmea(args);
   if (command == "sm-search") return cmd_sm_search(args);
   if (command == "import") return cmd_import(args);
