@@ -11,6 +11,7 @@
 
 #include "obs_bench.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <stdexcept>
@@ -62,9 +63,10 @@ core::ReliabilityModel make_reliability() {
   return reliability;
 }
 
-core::CircuitFmeaOptions options_with_jobs(int jobs) {
+core::CircuitFmeaOptions options_with_jobs(int jobs, bool batch = true) {
   core::CircuitFmeaOptions options;
   options.jobs = jobs;
+  options.batch = batch;
   return options;
 }
 
@@ -94,10 +96,10 @@ void verify_determinism() {
               serial.rows.size());
 }
 
-void run_campaign(benchmark::State& state, int stages, int jobs) {
+void run_campaign(benchmark::State& state, int stages, int jobs, bool batch = true) {
   const auto built = make_rail(stages);
   const auto reliability = make_reliability();
-  const auto options = options_with_jobs(jobs);
+  const auto options = options_with_jobs(jobs, batch);
   size_t faults = 0;
   for (auto _ : state) {
     const auto fmea = core::analyze_circuit(built, reliability, nullptr, options);
@@ -111,6 +113,18 @@ void BM_CampaignSerial(benchmark::State& state) {
   run_campaign(state, static_cast<int>(state.range(0)), 1);
 }
 BENCHMARK(BM_CampaignSerial)
+    ->ArgName("stages")
+    ->Arg(8)
+    ->Arg(24)
+    ->Arg(48)
+    ->Unit(benchmark::kMillisecond);
+
+/// The classic one-solve-per-fault path (--no-batch), same subjects as
+/// BM_CampaignSerial: the ratio of the two is the factor-once speedup.
+void BM_CampaignNaiveSerial(benchmark::State& state) {
+  run_campaign(state, static_cast<int>(state.range(0)), 1, /*batch=*/false);
+}
+BENCHMARK(BM_CampaignNaiveSerial)
     ->ArgName("stages")
     ->Arg(8)
     ->Arg(24)
@@ -213,11 +227,62 @@ void verify_shard_merge() {
               "unsharded FMEDA byte-identically\n\n");
 }
 
+/// Batched-identity gate: the factor-once campaign must emit exactly the
+/// naive campaign's bytes — CSV and warnings — serial and parallel, before
+/// any batched timing means anything.
+void verify_batched_identity() {
+  const auto built = make_rail(12);
+  const auto reliability = make_reliability();
+  const auto naive =
+      core::analyze_circuit(built, reliability, nullptr, options_with_jobs(1, false));
+  for (const int jobs : {1, 8}) {
+    const auto batched =
+        core::analyze_circuit(built, reliability, nullptr, options_with_jobs(jobs, true));
+    expect(write_csv(naive.to_csv()) == write_csv(batched.to_csv()),
+           "batched FMEDA table differs from naive");
+    expect(naive.warnings == batched.warnings, "batched warnings differ from naive");
+  }
+  std::printf("batched identity verified: factor-once campaign byte-identical "
+              "to one-solve-per-fault (jobs 1 and 8)\n\n");
+}
+
+/// Throughput gate (acceptance criterion): on the shared-pattern rail
+/// subject the single-thread batched campaign must run >= 10x faster than
+/// the naive one. The rail pins the supply with the source + sensor, so
+/// each fault perturbs one decoupled tap — the case the factor-once design
+/// is built for.
+void verify_throughput_gate() {
+  const auto built = make_rail(192);
+  const auto reliability = make_reliability();
+  const auto naive_options = options_with_jobs(1, false);
+  const auto batched_options = options_with_jobs(1, true);
+  // One untimed pass each to warm allocators and page in the code.
+  (void)core::analyze_circuit(built, reliability, nullptr, batched_options);
+
+  const auto time_one = [&](const core::CircuitFmeaOptions& options) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto fmea = core::analyze_circuit(built, reliability, nullptr, options);
+    const auto elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start);
+    benchmark::DoNotOptimize(fmea.spfm());
+    return elapsed.count();
+  };
+  const double naive_s = time_one(naive_options);
+  const double batched_s = time_one(batched_options);
+  const double speedup = naive_s / batched_s;
+  std::printf("throughput gate: naive %.3fs, batched %.3fs -> %.1fx single-thread "
+              "(floor 10x)\n\n",
+              naive_s, batched_s, speedup);
+  std::fflush(stdout);
+  expect(speedup >= 10.0, "batched campaign speedup below the 10x floor");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::printf("hardware concurrency: %u\n", std::thread::hardware_concurrency());
   verify_determinism();
   verify_shard_merge();
+  verify_batched_identity();
+  verify_throughput_gate();
   return bench_obs::run_benchmarks(argc, argv, "campaign");
 }

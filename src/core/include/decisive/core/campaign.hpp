@@ -44,6 +44,7 @@
 #include "decisive/core/reliability.hpp"
 #include "decisive/core/safety_mechanism.hpp"
 #include "decisive/sim/builder.hpp"
+#include "decisive/sim/campaign_solver.hpp"
 #include "decisive/sim/solver.hpp"
 
 namespace decisive::core {
@@ -92,10 +93,16 @@ class CampaignRunner {
   [[nodiscard]] std::vector<size_t> shard_task_indices() const;
 
  private:
-  [[nodiscard]] FmedaRow run_task(const Task& task,
-                                  const sim::OperatingPoint& baseline) const;
+  /// `batch`/`batch_ws` carry the factor-once campaign context (null when the
+  /// batched path is disabled or unusable); the first attempt tries the
+  /// low-rank solve and every fallback/retry re-runs the classic ladder.
+  [[nodiscard]] FmedaRow run_task(const Task& task, const sim::OperatingPoint& baseline,
+                                  const sim::CampaignSolveContext* batch,
+                                  sim::CampaignSolveContext::Workspace* batch_ws) const;
   [[nodiscard]] FmedaRow run_task_once(const Task& task, const sim::OperatingPoint& baseline,
-                                       const sim::SolveOptions& solver, int attempt) const;
+                                       const sim::SolveOptions& solver, int attempt,
+                                       const sim::CampaignSolveContext* batch,
+                                       sim::CampaignSolveContext::Workspace* batch_ws) const;
 
   const sim::BuiltCircuit& built_;
   const SafetyMechanismModel* sm_model_;

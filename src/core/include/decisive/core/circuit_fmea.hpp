@@ -67,6 +67,14 @@ struct CircuitFmeaOptions {
   /// Campaign worker threads: 1 = serial, 0 = hardware concurrency. The
   /// FMEDA output is byte-identical for any value.
   int jobs = 1;
+  /// Factor-once batched campaign solving (campaign_solver.hpp): solve the
+  /// nominal system once and apply eligible faults as low-rank updates,
+  /// falling back to the classic per-fault ladder whenever any correctness
+  /// gate trips. Output is byte-identical either way, so — like `jobs` and
+  /// the shard spec — this flag is deliberately excluded from the campaign
+  /// fingerprint and journals interchange freely between the two modes.
+  /// `false` is the `--no-batch` escape hatch.
+  bool batch = true;
   /// Journal / shard / containment controls of the campaign run.
   CampaignExecution execution;
 

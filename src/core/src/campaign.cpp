@@ -34,6 +34,9 @@ struct CampaignMetrics {
   obs::Counter& outcome_singular;
   obs::Counter& outcome_not_applicable;
   obs::Counter& outcome_crashed;
+  obs::Counter& batched_rows;
+  obs::Counter& batch_fallbacks;
+  obs::Counter& batch_near_threshold;
   obs::Counter& retries;
   obs::Counter& checkpoint_replays;
   obs::Counter& journal_appends;
@@ -55,6 +58,9 @@ struct CampaignMetrics {
         registry.counter("decisive_campaign_outcome_singular_total"),
         registry.counter("decisive_campaign_outcome_not_applicable_total"),
         registry.counter("decisive_campaign_outcome_crashed_total"),
+        registry.counter("decisive_campaign_batched_rows_total"),
+        registry.counter("decisive_campaign_batch_fallback_total"),
+        registry.counter("decisive_campaign_batch_near_threshold_total"),
         registry.counter("decisive_campaign_retries_total"),
         registry.counter("decisive_campaign_checkpoint_replays_total"),
         registry.counter("decisive_campaign_journal_appends_total"),
@@ -80,24 +86,35 @@ void count_outcome(const FmedaRow& row) {
   }
 }
 
-/// Classifies one injected fault by comparing operating points.
+/// Classifies one injected fault by comparing operating points. When
+/// `margin_out` is non-null it receives the smallest distance of any
+/// observable's deviation from the classification threshold — the batched
+/// path falls back to the naive solve when a reading sits on that knife
+/// edge, so ulp-level solver differences can never flip an effect class.
 EffectClass classify(const CircuitFmeaOptions& options, const sim::OperatingPoint& baseline,
-                     const sim::OperatingPoint& faulted) {
+                     const sim::OperatingPoint& faulted, double* margin_out = nullptr) {
   bool goal_deviated = false;
   bool other_deviated = false;
+  double margin = std::numeric_limits<double>::infinity();
   for (const auto& [name, before] : baseline.readings) {
     const auto it = faulted.readings.find(name);
     if (it == faulted.readings.end()) continue;
     const double deviation = observable_deviation(before, it->second, options.absolute_floor);
+    margin = std::min(margin, std::abs(deviation - options.relative_threshold));
     if (deviation > options.relative_threshold) {
       if (options.is_goal_observable(name)) goal_deviated = true;
       else other_deviated = true;
     }
   }
+  if (margin_out != nullptr) *margin_out = margin;
   if (goal_deviated) return EffectClass::DVF;
   if (other_deviated) return EffectClass::IVF;
   return EffectClass::None;
 }
+
+/// Classification knife-edge band for the batched path: deviations this
+/// close to relative_threshold are re-decided by the naive solve.
+constexpr double kClassifyGuard = 1e-6;
 
 /// Campaign fault-injection hooks (for the containment tests: the campaign
 /// engine eats its own dog food and is itself tested by fault injection).
@@ -247,8 +264,9 @@ std::vector<size_t> CampaignRunner::shard_task_indices() const {
 
 FmedaRow CampaignRunner::run_task_once(const Task& task,
                                        const sim::OperatingPoint& baseline,
-                                       const sim::SolveOptions& solver,
-                                       int attempt) const {
+                                       const sim::SolveOptions& solver, int attempt,
+                                       const sim::CampaignSolveContext* batch,
+                                       sim::CampaignSolveContext::Workspace* batch_ws) const {
   FmedaRow row;
   row.component = task.component->path;
   row.component_type = task.reliability->component_type;
@@ -273,6 +291,33 @@ FmedaRow CampaignRunner::run_task_once(const Task& task,
     fault.kind = sim::fault_kind_from_name(task.mode->name);
     const sim::Circuit faulted = sim::inject_fault(
         built_.circuit, fault, solver.open_resistance, solver.closed_resistance);
+
+    // Batched fast path: solve against the campaign's shared nominal
+    // factorisation. Any fallback reason — structural fault, conditioning,
+    // slow convergence, classification knife edge — re-runs the fault
+    // through the naive path below, so the row bytes cannot diverge.
+    if (batch != nullptr && batch_ws != nullptr) {
+      CampaignMetrics& metrics = CampaignMetrics::get();
+      sim::SolveDiagnostics batch_diagnostics;
+      sim::BatchOutcome batch_outcome = sim::BatchOutcome::Disabled;
+      const auto batched =
+          batch->try_solve(faulted, fault, *batch_ws, batch_diagnostics, batch_outcome);
+      if (batched.has_value()) {
+        double margin = std::numeric_limits<double>::infinity();
+        const EffectClass effect = classify(options_, baseline, *batched, &margin);
+        if (margin > kClassifyGuard) {
+          row.solver_iterations = batch_diagnostics.iterations;
+          row.ladder_rung = 0;
+          row.outcome = FaultOutcome::Converged;
+          row.effect = effect;
+          row.safety_related = effect != EffectClass::None;
+          metrics.batched_rows.add();
+          return row;
+        }
+        metrics.batch_near_threshold.add();
+      }
+      metrics.batch_fallbacks.add();
+    }
 
     sim::SolveDiagnostics diagnostics;
     const auto after = sim::try_dc_operating_point(faulted, solver, diagnostics);
@@ -326,13 +371,14 @@ FmedaRow CampaignRunner::run_task_once(const Task& task,
   return row;
 }
 
-FmedaRow CampaignRunner::run_task(const Task& task,
-                                  const sim::OperatingPoint& baseline) const {
+FmedaRow CampaignRunner::run_task(const Task& task, const sim::OperatingPoint& baseline,
+                                  const sim::CampaignSolveContext* batch,
+                                  sim::CampaignSolveContext::Workspace* batch_ws) const {
   CampaignMetrics& metrics = CampaignMetrics::get();
   metrics.tasks.add();
   obs::Span span("campaign.task", &metrics.task_seconds);
 
-  FmedaRow row = run_task_once(task, baseline, options_.solver, 0);
+  FmedaRow row = run_task_once(task, baseline, options_.solver, 0, batch, batch_ws);
 
   // Containment retries: a crashed or budget-exhausted task gets up to
   // max_retries re-runs, each with a fresh solve (the ladder restarts from
@@ -352,7 +398,9 @@ FmedaRow CampaignRunner::run_task(const Task& task,
     if (tighter.max_wall_clock_seconds > 0) {
       tighter.max_wall_clock_seconds *= execution.retry_budget_scale;
     }
-    row = run_task_once(task, baseline, tighter, attempt);
+    // Retries deliberately skip the batched path: a crash/budget outcome is
+    // exactly the suspicious case the naive ladder must re-decide.
+    row = run_task_once(task, baseline, tighter, attempt, nullptr, nullptr);
     row.retries = attempt;
   }
 
@@ -480,13 +528,27 @@ FmedaResult CampaignRunner::run() const {
     }
   }
 
+  // Step 1b: build the factor-once batched solve context (tentpole of the
+  // batched campaign). One symbolic analysis + one LU of the nominal
+  // Jacobian, shared read-only by every worker; faults that cannot be
+  // expressed as low-rank updates (or that trip any correctness gate inside
+  // try_solve) fall back to the classic per-fault ladder, so results are
+  // byte-identical with the batch on or off.
+  std::optional<sim::CampaignSolveContext> batch;
+  if (options_.batch && !pending.empty()) {
+    obs::Span context_span("campaign.batch_context");
+    batch.emplace(built_.circuit, options_.solver);
+    if (!batch->usable()) batch.reset();
+  }
+
   // Step 2: execute the pending fault tasks. Faults are independent
   // re-simulations of copies of the circuit, so this is embarrassingly
   // parallel; results land in pre-assigned slots, keeping output
   // deterministic for any job count.
   if (!pending.empty()) {
-    auto process = [&](size_t s) {
-      rows[s] = run_task(tasks_[shard[s]], *baseline);
+    auto process = [&](size_t s, sim::CampaignSolveContext::Workspace& ws) {
+      rows[s] = run_task(tasks_[shard[s]], *baseline, batch ? &*batch : nullptr,
+                         batch ? &ws : nullptr);
       if (journal != nullptr) {
         journal->append(shard[s], rows[s]);
         metrics.journal_appends.add();
@@ -500,7 +562,8 @@ FmedaResult CampaignRunner::run() const {
     metrics.jobs.set(static_cast<double>(jobs));
 
     if (jobs <= 1) {
-      for (const size_t s : pending) process(s);
+      sim::CampaignSolveContext::Workspace ws;
+      for (const size_t s : pending) process(s, ws);
     } else {
       const CrashHooks hooks = CrashHooks::from_env();
       std::atomic<size_t> next{0};
@@ -508,6 +571,7 @@ FmedaResult CampaignRunner::run() const {
       std::exception_ptr first_error;
       std::mutex error_mutex;
       auto worker = [&] {
+        sim::CampaignSolveContext::Workspace ws;
         try {
           for (size_t i = next.fetch_add(1); i < pending.size(); i = next.fetch_add(1)) {
             const size_t s = pending[i];
@@ -516,7 +580,7 @@ FmedaResult CampaignRunner::run() const {
               throw std::runtime_error(
                   "injected worker death (DECISIVE_CAMPAIGN_WORKER_DIE)");
             }
-            process(s);
+            process(s, ws);
           }
         } catch (...) {
           const std::lock_guard<std::mutex> lock(error_mutex);
@@ -546,8 +610,9 @@ FmedaResult CampaignRunner::run() const {
                  "campaign worker died (" + reason +
                      "); circuit breaker tripped — finishing serially");
         metrics.jobs.set(1.0);
+        sim::CampaignSolveContext::Workspace ws;
         for (const size_t s : pending) {
-          if (!done[s]) process(s);
+          if (!done[s]) process(s, ws);
         }
       }
     }

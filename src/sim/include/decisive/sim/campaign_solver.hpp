@@ -1,0 +1,103 @@
+// Factor-once batched solving for fault-injection campaigns.
+//
+// Every fault variant's MNA system differs from the nominal one by (at most)
+// one component stamp — a textbook low-rank update. A CampaignSolveContext
+// performs the symbolic analysis and one LU factorisation of the nominal
+// Jacobian up front, then solves each eligible fault via Sherman–Morrison /
+// Woodbury updates against the shared factorisation, warm-started from the
+// nominal operating point. Faults that change the system structure (a
+// voltage source or DC inductor losing its branch unknown), updates whose
+// conditioning the per-iteration residual gate rejects, and solves that do
+// not converge quickly all fall back to the classic one-solve-per-fault path
+// — so the batched campaign's output is byte-identical to the naive one, it
+// is just 10–30x cheaper on the (dominant) well-behaved faults.
+//
+// Thread-safety: a context is immutable after construction; workers solve
+// concurrently against it, each with its own Workspace.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "decisive/sim/circuit.hpp"
+#include "decisive/sim/dense.hpp"
+#include "decisive/sim/fault.hpp"
+#include "decisive/sim/solver.hpp"
+
+namespace decisive::sim {
+
+/// Why one batched solve did (or did not) produce a result. Anything but
+/// `Solved` means the caller must re-run the fault through the naive path.
+enum class BatchOutcome {
+  Solved,         ///< low-rank solve converged and passed every gate
+  Structural,     ///< fault changes the MNA structure (or has no low-rank form)
+  Conditioning,   ///< update rejected: residual gate / singular small system /
+                  ///< too many active terms for a profitable low-rank solve
+  NotConverged,   ///< Newton did not converge fast enough on the shared factor
+  NearThreshold,  ///< result lands on a classification knife edge (MCU supply
+                  ///< at its brown-out boundary); naive path must decide
+  Disabled,       ///< context unusable (nominal solve failed / trivial system)
+};
+
+std::string_view to_string(BatchOutcome outcome) noexcept;
+
+/// Shared per-campaign solve state: nominal operating point, assembled
+/// nominal Jacobian (factored and unfactored), and cached A^-1 u columns for
+/// every element that can carry a conductance delta.
+class CampaignSolveContext {
+ public:
+  /// Per-worker scratch buffers. All storage a batched solve needs lives
+  /// here, so try_solve() is const and allocation-free after warm-up.
+  struct Workspace {
+    std::vector<double> rhs;            ///< assembled faulted RHS
+    std::vector<double> eff_diode_v;    ///< linearisation points used for the RHS stamp
+    std::vector<double> zb;             ///< A_nom^-1 rhs
+    std::vector<double> residual;       ///< full-system residual check
+    std::vector<int> term_col;          ///< active update terms: cached column ids
+    std::vector<std::size_t> term_elem; ///< active update terms: element index
+    std::vector<double> term_g;         ///< active update terms: conductance deltas
+    std::vector<double> small_rhs;
+    dense::LuFactorization<double> small_lu;
+    BatchOutcome step_outcome = BatchOutcome::NotConverged;
+  };
+
+  /// Solves the nominal circuit (plain Newton, no ladder) and builds the
+  /// shared factorisation. When the nominal solve fails or the system is
+  /// trivial, the context stays constructed but unusable() — every
+  /// try_solve() reports Disabled and the campaign runs naive.
+  CampaignSolveContext(const Circuit& nominal, const SolveOptions& options);
+
+  [[nodiscard]] bool usable() const noexcept { return usable_; }
+
+  /// True when `fault` on the nominal circuit preserves the MNA structure
+  /// and is expressible as a low-rank (or RHS-only) delta.
+  [[nodiscard]] bool eligible(const Fault& fault) const noexcept;
+
+  /// Attempts the batched solve of `faulted` (the result of inject_fault for
+  /// `fault` on the nominal circuit). Returns the operating point when the
+  /// low-rank solve converged and passed the residual and knife-edge gates;
+  /// std::nullopt otherwise, with `outcome` naming the fallback reason.
+  /// `diagnostics` is filled like try_dc_operating_point's on success.
+  [[nodiscard]] std::optional<OperatingPoint> try_solve(const Circuit& faulted,
+                                                        const Fault& fault, Workspace& ws,
+                                                        SolveDiagnostics& diagnostics,
+                                                        BatchOutcome& outcome) const;
+
+  /// The nominal operating point (valid when usable()).
+  [[nodiscard]] const OperatingPoint& nominal_point() const noexcept { return nominal_point_; }
+
+  ~CampaignSolveContext();
+  CampaignSolveContext(CampaignSolveContext&&) noexcept;
+  CampaignSolveContext& operator=(CampaignSolveContext&&) noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  OperatingPoint nominal_point_;
+  bool usable_ = false;
+};
+
+}  // namespace decisive::sim

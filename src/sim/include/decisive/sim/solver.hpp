@@ -10,6 +10,7 @@
 // is tried in order when plain Newton gives up.
 #pragma once
 
+#include <complex>
 #include <map>
 #include <optional>
 #include <string>
@@ -115,8 +116,14 @@ std::vector<TransientSample> transient(const Circuit& circuit, double t_end, dou
                                        const SolveOptions& options = {});
 
 /// Dense linear solve (partial-pivot Gaussian elimination) of A x = b.
-/// Exposed for testing; throws SimulationError on singular systems.
+/// Exposed for testing; throws SimulationError on singular systems and on
+/// malformed inputs (mismatched dimensions, ragged rows).
 std::vector<double> solve_linear(std::vector<std::vector<double>> a, std::vector<double> b);
+
+/// The complex-field twin of solve_linear, used by the AC path. Shares the
+/// same templated kernel and the same input validation.
+std::vector<std::complex<double>> solve_linear_complex(
+    std::vector<std::vector<std::complex<double>>> a, std::vector<std::complex<double>> b);
 
 /// One point of an AC (small-signal) sweep: magnitude and phase of every
 /// sensor reading at one frequency.

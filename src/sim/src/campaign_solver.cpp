@@ -1,0 +1,504 @@
+#include "decisive/sim/campaign_solver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "decisive/base/error.hpp"
+#include "decisive/obs/registry.hpp"
+#include "mna.hpp"
+
+namespace decisive::sim {
+
+namespace {
+
+/// Batched-path instrumentation, cached once per process.
+struct BatchMetrics {
+  obs::Counter& contexts;
+  obs::Counter& contexts_unusable;
+  obs::Counter& factor_reuses;
+  obs::Counter& lowrank_solves;
+  obs::Counter& rhs_only_solves;
+  obs::Counter& fallback_structural;
+  obs::Counter& fallback_conditioning;
+  obs::Counter& fallback_not_converged;
+  obs::Counter& fallback_near_threshold;
+  obs::Histogram& active_terms;
+
+  static BatchMetrics& get() {
+    auto& registry = obs::Registry::global();
+    static BatchMetrics metrics{
+        registry.counter("decisive_batch_contexts_total"),
+        registry.counter("decisive_batch_contexts_unusable_total"),
+        registry.counter("decisive_batch_factor_reuses_total"),
+        registry.counter("decisive_batch_lowrank_solves_total"),
+        registry.counter("decisive_batch_rhs_only_solves_total"),
+        registry.counter("decisive_batch_fallback_structural_total"),
+        registry.counter("decisive_batch_fallback_conditioning_total"),
+        registry.counter("decisive_batch_fallback_not_converged_total"),
+        registry.counter("decisive_batch_fallback_near_threshold_total"),
+        registry.histogram("decisive_batch_active_terms",
+                           {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0})};
+    return metrics;
+  }
+};
+
+/// Junction-voltage movement (vs the nominal operating point) below which a
+/// non-faulted diode is *pinned to its nominal linearisation point*: no
+/// low-rank matrix term, and its RHS companion stamp uses the nominal
+/// junction voltage too, so matrix and RHS stay consistent. Warm-started
+/// solves keep unaffected diodes at (numerically) their nominal junction
+/// voltage, but not exactly — each factored solve injects ~1e-9 V of
+/// conditioning-amplified round-off, accumulating to ~1e-7 V over a
+/// step-limited Newton run (measured bimodal on a 192-stage rail: noise
+/// <= 8e-8 V, genuine moves >= 2.6e-2 V). The threshold must sit above the
+/// noise floor — else every diode in the circuit registers as "moved" on
+/// any resistor fault and the dense-update guard rejects the whole batch.
+/// Pinning a diode that truly moved dv replaces its companion model with
+/// one linearised dv away, a *second-order* error (~geq*dv^2/vt, i.e.
+/// ~1.7e-8 A at the threshold), orders below the classification knife-edge
+/// guard; for noise-level wobble it is ~1e-12 A.
+constexpr double kDiodeSkipVolt = 1e-5;
+
+/// Residual acceptance for a low-rank solve, relative to max(1, ||rhs||inf).
+constexpr double kResidualRelative = 1e-8;
+
+/// Knife-edge guard on the MCU brown-out comparison (supply >= min_supply):
+/// the batched iterate differs from the naive one in the last ulps, so a
+/// supply this close to the threshold must be decided by the naive path.
+constexpr double kMcuSupplyGuard = 1e-6;
+
+/// Convergence-margin guard: a warm start that barely squeaks under the
+/// iteration budget could converge where the cold-started naive path would
+/// not, changing the row's outcome class. Solves using >= 90% of the budget
+/// are handed back to the naive path.
+[[nodiscard]] bool near_iteration_budget(int iterations, const SolveOptions& opt) {
+  return iterations * 10 >= opt.max_newton_iterations * 9;
+}
+
+/// The linear conductance an element contributes between its terminals in a
+/// DC MNA matrix; 0 for elements with no (node-pair) conductance stamp.
+/// Diodes are handled separately (their stamp depends on the linearisation
+/// point).
+double linear_conductance(const Element& e, const SolveOptions& opt) {
+  switch (e.kind) {
+    case ElementKind::Resistor:
+    case ElementKind::Mcu:
+      return 1.0 / e.value;
+    case ElementKind::Switch:
+      return 1.0 / (e.closed ? opt.closed_resistance : opt.open_resistance);
+    default:
+      return 0.0;
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(BatchOutcome outcome) noexcept {
+  switch (outcome) {
+    case BatchOutcome::Solved: return "solved";
+    case BatchOutcome::Structural: return "structural";
+    case BatchOutcome::Conditioning: return "conditioning";
+    case BatchOutcome::NotConverged: return "not-converged";
+    case BatchOutcome::NearThreshold: return "near-threshold";
+    case BatchOutcome::Disabled: return "disabled";
+  }
+  return "disabled";
+}
+
+struct CampaignSolveContext::Impl {
+  Circuit nominal;
+  SolveOptions opt;
+  mna::Structure structure;
+  mna::CompanionState dc_state;  // DC: no companion sources
+
+  // Nominal converged state: the warm start for every fault variant.
+  mna::NewtonSeed seed;
+
+  // The nominal Jacobian assembled at the converged diode linearisation:
+  // factored (for solves) and unfactored (for the residual gate's matvec).
+  dense::LuFactorization<double> lu;
+  std::vector<double> a_nom;
+
+  // Per element index: conductance contribution inside a_nom, cached A^-1 u
+  // column id (-1 = none), and diode bookkeeping.
+  std::vector<double> cond_nom;
+  std::vector<double> geq_nom;
+  std::vector<int> col_of;
+  std::vector<std::size_t> diode_indices;
+
+  // Cached Z = A_nom^-1 U columns, column-major (col * dim + row).
+  std::vector<double> z_cols;
+
+  [[nodiscard]] std::size_t dim() const noexcept { return structure.dim; }
+
+  /// u_i^T v for the element's reduced incidence vector e_a - e_b.
+  [[nodiscard]] double u_dot(const Element& e, const double* v) const {
+    double sum = 0.0;
+    if (e.a != 0) sum += v[e.a - 1];
+    if (e.b != 0) sum -= v[e.b - 1];
+    return sum;
+  }
+
+  /// v += s * u_i.
+  void u_axpy(const Element& e, double s, double* v) const {
+    if (e.a != 0) v[e.a - 1] += s;
+    if (e.b != 0) v[e.b - 1] -= s;
+  }
+};
+
+CampaignSolveContext::CampaignSolveContext(const Circuit& nominal, const SolveOptions& options)
+    : impl_(std::make_unique<Impl>()) {
+  BatchMetrics& metrics = BatchMetrics::get();
+  metrics.contexts.add();
+  Impl& im = *impl_;
+  im.nominal = nominal;
+  im.opt = options;
+  im.structure = mna::analyze_structure(im.nominal, false);
+  if (im.dim() == 0) {
+    metrics.contexts_unusable.add();
+    return;  // trivial system: the naive path is already free
+  }
+
+  // Nominal plain-Newton solve (no recovery ladder: a nominal system that
+  // needs the ladder is not a good shared linearisation point).
+  mna::Deadline deadline;
+  if (options.max_wall_clock_seconds > 0.0) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(options.max_wall_clock_seconds));
+  }
+  mna::Workspace ws;
+  mna::NewtonAttempt attempt = mna::attempt_solve_dense(im.nominal, im.opt, im.dc_state,
+                                                        im.structure, nullptr, deadline, ws);
+  if (!attempt.converged) {
+    metrics.contexts_unusable.add();
+    return;
+  }
+  nominal_point_ = mna::make_operating_point(im.nominal, attempt.result);
+  im.seed.x = std::move(attempt.x);
+  im.seed.diode_v = std::move(attempt.diode_v);
+
+  // Assemble the nominal Jacobian at the converged linearisation point, keep
+  // an unfactored copy for residual checks, and factor it once.
+  const std::size_t dim = im.dim();
+  std::vector<double>& flat = im.lu.reset(dim);
+  std::vector<double> rhs_scratch(dim, 0.0);
+  mna::assemble(im.nominal, im.opt, im.dc_state, im.structure, im.seed.diode_v, flat.data(),
+                rhs_scratch.data());
+  im.a_nom = flat;
+  try {
+    im.lu.factor("singular system (floating node or short loop?)");
+  } catch (const SimulationError&) {
+    metrics.contexts_unusable.add();
+    return;
+  }
+
+  // Per-element conductance contributions and cached A^-1 u columns for
+  // every element whose fault (or diode relinearisation) can appear as a
+  // node-pair conductance delta.
+  const auto& elements = im.nominal.elements();
+  im.cond_nom.assign(elements.size(), 0.0);
+  im.geq_nom.assign(elements.size(), 0.0);
+  im.col_of.assign(elements.size(), -1);
+  std::vector<double> u(dim, 0.0);
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    const Element& e = elements[i];
+    switch (e.kind) {
+      case ElementKind::Resistor:
+      case ElementKind::Mcu:
+      case ElementKind::Switch:
+        im.cond_nom[i] = linear_conductance(e, im.opt);
+        break;
+      case ElementKind::Diode:
+        im.geq_nom[i] = mna::linearise_diode(im.seed.diode_v[i], im.opt).geq;
+        im.cond_nom[i] = im.geq_nom[i];
+        im.diode_indices.push_back(i);
+        break;
+      default:
+        break;
+    }
+    const bool delta_capable =
+        e.kind == ElementKind::Resistor || e.kind == ElementKind::Mcu ||
+        e.kind == ElementKind::Switch || e.kind == ElementKind::Capacitor ||
+        e.kind == ElementKind::Diode || e.kind == ElementKind::ISource;
+    const bool u_nonzero = e.a != e.b && (e.a != 0 || e.b != 0);
+    if (!delta_capable || !u_nonzero) continue;
+    std::fill(u.begin(), u.end(), 0.0);
+    im.u_axpy(e, 1.0, u.data());
+    im.lu.solve_in_place(u.data());
+    im.col_of[i] = static_cast<int>(im.z_cols.size() / dim);
+    im.z_cols.insert(im.z_cols.end(), u.begin(), u.end());
+  }
+
+  usable_ = true;
+}
+
+CampaignSolveContext::~CampaignSolveContext() = default;
+CampaignSolveContext::CampaignSolveContext(CampaignSolveContext&&) noexcept = default;
+CampaignSolveContext& CampaignSolveContext::operator=(CampaignSolveContext&&) noexcept = default;
+
+bool CampaignSolveContext::eligible(const Fault& fault) const noexcept {
+  if (!usable_) return false;
+  const Element* e = impl_->nominal.find(fault.element);
+  if (e == nullptr) return false;
+  switch (fault.kind) {
+    case FaultKind::Open:
+    case FaultKind::Short:
+      // These turn the element into a plain resistor: a pure conductance
+      // delta — unless the element carried a branch unknown (VSource,
+      // DC inductor), whose disappearance changes the system dimension.
+      return e->kind == ElementKind::Resistor || e->kind == ElementKind::Mcu ||
+             e->kind == ElementKind::Switch || e->kind == ElementKind::Capacitor ||
+             e->kind == ElementKind::Diode || e->kind == ElementKind::ISource;
+    case FaultKind::StuckOff:
+      // Source output collapses (RHS-only) or MCU RAM corrupts (reading-only).
+      return e->kind == ElementKind::VSource || e->kind == ElementKind::ISource ||
+             e->kind == ElementKind::Mcu;
+    case FaultKind::Drift:
+      // Value scaling: conductance delta (R/MCU), RHS-only (sources), or a
+      // DC no-op (capacitor open / inductor short at DC keep their stamps).
+      return e->kind == ElementKind::Resistor || e->kind == ElementKind::Mcu ||
+             e->kind == ElementKind::Capacitor || e->kind == ElementKind::Inductor ||
+             e->kind == ElementKind::VSource || e->kind == ElementKind::ISource;
+    case FaultKind::RamFailure:
+      return e->kind == ElementKind::Mcu;  // electrically silent
+  }
+  return false;
+}
+
+std::optional<OperatingPoint> CampaignSolveContext::try_solve(const Circuit& faulted,
+                                                              const Fault& fault, Workspace& ws,
+                                                              SolveDiagnostics& diagnostics,
+                                                              BatchOutcome& outcome) const {
+  BatchMetrics& metrics = BatchMetrics::get();
+  if (!usable_) {
+    outcome = BatchOutcome::Disabled;
+    return std::nullopt;
+  }
+  const Impl& im = *impl_;
+  if (!eligible(fault)) {
+    outcome = BatchOutcome::Structural;
+    metrics.fallback_structural.add();
+    return std::nullopt;
+  }
+  const std::size_t dim = im.dim();
+  const auto& elements = im.nominal.elements();
+  const Element* nominal_elem = im.nominal.find(fault.element);
+  const std::size_t fault_idx =
+      static_cast<std::size_t>(nominal_elem - im.nominal.elements().data());
+  const Element& faulted_elem = faulted.elements()[fault_idx];
+
+  // The fault's own conductance delta between the element's (unchanged)
+  // terminals. A nominal diode's contribution is its linearised geq, so e.g.
+  // "diode opens" is (1/R_open - geq_nom) on the same node pair.
+  const double delta_fault = linear_conductance(faulted_elem, im.opt) - im.cond_nom[fault_idx];
+  if (delta_fault != 0.0 && im.col_of[fault_idx] < 0) {
+    // A conductance delta with no cached column (element between identical
+    // or all-ground nodes is a no-op; anything else is unexpected): let the
+    // naive path decide.
+    if (nominal_elem->a != nominal_elem->b &&
+        (nominal_elem->a != 0 || nominal_elem->b != 0)) {
+      outcome = BatchOutcome::Structural;
+      metrics.fallback_structural.add();
+      return std::nullopt;
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  mna::Deadline deadline;
+  if (im.opt.max_wall_clock_seconds > 0.0) {
+    deadline = start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(im.opt.max_wall_clock_seconds));
+  }
+
+  ws.rhs.resize(dim);
+  ws.zb.resize(dim);
+  ws.residual.resize(dim);
+  ws.step_outcome = BatchOutcome::NotConverged;
+  std::size_t max_active = 0;
+  metrics.factor_reuses.add();
+
+  auto solve_step = [&](const std::vector<double>& diode_v, std::vector<double>& x_out,
+                        SolveFailure& failure, std::string& message) {
+    // Active low-rank terms: the fault's conductance delta plus any diode
+    // whose junction voltage genuinely moved off its nominal point. Diodes
+    // within the skip band are pinned to their nominal linearisation point
+    // for this step — no matrix term, and the RHS stamp below uses their
+    // *nominal* junction voltage so companion matrix and RHS stay
+    // consistent (an inconsistent pair would leak a first-order error into
+    // the solution; a consistently stale linearisation point is only a
+    // second-order one).
+    ws.term_col.clear();
+    ws.term_elem.clear();
+    ws.term_g.clear();
+    ws.eff_diode_v.assign(diode_v.begin(), diode_v.end());
+    if (delta_fault != 0.0 && im.col_of[fault_idx] >= 0) {
+      ws.term_col.push_back(im.col_of[fault_idx]);
+      ws.term_elem.push_back(fault_idx);
+      ws.term_g.push_back(delta_fault);
+    }
+    for (const std::size_t d : im.diode_indices) {
+      if (d == fault_idx) continue;  // the faulted element is no longer a diode
+      if (std::abs(diode_v[d] - im.seed.diode_v[d]) <= kDiodeSkipVolt) {
+        ws.eff_diode_v[d] = im.seed.diode_v[d];
+        continue;
+      }
+      const double delta = mna::linearise_diode(diode_v[d], im.opt).geq - im.geq_nom[d];
+      if (delta == 0.0) continue;
+      if (im.col_of[d] < 0) continue;  // degenerate node pair: stamp is a no-op
+      ws.term_col.push_back(im.col_of[d]);
+      ws.term_elem.push_back(d);
+      ws.term_g.push_back(delta);
+    }
+    // Faulted RHS at the (pinned) linearisation points — matrix deltas are
+    // applied via the Woodbury identity, so only the RHS is re-stamped.
+    std::fill(ws.rhs.begin(), ws.rhs.end(), 0.0);
+    mna::assemble(faulted, im.opt, im.dc_state, im.structure, ws.eff_diode_v, nullptr,
+                  ws.rhs.data());
+    const std::size_t k = ws.term_col.size();
+    max_active = std::max(max_active, k);
+    if (k > dim / 2) {
+      // The update is no longer "low-rank": a fresh factorisation is cheaper
+      // and better conditioned.
+      ws.step_outcome = BatchOutcome::Conditioning;
+      failure = SolveFailure::Singular;
+      message = "low-rank update too dense";
+      return false;
+    }
+
+    // Base solve against the shared nominal factorisation.
+    std::copy(ws.rhs.begin(), ws.rhs.end(), ws.zb.begin());
+    im.lu.solve_in_place(ws.zb.data());
+
+    if (k == 0) {
+      x_out.assign(ws.zb.begin(), ws.zb.end());
+    } else {
+      // Woodbury: x = z - Z_active (G^-1 + U^T Z_active)^-1 U^T z, with
+      // Z_active the cached A_nom^-1 u columns and G = diag(term_g). U^T
+      // entries are O(1) lookups via the active elements' node pairs.
+      std::vector<double>& s = ws.small_lu.reset(k);
+      ws.small_rhs.resize(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        const Element& e_i = elements[ws.term_elem[i]];
+        s[i * k + i] = 1.0 / ws.term_g[i];
+        for (std::size_t j = 0; j < k; ++j) {
+          const double* zj = im.z_cols.data() + static_cast<std::size_t>(ws.term_col[j]) * dim;
+          s[i * k + j] += im.u_dot(e_i, zj);
+        }
+        ws.small_rhs[i] = im.u_dot(e_i, ws.zb.data());
+      }
+      try {
+        ws.small_lu.factor("singular low-rank update");
+      } catch (const SimulationError&) {
+        ws.step_outcome = BatchOutcome::Conditioning;
+        failure = SolveFailure::Singular;
+        message = "low-rank update system is singular";
+        return false;
+      }
+      ws.small_lu.solve_in_place(ws.small_rhs.data());
+      x_out.assign(ws.zb.begin(), ws.zb.end());
+      for (std::size_t j = 0; j < k; ++j) {
+        const double w = ws.small_rhs[j];
+        if (w == 0.0) continue;
+        const double* zj = im.z_cols.data() + static_cast<std::size_t>(ws.term_col[j]) * dim;
+        for (std::size_t r = 0; r < dim; ++r) x_out[r] -= w * zj[r];
+      }
+    }
+
+    return true;
+  };
+
+  // Residual gate, applied once to the converged iterate (the naive path
+  // never checks a residual at all, so gating the accepted solution is
+  // strictly stronger): r = rhs - (A_nom + sum g_i u_i u_i^T) x must vanish
+  // to solver precision, or the update was too ill-conditioned to trust.
+  // ws.rhs and the active terms are still those of the final linearisation
+  // when this runs.
+  auto passes_residual_gate = [&](const std::vector<double>& x) {
+    double rhs_norm = 0.0;
+    for (std::size_t r = 0; r < dim; ++r) rhs_norm = std::max(rhs_norm, std::abs(ws.rhs[r]));
+    std::copy(ws.rhs.begin(), ws.rhs.end(), ws.residual.begin());
+    const double* a = im.a_nom.data();
+    for (std::size_t r = 0; r < dim; ++r) {
+      double dot = 0.0;
+      const double* row = a + r * dim;
+      for (std::size_t c = 0; c < dim; ++c) dot += row[c] * x[c];
+      ws.residual[r] -= dot;
+    }
+    for (std::size_t j = 0; j < ws.term_col.size(); ++j) {
+      const Element& e_j = elements[ws.term_elem[j]];
+      const double flow = ws.term_g[j] * im.u_dot(e_j, x.data());
+      im.u_axpy(e_j, -flow, ws.residual.data());
+    }
+    double res_norm = 0.0;
+    for (std::size_t r = 0; r < dim; ++r) {
+      res_norm = std::max(res_norm, std::abs(ws.residual[r]));
+    }
+    return std::isfinite(res_norm) && res_norm <= kResidualRelative * std::max(1.0, rhs_norm);
+  };
+
+  mna::NewtonAttempt attempt =
+      mna::newton_attempt(faulted, im.opt, im.structure, &im.seed, deadline, solve_step);
+  metrics.active_terms.observe(static_cast<double>(max_active));
+  if (!attempt.converged) {
+    if (attempt.failure == SolveFailure::IterationBudget ||
+        attempt.failure == SolveFailure::WallClockBudget ||
+        attempt.failure == SolveFailure::NonFinite) {
+      outcome = BatchOutcome::NotConverged;
+      metrics.fallback_not_converged.add();
+    } else {
+      outcome = ws.step_outcome;
+      metrics.fallback_conditioning.add();
+    }
+    return std::nullopt;
+  }
+  if (near_iteration_budget(attempt.iterations, im.opt)) {
+    // A warm start that barely fits the budget might converge where the
+    // cold-started naive path would not; the naive path must decide.
+    outcome = BatchOutcome::NotConverged;
+    metrics.fallback_not_converged.add();
+    return std::nullopt;
+  }
+  if (!passes_residual_gate(attempt.x)) {
+    outcome = BatchOutcome::Conditioning;
+    metrics.fallback_conditioning.add();
+    return std::nullopt;
+  }
+
+  // Knife-edge gate: MCU brown-out readings are a discrete function of the
+  // solved supply voltage; ulp-level differences from the naive path must
+  // not flip them.
+  for (std::size_t i = 0; i < faulted.elements().size(); ++i) {
+    const Element& e = faulted.elements()[i];
+    if (e.kind != ElementKind::Mcu) continue;
+    const double supply =
+        attempt.result.node_voltage[static_cast<std::size_t>(e.a)] -
+        attempt.result.node_voltage[static_cast<std::size_t>(e.b)];
+    if (std::abs(supply - e.min_supply) < kMcuSupplyGuard) {
+      outcome = BatchOutcome::NearThreshold;
+      metrics.fallback_near_threshold.add();
+      return std::nullopt;
+    }
+  }
+
+  diagnostics = SolveDiagnostics{};
+  diagnostics.converged = true;
+  diagnostics.strategy = SolveStrategy::Newton;
+  diagnostics.ladder_rung = 0;
+  diagnostics.iterations = attempt.iterations;
+  diagnostics.residual = attempt.residual;
+  diagnostics.failure = SolveFailure::None;
+  diagnostics.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  outcome = BatchOutcome::Solved;
+  if (max_active == 0) {
+    metrics.rhs_only_solves.add();
+  } else {
+    metrics.lowrank_solves.add();
+  }
+  return mna::make_operating_point(faulted, attempt.result);
+}
+
+}  // namespace decisive::sim

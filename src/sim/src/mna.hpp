@@ -1,0 +1,405 @@
+// Internal MNA machinery shared by the single-solve path (solver.cpp) and
+// the factor-once batched campaign path (campaign_solver.cpp): system
+// structure analysis, stamp assembly, diode linearisation, and the bounded
+// Newton loop with a pluggable linear-solve step.
+//
+// Not installed; everything here is an implementation detail of the sim
+// library. The assembly and iteration logic is a verbatim extraction of the
+// original attempt_solve — stamp order, convergence tests, and failure
+// classification are unchanged, so the naive path's outputs are
+// byte-identical to the pre-refactor solver.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "decisive/base/error.hpp"
+#include "decisive/obs/registry.hpp"
+#include "decisive/sim/circuit.hpp"
+#include "decisive/sim/dense.hpp"
+#include "decisive/sim/solver.hpp"
+
+namespace decisive::sim::mna {
+
+/// Registry handles cached once per process: a solve costs a handful of
+/// relaxed atomic increments, never a registry lookup.
+struct SolverMetrics {
+  obs::Counter& solves;
+  obs::Counter& converged;
+  obs::Counter& iterations;
+  obs::Counter& gmin_rungs;
+  obs::Counter& source_rungs;
+  obs::Counter& nonfinite_guard;
+  obs::Counter& singular;
+  obs::Counter& budget_exhausted;
+  obs::Histogram& solve_seconds;
+
+  static SolverMetrics& get() {
+    auto& registry = obs::Registry::global();
+    static SolverMetrics metrics{
+        registry.counter("decisive_solver_solves_total"),
+        registry.counter("decisive_solver_converged_total"),
+        registry.counter("decisive_solver_iterations_total"),
+        registry.counter("decisive_solver_ladder_gmin_total"),
+        registry.counter("decisive_solver_ladder_source_total"),
+        registry.counter("decisive_solver_nonfinite_guard_total"),
+        registry.counter("decisive_solver_singular_total"),
+        registry.counter("decisive_solver_budget_exhausted_total"),
+        registry.histogram("decisive_solver_solve_seconds")};
+    return metrics;
+  }
+};
+
+/// Per-run element companion state: which storage elements have companion
+/// sources (transient) and which diode linearisation voltages to use.
+struct CompanionState {
+  bool transient = false;
+  double dt = 0.0;
+  // Indexed by element position in circuit.elements().
+  std::vector<double> cap_voltage;       // previous-step capacitor voltage
+  std::vector<double> inductor_current;  // previous-step inductor current
+};
+
+/// Assembles and solves one Newton-converged system.
+/// Returns node voltages (index 0 = ground = 0.0) and branch currents keyed
+/// by element index for elements with a branch unknown.
+struct SolveResult {
+  std::vector<double> node_voltage;
+  std::vector<double> branch_current;  // per element index; NaN when no branch
+};
+
+/// Warm-start state handed from one recovery-ladder attempt to the next (and
+/// from the nominal solve to every fault variant on the batched path).
+struct NewtonSeed {
+  std::vector<double> x;        ///< previous raw solution vector
+  std::vector<double> diode_v;  ///< previous diode junction estimates
+};
+
+using Deadline = std::optional<std::chrono::steady_clock::time_point>;
+
+/// One bounded, non-throwing Newton run. `result` is only meaningful when
+/// `converged`; `x`/`diode_v` always carry the final iterate so a later
+/// ladder rung can continue from whatever progress this attempt made.
+struct NewtonAttempt {
+  bool converged = false;
+  SolveFailure failure = SolveFailure::None;
+  std::string message;
+  int iterations = 0;
+  double residual = 0.0;
+  SolveResult result;
+  std::vector<double> x;
+  std::vector<double> diode_v;
+};
+
+/// The unknown-vector layout of one MNA system: node voltages (ground
+/// eliminated) followed by branch currents. Fixed for a given netlist
+/// topology, so a campaign computes it once and shares it across variants.
+struct Structure {
+  std::vector<int> branch_index;  ///< per element; -1 = no branch unknown
+  int n_branches = 0;
+  int n_nodes = 0;
+  std::size_t dim = 0;
+};
+
+inline Structure analyze_structure(const Circuit& circuit, bool transient) {
+  const auto& elements = circuit.elements();
+  Structure st;
+  st.n_nodes = circuit.node_count();
+  st.branch_index.assign(elements.size(), -1);
+  // Branch unknowns: voltage sources, current sensors; inductors only in DC
+  // (in transient they use a Norton companion instead).
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    const ElementKind kind = elements[i].kind;
+    if (kind == ElementKind::VSource || kind == ElementKind::CurrentSensor ||
+        (kind == ElementKind::Inductor && !transient)) {
+      st.branch_index[i] = st.n_branches++;
+    }
+  }
+  st.dim = static_cast<std::size_t>(st.n_nodes - 1 + st.n_branches);
+  return st;
+}
+
+/// Companion linearisation of one diode around a junction-voltage estimate.
+struct DiodeLinearisation {
+  double geq = 0.0;
+  double ieq = 0.0;
+};
+
+inline DiodeLinearisation linearise_diode(double diode_v_estimate, const SolveOptions& opt) {
+  const double vd = std::clamp(diode_v_estimate, -5.0, 0.9);
+  const double ex = std::exp(vd / opt.diode_vt);
+  const double id = opt.diode_is * (ex - 1.0);
+  const double geq = std::max(opt.diode_is / opt.diode_vt * ex, opt.gmin);
+  return DiodeLinearisation{geq, id - geq * vd};
+}
+
+/// Stamps the MNA system for the given diode linearisation point into
+/// `rhs` (always) and the flat row-major `dim x dim` matrix `a` (when
+/// non-null — the batched path re-stamps only the RHS). Both buffers must be
+/// pre-zeroed. Stamp order matches the original solver exactly.
+inline void assemble(const Circuit& circuit, const SolveOptions& opt,
+                     const CompanionState& state, const Structure& st,
+                     const std::vector<double>& diode_v, double* a, double* rhs) {
+  const auto& elements = circuit.elements();
+  const std::size_t dim = st.dim;
+  const int n_nodes = st.n_nodes;
+  const int n_branches = st.n_branches;
+
+  auto vrow = [](int node) { return static_cast<std::size_t>(node - 1); };
+
+  auto stamp_conductance = [&](int na, int nb, double g) {
+    if (a == nullptr) return;
+    if (na != 0) a[vrow(na) * dim + vrow(na)] += g;
+    if (nb != 0) a[vrow(nb) * dim + vrow(nb)] += g;
+    if (na != 0 && nb != 0) {
+      a[vrow(na) * dim + vrow(nb)] -= g;
+      a[vrow(nb) * dim + vrow(na)] -= g;
+    }
+  };
+  // Current `j` flowing from node na to node nb through the element.
+  auto stamp_current = [&](int na, int nb, double j) {
+    if (na != 0) rhs[vrow(na)] -= j;
+    if (nb != 0) rhs[vrow(nb)] += j;
+  };
+  auto stamp_branch = [&](int na, int nb, int branch) {
+    if (a == nullptr) return;
+    const std::size_t k = static_cast<std::size_t>(static_cast<int>(dim) - n_branches + branch);
+    if (na != 0) {
+      a[vrow(na) * dim + k] += 1.0;
+      a[k * dim + vrow(na)] += 1.0;
+    }
+    if (nb != 0) {
+      a[vrow(nb) * dim + k] -= 1.0;
+      a[k * dim + vrow(nb)] -= 1.0;
+    }
+  };
+  auto branch_rhs = [&](int branch) -> double& {
+    return rhs[static_cast<std::size_t>(static_cast<int>(dim) - n_branches + branch)];
+  };
+
+  // gmin from every non-ground node keeps floating nodes solvable (the
+  // standard SPICE trick; an "open" fault would otherwise be singular).
+  if (a != nullptr) {
+    for (int node = 1; node < n_nodes; ++node) a[vrow(node) * dim + vrow(node)] += opt.gmin;
+  }
+
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    const Element& e = elements[i];
+    switch (e.kind) {
+      case ElementKind::Resistor:
+        stamp_conductance(e.a, e.b, 1.0 / e.value);
+        break;
+      case ElementKind::Mcu:
+        stamp_conductance(e.a, e.b, 1.0 / e.value);
+        break;
+      case ElementKind::Switch:
+        stamp_conductance(e.a, e.b,
+                          1.0 / (e.closed ? opt.closed_resistance : opt.open_resistance));
+        break;
+      case ElementKind::Capacitor:
+        if (state.transient) {
+          const double g = e.value / state.dt;
+          stamp_conductance(e.a, e.b, g);
+          // Norton companion: history current g * v_prev from b to a.
+          stamp_current(e.a, e.b, -g * state.cap_voltage[i]);
+        }
+        // DC: open circuit, no stamp.
+        break;
+      case ElementKind::Inductor:
+        if (state.transient) {
+          const double g = state.dt / e.value;
+          stamp_conductance(e.a, e.b, g);
+          stamp_current(e.a, e.b, state.inductor_current[i]);
+        } else {
+          // DC short: a 0 V source with a branch-current unknown.
+          stamp_branch(e.a, e.b, st.branch_index[i]);
+          branch_rhs(st.branch_index[i]) = 0.0;
+        }
+        break;
+      case ElementKind::Diode: {
+        // Linearise around the current junction-voltage estimate.
+        const DiodeLinearisation lin = linearise_diode(diode_v[i], opt);
+        stamp_conductance(e.a, e.b, lin.geq);
+        stamp_current(e.a, e.b, lin.ieq);
+        break;
+      }
+      case ElementKind::VSource:
+      case ElementKind::CurrentSensor:
+        stamp_branch(e.a, e.b, st.branch_index[i]);
+        branch_rhs(st.branch_index[i]) = e.kind == ElementKind::VSource ? e.value : 0.0;
+        break;
+      case ElementKind::ISource:
+        stamp_current(e.a, e.b, e.value);
+        break;
+      case ElementKind::VoltageSensor:
+        break;  // ideal voltmeter: no stamp
+    }
+  }
+}
+
+inline SolveResult extract_result(const Circuit& circuit, const Structure& st,
+                                  const std::vector<double>& x) {
+  const auto& elements = circuit.elements();
+  SolveResult result;
+  result.node_voltage.assign(static_cast<std::size_t>(st.n_nodes), 0.0);
+  for (int node = 1; node < st.n_nodes; ++node) {
+    result.node_voltage[static_cast<std::size_t>(node)] = x[static_cast<std::size_t>(node - 1)];
+  }
+  result.branch_current.assign(elements.size(), std::numeric_limits<double>::quiet_NaN());
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    if (st.branch_index[i] >= 0) {
+      result.branch_current[i] =
+          x[static_cast<std::size_t>(st.n_nodes - 1 + st.branch_index[i])];
+    }
+  }
+  return result;
+}
+
+/// One bounded, non-throwing Newton run over a pluggable linear-solve step.
+///
+/// `solve_step(diode_v, x_out, failure, message)` solves the MNA system
+/// linearised at `diode_v` into `x_out` (sized dim) and returns true, or
+/// returns false with `failure`/`message` set (singular system, low-rank
+/// update rejected, ...). Everything else — budgets, the non-finite guard,
+/// diode voltage limiting, and the convergence test — is shared verbatim
+/// between the naive and batched paths.
+template <typename SolveStep>
+NewtonAttempt newton_attempt(const Circuit& circuit, const SolveOptions& opt,
+                             const Structure& st, const NewtonSeed* seed,
+                             const Deadline& deadline, SolveStep&& solve_step) {
+  const auto& elements = circuit.elements();
+  const std::size_t dim = st.dim;
+
+  NewtonAttempt attempt;
+  if (dim == 0) {
+    attempt.converged = true;
+    attempt.result = SolveResult{
+        std::vector<double>(static_cast<std::size_t>(st.n_nodes), 0.0),
+        std::vector<double>(elements.size(), std::numeric_limits<double>::quiet_NaN())};
+    return attempt;
+  }
+
+  // Diode junction voltage estimates for Newton iteration; warm-started from
+  // the previous ladder attempt (or the nominal solve) when available.
+  std::vector<double> diode_v(elements.size(), 0.6);
+  std::vector<double> x(dim, 0.0);
+  if (seed != nullptr) {
+    if (seed->diode_v.size() == diode_v.size()) diode_v = seed->diode_v;
+    if (seed->x.size() == x.size()) x = seed->x;
+  }
+
+  auto give_up = [&](SolveFailure failure, std::string message) {
+    attempt.converged = false;
+    attempt.failure = failure;
+    attempt.message = std::move(message);
+    attempt.x = std::move(x);
+    attempt.diode_v = std::move(diode_v);
+    return std::move(attempt);
+  };
+
+  std::vector<double> x_new(dim, 0.0);
+  bool converged = false;
+  for (int iteration = 0; !converged; ++iteration) {
+    if (iteration >= opt.max_newton_iterations) {
+      return give_up(SolveFailure::IterationBudget, "newton iteration did not converge");
+    }
+    if (deadline.has_value() && std::chrono::steady_clock::now() >= *deadline) {
+      return give_up(SolveFailure::WallClockBudget, "solve wall-clock budget exhausted");
+    }
+    attempt.iterations = iteration + 1;
+
+    SolveFailure failure = SolveFailure::Singular;
+    std::string message;
+    if (!solve_step(diode_v, x_new, failure, message)) {
+      return give_up(failure, std::move(message));
+    }
+
+    // Non-finite guard: a NaN/Inf iterate (NaN source value, zero-resistance
+    // loop, numeric blow-up) would otherwise poison every later iteration and
+    // masquerade as "singular" once it reaches the diode stamps.
+    for (const double value : x_new) {
+      if (!std::isfinite(value)) {
+        SolverMetrics::get().nonfinite_guard.add();
+        return give_up(SolveFailure::NonFinite,
+                       "newton iterate is not finite (NaN/Inf in circuit values?)");
+      }
+    }
+
+    // Newton update for diode junction voltages, with voltage limiting for
+    // robust convergence.
+    bool has_diode = false;
+    double max_diode_change = 0.0;
+    auto node_v = [&](int node) {
+      return node == 0 ? 0.0 : x_new[static_cast<std::size_t>(node - 1)];
+    };
+    for (std::size_t i = 0; i < elements.size(); ++i) {
+      if (elements[i].kind != ElementKind::Diode) continue;
+      has_diode = true;
+      const double target = node_v(elements[i].a) - node_v(elements[i].b);
+      const double previous = diode_v[i];
+      const double step = std::clamp(target - previous, -0.1, 0.1);
+      diode_v[i] = previous + step;
+      max_diode_change = std::max(max_diode_change, std::abs(target - previous));
+    }
+
+    double max_change = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      max_change = std::max(max_change, std::abs(x_new[i] - x[i]));
+    }
+    std::swap(x, x_new);
+    attempt.residual = has_diode ? std::max(max_change, max_diode_change) : max_change;
+
+    converged = !has_diode || (max_diode_change < opt.newton_tolerance &&
+                               max_change < std::max(opt.newton_tolerance, 1e-9));
+  }
+
+  attempt.result = extract_result(circuit, st, x);
+  attempt.converged = true;
+  attempt.x = std::move(x);
+  attempt.diode_v = std::move(diode_v);
+  return attempt;
+}
+
+/// Reusable buffers of the dense (factor-per-iteration) solve step. Hoisted
+/// out of the Newton loop so an attempt allocates its matrix once, and shared
+/// across ladder rungs / transient steps / campaign variants by the callers.
+struct Workspace {
+  dense::LuFactorization<double> lu;
+  std::vector<double> rhs;
+};
+
+/// The classic path: assemble the full matrix and factor it every iteration,
+/// with `ws` providing the (reused) storage.
+inline NewtonAttempt attempt_solve_dense(const Circuit& circuit, const SolveOptions& opt,
+                                         const CompanionState& state, const Structure& st,
+                                         const NewtonSeed* seed, const Deadline& deadline,
+                                         Workspace& ws) {
+  auto solve_step = [&](const std::vector<double>& diode_v, std::vector<double>& x_out,
+                        SolveFailure& failure, std::string& message) {
+    std::vector<double>& flat = ws.lu.reset(st.dim);
+    ws.rhs.assign(st.dim, 0.0);
+    assemble(circuit, opt, state, st, diode_v, flat.data(), ws.rhs.data());
+    try {
+      ws.lu.factor("singular system (floating node or short loop?)");
+    } catch (const SimulationError& error) {
+      SolverMetrics::get().singular.add();
+      failure = SolveFailure::Singular;
+      message = error.what();
+      return false;
+    }
+    ws.lu.solve_in_place(ws.rhs.data());
+    x_out = ws.rhs;
+    return true;
+  };
+  return newton_attempt(circuit, opt, st, seed, deadline, solve_step);
+}
+
+OperatingPoint make_operating_point(const Circuit& circuit, const SolveResult& solved);
+
+}  // namespace decisive::sim::mna

@@ -11,41 +11,10 @@
 #include "decisive/base/error.hpp"
 #include "decisive/obs/registry.hpp"
 #include "decisive/obs/span.hpp"
+#include "decisive/sim/dense.hpp"
+#include "mna.hpp"
 
 namespace decisive::sim {
-
-namespace {
-
-/// Registry handles cached once per process: a solve costs a handful of
-/// relaxed atomic increments, never a registry lookup.
-struct SolverMetrics {
-  obs::Counter& solves;
-  obs::Counter& converged;
-  obs::Counter& iterations;
-  obs::Counter& gmin_rungs;
-  obs::Counter& source_rungs;
-  obs::Counter& nonfinite_guard;
-  obs::Counter& singular;
-  obs::Counter& budget_exhausted;
-  obs::Histogram& solve_seconds;
-
-  static SolverMetrics& get() {
-    auto& registry = obs::Registry::global();
-    static SolverMetrics metrics{
-        registry.counter("decisive_solver_solves_total"),
-        registry.counter("decisive_solver_converged_total"),
-        registry.counter("decisive_solver_iterations_total"),
-        registry.counter("decisive_solver_ladder_gmin_total"),
-        registry.counter("decisive_solver_ladder_source_total"),
-        registry.counter("decisive_solver_nonfinite_guard_total"),
-        registry.counter("decisive_solver_singular_total"),
-        registry.counter("decisive_solver_budget_exhausted_total"),
-        registry.histogram("decisive_solver_solve_seconds")};
-    return metrics;
-  }
-};
-
-}  // namespace
 
 std::string_view to_string(SolveStrategy strategy) noexcept {
   switch (strategy) {
@@ -74,299 +43,15 @@ double OperatingPoint::reading(const std::string& name) const {
 }
 
 std::vector<double> solve_linear(std::vector<std::vector<double>> a, std::vector<double> b) {
-  const size_t n = b.size();
-  if (a.size() != n) throw SimulationError("linear system dimension mismatch");
-  for (size_t col = 0; col < n; ++col) {
-    // Partial pivoting.
-    size_t pivot = col;
-    double best = std::abs(a[col][col]);
-    for (size_t row = col + 1; row < n; ++row) {
-      const double mag = std::abs(a[row][col]);
-      if (mag > best) {
-        best = mag;
-        pivot = row;
-      }
-    }
-    if (best < 1e-30) throw SimulationError("singular system (floating node or short loop?)");
-    if (pivot != col) {
-      std::swap(a[pivot], a[col]);
-      std::swap(b[pivot], b[col]);
-    }
-    const double inv = 1.0 / a[col][col];
-    for (size_t row = col + 1; row < n; ++row) {
-      const double factor = a[row][col] * inv;
-      if (factor == 0.0) continue;
-      for (size_t k = col; k < n; ++k) a[row][k] -= factor * a[col][k];
-      b[row] -= factor * b[col];
-    }
-  }
-  std::vector<double> x(n, 0.0);
-  for (size_t i = n; i-- > 0;) {
-    double sum = b[i];
-    for (size_t k = i + 1; k < n; ++k) sum -= a[i][k] * x[k];
-    x[i] = sum / a[i][i];
-  }
-  return x;
+  return dense::solve_dense(a, std::move(b), "singular system (floating node or short loop?)");
 }
 
-namespace {
-
-/// Per-run element companion state: which storage elements have companion
-/// sources (transient) and which diode linearisation voltages to use.
-struct CompanionState {
-  bool transient = false;
-  double dt = 0.0;
-  // Indexed by element position in circuit.elements().
-  std::vector<double> cap_voltage;       // previous-step capacitor voltage
-  std::vector<double> inductor_current;  // previous-step inductor current
-};
-
-/// Assembles and solves one Newton-converged system.
-/// Returns node voltages (index 0 = ground = 0.0) and branch currents keyed
-/// by element index for elements with a branch unknown.
-struct SolveResult {
-  std::vector<double> node_voltage;
-  std::vector<double> branch_current;  // per element index; NaN when no branch
-};
-
-/// Warm-start state handed from one recovery-ladder attempt to the next.
-struct NewtonSeed {
-  std::vector<double> x;        ///< previous raw solution vector
-  std::vector<double> diode_v;  ///< previous diode junction estimates
-};
-
-using Deadline = std::optional<std::chrono::steady_clock::time_point>;
-
-/// One bounded, non-throwing Newton run. `result` is only meaningful when
-/// `converged`; `x`/`diode_v` always carry the final iterate so a later
-/// ladder rung can continue from whatever progress this attempt made.
-struct NewtonAttempt {
-  bool converged = false;
-  SolveFailure failure = SolveFailure::None;
-  std::string message;
-  int iterations = 0;
-  double residual = 0.0;
-  SolveResult result;
-  std::vector<double> x;
-  std::vector<double> diode_v;
-};
-
-NewtonAttempt attempt_solve(const Circuit& circuit, const SolveOptions& opt,
-                            const CompanionState& state, const NewtonSeed* seed,
-                            const Deadline& deadline) {
-  const auto& elements = circuit.elements();
-  const int n_nodes = circuit.node_count();
-
-  // Branch unknowns: voltage sources, current sensors; inductors only in DC
-  // (in transient they use a Norton companion instead).
-  std::vector<int> branch_index(elements.size(), -1);
-  int n_branches = 0;
-  for (size_t i = 0; i < elements.size(); ++i) {
-    const ElementKind kind = elements[i].kind;
-    if (kind == ElementKind::VSource || kind == ElementKind::CurrentSensor ||
-        (kind == ElementKind::Inductor && !state.transient)) {
-      branch_index[i] = n_branches++;
-    }
-  }
-
-  const size_t dim = static_cast<size_t>(n_nodes - 1 + n_branches);
-  NewtonAttempt attempt;
-  if (dim == 0) {
-    attempt.converged = true;
-    attempt.result =
-        SolveResult{std::vector<double>(static_cast<size_t>(n_nodes), 0.0),
-                    std::vector<double>(elements.size(),
-                                        std::numeric_limits<double>::quiet_NaN())};
-    return attempt;
-  }
-
-  // Diode junction voltage estimates for Newton iteration; warm-started from
-  // the previous ladder attempt when available.
-  std::vector<double> diode_v(elements.size(), 0.6);
-  std::vector<double> x(dim, 0.0);
-  if (seed != nullptr) {
-    if (seed->diode_v.size() == diode_v.size()) diode_v = seed->diode_v;
-    if (seed->x.size() == x.size()) x = seed->x;
-  }
-
-  auto vrow = [&](int node) { return node - 1; };  // ground eliminated
-
-  auto give_up = [&](SolveFailure failure, std::string message) {
-    attempt.converged = false;
-    attempt.failure = failure;
-    attempt.message = std::move(message);
-    attempt.x = std::move(x);
-    attempt.diode_v = std::move(diode_v);
-    return std::move(attempt);
-  };
-
-  bool converged = false;
-  for (int iteration = 0; !converged; ++iteration) {
-    if (iteration >= opt.max_newton_iterations) {
-      return give_up(SolveFailure::IterationBudget, "newton iteration did not converge");
-    }
-    if (deadline.has_value() && std::chrono::steady_clock::now() >= *deadline) {
-      return give_up(SolveFailure::WallClockBudget, "solve wall-clock budget exhausted");
-    }
-    attempt.iterations = iteration + 1;
-    std::vector<std::vector<double>> a(dim, std::vector<double>(dim, 0.0));
-    std::vector<double> rhs(dim, 0.0);
-
-    auto stamp_conductance = [&](int na, int nb, double g) {
-      if (na != 0) a[vrow(na)][vrow(na)] += g;
-      if (nb != 0) a[vrow(nb)][vrow(nb)] += g;
-      if (na != 0 && nb != 0) {
-        a[vrow(na)][vrow(nb)] -= g;
-        a[vrow(nb)][vrow(na)] -= g;
-      }
-    };
-    // Current `j` flowing from node na to node nb through the element.
-    auto stamp_current = [&](int na, int nb, double j) {
-      if (na != 0) rhs[vrow(na)] -= j;
-      if (nb != 0) rhs[vrow(nb)] += j;
-    };
-
-    // gmin from every non-ground node keeps floating nodes solvable (the
-    // standard SPICE trick; an "open" fault would otherwise be singular).
-    for (int node = 1; node < n_nodes; ++node) {
-      a[vrow(node)][vrow(node)] += opt.gmin;
-    }
-
-    for (size_t i = 0; i < elements.size(); ++i) {
-      const Element& e = elements[i];
-      switch (e.kind) {
-        case ElementKind::Resistor:
-          stamp_conductance(e.a, e.b, 1.0 / e.value);
-          break;
-        case ElementKind::Mcu:
-          stamp_conductance(e.a, e.b, 1.0 / e.value);
-          break;
-        case ElementKind::Switch:
-          stamp_conductance(e.a, e.b,
-                            1.0 / (e.closed ? opt.closed_resistance : opt.open_resistance));
-          break;
-        case ElementKind::Capacitor:
-          if (state.transient) {
-            const double g = e.value / state.dt;
-            stamp_conductance(e.a, e.b, g);
-            // Norton companion: history current g * v_prev from b to a.
-            stamp_current(e.a, e.b, -g * state.cap_voltage[i]);
-          }
-          // DC: open circuit, no stamp.
-          break;
-        case ElementKind::Inductor:
-          if (state.transient) {
-            const double g = state.dt / e.value;
-            stamp_conductance(e.a, e.b, g);
-            stamp_current(e.a, e.b, state.inductor_current[i]);
-          } else {
-            // DC short: a 0 V source with a branch-current unknown.
-            const int k = static_cast<int>(dim) - n_branches + branch_index[i];
-            if (e.a != 0) { a[vrow(e.a)][k] += 1.0; a[k][vrow(e.a)] += 1.0; }
-            if (e.b != 0) { a[vrow(e.b)][k] -= 1.0; a[k][vrow(e.b)] -= 1.0; }
-            rhs[static_cast<size_t>(k)] = 0.0;
-          }
-          break;
-        case ElementKind::Diode: {
-          // Linearise around the current junction-voltage estimate.
-          const double vd = std::clamp(diode_v[i], -5.0, 0.9);
-          const double is = opt.diode_is;
-          const double vt = opt.diode_vt;
-          const double ex = std::exp(vd / vt);
-          const double id = is * (ex - 1.0);
-          const double geq = std::max(is / vt * ex, opt.gmin);
-          const double ieq = id - geq * vd;
-          stamp_conductance(e.a, e.b, geq);
-          stamp_current(e.a, e.b, ieq);
-          break;
-        }
-        case ElementKind::VSource:
-        case ElementKind::CurrentSensor: {
-          const int k = static_cast<int>(dim) - n_branches + branch_index[i];
-          if (e.a != 0) { a[vrow(e.a)][k] += 1.0; a[k][vrow(e.a)] += 1.0; }
-          if (e.b != 0) { a[vrow(e.b)][k] -= 1.0; a[k][vrow(e.b)] -= 1.0; }
-          rhs[static_cast<size_t>(k)] = e.kind == ElementKind::VSource ? e.value : 0.0;
-          break;
-        }
-        case ElementKind::ISource:
-          stamp_current(e.a, e.b, e.value);
-          break;
-        case ElementKind::VoltageSensor:
-          break;  // ideal voltmeter: no stamp
-      }
-    }
-
-    std::vector<double> x_new;
-    try {
-      x_new = solve_linear(std::move(a), std::move(rhs));
-    } catch (const SimulationError& error) {
-      SolverMetrics::get().singular.add();
-      return give_up(SolveFailure::Singular, error.what());
-    }
-
-    // Non-finite guard: a NaN/Inf iterate (NaN source value, zero-resistance
-    // loop, numeric blow-up) would otherwise poison every later iteration and
-    // masquerade as "singular" once it reaches the diode stamps.
-    for (const double value : x_new) {
-      if (!std::isfinite(value)) {
-        SolverMetrics::get().nonfinite_guard.add();
-        return give_up(SolveFailure::NonFinite,
-                       "newton iterate is not finite (NaN/Inf in circuit values?)");
-      }
-    }
-
-    // Newton update for diode junction voltages, with voltage limiting for
-    // robust convergence.
-    bool has_diode = false;
-    double max_diode_change = 0.0;
-    auto node_v = [&](int node) { return node == 0 ? 0.0 : x_new[static_cast<size_t>(vrow(node))]; };
-    for (size_t i = 0; i < elements.size(); ++i) {
-      if (elements[i].kind != ElementKind::Diode) continue;
-      has_diode = true;
-      const double target = node_v(elements[i].a) - node_v(elements[i].b);
-      const double previous = diode_v[i];
-      const double step = std::clamp(target - previous, -0.1, 0.1);
-      diode_v[i] = previous + step;
-      max_diode_change = std::max(max_diode_change, std::abs(target - previous));
-    }
-
-    double max_change = 0.0;
-    for (size_t i = 0; i < dim; ++i) max_change = std::max(max_change, std::abs(x_new[i] - x[i]));
-    x = std::move(x_new);
-    attempt.residual = has_diode ? std::max(max_change, max_diode_change) : max_change;
-
-    converged = !has_diode || (max_diode_change < opt.newton_tolerance &&
-                               max_change < std::max(opt.newton_tolerance, 1e-9));
-  }
-
-  SolveResult result;
-  result.node_voltage.assign(static_cast<size_t>(n_nodes), 0.0);
-  for (int node = 1; node < n_nodes; ++node) {
-    result.node_voltage[static_cast<size_t>(node)] = x[static_cast<size_t>(node - 1)];
-  }
-  result.branch_current.assign(elements.size(), std::numeric_limits<double>::quiet_NaN());
-  for (size_t i = 0; i < elements.size(); ++i) {
-    if (branch_index[i] >= 0) {
-      result.branch_current[i] =
-          x[static_cast<size_t>(n_nodes - 1 + branch_index[i])];
-    }
-  }
-  attempt.converged = true;
-  attempt.result = std::move(result);
-  attempt.x = std::move(x);
-  attempt.diode_v = std::move(diode_v);
-  return attempt;
+std::vector<std::complex<double>> solve_linear_complex(
+    std::vector<std::vector<std::complex<double>>> a, std::vector<std::complex<double>> b) {
+  return dense::solve_dense(a, std::move(b), "singular AC system");
 }
 
-/// Throwing single-attempt wrapper used by the transient and AC paths, which
-/// solve well-posed (already-converged-at-DC) systems and keep the original
-/// exception contract.
-SolveResult solve_system(const Circuit& circuit, const SolveOptions& opt,
-                         const CompanionState& state) {
-  NewtonAttempt attempt = attempt_solve(circuit, opt, state, nullptr, std::nullopt);
-  if (!attempt.converged) throw SimulationError(attempt.message);
-  return std::move(attempt.result);
-}
+namespace mna {
 
 OperatingPoint make_operating_point(const Circuit& circuit, const SolveResult& solved) {
   OperatingPoint op;
@@ -394,6 +79,22 @@ OperatingPoint make_operating_point(const Circuit& circuit, const SolveResult& s
   return op;
 }
 
+}  // namespace mna
+
+namespace {
+
+/// Throwing single-attempt wrapper used by the transient and AC paths, which
+/// solve well-posed (already-converged-at-DC) systems and keep the original
+/// exception contract.
+mna::SolveResult solve_system(const Circuit& circuit, const SolveOptions& opt,
+                              const mna::CompanionState& state, mna::Workspace& ws) {
+  const mna::Structure st = mna::analyze_structure(circuit, state.transient);
+  mna::NewtonAttempt attempt =
+      mna::attempt_solve_dense(circuit, opt, state, st, nullptr, std::nullopt, ws);
+  if (!attempt.converged) throw SimulationError(attempt.message);
+  return std::move(attempt.result);
+}
+
 }  // namespace
 
 double AcSample::magnitude(const std::string& name) const {
@@ -402,62 +103,24 @@ double AcSample::magnitude(const std::string& name) const {
   return it->second.first;
 }
 
-namespace {
-
-/// Partial-pivot Gaussian elimination over the complex field.
-std::vector<std::complex<double>> solve_linear_complex(
-    std::vector<std::vector<std::complex<double>>> a, std::vector<std::complex<double>> b) {
-  const size_t n = b.size();
-  for (size_t col = 0; col < n; ++col) {
-    size_t pivot = col;
-    double best = std::abs(a[col][col]);
-    for (size_t row = col + 1; row < n; ++row) {
-      const double mag = std::abs(a[row][col]);
-      if (mag > best) {
-        best = mag;
-        pivot = row;
-      }
-    }
-    if (best < 1e-30) throw SimulationError("singular AC system");
-    if (pivot != col) {
-      std::swap(a[pivot], a[col]);
-      std::swap(b[pivot], b[col]);
-    }
-    const std::complex<double> inv = 1.0 / a[col][col];
-    for (size_t row = col + 1; row < n; ++row) {
-      const std::complex<double> factor = a[row][col] * inv;
-      if (factor == 0.0) continue;
-      for (size_t k = col; k < n; ++k) a[row][k] -= factor * a[col][k];
-      b[row] -= factor * b[col];
-    }
-  }
-  std::vector<std::complex<double>> x(n, 0.0);
-  for (size_t i = n; i-- > 0;) {
-    std::complex<double> sum = b[i];
-    for (size_t k = i + 1; k < n; ++k) sum -= a[i][k] * x[k];
-    x[i] = sum / a[i][i];
-  }
-  return x;
-}
-
-}  // namespace
-
 std::optional<OperatingPoint> try_dc_operating_point(const Circuit& circuit,
                                                      const SolveOptions& options,
                                                      SolveDiagnostics& diagnostics) {
-  SolverMetrics& metrics = SolverMetrics::get();
+  mna::SolverMetrics& metrics = mna::SolverMetrics::get();
   metrics.solves.add();
   obs::Span span("solver.dc", &metrics.solve_seconds);
   const auto start = std::chrono::steady_clock::now();
-  Deadline deadline;
+  mna::Deadline deadline;
   if (options.max_wall_clock_seconds > 0.0) {
     deadline = start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                            std::chrono::duration<double>(options.max_wall_clock_seconds));
   }
-  CompanionState state;  // DC: no companion sources.
+  mna::CompanionState state;  // DC: no companion sources.
+  const mna::Structure structure = mna::analyze_structure(circuit, false);
+  mna::Workspace ws;  // matrix + RHS storage shared across every ladder rung
   diagnostics = SolveDiagnostics{};
 
-  auto finish = [&](NewtonAttempt&& attempt, SolveStrategy strategy,
+  auto finish = [&](mna::NewtonAttempt&& attempt, SolveStrategy strategy,
                     int rung) -> std::optional<OperatingPoint> {
     diagnostics.converged = attempt.converged;
     diagnostics.strategy = strategy;
@@ -477,11 +140,12 @@ std::optional<OperatingPoint> try_dc_operating_point(const Circuit& circuit,
       metrics.budget_exhausted.add();
     }
     if (!attempt.converged) return std::nullopt;
-    return make_operating_point(circuit, attempt.result);
+    return mna::make_operating_point(circuit, attempt.result);
   };
 
   // Rung 0: plain Newton.
-  NewtonAttempt plain = attempt_solve(circuit, options, state, nullptr, deadline);
+  mna::NewtonAttempt plain =
+      mna::attempt_solve_dense(circuit, options, state, structure, nullptr, deadline, ws);
   diagnostics.iterations += plain.iterations;
   if (plain.converged || !options.recovery_ladder ||
       plain.failure == SolveFailure::WallClockBudget) {
@@ -497,13 +161,13 @@ std::optional<OperatingPoint> try_dc_operating_point(const Circuit& circuit,
     const int steps = std::max(2, options.gmin_ladder_steps);
     const double start_gmin = std::max(options.gmin * 1e9, 1e-3);
     SolveOptions damped = options;
-    NewtonSeed seed;
-    NewtonAttempt last;
+    mna::NewtonSeed seed;
+    mna::NewtonAttempt last;
     for (int k = 0; k < steps; ++k) {
       const double t = static_cast<double>(k) / (steps - 1);
       damped.gmin = start_gmin * std::pow(options.gmin / start_gmin, t);
-      NewtonAttempt attempt = attempt_solve(circuit, damped, state,
-                                            seed.x.empty() ? nullptr : &seed, deadline);
+      mna::NewtonAttempt attempt = mna::attempt_solve_dense(
+          circuit, damped, state, structure, seed.x.empty() ? nullptr : &seed, deadline, ws);
       diagnostics.iterations += attempt.iterations;
       seed.x = attempt.x;
       seed.diode_v = attempt.diode_v;
@@ -526,8 +190,8 @@ std::optional<OperatingPoint> try_dc_operating_point(const Circuit& circuit,
     for (size_t i = 0; i < elements.size(); ++i) original[i] = elements[i].value;
 
     const int steps = std::max(2, options.source_ladder_steps);
-    NewtonSeed seed;
-    NewtonAttempt last;
+    mna::NewtonSeed seed;
+    mna::NewtonAttempt last;
     for (int k = 1; k <= steps; ++k) {
       const double alpha = static_cast<double>(k) / steps;  // ends exactly at 1.0
       for (size_t i = 0; i < elements.size(); ++i) {
@@ -536,8 +200,8 @@ std::optional<OperatingPoint> try_dc_operating_point(const Circuit& circuit,
           scaled.elements()[i].value = original[i] * alpha;
         }
       }
-      NewtonAttempt attempt = attempt_solve(scaled, options, state,
-                                            seed.x.empty() ? nullptr : &seed, deadline);
+      mna::NewtonAttempt attempt = mna::attempt_solve_dense(
+          scaled, options, state, structure, seed.x.empty() ? nullptr : &seed, deadline, ws);
       diagnostics.iterations += attempt.iterations;
       seed.x = attempt.x;
       seed.diode_v = attempt.diode_v;
@@ -561,12 +225,13 @@ std::vector<TransientSample> transient(const Circuit& circuit, double t_end, dou
     throw SimulationError("transient requires positive dt and t_end");
   }
   const auto& elements = circuit.elements();
+  mna::Workspace ws;  // matrix + RHS storage shared across every time step
 
   // Initial condition: the DC operating point.
-  CompanionState dc_state;
-  const SolveResult dc = solve_system(circuit, options, dc_state);
+  mna::CompanionState dc_state;
+  const mna::SolveResult dc = solve_system(circuit, options, dc_state, ws);
 
-  CompanionState state;
+  mna::CompanionState state;
   state.transient = true;
   state.dt = dt;
   state.cap_voltage.assign(elements.size(), 0.0);
@@ -582,10 +247,20 @@ std::vector<TransientSample> transient(const Circuit& circuit, double t_end, dou
   }
 
   std::vector<TransientSample> samples;
-  samples.push_back(TransientSample{0.0, make_operating_point(circuit, dc)});
+  samples.push_back(TransientSample{0.0, mna::make_operating_point(circuit, dc)});
 
-  for (double t = dt; t <= t_end + dt * 0.5; t += dt) {
-    const SolveResult step = solve_system(circuit, options, state);
+  const mna::Structure structure = mna::analyze_structure(circuit, true);
+  // Step by integer index: accumulating `t += dt` drifts over long horizons
+  // and can emit one sample too many/few depending on t_end/dt. The step
+  // count matches the old loop's intent (last sample at the first k*dt
+  // reaching t_end, to within half a step of rounding slack).
+  const long long n_steps = static_cast<long long>(std::floor(t_end / dt + 0.5));
+  for (long long k = 1; k <= n_steps; ++k) {
+    const double t = static_cast<double>(k) * dt;
+    mna::NewtonAttempt attempt =
+        mna::attempt_solve_dense(circuit, options, state, structure, nullptr, std::nullopt, ws);
+    if (!attempt.converged) throw SimulationError(attempt.message);
+    const mna::SolveResult& step = attempt.result;
     // Update storage-element history for the next step.
     for (size_t i = 0; i < elements.size(); ++i) {
       const Element& e = elements[i];
@@ -597,7 +272,7 @@ std::vector<TransientSample> transient(const Circuit& circuit, double t_end, dou
         state.inductor_current[i] += dt / e.value * (va - vb);
       }
     }
-    samples.push_back(TransientSample{t, make_operating_point(circuit, step)});
+    samples.push_back(TransientSample{t, mna::make_operating_point(circuit, step)});
   }
   return samples;
 }
@@ -611,8 +286,9 @@ std::vector<AcSample> ac_analysis(const Circuit& circuit, const std::string& sti
   }
 
   // Linearisation point for the diodes.
-  CompanionState dc_state;
-  const SolveResult dc = solve_system(circuit, opt, dc_state);
+  mna::CompanionState dc_state;
+  mna::Workspace dc_ws;
+  const mna::SolveResult dc = solve_system(circuit, opt, dc_state, dc_ws);
 
   const auto& elements = circuit.elements();
   const int n_nodes = circuit.node_count();
@@ -626,25 +302,28 @@ std::vector<AcSample> ac_analysis(const Circuit& circuit, const std::string& sti
   }
   const size_t dim = static_cast<size_t>(n_nodes - 1 + n_branches);
 
+  // One factorisation workspace reused across the whole frequency sweep.
+  dense::LuFactorization<std::complex<double>> lu;
+  std::vector<std::complex<double>> rhs;
+
   std::vector<AcSample> sweep;
   for (const double frequency : frequencies_hz) {
     if (frequency <= 0.0) throw SimulationError("AC frequencies must be positive");
     const std::complex<double> jw(0.0, 2.0 * std::numbers::pi * frequency);
 
-    std::vector<std::vector<std::complex<double>>> a(
-        dim, std::vector<std::complex<double>>(dim, 0.0));
-    std::vector<std::complex<double>> rhs(dim, 0.0);
-    auto vrow = [&](int node) { return node - 1; };
+    std::vector<std::complex<double>>& a = lu.reset(dim);
+    rhs.assign(dim, 0.0);
+    auto vrow = [&](int node) { return static_cast<size_t>(node - 1); };
     auto stamp_admittance = [&](int na, int nb, std::complex<double> y) {
-      if (na != 0) a[static_cast<size_t>(vrow(na))][static_cast<size_t>(vrow(na))] += y;
-      if (nb != 0) a[static_cast<size_t>(vrow(nb))][static_cast<size_t>(vrow(nb))] += y;
+      if (na != 0) a[vrow(na) * dim + vrow(na)] += y;
+      if (nb != 0) a[vrow(nb) * dim + vrow(nb)] += y;
       if (na != 0 && nb != 0) {
-        a[static_cast<size_t>(vrow(na))][static_cast<size_t>(vrow(nb))] -= y;
-        a[static_cast<size_t>(vrow(nb))][static_cast<size_t>(vrow(na))] -= y;
+        a[vrow(na) * dim + vrow(nb)] -= y;
+        a[vrow(nb) * dim + vrow(na)] -= y;
       }
     };
     for (int node = 1; node < n_nodes; ++node) {
-      a[static_cast<size_t>(vrow(node))][static_cast<size_t>(vrow(node))] += opt.gmin;
+      a[vrow(node) * dim + vrow(node)] += opt.gmin;
     }
 
     for (size_t i = 0; i < elements.size(); ++i) {
@@ -676,24 +355,23 @@ std::vector<AcSample> ac_analysis(const Circuit& circuit, const std::string& sti
         }
         case ElementKind::VSource:
         case ElementKind::CurrentSensor: {
-          const int k = n_nodes - 1 + branch_index[i];
+          const size_t k = static_cast<size_t>(n_nodes - 1 + branch_index[i]);
           if (e.a != 0) {
-            a[static_cast<size_t>(vrow(e.a))][static_cast<size_t>(k)] += 1.0;
-            a[static_cast<size_t>(k)][static_cast<size_t>(vrow(e.a))] += 1.0;
+            a[vrow(e.a) * dim + k] += 1.0;
+            a[k * dim + vrow(e.a)] += 1.0;
           }
           if (e.b != 0) {
-            a[static_cast<size_t>(vrow(e.b))][static_cast<size_t>(k)] -= 1.0;
-            a[static_cast<size_t>(k)][static_cast<size_t>(vrow(e.b))] -= 1.0;
+            a[vrow(e.b) * dim + k] -= 1.0;
+            a[k * dim + vrow(e.b)] -= 1.0;
           }
           // Unit stimulus; every other DC source is a small-signal short.
-          rhs[static_cast<size_t>(k)] =
-              (e.kind == ElementKind::VSource && e.name == stimulus) ? 1.0 : 0.0;
+          rhs[k] = (e.kind == ElementKind::VSource && e.name == stimulus) ? 1.0 : 0.0;
           break;
         }
         case ElementKind::ISource:
           if (e.name == stimulus) {
-            if (e.a != 0) rhs[static_cast<size_t>(vrow(e.a))] -= 1.0;
-            if (e.b != 0) rhs[static_cast<size_t>(vrow(e.b))] += 1.0;
+            if (e.a != 0) rhs[vrow(e.a)] -= 1.0;
+            if (e.b != 0) rhs[vrow(e.b)] += 1.0;
           }
           // Non-stimulus current sources are small-signal opens: no stamp.
           break;
@@ -702,9 +380,11 @@ std::vector<AcSample> ac_analysis(const Circuit& circuit, const std::string& sti
       }
     }
 
-    const auto x = solve_linear_complex(std::move(a), std::move(rhs));
+    lu.factor("singular AC system");
+    lu.solve_in_place(rhs.data());
+    const std::vector<std::complex<double>>& x = rhs;
     auto node_v = [&](int node) -> std::complex<double> {
-      return node == 0 ? 0.0 : x[static_cast<size_t>(vrow(node))];
+      return node == 0 ? 0.0 : x[vrow(node)];
     };
     AcSample sample;
     sample.frequency_hz = frequency;

@@ -1,0 +1,357 @@
+// The factor-once batched campaign solver (sim/campaign_solver.hpp) and its
+// integration with the campaign engine. The load-bearing property is
+// byte-identity: a batched campaign must emit exactly the bytes the classic
+// one-solve-per-fault campaign emits — same CSV, same warnings — for any job
+// count, shard spec, or journal state, because every gate in the batched
+// path falls back to the naive ladder the moment a result could differ.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "decisive/base/csv.hpp"
+#include "decisive/base/error.hpp"
+#include "decisive/base/table.hpp"
+#include "decisive/core/campaign.hpp"
+#include "decisive/core/campaign_journal.hpp"
+#include "decisive/core/circuit_fmea.hpp"
+#include "decisive/drivers/datasource.hpp"
+#include "decisive/drivers/mdl.hpp"
+#include "decisive/sim/builder.hpp"
+#include "decisive/sim/campaign_solver.hpp"
+#include "decisive/sim/dense.hpp"
+#include "decisive/sim/fault.hpp"
+#include "decisive/sim/solver.hpp"
+
+using namespace decisive;
+
+namespace {
+
+const std::string kAssets = DECISIVE_ASSETS_DIR;
+
+/// The bench's supply-rail specimen: the rail is pinned by the source, so
+/// most faults perturb only their own decoupled tap — prime low-rank
+/// territory with diodes in the loop.
+sim::BuiltCircuit make_rail(int stages) {
+  sim::BuiltCircuit built;
+  sim::Circuit& c = built.circuit;
+  const int vin = c.node("vin");
+  const int rail = c.node("rail");
+  c.add_vsource("V1", vin, 0, 12.0);
+  c.add_current_sensor("CS", vin, rail);
+  built.observables.push_back("CS");
+  for (int s = 0; s < stages; ++s) {
+    const std::string id = std::to_string(s);
+    const int tap = c.node("tap" + id);
+    c.add_resistor("R" + id, rail, tap, 100.0 + s);
+    c.add_diode("D" + id, tap, 0);
+    c.add_resistor("RL" + id, tap, 0, 1000.0);
+    c.add_voltage_sensor("VS" + id, tap, 0);
+    built.observables.push_back("VS" + id);
+    built.components.push_back({"R" + id, "Resistor", "R" + id});
+    built.components.push_back({"D" + id, "Diode", "D" + id});
+  }
+  return built;
+}
+
+core::ReliabilityModel rail_reliability() {
+  core::ReliabilityModel reliability;
+  reliability.add("Resistor", 5.0, {{"Open", 0.5}, {"Short", 0.3}, {"Drift", 0.2}});
+  reliability.add("Diode", 10.0, {{"Open", 0.3}, {"Short", 0.7}});
+  return reliability;
+}
+
+/// Torture specimen from robustness_test: the baseline solves inside the
+/// iteration budget, the Drift fault only converges via the recovery ladder
+/// — so the batched path must hand it back to the naive solver (NotConverged
+/// fallback) and the row must still say RecoveredViaLadder.
+sim::BuiltCircuit drifting_source_rig() {
+  sim::BuiltCircuit built;
+  sim::Circuit& c = built.circuit;
+  const int p = c.node("p");
+  const int k = c.node("k");
+  c.add_vsource("V1", p, 0, 1.2);
+  c.add_resistor("R1", p, k, 1000.0);
+  c.add_diode("D1", 0, k);
+  c.add_voltage_sensor("VS1", k, 0);
+  built.observables.push_back("VS1");
+  built.components.push_back({"V1", "Source", "V1"});
+  return built;
+}
+
+/// An MCU monitoring a divided-down supply: Drift faults on the supply move
+/// the MCU across its brown-out threshold, exercising the RHS-only update,
+/// the MCU knife-edge guard, and the structural VSource Open/Short faults.
+sim::BuiltCircuit mcu_rig() {
+  sim::BuiltCircuit built;
+  sim::Circuit& c = built.circuit;
+  const int vin = c.node("vin");
+  const int vdd = c.node("vdd");
+  c.add_vsource("V1", vin, 0, 5.0);
+  c.add_resistor("R1", vin, vdd, 1000.0);
+  c.add_resistor("R2", vdd, 0, 2200.0);
+  c.add_mcu("MC1", vdd, 0, 10000.0);
+  c.add_voltage_sensor("VS1", vdd, 0);
+  built.observables.push_back("MC1");
+  built.observables.push_back("VS1");
+  built.components.push_back({"V1", "Source", "V1"});
+  built.components.push_back({"R1", "Resistor", "R1"});
+  built.components.push_back({"MC1", "Mcu", "MC1"});
+  return built;
+}
+
+core::ReliabilityModel mcu_reliability() {
+  core::ReliabilityModel reliability;
+  reliability.add("Source", 5.0, {{"Open", 0.3}, {"Short", 0.2}, {"Drift", 0.5}});
+  reliability.add("Resistor", 5.0, {{"Open", 0.5}, {"Short", 0.3}, {"Drift", 0.2}});
+  reliability.add("Mcu", 20.0, {{"RamFailure", 0.6}, {"Drift", 0.4}});
+  return reliability;
+}
+
+struct CampaignOutput {
+  std::string csv;
+  std::vector<std::string> warnings;
+};
+
+CampaignOutput run_campaign(const sim::BuiltCircuit& built,
+                            const core::ReliabilityModel& reliability, bool batch, int jobs,
+                            core::CircuitFmeaOptions options = {}) {
+  options.batch = batch;
+  options.jobs = jobs;
+  const auto result = core::analyze_circuit(built, reliability, nullptr, options);
+  return CampaignOutput{write_csv(result.to_csv()), result.warnings};
+}
+
+/// The property behind every acceptance gate: for this subject, batched and
+/// naive campaigns produce identical bytes at every job count.
+void expect_batched_matches_naive(const sim::BuiltCircuit& built,
+                                  const core::ReliabilityModel& reliability,
+                                  core::CircuitFmeaOptions options = {}) {
+  const CampaignOutput naive = run_campaign(built, reliability, false, 1, options);
+  for (const int jobs : {1, 4, 8}) {
+    const CampaignOutput batched = run_campaign(built, reliability, true, jobs, options);
+    EXPECT_EQ(batched.csv, naive.csv) << "batched FMEDA diverged at jobs=" << jobs;
+    EXPECT_EQ(batched.warnings, naive.warnings) << "warnings diverged at jobs=" << jobs;
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------- campaign byte-identity --
+
+TEST(BatchCampaign, RailSubjectByteIdenticalAcrossJobCounts) {
+  expect_batched_matches_naive(make_rail(8), rail_reliability());
+}
+
+TEST(BatchCampaign, LadderTortureSubjectByteIdentical) {
+  // The Drift fault needs the recovery ladder; the batched path must fall
+  // back, keeping the RecoveredViaLadder row (whose detail embeds iteration
+  // counts) byte-identical.
+  core::ReliabilityModel reliability;
+  reliability.add("Source", 5.0, {{"Drift", 1.0}});
+  core::CircuitFmeaOptions options;
+  options.solver.max_newton_iterations = 40;
+  expect_batched_matches_naive(drifting_source_rig(), reliability, options);
+}
+
+TEST(BatchCampaign, McuKnifeEdgeSubjectByteIdentical) {
+  expect_batched_matches_naive(mcu_rig(), mcu_reliability());
+}
+
+TEST(BatchCampaign, ReferenceSubjectByteIdentical) {
+  const auto built = sim::build_circuit(drivers::parse_mdl_file(kAssets + "/power_supply.mdl"));
+  const auto workbook = drivers::DriverRegistry::global().open(kAssets + "/reliability_workbook");
+  const auto reliability = core::ReliabilityModel::from_source(*workbook, "Reliability");
+  core::CircuitFmeaOptions options;
+  options.safety_goal_observables = {"CS1", "MC1"};
+  expect_batched_matches_naive(built, reliability, options);
+}
+
+// ------------------------------------------- journal + shard determinism --
+
+TEST(BatchCampaign, JournalsInterchangeBetweenBatchedAndNaiveRuns) {
+  // The batch flag is excluded from the campaign fingerprint, so a journal
+  // written by a naive run must resume under a batched run (and vice versa)
+  // and still reproduce the uninterrupted bytes.
+  const auto built = make_rail(6);
+  const auto reliability = rail_reliability();
+  const auto dir = std::filesystem::temp_directory_path() / "decisive_batch_journal_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  const CampaignOutput uninterrupted = run_campaign(built, reliability, true, 1);
+
+  core::CircuitFmeaOptions options;
+  options.execution.journal_path = (dir / "campaign.journal").string();
+  // Pass 1: naive run writes the full journal.
+  const CampaignOutput naive = run_campaign(built, reliability, false, 1, options);
+  // Pass 2: batched run replays it (everything checkpointed, nothing re-run).
+  const CampaignOutput replayed = run_campaign(built, reliability, true, 1, options);
+  EXPECT_EQ(naive.csv, uninterrupted.csv);
+  EXPECT_EQ(replayed.csv, uninterrupted.csv);
+  EXPECT_EQ(replayed.warnings, uninterrupted.warnings);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(BatchCampaign, ShardedBatchedJournalsMergeToNaiveBytes) {
+  const auto built = make_rail(6);
+  const auto reliability = rail_reliability();
+  const CampaignOutput whole = run_campaign(built, reliability, false, 1);
+  const auto dir = std::filesystem::temp_directory_path() / "decisive_batch_shard_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  std::vector<std::string> journals;
+  for (int shard = 0; shard < 4; ++shard) {
+    core::CircuitFmeaOptions options;
+    options.batch = true;
+    options.execution.shard_index = shard;
+    options.execution.shard_count = 4;
+    options.execution.journal_path = (dir / ("s" + std::to_string(shard) + ".journal")).string();
+    journals.push_back(options.execution.journal_path);
+    (void)core::analyze_circuit(built, reliability, nullptr, options);
+  }
+  const auto merged = core::merge_campaign_journals(journals);
+  EXPECT_EQ(write_csv(merged.to_csv()), whole.csv);
+  std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------------ context-level behaviour --
+
+TEST(BatchContext, NominalPointMatchesClassicSolve) {
+  const auto built = make_rail(4);
+  const sim::CampaignSolveContext context(built.circuit, sim::SolveOptions{});
+  ASSERT_TRUE(context.usable());
+  const auto classic = sim::dc_operating_point(built.circuit);
+  for (const auto& [name, value] : classic.readings) {
+    EXPECT_NEAR(context.nominal_point().reading(name), value, 1e-9) << name;
+  }
+}
+
+TEST(BatchContext, EligibilityFollowsTheFaultTaxonomy) {
+  const auto built = mcu_rig();
+  const sim::CampaignSolveContext context(built.circuit, sim::SolveOptions{});
+  ASSERT_TRUE(context.usable());
+  // Conductance-delta faults on two-terminal passives are low-rank.
+  EXPECT_TRUE(context.eligible({"R1", sim::FaultKind::Open}));
+  EXPECT_TRUE(context.eligible({"R1", sim::FaultKind::Short}));
+  EXPECT_TRUE(context.eligible({"R1", sim::FaultKind::Drift}));
+  // VSource Open/Short delete the branch unknown: structural.
+  EXPECT_FALSE(context.eligible({"V1", sim::FaultKind::Open}));
+  EXPECT_FALSE(context.eligible({"V1", sim::FaultKind::Short}));
+  // ...but value-only faults on the same source keep the structure.
+  EXPECT_TRUE(context.eligible({"V1", sim::FaultKind::Drift}));
+  EXPECT_TRUE(context.eligible({"V1", sim::FaultKind::StuckOff}));
+  // MCU faults never touch the matrix (reading-only / RHS-only).
+  EXPECT_TRUE(context.eligible({"MC1", sim::FaultKind::RamFailure}));
+  EXPECT_TRUE(context.eligible({"MC1", sim::FaultKind::Drift}));
+}
+
+TEST(BatchContext, SolvedFaultAgreesWithFreshSolve) {
+  const auto built = make_rail(4);
+  const sim::SolveOptions options;
+  const sim::CampaignSolveContext context(built.circuit, options);
+  ASSERT_TRUE(context.usable());
+  sim::CampaignSolveContext::Workspace ws;
+  for (const sim::Fault& fault : {sim::Fault{"R2", sim::FaultKind::Open},
+                                  sim::Fault{"R2", sim::FaultKind::Short},
+                                  sim::Fault{"RL1", sim::FaultKind::Drift},
+                                  sim::Fault{"D3", sim::FaultKind::Short}}) {
+    const sim::Circuit faulted = sim::inject_fault(built.circuit, fault);
+    sim::SolveDiagnostics diagnostics;
+    sim::BatchOutcome outcome = sim::BatchOutcome::Disabled;
+    const auto batched = context.try_solve(faulted, fault, ws, diagnostics, outcome);
+    ASSERT_TRUE(batched.has_value())
+        << fault.element << "/" << to_string(fault.kind) << ": " << to_string(outcome);
+    EXPECT_EQ(outcome, sim::BatchOutcome::Solved);
+    EXPECT_TRUE(diagnostics.converged);
+    const auto fresh = sim::dc_operating_point(faulted, options);
+    for (const auto& [name, value] : fresh.readings) {
+      EXPECT_NEAR(batched->reading(name), value, 1e-6)
+          << fault.element << "/" << to_string(fault.kind) << " reading " << name;
+    }
+  }
+}
+
+TEST(BatchContext, StructuralFaultReportsStructuralFallback) {
+  const auto built = make_rail(4);
+  const sim::CampaignSolveContext context(built.circuit, sim::SolveOptions{});
+  ASSERT_TRUE(context.usable());
+  const sim::Fault fault{"V1", sim::FaultKind::Short};
+  const sim::Circuit faulted = sim::inject_fault(built.circuit, fault);
+  sim::CampaignSolveContext::Workspace ws;
+  sim::SolveDiagnostics diagnostics;
+  sim::BatchOutcome outcome = sim::BatchOutcome::Solved;
+  const auto batched = context.try_solve(faulted, fault, ws, diagnostics, outcome);
+  EXPECT_FALSE(batched.has_value());
+  EXPECT_EQ(outcome, sim::BatchOutcome::Structural);
+}
+
+TEST(BatchContext, UnsolvableNominalDisablesTheContext) {
+  // Contradictory sources: the nominal system is singular, so the context
+  // must construct unusable and refuse every solve instead of throwing.
+  sim::Circuit c;
+  const int a = c.node("a");
+  c.add_vsource("V1", a, 0, 12.0);
+  c.add_vsource("V2", a, 0, 5.0);
+  c.add_resistor("R1", a, 0, 100.0);
+  const sim::CampaignSolveContext context(c, sim::SolveOptions{});
+  EXPECT_FALSE(context.usable());
+}
+
+// ------------------------------------- Sherman–Morrison numerical ground --
+
+TEST(ShermanMorrison, AgreesWithFreshFactorisationOnRandomRankOneUpdates) {
+  // For randomized diagonally-dominant systems and random rank-1 node-pair
+  // perturbations g*u*u^T (u = e_a - e_b, the shape every conductance delta
+  // takes), the update formula against the nominal factorisation must match
+  // a fresh factorisation of the perturbed matrix.
+  Rng rng(20260808);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t n = 3 + rng.below(8);
+    std::vector<std::vector<double>> a(n, std::vector<double>(n));
+    std::vector<double> b(n);
+    for (size_t i = 0; i < n; ++i) {
+      double row_sum = 0.0;
+      for (size_t j = 0; j < n; ++j) {
+        a[i][j] = rng.uniform(-1.0, 1.0);
+        row_sum += std::abs(a[i][j]);
+      }
+      a[i][i] = row_sum + 1.0;  // strict diagonal dominance: never singular
+      b[i] = rng.uniform(-5.0, 5.0);
+    }
+    const size_t pa = rng.below(n);
+    size_t pb = rng.below(n);
+    while (pb == pa) pb = rng.below(n);
+    const double g = rng.uniform(0.1, 10.0);
+
+    // Fresh factorisation of the perturbed system.
+    auto perturbed = a;
+    perturbed[pa][pa] += g;
+    perturbed[pb][pb] += g;
+    perturbed[pa][pb] -= g;
+    perturbed[pb][pa] -= g;
+    const auto fresh = sim::solve_linear(perturbed, b);
+
+    // Sherman–Morrison against the nominal factorisation.
+    sim::dense::LuFactorization<double> lu;
+    auto& buffer = lu.reset(n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) buffer[i * n + j] = a[i][j];
+    }
+    lu.factor("singular test system");
+    std::vector<double> u(n, 0.0);
+    u[pa] = 1.0;
+    u[pb] = -1.0;
+    std::vector<double> z = lu.solve(u);
+    std::vector<double> zb = lu.solve(b);
+    const double denom = 1.0 + g * (z[pa] - z[pb]);
+    ASSERT_GT(std::abs(denom), 1e-12);
+    const double w = g * (zb[pa] - zb[pb]) / denom;
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(zb[i] - w * z[i], fresh[i], 1e-8 * (1.0 + std::abs(fresh[i])))
+          << "trial " << trial << " component " << i;
+    }
+  }
+}

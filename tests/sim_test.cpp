@@ -2,7 +2,11 @@
 // transient integration, fault injection, and the MDL circuit builder.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <complex>
+#include <cstdlib>
+#include <new>
 
 #include "decisive/base/error.hpp"
 #include "decisive/drivers/mdl.hpp"
@@ -13,6 +17,37 @@
 
 using namespace decisive;
 using namespace decisive::sim;
+
+// Global allocation counter for the workspace-reuse regression test below.
+// Only the plain (unaligned) overloads are replaced; each keeps malloc/free
+// pairing consistent with its matching delete.
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+}  // namespace
+
+// The compiler cannot see that new and delete below pair malloc with free
+// consistently, and flags the free() calls as mismatched.
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
 
 // ---------------------------------------------------------------- circuit --
 
@@ -56,6 +91,44 @@ TEST(Solver, LinearSolveAgainstKnownSystem) {
 
 TEST(Solver, SingularSystemThrows) {
   EXPECT_THROW(solve_linear({{1, 1}, {2, 2}}, {1, 2}), SimulationError);
+}
+
+TEST(Solver, ComplexLinearSolveAgainstKnownSystem) {
+  using C = std::complex<double>;
+  // A = [[2, i], [-i, 3]], x = (1, 1+i)  ->  b = (1+i, 3+2i).
+  const auto x = solve_linear_complex({{C(2, 0), C(0, 1)}, {C(0, -1), C(3, 0)}},
+                                      {C(1, 1), C(3, 2)});
+  EXPECT_NEAR(x[0].real(), 1.0, 1e-12);
+  EXPECT_NEAR(x[0].imag(), 0.0, 1e-12);
+  EXPECT_NEAR(x[1].real(), 1.0, 1e-12);
+  EXPECT_NEAR(x[1].imag(), 1.0, 1e-12);
+}
+
+TEST(Solver, ComplexSingularSystemThrows) {
+  using C = std::complex<double>;
+  EXPECT_THROW(solve_linear_complex({{C(1, 1), C(1, 1)}, {C(2, 2), C(2, 2)}}, {C(1, 0), C(2, 0)}),
+               SimulationError);
+}
+
+// Malformed systems must throw SimulationError instead of reading out of
+// bounds — the historical complex kernel skipped the height check entirely
+// and neither kernel validated row widths. Both now share one validator.
+TEST(Solver, RejectsMismatchedSystemHeight) {
+  EXPECT_THROW(solve_linear({{1, 0}, {0, 1}}, {1, 2, 3}), SimulationError);
+  EXPECT_THROW(solve_linear({{1, 0, 0}, {0, 1, 0}}, {1, 2, 3}), SimulationError);
+  using C = std::complex<double>;
+  EXPECT_THROW(solve_linear_complex({{C(1, 0)}}, {C(1, 0), C(2, 0)}), SimulationError);
+  EXPECT_THROW(solve_linear_complex({{C(1, 0), C(0, 0)}, {C(0, 0), C(1, 0)}}, {C(1, 0)}),
+               SimulationError);
+}
+
+TEST(Solver, RejectsRaggedRows) {
+  EXPECT_THROW(solve_linear({{1, 0, 0}, {0, 1}, {0, 0, 1}}, {1, 2, 3}), SimulationError);
+  EXPECT_THROW(solve_linear({{1, 0, 0, 7}, {0, 1, 0}, {0, 0, 1}}, {1, 2, 3}), SimulationError);
+  EXPECT_THROW(solve_linear({{}}, {1}), SimulationError);
+  using C = std::complex<double>;
+  EXPECT_THROW(solve_linear_complex({{C(1, 0), C(0, 0)}, {C(0, 0)}}, {C(1, 0), C(2, 0)}),
+               SimulationError);
 }
 
 class DividerSweep : public ::testing::TestWithParam<std::pair<double, double>> {};
@@ -191,6 +264,29 @@ TEST(Solver, MissingReadingThrows) {
   EXPECT_THROW((void)op.reading("nope"), SimulationError);
 }
 
+TEST(Solver, NewtonIterationReusesWorkspace) {
+  // The dense Jacobian and RHS are hoisted into a per-solve workspace: the
+  // Newton loop must not allocate per iteration. A diode circuit takes many
+  // iterations to converge; under the old per-iteration reallocation each
+  // iteration cost ~(dim + 3) allocations, so the total scaled with the
+  // iteration count. The bound below is generous for one solve's fixed
+  // costs (structure analysis, workspace, result maps) but far below the
+  // old per-iteration regime.
+  Circuit c;
+  const int a = c.node("a");
+  const int b = c.node("b");
+  const int s = c.node("s");
+  c.add_vsource("V", a, 0, 5.0);
+  c.add_diode("D", a, b);
+  c.add_resistor("R", b, s, 1000.0);
+  c.add_current_sensor("I", s, 0);
+  (void)dc_operating_point(c);  // warm up lazily-initialised globals
+  const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+  (void)dc_operating_point(c);
+  const std::size_t per_solve = g_alloc_count.load(std::memory_order_relaxed) - before;
+  EXPECT_LT(per_solve, 120u);
+}
+
 // -------------------------------------------------------------- transient --
 
 TEST(Transient, RcStepResponseMatchesAnalytic) {
@@ -254,6 +350,39 @@ TEST(Transient, RlCurrentRampTowardsSteadyState) {
   for (const auto& sample : samples) {
     EXPECT_NEAR(sample.point.reading("CS"), 0.05, 1e-4);
   }
+}
+
+TEST(Transient, LongHorizonSampleCountIsExact) {
+  // Accumulating `t += dt` drifts over long horizons: after tens of
+  // thousands of additions the final comparison against t_end can drop or
+  // duplicate the last sample, and intermediate sample times wander off the
+  // grid. Integer stepping makes both exact.
+  Circuit c;
+  const int in = c.node("in");
+  const int out = c.node("out");
+  c.add_vsource("V1", in, 0, 5.0);
+  c.add_resistor("R1", in, out, 1000.0);
+  c.add_capacitor("C1", out, 0, 1e-6);
+  const double dt = 1e-5;
+  const auto samples = transient(c, 0.5, dt);  // 50,000 steps
+  ASSERT_EQ(samples.size(), 50001u);           // t=0 plus every step
+  EXPECT_EQ(samples[1].time, dt);
+  EXPECT_EQ(samples[25000].time, 25000.0 * dt);      // exactly on the grid,
+  EXPECT_EQ(samples.back().time, 50000.0 * dt);      // not accumulated drift
+  EXPECT_NEAR(samples.back().time, 0.5, 1e-9);
+}
+
+TEST(Transient, FinalSampleLandsOnHorizon) {
+  Circuit c;
+  const int n = c.node("n");
+  c.add_vsource("V1", n, 0, 1.0);
+  c.add_resistor("R1", n, 0, 100.0);
+  // dt = 0.1 is inexact in binary; ten accumulated additions land at
+  // 0.9999999999999999. Integer stepping emits exactly 10 steps with the
+  // last at 10 * 0.1.
+  const auto samples = transient(c, 1.0, 0.1);
+  ASSERT_EQ(samples.size(), 11u);
+  EXPECT_EQ(samples.back().time, 10.0 * 0.1);
 }
 
 TEST(Transient, RejectsBadArguments) {

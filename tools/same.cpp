@@ -91,7 +91,7 @@ int usage() {
       "  same fmea <model.mdl> --reliability <workbook-dir> [--sm-model]\n"
       "            [--goals CS1,MC1] [--threshold 0.2] [--out fmeda.csv]\n"
       "            [--jobs N] [--journal <file>] [--shard i/N]\n"
-      "            [--retries N] [--best-effort]\n"
+      "            [--retries N] [--best-effort] [--no-batch]\n"
       "      Automated fault-injection FME(D)A (DECISIVE steps 3-4).\n"
       "      --sm-model deploys safety mechanisms from the workbook's\n"
       "      SafetyMechanisms sheet (step 4b). --jobs runs the campaign on\n"
@@ -105,7 +105,11 @@ int usage() {
       "      `same merge-journals` to fold them together). --retries bounds\n"
       "      the containment retries of crashed/budget-exhausted faults\n"
       "      (default 1). --best-effort degrades an unanalysable baseline\n"
-      "      to an all-NotApplicable table instead of exit 4.\n\n"
+      "      to an all-NotApplicable table instead of exit 4.\n"
+      "      The campaign factors the nominal system once and solves\n"
+      "      eligible faults as low-rank updates; --no-batch forces the\n"
+      "      classic one-solve-per-fault path (byte-identical output,\n"
+      "      escape hatch only).\n\n"
       "  same merge-journals <shard0.journal> <shard1.journal> ...\n"
       "            [--out fmeda.csv]\n"
       "      Merge the per-shard campaign journals of one sharded campaign\n"
@@ -448,6 +452,7 @@ int cmd_fmea(const Args& args) {
     }
   }
   options.execution.best_effort = args.has("best-effort");
+  options.batch = !args.has("no-batch");
 
   core::FmedaResult result;
   try {
