@@ -97,6 +97,10 @@ struct FmedaResult {
   /// Diagnostics from the analysis (e.g. Algorithm 1 line 11 warnings,
   /// components without reliability data).
   std::vector<std::string> warnings;
+  /// ISO 26262 Latent Fault Metric, set when an FTA-driven multi-point
+  /// classification has been applied (fta::apply_lfm); absent for plain
+  /// FMEDAs, which only quantify single-point faults.
+  std::optional<double> latent_fault_metric;
 
   /// Row count per FaultOutcome, indexed by the enumerator value.
   [[nodiscard]] std::array<size_t, kFaultOutcomeCount> outcome_counts() const;
@@ -159,5 +163,19 @@ bool meets_asil(double spfm, std::string_view asil);
 /// The most stringent ASIL whose SPFM target the value meets
 /// ("ASIL-D", "ASIL-C", "ASIL-B", or "ASIL-A" when below all targets).
 std::string achieved_asil(double spfm);
+
+/// ISO 26262 Latent Fault Metric targets per ASIL (ASIL-A imposes none).
+inline constexpr double kLfmTargetAsilB = 0.60;
+inline constexpr double kLfmTargetAsilC = 0.80;
+inline constexpr double kLfmTargetAsilD = 0.90;
+
+/// LFM target for an ASIL name (same spellings as spfm_target).
+double lfm_target(std::string_view asil);
+
+/// True when the LFM meets the target of the given ASIL.
+bool meets_asil_lfm(double lfm, std::string_view asil);
+
+/// The most stringent ASIL whose LFM target the value meets.
+std::string achieved_asil_lfm(double lfm);
 
 }  // namespace decisive::core

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "decisive/core/fmeda.hpp"
@@ -35,34 +36,58 @@ struct FaultTreeNode {
   std::vector<size_t> children;  ///< indices into FaultTree::nodes
 };
 
+/// Warning line appended to to_text() / cut-set CSV when a tree is
+/// truncated, so capped syntheses are never silent.
+inline constexpr std::string_view kFtaTruncationWarning =
+    "WARNING: cut-set synthesis truncated by the order bound; "
+    "minimal cut sets above the bound may exist";
+
 /// A synthesised fault tree. Node 0 is the top event.
 struct FaultTree {
   std::string top_event;
   std::vector<FaultTreeNode> nodes;
-  /// Minimal cut sets, as sets of component ids (sorted).
+  /// Minimal cut sets, as sets of component ids. Deterministically ordered:
+  /// each cut sorted by component id, cuts sorted by (order, ids) — so
+  /// to_text() is byte-stable across platforms and job counts.
   std::vector<std::vector<ssam::ObjectId>> cut_sets;
+  /// True when the synthesis bound clipped the cut family. Conservative:
+  /// minimal cut sets above the bound MAY exist (the probe errs towards
+  /// flagging when its work budget runs out).
+  bool truncated = false;
 
   /// Probability of the top event over `mission_hours`, using the rare-event
   /// approximation over minimal cut sets: P ~= sum over cut sets of the
   /// product of member failure probabilities (1 - e^{-lambda t} per member).
   [[nodiscard]] double top_event_probability(double mission_hours) const;
 
-  /// Renders the tree as indented text (gates + basic events).
+  /// Renders the tree as indented text (gates + basic events), with a
+  /// trailing kFtaTruncationWarning line when `truncated` is set.
   [[nodiscard]] std::string to_text() const;
 };
 
+/// True for the failure-mode natures counted as "loss of function"
+/// (lossOfFunction / loss / open / omission / "no output", case-insensitive).
+bool is_loss_failure_nature(const std::string& nature);
+
+/// Basic-event failure rate of a component (per hour): component FIT × the
+/// summed distribution of its loss-nature failure modes (capped at 1) × 1e-9.
+double loss_failure_rate(const ssam::SsamModel& ssam, ssam::ObjectId component);
+
 struct FtaOptions {
-  /// Cut sets larger than this are not enumerated (cost guard).
+  /// Cut sets larger than this are not enumerated (cost guard). When the
+  /// bound clips the family the returned tree carries `truncated = true`.
   size_t max_cut_set_size = 3;
-  /// Path-enumeration guard (shared with Algorithm 1).
+  /// Path-enumeration guard (shared with Algorithm 1); exceeding it throws.
   size_t max_paths = 100000;
 };
 
-/// Synthesises the fault tree for the loss of `component`'s function.
-/// Basic-event rates come from the component FIT x the summed distribution
-/// of its loss-nature failure modes (components without loss modes get rate
-/// zero but still appear structurally). Throws AnalysisError when the
-/// component has no boundary IONodes.
+/// Synthesises the fault tree for the loss of `component`'s function by
+/// enumerating every input→output path (exponential — retained as the
+/// property-test oracle for fta::synthesize_fault_tree_zbdd, the scalable
+/// engine; the PR-2 pattern). Basic-event rates come from
+/// loss_failure_rate() (components without loss modes get rate zero but
+/// still appear structurally). Throws AnalysisError when the component has
+/// no boundary IONodes or the path count exceeds FtaOptions::max_paths.
 FaultTree synthesize_fault_tree(const ssam::SsamModel& ssam, ssam::ObjectId component,
                                 const FtaOptions& options = {});
 

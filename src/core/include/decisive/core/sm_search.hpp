@@ -63,7 +63,20 @@ struct ParetoOptions {
   /// Guard on the label cross-product of a single merge; exceeding it throws
   /// AnalysisError with a hint to set `epsilon`. 0 = unguarded.
   size_t max_merge_labels = 64'000'000;
+  /// Per-row metric weights (empty = the classic SPFM objective, byte-
+  /// identical to the unweighted engine). When set (size must equal
+  /// rows.size(), else AnalysisError) the metric axis is fully weight-
+  /// defined: the denominator is Σ wᵢ·mode_fitᵢ, residuals scale by wᵢ, and
+  /// the open rows are those with wᵢ > 0 and no deployed mechanism —
+  /// `safety_related` is ignored, because multi-point objectives (LFM, via
+  /// fta::lfm_row_weights) target exactly the rows the FMEA marks
+  /// not-safety-related.
+  std::vector<double> row_weights;
 };
+
+/// Which metric a front's quality axis represents (affects rendering only;
+/// the engine is weight-driven).
+enum class ParetoMetric { Spfm, Lfm };
 
 /// Exact (cost, SPFM) Pareto front over all deployments (each open
 /// safety-related row chooses "none" or one applicable mechanism), sorted by
@@ -79,10 +92,13 @@ std::vector<Deployment> pareto_front(const FmedaResult& fmea,
 /// The seed-era exhaustive mixed-radix enumerator, retained as the test
 /// oracle for the DP engine (and for FTA-style what-if sweeps on tiny
 /// designs). Throws AnalysisError when the search space exceeds
-/// `max_combinations` (use `pareto_front` instead).
+/// `max_combinations` (use `pareto_front` instead). `row_weights` follows
+/// the ParetoOptions::row_weights contract (empty = unweighted), so the
+/// oracle covers the weighted engine too.
 std::vector<Deployment> pareto_front_exhaustive(const FmedaResult& fmea,
                                                 const SafetyMechanismModel& catalogue,
-                                                size_t max_combinations = 2'000'000);
+                                                size_t max_combinations = 2'000'000,
+                                                const std::vector<double>& row_weights = {});
 
 /// Greedy search: repeatedly deploys the mechanism with the best
 /// SPFM-gain-per-cost ratio until the target ASIL's SPFM is met or no
@@ -90,7 +106,8 @@ std::vector<Deployment> pareto_front_exhaustive(const FmedaResult& fmea,
 /// the given catalogue. The input FMEA must be *undeployed* (rows may
 /// already carry mechanisms; they are treated as fixed). The loop and the
 /// trim pass both maintain the residual FIT incrementally: one move costs
-/// O(1), not O(rows).
+/// O(1), not O(rows). Always optimises the classic SPFM objective —
+/// row_weights apply to the Pareto engines only.
 std::optional<Deployment> greedy_reach_asil(const FmedaResult& fmea,
                                             const SafetyMechanismModel& catalogue,
                                             std::string_view target_asil);
@@ -116,8 +133,11 @@ std::optional<Deployment> optimal_reach_asil(const FmedaResult& fmea,
 
 /// CSV rendering of a front: Cost(hrs), SPFM, ASIL, Choices, Deployment.
 /// Shared by `same sm-search --out` and the session `pareto` request so both
-/// emit identical artefacts for the same model.
-CsvTable front_to_csv(const FmedaResult& fmea, const std::vector<Deployment>& front);
+/// emit identical artefacts for the same model. With ParetoMetric::Lfm the
+/// quality column is labelled "LFM" and the ASIL column uses the LFM
+/// targets (the deployments' `spfm` field then holds the weighted metric).
+CsvTable front_to_csv(const FmedaResult& fmea, const std::vector<Deployment>& front,
+                      ParetoMetric metric = ParetoMetric::Spfm);
 
 /// The same front as a JSON document (array of {cost_hours, spfm, asil,
 /// choices:[{row, component, failure_mode, mechanism, coverage, cost_hours}]}).

@@ -58,7 +58,15 @@ SafetyMechanismModel scaled_sm_catalogue();
 /// the graph FMEA, so a single-component edit dirties O(1) of the
 /// `composites + 1` units — the shape the fingerprint cache exploits.
 /// (composites=40, leaves=16 lands near the paper's Set3 element count.)
-SyntheticSystem make_scaled_architecture(size_t composites, size_t leaves);
+///
+/// `width` replicates every composite stage into `width` parallel units
+/// ("Unit{c}_{k}") with dense bipartite wiring between consecutive stages:
+/// width^composites input→output paths but only `composites` minimal cut
+/// sets, each of order `width` — the FTA workload where path enumeration is
+/// infeasible and ZBDD synthesis is not. width = 1 (the default) preserves
+/// the original serial chain byte-for-byte.
+SyntheticSystem make_scaled_architecture(size_t composites, size_t leaves,
+                                         size_t width = 1);
 
 // ---------------------------------------------------------------------------
 // Scalability (Table VI)

@@ -202,4 +202,25 @@ std::string achieved_asil(double spfm) {
   return "ASIL-A";
 }
 
+double lfm_target(std::string_view asil) {
+  std::string a = to_lower(trim(asil));
+  if (starts_with(a, "asil-")) a = a.substr(5);
+  else if (starts_with(a, "asil ")) a = a.substr(5);
+  else if (starts_with(a, "asil")) a = a.substr(4);
+  if (a == "qm" || a == "a") return 0.0;
+  if (a == "b") return kLfmTargetAsilB;
+  if (a == "c") return kLfmTargetAsilC;
+  if (a == "d") return kLfmTargetAsilD;
+  throw AnalysisError("unknown ASIL '" + std::string(asil) + "'");
+}
+
+bool meets_asil_lfm(double lfm, std::string_view asil) { return lfm >= lfm_target(asil); }
+
+std::string achieved_asil_lfm(double lfm) {
+  if (lfm >= kLfmTargetAsilD) return "ASIL-D";
+  if (lfm >= kLfmTargetAsilC) return "ASIL-C";
+  if (lfm >= kLfmTargetAsilB) return "ASIL-B";
+  return "ASIL-A";
+}
+
 }  // namespace decisive::core

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <map>
 #include <set>
 
 #include "decisive/base/error.hpp"
 #include "decisive/base/strings.hpp"
+#include "decisive/obs/log.hpp"
 #include "decisive/ssam/graph.hpp"
 
 namespace decisive::core {
@@ -16,17 +18,11 @@ namespace {
 using ssam::ObjectId;
 using ssam::SsamModel;
 
-bool is_loss_mode_name(const std::string& nature) {
-  return iequals(nature, "lossOfFunction") || iequals(nature, "loss") ||
-         iequals(nature, "open") || iequals(nature, "omission") ||
-         iequals(nature, "no output");
-}
-
 /// Summed distribution of a component's loss-nature failure modes.
 double loss_fraction(const SsamModel& ssam, ObjectId component) {
   double fraction = 0.0;
   for (const ObjectId fm : ssam.obj(component).refs("failureModes")) {
-    if (is_loss_mode_name(ssam.obj(fm).get_string("nature"))) {
+    if (is_loss_failure_nature(ssam.obj(fm).get_string("nature"))) {
       fraction += ssam.obj(fm).get_real("distribution");
     }
   }
@@ -59,7 +55,68 @@ bool contains_subset(const std::vector<std::vector<size_t>>& cuts,
   return false;
 }
 
+/// Exact truncation probe: after enumerating every minimal cut up to the
+/// size bound, a minimal cut *above* the bound exists iff some set A of
+/// components that intersects every found cut (a transversal) still carries
+/// no complete path — its complement then severs all paths while containing
+/// no found cut, so its minimal sub-cut is new. Minimal transversals suffice
+/// (shrinking A only removes surviving paths), so the probe DFSes over the
+/// found cuts, branching on which member stays alive. The `budget` counts
+/// path-membership checks; exhausting it returns the conservative answer
+/// (truncated = true) — the flag may over-report, never under-report.
+bool probe_truncation(const std::vector<std::vector<int>>& path_members,
+                      const std::vector<std::vector<size_t>>& cuts, size_t n,
+                      size_t budget, bool& budget_exhausted) {
+  std::vector<char> alive(n, 0);
+  const std::function<bool()> dfs = [&]() -> bool {
+    if (budget == 0) {
+      budget_exhausted = true;
+      return true;  // unknown → conservative
+    }
+    // First found cut with no alive member.
+    const std::vector<size_t>* open = nullptr;
+    for (const auto& cut : cuts) {
+      if (budget > 0) --budget;
+      if (std::none_of(cut.begin(), cut.end(),
+                       [&](size_t m) { return alive[m] != 0; })) {
+        open = &cut;
+        break;
+      }
+    }
+    if (open == nullptr) {
+      // A is a transversal of every found cut: truncated iff no path
+      // survives inside A.
+      for (const auto& members : path_members) {
+        if (budget > 0) --budget;
+        if (std::all_of(members.begin(), members.end(),
+                        [&](int m) { return alive[static_cast<size_t>(m)] != 0; })) {
+          return false;  // a path survives; this transversal proves nothing
+        }
+      }
+      return true;
+    }
+    for (const size_t m : *open) {
+      alive[m] = 1;
+      const bool found = dfs();
+      alive[m] = 0;
+      if (found) return true;
+    }
+    return false;
+  };
+  return dfs();
+}
+
 }  // namespace
+
+bool is_loss_failure_nature(const std::string& nature) {
+  return iequals(nature, "lossOfFunction") || iequals(nature, "loss") ||
+         iequals(nature, "open") || iequals(nature, "omission") ||
+         iequals(nature, "no output");
+}
+
+double loss_failure_rate(const SsamModel& ssam, ObjectId component) {
+  return ssam.obj(component).get_real("fit") * loss_fraction(ssam, component) * 1e-9;
+}
 
 double FaultTree::top_event_probability(double mission_hours) const {
   // Map component -> failure probability over the mission.
@@ -104,6 +161,10 @@ void render(const FaultTree& tree, size_t index, int depth, std::string& out) {
 std::string FaultTree::to_text() const {
   std::string out;
   if (!nodes.empty()) render(*this, 0, 0, out);
+  if (truncated) {
+    out += std::string(kFtaTruncationWarning);
+    out += '\n';
+  }
   return out;
 }
 
@@ -169,8 +230,39 @@ FaultTree synthesize_fault_tree(const SsamModel& ssam, ObjectId component,
     } while (next_combination(combo, n));
   }
 
+  // Deterministic cut order: each cut sorted by component id, cuts sorted by
+  // (order, ids) — so two engines (or two platforms) render identical trees.
+  std::vector<std::vector<ObjectId>> sorted_cuts;
+  sorted_cuts.reserve(cuts.size());
+  for (const auto& cut : cuts) {
+    std::vector<ObjectId> cut_components;
+    cut_components.reserve(cut.size());
+    for (const size_t member : cut) cut_components.push_back(members[member]);
+    std::sort(cut_components.begin(), cut_components.end());
+    sorted_cuts.push_back(std::move(cut_components));
+  }
+  std::sort(sorted_cuts.begin(), sorted_cuts.end(),
+            [](const std::vector<ObjectId>& a, const std::vector<ObjectId>& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              return a < b;
+            });
+
   // Build the tree: OR(top) over one child per cut set.
   FaultTree tree;
+  if (max_size < n) {
+    // The size bound may have clipped the family — probe instead of capping
+    // silently (satellite of the ZBDD engine work; see kFtaTruncationWarning).
+    bool budget_exhausted = false;
+    tree.truncated = probe_truncation(path_members, cuts, n, 100000, budget_exhausted);
+    if (tree.truncated) {
+      obs::log(obs::LogLevel::Warn,
+               "fta: max_cut_set_size=" + std::to_string(options.max_cut_set_size) +
+                   (budget_exhausted
+                        ? " probe budget exhausted; conservatively flagging truncation"
+                        : " clipped the cut-set enumeration") +
+                   "; minimal cut sets above the bound may exist");
+    }
+  }
   const std::string name = ssam.obj(component).get_string("name");
   tree.top_event = "loss of function of '" + name + "'";
   FaultTreeNode top;
@@ -179,27 +271,22 @@ FaultTree synthesize_fault_tree(const SsamModel& ssam, ObjectId component,
   tree.nodes.push_back(top);
 
   std::map<ObjectId, size_t> basic_index;
-  auto basic_for = [&](size_t member) {
-    const ObjectId comp = members[member];
+  auto basic_for = [&](ObjectId comp) {
     const auto it = basic_index.find(comp);
     if (it != basic_index.end()) return it->second;
     FaultTreeNode basic;
     basic.kind = GateKind::Basic;
     basic.component = comp;
     basic.label = "loss of '" + ssam.obj(comp).get_string("name") + "'";
-    basic.failure_rate = ssam.obj(comp).get_real("fit") * loss_fraction(ssam, comp) * 1e-9;
+    basic.failure_rate = loss_failure_rate(ssam, comp);
     tree.nodes.push_back(basic);
     const size_t index = tree.nodes.size() - 1;
     basic_index[comp] = index;
     return index;
   };
 
-  for (const auto& cut : cuts) {
-    std::vector<ObjectId> cut_components;
-    for (const size_t member : cut) cut_components.push_back(members[member]);
-    std::sort(cut_components.begin(), cut_components.end());
-    tree.cut_sets.push_back(cut_components);
-
+  for (const auto& cut : sorted_cuts) {
+    tree.cut_sets.push_back(cut);
     if (cut.size() == 1) {
       const size_t basic = basic_for(cut[0]);
       tree.nodes[0].children.push_back(basic);
@@ -209,7 +296,7 @@ FaultTree synthesize_fault_tree(const SsamModel& ssam, ObjectId component,
       gate.label = "joint loss of " + std::to_string(cut.size()) + " redundant components";
       // Materialise the basic events first: basic_for may grow the node
       // vector, which would invalidate a reference into it.
-      for (const size_t member : cut) gate.children.push_back(basic_for(member));
+      for (const ObjectId member : cut) gate.children.push_back(basic_for(member));
       tree.nodes.push_back(std::move(gate));
       tree.nodes[0].children.push_back(tree.nodes.size() - 1);
     }

@@ -93,19 +93,34 @@ struct SearchMetrics {
   }
 };
 
-/// Candidate rows: safety-related and not already carrying a mechanism.
-std::vector<size_t> open_rows(const FmedaResult& fmea) {
+/// Validates ParetoOptions-style row weights (empty = unweighted engine).
+void check_row_weights(const FmedaResult& fmea, const std::vector<double>& weights) {
+  if (!weights.empty() && weights.size() != fmea.rows.size()) {
+    throw AnalysisError("row_weights size " + std::to_string(weights.size()) +
+                        " does not match the FMEA's " + std::to_string(fmea.rows.size()) +
+                        " rows");
+  }
+}
+
+/// Candidate rows, not already carrying a mechanism. Unweighted: the
+/// safety-related rows (SPFM). Weighted: the rows with weight > 0 — the
+/// weights fully define the metric axis, because multi-point objectives
+/// target rows the FMEA marks not-safety-related.
+std::vector<size_t> open_rows(const FmedaResult& fmea,
+                              const std::vector<double>* weights = nullptr) {
   std::vector<size_t> out;
   for (size_t i = 0; i < fmea.rows.size(); ++i) {
-    if (fmea.rows[i].safety_related && fmea.rows[i].safety_mechanism.empty()) {
-      out.push_back(i);
-    }
+    const bool relevant = weights != nullptr ? (*weights)[i] > 0.0
+                                             : fmea.rows[i].safety_related;
+    if (relevant && fmea.rows[i].safety_mechanism.empty()) out.push_back(i);
   }
   return out;
 }
 
-/// O(choices) SPFM evaluation against the undeployed baseline (the hot inner
-/// loop of every search — no per-candidate allocation, no O(rows) rescan).
+/// O(choices) metric evaluation against the undeployed baseline (the hot
+/// inner loop of every search — no per-candidate allocation, no O(rows)
+/// rescan). Unweighted: the paper's SPFM (Equation 1). Weighted: the
+/// generalised metric 1 − Σ wᵢ·residualᵢ / Σ wᵢ·mode_fitᵢ.
 class SpfmEvaluator {
  public:
   explicit SpfmEvaluator(const FmedaResult& base)
@@ -113,15 +128,34 @@ class SpfmEvaluator {
         denominator_(base.total_safety_related_fit()),
         baseline_residual_(base.single_point_fit()) {}
 
+  SpfmEvaluator(const FmedaResult& base, const std::vector<double>& weights)
+      : base_(base) {
+    check_row_weights(base, weights);
+    if (weights.empty()) {
+      denominator_ = base.total_safety_related_fit();
+      baseline_residual_ = base.single_point_fit();
+      return;
+    }
+    weights_ = &weights;
+    for (size_t i = 0; i < base.rows.size(); ++i) {
+      denominator_ += weights[i] * base.rows[i].mode_fit();
+      baseline_residual_ +=
+          weights[i] * base.rows[i].mode_fit() * (1.0 - base.rows[i].sm_coverage);
+    }
+  }
+
   [[nodiscard]] double denominator() const noexcept { return denominator_; }
   [[nodiscard]] double baseline_residual() const noexcept { return baseline_residual_; }
+  [[nodiscard]] double weight(size_t row_index) const noexcept {
+    return weights_ != nullptr ? (*weights_)[row_index] : 1.0;
+  }
 
-  /// Residual single-point FIT of one row under `sm` (nullptr = keep the
+  /// Residual (weighted) FIT of one row under `sm` (nullptr = keep the
   /// row's own coverage).
   [[nodiscard]] double row_residual(size_t row_index, const SafetyMechanismSpec* sm) const {
     const FmedaRow& row = base_.rows[row_index];
     const double cov = sm != nullptr ? sm->coverage : row.sm_coverage;
-    return row.mode_fit() * (1.0 - cov);
+    return weight(row_index) * row.mode_fit() * (1.0 - cov);
   }
 
   [[nodiscard]] double spfm_of_residual(double residual) const noexcept {
@@ -134,7 +168,10 @@ class SpfmEvaluator {
   [[nodiscard]] double spfm(const Deployment& d) const {
     double residual = baseline_residual_;
     for (const auto& choice : d.choices) {
-      if (!base_.rows[choice.row_index].safety_related) continue;
+      if (weights_ != nullptr ? (*weights_)[choice.row_index] == 0.0
+                              : !base_.rows[choice.row_index].safety_related) {
+        continue;
+      }
       residual += row_residual(choice.row_index, choice.mechanism) -
                   row_residual(choice.row_index, nullptr);
     }
@@ -149,8 +186,9 @@ class SpfmEvaluator {
 
  private:
   const FmedaResult& base_;
-  double denominator_;
-  double baseline_residual_;
+  const std::vector<double>* weights_ = nullptr;  ///< nullptr = unweighted
+  double denominator_ = 0.0;
+  double baseline_residual_ = 0.0;
 };
 
 /// Tolerance grid for tie/dominance comparisons: values snap to kTieRel of
@@ -185,13 +223,14 @@ struct RowOption {
 /// prefer "none", then catalogue order.
 std::vector<RowOption> row_option_front(const FmedaResult& fmea,
                                         const SafetyMechanismModel& catalogue,
-                                        size_t row_index, const Quantizer& q) {
+                                        size_t row_index, const Quantizer& q,
+                                        double weight = 1.0) {
   const FmedaRow& row = fmea.rows[row_index];
   std::vector<RowOption> options;
-  options.push_back({nullptr, 0.0, row.mode_fit() * (1.0 - row.sm_coverage), 0});
+  options.push_back({nullptr, 0.0, weight * row.mode_fit() * (1.0 - row.sm_coverage), 0});
   for (const SafetyMechanismSpec* sm :
        catalogue.applicable(row.component_type, row.failure_mode)) {
-    options.push_back({sm, sm->cost_hours, row.mode_fit() * (1.0 - sm->coverage), 1});
+    options.push_back({sm, sm->cost_hours, weight * row.mode_fit() * (1.0 - sm->coverage), 1});
   }
   std::stable_sort(options.begin(), options.end(), [&](const RowOption& a, const RowOption& b) {
     if (q.qcost(a.cost) != q.qcost(b.cost)) return q.qcost(a.cost) < q.qcost(b.cost);
@@ -389,8 +428,10 @@ std::vector<Deployment> pareto_front(const FmedaResult& fmea,
   SearchMetrics& metrics = SearchMetrics::get();
   obs::Span span("sm_search.pareto", &metrics.pareto_seconds);
 
-  const SpfmEvaluator eval(fmea);
-  const std::vector<size_t> rows = open_rows(fmea);
+  const SpfmEvaluator eval(fmea, options.row_weights);
+  const std::vector<double>* weights =
+      options.row_weights.empty() ? nullptr : &options.row_weights;
+  const std::vector<size_t> rows = open_rows(fmea, weights);
   const Quantizer q(max_total_cost(fmea, catalogue, rows), eval.baseline_residual());
 
   std::vector<Deployment> front;
@@ -405,7 +446,7 @@ std::vector<Deployment> pareto_front(const FmedaResult& fmea,
   std::vector<std::vector<RowOption>> row_options;
   row_options.reserve(rows.size());
   for (const size_t index : rows) {
-    row_options.push_back(row_option_front(fmea, catalogue, index, q));
+    row_options.push_back(row_option_front(fmea, catalogue, index, q, eval.weight(index)));
   }
 
   const double epsilon_box =
@@ -455,9 +496,11 @@ std::vector<Deployment> pareto_front(const FmedaResult& fmea,
 
 std::vector<Deployment> pareto_front_exhaustive(const FmedaResult& fmea,
                                                 const SafetyMechanismModel& catalogue,
-                                                size_t max_combinations) {
-  const SpfmEvaluator eval(fmea);
-  const std::vector<size_t> rows = open_rows(fmea);
+                                                size_t max_combinations,
+                                                const std::vector<double>& row_weights) {
+  const SpfmEvaluator eval(fmea, row_weights);
+  const std::vector<size_t> rows =
+      open_rows(fmea, row_weights.empty() ? nullptr : &row_weights);
   const Quantizer q(max_total_cost(fmea, catalogue, rows), eval.baseline_residual());
 
   // Options per row: index 0 = "no mechanism", then each applicable entry.
@@ -751,9 +794,11 @@ std::optional<Deployment> optimal_reach_asil(const FmedaResult& fmea,
   return incumbent;
 }
 
-CsvTable front_to_csv(const FmedaResult& fmea, const std::vector<Deployment>& front) {
+CsvTable front_to_csv(const FmedaResult& fmea, const std::vector<Deployment>& front,
+                      ParetoMetric metric) {
   CsvTable table;
-  table.header = {"Cost(hrs)", "SPFM", "ASIL", "Choices", "Deployment"};
+  const bool lfm = metric == ParetoMetric::Lfm;
+  table.header = {"Cost(hrs)", lfm ? "LFM" : "SPFM", "ASIL", "Choices", "Deployment"};
   for (const Deployment& d : front) {
     std::vector<std::string> parts;
     parts.reserve(d.choices.size());
@@ -762,8 +807,8 @@ CsvTable front_to_csv(const FmedaResult& fmea, const std::vector<Deployment>& fr
       parts.push_back(row.component + "/" + row.failure_mode + "=" + choice.mechanism->name);
     }
     table.rows.push_back({format_number(d.total_cost_hours, 2), format_percent(d.spfm, 4),
-                          achieved_asil(d.spfm), std::to_string(d.choices.size()),
-                          join(parts, "; ")});
+                          lfm ? achieved_asil_lfm(d.spfm) : achieved_asil(d.spfm),
+                          std::to_string(d.choices.size()), join(parts, "; ")});
   }
   return table;
 }

@@ -335,47 +335,57 @@ SyntheticSystem make_system_b() {
   return out;
 }
 
-SyntheticSystem make_scaled_architecture(size_t composites, size_t leaves) {
+SyntheticSystem make_scaled_architecture(size_t composites, size_t leaves, size_t width) {
   SyntheticSystem out;
   out.model = std::make_unique<SsamModel>();
   SsamModel& m = *out.model;
+  if (width == 0) width = 1;
 
   const ObjectId pkg = m.create_component_package("scaled-design");
   out.system = m.create_component(pkg, "System");
   const ObjectId sys_in = m.add_io_node(out.system, "System.in", "in");
   const ObjectId sys_out = m.add_io_node(out.system, "System.out", "out");
 
-  ObjectId previous = sys_in;
+  // width == 1: the original serial chain (names unchanged). width > 1: each
+  // stage holds `width` parallel redundant units, densely wired to the next
+  // stage, so every stage is an order-`width` minimal cut.
+  std::vector<ObjectId> previous{sys_in};
   for (size_t c = 0; c < composites; ++c) {
-    const std::string name = "Unit" + std::to_string(c);
-    const ObjectId unit = m.create_component(out.system, name);
-    m.obj(unit).set_real("fit", 20.0 + static_cast<double>(c % 7));
-    m.obj(unit).set_string("blockType", "Subsystem");
-    const ObjectId in = m.add_io_node(unit, name + ".in", "in");
-    const ObjectId unit_out = m.add_io_node(unit, name + ".out", "out");
-    m.add_failure_mode(unit, "Open", 0.4, "lossOfFunction");
-    m.connect(out.system, previous, in);
-    previous = unit_out;
+    std::vector<ObjectId> stage_outputs;
+    for (size_t k = 0; k < width; ++k) {
+      const std::string name = width == 1
+                                   ? "Unit" + std::to_string(c)
+                                   : "Unit" + std::to_string(c) + "_" + std::to_string(k);
+      const ObjectId unit = m.create_component(out.system, name);
+      m.obj(unit).set_real("fit", 20.0 + static_cast<double>(c % 7));
+      m.obj(unit).set_string("blockType", "Subsystem");
+      const ObjectId in = m.add_io_node(unit, name + ".in", "in");
+      const ObjectId unit_out = m.add_io_node(unit, name + ".out", "out");
+      m.add_failure_mode(unit, "Open", 0.4, "lossOfFunction");
+      for (const ObjectId from : previous) m.connect(out.system, from, in);
+      stage_outputs.push_back(unit_out);
 
-    ObjectId inner_previous = in;
-    for (size_t l = 0; l < leaves; ++l) {
-      const std::string leaf_name = name + ".Leaf" + std::to_string(l);
-      const ObjectId leaf = m.create_component(unit, leaf_name);
-      m.obj(leaf).set_real("fit", 5.0 + static_cast<double>(l % 11));
-      m.obj(leaf).set_string("blockType", l % 3 == 0 ? "Sensor" : "Resistor");
-      const ObjectId leaf_in = m.add_io_node(leaf, leaf_name + ".in", "in");
-      const ObjectId leaf_out = m.add_io_node(leaf, leaf_name + ".out", "out");
-      const ObjectId open = m.add_failure_mode(leaf, "Open", 0.6, "lossOfFunction");
-      m.add_failure_mode(leaf, "Short", 0.4, "erroneous");
-      if (l % 4 == 0) {
-        m.add_safety_mechanism(leaf, "Monitor-" + leaf_name, 0.9, 1.0, open);
+      ObjectId inner_previous = in;
+      for (size_t l = 0; l < leaves; ++l) {
+        const std::string leaf_name = name + ".Leaf" + std::to_string(l);
+        const ObjectId leaf = m.create_component(unit, leaf_name);
+        m.obj(leaf).set_real("fit", 5.0 + static_cast<double>(l % 11));
+        m.obj(leaf).set_string("blockType", l % 3 == 0 ? "Sensor" : "Resistor");
+        const ObjectId leaf_in = m.add_io_node(leaf, leaf_name + ".in", "in");
+        const ObjectId leaf_out = m.add_io_node(leaf, leaf_name + ".out", "out");
+        const ObjectId open = m.add_failure_mode(leaf, "Open", 0.6, "lossOfFunction");
+        m.add_failure_mode(leaf, "Short", 0.4, "erroneous");
+        if (l % 4 == 0) {
+          m.add_safety_mechanism(leaf, "Monitor-" + leaf_name, 0.9, 1.0, open);
+        }
+        m.connect(unit, inner_previous, leaf_in);
+        inner_previous = leaf_out;
       }
-      m.connect(unit, inner_previous, leaf_in);
-      inner_previous = leaf_out;
+      m.connect(unit, inner_previous, unit_out);
     }
-    m.connect(unit, inner_previous, unit_out);
+    previous = std::move(stage_outputs);
   }
-  m.connect(out.system, previous, sys_out);
+  for (const ObjectId from : previous) m.connect(out.system, from, sys_out);
 
   out.element_count = m.size();
   return out;

@@ -1,0 +1,92 @@
+// ISO 26262 latent/multi-point fault classification (the LFM sibling of the
+// FMEDA's SPFM), driven by the FTA minimal cut sets.
+//
+// The graph FMEA answers "is this loss mode a single-point fault?"; the cut
+// sets answer the next question — at what order does a loss mode become
+// dangerous in combination? A loss mode of a component whose minimal cut
+// order is ≥ 2 is a multi-point fault: its FIT splits into
+//   detected  — caught by the deployed safety mechanism (mode_fit × DC),
+//   perceived — residual of modes the driver notices (`perceived` attribute
+//               on the FailureMode),
+//   latent    — residual of everything else: present, undetected, waiting
+//               for the second fault.
+// The Latent Fault Metric follows ISO 26262-5:
+//   LFM = 1 − λ_latent / (λ_relevant − λ_SPF,residual)
+// where λ_relevant sums the loss-mode FIT of every cut-participating
+// component. The denominator is FTA-scoped on purpose: the graph FMEA marks
+// redundant components' loss rows safety_related = false, so the SPFM
+// denominator would miss exactly the rows LFM is about.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "decisive/core/fmeda.hpp"
+#include "decisive/core/fta.hpp"
+#include "decisive/ssam/model.hpp"
+
+namespace decisive::fta {
+
+enum class FaultClass {
+  NotInvolved,         ///< not a loss mode, or not in any minimal cut
+  SinglePoint,         ///< minimal cut order 1 (SPFM territory)
+  MultiPointDetected,  ///< order ≥ 2, fully covered by the deployed SM
+  MultiPointPerceived, ///< order ≥ 2, residual noticed by the driver
+  MultiPointLatent,    ///< order ≥ 2, residual undetected and unperceived
+};
+
+std::string_view to_string(FaultClass cls) noexcept;
+
+/// Per-FMEA-row classification.
+struct LfmRow {
+  size_t row_index = 0;  ///< into FmedaResult::rows
+  FaultClass cls = FaultClass::NotInvolved;
+  size_t min_cut_order = 0;  ///< 0 = component absent from every cut
+  double detected_fit = 0.0;
+  double perceived_fit = 0.0;
+  double latent_fit = 0.0;
+};
+
+struct LfmResult {
+  std::vector<LfmRow> rows;  ///< one per FMEA row, same order
+  double single_point_residual_fit = 0.0;  ///< λ_SPF,residual over order-1 rows
+  double multi_point_fit = 0.0;            ///< Σ mode_fit over order ≥ 2 rows
+  double detected_fit = 0.0;
+  double perceived_fit = 0.0;
+  double latent_fit = 0.0;
+  double denominator_fit = 0.0;  ///< λ_relevant − λ_SPF,residual
+
+  /// True when at least one loss mode sits in an order ≥ 2 minimal cut.
+  [[nodiscard]] bool has_multi_point() const;
+
+  /// The Latent Fault Metric. Convention: 1.0 when there are no multi-point
+  /// faults or the denominator is empty — check has_multi_point() before
+  /// presenting it as an achievement (asil_label() does).
+  [[nodiscard]] double lfm() const;
+
+  /// achieved_asil_lfm(lfm()) when multi-point faults exist,
+  /// "no multi-point faults" otherwise.
+  [[nodiscard]] std::string asil_label() const;
+
+  /// Human-readable classification summary.
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// Classifies every FMEA row against the tree's minimal cut sets. Rows match
+/// cut members by component identity (`FmedaRow::component_id`); the failure
+/// mode's nature and `perceived` attribute are read back from the model.
+LfmResult classify_latent(const ssam::SsamModel& ssam, const core::FaultTree& tree,
+                          const core::FmedaResult& fmea);
+
+/// Writes the LFM onto the FMEDA (`FmedaResult::latent_fault_metric`), so
+/// downstream consumers render SPFM and LFM side by side.
+void apply_lfm(core::FmedaResult& fmea, const LfmResult& lfm);
+
+/// Per-row weights for the PR-5 Pareto engine (`ParetoOptions::row_weights`):
+/// 1.0 on multi-point loss rows, 0.0 elsewhere. The weighted objective then
+/// maximises the detected fraction of multi-point FIT — a conservative lower
+/// bound on the LFM (perceived residuals count against it).
+std::vector<double> lfm_row_weights(const LfmResult& lfm);
+
+}  // namespace decisive::fta

@@ -1,0 +1,114 @@
+// Zero-suppressed binary decision diagrams (Minato ZBDDs) specialised for
+// minimal-cut-set manipulation. A ZBDD node (var, lo, hi) represents the
+// family of sets lo ∪ {s ∪ {var} : s ∈ hi}; the zero-suppression rule
+// (hi == ∅ ⇒ node ≡ lo) makes sparse set families canonical, so families of
+// cut sets over hundreds of components stay polynomial even when their
+// explicit enumeration is exponential.
+//
+// The arena owns every node; ZbddRef values are indices into it. Two
+// terminals are fixed: kZbddEmpty (the empty family {}) and kZbddUnit (the
+// family containing only the empty set, {∅}). Variables are ordered by
+// their integer id: smaller id = closer to the root. All operations are
+// memoised in the arena, so repeated subproblems — the heart of ZBDD
+// efficiency — cost one hash lookup.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace decisive::fta {
+
+using ZbddRef = uint32_t;
+
+/// Terminal ∅ — the empty family (no set at all).
+inline constexpr ZbddRef kZbddEmpty = 0;
+/// Terminal {∅} — the family holding exactly the empty set.
+inline constexpr ZbddRef kZbddUnit = 1;
+
+class ZbddArena {
+ public:
+  ZbddArena();
+
+  /// Canonical node constructor: applies the zero-suppression rule
+  /// (hi == kZbddEmpty returns lo) and hash-conses through the unique table.
+  ZbddRef node(uint32_t var, ZbddRef lo, ZbddRef hi);
+
+  /// The family {{var}}.
+  ZbddRef single(uint32_t var);
+
+  /// Family union.
+  ZbddRef set_union(ZbddRef a, ZbddRef b);
+
+  /// Cross-product join: {s ∪ t : s ∈ a, t ∈ b}.
+  ZbddRef join(ZbddRef a, ZbddRef b);
+
+  /// Removes from `f` every set that is a superset of (or equal to) some set
+  /// in `g` — Minato's subsumption difference, the workhorse of minimal-cut
+  /// maintenance. Non-strict: a set of `f` also present in `g` is dropped.
+  ZbddRef without_supersets(ZbddRef f, ZbddRef g);
+
+  /// The minimal sets of `f` (no member is a superset of another member).
+  ZbddRef minimal(ZbddRef f);
+
+  /// minimal(a ∪ b) — union of two already-minimal families, re-minimised.
+  ZbddRef min_union(ZbddRef a, ZbddRef b) { return minimal(set_union(a, b)); }
+
+  /// {s \ {var} : s ∈ f, var ∈ s} — the subfamily containing `var`, with
+  /// `var` removed (Minato's "subset1"). Used for exact Fussell–Vesely.
+  ZbddRef subsets_with(ZbddRef f, uint32_t var);
+
+  /// True when ∅ ∈ f (the lo-chain reaches kZbddUnit).
+  [[nodiscard]] bool contains_empty(ZbddRef f) const;
+
+  /// Number of sets in the family, saturating at SIZE_MAX.
+  [[nodiscard]] size_t count(ZbddRef f) const;
+
+  /// Materialises every set of the family (each sorted by variable id).
+  /// Only call on families known to be small — this is exponential by design.
+  [[nodiscard]] std::vector<std::vector<uint32_t>> enumerate(ZbddRef f) const;
+
+  [[nodiscard]] uint32_t var(ZbddRef f) const { return nodes_[f].var; }
+  [[nodiscard]] ZbddRef lo(ZbddRef f) const { return nodes_[f].lo; }
+  [[nodiscard]] ZbddRef hi(ZbddRef f) const { return nodes_[f].hi; }
+  [[nodiscard]] size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    uint32_t var;
+    ZbddRef lo;
+    ZbddRef hi;
+  };
+  struct Key {
+    uint32_t var;
+    ZbddRef lo;
+    ZbddRef hi;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      // FNV-1a over the three fields: cheap and collision-safe in concert
+      // with Key::operator== (the table never trusts the hash alone).
+      uint64_t h = 1469598103934665603ull;
+      for (const uint64_t v : {uint64_t{k.var}, uint64_t{k.lo}, uint64_t{k.hi}}) {
+        h = (h ^ v) * 1099511628211ull;
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+
+  static uint64_t memo_key(ZbddRef a, ZbddRef b) {
+    return (uint64_t{a} << 32) | uint64_t{b};
+  }
+
+  std::vector<Node> nodes_;
+  std::unordered_map<Key, ZbddRef, KeyHash> unique_;
+  std::unordered_map<uint64_t, ZbddRef> union_memo_;
+  std::unordered_map<uint64_t, ZbddRef> join_memo_;
+  std::unordered_map<uint64_t, ZbddRef> without_memo_;
+  std::unordered_map<ZbddRef, ZbddRef> minimal_memo_;
+  std::unordered_map<uint64_t, ZbddRef> subset_memo_;
+};
+
+}  // namespace decisive::fta

@@ -1,0 +1,456 @@
+#include "decisive/fta/engine.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "decisive/fta/zbdd.hpp"
+#include "decisive/obs/log.hpp"
+#include "decisive/obs/registry.hpp"
+#include "decisive/obs/span.hpp"
+#include "decisive/ssam/graph.hpp"
+
+namespace decisive::fta {
+
+namespace {
+
+using ssam::ObjectId;
+using ssam::SsamModel;
+
+struct EngineMetrics {
+  obs::Counter& syntheses;      ///< synthesize_fault_tree_zbdd calls
+  obs::Counter& states;         ///< decomposition states expanded
+  obs::Counter& state_hits;     ///< memoised states reused
+  obs::Counter& truncations;    ///< syntheses clipped by max_order
+  obs::Gauge& zbdd_nodes;       ///< arena size after the last synthesis
+  obs::Gauge& cut_sets;         ///< cut sets in the last synthesised tree
+  obs::Histogram& synth_seconds;
+
+  static EngineMetrics& get() {
+    static EngineMetrics metrics{
+        obs::Registry::global().counter("decisive_fta_syntheses_total"),
+        obs::Registry::global().counter("decisive_fta_states_total"),
+        obs::Registry::global().counter("decisive_fta_state_cache_hits_total"),
+        obs::Registry::global().counter("decisive_fta_truncations_total"),
+        obs::Registry::global().gauge("decisive_fta_zbdd_nodes"),
+        obs::Registry::global().gauge("decisive_fta_cut_sets"),
+        obs::Registry::global().histogram("decisive_fta_synthesize_seconds"),
+    };
+    return metrics;
+  }
+};
+
+/// Flow graph flattened to dense vertex indices: 0 = super-source,
+/// 1 = super-sink, 2 + i = graph.nodes[i]. Component failure removes every
+/// vertex the component owns; boundary vertices have no owner and are
+/// unfailable. The decomposition runs on this *uncontracted* graph (no owner
+/// supervertices), so it is exact on irregular wirings where contraction
+/// could over-connect.
+struct FlowGraph {
+  std::vector<std::vector<int>> fwd;  ///< index-sorted adjacency
+  std::vector<std::vector<int>> bwd;
+  std::vector<int> owner_of;                  ///< component index or -1
+  std::vector<ObjectId> components;           ///< component index → id
+  std::vector<std::vector<int>> comp_vertices;
+  size_t vertex_count = 0;
+};
+
+constexpr int kSource = 0;
+constexpr int kSink = 1;
+
+FlowGraph flatten(const ssam::ComponentGraph& graph) {
+  FlowGraph out;
+  out.vertex_count = graph.nodes.size() + 2;
+  std::map<ObjectId, int> index;
+  for (size_t i = 0; i < graph.nodes.size(); ++i) {
+    index[graph.nodes[i]] = static_cast<int>(i) + 2;
+  }
+  out.fwd.resize(out.vertex_count);
+  out.bwd.resize(out.vertex_count);
+  const auto add_edge = [&](int from, int to) {
+    out.fwd[static_cast<size_t>(from)].push_back(to);
+    out.bwd[static_cast<size_t>(to)].push_back(from);
+  };
+  for (const ObjectId input : graph.inputs) add_edge(kSource, index.at(input));
+  for (const ObjectId output : graph.outputs) add_edge(index.at(output), kSink);
+  for (const auto& [from, tos] : graph.edges) {
+    const auto from_it = index.find(from);
+    if (from_it == index.end()) continue;
+    for (const ObjectId to : tos) {
+      const auto to_it = index.find(to);
+      if (to_it != index.end()) add_edge(from_it->second, to_it->second);
+    }
+  }
+  for (auto& adj : out.fwd) {
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+  }
+  for (auto& adj : out.bwd) {
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+  }
+
+  out.owner_of.assign(out.vertex_count, -1);
+  std::map<ObjectId, int> comp_index;
+  // Deterministic component indexing: by ObjectId (the variable *order* is
+  // assigned separately, from BFS discovery).
+  for (const auto& [node, owner] : graph.owner) {
+    if (!comp_index.contains(owner)) {
+      comp_index[owner] = static_cast<int>(out.components.size());
+      out.components.push_back(owner);
+      out.comp_vertices.emplace_back();
+    }
+  }
+  for (const auto& [node, owner] : graph.owner) {
+    const auto it = index.find(node);
+    if (it == index.end()) continue;
+    const int comp = comp_index.at(owner);
+    out.owner_of[static_cast<size_t>(it->second)] = comp;
+    out.comp_vertices[static_cast<size_t>(comp)].push_back(it->second);
+  }
+  return out;
+}
+
+/// Shannon decomposition of the structure function with memoised states.
+class Decomposer {
+ public:
+  Decomposer(const FlowGraph& graph, size_t max_order)
+      : graph_(graph), ncomps_(graph.components.size()) {
+    // A cut only ever fails free live components, so any budget covering the
+    // whole component set behaves as unbounded; clamping keeps equivalent
+    // budgets on one memo key.
+    budget0_ = max_order == 0 ? ncomps_ : std::min(max_order, ncomps_);
+    order_of_.assign(ncomps_, -1);
+  }
+
+  ZbddRef run(ZbddArena& arena) {
+    std::vector<char> removed(graph_.vertex_count, 0);
+    assign_variable_order(removed);
+    std::vector<char> perfect(ncomps_, 0);
+    return decompose(arena, removed, perfect, budget0_);
+  }
+
+  [[nodiscard]] bool truncated() const { return truncated_; }
+  /// Component index for a ZBDD variable (inverse of the BFS order).
+  [[nodiscard]] int component_of_var(uint32_t var) const {
+    return comp_of_order_[var];
+  }
+
+ private:
+  /// Forward BFS from `start` over vertices passing `admit`; fills `seen`.
+  template <typename Admit>
+  void bfs(int start, const std::vector<std::vector<int>>& adj, Admit admit,
+           std::vector<char>& seen) const {
+    if (!admit(start)) return;
+    seen[static_cast<size_t>(start)] = 1;
+    std::vector<int> queue{start};
+    for (size_t head = 0; head < queue.size(); ++head) {
+      for (const int next : adj[static_cast<size_t>(queue[head])]) {
+        if (seen[static_cast<size_t>(next)] || !admit(next)) continue;
+        seen[static_cast<size_t>(next)] = 1;
+        queue.push_back(next);
+      }
+    }
+  }
+
+  /// Variable order = component discovery order of a BFS from the source
+  /// over the initial live subgraph (index-sorted adjacency ⇒ deterministic).
+  /// Branching always picks the minimum free variable, and both sub-states
+  /// only shrink the free set, so every ZBDD node respects this order.
+  void assign_variable_order(const std::vector<char>& removed) {
+    std::vector<char> live;
+    const bool connected = live_vertices(removed, live);
+    int next = 0;
+    if (connected) {
+      std::vector<char> seen(graph_.vertex_count, 0);
+      std::vector<int> queue{kSource};
+      seen[kSource] = 1;
+      for (size_t head = 0; head < queue.size(); ++head) {
+        const int v = queue[head];
+        const int owner = graph_.owner_of[static_cast<size_t>(v)];
+        if (owner >= 0 && order_of_[static_cast<size_t>(owner)] < 0) {
+          order_of_[static_cast<size_t>(owner)] = next++;
+        }
+        for (const int to : graph_.fwd[static_cast<size_t>(v)]) {
+          if (!seen[static_cast<size_t>(to)] && live[static_cast<size_t>(to)]) {
+            seen[static_cast<size_t>(to)] = 1;
+            queue.push_back(to);
+          }
+        }
+      }
+    }
+    // Components outside the live subgraph never appear in a cut set; give
+    // them trailing order ids so the mapping stays total.
+    for (size_t c = 0; c < ncomps_; ++c) {
+      if (order_of_[c] < 0) order_of_[c] = next++;
+    }
+    comp_of_order_.assign(ncomps_, -1);
+    for (size_t c = 0; c < ncomps_; ++c) {
+      comp_of_order_[static_cast<size_t>(order_of_[c])] = static_cast<int>(c);
+    }
+  }
+
+  /// Live = reachable from the source ∧ co-reachable to the sink over
+  /// non-removed vertices. Returns false when source and sink are already
+  /// disconnected (live is then all-zero).
+  bool live_vertices(const std::vector<char>& removed, std::vector<char>& live) const {
+    const auto admit = [&](int v) { return !removed[static_cast<size_t>(v)]; };
+    std::vector<char> fwd(graph_.vertex_count, 0);
+    bfs(kSource, graph_.fwd, admit, fwd);
+    if (!fwd[kSink]) {
+      live.assign(graph_.vertex_count, 0);
+      return false;
+    }
+    std::vector<char> bwd(graph_.vertex_count, 0);
+    bfs(kSink, graph_.bwd, admit, bwd);
+    live.resize(graph_.vertex_count);
+    for (size_t v = 0; v < graph_.vertex_count; ++v) {
+      live[v] = static_cast<char>(fwd[v] && bwd[v]);
+    }
+    return true;
+  }
+
+  /// True when a source→sink path survives through unfailable (boundary) and
+  /// perfect-component vertices only — no remaining failure combination can
+  /// sever it, so the residual cut family is empty.
+  bool permanently_connected(const std::vector<char>& live,
+                             const std::vector<char>& perfect) const {
+    const auto admit = [&](int v) {
+      if (!live[static_cast<size_t>(v)]) return false;
+      const int owner = graph_.owner_of[static_cast<size_t>(v)];
+      return owner < 0 || perfect[static_cast<size_t>(owner)] != 0;
+    };
+    std::vector<char> seen(graph_.vertex_count, 0);
+    bfs(kSource, graph_.fwd, admit, seen);
+    return seen[kSink] != 0;
+  }
+
+  /// Canonical memo signature of the residual subproblem. The raw
+  /// (live, perfect) bitmaps over-distinguish: on a redundant lattice every
+  /// already-decided stage configuration with at least one perfect unit
+  /// leaves the *same* residual function, but a different bitmap — an
+  /// exponential memo. The residual function over the free (live, not yet
+  /// perfect) components is fully determined by reachability between free
+  /// vertices through the non-free live region: any surviving path is an
+  /// alternation of free vertices and unfailable (boundary/perfect) segments,
+  /// and only the free vertices can ever be removed below this state. So the
+  /// key contracts the unfailable region away:
+  ///   effective budget ∥ free-vertex ids ∥ per-row reachability bitsets
+  /// with one row for the super-source and one per free vertex (bits: each
+  /// free vertex + the sink). Equal keys ⇒ identical residual families, and
+  /// decided stages collapse regardless of which unit survived.
+  std::string state_key(const std::vector<char>& live, const std::vector<char>& perfect,
+                        size_t budget) const {
+    std::vector<int> free_vertices;
+    std::vector<int> local_of(graph_.vertex_count, -1);
+    std::vector<char> comp_free(ncomps_, 0);
+    for (size_t v = 0; v < graph_.vertex_count; ++v) {
+      const int owner = graph_.owner_of[v];
+      if (!live[v] || owner < 0 || perfect[static_cast<size_t>(owner)]) continue;
+      local_of[v] = static_cast<int>(free_vertices.size());
+      free_vertices.push_back(static_cast<int>(v));
+      comp_free[static_cast<size_t>(owner)] = 1;
+    }
+    // Budgets at or above the free-component count can never bind below this
+    // state; collapse them to one sentinel so unbounded runs don't fragment
+    // the memo by depth.
+    size_t free_count = 0;
+    for (size_t c = 0; c < ncomps_; ++c) free_count += comp_free[c] != 0;
+    const size_t effective = budget >= free_count ? size_t{0xFFFF} : budget;
+
+    const size_t bits_per_row = free_vertices.size() + 1;  // + sink bit
+    const size_t bytes_per_row = (bits_per_row + 7) / 8;
+    std::string key;
+    key.reserve(2 + 2 * free_vertices.size() + (free_vertices.size() + 1) * bytes_per_row);
+    key.push_back(static_cast<char>(effective & 0xFF));
+    key.push_back(static_cast<char>((effective >> 8) & 0xFF));
+    for (const int v : free_vertices) {
+      key.push_back(static_cast<char>(v & 0xFF));
+      key.push_back(static_cast<char>((v >> 8) & 0xFF));
+    }
+
+    // Row of `start`: which free vertices / the sink it reaches through
+    // non-free live vertices only (free vertices are hit but not crossed).
+    std::vector<char> row(bits_per_row);
+    std::vector<char> seen(graph_.vertex_count);
+    std::vector<int> queue;
+    const auto append_row = [&](int start) {
+      std::fill(row.begin(), row.end(), 0);
+      std::fill(seen.begin(), seen.end(), 0);
+      queue.assign(1, start);
+      seen[static_cast<size_t>(start)] = 1;
+      for (size_t head = 0; head < queue.size(); ++head) {
+        for (const int to : graph_.fwd[static_cast<size_t>(queue[head])]) {
+          if (seen[static_cast<size_t>(to)] || !live[static_cast<size_t>(to)]) continue;
+          seen[static_cast<size_t>(to)] = 1;
+          if (to == kSink) {
+            row[free_vertices.size()] = 1;
+          } else if (local_of[static_cast<size_t>(to)] >= 0) {
+            row[static_cast<size_t>(local_of[static_cast<size_t>(to)])] = 1;
+          } else {
+            queue.push_back(to);
+          }
+        }
+      }
+      unsigned char byte = 0;
+      for (size_t i = 0; i < bits_per_row; ++i) {
+        byte = static_cast<unsigned char>((byte << 1) | (row[i] ? 1u : 0u));
+        if ((i & 7u) == 7u) {
+          key.push_back(static_cast<char>(byte));
+          byte = 0;
+        }
+      }
+      if ((bits_per_row & 7u) != 0) key.push_back(static_cast<char>(byte));
+    };
+    append_row(kSource);
+    for (const int v : free_vertices) append_row(v);
+    return key;
+  }
+
+  ZbddRef decompose(ZbddArena& arena, const std::vector<char>& removed,
+                    const std::vector<char>& perfect, size_t budget) {
+    std::vector<char> live;
+    if (!live_vertices(removed, live)) return kZbddUnit;  // already severed
+    if (permanently_connected(live, perfect)) return kZbddEmpty;
+    // From here on: not severed, and every surviving path crosses at least
+    // one free component, so cuts DO exist in the unbounded semantics.
+    if (budget == 0) {
+      truncated_ = true;  // the order bound clipped a non-empty sub-family
+      return kZbddEmpty;
+    }
+
+    const std::string key = state_key(live, perfect, budget);
+    if (const auto it = memo_.find(key); it != memo_.end()) {
+      EngineMetrics::get().state_hits.add();
+      return it->second;
+    }
+    EngineMetrics::get().states.add();
+
+    // Branch on the free live component with the smallest variable order.
+    int branch = -1;
+    for (size_t v = 0; v < graph_.vertex_count; ++v) {
+      const int owner = graph_.owner_of[v];
+      if (!live[v] || owner < 0 || perfect[static_cast<size_t>(owner)]) continue;
+      if (branch < 0 || order_of_[static_cast<size_t>(owner)] <
+                            order_of_[static_cast<size_t>(branch)]) {
+        branch = owner;
+      }
+    }
+    // Unreachable: a live path with no free component would have been caught
+    // by permanently_connected above.
+    if (branch < 0) return kZbddEmpty;
+
+    std::vector<char> perfect_lo = perfect;
+    perfect_lo[static_cast<size_t>(branch)] = 1;
+    const ZbddRef lo = decompose(arena, removed, perfect_lo, budget);
+
+    std::vector<char> removed_hi = removed;
+    for (const int v : graph_.comp_vertices[static_cast<size_t>(branch)]) {
+      removed_hi[static_cast<size_t>(v)] = 1;
+    }
+    const ZbddRef hi_raw = decompose(arena, removed_hi, perfect, budget - 1);
+    // A cut through `branch` is only minimal if it is not a superset of a
+    // cut that leaves `branch` healthy.
+    const ZbddRef hi = arena.without_supersets(hi_raw, lo);
+
+    const ZbddRef result =
+        arena.node(static_cast<uint32_t>(order_of_[static_cast<size_t>(branch)]), lo, hi);
+    memo_.emplace(key, result);
+    return result;
+  }
+
+  const FlowGraph& graph_;
+  size_t ncomps_;
+  size_t budget0_ = 0;
+  bool truncated_ = false;
+  std::vector<int> order_of_;       ///< component index → ZBDD variable
+  std::vector<int> comp_of_order_;  ///< ZBDD variable → component index
+  std::unordered_map<std::string, ZbddRef> memo_;
+};
+
+}  // namespace
+
+core::FaultTree synthesize_fault_tree_zbdd(const SsamModel& ssam, ObjectId component,
+                                           const ZbddFtaOptions& options) {
+  EngineMetrics& metrics = EngineMetrics::get();
+  obs::Span span("fta.synthesize", &metrics.synth_seconds);
+  metrics.syntheses.add();
+
+  const ssam::ComponentGraph raw = ssam::build_graph(ssam, component);
+  const FlowGraph graph = flatten(raw);
+
+  ZbddArena arena;
+  Decomposer decomposer(graph, options.max_order);
+  const ZbddRef root = decomposer.run(arena);
+  metrics.zbdd_nodes.set(static_cast<double>(arena.node_count()));
+
+  // Materialise the (minimal, typically small) family and render the same
+  // FaultTree shape the oracle produces: one OR child per cut, AND gates for
+  // multi-member cuts, shared basic events.
+  std::vector<std::vector<ObjectId>> cuts;
+  for (const auto& vars : arena.enumerate(root)) {
+    std::vector<ObjectId> members;
+    members.reserve(vars.size());
+    for (const uint32_t var : vars) {
+      members.push_back(graph.components[static_cast<size_t>(decomposer.component_of_var(var))]);
+    }
+    std::sort(members.begin(), members.end());
+    cuts.push_back(std::move(members));
+  }
+  std::sort(cuts.begin(), cuts.end(),
+            [](const std::vector<ObjectId>& a, const std::vector<ObjectId>& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              return a < b;
+            });
+  metrics.cut_sets.set(static_cast<double>(cuts.size()));
+
+  core::FaultTree tree;
+  tree.truncated = decomposer.truncated();
+  if (tree.truncated) {
+    metrics.truncations.add();
+    obs::log(obs::LogLevel::Warn,
+             "fta: max_order=" + std::to_string(options.max_order) +
+                 " clipped the ZBDD synthesis; minimal cut sets above the bound may exist");
+  }
+  const std::string name = ssam.obj(component).get_string("name");
+  tree.top_event = "loss of function of '" + name + "'";
+  core::FaultTreeNode top;
+  top.kind = core::GateKind::Or;
+  top.label = tree.top_event;
+  tree.nodes.push_back(top);
+
+  std::map<ObjectId, size_t> basic_index;
+  const auto basic_for = [&](ObjectId comp) {
+    const auto it = basic_index.find(comp);
+    if (it != basic_index.end()) return it->second;
+    core::FaultTreeNode basic;
+    basic.kind = core::GateKind::Basic;
+    basic.component = comp;
+    basic.label = "loss of '" + ssam.obj(comp).get_string("name") + "'";
+    basic.failure_rate = core::loss_failure_rate(ssam, comp);
+    tree.nodes.push_back(basic);
+    const size_t index = tree.nodes.size() - 1;
+    basic_index[comp] = index;
+    return index;
+  };
+
+  for (const auto& cut : cuts) {
+    tree.cut_sets.push_back(cut);
+    if (cut.size() == 1) {
+      const size_t basic = basic_for(cut[0]);
+      tree.nodes[0].children.push_back(basic);
+    } else {
+      core::FaultTreeNode gate;
+      gate.kind = core::GateKind::And;
+      gate.label = "joint loss of " + std::to_string(cut.size()) + " redundant components";
+      for (const ObjectId member : cut) gate.children.push_back(basic_for(member));
+      tree.nodes.push_back(std::move(gate));
+      tree.nodes[0].children.push_back(tree.nodes.size() - 1);
+    }
+  }
+  return tree;
+}
+
+}  // namespace decisive::fta

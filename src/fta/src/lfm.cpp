@@ -1,0 +1,129 @@
+#include "decisive/fta/lfm.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "decisive/base/strings.hpp"
+
+namespace decisive::fta {
+
+namespace {
+
+using ssam::ObjectId;
+
+/// Nature of `row`'s failure mode, resolved from the model (FmedaRow does
+/// not carry the nature): the component's failure mode matching the row's
+/// mode name. Returns kNullObject when the row has no model identity or the
+/// mode is gone (e.g. renamed since the analysis).
+ObjectId failure_mode_of(const ssam::SsamModel& ssam, const core::FmedaRow& row) {
+  if (row.component_id == model::kNullObject) return model::kNullObject;
+  for (const ObjectId fm : ssam.obj(row.component_id).refs("failureModes")) {
+    if (ssam.obj(fm).get_string("name") == row.failure_mode) return fm;
+  }
+  return model::kNullObject;
+}
+
+}  // namespace
+
+std::string_view to_string(FaultClass cls) noexcept {
+  switch (cls) {
+    case FaultClass::NotInvolved: return "not involved";
+    case FaultClass::SinglePoint: return "single point";
+    case FaultClass::MultiPointDetected: return "multi-point detected";
+    case FaultClass::MultiPointPerceived: return "multi-point perceived";
+    case FaultClass::MultiPointLatent: return "multi-point latent";
+  }
+  return "?";
+}
+
+bool LfmResult::has_multi_point() const {
+  return std::any_of(rows.begin(), rows.end(),
+                     [](const LfmRow& row) { return row.min_cut_order >= 2; });
+}
+
+double LfmResult::lfm() const {
+  if (!has_multi_point() || denominator_fit <= 0.0) return 1.0;
+  return 1.0 - latent_fit / denominator_fit;
+}
+
+std::string LfmResult::asil_label() const {
+  if (!has_multi_point()) return "no multi-point faults";
+  return core::achieved_asil_lfm(lfm());
+}
+
+std::string LfmResult::to_text() const {
+  std::string out;
+  out += "multi-point FIT: " + format_number(multi_point_fit, 3);
+  out += " (detected " + format_number(detected_fit, 3);
+  out += ", perceived " + format_number(perceived_fit, 3);
+  out += ", latent " + format_number(latent_fit, 3) + ")\n";
+  out += "LFM = " + format_number(lfm() * 100.0, 2) + "% (" + asil_label() + ")\n";
+  return out;
+}
+
+LfmResult classify_latent(const ssam::SsamModel& ssam, const core::FaultTree& tree,
+                          const core::FmedaResult& fmea) {
+  // Minimal cut order per cut-participating component.
+  std::map<std::uint64_t, size_t> min_order;
+  for (const auto& cut : tree.cut_sets) {
+    for (const ObjectId member : cut) {
+      auto [it, inserted] = min_order.try_emplace(member, cut.size());
+      if (!inserted) it->second = std::min(it->second, cut.size());
+    }
+  }
+
+  LfmResult out;
+  double relevant_fit = 0.0;
+  for (size_t i = 0; i < fmea.rows.size(); ++i) {
+    const core::FmedaRow& fmea_row = fmea.rows[i];
+    LfmRow row;
+    row.row_index = i;
+
+    const auto order_it = min_order.find(fmea_row.component_id);
+    const ObjectId fm = failure_mode_of(ssam, fmea_row);
+    const bool loss_mode =
+        fm != model::kNullObject &&
+        core::is_loss_failure_nature(ssam.obj(fm).get_string("nature"));
+    if (order_it == min_order.end() || !loss_mode) {
+      out.rows.push_back(row);  // NotInvolved
+      continue;
+    }
+    row.min_cut_order = order_it->second;
+    relevant_fit += fmea_row.mode_fit();
+
+    const double residual = fmea_row.mode_fit() * (1.0 - fmea_row.sm_coverage);
+    if (row.min_cut_order == 1) {
+      // SPFM territory: its residual leaves the LFM denominator.
+      row.cls = FaultClass::SinglePoint;
+      out.single_point_residual_fit += residual;
+    } else {
+      row.detected_fit = fmea_row.mode_fit() * fmea_row.sm_coverage;
+      const bool perceived = ssam.obj(fm).get_bool("perceived");
+      (perceived ? row.perceived_fit : row.latent_fit) = residual;
+      row.cls = row.latent_fit > 0.0    ? FaultClass::MultiPointLatent
+                : row.perceived_fit > 0.0 ? FaultClass::MultiPointPerceived
+                                          : FaultClass::MultiPointDetected;
+      out.multi_point_fit += fmea_row.mode_fit();
+      out.detected_fit += row.detected_fit;
+      out.perceived_fit += row.perceived_fit;
+      out.latent_fit += row.latent_fit;
+    }
+    out.rows.push_back(row);
+  }
+  out.denominator_fit = relevant_fit - out.single_point_residual_fit;
+  return out;
+}
+
+void apply_lfm(core::FmedaResult& fmea, const LfmResult& lfm) {
+  fmea.latent_fault_metric = lfm.lfm();
+}
+
+std::vector<double> lfm_row_weights(const LfmResult& lfm) {
+  std::vector<double> weights(lfm.rows.size(), 0.0);
+  for (const LfmRow& row : lfm.rows) {
+    if (row.min_cut_order >= 2) weights[row.row_index] = 1.0;
+  }
+  return weights;
+}
+
+}  // namespace decisive::fta

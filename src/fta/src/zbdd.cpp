@@ -1,0 +1,203 @@
+#include "decisive/fta/zbdd.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace decisive::fta {
+
+namespace {
+// Terminals sort after every real variable so the min-var recursion rules
+// treat them uniformly.
+constexpr uint32_t kTerminalVar = std::numeric_limits<uint32_t>::max();
+}  // namespace
+
+ZbddArena::ZbddArena() {
+  nodes_.push_back({kTerminalVar, kZbddEmpty, kZbddEmpty});  // kZbddEmpty
+  nodes_.push_back({kTerminalVar, kZbddUnit, kZbddUnit});    // kZbddUnit
+}
+
+ZbddRef ZbddArena::node(uint32_t var, ZbddRef lo, ZbddRef hi) {
+  if (hi == kZbddEmpty) return lo;  // zero-suppression rule
+  const Key key{var, lo, hi};
+  const auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  nodes_.push_back({var, lo, hi});
+  const auto ref = static_cast<ZbddRef>(nodes_.size() - 1);
+  unique_.emplace(key, ref);
+  return ref;
+}
+
+ZbddRef ZbddArena::single(uint32_t var) { return node(var, kZbddEmpty, kZbddUnit); }
+
+ZbddRef ZbddArena::set_union(ZbddRef a, ZbddRef b) {
+  if (a == kZbddEmpty) return b;
+  if (b == kZbddEmpty || a == b) return a;
+  if (a > b) std::swap(a, b);  // commutative: canonicalise the memo key
+  const uint64_t key = memo_key(a, b);
+  if (const auto it = union_memo_.find(key); it != union_memo_.end()) return it->second;
+  const uint32_t va = nodes_[a].var;
+  const uint32_t vb = nodes_[b].var;
+  ZbddRef result;
+  if (va < vb) {
+    result = node(va, set_union(nodes_[a].lo, b), nodes_[a].hi);
+  } else if (vb < va) {
+    result = node(vb, set_union(nodes_[b].lo, a), nodes_[b].hi);
+  } else {
+    result = node(va, set_union(nodes_[a].lo, nodes_[b].lo),
+                  set_union(nodes_[a].hi, nodes_[b].hi));
+  }
+  union_memo_.emplace(key, result);
+  return result;
+}
+
+ZbddRef ZbddArena::join(ZbddRef a, ZbddRef b) {
+  if (a == kZbddEmpty || b == kZbddEmpty) return kZbddEmpty;
+  if (a == kZbddUnit) return b;
+  if (b == kZbddUnit) return a;
+  if (a > b) std::swap(a, b);  // commutative
+  const uint64_t key = memo_key(a, b);
+  if (const auto it = join_memo_.find(key); it != join_memo_.end()) return it->second;
+  const uint32_t va = nodes_[a].var;
+  const uint32_t vb = nodes_[b].var;
+  ZbddRef result;
+  if (va < vb) {
+    result = node(va, join(nodes_[a].lo, b), join(nodes_[a].hi, b));
+  } else if (vb < va) {
+    result = node(vb, join(nodes_[b].lo, a), join(nodes_[b].hi, a));
+  } else {
+    // Sets gaining `va` come from any pairing where at least one side
+    // contributed it.
+    const ZbddRef hi = set_union(
+        set_union(join(nodes_[a].hi, nodes_[b].hi), join(nodes_[a].hi, nodes_[b].lo)),
+        join(nodes_[a].lo, nodes_[b].hi));
+    result = node(va, join(nodes_[a].lo, nodes_[b].lo), hi);
+  }
+  join_memo_.emplace(key, result);
+  return result;
+}
+
+ZbddRef ZbddArena::without_supersets(ZbddRef f, ZbddRef g) {
+  if (g == kZbddEmpty) return f;
+  if (f == kZbddEmpty) return kZbddEmpty;
+  if (g == kZbddUnit) return kZbddEmpty;  // ∅ subsumes every set
+  if (f == kZbddUnit) return contains_empty(g) ? kZbddEmpty : kZbddUnit;
+  const uint64_t key = memo_key(f, g);
+  if (const auto it = without_memo_.find(key); it != without_memo_.end()) return it->second;
+  const uint32_t vf = nodes_[f].var;
+  const uint32_t vg = nodes_[g].var;
+  ZbddRef result;
+  if (vg < vf) {
+    // Sets of g containing vg cannot subsume anything in f (f's sets lack vg).
+    result = without_supersets(f, nodes_[g].lo);
+  } else if (vf < vg) {
+    result = node(vf, without_supersets(nodes_[f].lo, g),
+                  without_supersets(nodes_[f].hi, g));
+  } else {
+    // {vf}∪s survives iff no t∈g0 with t⊆s and no {vf}∪u∈g1 with u⊆s.
+    const ZbddRef hi =
+        without_supersets(without_supersets(nodes_[f].hi, nodes_[g].lo), nodes_[g].hi);
+    result = node(vf, without_supersets(nodes_[f].lo, nodes_[g].lo), hi);
+  }
+  without_memo_.emplace(key, result);
+  return result;
+}
+
+ZbddRef ZbddArena::minimal(ZbddRef f) {
+  if (f == kZbddEmpty || f == kZbddUnit) return f;
+  if (const auto it = minimal_memo_.find(f); it != minimal_memo_.end()) return it->second;
+  const uint32_t v = nodes_[f].var;
+  const ZbddRef m0 = minimal(nodes_[f].lo);
+  // A set {v}∪s is minimal iff s is minimal in f1 and no v-free set subsumes it.
+  const ZbddRef m1 = without_supersets(minimal(nodes_[f].hi), m0);
+  const ZbddRef result = node(v, m0, m1);
+  minimal_memo_.emplace(f, result);
+  return result;
+}
+
+ZbddRef ZbddArena::subsets_with(ZbddRef f, uint32_t var) {
+  if (f == kZbddEmpty || f == kZbddUnit) return kZbddEmpty;
+  const uint32_t vf = nodes_[f].var;
+  if (vf > var) return kZbddEmpty;  // var cannot appear below vf
+  if (vf == var) return nodes_[f].hi;
+  const uint64_t key = memo_key(f, var);
+  if (const auto it = subset_memo_.find(key); it != subset_memo_.end()) return it->second;
+  const ZbddRef result =
+      node(vf, subsets_with(nodes_[f].lo, var), subsets_with(nodes_[f].hi, var));
+  subset_memo_.emplace(key, result);
+  return result;
+}
+
+bool ZbddArena::contains_empty(ZbddRef f) const {
+  while (f != kZbddEmpty && f != kZbddUnit) f = nodes_[f].lo;
+  return f == kZbddUnit;
+}
+
+size_t ZbddArena::count(ZbddRef f) const {
+  std::unordered_map<ZbddRef, size_t> memo;
+  const auto saturating_add = [](size_t a, size_t b) {
+    return a > std::numeric_limits<size_t>::max() - b
+               ? std::numeric_limits<size_t>::max()
+               : a + b;
+  };
+  // Iterative post-order to keep deep diagrams off the call stack.
+  std::vector<ZbddRef> stack{f};
+  while (!stack.empty()) {
+    const ZbddRef cur = stack.back();
+    if (cur == kZbddEmpty || cur == kZbddUnit || memo.contains(cur)) {
+      stack.pop_back();
+      continue;
+    }
+    const ZbddRef lo = nodes_[cur].lo;
+    const ZbddRef hi = nodes_[cur].hi;
+    const auto value_of = [&](ZbddRef r) -> const size_t* {
+      if (r == kZbddEmpty) {
+        static constexpr size_t kZero = 0;
+        return &kZero;
+      }
+      if (r == kZbddUnit) {
+        static constexpr size_t kOne = 1;
+        return &kOne;
+      }
+      const auto it = memo.find(r);
+      return it == memo.end() ? nullptr : &it->second;
+    };
+    const size_t* lo_count = value_of(lo);
+    const size_t* hi_count = value_of(hi);
+    if (lo_count != nullptr && hi_count != nullptr) {
+      memo.emplace(cur, saturating_add(*lo_count, *hi_count));
+      stack.pop_back();
+    } else {
+      if (lo_count == nullptr) stack.push_back(lo);
+      if (hi_count == nullptr) stack.push_back(hi);
+    }
+  }
+  if (f == kZbddEmpty) return 0;
+  if (f == kZbddUnit) return 1;
+  return memo.at(f);
+}
+
+namespace {
+
+void enumerate_into(const ZbddArena& arena, ZbddRef f, std::vector<uint32_t>& prefix,
+                    std::vector<std::vector<uint32_t>>& out) {
+  if (f == kZbddEmpty) return;
+  if (f == kZbddUnit) {
+    out.push_back(prefix);
+    return;
+  }
+  enumerate_into(arena, arena.lo(f), prefix, out);
+  prefix.push_back(arena.var(f));
+  enumerate_into(arena, arena.hi(f), prefix, out);
+  prefix.pop_back();
+}
+
+}  // namespace
+
+std::vector<std::vector<uint32_t>> ZbddArena::enumerate(ZbddRef f) const {
+  std::vector<std::vector<uint32_t>> out;
+  std::vector<uint32_t> prefix;
+  enumerate_into(*this, f, prefix, out);
+  return out;
+}
+
+}  // namespace decisive::fta

@@ -1,6 +1,8 @@
 #include "decisive/session/service.hpp"
 
+#include <cstdio>
 #include <istream>
+#include <map>
 #include <memory>
 #include <optional>
 #include <ostream>
@@ -12,6 +14,9 @@
 #include "decisive/core/circuit_fmea.hpp"
 #include "decisive/core/impact.hpp"
 #include "decisive/core/sm_search.hpp"
+#include "decisive/fta/engine.hpp"
+#include "decisive/fta/lfm.hpp"
+#include "decisive/fta/quantify.hpp"
 #include "decisive/drivers/datasource.hpp"
 #include "decisive/drivers/mdl.hpp"
 #include "decisive/model/xmi.hpp"
@@ -65,6 +70,8 @@ struct ServiceMetrics {
     registry.counter("decisive_session_cache_hits_total");
     registry.counter("decisive_session_cache_misses_total");
     registry.counter("decisive_session_invalidations_total");
+    registry.counter("decisive_fta_request_cache_hits_total");
+    registry.counter("decisive_fta_request_cache_misses_total");
     get();
   }
 };
@@ -101,6 +108,7 @@ class Service {
       else if (command == "impact") cmd_impact(tokens);
       else if (command == "campaign") cmd_campaign(tokens);
       else if (command == "pareto") cmd_pareto(tokens);
+      else if (command == "fta") cmd_fta(tokens);
       else if (command == "reanalyze") cmd_reanalyze();
       else if (command == "table") cmd_table();
       else if (command == "result") cmd_result();
@@ -187,6 +195,9 @@ class Service {
             "      journal-backed fault-injection campaign on a circuit model\n"
             "      (resumes from <journal> when it holds a compatible run)\n"
             "  pareto <catalogue> [<epsilon>]     (cost, SPFM) deployment front as CSV\n"
+            "  fta [<mission-hours> [<max-order>]]  ZBDD fault tree of the root:\n"
+            "      cut sets, exact top-event probability, importance, LFM\n"
+            "      (reply cached on the root subtree fingerprint)\n"
             "  reanalyze                          incremental FMEA + stats\n"
             "  table                              last FMEDA table\n"
             "  result                             last SPFM / ASIL\n"
@@ -298,6 +309,55 @@ class Service {
     out_ << "front: " << front.size() << " deployment(s)\n";
   }
 
+  /// ZBDD fault-tree analysis of the session root: minimal cut sets, exact
+  /// quantification and the ISO 26262 latent/multi-point classification
+  /// against the session's FMEA. The rendered reply is cached on the root's
+  /// *subtree fingerprint* (plus the request parameters), so repeated
+  /// requests on an unchanged model replay without re-synthesising — the
+  /// same invalidation discipline as the per-unit FMEA cache.
+  void cmd_fta(const std::vector<std::string>& tokens) {
+    if (tokens.size() > 3) throw ModelError("usage: fta [<mission-hours> [<max-order>]]");
+    AnalysisSession& session = require_session();
+    if (!session.has_result()) cmd_reanalyze();  // the LFM needs an FMEA
+    const double mission = tokens.size() > 1 ? parse_double(tokens[1]) : 10000.0;
+    const size_t max_order =
+        tokens.size() > 2 ? static_cast<size_t>(parse_int(tokens[2])) : 0;
+
+    auto& registry = obs::Registry::global();
+    const ModelFingerprints fps = fingerprint_model(*model_, session.root(), analysis_);
+    const std::string key = to_hex(fps.subtree.at(session.root())) + "|" +
+                            format_number(mission, 6) + "|" + std::to_string(max_order);
+    if (const auto it = fta_replies_.find(key); it != fta_replies_.end()) {
+      registry.counter("decisive_fta_request_cache_hits_total").add();
+      out_ << it->second;
+      return;
+    }
+    registry.counter("decisive_fta_request_cache_misses_total").add();
+
+    const auto tree =
+        fta::synthesize_fault_tree_zbdd(*model_, session.root(), {.max_order = max_order});
+    const auto quant = fta::quantify(tree, mission);
+    const auto lfm = fta::classify_latent(*model_, tree, session.last_result());
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "cut-sets %zu exact %.6e rare-event %.6e mission %.0fh\n",
+                  tree.cut_sets.size(), quant.exact_probability, quant.rare_event_bound,
+                  mission);
+    std::string reply = tree.to_text() + std::string(line);
+    for (const auto& imp : quant.importance) {
+      std::snprintf(line, sizeof line, "importance %s birnbaum %.4e fv %.4f raw %.3f rrw %s\n",
+                    imp.label.c_str(), imp.birnbaum, imp.fussell_vesely, imp.raw,
+                    imp.indispensable ? "inf" : format_number(imp.rrw, 3).c_str());
+      reply += line;
+    }
+    reply += lfm.to_text();
+    // The cache is fingerprint-keyed, so entries for edited models are never
+    // replayed — they are merely dead. Bound the footprint anyway.
+    if (fta_replies_.size() >= 64) fta_replies_.clear();
+    fta_replies_.emplace(key, reply);
+    out_ << reply;
+  }
+
   void cmd_reanalyze() {
     AnalysisSession& session = require_session();
     const core::FmedaResult& result = session.reanalyze();
@@ -391,6 +451,9 @@ class Service {
   std::string default_cache_path_;
   std::unique_ptr<SsamModel> model_;
   std::optional<AnalysisSession> session_;
+  /// Rendered `fta` replies keyed on (root subtree fingerprint, mission,
+  /// max-order) — see cmd_fta.
+  std::map<std::string, std::string> fta_replies_;
 };
 
 }  // namespace

@@ -105,6 +105,9 @@ MetaPackage build() {
   failure_mode.add_attribute("exposure", AttrType::Real);
   failure_mode.add_attribute("nature", AttrType::String);  // lossOfFunction / degraded / erroneous
   failure_mode.add_attribute("safetyRelated", AttrType::Bool);  // analysis result
+  // ISO 26262 LFM: a multi-point residual of a perceived mode is classed
+  // "perceived" instead of "latent" (the driver notices the degradation).
+  failure_mode.add_attribute("perceived", AttrType::Bool);
   failure_mode.add_reference("effects", fail_effect, true, true);
   failure_mode.add_reference("hazards", situation_ref, false, true);
 

@@ -16,6 +16,7 @@
 #include "decisive/core/graph_fmea.hpp"
 #include "decisive/core/synthetic.hpp"
 #include "decisive/model/xmi.hpp"
+#include "decisive/obs/registry.hpp"
 #include "decisive/session/cache.hpp"
 #include "decisive/session/fingerprint.hpp"
 #include "decisive/session/incremental.hpp"
@@ -348,6 +349,37 @@ TEST(ServiceTest, ScriptedEditLoopOverOneResidentModel) {
   EXPECT_NE(text.find("error: unknown command 'bogus-command'"), std::string::npos);
   // Every non-error request ends in an ok status line.
   EXPECT_NE(text.find("\nok\n"), std::string::npos);
+}
+
+TEST(ServiceTest, FtaRequestIsFingerprintCached) {
+  ServiceOptions options;
+  options.model_path = DECISIVE_ASSETS_DIR "/brake_chain.ssam";
+  options.component = "BrakeChain";
+
+  auto& registry = obs::Registry::global();
+  const auto hits0 = registry.counter("decisive_fta_request_cache_hits_total").value();
+  const auto misses0 = registry.counter("decisive_fta_request_cache_misses_total").value();
+
+  // Same request twice → one synthesis, one replay. An edit invalidates the
+  // subtree fingerprint, so the third request recomputes; so does a changed
+  // parameter set.
+  std::istringstream in(
+      "fta\n"
+      "fta\n"
+      "set-fit Sensor 120\n"
+      "fta\n"
+      "fta 5000\n"
+      "quit\n");
+  std::ostringstream out;
+  EXPECT_EQ(run_service(in, out, options), 0);
+
+  EXPECT_EQ(registry.counter("decisive_fta_request_cache_hits_total").value() - hits0, 1u);
+  EXPECT_EQ(registry.counter("decisive_fta_request_cache_misses_total").value() - misses0,
+            3u);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("cut-sets "), std::string::npos);
+  EXPECT_NE(text.find("importance "), std::string::npos);
+  EXPECT_NE(text.find("mission 5000h"), std::string::npos);
 }
 
 TEST(ServiceTest, RequestsWithoutAModelFailSoftly) {

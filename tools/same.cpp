@@ -40,6 +40,9 @@
 #include "decisive/core/monitor.hpp"
 #include "decisive/core/sm_search.hpp"
 #include "decisive/core/synthetic.hpp"
+#include "decisive/fta/engine.hpp"
+#include "decisive/fta/lfm.hpp"
+#include "decisive/fta/quantify.hpp"
 #include "decisive/obs/registry.hpp"
 #include "decisive/obs/trace.hpp"
 #include "decisive/session/service.hpp"
@@ -136,18 +139,26 @@ int usage() {
       "      (0 = all cores); output is byte-identical for any job count.\n\n"
       "  same sm-search <design.ssam> --component <name> --catalogue <path>\n"
       "            [--target-asil B [--optimal]] [--pareto] [--jobs N]\n"
-      "            [--epsilon E] [--out front.csv] [--json front.json]\n"
+      "            [--epsilon E] [--objective spfm|lfm]\n"
+      "            [--out front.csv] [--json front.json]\n"
       "      Safety-mechanism deployment search (DECISIVE step 4b) on the\n"
       "      graph FMEA of <name>. Default/--pareto: the exact (cost, SPFM)\n"
       "      Pareto front via the DP engine (byte-identical for any --jobs;\n"
       "      --epsilon trades exactness for a bounded front). --target-asil:\n"
       "      a min-cost deployment reaching the target (greedy, or provably\n"
       "      optimal branch-and-bound with --optimal; exit 3 = unreachable).\n"
+      "      --objective lfm weights the front's metric axis by the FTA's\n"
+      "      multi-point rows (latent-fault exposure) instead of the SPFM.\n"
       "      --catalogue accepts a CSV file or a workbook directory with a\n"
       "      SafetyMechanisms sheet.\n\n"
       "  same fta <design.ssam> --component <name> [--mission-hours 10000]\n"
-      "      Synthesise the fault tree of a composite component: minimal cut\n"
-      "      sets, top-event probability and importance measures.\n\n"
+      "            [--max-order K] [--out cutsets.csv]\n"
+      "      Synthesise the fault tree of a composite component with the\n"
+      "      ZBDD engine: minimal cut sets (any order; --max-order bounds\n"
+      "      them, with an explicit truncation warning), exact top-event\n"
+      "      probability next to the rare-event bound, Birnbaum / \n"
+      "      Fussell-Vesely / RAW / RRW importance, and the ISO 26262\n"
+      "      latent/multi-point (LFM) classification against the FMEDA.\n\n"
       "  same monitor <design.ssam> [--samples frames.csv] [--include-static]\n"
       "      Generate the runtime monitor from dynamic components; with\n"
       "      --samples, replay a CSV of frames (columns = check ids) through\n"
@@ -242,17 +253,36 @@ int cmd_fta(const Args& args) {
     std::fprintf(stderr, "error: no component named '%s'\n", component_name->c_str());
     return 1;
   }
-  const double mission =
-      parse_double(args.get("mission-hours").value_or("10000"));
-  const auto tree = core::synthesize_fault_tree(model, component);
+  const double mission = parse_double(args.get("mission-hours").value_or("10000"));
+  fta::ZbddFtaOptions options;
+  if (const auto max_order = args.get("max-order")) {
+    options.max_order = static_cast<size_t>(parse_int(*max_order));
+  }
+
+  const auto tree = fta::synthesize_fault_tree_zbdd(model, component, options);
   std::printf("%s\n", tree.to_text().c_str());
   std::printf("minimal cut sets: %zu\n", tree.cut_sets.size());
-  std::printf("P(top event | %.0f h) = %.3e\n\n", mission,
-              tree.top_event_probability(mission));
-  std::printf("%-40s %12s %16s\n", "basic event", "Birnbaum", "Fussell-Vesely");
-  for (const auto& imp : core::importance_measures(tree, mission)) {
-    std::printf("%-40s %12.4e %16.4f\n", imp.label.c_str(), imp.birnbaum,
-                imp.fussell_vesely);
+
+  const auto quant = fta::quantify(tree, mission);
+  std::printf("P(top event | %.0f h) = %.3e exact  (rare-event bound %.3e)\n\n", mission,
+              quant.exact_probability, quant.rare_event_bound);
+  std::printf("%-40s %12s %14s %8s %10s\n", "basic event", "Birnbaum",
+              "Fussell-Vesely", "RAW", "RRW");
+  for (const auto& imp : quant.importance) {
+    std::printf("%-40s %12.4e %14.4f %8.3f %10s\n", imp.label.c_str(), imp.birnbaum,
+                imp.fussell_vesely, imp.raw,
+                imp.indispensable ? "inf" : format_number(imp.rrw, 3).c_str());
+  }
+
+  // Federation with the FMEDA: multi-point/latent classification (ISO 26262
+  // LFM) of every loss mode against the minimal cut sets.
+  const auto fmea = core::analyze_component(model, component, {});
+  const auto lfm = fta::classify_latent(model, tree, fmea);
+  std::printf("\n%s", lfm.to_text().c_str());
+
+  if (const auto out = args.get("out")) {
+    write_csv_file(*out, fta::cut_sets_csv(tree, mission));
+    std::printf("cut sets written to %s\n", out->c_str());
   }
   return 0;
 }
@@ -326,7 +356,32 @@ int cmd_sm_search(const Args& args) {
   const auto fmea = core::analyze_component(model, component, {});
   const auto catalogue = load_catalogue(*catalogue_location);
 
+  // --objective lfm: weight the Pareto metric axis by the FTA's multi-point
+  // rows, so the front trades cost against latent-fault exposure instead of
+  // the single-point SPFM.
+  const std::string objective = to_lower(args.get("objective").value_or("spfm"));
+  if (objective != "spfm" && objective != "lfm") {
+    std::fprintf(stderr, "error: --objective must be 'spfm' or 'lfm'\n");
+    return 2;
+  }
+  std::vector<double> lfm_weights;
+  if (objective == "lfm") {
+    const auto tree = fta::synthesize_fault_tree_zbdd(model, component);
+    const auto lfm = fta::classify_latent(model, tree, fmea);
+    if (!lfm.has_multi_point()) {
+      std::printf("no multi-point faults: the LFM objective has nothing to optimise\n");
+      return 0;
+    }
+    lfm_weights = fta::lfm_row_weights(lfm);
+  }
+
   if (const auto target = args.get("target-asil")) {
+    if (objective == "lfm") {
+      std::fprintf(stderr,
+                   "error: --objective lfm applies to the Pareto front only "
+                   "(drop --target-asil)\n");
+      return 2;
+    }
     // Min-cost deployment for one target: greedy by default, provably
     // optimal branch-and-bound with --optimal.
     const auto deployment = args.has("optimal")
@@ -372,8 +427,11 @@ int cmd_sm_search(const Args& args) {
     }
   }
   if (const auto epsilon = args.get("epsilon")) options.epsilon = parse_double(*epsilon);
+  options.row_weights = lfm_weights;
   const auto front = core::pareto_front(fmea, catalogue, options);
-  const CsvTable table = core::front_to_csv(fmea, front);
+  const CsvTable table = core::front_to_csv(
+      fmea, front,
+      objective == "lfm" ? core::ParetoMetric::Lfm : core::ParetoMetric::Spfm);
   std::printf("%s", write_csv(table).c_str());
   std::printf("front: %zu deployment(s)\n", front.size());
   if (const auto out = args.get("out")) {
