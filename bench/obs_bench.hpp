@@ -8,11 +8,20 @@
 // registry with the counters and latency histograms the snapshot reports —
 // wall-clock percentile estimates (p50/p90/p99) per engine span plus every
 // counter the run touched.
+//
+// The snapshot is stamped with schema_version + kind + bench name so
+// tools/bench_compare can reject a mismatched or stale file instead of
+// silently diffing apples against oranges. A write failure normally only
+// warns (a bench box with a read-only cwd should still print its timings),
+// but with DECISIVE_BENCH_SNAPSHOT_REQUIRED set the process exits nonzero —
+// CI runs with it set, so a missing snapshot can never skip the perf
+// sentinel unnoticed.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 
@@ -20,18 +29,29 @@
 
 namespace bench_obs {
 
+inline constexpr int kBenchSnapshotSchemaVersion = 1;
+
 inline int run_benchmarks(int argc, char** argv, const std::string& name) {
   decisive::obs::Registry::global().reset();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  const bool required = std::getenv("DECISIVE_BENCH_SNAPSHOT_REQUIRED") != nullptr;
   const std::string path = "BENCH_" + name + ".json";
   std::ofstream out(path, std::ios::binary);
   if (!out) {
-    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
-    return 0;
+    std::fprintf(stderr, "%s: cannot write %s\n", required ? "error" : "warning",
+                 path.c_str());
+    return required ? 1 : 0;
   }
-  out << "{\"bench\":\"" << name
+  out << "{\"schema_version\":" << kBenchSnapshotSchemaVersion
+      << ",\"kind\":\"bench-snapshot\",\"bench\":\"" << name
       << "\",\"metrics\":" << decisive::obs::Registry::global().to_json() << "}\n";
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "%s: failed writing %s\n", required ? "error" : "warning",
+                 path.c_str());
+    return required ? 1 : 0;
+  }
   std::fprintf(stderr, "instrumentation snapshot written to %s\n", path.c_str());
   return 0;
 }

@@ -49,6 +49,13 @@ struct CampaignExecution {
   /// When true, a baseline that does not solve yields a degraded result with
   /// every row NotApplicable instead of a SimulationError.
   bool best_effort = false;
+  /// Flight-recorder heartbeat JSON (obs/progress.hpp), atomically replaced
+  /// as tasks complete so `same status` can watch the run live. "" derives
+  /// the path from the journal — "<journal_path>.heartbeat.json" — when a
+  /// journal is configured, and disables the heartbeat otherwise.
+  std::string heartbeat_path;
+  /// Minimum seconds between heartbeat writes (0 = publish on every task).
+  double heartbeat_interval_seconds = 1.0;
 };
 
 struct CircuitFmeaOptions {

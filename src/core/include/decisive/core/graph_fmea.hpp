@@ -44,6 +44,12 @@ struct GraphFmeaOptions {
   /// When true, deploy each failure mode's highest-coverage SafetyMechanism
   /// already modelled on its component (SSAM-side Step 4b).
   bool apply_modelled_mechanisms = true;
+  /// Flight-recorder heartbeat JSON for the scaled analysis ("" = disabled);
+  /// ticked once per analysis unit, folded by `same status` like the
+  /// campaign heartbeats (obs/progress.hpp).
+  std::string heartbeat_path;
+  /// Minimum seconds between heartbeat writes (0 = publish on every unit).
+  double heartbeat_interval_seconds = 1.0;
 };
 
 // ---------------------------------------------------------------------------

@@ -15,7 +15,9 @@
 #include "decisive/base/error.hpp"
 #include "decisive/base/persist.hpp"
 #include "decisive/obs/log.hpp"
+#include "decisive/obs/progress.hpp"
 #include "decisive/obs/registry.hpp"
+#include "decisive/obs/shard.hpp"
 #include "decisive/obs/span.hpp"
 #include "decisive/sim/fault.hpp"
 #include "decisive/sim/solver.hpp"
@@ -431,6 +433,10 @@ FmedaResult CampaignRunner::run() const {
                         " (need 0 <= index < count)");
   }
   metrics.shards.set(static_cast<double>(execution.shard_count));
+  // Every artefact this process emits from here on — heartbeat, registry
+  // snapshot, Chrome trace — carries the shard identity, so the fold side
+  // can reassemble the unsharded view.
+  obs::set_shard_identity({execution.shard_index, execution.shard_count});
 
   FmedaResult result;
   result.system = "circuit";
@@ -441,6 +447,24 @@ FmedaResult CampaignRunner::run() const {
   const std::vector<size_t> shard = shard_task_indices();
   std::vector<FmedaRow> rows(shard.size());
   std::vector<char> done(shard.size(), 0);
+
+  // Flight recorder: a throttled heartbeat next to the journal (or wherever
+  // heartbeat_path points). Worker rows are sized to the configured job
+  // count; the pool may end up smaller when few tasks are pending.
+  std::string heartbeat_path = execution.heartbeat_path;
+  if (heartbeat_path.empty() && !execution.journal_path.empty()) {
+    heartbeat_path = execution.journal_path + ".heartbeat.json";
+  }
+  const unsigned jobs_configured =
+      options_.jobs > 0 ? static_cast<unsigned>(options_.jobs)
+                        : std::max(1u, std::thread::hardware_concurrency());
+  obs::ProgressReporterOptions reporter_options;
+  reporter_options.path = heartbeat_path;
+  reporter_options.phase = "campaign";
+  reporter_options.total = shard.size();
+  reporter_options.workers = static_cast<int>(jobs_configured);
+  reporter_options.interval_seconds = execution.heartbeat_interval_seconds;
+  obs::ProgressReporter reporter(reporter_options);
 
   // Resume: replay the journal's checkpointed tasks, then keep appending to
   // its valid prefix. Replay/trim notes go to the log, NOT to
@@ -459,6 +483,7 @@ FmedaResult CampaignRunner::run() const {
           rows[s] = it->second;
           done[s] = 1;
           ++replayed;
+          reporter.task_done(0, to_string(rows[s].outcome));
         }
       }
       metrics.checkpoint_replays.add(static_cast<double>(replayed));
@@ -520,6 +545,7 @@ FmedaResult CampaignRunner::run() const {
         row.outcome_detail = detail + "; best-effort degraded result";
         count_outcome(row);
         done[s] = 1;
+        reporter.task_done(0, to_string(row.outcome));
       }
       result.warnings.push_back(detail + "; best-effort: " +
                                 std::to_string(pending.size()) +
@@ -546,7 +572,7 @@ FmedaResult CampaignRunner::run() const {
   // parallel; results land in pre-assigned slots, keeping output
   // deterministic for any job count.
   if (!pending.empty()) {
-    auto process = [&](size_t s, sim::CampaignSolveContext::Workspace& ws) {
+    auto process = [&](size_t s, sim::CampaignSolveContext::Workspace& ws, int worker_id) {
       rows[s] = run_task(tasks_[shard[s]], *baseline, batch ? &*batch : nullptr,
                          batch ? &ws : nullptr);
       if (journal != nullptr) {
@@ -554,23 +580,25 @@ FmedaResult CampaignRunner::run() const {
         metrics.journal_appends.add();
       }
       done[s] = 1;
+      // Heartbeat tick after the journal append: a shard killed mid-task
+      // never reports work its journal does not hold.
+      reporter.task_done(worker_id, to_string(rows[s].outcome));
     };
 
-    unsigned jobs = options_.jobs > 0 ? static_cast<unsigned>(options_.jobs)
-                                      : std::max(1u, std::thread::hardware_concurrency());
+    unsigned jobs = jobs_configured;
     if (pending.size() < jobs) jobs = static_cast<unsigned>(pending.size());
     metrics.jobs.set(static_cast<double>(jobs));
 
     if (jobs <= 1) {
       sim::CampaignSolveContext::Workspace ws;
-      for (const size_t s : pending) process(s, ws);
+      for (const size_t s : pending) process(s, ws, 0);
     } else {
       const CrashHooks hooks = CrashHooks::from_env();
       std::atomic<size_t> next{0};
       std::atomic<bool> failed{false};
       std::exception_ptr first_error;
       std::mutex error_mutex;
-      auto worker = [&] {
+      auto worker = [&](int worker_id) {
         sim::CampaignSolveContext::Workspace ws;
         try {
           for (size_t i = next.fetch_add(1); i < pending.size(); i = next.fetch_add(1)) {
@@ -580,7 +608,7 @@ FmedaResult CampaignRunner::run() const {
               throw std::runtime_error(
                   "injected worker death (DECISIVE_CAMPAIGN_WORKER_DIE)");
             }
-            process(s, ws);
+            process(s, ws, worker_id);
           }
         } catch (...) {
           const std::lock_guard<std::mutex> lock(error_mutex);
@@ -589,7 +617,7 @@ FmedaResult CampaignRunner::run() const {
       };
       std::vector<std::thread> pool;
       pool.reserve(jobs);
-      for (unsigned t = 0; t < jobs; ++t) pool.emplace_back(worker);
+      for (unsigned t = 0; t < jobs; ++t) pool.emplace_back(worker, static_cast<int>(t));
       for (auto& thread : pool) thread.join();
 
       if (failed.load()) {
@@ -612,7 +640,7 @@ FmedaResult CampaignRunner::run() const {
         metrics.jobs.set(1.0);
         sim::CampaignSolveContext::Workspace ws;
         for (const size_t s : pending) {
-          if (!done[s]) process(s, ws);
+          if (!done[s]) process(s, ws, 0);
         }
       }
     }
@@ -630,6 +658,7 @@ FmedaResult CampaignRunner::run() const {
         "no safety-related hardware identified; the SPFM denominator is empty and spfm() "
         "reports 1.0 by convention — this is not an ASIL-D claim");
   }
+  reporter.finish();
   return result;
 }
 

@@ -11,6 +11,7 @@
 
 #include "decisive/base/error.hpp"
 #include "decisive/base/strings.hpp"
+#include "decisive/obs/progress.hpp"
 #include "decisive/obs/registry.hpp"
 #include "decisive/obs/span.hpp"
 #include "decisive/ssam/graph.hpp"
@@ -144,7 +145,7 @@ std::vector<Unit> collect_units(const SsamModel& ssam, ObjectId root,
 /// captured per unit; the caller rethrows the first one in walk order so
 /// behaviour is deterministic for any job count.
 std::vector<UnitAnalysis> analyze_units(const SsamModel& ssam, const std::vector<Unit>& units,
-                                        int jobs_option,
+                                        const GraphFmeaOptions& options,
                                         const std::vector<const UnitRecord*>& cached) {
   std::vector<UnitAnalysis> analyses(units.size());
   std::vector<size_t> pending;
@@ -153,7 +154,23 @@ std::vector<UnitAnalysis> analyze_units(const SsamModel& ssam, const std::vector
     if (cached[i] == nullptr) pending.push_back(i);
   }
 
-  const auto analyze_one = [&](size_t i) {
+  unsigned jobs = options.jobs > 0 ? static_cast<unsigned>(options.jobs)
+                                   : std::max(1u, std::thread::hardware_concurrency());
+  const unsigned jobs_configured = jobs;
+  if (pending.size() < jobs) jobs = static_cast<unsigned>(std::max<size_t>(pending.size(), 1));
+
+  obs::ProgressReporterOptions reporter_options;
+  reporter_options.path = options.heartbeat_path;
+  reporter_options.phase = "graph-fmea";
+  reporter_options.total = units.size();
+  reporter_options.workers = static_cast<int>(jobs_configured);
+  reporter_options.interval_seconds = options.heartbeat_interval_seconds;
+  obs::ProgressReporter reporter(reporter_options);
+  for (size_t i = 0; i < units.size(); ++i) {
+    if (cached[i] != nullptr) reporter.task_done(0, "CacheHit");
+  }
+
+  const auto analyze_one = [&](size_t i, int worker_id) {
     obs::Span span("graph_fmea.unit", &GraphFmeaMetrics::get().unit_seconds);
     try {
       const ssam::ComponentGraph graph = ssam::build_graph(ssam, units[i].component);
@@ -161,26 +178,24 @@ std::vector<UnitAnalysis> analyze_units(const SsamModel& ssam, const std::vector
     } catch (...) {
       analyses[i].error = std::current_exception();
     }
+    reporter.task_done(worker_id, analyses[i].error ? "Failed" : "Analyzed");
   };
 
-  unsigned jobs = jobs_option > 0 ? static_cast<unsigned>(jobs_option)
-                                  : std::max(1u, std::thread::hardware_concurrency());
-  if (pending.size() < jobs) jobs = static_cast<unsigned>(std::max<size_t>(pending.size(), 1));
-
   if (jobs <= 1) {
-    for (const size_t i : pending) analyze_one(i);
+    for (const size_t i : pending) analyze_one(i, 0);
   } else {
     std::atomic<size_t> next{0};
-    auto worker = [&] {
+    auto worker = [&](int worker_id) {
       for (size_t p = next.fetch_add(1); p < pending.size(); p = next.fetch_add(1)) {
-        analyze_one(pending[p]);
+        analyze_one(pending[p], worker_id);
       }
     };
     std::vector<std::thread> pool;
     pool.reserve(jobs);
-    for (unsigned t = 0; t < jobs; ++t) pool.emplace_back(worker);
+    for (unsigned t = 0; t < jobs; ++t) pool.emplace_back(worker, static_cast<int>(t));
     for (auto& thread : pool) thread.join();
   }
+  reporter.finish();
 
   for (const auto& ua : analyses) {
     if (ua.error) std::rethrow_exception(ua.error);
@@ -322,7 +337,7 @@ FmedaResult analyze_component(SsamModel& ssam, ObjectId component,
   std::vector<UnitAnalysis> analyses;
   {
     obs::Span analyze_span("graph_fmea.analyze", &metrics.analyze_seconds);
-    analyses = analyze_units(ssam, units, options.jobs, cached);
+    analyses = analyze_units(ssam, units, options, cached);
   }
   if (stats != nullptr) stats->analyze_seconds = seconds_since(analyze_start);
   std::map<ObjectId, size_t> unit_index;

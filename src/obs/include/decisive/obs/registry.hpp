@@ -40,15 +40,27 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
-/// Last-write-wins instantaneous value.
+/// Last-write-wins instantaneous value. Every set() also stamps the wall
+/// clock, so cross-shard snapshot merging can resolve "last write wins"
+/// between processes (merge_registry_snapshots); a never-set gauge carries
+/// timestamp 0.
 class Gauge {
  public:
-  void set(double value) noexcept { value_.store(value, std::memory_order_relaxed); }
+  void set(double value) noexcept;
   [[nodiscard]] double value() const noexcept { return value_.load(std::memory_order_relaxed); }
-  void reset() noexcept { set(0.0); }
+  /// Wall-clock milliseconds since the Unix epoch of the last set(); 0 when
+  /// the gauge has never been written.
+  [[nodiscard]] std::uint64_t updated_unix_ms() const noexcept {
+    return updated_unix_ms_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept {
+    value_.store(0.0, std::memory_order_relaxed);
+    updated_unix_ms_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<double> value_{0.0};
+  std::atomic<std::uint64_t> updated_unix_ms_{0};
 };
 
 /// Fixed-bucket histogram: strictly increasing upper bounds plus an overflow
@@ -84,6 +96,13 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+/// Canonicalises a metric name to the Prometheus-safe alphabet
+/// [a-zA-Z0-9_:]: every other byte becomes '_', a leading digit gains a '_'
+/// prefix and an empty name becomes "_". Registration applies this, so a
+/// hostile name (quotes, newlines) can never corrupt the text exposition or
+/// a BENCH_*.json snapshot.
+[[nodiscard]] std::string sanitize_metric_name(std::string_view name);
+
 /// Thread-safe name → metric registry. Instantiable for tests; production
 /// code uses the process-wide global() instance.
 class Registry {
@@ -91,7 +110,9 @@ class Registry {
   static Registry& global();
 
   /// Idempotent: returns the existing metric when `name` is already
-  /// registered. References stay valid for the registry's lifetime.
+  /// registered. References stay valid for the registry's lifetime. Names
+  /// are passed through sanitize_metric_name(), so two spellings that
+  /// sanitize identically alias the same metric.
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   /// `bounds` is only consulted on first registration.
@@ -101,8 +122,10 @@ class Registry {
   /// Prometheus text exposition (metrics sorted by name; deterministic for a
   /// fixed set of values).
   [[nodiscard]] std::string to_prometheus() const;
-  /// The same data as a JSON object: {"counters": {...}, "gauges": {...},
-  /// "histograms": {name: {count, sum, p50, p90, p99}}}.
+  /// The same data as a JSON object: {"counters": {...}, "gauges":
+  /// {name: {value, updated_unix_ms}}, "histograms": {name: {count, sum,
+  /// p50, p90, p99, bounds, bucket_counts}}}. Bucket-level data makes the
+  /// snapshot mergeable across shards (merge_registry_snapshots).
   [[nodiscard]] std::string to_json() const;
 
   /// Zeroes every registered metric (registrations survive). Benches use

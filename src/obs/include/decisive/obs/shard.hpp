@@ -1,0 +1,26 @@
+// Process-wide shard identity of a distributed (multi-process) analysis.
+//
+// A `--shard i/N` campaign runs as N cooperating processes, each producing
+// its own observability artefacts: a heartbeat JSON, a registry snapshot and
+// a Chrome trace. Those artefacts carry the shard identity so the fold side
+// (`same status`, `same merge-metrics`, `same merge-traces`) can aggregate
+// them back into the single view an unsharded run would have produced — e.g.
+// the trace exporter renders pid = index + 1, giving each shard its own
+// process lane in Perfetto after a merge.
+//
+// The identity is set once, by whoever parses the shard spec (the campaign
+// runner, or the CLI), before artefacts are exported. Default: 0/1, an
+// unsharded process.
+#pragma once
+
+namespace decisive::obs {
+
+struct ShardIdentity {
+  int index = 0;
+  int count = 1;
+};
+
+void set_shard_identity(ShardIdentity identity) noexcept;
+[[nodiscard]] ShardIdentity shard_identity() noexcept;
+
+}  // namespace decisive::obs

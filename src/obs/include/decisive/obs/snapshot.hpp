@@ -1,0 +1,53 @@
+// Versioned registry snapshots and the cross-shard merge algebra.
+//
+// A sharded campaign runs as N processes, each with its own process-local
+// obs::Registry and TraceCollector. To make a sharded run emit the *same*
+// artefact shapes as an unsharded one, every per-shard artefact is stamped
+// with the shard identity and a schema version, and the fold side merges:
+//
+//   metrics  — counters summed; gauges last-write-wins by their
+//              updated_unix_ms stamp (ties: later input wins, so the merge
+//              is deterministic for a fixed input order); histograms added
+//              bucket-wise, with percentiles recomputed from the merged
+//              buckets by the same algorithm Histogram::percentile uses.
+//              A bucket-layout mismatch between shards is a structured
+//              AnalysisError, not a silent mis-merge.
+//   traces   — events concatenated with pids remapped so every input shard
+//              occupies a distinct process lane; the merged document passes
+//              validate_chrome_trace.
+//
+// Snapshot document (schema_version 1):
+//   {"schema_version":1,"kind":"metrics-snapshot","shard":{"index":i,
+//    "count":n},"metrics":<Registry::to_json object>}
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "decisive/base/json.hpp"
+#include "decisive/obs/registry.hpp"
+#include "decisive/obs/shard.hpp"
+
+namespace decisive::obs {
+
+/// Renders `registry` as a versioned, shard-stamped snapshot document.
+[[nodiscard]] std::string registry_snapshot_json(const Registry& registry);
+
+/// Parses and validates a snapshot document, returning its "metrics" object.
+/// When `shard` is non-null it receives the snapshot's shard stamp. Throws
+/// ParseError on malformed input or a wrong kind/schema_version.
+[[nodiscard]] json::Value parse_registry_snapshot(std::string_view text,
+                                                  ShardIdentity* shard = nullptr);
+
+/// Folds per-shard snapshot documents into one merged snapshot (stamped
+/// shard 0/1, the shape an unsharded run produces). Throws ParseError on a
+/// malformed input and AnalysisError on a histogram bucket-layout mismatch.
+[[nodiscard]] std::string merge_registry_snapshots(const std::vector<std::string>& texts);
+
+/// Folds per-shard Chrome trace documents into one, remapping pids so each
+/// input occupies distinct process lanes. Throws ParseError on malformed
+/// input; the result passes validate_chrome_trace whenever every input does.
+[[nodiscard]] std::string merge_chrome_traces(const std::vector<std::string>& texts);
+
+}  // namespace decisive::obs

@@ -1,0 +1,269 @@
+#include "decisive/obs/bench_diff.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <utility>
+
+#include "decisive/base/error.hpp"
+
+namespace decisive::obs {
+
+namespace {
+
+constexpr int kBenchSchemaVersion = 1;
+
+/// Symmetric relative delta: 0 when both sides are 0, and the same number
+/// whichever side regressed — a sentinel should flag drift in either
+/// direction (a counter that halved usually means the bench stopped
+/// exercising the path it claims to measure).
+double relative_delta(double baseline, double fresh) {
+  const double scale = std::max(std::fabs(baseline), std::fabs(fresh));
+  if (scale == 0.0) return 0.0;
+  return std::fabs(fresh - baseline) / scale;
+}
+
+/// Looks a metric up across counters (plain numbers) and gauges
+/// ({value, updated_unix_ms} objects). Returns false when absent.
+bool find_metric(const json::Value& metrics, const std::string& name, double* out) {
+  if (const json::Value* counters = metrics.find("counters")) {
+    if (const json::Value* value = counters->find(name); value != nullptr && value->is_number()) {
+      *out = value->as_number();
+      return true;
+    }
+  }
+  if (const json::Value* gauges = metrics.find("gauges")) {
+    if (const json::Value* entry = gauges->find(name); entry != nullptr) {
+      if (const json::Value* value = entry->find("value");
+          value != nullptr && value->is_number()) {
+        *out = value->as_number();
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+double require_metric(const json::Value& metrics, const std::string& name, const char* side) {
+  double value = 0.0;
+  if (!find_metric(metrics, name, &value)) {
+    throw AnalysisError(std::string("bench-diff: metric '") + name + "' missing from " + side +
+                        " snapshot");
+  }
+  return value;
+}
+
+std::string format_value(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.6g", value);
+  return buffer;
+}
+
+BenchDiffRow make_row(std::string label, double baseline, double fresh, double tolerance) {
+  BenchDiffRow row;
+  row.label = std::move(label);
+  row.baseline = baseline;
+  row.fresh = fresh;
+  row.delta = relative_delta(baseline, fresh);
+  row.tolerance = tolerance;
+  row.regression = row.delta > tolerance;
+  return row;
+}
+
+void collect_names(const json::Value& metrics, const char* section,
+                   std::set<std::string>* names) {
+  if (const json::Value* object = metrics.find(section); object != nullptr && object->is_object()) {
+    for (const auto& [name, value] : object->as_object()) names->insert(name);
+  }
+}
+
+}  // namespace
+
+BenchSnapshot parse_bench_snapshot(std::string_view text) {
+  const json::Value document = json::parse(text);
+  const json::Value* kind = document.find("kind");
+  if (kind == nullptr || !kind->is_string() || kind->as_string() != "bench-snapshot") {
+    throw ParseError("bench snapshot: document is not a bench-snapshot (missing kind)");
+  }
+  const json::Value* version = document.find("schema_version");
+  if (version == nullptr || !version->is_number()) {
+    throw ParseError("bench snapshot: missing 'schema_version'");
+  }
+  BenchSnapshot snapshot;
+  snapshot.schema_version = static_cast<int>(version->as_number());
+  if (snapshot.schema_version != kBenchSchemaVersion) {
+    throw ParseError("bench snapshot: unsupported schema_version " +
+                     std::to_string(snapshot.schema_version));
+  }
+  const json::Value* bench = document.find("bench");
+  if (bench == nullptr || !bench->is_string()) {
+    throw ParseError("bench snapshot: missing 'bench' name");
+  }
+  snapshot.bench = bench->as_string();
+  const json::Value* metrics = document.find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    throw ParseError("bench snapshot: missing 'metrics'");
+  }
+  snapshot.metrics = *metrics;
+  return snapshot;
+}
+
+bool BenchDiffReport::regression() const {
+  for (const BenchDiffRow& row : rows) {
+    if (row.regression) return true;
+  }
+  return false;
+}
+
+std::string BenchDiffReport::render() const {
+  std::string out = "bench '" + bench + "': " + std::to_string(rows.size()) + " checks\n";
+  for (const BenchDiffRow& row : rows) {
+    char line[256];
+    std::snprintf(line, sizeof line, "  %-6s %-52s base=%s fresh=%s delta=%.1f%% tol=%.1f%%\n",
+                  row.regression ? "FAIL" : "ok", row.label.c_str(),
+                  format_value(row.baseline).c_str(), format_value(row.fresh).c_str(),
+                  row.delta * 100.0, row.tolerance * 100.0);
+    out += line;
+  }
+  out += regression() ? "RESULT: regression\n" : "RESULT: ok\n";
+  return out;
+}
+
+std::string BenchDiffReport::to_json() const {
+  json::Object root;
+  root["schema_version"] = json::Value(1);
+  root["kind"] = json::Value("bench-diff");
+  root["bench"] = json::Value(bench);
+  root["regression"] = json::Value(regression());
+  json::Array checks;
+  for (const BenchDiffRow& row : rows) {
+    json::Object check;
+    check["label"] = json::Value(row.label);
+    check["baseline"] = json::Value(row.baseline);
+    check["fresh"] = json::Value(row.fresh);
+    check["delta"] = json::Value(row.delta);
+    check["tolerance"] = json::Value(row.tolerance);
+    check["regression"] = json::Value(row.regression);
+    checks.push_back(json::Value(std::move(check)));
+  }
+  root["checks"] = json::Value(std::move(checks));
+  return json::write(json::Value(std::move(root)));
+}
+
+BenchDiffReport diff_bench_snapshots(const BenchSnapshot& fresh, const BenchSnapshot& baseline,
+                                     const BenchDiffOptions& options) {
+  if (fresh.bench != baseline.bench) {
+    throw AnalysisError("bench-diff: snapshots name different benches ('" + fresh.bench +
+                        "' vs '" + baseline.bench + "')");
+  }
+  BenchDiffReport report;
+  report.bench = fresh.bench;
+
+  if (!options.checks.empty()) {
+    for (const BenchCheck& check : options.checks) {
+      const double tolerance =
+          check.tolerance >= 0.0 ? check.tolerance : options.default_tolerance;
+      if (check.per.empty()) {
+        report.rows.push_back(make_row(check.metric,
+                                       require_metric(baseline.metrics, check.metric, "baseline"),
+                                       require_metric(fresh.metrics, check.metric, "fresh"),
+                                       tolerance));
+      } else {
+        const double base_den = require_metric(baseline.metrics, check.per, "baseline");
+        const double fresh_den = require_metric(fresh.metrics, check.per, "fresh");
+        if (base_den == 0.0 || fresh_den == 0.0) {
+          throw AnalysisError("bench-diff: ratio divisor '" + check.per + "' is zero");
+        }
+        report.rows.push_back(
+            make_row(check.metric + " / " + check.per,
+                     require_metric(baseline.metrics, check.metric, "baseline") / base_den,
+                     require_metric(fresh.metrics, check.metric, "fresh") / fresh_den,
+                     tolerance));
+      }
+    }
+    return report;
+  }
+
+  // Default mode: every counter and gauge present on either side, absolute
+  // compare (a metric missing on one side reads as 0, which flags it).
+  std::set<std::string> names;
+  collect_names(fresh.metrics, "counters", &names);
+  collect_names(baseline.metrics, "counters", &names);
+  collect_names(fresh.metrics, "gauges", &names);
+  collect_names(baseline.metrics, "gauges", &names);
+  for (const std::string& name : names) {
+    double base = 0.0;
+    double now = 0.0;
+    find_metric(baseline.metrics, name, &base);
+    find_metric(fresh.metrics, name, &now);
+    report.rows.push_back(make_row(name, base, now, options.default_tolerance));
+  }
+  if (options.check_wall) {
+    std::set<std::string> histogram_names;
+    collect_names(fresh.metrics, "histograms", &histogram_names);
+    collect_names(baseline.metrics, "histograms", &histogram_names);
+    for (const std::string& name : histogram_names) {
+      for (const char* quantile : {"p50", "p99"}) {
+        double base = 0.0;
+        double now = 0.0;
+        if (const json::Value* h = baseline.metrics.find("histograms")) {
+          if (const json::Value* entry = h->find(name)) {
+            if (const json::Value* q = entry->find(quantile); q != nullptr && q->is_number()) {
+              base = q->as_number();
+            }
+          }
+        }
+        if (const json::Value* h = fresh.metrics.find("histograms")) {
+          if (const json::Value* entry = h->find(name)) {
+            if (const json::Value* q = entry->find(quantile); q != nullptr && q->is_number()) {
+              now = q->as_number();
+            }
+          }
+        }
+        report.rows.push_back(
+            make_row(name + " " + quantile, base, now, options.default_tolerance));
+      }
+    }
+  }
+  return report;
+}
+
+std::vector<BenchCheck> parse_bench_checks(std::string_view text, std::string_view bench,
+                                           double* default_tolerance) {
+  const json::Value document = json::parse(text);
+  const json::Value* kind = document.find("kind");
+  if (kind == nullptr || !kind->is_string() || kind->as_string() != "bench-checks") {
+    throw ParseError("bench checks: document is not a bench-checks file (missing kind)");
+  }
+  if (const json::Value* tolerance = document.find("default_tolerance");
+      tolerance != nullptr && tolerance->is_number() && default_tolerance != nullptr) {
+    *default_tolerance = tolerance->as_number();
+  }
+  std::vector<BenchCheck> checks;
+  const json::Value* table = document.find("checks");
+  if (table == nullptr || !table->is_object()) return checks;
+  const json::Value* entries = table->find(bench);
+  if (entries == nullptr) return checks;
+  if (!entries->is_array()) {
+    throw ParseError("bench checks: entry for '" + std::string(bench) + "' is not an array");
+  }
+  for (const json::Value& entry : entries->as_array()) {
+    BenchCheck check;
+    const json::Value* metric = entry.find("metric");
+    if (metric == nullptr || !metric->is_string()) {
+      throw ParseError("bench checks: check without a 'metric' name");
+    }
+    check.metric = metric->as_string();
+    if (const json::Value* per = entry.find("per"); per != nullptr && per->is_string()) {
+      check.per = per->as_string();
+    }
+    if (const json::Value* tolerance = entry.find("tolerance");
+        tolerance != nullptr && tolerance->is_number()) {
+      check.tolerance = tolerance->as_number();
+    }
+    checks.push_back(std::move(check));
+  }
+  return checks;
+}
+
+}  // namespace decisive::obs

@@ -1,13 +1,33 @@
 #include "decisive/obs/registry.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 
 #include "decisive/base/error.hpp"
 #include "decisive/base/json.hpp"
+#include "decisive/obs/shard.hpp"
 
 namespace decisive::obs {
+
+namespace {
+
+std::atomic<int> g_shard_index{0};
+std::atomic<int> g_shard_count{1};
+
+}  // namespace
+
+void set_shard_identity(ShardIdentity identity) noexcept {
+  g_shard_index.store(identity.index, std::memory_order_relaxed);
+  g_shard_count.store(identity.count, std::memory_order_relaxed);
+}
+
+ShardIdentity shard_identity() noexcept {
+  return ShardIdentity{g_shard_index.load(std::memory_order_relaxed),
+                       g_shard_count.load(std::memory_order_relaxed)};
+}
 
 namespace {
 
@@ -24,6 +44,19 @@ std::string format_count(std::uint64_t value) {
 }
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+void Gauge::set(double value) noexcept {
+  value_.store(value, std::memory_order_relaxed);
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  updated_unix_ms_.store(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(now).count()),
+      std::memory_order_relaxed);
+}
 
 // ---------------------------------------------------------------------------
 // Histogram
@@ -91,6 +124,19 @@ std::vector<double> Histogram::latency_buckets() {
 // Registry
 // ---------------------------------------------------------------------------
 
+std::string sanitize_metric_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty()) out = "_";
+  if (out.front() >= '0' && out.front() <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
 Registry& Registry::global() {
   static Registry instance;
   return instance;
@@ -98,21 +144,21 @@ Registry& Registry::global() {
 
 Counter& Registry::counter(const std::string& name) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  auto& slot = counters_[name];
+  auto& slot = counters_[sanitize_metric_name(name)];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& Registry::gauge(const std::string& name) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  auto& slot = gauges_[name];
+  auto& slot = gauges_[sanitize_metric_name(name)];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& Registry::histogram(const std::string& name, std::vector<double> bounds) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  auto& slot = histograms_[name];
+  auto& slot = histograms_[sanitize_metric_name(name)];
   if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
   return *slot;
 }
@@ -153,7 +199,12 @@ std::string Registry::to_json() const {
     counters[name] = json::Value(static_cast<double>(counter->value()));
   }
   json::Object gauges;
-  for (const auto& [name, gauge] : gauges_) gauges[name] = json::Value(gauge->value());
+  for (const auto& [name, gauge] : gauges_) {
+    json::Object g;
+    g["value"] = json::Value(gauge->value());
+    g["updated_unix_ms"] = json::Value(static_cast<double>(gauge->updated_unix_ms()));
+    gauges[name] = json::Value(std::move(g));
+  }
   json::Object histograms;
   for (const auto& [name, histogram] : histograms_) {
     json::Object h;
@@ -162,6 +213,16 @@ std::string Registry::to_json() const {
     h["p50"] = json::Value(histogram->percentile(0.50));
     h["p90"] = json::Value(histogram->percentile(0.90));
     h["p99"] = json::Value(histogram->percentile(0.99));
+    // Bucket-level data: what makes per-shard snapshots mergeable
+    // (bucket-wise addition) instead of merely human-readable.
+    json::Array bounds;
+    for (const double b : histogram->bounds()) bounds.push_back(json::Value(b));
+    json::Array buckets;
+    for (const std::uint64_t c : histogram->bucket_counts()) {
+      buckets.push_back(json::Value(static_cast<double>(c)));
+    }
+    h["bounds"] = json::Value(std::move(bounds));
+    h["bucket_counts"] = json::Value(std::move(buckets));
     histograms[name] = json::Value(std::move(h));
   }
   json::Object root;

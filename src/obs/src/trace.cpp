@@ -3,9 +3,11 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <utility>
 
 #include "decisive/base/error.hpp"
 #include "decisive/base/json.hpp"
+#include "decisive/obs/shard.hpp"
 
 namespace decisive::obs {
 
@@ -77,6 +79,13 @@ void TraceCollector::record(const char* name, char phase) {
 
 std::string TraceCollector::to_chrome_json() const {
   const std::lock_guard<std::mutex> lock(mutex_);
+  // A `--shard i/N` campaign process exports pid = i + 1, so the per-shard
+  // traces occupy disjoint process lanes and `same merge-traces` can fold
+  // them into one document without remapping collisions. The identity is
+  // additionally stamped on the document itself (trailing "shard" object —
+  // Chrome ignores unknown top-level keys).
+  const ShardIdentity shard = shard_identity();
+  const int pid = shard.index + 1;
   std::string out = "{\"traceEvents\":[";
   bool first = true;
   char line[160];
@@ -84,14 +93,17 @@ std::string TraceCollector::to_chrome_json() const {
     for (const Event& event : buffer->events) {
       std::snprintf(line, sizeof line,
                     "%s\n{\"name\":\"%s\",\"cat\":\"decisive\",\"ph\":\"%c\","
-                    "\"ts\":%.3f,\"pid\":1,\"tid\":%d}",
+                    "\"ts\":%.3f,\"pid\":%d,\"tid\":%d}",
                     first ? "" : ",", escape_json(event.name).c_str(), event.phase,
-                    static_cast<double>(event.ts_ns) / 1e3, buffer->tid);
+                    static_cast<double>(event.ts_ns) / 1e3, pid, buffer->tid);
       out += line;
       first = false;
     }
   }
-  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  std::snprintf(line, sizeof line,
+                "\n],\"displayTimeUnit\":\"ms\",\"shard\":{\"index\":%d,\"count\":%d}}\n",
+                shard.index, shard.count);
+  out += line;
   return out;
 }
 
@@ -121,9 +133,13 @@ std::string validate_chrome_trace(std::string_view text) {
     return "missing 'traceEvents' array";
   }
 
-  // Per-tid stack of open 'B' names: every 'E' must close the innermost one.
-  std::map<int, std::vector<std::string>> open;
-  std::map<int, double> last_ts;
+  // Per-(pid, tid) stack of open 'B' names: every 'E' must close the
+  // innermost one. Keying on the pair (not the tid alone) matters for merged
+  // multi-shard traces, where distinct processes legitimately reuse tids and
+  // only interleave within their own lane.
+  using Lane = std::pair<int, int>;
+  std::map<Lane, std::vector<std::string>> open;
+  std::map<Lane, double> last_ts;
   size_t index = 0;
   for (const json::Value& event : events->as_array()) {
     const std::string where = "event #" + std::to_string(index++);
@@ -138,32 +154,34 @@ std::string validate_chrome_trace(std::string_view text) {
     if (pid == nullptr || !pid->is_number()) return where + ": missing 'pid'";
     if (tid == nullptr || !tid->is_number()) return where + ": missing 'tid'";
     if (ts->as_number() < 0.0) return where + ": negative timestamp";
-    const int thread = static_cast<int>(tid->as_number());
-    if (last_ts.contains(thread) && ts->as_number() < last_ts[thread]) {
-      return where + ": timestamps not monotonic within tid " + std::to_string(thread);
+    const Lane lane{static_cast<int>(pid->as_number()), static_cast<int>(tid->as_number())};
+    const std::string lane_text =
+        "pid " + std::to_string(lane.first) + " tid " + std::to_string(lane.second);
+    if (last_ts.contains(lane) && ts->as_number() < last_ts[lane]) {
+      return where + ": timestamps not monotonic within " + lane_text;
     }
-    last_ts[thread] = ts->as_number();
+    last_ts[lane] = ts->as_number();
     const std::string& ph = phase->as_string();
     if (ph == "B") {
-      open[thread].push_back(name->as_string());
+      open[lane].push_back(name->as_string());
     } else if (ph == "E") {
-      auto& stack = open[thread];
+      auto& stack = open[lane];
       if (stack.empty()) {
-        return where + ": 'E' for '" + name->as_string() + "' with no open span on tid " +
-               std::to_string(thread);
+        return where + ": 'E' for '" + name->as_string() + "' with no open span on " + lane_text;
       }
       if (stack.back() != name->as_string()) {
         return where + ": 'E' for '" + name->as_string() + "' but innermost open span is '" +
-               stack.back() + "' on tid " + std::to_string(thread);
+               stack.back() + "' on " + lane_text;
       }
       stack.pop_back();
     } else if (ph != "M" && ph != "X" && ph != "i" && ph != "C") {
       return where + ": unsupported phase '" + ph + "'";
     }
   }
-  for (const auto& [thread, stack] : open) {
+  for (const auto& [lane, stack] : open) {
     if (!stack.empty()) {
-      return "unclosed span '" + stack.back() + "' on tid " + std::to_string(thread);
+      return "unclosed span '" + stack.back() + "' on pid " + std::to_string(lane.first) +
+             " tid " + std::to_string(lane.second);
     }
   }
   return "";

@@ -191,8 +191,10 @@ class Service {
             "  add-failure-mode <component> <name> <distribution> <nature>\n"
             "  deploy-sm <component> <name> <coverage> <cost-hours> [<failure-mode>]\n"
             "  impact <component>                 change-impact report\n"
-            "  campaign <model.mdl> <reliability-dir> [<journal>]\n"
-            "      journal-backed fault-injection campaign on a circuit model\n"
+            "  campaign <model.mdl> <reliability-dir> [<journal> [<heartbeat>]]\n"
+            "      journal-backed fault-injection campaign on a circuit model;\n"
+            "      progress heartbeat JSON lands next to the journal (or at\n"
+            "      <heartbeat>), watchable live via `same status`\n"
             "      (resumes from <journal> when it holds a compatible run)\n"
             "  pareto <catalogue> [<epsilon>]     (cost, SPFM) deployment front as CSV\n"
             "  fta [<mission-hours> [<max-order>]]  ZBDD fault tree of the root:\n"
@@ -270,8 +272,8 @@ class Service {
   /// incremental-analysis session (reanalyze etc.) is unaffected by
   /// campaigns run through the same service.
   void cmd_campaign(const std::vector<std::string>& tokens) {
-    if (tokens.size() != 3 && tokens.size() != 4) {
-      throw ModelError("usage: campaign <model.mdl> <reliability-dir> [<journal>]");
+    if (tokens.size() < 3 || tokens.size() > 5) {
+      throw ModelError("usage: campaign <model.mdl> <reliability-dir> [<journal> [<heartbeat>]]");
     }
     const auto mdl = drivers::parse_mdl_file(tokens[1]);
     const auto built = sim::build_circuit(mdl);
@@ -279,7 +281,18 @@ class Service {
     const auto reliability = core::ReliabilityModel::from_source(*workbook, "Reliability");
     core::CircuitFmeaOptions options;
     options.jobs = analysis_.jobs;
-    if (tokens.size() == 4) options.execution.journal_path = tokens[3];
+    if (tokens.size() >= 4) options.execution.journal_path = tokens[3];
+    if (tokens.size() == 5) options.execution.heartbeat_path = tokens[4];
+    // Announce the heartbeat before the (long) run so a client watching the
+    // stream knows where `same status` can observe the campaign live.
+    std::string heartbeat = options.execution.heartbeat_path;
+    if (heartbeat.empty() && !options.execution.journal_path.empty()) {
+      heartbeat = options.execution.journal_path + ".heartbeat.json";
+    }
+    if (!heartbeat.empty()) {
+      out_ << "heartbeat " << heartbeat << "\n";
+      out_.flush();
+    }
     const core::FmedaResult result =
         core::analyze_circuit(built, reliability, nullptr, options);
     out_ << "campaign " << result.outcome_summary() << "\n";

@@ -2,10 +2,16 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
+#include <vector>
+
+#include "decisive/base/json.hpp"
+#include "decisive/obs/snapshot.hpp"
 
 namespace {
 
@@ -662,4 +668,114 @@ TEST(Cli, InterruptedCacheSaveLeavesThePreviousCacheIntact) {
   const auto reload = run(session_args);
   EXPECT_EQ(reload.exit_code, 0) << reload.output;
   EXPECT_NE(reload.output.find("cache"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder: heartbeats + status, cross-shard metrics/trace merging
+// (end-to-end: 4 real shard processes, one real SIGKILL).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// The per-task campaign counters that must fold exactly across shards.
+/// Process-scoped counters (runs_total, the baseline solver counters) run
+/// once per shard process and legitimately differ; these do not.
+const std::vector<std::string> kPerTaskCounters = {
+    "decisive_campaign_tasks_total",
+    "decisive_campaign_journal_appends_total",
+    "decisive_campaign_outcome_converged_total",
+    "decisive_campaign_outcome_recovered_total",
+    "decisive_campaign_outcome_singular_total",
+    "decisive_campaign_outcome_budget_exhausted_total",
+    "decisive_campaign_outcome_not_applicable_total",
+    "decisive_campaign_outcome_crashed_total",
+};
+
+}  // namespace
+
+TEST(Cli, ShardedFlightRecorderFoldsToTheUnshardedArtefacts) {
+  TempDir tmp;
+  const auto shard_dir = tmp.path / "shards";
+  std::filesystem::create_directories(shard_dir);
+
+  // Unsharded reference run (journaled, so journal_appends is comparable).
+  const auto whole_metrics = (tmp.path / "whole.metrics.json").string();
+  ASSERT_EQ(run(fmea_args() + " --journal " + (tmp.path / "whole.journal").string() +
+                " --metrics-json " + whole_metrics).exit_code, 0);
+
+  std::string metric_files;
+  std::string trace_files;
+  for (int shard = 0; shard < 4; ++shard) {
+    const auto stem = (shard_dir / ("shard" + std::to_string(shard))).string();
+    const auto result = run(fmea_args() + " --shard " + std::to_string(shard) +
+                            "/4 --journal " + stem + ".journal --metrics-json " + stem +
+                            ".metrics.json --trace " + stem + ".trace.json");
+    ASSERT_EQ(result.exit_code, 0) << result.output;
+    metric_files += " " + stem + ".metrics.json";
+    trace_files += " " + stem + ".trace.json";
+  }
+
+  // One live view over the four heartbeat files: everything finished.
+  const auto status = run("status " + shard_dir.string());
+  EXPECT_EQ(status.exit_code, 0) << status.output;
+  EXPECT_NE(status.output.find("0 running, 4 done, 0 dead"), std::string::npos)
+      << status.output;
+  EXPECT_NE(status.output.find("9/9 tasks"), std::string::npos) << status.output;
+
+  // Merged metrics: the per-task campaign counters are byte-identical to the
+  // unsharded snapshot's.
+  const auto merged_metrics = (tmp.path / "merged.metrics.json").string();
+  const auto merge = run("merge-metrics" + metric_files + " --out " + merged_metrics);
+  ASSERT_EQ(merge.exit_code, 0) << merge.output;
+  const decisive::json::Value merged_doc =
+      decisive::obs::parse_registry_snapshot(slurp(merged_metrics));
+  const decisive::json::Value whole_doc =
+      decisive::obs::parse_registry_snapshot(slurp(whole_metrics));
+  const auto& merged_counters = merged_doc.as_object().at("counters").as_object();
+  const auto& whole_counters = whole_doc.as_object().at("counters").as_object();
+  for (const std::string& name : kPerTaskCounters) {
+    ASSERT_TRUE(merged_counters.count(name)) << name;
+    ASSERT_TRUE(whole_counters.count(name)) << name;
+    EXPECT_EQ(decisive::json::write(merged_counters.at(name)),
+              decisive::json::write(whole_counters.at(name)))
+        << name;
+  }
+
+  // Merged trace: one document, one process lane per shard, still valid.
+  const auto merged_trace = (tmp.path / "merged.trace.json").string();
+  const auto trace_merge = run("merge-traces" + trace_files + " --out " + merged_trace);
+  ASSERT_EQ(trace_merge.exit_code, 0) << trace_merge.output;
+  const auto check = run("check-trace " + merged_trace);
+  EXPECT_EQ(check.exit_code, 0) << check.output;
+  EXPECT_NE(check.output.find("well-formed"), std::string::npos);
+}
+
+TEST(Cli, StatusFlagsASigkilledShardDeadWhileOthersFinish) {
+  TempDir tmp;
+  const auto dir = tmp.path / "dead";
+  std::filesystem::create_directories(dir);
+
+  auto shard_args = [&](int shard) {
+    const auto stem = (dir / ("shard" + std::to_string(shard))).string();
+    return fmea_args() + " --shard " + std::to_string(shard) + "/4 --journal " + stem +
+           ".journal";
+  };
+
+  ASSERT_EQ(run(shard_args(0)).exit_code, 0);
+  // Shard 1 is SIGKILLed after its first journal append: its heartbeat file
+  // survives in state "running" and simply stops refreshing.
+  const auto killed = run(shard_args(1), "DECISIVE_CAMPAIGN_CRASH_AFTER_APPENDS=1 ");
+  EXPECT_EQ(killed.exit_code, kSigkillExit);
+  ASSERT_TRUE(std::filesystem::exists(dir / "shard1.journal.heartbeat.json"));
+  ASSERT_EQ(run(shard_args(2)).exit_code, 0);
+  ASSERT_EQ(run(shard_args(3)).exit_code, 0);
+
+  // Let the dead shard's heartbeat go stale past the threshold; the finished
+  // shards stay "done" forever regardless of age.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  const auto status = run("status " + dir.string() + " --stale-seconds 0.05");
+  EXPECT_EQ(status.exit_code, 3) << status.output;
+  EXPECT_NE(status.output.find("DEAD"), std::string::npos) << status.output;
+  EXPECT_NE(status.output.find("shard 1/4"), std::string::npos) << status.output;
+  EXPECT_NE(status.output.find("3 done, 1 dead"), std::string::npos) << status.output;
 }

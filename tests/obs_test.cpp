@@ -146,6 +146,54 @@ TEST(ObsRegistry, JsonSnapshotParsesAndCarriesPercentiles) {
   EXPECT_DOUBLE_EQ(hist.at("p99").as_number(), 2.0);
 }
 
+TEST(ObsRegistry, SanitizesHostileMetricNames) {
+  // A quote/newline name must not be able to corrupt the Prometheus text or
+  // a BENCH_*.json snapshot: registration canonicalises to [a-zA-Z0-9_:].
+  EXPECT_EQ(obs::sanitize_metric_name("ok_name:v1"), "ok_name:v1");
+  EXPECT_EQ(obs::sanitize_metric_name("evil\"} 999\ninjected 1"),
+            "evil___999_injected_1");
+  EXPECT_EQ(obs::sanitize_metric_name("9starts_with_digit"), "_9starts_with_digit");
+  EXPECT_EQ(obs::sanitize_metric_name(""), "_");
+
+  obs::Registry registry;
+  registry.counter("evil\"}\ntotal").add(1);
+  const std::string text = registry.to_prometheus();
+  EXPECT_EQ(text.find('"'), std::string::npos);
+  EXPECT_NE(text.find("evil___total 1\n"), std::string::npos);
+  // The JSON exposition stays parseable with the hostile name registered.
+  const json::Value doc = json::parse(registry.to_json());
+  EXPECT_DOUBLE_EQ(doc.as_object().at("counters").as_object().at("evil___total").as_number(),
+                   1.0);
+  // Two spellings that sanitize identically alias the same metric.
+  EXPECT_EQ(&registry.counter("evil\"}\ntotal"), &registry.counter("evil___total"));
+}
+
+TEST(ObsRegistry, JsonSnapshotCarriesBucketLevelData) {
+  obs::Registry registry;
+  obs::Histogram& h = registry.histogram("h_seconds", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(9.0);
+  registry.gauge("g").set(4.0);
+
+  const json::Value doc = json::parse(registry.to_json());
+  const json::Object& root = doc.as_object();
+  const json::Object& hist = root.at("histograms").as_object().at("h_seconds").as_object();
+  const json::Array& bounds = hist.at("bounds").as_array();
+  ASSERT_EQ(bounds.size(), 2u);
+  EXPECT_DOUBLE_EQ(bounds[0].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(bounds[1].as_number(), 2.0);
+  const json::Array& buckets = hist.at("bucket_counts").as_array();
+  ASSERT_EQ(buckets.size(), 3u);  // two finite buckets + overflow
+  EXPECT_DOUBLE_EQ(buckets[0].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(buckets[1].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(buckets[2].as_number(), 1.0);
+  // Gauges carry their last-write wall-clock stamp for cross-shard merging.
+  const json::Object& gauge = root.at("gauges").as_object().at("g").as_object();
+  EXPECT_DOUBLE_EQ(gauge.at("value").as_number(), 4.0);
+  EXPECT_GT(gauge.at("updated_unix_ms").as_number(), 0.0);
+}
+
 TEST(ObsRegistry, ResetZeroesValuesButKeepsRegistrations) {
   obs::Registry registry;
   obs::Counter& c = registry.counter("c_total");

@@ -13,11 +13,19 @@
 //   impact      change-impact report for one component (ISO 26262 Part 8)
 //   session     long-lived incremental-analysis service (line protocol)
 //   check-trace validate a Chrome trace-event file produced by --trace
+//   status      fold per-shard heartbeat files into one live progress view
+//   merge-metrics  fold per-shard registry snapshots into one snapshot
+//   merge-traces   fold per-shard Chrome traces into one trace
 //
-// Global flags: --trace <out.json> (Chrome trace of every engine span) and
-// --metrics [<file>] (Prometheus dump of the instrumentation registry).
+// Global flags: --trace <out.json> (Chrome trace of every engine span),
+// --metrics [<file>] (Prometheus dump of the instrumentation registry) and
+// --metrics-json <file> (shard-stamped registry snapshot, mergeable with
+// `same merge-metrics`).
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -43,7 +51,9 @@
 #include "decisive/fta/engine.hpp"
 #include "decisive/fta/lfm.hpp"
 #include "decisive/fta/quantify.hpp"
+#include "decisive/obs/progress.hpp"
 #include "decisive/obs/registry.hpp"
+#include "decisive/obs/snapshot.hpp"
 #include "decisive/obs/trace.hpp"
 #include "decisive/session/service.hpp"
 #include "decisive/ssam/validate.hpp"
@@ -95,6 +105,7 @@ int usage() {
       "            [--goals CS1,MC1] [--threshold 0.2] [--out fmeda.csv]\n"
       "            [--jobs N] [--journal <file>] [--shard i/N]\n"
       "            [--retries N] [--best-effort] [--no-batch]\n"
+      "            [--heartbeat <file>] [--heartbeat-interval S]\n"
       "      Automated fault-injection FME(D)A (DECISIVE steps 3-4).\n"
       "      --sm-model deploys safety mechanisms from the workbook's\n"
       "      SafetyMechanisms sheet (step 4b). --jobs runs the campaign on\n"
@@ -112,7 +123,11 @@ int usage() {
       "      The campaign factors the nominal system once and solves\n"
       "      eligible faults as low-rank updates; --no-batch forces the\n"
       "      classic one-solve-per-fault path (byte-identical output,\n"
-      "      escape hatch only).\n\n"
+      "      escape hatch only).\n"
+      "      Flight recorder: a progress heartbeat JSON is published next\n"
+      "      to the journal (or at --heartbeat) and refreshed at most every\n"
+      "      --heartbeat-interval seconds (default 1); watch it live with\n"
+      "      `same status`.\n\n"
       "  same merge-journals <shard0.journal> <shard1.journal> ...\n"
       "            [--out fmeda.csv]\n"
       "      Merge the per-shard campaign journals of one sharded campaign\n"
@@ -132,7 +147,7 @@ int usage() {
       "  same validate <design.ssam>\n"
       "      Structural well-formedness validation of an SSAM model.\n\n"
       "  same graph-fmea <design.ssam> --component <name> [--jobs N]\n"
-      "            [--out fmeda.csv]\n"
+      "            [--out fmeda.csv] [--heartbeat <file>]\n"
       "      Algorithm-1 FMEA on an SSAM architecture: dominator-based\n"
       "      single-point analysis over the component graph, recursing into\n"
       "      composites. --jobs parallelises the per-component analyses\n"
@@ -179,7 +194,21 @@ int usage() {
       "      process-wide instrumentation registry.\n\n"
       "  same check-trace <trace.json>\n"
       "      Validate a Chrome trace-event file: JSON well-formedness,\n"
-      "      monotonic timestamps and balanced begin/end pairs per thread.\n\n"
+      "      monotonic timestamps and balanced begin/end pairs per\n"
+      "      (process, thread) lane — merged multi-shard traces included.\n\n"
+      "  same status <dir-or-heartbeat.json> [--stale-seconds S]\n"
+      "      Fold every *.heartbeat.json under <dir> into one live progress\n"
+      "      view: done/total, per-outcome counts, throughput, ETA and\n"
+      "      worker liveness per shard. A shard still 'running' whose\n"
+      "      heartbeat is older than S seconds (default 30) is flagged DEAD\n"
+      "      (exit 3); exit 1 when no heartbeat is found.\n\n"
+      "  same merge-metrics <shard0.json> <shard1.json> ... [--out <file>]\n"
+      "      Fold per-shard registry snapshots (--metrics-json) into one:\n"
+      "      counters summed, gauges last-write-by-timestamp, histograms\n"
+      "      added bucket-wise (a bucket-layout mismatch is an error).\n\n"
+      "  same merge-traces <shard0.json> <shard1.json> ... [--out <file>]\n"
+      "      Fold per-shard Chrome traces into one, each shard on its own\n"
+      "      process lane; the merge passes `same check-trace`.\n\n"
       "global flags (any subcommand):\n"
       "  --trace <out.json>   record spans of every engine to a Chrome\n"
       "                       trace-event file (open in about://tracing or\n"
@@ -188,6 +217,9 @@ int usage() {
       "  --metrics [<file>]   after the command, dump the instrumentation\n"
       "                       registry in Prometheus text format to <file>\n"
       "                       (stderr when no file is given).\n"
+      "  --metrics-json <file>  after the command, write the registry as a\n"
+      "                       shard-stamped JSON snapshot, mergeable across\n"
+      "                       shards with `same merge-metrics`.\n"
       "\n"
       "  `same campaign` is an alias for `same fmea` (the fault-injection\n"
       "  campaign engine).\n");
@@ -309,6 +341,16 @@ int cmd_graph_fmea(const Args& args) {
       std::fprintf(stderr, "error: --jobs must be >= 0 (0 = all cores)\n");
       return 2;
     }
+  }
+  if (const auto heartbeat = args.get("heartbeat")) {
+    if (*heartbeat == "true") {
+      std::fprintf(stderr, "error: --heartbeat requires a file path\n");
+      return 2;
+    }
+    options.heartbeat_path = *heartbeat;
+  }
+  if (const auto interval = args.get("heartbeat-interval")) {
+    options.heartbeat_interval_seconds = parse_double(*interval);
   }
 
   const auto result = core::analyze_component(model, component, options);
@@ -511,6 +553,16 @@ int cmd_fmea(const Args& args) {
   }
   options.execution.best_effort = args.has("best-effort");
   options.batch = !args.has("no-batch");
+  if (const auto heartbeat = args.get("heartbeat")) {
+    if (*heartbeat == "true") {
+      std::fprintf(stderr, "error: --heartbeat requires a file path\n");
+      return 2;
+    }
+    options.execution.heartbeat_path = *heartbeat;
+  }
+  if (const auto interval = args.get("heartbeat-interval")) {
+    options.execution.heartbeat_interval_seconds = parse_double(*interval);
+  }
 
   core::FmedaResult result;
   try {
@@ -698,6 +750,14 @@ int cmd_scalability(const Args& args) {
   return 0;
 }
 
+std::string read_file_or_throw(const std::string& path, const char* what) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError(std::string("cannot open ") + what + " '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
 int cmd_check_trace(const Args& args) {
   if (args.positional.empty()) return usage();
   const std::string& path = args.positional[0];
@@ -714,6 +774,93 @@ int cmd_check_trace(const Args& args) {
     return 1;
   }
   std::printf("ok: %s is a well-formed Chrome trace\n", path.c_str());
+  return 0;
+}
+
+int cmd_status(const Args& args) {
+  if (args.positional.empty()) return usage();
+  namespace fs = std::filesystem;
+  const std::string& target = args.positional[0];
+  const double stale_seconds = parse_double(args.get("stale-seconds").value_or("30"));
+
+  std::vector<std::string> files;
+  if (fs::is_regular_file(target)) {
+    files.push_back(target);
+  } else if (fs::is_directory(target)) {
+    for (const auto& entry : fs::directory_iterator(target)) {
+      if (entry.is_regular_file() &&
+          ends_with(entry.path().filename().string(), ".heartbeat.json")) {
+        files.push_back(entry.path().string());
+      }
+    }
+    std::sort(files.begin(), files.end());
+  } else {
+    std::fprintf(stderr, "error: '%s' is neither a directory nor a heartbeat file\n",
+                 target.c_str());
+    return 2;
+  }
+
+  std::vector<std::pair<std::string, obs::Heartbeat>> beats;
+  for (const std::string& file : files) {
+    try {
+      beats.emplace_back(file, obs::parse_heartbeat(read_file_or_throw(file, "heartbeat")));
+    } catch (const Error& error) {
+      std::fprintf(stderr, "warning: skipping '%s': %s\n", file.c_str(), error.what());
+    }
+  }
+  if (beats.empty()) {
+    std::fprintf(stderr, "no heartbeat found under '%s'\n", target.c_str());
+    return 1;
+  }
+
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const auto now_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(now).count());
+  const obs::StatusView view = obs::fold_status(beats, now_ms, stale_seconds);
+  std::printf("%s", view.render().c_str());
+  return view.dead_shards > 0 ? 3 : 0;
+}
+
+int cmd_merge_metrics(const Args& args) {
+  if (args.positional.empty()) return usage();
+  std::vector<std::string> texts;
+  for (const std::string& path : args.positional) {
+    texts.push_back(read_file_or_throw(path, "metrics snapshot"));
+  }
+  const std::string merged = obs::merge_registry_snapshots(texts);
+  if (const auto out = args.get("out")) {
+    std::ofstream file(*out, std::ios::binary);
+    if (!file) throw IoError("cannot write '" + *out + "'");
+    file << merged;
+    std::fprintf(stderr, "merged %zu snapshot(s) into %s\n", texts.size(), out->c_str());
+  } else {
+    std::printf("%s", merged.c_str());
+  }
+  return 0;
+}
+
+int cmd_merge_traces(const Args& args) {
+  if (args.positional.empty()) return usage();
+  std::vector<std::string> texts;
+  for (const std::string& path : args.positional) {
+    texts.push_back(read_file_or_throw(path, "trace"));
+  }
+  const std::string merged = obs::merge_chrome_traces(texts);
+  // The merge must itself be a valid trace — check before anyone ships it
+  // to a viewer, mirroring `same check-trace`.
+  const std::string problem = obs::validate_chrome_trace(merged);
+  if (!problem.empty()) {
+    std::fprintf(stderr, "error: merged trace is invalid: %s\n", problem.c_str());
+    return 1;
+  }
+  if (const auto out = args.get("out")) {
+    std::ofstream file(*out, std::ios::binary);
+    if (!file) throw IoError("cannot write '" + *out + "'");
+    file << merged;
+    std::fprintf(stderr, "merged %zu trace(s) into %s\n", texts.size(), out->c_str());
+  } else {
+    std::printf("%s", merged.c_str());
+  }
   return 0;
 }
 
@@ -735,6 +882,9 @@ int dispatch(const std::string& command, const Args& args) {
   if (command == "impact") return cmd_impact(args);
   if (command == "session") return cmd_session(args);
   if (command == "check-trace") return cmd_check_trace(args);
+  if (command == "status") return cmd_status(args);
+  if (command == "merge-metrics") return cmd_merge_metrics(args);
+  if (command == "merge-traces") return cmd_merge_traces(args);
   if (command == "help" || command == "--help" || command == "-h") {
     usage();
     return 0;
@@ -764,6 +914,13 @@ int finish_instrumentation(const Args& args, const std::optional<std::string>& t
       out << text;
       std::fprintf(stderr, "metrics written to %s\n", metrics->c_str());
     }
+  }
+  if (const auto snapshot = args.get("metrics-json")) {
+    if (*snapshot == "true") throw IoError("--metrics-json requires an output path");
+    std::ofstream out(*snapshot, std::ios::binary);
+    if (!out) throw IoError("cannot write metrics snapshot '" + *snapshot + "'");
+    out << obs::registry_snapshot_json(obs::Registry::global());
+    std::fprintf(stderr, "metrics snapshot written to %s\n", snapshot->c_str());
   }
   return 0;
 }
