@@ -63,10 +63,12 @@ core::ReliabilityModel make_reliability() {
   return reliability;
 }
 
-core::CircuitFmeaOptions options_with_jobs(int jobs, bool batch = true) {
+core::CircuitFmeaOptions options_with_jobs(int jobs, bool batch = true, bool sparse = true) {
   core::CircuitFmeaOptions options;
   options.jobs = jobs;
   options.batch = batch;
+  options.sparse = sparse;
+  options.solver.sparse = sparse;
   return options;
 }
 
@@ -96,10 +98,11 @@ void verify_determinism() {
               serial.rows.size());
 }
 
-void run_campaign(benchmark::State& state, int stages, int jobs, bool batch = true) {
+void run_campaign(benchmark::State& state, int stages, int jobs, bool batch = true,
+                  bool sparse = true) {
   const auto built = make_rail(stages);
   const auto reliability = make_reliability();
-  const auto options = options_with_jobs(jobs, batch);
+  const auto options = options_with_jobs(jobs, batch, sparse);
   size_t faults = 0;
   for (auto _ : state) {
     const auto fmea = core::analyze_circuit(built, reliability, nullptr, options);
@@ -119,16 +122,33 @@ BENCHMARK(BM_CampaignSerial)
     ->Arg(48)
     ->Unit(benchmark::kMillisecond);
 
-/// The classic one-solve-per-fault path (--no-batch), same subjects as
-/// BM_CampaignSerial: the ratio of the two is the factor-once speedup.
+/// The classic one-solve-per-fault dense path (--no-batch --no-sparse), same
+/// subjects as BM_CampaignSerial: the ratio of the two is the factor-once
+/// speedup, and the ratio against BM_CampaignSparseSerial is the sparse
+/// refactor-everywhere speedup.
 void BM_CampaignNaiveSerial(benchmark::State& state) {
-  run_campaign(state, static_cast<int>(state.range(0)), 1, /*batch=*/false);
+  run_campaign(state, static_cast<int>(state.range(0)), 1, /*batch=*/false,
+               /*sparse=*/false);
 }
 BENCHMARK(BM_CampaignNaiveSerial)
     ->ArgName("stages")
     ->Arg(8)
     ->Arg(24)
     ->Arg(48)
+    ->Unit(benchmark::kMillisecond);
+
+/// The sparse tier alone (--no-batch, sparse on): one symbolic analysis of
+/// the nominal pattern, then numeric refactorisation per fault. Swept into
+/// the sizes where the dense per-fault factor becomes the campaign cost.
+void BM_CampaignSparseSerial(benchmark::State& state) {
+  run_campaign(state, static_cast<int>(state.range(0)), 1, /*batch=*/false,
+               /*sparse=*/true);
+}
+BENCHMARK(BM_CampaignSparseSerial)
+    ->ArgName("stages")
+    ->Arg(48)
+    ->Arg(96)
+    ->Arg(192)
     ->Unit(benchmark::kMillisecond);
 
 void BM_CampaignParallel(benchmark::State& state) {
@@ -234,7 +254,7 @@ void verify_batched_identity() {
   const auto built = make_rail(12);
   const auto reliability = make_reliability();
   const auto naive =
-      core::analyze_circuit(built, reliability, nullptr, options_with_jobs(1, false));
+      core::analyze_circuit(built, reliability, nullptr, options_with_jobs(1, false, false));
   for (const int jobs : {1, 8}) {
     const auto batched =
         core::analyze_circuit(built, reliability, nullptr, options_with_jobs(jobs, true));
@@ -246,34 +266,77 @@ void verify_batched_identity() {
               "to one-solve-per-fault (jobs 1 and 8)\n\n");
 }
 
-/// Throughput gate (acceptance criterion): on the shared-pattern rail
-/// subject the single-thread batched campaign must run >= 10x faster than
-/// the naive one. The rail pins the supply with the source + sensor, so
-/// each fault perturbs one decoupled tap — the case the factor-once design
-/// is built for.
+/// Sparse-identity gate: at every swept size below the throughput subject,
+/// both the sparse tier alone (--no-batch) and the default batch+sparse
+/// ladder must emit exactly the dense-only campaign's bytes, serial and
+/// parallel. The 192-stage subject is covered inside the throughput gate,
+/// which compares the very runs it times.
+void verify_sparse_identity() {
+  const auto reliability = make_reliability();
+  for (const int stages : {12, 48, 96}) {
+    const auto built = make_rail(stages);
+    const auto dense = core::analyze_circuit(built, reliability, nullptr,
+                                             options_with_jobs(1, false, false));
+    const auto dense_csv = write_csv(dense.to_csv());
+    for (const int jobs : {1, 8}) {
+      const auto sparse_only = core::analyze_circuit(built, reliability, nullptr,
+                                                     options_with_jobs(jobs, false, true));
+      expect(dense_csv == write_csv(sparse_only.to_csv()),
+             "sparse-tier FMEDA table differs from dense-only");
+      expect(dense.warnings == sparse_only.warnings,
+             "sparse-tier warnings differ from dense-only");
+      const auto combined = core::analyze_circuit(built, reliability, nullptr,
+                                                  options_with_jobs(jobs, true, true));
+      expect(dense_csv == write_csv(combined.to_csv()),
+             "batch+sparse FMEDA table differs from dense-only");
+      expect(dense.warnings == combined.warnings,
+             "batch+sparse warnings differ from dense-only");
+    }
+  }
+  std::printf("sparse identity verified: sparse tier and batch+sparse ladder "
+              "byte-identical to dense-only at 12/48/96 stages (jobs 1 and 8)\n\n");
+}
+
+/// Throughput gate (acceptance criterion): on the shared-pattern 192-stage
+/// rail the single-thread batched campaign must run >= 10x faster than the
+/// dense-only naive one, and the sparse tier alone (--no-batch) >= 3x. The
+/// expensive dense run is timed once and shared by both ratios, and the
+/// three timed runs double as the 192-stage byte-identity check.
 void verify_throughput_gate() {
   const auto built = make_rail(192);
   const auto reliability = make_reliability();
-  const auto naive_options = options_with_jobs(1, false);
-  const auto batched_options = options_with_jobs(1, true);
+  const auto naive_options = options_with_jobs(1, false, false);
+  const auto sparse_options = options_with_jobs(1, false, true);
+  const auto batched_options = options_with_jobs(1, true, true);
   // One untimed pass each to warm allocators and page in the code.
   (void)core::analyze_circuit(built, reliability, nullptr, batched_options);
 
-  const auto time_one = [&](const core::CircuitFmeaOptions& options) {
+  std::string csv[3];
+  std::vector<std::string> warnings[3];
+  const auto time_one = [&](const core::CircuitFmeaOptions& options, int slot) {
     const auto start = std::chrono::steady_clock::now();
     const auto fmea = core::analyze_circuit(built, reliability, nullptr, options);
     const auto elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start);
     benchmark::DoNotOptimize(fmea.spfm());
+    csv[slot] = write_csv(fmea.to_csv());
+    warnings[slot] = fmea.warnings;
     return elapsed.count();
   };
-  const double naive_s = time_one(naive_options);
-  const double batched_s = time_one(batched_options);
-  const double speedup = naive_s / batched_s;
-  std::printf("throughput gate: naive %.3fs, batched %.3fs -> %.1fx single-thread "
-              "(floor 10x)\n\n",
-              naive_s, batched_s, speedup);
+  const double naive_s = time_one(naive_options, 0);
+  const double sparse_s = time_one(sparse_options, 1);
+  const double batched_s = time_one(batched_options, 2);
+  expect(csv[1] == csv[0] && warnings[1] == warnings[0],
+         "192-stage sparse-tier FMEDA differs from dense-only");
+  expect(csv[2] == csv[0] && warnings[2] == warnings[0],
+         "192-stage batch+sparse FMEDA differs from dense-only");
+  const double batched_speedup = naive_s / batched_s;
+  const double sparse_speedup = naive_s / sparse_s;
+  std::printf("throughput gate: naive %.3fs, sparse %.3fs (%.1fx, floor 3x), "
+              "batched %.3fs (%.1fx, floor 10x) single-thread\n\n",
+              naive_s, sparse_s, sparse_speedup, batched_s, batched_speedup);
   std::fflush(stdout);
-  expect(speedup >= 10.0, "batched campaign speedup below the 10x floor");
+  expect(batched_speedup >= 10.0, "batched campaign speedup below the 10x floor");
+  expect(sparse_speedup >= 3.0, "sparse campaign speedup below the 3x floor");
 }
 
 }  // namespace
@@ -283,6 +346,7 @@ int main(int argc, char** argv) {
   verify_determinism();
   verify_shard_merge();
   verify_batched_identity();
+  verify_sparse_identity();
   verify_throughput_gate();
   return bench_obs::run_benchmarks(argc, argv, "campaign");
 }

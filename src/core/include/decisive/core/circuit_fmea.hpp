@@ -82,6 +82,15 @@ struct CircuitFmeaOptions {
   /// fingerprint and journals interchange freely between the two modes.
   /// `false` is the `--no-batch` escape hatch.
   bool batch = true;
+  /// Sparse middle tier of the campaign solve ladder (campaign_solver.hpp):
+  /// one symbolic analysis of the nominal stamp pattern, shared read-only by
+  /// every worker; same-structure faults refactor numerics only and
+  /// structural Open/Short faults reuse the symbolic prefix. Accepted only
+  /// behind the same correctness gates as the batched path — the naive
+  /// fallback always runs the dense kernel — so output is byte-identical
+  /// either way and, like `batch`, the flag is excluded from the campaign
+  /// fingerprint. `false` is the `--no-sparse` escape hatch.
+  bool sparse = true;
   /// Journal / shard / containment controls of the campaign run.
   CampaignExecution execution;
 

@@ -39,6 +39,8 @@ struct CampaignMetrics {
   obs::Counter& batched_rows;
   obs::Counter& batch_fallbacks;
   obs::Counter& batch_near_threshold;
+  obs::Counter& sparse_rows;
+  obs::Counter& sparse_fallbacks;
   obs::Counter& retries;
   obs::Counter& checkpoint_replays;
   obs::Counter& journal_appends;
@@ -63,6 +65,8 @@ struct CampaignMetrics {
         registry.counter("decisive_campaign_batched_rows_total"),
         registry.counter("decisive_campaign_batch_fallback_total"),
         registry.counter("decisive_campaign_batch_near_threshold_total"),
+        registry.counter("decisive_campaign_sparse_rows_total"),
+        registry.counter("decisive_campaign_sparse_fallback_total"),
         registry.counter("decisive_campaign_retries_total"),
         registry.counter("decisive_campaign_checkpoint_replays_total"),
         registry.counter("decisive_campaign_journal_appends_total"),
@@ -268,7 +272,9 @@ FmedaRow CampaignRunner::run_task_once(const Task& task,
                                        const sim::OperatingPoint& baseline,
                                        const sim::SolveOptions& solver, int attempt,
                                        const sim::CampaignSolveContext* batch,
-                                       sim::CampaignSolveContext::Workspace* batch_ws) const {
+                                       sim::CampaignSolveContext::Workspace* batch_ws,
+                                       const sim::CampaignSparseContext* sparse,
+                                       sim::CampaignSparseContext::Workspace* sparse_ws) const {
   FmedaRow row;
   row.component = task.component->path;
   row.component_type = task.reliability->component_type;
@@ -321,8 +327,40 @@ FmedaRow CampaignRunner::run_task_once(const Task& task,
       metrics.batch_fallbacks.add();
     }
 
+    // Sparse middle tier: refactor the fault's numbers through the shared
+    // symbolic analysis (or its surviving prefix, for structural faults).
+    // Accepted rows pass the same gate ladder as the batched path; anything
+    // else falls through to the naive dense solve below.
+    if (sparse != nullptr && sparse_ws != nullptr) {
+      CampaignMetrics& metrics = CampaignMetrics::get();
+      sim::SolveDiagnostics sparse_diagnostics;
+      sim::BatchOutcome sparse_outcome = sim::BatchOutcome::Disabled;
+      const auto solved =
+          sparse->try_solve(faulted, fault, *sparse_ws, sparse_diagnostics, sparse_outcome);
+      if (solved.has_value()) {
+        double margin = std::numeric_limits<double>::infinity();
+        const EffectClass effect = classify(options_, baseline, *solved, &margin);
+        if (margin > kClassifyGuard) {
+          row.solver_iterations = sparse_diagnostics.iterations;
+          row.ladder_rung = 0;
+          row.outcome = FaultOutcome::Converged;
+          row.effect = effect;
+          row.safety_related = effect != EffectClass::None;
+          metrics.sparse_rows.add();
+          return row;
+        }
+        metrics.batch_near_threshold.add();
+      }
+      metrics.sparse_fallbacks.add();
+    }
+
+    // Naive oracle: always the dense kernel, whatever the session-level
+    // sparse default — the FMEDA byte-identity contract is "same bytes as a
+    // dense-only campaign", and every gate above funnels doubt down here.
+    sim::SolveOptions naive = solver;
+    naive.sparse = false;
     sim::SolveDiagnostics diagnostics;
-    const auto after = sim::try_dc_operating_point(faulted, solver, diagnostics);
+    const auto after = sim::try_dc_operating_point(faulted, naive, diagnostics);
     row.solver_iterations = diagnostics.iterations;
     row.ladder_rung = diagnostics.ladder_rung;
     if (after.has_value()) {
@@ -375,12 +413,15 @@ FmedaRow CampaignRunner::run_task_once(const Task& task,
 
 FmedaRow CampaignRunner::run_task(const Task& task, const sim::OperatingPoint& baseline,
                                   const sim::CampaignSolveContext* batch,
-                                  sim::CampaignSolveContext::Workspace* batch_ws) const {
+                                  sim::CampaignSolveContext::Workspace* batch_ws,
+                                  const sim::CampaignSparseContext* sparse,
+                                  sim::CampaignSparseContext::Workspace* sparse_ws) const {
   CampaignMetrics& metrics = CampaignMetrics::get();
   metrics.tasks.add();
   obs::Span span("campaign.task", &metrics.task_seconds);
 
-  FmedaRow row = run_task_once(task, baseline, options_.solver, 0, batch, batch_ws);
+  FmedaRow row =
+      run_task_once(task, baseline, options_.solver, 0, batch, batch_ws, sparse, sparse_ws);
 
   // Containment retries: a crashed or budget-exhausted task gets up to
   // max_retries re-runs, each with a fresh solve (the ladder restarts from
@@ -400,9 +441,9 @@ FmedaRow CampaignRunner::run_task(const Task& task, const sim::OperatingPoint& b
     if (tighter.max_wall_clock_seconds > 0) {
       tighter.max_wall_clock_seconds *= execution.retry_budget_scale;
     }
-    // Retries deliberately skip the batched path: a crash/budget outcome is
-    // exactly the suspicious case the naive ladder must re-decide.
-    row = run_task_once(task, baseline, tighter, attempt, nullptr, nullptr);
+    // Retries deliberately skip the batched and sparse paths: a crash/budget
+    // outcome is exactly the suspicious case the naive ladder must re-decide.
+    row = run_task_once(task, baseline, tighter, attempt, nullptr, nullptr, nullptr, nullptr);
     row.retries = attempt;
   }
 
@@ -521,7 +562,12 @@ FmedaResult CampaignRunner::run() const {
     sim::SolveDiagnostics baseline_diagnostics;
     {
       obs::Span baseline_span("campaign.baseline");
-      baseline = sim::try_dc_operating_point(built_.circuit, options_.solver,
+      // The baseline anchors every row's classification, so it always runs
+      // on the dense kernel: campaign bytes must not depend on the sparse
+      // default (the sparse tier is gated against exactly this baseline).
+      sim::SolveOptions baseline_solver = options_.solver;
+      baseline_solver.sparse = false;
+      baseline = sim::try_dc_operating_point(built_.circuit, baseline_solver,
                                              baseline_diagnostics);
     }
     if (!baseline.has_value()) {
@@ -567,14 +613,27 @@ FmedaResult CampaignRunner::run() const {
     if (!batch->usable()) batch.reset();
   }
 
+  // Step 1c: the sparse middle tier — one symbolic analysis of the nominal
+  // stamp pattern, shared read-only by every worker. Faults the batch
+  // declines (structural ones especially) refactor numerics through it
+  // before paying for a naive dense ladder run.
+  std::optional<sim::CampaignSparseContext> sparse;
+  if (options_.sparse && options_.solver.sparse && !pending.empty()) {
+    obs::Span context_span("campaign.sparse_context");
+    sparse.emplace(built_.circuit, options_.solver);
+    if (!sparse->usable()) sparse.reset();
+  }
+
   // Step 2: execute the pending fault tasks. Faults are independent
   // re-simulations of copies of the circuit, so this is embarrassingly
   // parallel; results land in pre-assigned slots, keeping output
   // deterministic for any job count.
   if (!pending.empty()) {
-    auto process = [&](size_t s, sim::CampaignSolveContext::Workspace& ws, int worker_id) {
+    auto process = [&](size_t s, sim::CampaignSolveContext::Workspace& ws,
+                       sim::CampaignSparseContext::Workspace& sws, int worker_id) {
       rows[s] = run_task(tasks_[shard[s]], *baseline, batch ? &*batch : nullptr,
-                         batch ? &ws : nullptr);
+                         batch ? &ws : nullptr, sparse ? &*sparse : nullptr,
+                         sparse ? &sws : nullptr);
       if (journal != nullptr) {
         journal->append(shard[s], rows[s]);
         metrics.journal_appends.add();
@@ -591,7 +650,8 @@ FmedaResult CampaignRunner::run() const {
 
     if (jobs <= 1) {
       sim::CampaignSolveContext::Workspace ws;
-      for (const size_t s : pending) process(s, ws, 0);
+      sim::CampaignSparseContext::Workspace sws;
+      for (const size_t s : pending) process(s, ws, sws, 0);
     } else {
       const CrashHooks hooks = CrashHooks::from_env();
       std::atomic<size_t> next{0};
@@ -600,6 +660,7 @@ FmedaResult CampaignRunner::run() const {
       std::mutex error_mutex;
       auto worker = [&](int worker_id) {
         sim::CampaignSolveContext::Workspace ws;
+        sim::CampaignSparseContext::Workspace sws;
         try {
           for (size_t i = next.fetch_add(1); i < pending.size(); i = next.fetch_add(1)) {
             const size_t s = pending[i];
@@ -608,7 +669,7 @@ FmedaResult CampaignRunner::run() const {
               throw std::runtime_error(
                   "injected worker death (DECISIVE_CAMPAIGN_WORKER_DIE)");
             }
-            process(s, ws, worker_id);
+            process(s, ws, sws, worker_id);
           }
         } catch (...) {
           const std::lock_guard<std::mutex> lock(error_mutex);
@@ -639,8 +700,9 @@ FmedaResult CampaignRunner::run() const {
                      "); circuit breaker tripped — finishing serially");
         metrics.jobs.set(1.0);
         sim::CampaignSolveContext::Workspace ws;
+        sim::CampaignSparseContext::Workspace sws;
         for (const size_t s : pending) {
-          if (!done[s]) process(s, ws, 0);
+          if (!done[s]) process(s, ws, sws, 0);
         }
       }
     }

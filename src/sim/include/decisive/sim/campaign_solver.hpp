@@ -100,4 +100,63 @@ class CampaignSolveContext {
   bool usable_ = false;
 };
 
+/// Sparse middle tier of the campaign solve ladder (batch Woodbury first,
+/// then this, then the naive dense path). One symbolic analysis of the
+/// nominal stamp pattern is shared read-only across workers; every fault
+/// preserving that structure is a pure numeric refactorisation, and a
+/// structural Open/Short that deletes a branch unknown reuses the untouched
+/// symbolic prefix via partial refactorisation. Results are accepted only
+/// behind the same gate ladder as the batched path (clean rung-0
+/// convergence with iteration headroom, a full-system residual check
+/// against the exact faulted matrix, and the MCU knife-edge guard) — any
+/// doubt re-runs the fault on the naive dense path, so campaign output is
+/// byte-identical with the tier on or off.
+class CampaignSparseContext {
+ public:
+  /// Per-worker scratch: the faulted circuit's assembly plan, the sparse
+  /// factorisation, and the residual/RHS buffers. Opaque — everything in it
+  /// is an implementation detail of the sim library.
+  class Workspace {
+   public:
+    Workspace();
+    ~Workspace();
+    Workspace(Workspace&&) noexcept;
+    Workspace& operator=(Workspace&&) noexcept;
+
+   private:
+    friend class CampaignSparseContext;
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+  };
+
+  /// Solves the nominal circuit (plain Newton on the sparse kernel) and
+  /// freezes its symbolic analysis. Unusable when sparse is disabled, the
+  /// system is below the sparse dimension threshold, or the nominal solve
+  /// needed anything beyond a clean sparse Newton run.
+  CampaignSparseContext(const Circuit& nominal, const SolveOptions& options);
+
+  [[nodiscard]] bool usable() const noexcept { return usable_; }
+
+  /// Attempts the sparse solve of `faulted`. Returns the operating point
+  /// when the solve converged and passed every gate; std::nullopt otherwise,
+  /// with `outcome` naming the fallback reason (BatchOutcome vocabulary).
+  [[nodiscard]] std::optional<OperatingPoint> try_solve(const Circuit& faulted,
+                                                        const Fault& fault, Workspace& ws,
+                                                        SolveDiagnostics& diagnostics,
+                                                        BatchOutcome& outcome) const;
+
+  /// The nominal operating point (valid when usable()).
+  [[nodiscard]] const OperatingPoint& nominal_point() const noexcept { return nominal_point_; }
+
+  ~CampaignSparseContext();
+  CampaignSparseContext(CampaignSparseContext&&) noexcept;
+  CampaignSparseContext& operator=(CampaignSparseContext&&) noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  OperatingPoint nominal_point_;
+  bool usable_ = false;
+};
+
 }  // namespace decisive::sim

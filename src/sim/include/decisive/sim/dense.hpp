@@ -14,10 +14,10 @@
 // update applies each row's multipliers in ascending pivot order, which is
 // exactly the per-entry operation sequence of the unblocked loop. Pivot
 // selection (first strictly-largest magnitude, diagonal wins ties), the
-// 1e-30 singularity floor, and the `multiplier == 0` skip (which avoids
-// 0 * Inf = NaN on rows carrying infinities from pathological inputs) are
-// all preserved, so refactoring the solver onto this kernel changed no
-// output byte.
+// magnitude-relative singularity floor, and the `multiplier == 0` skip
+// (which avoids 0 * Inf = NaN on rows carrying infinities from pathological
+// inputs) are all preserved, so refactoring the solver onto this kernel
+// changed no output byte.
 #pragma once
 
 #include <algorithm>
@@ -30,9 +30,26 @@
 
 namespace decisive::sim::dense {
 
-/// Pivot magnitudes below this floor mean a structurally singular system
-/// (floating node, short loop, contradictory sources).
+/// Absolute pivot floor: catches the exactly-zero pivot of an empty or
+/// rank-deficient column even when the matrix magnitude is itself zero.
 inline constexpr double kPivotFloor = 1e-30;
+
+/// Relative pivot floor, shared by the dense and sparse kernels. The old
+/// absolute 1e-30 floor misclassified well-scaled *tiny* systems (every
+/// entry ~1e-32, condition number ~1) as structurally singular; scaling the
+/// floor to the matrix's largest magnitude keeps the singularity test about
+/// *structure* (floating node, short loop, contradictory sources) instead of
+/// units. 1e-20 leaves the 1e-12 gmin pivots of a default-options MNA system
+/// (matrix max ~1e3 from the milliohm closed-switch stamps) eight orders of
+/// magnitude above the floor.
+inline constexpr double kPivotRelativeFloor = 1e-20;
+
+/// The singularity floor for a matrix whose largest entry magnitude is
+/// `matrix_max`: relative when the matrix has any magnitude, the absolute
+/// floor otherwise (so the all-zero matrix still reads as singular).
+[[nodiscard]] inline double singular_floor(double matrix_max) noexcept {
+  return matrix_max > 0.0 ? kPivotRelativeFloor * matrix_max : kPivotFloor;
+}
 
 /// Columns factored per panel before the deferred trailing update. Chosen so
 /// a panel of typical MNA rows stays cache-resident; correctness does not
@@ -69,6 +86,11 @@ class LuFactorization {
     const std::size_t n = n_;
     T* a = lu_.data();
     pivots_.resize(n);
+    // One O(n^2) magnitude scan (negligible against the O(n^3) elimination)
+    // anchors the singularity floor to the matrix's own scale.
+    double matrix_max = 0.0;
+    for (const T& value : lu_) matrix_max = std::max(matrix_max, std::abs(value));
+    const double floor = singular_floor(matrix_max);
     for (std::size_t k0 = 0; k0 < n; k0 += kPanelWidth) {
       const std::size_t k1 = std::min(k0 + kPanelWidth, n);
       // Panel factorisation: pivot, scale, and update panel columns only.
@@ -86,7 +108,7 @@ class LuFactorization {
             pivot = row;
           }
         }
-        if (best < kPivotFloor) throw SimulationError(singular_message);
+        if (best < floor) throw SimulationError(singular_message);
         pivots_[k] = pivot;
         if (pivot != k) {
           std::swap_ranges(a + k * n, a + (k + 1) * n, a + pivot * n);
@@ -157,7 +179,10 @@ class LuFactorization {
 
 /// Validates a nested-vector system: square matrix matching b, every row the
 /// full width. Malformed systems used to read out of bounds in the complex
-/// kernel; now both element types throw SimulationError up front.
+/// kernel; now both element types throw SimulationError up front. Only the
+/// one-shot public entry points pay this per call — the repeated-solve paths
+/// (Newton, transient, AC sweep, campaign) fix their shape once per circuit
+/// structure (mna::Structure / mna::SparsePlan) and reuse flat workspaces.
 template <typename T>
 void validate_system(const std::vector<std::vector<T>>& a, const std::vector<T>& b) {
   const std::size_t n = b.size();

@@ -47,6 +47,17 @@ struct SolveOptions {
   /// Wall-clock budget for one DC solve including every recovery-ladder
   /// attempt; <= 0 disables the budget.
   double max_wall_clock_seconds = 5.0;
+
+  /// Use the sparse symbolic-LU kernel for systems of at least
+  /// `sparse_min_dim` unknowns: the stamp pattern is analysed once per
+  /// circuit structure and every later Newton iteration / transient step /
+  /// AC point replays the numbers through the frozen pattern. Any numeric
+  /// surprise (pivot-gate trip, fill blow-up, non-convergence) silently
+  /// re-runs the attempt on the dense kernel, so results are identical to
+  /// `sparse = false`; the flag is an escape hatch, not a different answer.
+  bool sparse = true;
+  int sparse_min_dim = 48;       ///< below this, dense factorisation wins anyway
+  double sparse_max_fill = 0.25; ///< LU nnz / n^2 above which dense takes over
   /// When plain Newton gives up, try gmin stepping then source stepping
   /// before declaring the solve failed.
   bool recovery_ladder = true;

@@ -501,4 +501,262 @@ std::optional<OperatingPoint> CampaignSolveContext::try_solve(const Circuit& fau
   return mna::make_operating_point(faulted, attempt.result);
 }
 
+// ---------------------------------------------------------------------------
+// CampaignSparseContext
+
+struct CampaignSparseContext::Workspace::Impl {
+  mna::SparsePlan plan;             ///< the faulted circuit's pattern + slot replay
+  sparse::SparseLu<double> slu;
+  std::vector<double> rhs;          ///< final-iteration RHS (kept for the residual gate)
+  std::vector<double> solution;     ///< solve buffer, so `rhs` survives the solve
+  std::vector<double> residual;
+};
+
+CampaignSparseContext::Workspace::Workspace() : impl_(std::make_unique<Impl>()) {}
+CampaignSparseContext::Workspace::~Workspace() = default;
+CampaignSparseContext::Workspace::Workspace(Workspace&&) noexcept = default;
+CampaignSparseContext::Workspace& CampaignSparseContext::Workspace::operator=(
+    Workspace&&) noexcept = default;
+
+struct CampaignSparseContext::Impl {
+  Circuit nominal;
+  SolveOptions opt;
+  mna::Structure structure;
+  mna::CompanionState dc_state;  // DC: no companion sources
+  mna::NewtonSeed seed;          // nominal converged state: warm start for faults
+  mna::SparsePlan plan;          // nominal pattern, the partial_factor base
+  std::shared_ptr<const sparse::Symbolic> symbolic;  // nominal symbolic analysis
+};
+
+CampaignSparseContext::CampaignSparseContext(const Circuit& nominal,
+                                             const SolveOptions& options)
+    : impl_(std::make_unique<Impl>()) {
+  Impl& im = *impl_;
+  im.nominal = nominal;
+  im.opt = options;
+  im.structure = mna::analyze_structure(im.nominal, false);
+  if (!options.sparse ||
+      im.structure.dim < static_cast<std::size_t>(std::max(options.sparse_min_dim, 1))) {
+    return;  // below the sparse threshold: the naive/batch tiers already cover it
+  }
+
+  // Nominal plain-Newton solve on the sparse kernel; its workspace hands us
+  // the frozen assembly plan and symbolic analysis to share across workers.
+  mna::Deadline deadline;
+  if (options.max_wall_clock_seconds > 0.0) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(options.max_wall_clock_seconds));
+  }
+  mna::Workspace ws;
+  mna::NewtonAttempt attempt = mna::attempt_solve_auto(im.nominal, im.opt, im.dc_state,
+                                                       im.structure, nullptr, deadline, ws);
+  if (!attempt.converged || ws.sparse_disabled || ws.slu.symbolic() == nullptr) {
+    return;  // a nominal circuit the sparse kernel distrusts stays naive
+  }
+  nominal_point_ = mna::make_operating_point(im.nominal, attempt.result);
+  im.seed.x = std::move(attempt.x);
+  im.seed.diode_v = std::move(attempt.diode_v);
+  im.plan = std::move(ws.plan);
+  im.symbolic = ws.slu.symbolic();
+  usable_ = true;
+}
+
+CampaignSparseContext::~CampaignSparseContext() = default;
+CampaignSparseContext::CampaignSparseContext(CampaignSparseContext&&) noexcept = default;
+CampaignSparseContext& CampaignSparseContext::operator=(CampaignSparseContext&&) noexcept =
+    default;
+
+std::optional<OperatingPoint> CampaignSparseContext::try_solve(
+    const Circuit& faulted, const Fault& fault, Workspace& ws, SolveDiagnostics& diagnostics,
+    BatchOutcome& outcome) const {
+  (void)fault;  // every fault kind routes through the same structure analysis
+  if (!usable_) {
+    outcome = BatchOutcome::Disabled;
+    return std::nullopt;
+  }
+  const Impl& im = *impl_;
+  sparse::SparseMetrics& smetrics = sparse::SparseMetrics::get();
+  Workspace::Impl& w = *ws.impl_;
+
+  const mna::Structure st = mna::analyze_structure(faulted, false);
+  if (st.dim == 0 || st.dim > im.structure.dim ||
+      st.n_nodes != im.structure.n_nodes) {
+    // Faults only ever *remove* branch unknowns (Open/Short turn a source or
+    // DC inductor into a resistor); anything else is out of contract.
+    outcome = BatchOutcome::Structural;
+    return std::nullopt;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  mna::Deadline deadline;
+  if (im.opt.max_wall_clock_seconds > 0.0) {
+    deadline = start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(im.opt.max_wall_clock_seconds));
+  }
+
+  // The faulted circuit's own assembly plan (pattern + slot replay), derived
+  // once per fault; the per-iteration cost is then pure numeric refill.
+  w.plan.build(faulted, im.opt, im.dc_state, st);
+
+  // First-factorisation mode: an unchanged pattern adopts the shared nominal
+  // symbolic (numeric replay only); a deleted branch unknown reuses the
+  // untouched symbolic prefix via partial_factor; anything else pays a full
+  // factorisation (still one-off — later iterations refactor).
+  enum class First { Refactor, Partial, Full };
+  First first = First::Full;
+  std::vector<std::int32_t> new_of_old;
+  if (st.dim == im.structure.dim && w.plan.fingerprint == im.plan.fingerprint) {
+    w.slu.adopt(im.symbolic);
+    smetrics.symbolic_reuse.add();
+    first = First::Refactor;
+  } else if (st.dim < im.structure.dim) {
+    // Node rows are untouched and surviving branch rows keep their element
+    // order, so the old-to-new unknown map is strictly increasing over
+    // survivors — exactly partial_factor's contract.
+    const int keep_nodes = im.structure.n_nodes - 1;
+    new_of_old.assign(im.structure.dim, -1);
+    for (int r = 0; r < keep_nodes; ++r) new_of_old[static_cast<std::size_t>(r)] = r;
+    for (std::size_t i = 0; i < im.nominal.elements().size(); ++i) {
+      const int old_b = im.structure.branch_index[i];
+      if (old_b < 0) continue;
+      const int new_b = st.branch_index[i];
+      new_of_old[static_cast<std::size_t>(keep_nodes + old_b)] =
+          new_b < 0 ? -1 : keep_nodes + new_b;
+    }
+    first = First::Partial;
+  }
+
+  bool factored = false;
+  auto solve_step = [&](const std::vector<double>& diode_v, std::vector<double>& x_out,
+                        SolveFailure& failure, std::string& message) {
+    w.rhs.assign(st.dim, 0.0);
+    if (!w.plan.refill(faulted, im.opt, im.dc_state, st, diode_v, w.rhs.data())) {
+      failure = SolveFailure::Singular;
+      message = "sparse plan does not match the stamped circuit";
+      return false;
+    }
+    std::string err;
+    bool ok = false;
+    if (factored) {
+      ok = w.slu.refactor(w.plan.pattern, w.plan.values.data(), &err);
+      if (!ok) {
+        ok = w.slu.factor(w.plan.pattern, w.plan.values.data(), &err);
+        if (ok) smetrics.repivots.add();
+      }
+    } else {
+      switch (first) {
+        case First::Refactor:
+          ok = w.slu.refactor(w.plan.pattern, w.plan.values.data(), &err);
+          if (!ok) {
+            ok = w.slu.factor(w.plan.pattern, w.plan.values.data(), &err);
+            if (ok) smetrics.repivots.add();
+          }
+          break;
+        case First::Partial:
+          ok = w.slu.partial_factor(*im.symbolic, im.plan.pattern, new_of_old,
+                                    w.plan.pattern, w.plan.values.data(), nullptr, &err);
+          if (!ok) ok = w.slu.factor(w.plan.pattern, w.plan.values.data(), &err);
+          break;
+        case First::Full:
+          ok = w.slu.factor(w.plan.pattern, w.plan.values.data(), &err);
+          break;
+      }
+      if (ok) {
+        factored = true;
+        const double dim_sq =
+            static_cast<double>(st.dim) * static_cast<double>(st.dim);
+        if (static_cast<double>(w.slu.lu_nnz()) > im.opt.sparse_max_fill * dim_sq) {
+          smetrics.fallback_fill.add();
+          failure = SolveFailure::Singular;
+          message = "sparse factorisation fill exceeded the density gate";
+          return false;
+        }
+      }
+    }
+    if (!ok) {
+      failure = SolveFailure::Singular;
+      message = std::move(err);
+      return false;
+    }
+    // Solve into a separate buffer so `w.rhs` still holds the final-iteration
+    // RHS for the residual gate below.
+    w.solution = w.rhs;
+    w.slu.solve_in_place(w.solution.data());
+    x_out = w.solution;
+    return true;
+  };
+
+  mna::NewtonAttempt attempt =
+      mna::newton_attempt(faulted, im.opt, st, &im.seed, deadline, solve_step);
+  if (!attempt.converged) {
+    outcome = (attempt.failure == SolveFailure::IterationBudget ||
+               attempt.failure == SolveFailure::WallClockBudget ||
+               attempt.failure == SolveFailure::NonFinite)
+                  ? BatchOutcome::NotConverged
+                  : BatchOutcome::Conditioning;
+    return std::nullopt;
+  }
+  if (near_iteration_budget(attempt.iterations, im.opt)) {
+    // Same convergence-margin guard as the batched path: a warm start that
+    // barely fits the budget might converge where the cold naive path would
+    // not — the naive path must decide.
+    outcome = BatchOutcome::NotConverged;
+    return std::nullopt;
+  }
+
+  // Residual gate against the *exact* faulted matrix (w.plan.values and
+  // w.rhs are still those of the final linearisation): r = rhs - A x must
+  // vanish to solver precision. The naive path never checks a residual, so
+  // gating the accepted solution is strictly stronger.
+  {
+    const std::vector<double>& x = attempt.x;
+    double rhs_norm = 0.0;
+    for (std::size_t r = 0; r < st.dim; ++r) rhs_norm = std::max(rhs_norm, std::abs(w.rhs[r]));
+    w.residual.assign(w.rhs.begin(), w.rhs.end());
+    const sparse::Pattern& pattern = w.plan.pattern;
+    for (std::size_t c = 0; c < st.dim; ++c) {
+      const double xc = x[c];
+      if (xc == 0.0) continue;
+      for (std::int32_t p = pattern.col_ptr[c]; p < pattern.col_ptr[c + 1]; ++p) {
+        w.residual[static_cast<std::size_t>(pattern.row_ind[static_cast<std::size_t>(p)])] -=
+            w.plan.values[static_cast<std::size_t>(p)] * xc;
+      }
+    }
+    double res_norm = 0.0;
+    for (std::size_t r = 0; r < st.dim; ++r) {
+      res_norm = std::max(res_norm, std::abs(w.residual[r]));
+    }
+    if (!std::isfinite(res_norm) ||
+        res_norm > kResidualRelative * std::max(1.0, rhs_norm)) {
+      outcome = BatchOutcome::Conditioning;
+      return std::nullopt;
+    }
+  }
+
+  // Knife-edge gate: ulp-level differences from the naive dense path must
+  // not flip a discrete MCU brown-out reading.
+  for (std::size_t i = 0; i < faulted.elements().size(); ++i) {
+    const Element& e = faulted.elements()[i];
+    if (e.kind != ElementKind::Mcu) continue;
+    const double supply = attempt.result.node_voltage[static_cast<std::size_t>(e.a)] -
+                          attempt.result.node_voltage[static_cast<std::size_t>(e.b)];
+    if (std::abs(supply - e.min_supply) < kMcuSupplyGuard) {
+      outcome = BatchOutcome::NearThreshold;
+      return std::nullopt;
+    }
+  }
+
+  diagnostics = SolveDiagnostics{};
+  diagnostics.converged = true;
+  diagnostics.strategy = SolveStrategy::Newton;
+  diagnostics.ladder_rung = 0;
+  diagnostics.iterations = attempt.iterations;
+  diagnostics.residual = attempt.residual;
+  diagnostics.failure = SolveFailure::None;
+  diagnostics.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  outcome = BatchOutcome::Solved;
+  return mna::make_operating_point(faulted, attempt.result);
+}
+
 }  // namespace decisive::sim

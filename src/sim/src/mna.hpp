@@ -24,6 +24,7 @@
 #include "decisive/sim/circuit.hpp"
 #include "decisive/sim/dense.hpp"
 #include "decisive/sim/solver.hpp"
+#include "decisive/sim/sparse.hpp"
 
 namespace decisive::sim::mna {
 
@@ -139,13 +140,17 @@ inline DiodeLinearisation linearise_diode(double diode_v_estimate, const SolveOp
   return DiodeLinearisation{geq, id - geq * vd};
 }
 
-/// Stamps the MNA system for the given diode linearisation point into
-/// `rhs` (always) and the flat row-major `dim x dim` matrix `a` (when
-/// non-null — the batched path re-stamps only the RHS). Both buffers must be
-/// pre-zeroed. Stamp order matches the original solver exactly.
-inline void assemble(const Circuit& circuit, const SolveOptions& opt,
-                     const CompanionState& state, const Structure& st,
-                     const std::vector<double>& diode_v, double* a, double* rhs) {
+/// Stamps the MNA system for the given diode linearisation point into `rhs`
+/// (always) and an arbitrary matrix sink: `add(row, col, value)` is invoked
+/// for every matrix stamp in the exact order of the original solver. The
+/// dense path adds into flat row-major storage; the sparse path records
+/// coordinates (pattern build) or replays them through a frozen slot
+/// sequence (numeric refill) — one stamp pass, three consumers, and because
+/// the element loop is shared the add sequence is identical across them.
+template <typename AddFn>
+inline void assemble_with(const Circuit& circuit, const SolveOptions& opt,
+                          const CompanionState& state, const Structure& st,
+                          const std::vector<double>& diode_v, AddFn&& add, double* rhs) {
   const auto& elements = circuit.elements();
   const std::size_t dim = st.dim;
   const int n_nodes = st.n_nodes;
@@ -154,12 +159,11 @@ inline void assemble(const Circuit& circuit, const SolveOptions& opt,
   auto vrow = [](int node) { return static_cast<std::size_t>(node - 1); };
 
   auto stamp_conductance = [&](int na, int nb, double g) {
-    if (a == nullptr) return;
-    if (na != 0) a[vrow(na) * dim + vrow(na)] += g;
-    if (nb != 0) a[vrow(nb) * dim + vrow(nb)] += g;
+    if (na != 0) add(vrow(na), vrow(na), g);
+    if (nb != 0) add(vrow(nb), vrow(nb), g);
     if (na != 0 && nb != 0) {
-      a[vrow(na) * dim + vrow(nb)] -= g;
-      a[vrow(nb) * dim + vrow(na)] -= g;
+      add(vrow(na), vrow(nb), -g);
+      add(vrow(nb), vrow(na), -g);
     }
   };
   // Current `j` flowing from node na to node nb through the element.
@@ -168,15 +172,14 @@ inline void assemble(const Circuit& circuit, const SolveOptions& opt,
     if (nb != 0) rhs[vrow(nb)] += j;
   };
   auto stamp_branch = [&](int na, int nb, int branch) {
-    if (a == nullptr) return;
     const std::size_t k = static_cast<std::size_t>(static_cast<int>(dim) - n_branches + branch);
     if (na != 0) {
-      a[vrow(na) * dim + k] += 1.0;
-      a[k * dim + vrow(na)] += 1.0;
+      add(vrow(na), k, 1.0);
+      add(k, vrow(na), 1.0);
     }
     if (nb != 0) {
-      a[vrow(nb) * dim + k] -= 1.0;
-      a[k * dim + vrow(nb)] -= 1.0;
+      add(vrow(nb), k, -1.0);
+      add(k, vrow(nb), -1.0);
     }
   };
   auto branch_rhs = [&](int branch) -> double& {
@@ -185,9 +188,7 @@ inline void assemble(const Circuit& circuit, const SolveOptions& opt,
 
   // gmin from every non-ground node keeps floating nodes solvable (the
   // standard SPICE trick; an "open" fault would otherwise be singular).
-  if (a != nullptr) {
-    for (int node = 1; node < n_nodes; ++node) a[vrow(node) * dim + vrow(node)] += opt.gmin;
-  }
+  for (int node = 1; node < n_nodes; ++node) add(vrow(node), vrow(node), opt.gmin);
 
   for (std::size_t i = 0; i < elements.size(); ++i) {
     const Element& e = elements[i];
@@ -240,6 +241,24 @@ inline void assemble(const Circuit& circuit, const SolveOptions& opt,
       case ElementKind::VoltageSensor:
         break;  // ideal voltmeter: no stamp
     }
+  }
+}
+
+/// The classic entry point over flat row-major `dim x dim` storage (`a` may
+/// be null — the batched path re-stamps only the RHS). Both buffers must be
+/// pre-zeroed. The dense add is `+=` of the signed stamp, which is the same
+/// IEEE operation the old in-lambda `-=` performed, so no output byte moved.
+inline void assemble(const Circuit& circuit, const SolveOptions& opt,
+                     const CompanionState& state, const Structure& st,
+                     const std::vector<double>& diode_v, double* a, double* rhs) {
+  const std::size_t dim = st.dim;
+  if (a == nullptr) {
+    assemble_with(circuit, opt, state, st, diode_v, [](std::size_t, std::size_t, double) {},
+                  rhs);
+  } else {
+    assemble_with(circuit, opt, state, st, diode_v,
+                  [a, dim](std::size_t r, std::size_t c, double v) { a[r * dim + c] += v; },
+                  rhs);
   }
 }
 
@@ -366,12 +385,74 @@ NewtonAttempt newton_attempt(const Circuit& circuit, const SolveOptions& opt,
   return attempt;
 }
 
-/// Reusable buffers of the dense (factor-per-iteration) solve step. Hoisted
-/// out of the Newton loop so an attempt allocates its matrix once, and shared
-/// across ladder rungs / transient steps / campaign variants by the callers.
+/// One circuit structure's frozen sparse assembly plan: the CSC pattern of
+/// the stamp pass plus the slot sequence that replays every later assembly
+/// as straight indexed adds. Building it runs the stamp pass once with a
+/// coordinate-recording sink; this is also where the per-structure shape
+/// validation happens exactly once — refills never re-derive the pattern.
+struct SparsePlan {
+  sparse::Pattern pattern;
+  std::vector<std::int32_t> slots;   ///< CSC slot of each recorded stamp, in order
+  std::vector<double> values;        ///< CSC numeric array, refilled per assembly
+  std::uint64_t fingerprint = 0;     ///< pattern.fingerprint(), computed once
+  std::size_t dim = 0;
+  bool transient = false;
+  bool ready = false;
+
+  void build(const Circuit& circuit, const SolveOptions& opt, const CompanionState& state,
+             const Structure& st) {
+    sparse::PatternBuilder builder;
+    builder.begin(st.dim);
+    std::vector<double> rhs_sink(st.dim, 0.0);
+    const std::vector<double> diode_guess(circuit.elements().size(), 0.6);
+    assemble_with(circuit, opt, state, st, diode_guess,
+                  [&](std::size_t r, std::size_t c, double) { builder.add(r, c); },
+                  rhs_sink.data());
+    builder.freeze(pattern, slots);
+    fingerprint = pattern.fingerprint();
+    values.assign(pattern.nnz(), 0.0);
+    dim = st.dim;
+    transient = state.transient;
+    ready = true;
+  }
+
+  /// Numeric refill: zeroes `values`, replays the stamp pass through the
+  /// frozen slot sequence and writes `rhs` (pre-zeroed, dim entries) in the
+  /// same pass. Returns false if the stamp stream no longer matches the plan
+  /// (a structurally different circuit slipped in) — the caller must fall
+  /// back to dense rather than trust a half-filled matrix.
+  [[nodiscard]] bool refill(const Circuit& circuit, const SolveOptions& opt,
+                            const CompanionState& state, const Structure& st,
+                            const std::vector<double>& diode_v, double* rhs) {
+    std::fill(values.begin(), values.end(), 0.0);
+    std::size_t t = 0;
+    bool overflow = false;
+    assemble_with(circuit, opt, state, st, diode_v,
+                  [&](std::size_t, std::size_t, double v) {
+                    if (t < slots.size()) {
+                      values[static_cast<std::size_t>(slots[t++])] += v;
+                    } else {
+                      overflow = true;
+                    }
+                  },
+                  rhs);
+    return !overflow && t == slots.size();
+  }
+};
+
+/// Reusable buffers of one solve path. Hoisted out of the Newton loop so an
+/// attempt allocates its matrix once, and shared across ladder rungs /
+/// transient steps / campaign variants by the callers. The sparse plan and
+/// factorisation ride along so a repeated-solve caller pays symbolic
+/// analysis once per structure; `sparse_disabled` is the sticky half of the
+/// fallback ladder — once any sparse attempt on this workspace misbehaves,
+/// every later attempt goes straight to the dense kernel.
 struct Workspace {
   dense::LuFactorization<double> lu;
   std::vector<double> rhs;
+  SparsePlan plan;
+  sparse::SparseLu<double> slu;
+  bool sparse_disabled = false;
 };
 
 /// The classic path: assemble the full matrix and factor it every iteration,
@@ -398,6 +479,93 @@ inline NewtonAttempt attempt_solve_dense(const Circuit& circuit, const SolveOpti
     return true;
   };
   return newton_attempt(circuit, opt, st, seed, deadline, solve_step);
+}
+
+/// The default path: sparse refactor-per-iteration for big systems, with a
+/// fall-back-on-anything-suspicious ladder onto the dense kernel. A sparse
+/// attempt that misbehaves in *any* way — singular factorisation, a
+/// pivot-gate trip that a fresh factorisation cannot heal, fill blow-up, a
+/// stamp-stream mismatch, or plain Newton non-convergence — is re-run in
+/// full on the dense kernel (identical classification and messages to
+/// attempt_solve_dense) and this workspace's sparse path is disabled for
+/// good. The dense kernel therefore stays the behavioural oracle: enabling
+/// sparse can only change which rounding a *converged* solution carries,
+/// never whether or how an attempt fails.
+inline NewtonAttempt attempt_solve_auto(const Circuit& circuit, const SolveOptions& opt,
+                                        const CompanionState& state, const Structure& st,
+                                        const NewtonSeed* seed, const Deadline& deadline,
+                                        Workspace& ws) {
+  if (!opt.sparse || ws.sparse_disabled) {
+    return attempt_solve_dense(circuit, opt, state, st, seed, deadline, ws);
+  }
+  auto& metrics = sparse::SparseMetrics::get();
+  if (st.dim < static_cast<std::size_t>(std::max(opt.sparse_min_dim, 1))) {
+    metrics.fallback_small_dim.add();
+    return attempt_solve_dense(circuit, opt, state, st, seed, deadline, ws);
+  }
+  // (Re)derive the assembly plan when the structure changed — e.g. one
+  // workspace shared between a transient run's DC initial condition and its
+  // stepping loop, whose systems differ in both dimension and stamps.
+  if (!ws.plan.ready || ws.plan.dim != st.dim || ws.plan.transient != state.transient) {
+    ws.plan.build(circuit, opt, state, st);
+    ws.slu = sparse::SparseLu<double>{};  // symbolic was for another structure
+  }
+
+  obs::Counter* fallback_reason = &metrics.fallback_not_converged;
+  auto solve_step = [&](const std::vector<double>& diode_v, std::vector<double>& x_out,
+                        SolveFailure& failure, std::string& message) {
+    ws.rhs.assign(st.dim, 0.0);
+    if (!ws.plan.refill(circuit, opt, state, st, diode_v, ws.rhs.data())) {
+      fallback_reason = &metrics.fallback_singular;
+      failure = SolveFailure::Singular;
+      message = "sparse plan does not match the stamped circuit";
+      return false;
+    }
+    std::string err;
+    bool ok = false;
+    if (ws.slu.symbolic() != nullptr &&
+        ws.slu.symbolic()->pattern_fingerprint == ws.plan.fingerprint) {
+      ok = ws.slu.refactor(ws.plan.pattern, ws.plan.values.data(), &err);
+      if (!ok) {
+        // A frozen pivot went numerically stale; re-pivot from scratch
+        // before conceding the step.
+        ok = ws.slu.factor(ws.plan.pattern, ws.plan.values.data(), &err);
+        if (ok) {
+          metrics.repivots.add();
+        } else {
+          fallback_reason = &metrics.fallback_pivot;
+        }
+      }
+    } else {
+      ok = ws.slu.factor(ws.plan.pattern, ws.plan.values.data(), &err);
+      if (!ok) fallback_reason = &metrics.fallback_singular;
+    }
+    if (!ok) {
+      failure = SolveFailure::Singular;
+      message = std::move(err);
+      return false;
+    }
+    const double dim_sq = static_cast<double>(st.dim) * static_cast<double>(st.dim);
+    if (static_cast<double>(ws.slu.lu_nnz()) > opt.sparse_max_fill * dim_sq) {
+      fallback_reason = &metrics.fallback_fill;
+      failure = SolveFailure::Singular;
+      message = "sparse factorisation fill exceeded the density gate";
+      return false;
+    }
+    ws.slu.solve_in_place(ws.rhs.data());
+    x_out = ws.rhs;
+    return true;
+  };
+
+  NewtonAttempt attempt = newton_attempt(circuit, opt, st, seed, deadline, solve_step);
+  if (attempt.converged) return attempt;
+
+  // Anything suspicious: count why, disable this workspace's sparse path,
+  // and re-run the whole attempt on the dense oracle so the failure (or a
+  // late dense-only convergence) classifies exactly as with sparse off.
+  fallback_reason->add();
+  ws.sparse_disabled = true;
+  return attempt_solve_dense(circuit, opt, state, st, seed, deadline, ws);
 }
 
 OperatingPoint make_operating_point(const Circuit& circuit, const SolveResult& solved);

@@ -12,6 +12,7 @@
 #include "decisive/obs/registry.hpp"
 #include "decisive/obs/span.hpp"
 #include "decisive/sim/dense.hpp"
+#include "decisive/sim/sparse.hpp"
 #include "mna.hpp"
 
 namespace decisive::sim {
@@ -90,7 +91,7 @@ mna::SolveResult solve_system(const Circuit& circuit, const SolveOptions& opt,
                               const mna::CompanionState& state, mna::Workspace& ws) {
   const mna::Structure st = mna::analyze_structure(circuit, state.transient);
   mna::NewtonAttempt attempt =
-      mna::attempt_solve_dense(circuit, opt, state, st, nullptr, std::nullopt, ws);
+      mna::attempt_solve_auto(circuit, opt, state, st, nullptr, std::nullopt, ws);
   if (!attempt.converged) throw SimulationError(attempt.message);
   return std::move(attempt.result);
 }
@@ -145,7 +146,7 @@ std::optional<OperatingPoint> try_dc_operating_point(const Circuit& circuit,
 
   // Rung 0: plain Newton.
   mna::NewtonAttempt plain =
-      mna::attempt_solve_dense(circuit, options, state, structure, nullptr, deadline, ws);
+      mna::attempt_solve_auto(circuit, options, state, structure, nullptr, deadline, ws);
   diagnostics.iterations += plain.iterations;
   if (plain.converged || !options.recovery_ladder ||
       plain.failure == SolveFailure::WallClockBudget) {
@@ -166,7 +167,7 @@ std::optional<OperatingPoint> try_dc_operating_point(const Circuit& circuit,
     for (int k = 0; k < steps; ++k) {
       const double t = static_cast<double>(k) / (steps - 1);
       damped.gmin = start_gmin * std::pow(options.gmin / start_gmin, t);
-      mna::NewtonAttempt attempt = mna::attempt_solve_dense(
+      mna::NewtonAttempt attempt = mna::attempt_solve_auto(
           circuit, damped, state, structure, seed.x.empty() ? nullptr : &seed, deadline, ws);
       diagnostics.iterations += attempt.iterations;
       seed.x = attempt.x;
@@ -200,7 +201,7 @@ std::optional<OperatingPoint> try_dc_operating_point(const Circuit& circuit,
           scaled.elements()[i].value = original[i] * alpha;
         }
       }
-      mna::NewtonAttempt attempt = mna::attempt_solve_dense(
+      mna::NewtonAttempt attempt = mna::attempt_solve_auto(
           scaled, options, state, structure, seed.x.empty() ? nullptr : &seed, deadline, ws);
       diagnostics.iterations += attempt.iterations;
       seed.x = attempt.x;
@@ -258,7 +259,7 @@ std::vector<TransientSample> transient(const Circuit& circuit, double t_end, dou
   for (long long k = 1; k <= n_steps; ++k) {
     const double t = static_cast<double>(k) * dt;
     mna::NewtonAttempt attempt =
-        mna::attempt_solve_dense(circuit, options, state, structure, nullptr, std::nullopt, ws);
+        mna::attempt_solve_auto(circuit, options, state, structure, nullptr, std::nullopt, ws);
     if (!attempt.converged) throw SimulationError(attempt.message);
     const mna::SolveResult& step = attempt.result;
     // Update storage-element history for the next step.
@@ -302,28 +303,25 @@ std::vector<AcSample> ac_analysis(const Circuit& circuit, const std::string& sti
   }
   const size_t dim = static_cast<size_t>(n_nodes - 1 + n_branches);
 
-  // One factorisation workspace reused across the whole frequency sweep.
-  dense::LuFactorization<std::complex<double>> lu;
-  std::vector<std::complex<double>> rhs;
-
-  std::vector<AcSample> sweep;
-  for (const double frequency : frequencies_hz) {
-    if (frequency <= 0.0) throw SimulationError("AC frequencies must be positive");
-    const std::complex<double> jw(0.0, 2.0 * std::numbers::pi * frequency);
-
-    std::vector<std::complex<double>>& a = lu.reset(dim);
-    rhs.assign(dim, 0.0);
-    auto vrow = [&](int node) { return static_cast<size_t>(node - 1); };
+  // The AC stamp pass over an arbitrary matrix sink, mirroring the
+  // mna::assemble_with idiom: the dense leg adds into flat storage, the
+  // sparse leg records coordinates at the first frequency and replays them
+  // through the frozen slot sequence at every later one. The add stream is
+  // frequency-independent (only the *values* carry jw), which is exactly
+  // what makes the pattern reusable across the sweep.
+  auto vrow = [](int node) { return static_cast<size_t>(node - 1); };
+  auto stamp_system = [&](auto&& add, std::complex<double>* out_rhs,
+                          const std::complex<double>& jw) {
     auto stamp_admittance = [&](int na, int nb, std::complex<double> y) {
-      if (na != 0) a[vrow(na) * dim + vrow(na)] += y;
-      if (nb != 0) a[vrow(nb) * dim + vrow(nb)] += y;
+      if (na != 0) add(vrow(na), vrow(na), y);
+      if (nb != 0) add(vrow(nb), vrow(nb), y);
       if (na != 0 && nb != 0) {
-        a[vrow(na) * dim + vrow(nb)] -= y;
-        a[vrow(nb) * dim + vrow(na)] -= y;
+        add(vrow(na), vrow(nb), -y);
+        add(vrow(nb), vrow(na), -y);
       }
     };
     for (int node = 1; node < n_nodes; ++node) {
-      a[vrow(node) * dim + vrow(node)] += opt.gmin;
+      add(vrow(node), vrow(node), std::complex<double>(opt.gmin, 0.0));
     }
 
     for (size_t i = 0; i < elements.size(); ++i) {
@@ -357,21 +355,21 @@ std::vector<AcSample> ac_analysis(const Circuit& circuit, const std::string& sti
         case ElementKind::CurrentSensor: {
           const size_t k = static_cast<size_t>(n_nodes - 1 + branch_index[i]);
           if (e.a != 0) {
-            a[vrow(e.a) * dim + k] += 1.0;
-            a[k * dim + vrow(e.a)] += 1.0;
+            add(vrow(e.a), k, std::complex<double>(1.0, 0.0));
+            add(k, vrow(e.a), std::complex<double>(1.0, 0.0));
           }
           if (e.b != 0) {
-            a[vrow(e.b) * dim + k] -= 1.0;
-            a[k * dim + vrow(e.b)] -= 1.0;
+            add(vrow(e.b), k, std::complex<double>(-1.0, 0.0));
+            add(k, vrow(e.b), std::complex<double>(-1.0, 0.0));
           }
           // Unit stimulus; every other DC source is a small-signal short.
-          rhs[k] = (e.kind == ElementKind::VSource && e.name == stimulus) ? 1.0 : 0.0;
+          out_rhs[k] = (e.kind == ElementKind::VSource && e.name == stimulus) ? 1.0 : 0.0;
           break;
         }
         case ElementKind::ISource:
           if (e.name == stimulus) {
-            if (e.a != 0) rhs[vrow(e.a)] -= 1.0;
-            if (e.b != 0) rhs[vrow(e.b)] += 1.0;
+            if (e.a != 0) out_rhs[vrow(e.a)] -= 1.0;
+            if (e.b != 0) out_rhs[vrow(e.b)] += 1.0;
           }
           // Non-stimulus current sources are small-signal opens: no stamp.
           break;
@@ -379,9 +377,86 @@ std::vector<AcSample> ac_analysis(const Circuit& circuit, const std::string& sti
           break;
       }
     }
+  };
 
-    lu.factor("singular AC system");
-    lu.solve_in_place(rhs.data());
+  // One factorisation workspace reused across the whole frequency sweep.
+  dense::LuFactorization<std::complex<double>> lu;
+  std::vector<std::complex<double>> rhs;
+
+  // Sparse sweep state: pattern built lazily at the first sparse point, then
+  // refactored numerically per frequency. Any trouble (singular, pivot gate,
+  // fill blow-up) drops the rest of the sweep onto the dense kernel — same
+  // fall-back-on-anything-suspicious ladder as the DC path.
+  sparse::SparseMetrics& smetrics = sparse::SparseMetrics::get();
+  bool use_sparse =
+      opt.sparse && dim >= static_cast<size_t>(std::max(opt.sparse_min_dim, 1));
+  if (opt.sparse && !use_sparse) smetrics.fallback_small_dim.add();
+  sparse::Pattern pattern;
+  std::vector<std::int32_t> slots;
+  std::vector<std::complex<double>> values;
+  sparse::SparseLu<std::complex<double>> slu;
+
+  std::vector<AcSample> sweep;
+  for (const double frequency : frequencies_hz) {
+    if (frequency <= 0.0) throw SimulationError("AC frequencies must be positive");
+    const std::complex<double> jw(0.0, 2.0 * std::numbers::pi * frequency);
+
+    bool solved = false;
+    if (use_sparse) {
+      if (pattern.n == 0) {
+        sparse::PatternBuilder builder;
+        builder.begin(dim);
+        rhs.assign(dim, 0.0);
+        stamp_system([&](size_t r, size_t c, std::complex<double>) { builder.add(r, c); },
+                     rhs.data(), jw);
+        builder.freeze(pattern, slots);
+        values.resize(pattern.nnz());
+      }
+      std::fill(values.begin(), values.end(), std::complex<double>(0.0, 0.0));
+      rhs.assign(dim, 0.0);
+      size_t t = 0;
+      stamp_system(
+          [&](size_t, size_t, std::complex<double> v) {
+            values[static_cast<size_t>(slots[t++])] += v;
+          },
+          rhs.data(), jw);
+      std::string err;
+      bool ok;
+      if (slu.symbolic() != nullptr) {
+        ok = slu.refactor(pattern, values.data(), &err);
+        if (!ok) {
+          ok = slu.factor(pattern, values.data(), &err);
+          if (ok) {
+            smetrics.repivots.add();
+          } else {
+            smetrics.fallback_pivot.add();
+          }
+        }
+      } else {
+        ok = slu.factor(pattern, values.data(), &err);
+        if (!ok) smetrics.fallback_singular.add();
+      }
+      if (ok && static_cast<double>(slu.lu_nnz()) >
+                    opt.sparse_max_fill * static_cast<double>(dim) * static_cast<double>(dim)) {
+        smetrics.fallback_fill.add();
+        ok = false;
+      }
+      if (ok) {
+        slu.solve_in_place(rhs.data());
+        solved = true;
+      } else {
+        use_sparse = false;  // sticky: rest of the sweep runs dense
+      }
+    }
+    if (!solved) {
+      std::vector<std::complex<double>>& a = lu.reset(dim);
+      rhs.assign(dim, 0.0);
+      stamp_system(
+          [&a, dim](size_t r, size_t c, std::complex<double> v) { a[r * dim + c] += v; },
+          rhs.data(), jw);
+      lu.factor("singular AC system");
+      lu.solve_in_place(rhs.data());
+    }
     const std::vector<std::complex<double>>& x = rhs;
     auto node_v = [&](int node) -> std::complex<double> {
       return node == 0 ? 0.0 : x[vrow(node)];
